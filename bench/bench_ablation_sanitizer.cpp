@@ -1,0 +1,77 @@
+// Ablation: the CSI sanitizer (Sec. 3.2). Three variants:
+//  * full design: inter-antenna difference + subcarrier averaging;
+//  * no subcarrier averaging (single subcarrier): more thermal noise;
+//  * no antenna difference (raw phase): CFO/SFO survive — the phase is
+//    per-frame random and tracking collapses entirely.
+// This is the paper's design argument made measurable.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/sanitizer.h"
+#include "util/stats.h"
+#include "wifi/link.h"
+
+int main() {
+  using namespace vihot;
+  util::banner(std::cout, "Ablation: CSI phase sanitization (Sec. 3.2)");
+  bench::paper_reference(
+      "the antenna difference cancels CFO/SFO exactly (Eq. 3); averaging "
+      "over subcarriers suppresses the residual thermal noise");
+
+  // Part 1: phase stability of a static cabin under each variant.
+  const channel::CabinScene scene = channel::make_cabin_scene();
+  const channel::ChannelModel model(scene, channel::SubcarrierGrid{},
+                                    channel::HeadScatterModel{});
+  struct Variant {
+    const char* label;
+    core::SanitizerConfig config;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"antenna diff + subcarrier avg (ViHOT)", {}});
+  {
+    core::SanitizerConfig c;
+    c.subcarrier_average = false;
+    variants.push_back({"antenna diff, single subcarrier", c});
+  }
+  {
+    core::SanitizerConfig c;
+    c.antenna_difference = false;
+    variants.push_back({"raw phase (no antenna diff)", c});
+  }
+
+  util::Table stability({"sanitizer", "static-phase stddev (rad)"});
+  for (const Variant& v : variants) {
+    wifi::WifiLink link(model, wifi::NoiseConfig{}, wifi::SchedulerConfig{},
+                        util::Rng(7));
+    const core::CsiSanitizer sanitizer(v.config);
+    std::vector<double> phases;
+    for (int i = 0; i < 400; ++i) {
+      channel::CabinState st;
+      st.head.position = scene.driver_head_center;
+      phases.push_back(sanitizer.phase(link.measure(0.002 * i, st)));
+    }
+    stability.add_row({v.label, util::fmt(util::stddev(phases), 4)});
+  }
+  std::cout << '\n';
+  stability.print(std::cout);
+
+  // Part 2: end-to-end tracking accuracy per variant. (The raw-phase
+  // variant also profiles with raw phase — garbage in, garbage out.)
+  std::printf("\nend-to-end tracking accuracy per sanitizer variant:\n");
+  util::Table table = bench::error_table("sanitizer");
+  for (const Variant& v : variants) {
+    sim::ScenarioConfig config = bench::default_config();
+    config.runtime_sessions = 3;
+    config.tracker.sanitizer = v.config;
+    const sim::ExperimentResult res = bench::run(config);
+    table.add_row(bench::error_row(v.label, res.errors));
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+  std::cout << "\nresult: the full sanitizer is the only variant with a "
+               "usable phase; raw phase collapses tracking (why Sec. 3.2 "
+               "exists)\n";
+  return 0;
+}

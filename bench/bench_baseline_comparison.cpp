@@ -1,0 +1,92 @@
+// Baseline comparison (Secs. 2.1 / 3.4.2): ViHOT against
+//  * the naive Eq.-(5) single-point phase lookup (fails on the
+//    non-injective curve),
+//  * a conventional 30 FPS camera tracker (motion blur + latency; the
+//    night column shows the lighting sensitivity argument of Sec. 2.1),
+//  * an IMU headset (drifts, and reads the car's own turns as head turns).
+
+#include <cstdio>
+#include <iostream>
+
+#include "baseline/imu_headset.h"
+#include "bench/bench_common.h"
+#include "camera/camera_tracker.h"
+#include "sim/drive_sim.h"
+
+int main() {
+  using namespace vihot;
+  util::banner(std::cout, "Baselines: ViHOT vs naive / camera / headset");
+  bench::paper_reference(
+      "camera-based tracking blurs on fast turns and fails at night; the "
+      "naive inverse mapping breaks on non-injectivity; headsets drift "
+      "and alias vehicle steering");
+
+  sim::ScenarioConfig config = bench::default_config();
+  config.collect_naive_baseline = true;
+  config.collect_camera_baseline = true;
+  const sim::ExperimentResult res = bench::run(config);
+
+  // Night-time camera: rerun the camera error against truth directly.
+  sim::ErrorCollector night_errors;
+  {
+    util::Rng rng(91);
+    sim::DriveSession session(config, config.driver.head_center,
+                              rng.fork("drive"));
+    camera::CameraTracker::Config cam_cfg;
+    cam_cfg.lighting = camera::Lighting::kNight;
+    camera::CameraTracker cam(cam_cfg, rng.fork("camera"));
+    const auto stream = cam.capture(0.0, config.runtime_duration_s,
+                                    [&](double t) { return session.head_at(t); });
+    for (const auto& e : stream) {
+      if (!e.valid) continue;
+      const motion::HeadState truth = session.head_at(e.t);
+      if (std::abs(truth.pose.theta) < 0.035 &&
+          std::abs(truth.theta_dot) < 0.17) {
+        continue;
+      }
+      night_errors.add(sim::angular_error_deg(e.theta, truth.pose.theta));
+    }
+  }
+
+  // IMU headset over the same kind of drive.
+  sim::ErrorCollector headset_errors;
+  {
+    util::Rng rng(92);
+    sim::ScenarioConfig hcfg = config;
+    hcfg.steering_events = true;  // headsets suffer during real driving
+    sim::DriveSession session(hcfg, hcfg.driver.head_center,
+                              rng.fork("drive"));
+    baseline::ImuHeadsetTracker headset(
+        baseline::ImuHeadsetTracker::Config{}, rng.fork("headset"));
+    const util::TimeSeries track = headset.track(
+        0.0, hcfg.runtime_duration_s,
+        [&](double t) { return session.head_at(t); },
+        session.car_dynamics(), session.steering());
+    for (const auto& s : track.samples()) {
+      const motion::HeadState truth = session.head_at(s.t);
+      if (std::abs(truth.pose.theta) < 0.035 &&
+          std::abs(truth.theta_dot) < 0.17) {
+        continue;
+      }
+      headset_errors.add(sim::angular_error_deg(s.value, truth.pose.theta));
+    }
+  }
+
+  util::Table table = bench::error_table("tracker");
+  table.add_row(bench::error_row("ViHOT (CSI)", res.errors));
+  table.add_row(bench::error_row("naive Eq.(5) lookup", res.naive_errors));
+  table.add_row(bench::error_row("camera 30FPS (day)", res.camera_errors));
+  table.add_row(bench::error_row("camera 30FPS (night)", night_errors));
+  table.add_row(bench::error_row("IMU headset (drive)", headset_errors));
+  std::cout << '\n';
+  table.print(std::cout);
+
+  std::printf(
+      "\nresult: ViHOT median %.1f deg vs naive %.1f deg (series matching "
+      "resolves the ambiguity the point lookup cannot); night camera "
+      "degrades %.1fx over day; the headset drifts with vehicle motion\n",
+      res.errors.median_deg(), res.naive_errors.median_deg(),
+      night_errors.median_deg() /
+          std::max(res.camera_errors.median_deg(), 1e-9));
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Each bench binary regenerates one table/figure of the paper's evaluation
+// (Sec. 5) on the simulated substrate and prints the measured series next
+// to the paper's reported values. Absolute numbers are not expected to
+// match (our substrate is a simulator, not the authors' Camry testbed);
+// the SHAPE — who wins, by roughly what factor, where degradation appears
+// — is the reproduction target. EXPERIMENTS.md records both.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "sim/experiment.h"
+#include "util/table.h"
+
+namespace vihot::bench {
+
+/// Default evaluation scale for benches: a compromise between statistical
+/// mass and total bench runtime. The paper runs 10 x 60 s sessions; we run
+/// 5 x 30 s per configuration by default (matching the session count only
+/// trades run time for tighter CDFs, not different shapes).
+inline sim::ScenarioConfig default_config(std::uint64_t seed = 2024) {
+  sim::ScenarioConfig config;
+  config.seed = seed;
+  config.runtime_sessions = 5;
+  config.runtime_duration_s = 30.0;
+  return config;
+}
+
+/// Runs one scenario and returns the aggregate result.
+inline sim::ExperimentResult run(const sim::ScenarioConfig& config) {
+  sim::ExperimentRunner runner(config);
+  return runner.run();
+}
+
+/// Standard row summary used in the comparison tables.
+inline std::vector<std::string> error_row(const std::string& label,
+                                          const sim::ErrorCollector& errors) {
+  return {label,
+          util::fmt(errors.median_deg(), 1),
+          util::fmt(errors.mean_deg(), 1),
+          util::fmt(errors.percentile_deg(90.0), 1),
+          util::fmt(errors.max_deg(), 1),
+          std::to_string(errors.size())};
+}
+
+/// Header matching error_row.
+inline util::Table error_table(const std::string& first_column) {
+  return util::Table(
+      {first_column, "median(deg)", "mean(deg)", "p90(deg)", "max(deg)",
+       "n"});
+}
+
+/// Prints a CDF as terminal ASCII (the paper's CDF figures).
+inline void print_cdf(const std::string& label,
+                      const sim::ErrorCollector& errors, double x_max = 60.0) {
+  std::cout << "\nCDF: " << label << "\n";
+  util::print_cdf_ascii(std::cout, errors.cdf().curve(x_max, 13),
+                        "err(deg)");
+}
+
+/// Prints the paper-reported reference line for a figure.
+inline void paper_reference(const std::string& text) {
+  std::cout << "paper: " << text << "\n";
+}
+
+}  // namespace vihot::bench

@@ -1,0 +1,107 @@
+// Microbenchmarks (google-benchmark) for the compute kernels behind the
+// real-time claim of Sec. 7: ViHOT needs only 1D series matching, far
+// cheaper than 2D image processing. These measure the DTW kernel, the
+// full Algorithm-1 segment search, the sanitizer, and the channel
+// synthesizer, so regressions in the hot paths are visible.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "channel/csi_synth.h"
+#include "core/sanitizer.h"
+#include "dsp/dtw.h"
+#include "dsp/series_match.h"
+#include "util/rng.h"
+#include "wifi/noise.h"
+
+namespace {
+
+using namespace vihot;
+
+std::vector<double> noisy_sine(std::size_t n, double period,
+                               std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs.push_back(std::sin(2.0 * 3.14159265 * static_cast<double>(i) / period)
+                 + rng.normal(0.0, 0.01));
+  }
+  return xs;
+}
+
+void BM_DtwDistance(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = noisy_sine(n, 20.0, 1);
+  const auto b = noisy_sine(2 * n, 40.0, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::dtw_distance(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DtwDistance)->Arg(10)->Arg(21)->Arg(42)->Arg(84);
+
+void BM_DtwDistanceBanded(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = noisy_sine(n, 20.0, 1);
+  const auto b = noisy_sine(2 * n, 40.0, 2);
+  dsp::DtwOptions opt;
+  opt.band_fraction = 0.25;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::dtw_distance(a, b, opt));
+  }
+}
+BENCHMARK(BM_DtwDistanceBanded)->Arg(21)->Arg(42)->Arg(84);
+
+// The full Algorithm-1 inner loop: one orientation estimate against a
+// 10 s / 200 Hz profile — the per-estimate cost of the live tracker.
+void BM_SeriesMatch(benchmark::State& state) {
+  const auto query = noisy_sine(21, 15.0, 3);
+  const auto profile = noisy_sine(2000, 30.0, 4);
+  dsp::SeriesMatchOptions opt;
+  opt.start_stride = 2;
+  opt.dtw.band_fraction = 0.25;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::find_best_match(query, profile, opt));
+  }
+  state.SetLabel("one Algorithm-1 estimate vs 10s profile");
+}
+BENCHMARK(BM_SeriesMatch);
+
+void BM_ChannelSynthesis(benchmark::State& state) {
+  const channel::CabinScene scene = channel::make_cabin_scene();
+  const channel::ChannelModel model(scene, channel::SubcarrierGrid{},
+                                    channel::HeadScatterModel{});
+  channel::CabinState st;
+  st.head.position = scene.driver_head_center;
+  double theta = 0.0;
+  for (auto _ : state) {
+    st.head.theta = theta;
+    theta += 0.01;
+    if (theta > 1.5) theta = -1.5;
+    benchmark::DoNotOptimize(model.csi(st));
+  }
+  state.SetLabel("one CSI frame (2 ant x 30 subcarriers)");
+}
+BENCHMARK(BM_ChannelSynthesis);
+
+void BM_Sanitizer(benchmark::State& state) {
+  const channel::CabinScene scene = channel::make_cabin_scene();
+  const channel::ChannelModel model(scene, channel::SubcarrierGrid{},
+                                    channel::HeadScatterModel{});
+  channel::CabinState st;
+  st.head.position = scene.driver_head_center;
+  wifi::HardwareNoiseModel noise(wifi::NoiseConfig{}, util::Rng(5));
+  const wifi::CsiMeasurement m =
+      noise.corrupt(0.0, model.csi(st), model.grid());
+  const core::CsiSanitizer sanitizer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sanitizer.phase(m));
+  }
+  state.SetLabel("Eq.(3) + subcarrier averaging per frame");
+}
+BENCHMARK(BM_Sanitizer);
+
+}  // namespace

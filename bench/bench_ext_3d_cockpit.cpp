@@ -1,0 +1,80 @@
+// Extension bench (Secs. 2.3 / 7): 3D head tracking in an aircraft
+// cockpit. "Our solution can also extend to 3D cases like in the aircraft
+// cockpit" — with more antennas (802.11ac-era NICs), the inter-antenna
+// phase differences form a feature VECTOR and both yaw and pitch become
+// trackable. The dims sweep is the paper's argument made quantitative:
+// one phase difference (the 2-antenna prototype) cannot resolve pitch;
+// each added antenna buys accuracy.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "ext3d/tracker3d.h"
+
+int main() {
+  using namespace vihot;
+  util::banner(std::cout,
+               "Extension: 3D cockpit head tracking (Secs. 2.3 / 7)");
+  bench::paper_reference(
+      "future work: more antennas -> 3D (yaw+pitch) tracking for the "
+      "aircraft cockpit; the 2-antenna prototype is 2D-only");
+
+  // Profile once with the serpentine scan.
+  ext3d::CockpitChannel prof_channel(ext3d::CockpitScene{},
+                                     channel::SubcarrierGrid{},
+                                     ext3d::HeadScatter3d{}, util::Rng(41));
+  const ext3d::SerpentineScan scan{ext3d::SerpentineScan::Config{}};
+  const ext3d::Profile3d profile =
+      ext3d::build_profile3d(prof_channel, scan);
+  std::printf("\nprofile: %zu feature rows over a %.0f s serpentine scan "
+              "(yaw +-%.0f deg x pitch +-%.0f deg)\n",
+              profile.rows(), scan.duration(), 75.0, 26.0);
+
+  util::Table table({"feature dims (antennas)", "yaw median(deg)",
+                     "yaw p90", "pitch median(deg)", "pitch p90", "n"});
+  for (const std::size_t dims : {std::size_t{1}, std::size_t{2},
+                                 std::size_t{3}}) {
+    sim::ErrorCollector yaw_err;
+    sim::ErrorCollector pitch_err;
+    for (std::uint64_t session = 0; session < 3; ++session) {
+      ext3d::CockpitChannel channel(ext3d::CockpitScene{},
+                                    channel::SubcarrierGrid{},
+                                    ext3d::HeadScatter3d{},
+                                    util::Rng(100 + session));
+      ext3d::Tracker3d::Config cfg;
+      cfg.dims = dims;
+      ext3d::Tracker3d tracker(profile, cfg);
+      const double w1 = 0.8 + 0.07 * static_cast<double>(session);
+      const double w2 = 0.47 + 0.05 * static_cast<double>(session);
+      for (int i = 0; i < 8000; ++i) {  // 20 s at 400 Hz
+        const double t = 0.0025 * i;
+        ext3d::HeadPose3d truth;
+        truth.yaw = 1.0 * std::sin(w1 * t);
+        truth.pitch = 0.32 * std::sin(w2 * t + 0.9);
+        tracker.push(t, ext3d::CockpitChannel::features(
+                            channel.measure(t, truth)));
+        if (i % 20 != 0 || t < 0.5) continue;
+        const ext3d::Estimate3d e = tracker.estimate(t);
+        if (!e.valid) continue;
+        yaw_err.add(sim::angular_error_deg(e.pose.yaw, truth.yaw));
+        pitch_err.add(sim::angular_error_deg(e.pose.pitch, truth.pitch));
+      }
+    }
+    table.add_row({std::to_string(dims) + " (" + std::to_string(dims + 1) +
+                       " RX antennas)",
+                   util::fmt(yaw_err.median_deg(), 1),
+                   util::fmt(yaw_err.percentile_deg(90.0), 1),
+                   util::fmt(pitch_err.median_deg(), 1),
+                   util::fmt(pitch_err.percentile_deg(90.0), 1),
+                   std::to_string(yaw_err.size())});
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+  std::cout << "\nresult: one phase difference (the paper's 2-antenna "
+               "prototype) cannot resolve pitch; each additional antenna "
+               "sharpens both angles — quantifying the Sec. 7 antenna-"
+               "count argument\n";
+  return 0;
+}

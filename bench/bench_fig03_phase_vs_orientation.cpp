@@ -1,0 +1,83 @@
+// Fig. 3 reproduction: the CSI phase vs head orientation relation.
+// The paper's two key observations, both reproduced here:
+//  (1) the curve is non-injective — the same phase recurs at different
+//      orientations within one sweep;
+//  (2) different head positions produce a family of offset, near-parallel
+//      curves — so position must be estimated before orientation.
+
+#include <cstdio>
+#include <iostream>
+
+#include "baseline/naive_mapper.h"
+#include "bench/bench_common.h"
+#include "dsp/filters.h"
+#include "util/angle.h"
+
+int main() {
+  using namespace vihot;
+  util::banner(std::cout, "Fig. 3: CSI phase vs head orientation");
+  bench::paper_reference(
+      "phase spans ~[-1, 1] rad over +-100 deg; parallel curves per head "
+      "position; mapping is non-injective");
+
+  sim::ScenarioConfig config = bench::default_config();
+  sim::ExperimentRunner runner(config);
+  const core::CsiProfile profile = runner.build_profile();
+
+  // Dump three positions' curves on a common orientation grid.
+  const std::size_t picks[3] = {1, profile.size() / 2, profile.size() - 2};
+  std::printf("\ntheta(deg)  phase@pos%zu  phase@pos%zu  phase@pos%zu\n",
+              picks[0], picks[1], picks[2]);
+  for (int deg = -90; deg <= 90; deg += 10) {
+    std::printf("%9d", deg);
+    for (const std::size_t p : picks) {
+      const core::PositionProfile& pos = profile.positions[p];
+      // Use the first profile sample whose orientation crosses this grid
+      // point (first branch of the sweep).
+      double phase = 0.0;
+      for (std::size_t k = 1; k < pos.orientation.size(); ++k) {
+        const double a = pos.orientation.values[k - 1];
+        const double b = pos.orientation.values[k];
+        const double target = util::deg_to_rad(deg);
+        if ((a <= target && b >= target) || (a >= target && b <= target)) {
+          phase = pos.csi.values[k];
+          break;
+        }
+      }
+      std::printf("  %+9.3f", phase);
+    }
+    std::printf("\n");
+  }
+
+  // Quantify the two headline properties.
+  const core::PositionProfile& mid = profile.positions[profile.size() / 2];
+  double span_lo = 1e9;
+  double span_hi = -1e9;
+  for (const double v : mid.csi.values) {
+    span_lo = std::min(span_lo, v);
+    span_hi = std::max(span_hi, v);
+  }
+  // Count preimages on a denoised copy so thermal noise does not inflate
+  // the run count.
+  core::PositionProfile smooth = mid;
+  smooth.csi.values = dsp::moving_average(mid.csi.values, 15);
+  std::size_t worst_preimages = 0;
+  for (double phi = span_lo + 0.1; phi <= span_hi - 0.1; phi += 0.05) {
+    worst_preimages = std::max(
+        worst_preimages,
+        baseline::NaiveMapper::preimage_count(smooth, phi, 0.02));
+  }
+  double fp_lo = 1e9;
+  double fp_hi = -1e9;
+  for (const core::PositionProfile& p : profile.positions) {
+    fp_lo = std::min(fp_lo, p.fingerprint_phase);
+    fp_hi = std::max(fp_hi, p.fingerprint_phase);
+  }
+
+  std::printf(
+      "\nresult: phase swing %.2f rad at the middle position (paper ~2 rad); "
+      "max preimages of one phase level = %zu (paper: non-injective, >= 2); "
+      "per-position curve offsets span %.2f rad (the 'parallel curves')\n",
+      span_hi - span_lo, worst_preimages, fp_hi - fp_lo);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Fig. 8 reproduction: turning the steering wheel moves the CSI phase even
+// when the head is still. The paper alternates head-only and wheel-only
+// segments; the phase must respond to both, which is exactly why the
+// steering identifier (Sec. 3.6) exists.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/sanitizer.h"
+#include "util/angle.h"
+#include "util/stats.h"
+#include "wifi/link.h"
+
+int main() {
+  using namespace vihot;
+  util::banner(std::cout, "Fig. 8: steering-wheel turning affects CSI phase");
+  bench::paper_reference(
+      "wheel-only segments move the CSI phase comparably to head-only "
+      "segments while the head orientation stays flat");
+
+  const channel::CabinScene scene = channel::make_cabin_scene();
+  const channel::ChannelModel model(scene, channel::SubcarrierGrid{},
+                                    channel::HeadScatterModel{});
+  wifi::WifiLink link(model, wifi::NoiseConfig{}, wifi::SchedulerConfig{},
+                      util::Rng(5));
+  const core::CsiSanitizer sanitizer;
+
+  // Protocol: 0-4 s head turns (wheel still), 4-8 s wheel turns (head
+  // still), alternating.
+  const auto state_at = [&](double t) {
+    channel::CabinState st;
+    st.head.position = scene.driver_head_center;
+    const bool head_phase = std::fmod(t, 8.0) < 4.0;
+    if (head_phase) {
+      st.head.theta = 1.0 * std::sin(util::kTwoPi * 0.35 * t);
+    } else {
+      st.steering_rim_angle = 1.6 * std::sin(util::kTwoPi * 0.3 * t);
+    }
+    return st;
+  };
+  const auto capture = link.capture(0.0, 16.0, state_at);
+  const util::TimeSeries phase = sanitizer.phase_series(capture);
+
+  std::vector<double> head_seg;
+  std::vector<double> wheel_seg;
+  std::printf("\ntime(s)  segment  head(deg)  wheel(deg)  phase(rad)\n");
+  for (const util::Sample& s : phase.samples()) {
+    const bool head_phase = std::fmod(s.t, 8.0) < 4.0;
+    (head_phase ? head_seg : wheel_seg).push_back(s.value);
+    if (std::fmod(s.t, 0.8) < 0.003) {
+      const channel::CabinState st = state_at(s.t);
+      std::printf("%6.2f   %-7s  %8.1f  %9.1f  %+9.3f\n", s.t,
+                  head_phase ? "head" : "wheel",
+                  util::rad_to_deg(st.head.theta),
+                  util::rad_to_deg(st.steering_rim_angle), s.value);
+    }
+  }
+
+  const double head_p2p =
+      util::max_of(head_seg) - util::min_of(head_seg);
+  const double wheel_p2p =
+      util::max_of(wheel_seg) - util::min_of(wheel_seg);
+  std::printf(
+      "\nresult: phase peak-to-peak %.2f rad during head turning, %.2f rad "
+      "during wheel-only turning -> steering is a genuine interferer "
+      "(paper: CSI varies significantly in both segments)\n",
+      head_p2p, wheel_p2p);
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Fig. 15 reproduction: CSI phase footprint of cabin micro-motions vs a
+// real head turn. The paper measures breathing+blinking, intense eye
+// motion, and music-driven panel vibration, and finds all of them far
+// below the head-turning signal — so ViHOT needs no special handling for
+// them (Sec. 5.3.1).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/sanitizer.h"
+#include "motion/micromotion.h"
+#include "util/angle.h"
+#include "util/stats.h"
+#include "wifi/link.h"
+
+namespace {
+
+struct Trace {
+  const char* label;
+  std::vector<double> phase;
+};
+
+}  // namespace
+
+int main() {
+  using namespace vihot;
+  util::banner(std::cout, "Fig. 15: phase variations vs micro-motions");
+  bench::paper_reference(
+      "head turning ~10x stronger than breathing+blinking, intense eye "
+      "motion, and music vibration");
+
+  const channel::CabinScene scene = channel::make_cabin_scene();
+  const channel::ChannelModel model(scene, channel::SubcarrierGrid{},
+                                    channel::HeadScatterModel{});
+  const core::CsiSanitizer sanitizer;
+  util::Rng rng(21);
+
+  const motion::BreathingModel breathing(motion::BreathingModel::Config{},
+                                         rng.fork("breath"));
+  motion::EyeMotionModel::Config eye_cfg;
+  eye_cfg.duration_s = 6.0;
+  eye_cfg.intense = true;
+  const motion::EyeMotionModel eyes(eye_cfg, rng.fork("eyes"));
+  motion::MusicVibrationModel::Config music_cfg;
+  music_cfg.playing = true;
+  const motion::MusicVibrationModel music(music_cfg, rng.fork("music"));
+
+  const auto capture_case = [&](const char* label, auto&& fill) {
+    wifi::WifiLink link(model, wifi::NoiseConfig{}, wifi::SchedulerConfig{},
+                        util::Rng(31));
+    Trace trace;
+    trace.label = label;
+    const auto cap = link.capture(0.0, 6.0, [&](double t) {
+      channel::CabinState st;
+      st.head.position = scene.driver_head_center;
+      fill(t, st);
+      return st;
+    });
+    for (const auto& m : cap) trace.phase.push_back(sanitizer.phase(m));
+    return trace;
+  };
+
+  std::vector<Trace> traces;
+  traces.push_back(capture_case(
+      "breathing+blinking", [&](double t, channel::CabinState& st) {
+        st.breathing_displacement_m = breathing.displacement_at(t);
+        st.eye_displacement_m = eyes.displacement_at(t) * 0.3;  // blinks
+      }));
+  traces.push_back(capture_case(
+      "intense eye motion", [&](double t, channel::CabinState& st) {
+        st.eye_displacement_m = eyes.displacement_at(t);
+      }));
+  traces.push_back(capture_case(
+      "music vibration", [&](double t, channel::CabinState& st) {
+        st.music_displacement_m = music.displacement_at(t);
+      }));
+  traces.push_back(capture_case(
+      "head turning", [&](double t, channel::CabinState& st) {
+        st.head.theta = 1.0 * std::sin(util::kTwoPi * 0.4 * t);
+      }));
+
+  util::Table table({"source", "phase p2p (rad)", "phase stddev (rad)"});
+  double head_p2p = 0.0;
+  double worst_micro_p2p = 0.0;
+  for (const Trace& tr : traces) {
+    const double p2p = util::max_of(tr.phase) - util::min_of(tr.phase);
+    table.add_row({tr.label, util::fmt(p2p, 3),
+                   util::fmt(util::stddev(tr.phase), 3)});
+    if (std::string(tr.label) == "head turning") {
+      head_p2p = p2p;
+    } else {
+      worst_micro_p2p = std::max(worst_micro_p2p, p2p);
+    }
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+  std::printf(
+      "\nresult: head turning is %.1fx the strongest micro-motion "
+      "(paper: an order of magnitude) -> micro-motions do not disturb "
+      "tracking\n",
+      head_p2p / std::max(worst_micro_p2p, 1e-9));
+  return 0;
+}

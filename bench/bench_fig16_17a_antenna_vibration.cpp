@@ -1,0 +1,100 @@
+// Figs. 16 & 17a reproduction: antenna vibration on bumpy roads.
+// Fig. 16: the phase trace with vibration runs near-parallel to the
+// vibration-free trace (regular, small-gap offset). Fig. 17a: tracking
+// degrades only mildly — the paper reports a ~6 deg median even with the
+// worst-case soft coil antennas.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/sanitizer.h"
+#include "motion/head_trajectory.h"
+#include "motion/vibration.h"
+#include "util/stats.h"
+#include "wifi/link.h"
+
+namespace {
+
+// Phase of one sweep with/without vibration (Fig. 16's two curves).
+std::pair<std::vector<double>, std::vector<double>> fig16_traces() {
+  using namespace vihot;
+  const channel::CabinScene scene = channel::make_cabin_scene();
+  const channel::ChannelModel model(scene, channel::SubcarrierGrid{},
+                                    channel::HeadScatterModel{});
+  const core::CsiSanitizer sanitizer;
+  motion::SweepTrajectory::Config sweep_cfg;
+  const motion::SweepTrajectory sweep(sweep_cfg, scene.driver_head_center);
+  motion::VibrationModel::Config vib_cfg;
+  vib_cfg.enabled = true;
+  vib_cfg.duration_s = 10.0;
+  const motion::VibrationModel vibration(vib_cfg, util::Rng(77));
+
+  std::pair<std::vector<double>, std::vector<double>> out;
+  for (const bool vibrate : {false, true}) {
+    wifi::WifiLink link(model, wifi::NoiseConfig{}, wifi::SchedulerConfig{},
+                        util::Rng(41));
+    const auto cap = link.capture(0.0, sweep.period(), [&](double t) {
+      channel::CabinState st;
+      st.head = sweep.at(t).pose;
+      if (vibrate) {
+        st.rx_offset[0] = vibration.rx_offset_at(0, t);
+        st.rx_offset[1] = vibration.rx_offset_at(1, t);
+        st.tx_offset = vibration.tx_offset_at(t);
+      }
+      return st;
+    });
+    auto& dst = vibrate ? out.second : out.first;
+    for (const auto& m : cap) dst.push_back(sanitizer.phase(m));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace vihot;
+  util::banner(std::cout, "Figs. 16/17a: antenna vibration");
+  bench::paper_reference(
+      "vibrating and still traces are near-parallel (small regular gap); "
+      "accuracy with worst-case coil-antenna vibration still ~6 deg "
+      "median");
+
+  const auto [still, vibrating] = fig16_traces();
+  const std::size_t n = std::min(still.size(), vibrating.size());
+  std::vector<double> gap;
+  for (std::size_t i = 0; i < n; ++i) {
+    gap.push_back(vibrating[i] - still[i]);
+  }
+  std::printf("\nFig. 16: still-vs-vibrating phase over one sweep\n");
+  std::printf("sample   still(rad)  vibrating(rad)  gap(rad)\n");
+  for (std::size_t i = 0; i < n; i += n / 10) {
+    std::printf("%6zu   %+9.3f   %+12.3f  %+8.3f\n", i, still[i],
+                vibrating[i], gap[i]);
+  }
+  std::printf(
+      "gap statistics: mean %+0.3f rad, stddev %.3f rad (parallel curves "
+      "= small stddev relative to the sweep's ~1.5 rad swing)\n",
+      util::mean(gap), util::stddev(gap));
+
+  std::printf("\nFig. 17a: tracking accuracy w/ and w/o vibration\n");
+  util::Table table = bench::error_table("condition");
+  std::vector<std::pair<std::string, sim::ErrorCollector>> curves;
+  for (const bool vibrate : {false, true}) {
+    sim::ScenarioConfig config = bench::default_config();
+    config.antenna_vibration = vibrate;
+    const sim::ExperimentResult res = bench::run(config);
+    const std::string label =
+        vibrate ? "w/ ant vibration" : "w/o ant vibration";
+    table.add_row(bench::error_row(label, res.errors));
+    curves.emplace_back(label, res.errors);
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+  for (const auto& [label, errors] : curves) {
+    bench::print_cdf(label, errors);
+  }
+  std::cout << "\nresult: vibration costs a little accuracy but the median "
+               "stays low (Fig. 17a shape)\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Fig. 17b reproduction: the driver-steering identifier. With large
+// steering events in the drive, disabling the identifier lets wheel-
+// induced CSI variation masquerade as head turns — the paper sees errors
+// up to 80 deg. Enabling it (IMU detects the body yaw, tracker falls back
+// to the camera during the turn) restores accuracy.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace vihot;
+  util::banner(std::cout, "Fig. 17b: steering identifier on/off");
+  bench::paper_reference(
+      "without the identifier errors reach ~80 deg; enabling it removes "
+      "the steering-induced tail");
+
+  util::Table table =
+      bench::error_table("condition");
+  std::vector<std::pair<std::string, sim::ErrorCollector>> curves;
+  double fallback_frac = 0.0;
+  for (const bool enabled : {false, true}) {
+    sim::ScenarioConfig config = bench::default_config();
+    config.steering_events = true;
+    config.steering.mean_turn_interval_s = 10.0;  // busy urban route
+    config.tracker.steering.enabled = enabled;
+    const sim::ExperimentResult res = bench::run(config);
+    const std::string label =
+        enabled ? "w/ steering identifier" : "w/o steering identifier";
+    table.add_row(bench::error_row(label, res.errors));
+    curves.emplace_back(label, res.errors);
+    if (enabled) fallback_frac = res.mean_fallback_fraction;
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+  for (const auto& [label, errors] : curves) {
+    bench::print_cdf(label, errors, 80.0);
+  }
+  std::cout << "\nresult: the identifier spends "
+            << util::fmt(fallback_frac * 100.0, 1)
+            << "% of estimates in camera fallback and cuts the steering "
+               "error tail (Fig. 17b shape)\n";
+  return 0;
+}

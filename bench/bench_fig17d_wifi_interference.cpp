@@ -1,0 +1,46 @@
+// Fig. 17d reproduction: nearby WiFi traffic. CSMA keeps the CSI samples
+// themselves clean, but contention drops the sampling rate from ~500 Hz
+// to ~400 Hz and stretches the worst inter-frame gap from ~34 ms to
+// ~49 ms; the resampling over those gaps is what costs accuracy — the
+// paper still reports ~10 deg median under interference.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace vihot;
+  util::banner(std::cout, "Fig. 17d: nearby WiFi traffic");
+  bench::paper_reference(
+      "rate 500 -> 400 Hz, max gap 34 -> 49 ms; median stays ~10 deg "
+      "under interference");
+
+  util::Table table({"condition", "median(deg)", "p90(deg)", "max(deg)",
+                     "csi rate(Hz)", "max gap(ms)", "n"});
+  std::vector<std::pair<std::string, sim::ErrorCollector>> curves;
+  for (const bool interference : {false, true}) {
+    sim::ScenarioConfig config = bench::default_config();
+    config.scheduler.load = interference ? wifi::ChannelLoad::kInterfering
+                                         : wifi::ChannelLoad::kClean;
+    const sim::ExperimentResult res = bench::run(config);
+    const std::string label =
+        interference ? "w/ WiFi interference" : "w/o WiFi interference";
+    table.add_row({label, util::fmt(res.errors.median_deg(), 1),
+                   util::fmt(res.errors.percentile_deg(90.0), 1),
+                   util::fmt(res.errors.max_deg(), 1),
+                   util::fmt(res.mean_csi_rate_hz, 0),
+                   util::fmt(res.max_gap_s * 1e3, 0),
+                   std::to_string(res.errors.size())});
+    curves.emplace_back(label, res.errors);
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+  for (const auto& [label, errors] : curves) {
+    bench::print_cdf(label, errors);
+  }
+  std::cout << "\nresult: interference lowers the sampling rate and "
+               "stretches gaps; accuracy degrades but stays usable "
+               "(Fig. 17d shape)\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Sampling-rate claims of Secs. 2.2 / 5 / 5.3.5:
+//   * ~500 CSI frames/s on a clean channel, max inter-frame gap ~34 ms;
+//   * ~400 Hz under interfering WiFi, max gap ~49 ms;
+//   * more than 10x the sampling rate of a conventional ~30 FPS camera.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "camera/camera_tracker.h"
+#include "dsp/resampler.h"
+#include "wifi/scheduler.h"
+
+int main() {
+  using namespace vihot;
+  util::banner(std::cout, "Sampling rate: WiFi CSI vs camera");
+  bench::paper_reference(
+      "500 Hz / 34 ms gap clean; 400 Hz / 49 ms gap under interference; "
+      ">10x over a 30 FPS camera");
+
+  util::Table table(
+      {"source", "rate(Hz)", "max gap(ms)", "vs 30FPS camera"});
+  const double camera_fps = camera::CameraTracker::Config{}.frame_rate_hz;
+
+  for (const bool busy : {false, true}) {
+    wifi::SchedulerConfig cfg;
+    cfg.load =
+        busy ? wifi::ChannelLoad::kInterfering : wifi::ChannelLoad::kClean;
+    wifi::PacketScheduler sched(cfg, util::Rng(3));
+    util::TimeSeries arrivals;
+    for (const double t : sched.arrivals(0.0, 120.0)) {
+      arrivals.push(t, 0.0);
+    }
+    const double rate = dsp::mean_rate_hz(arrivals);
+    const double gap = dsp::max_gap(arrivals);
+    table.add_row({busy ? "CSI, interfering WiFi" : "CSI, clean channel",
+                   util::fmt(rate, 0), util::fmt(gap * 1e3, 0),
+                   util::fmt(rate / camera_fps, 1) + "x"});
+  }
+  table.add_row({"camera (conventional)", util::fmt(camera_fps, 0), "33",
+                 "1.0x"});
+  std::cout << '\n';
+  table.print(std::cout);
+
+  std::cout << "\nresult: the CSI stream samples head motion more than 10x "
+               "faster than a rolling-shutter camera (the paper's "
+               "no-motion-blur argument)\n";
+  return 0;
+}

@@ -1,0 +1,123 @@
+// ADAS example: adaptive headlight steering (one of the paper's motivating
+// applications — "at a corner-side of night time, the car's headlight can
+// follow driver's head orientation before making a sharp turn to avoid
+// blind spots", Sec. 1).
+//
+// The demo profiles a driver, then replays a night drive in which the
+// driver glances into a corner before steering. A headlight controller
+// slews the beam toward the tracked head orientation (rate-limited like a
+// real actuator) and the output shows the beam anticipating the car's own
+// turn.
+//
+//   ./build/examples/adas_headlight
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/experiment.h"
+#include "util/angle.h"
+
+namespace {
+
+// A simple rate-limited beam actuator: follows the commanded angle at a
+// bounded slew rate, with a small deadband so beam jitter never reaches
+// the road.
+class HeadlightController {
+ public:
+  explicit HeadlightController(double max_slew_rad_s = 1.2,
+                               double deadband_rad = 0.05)
+      : max_slew_(max_slew_rad_s), deadband_(deadband_rad) {}
+
+  double update(double t, double commanded_rad) {
+    if (last_t_ < 0.0) {
+      last_t_ = t;
+      return beam_;
+    }
+    const double dt = t - last_t_;
+    last_t_ = t;
+    const double error = commanded_rad - beam_;
+    if (std::abs(error) < deadband_) return beam_;
+    const double step = std::clamp(error, -max_slew_ * dt, max_slew_ * dt);
+    beam_ += step;
+    return beam_;
+  }
+
+  [[nodiscard]] double beam() const { return beam_; }
+
+ private:
+  double max_slew_;
+  double deadband_;
+  double beam_ = 0.0;
+  double last_t_ = -1.0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace vihot;
+
+  std::printf("ViHOT ADAS demo: headlight follows the driver's gaze\n\n");
+
+  // Night scenario: camera trackers degrade badly at night (Sec. 2.1),
+  // which is exactly where a CSI tracker shines.
+  sim::ScenarioConfig config;
+  config.seed = 404;
+  config.runtime_duration_s = 30.0;
+  config.scan.mean_event_interval_s = 5.0;  // regular corner checks
+
+  sim::ExperimentRunner runner(config);
+  std::printf("[profiling] building the driver's CSI profile...\n");
+  const core::CsiProfile profile = runner.build_profile();
+  std::printf("[profiling] done: %zu positions\n\n", profile.size());
+
+  // Re-create the session streams (the same wiring run_session uses).
+  util::Rng rng(config.seed ^ 0x9e3779b97f4a7c15ULL);
+  const motion::HeadPositionGrid grid(config.driver.head_center,
+                                      config.num_positions,
+                                      config.position_spacing_m);
+  util::Rng chan_rng = rng.fork("channel");
+  const channel::ChannelModel channel =
+      sim::make_channel(config, 0.0, chan_rng);
+  wifi::WifiLink link(channel, config.noise, config.scheduler,
+                      rng.fork("link"));
+  sim::DriveSession session(config, grid.position(grid.count() / 2),
+                            rng.fork("drive"));
+  const auto csi = link.capture(0.0, config.runtime_duration_s, [&](double t) {
+    return session.cabin_state_at(t);
+  });
+
+  core::ViHotTracker tracker(profile, config.tracker);
+  HeadlightController headlight;
+
+  std::printf("time(s)  head true(deg)  head est(deg)  beam(deg)\n");
+  std::size_t ci = 0;
+  double beam_lead_samples = 0.0;
+  double samples = 0.0;
+  for (double t = 1.5; t < config.runtime_duration_s; t += 0.05) {
+    while (ci < csi.size() && csi[ci].t <= t) tracker.push_csi(csi[ci++]);
+    const core::TrackResult r = tracker.estimate(t);
+    const motion::HeadState truth = session.head_at(t);
+    const double beam =
+        r.valid ? headlight.update(t, r.theta_rad) : headlight.beam();
+    if (std::fmod(t, 1.0) < 0.05) {
+      std::printf("%6.1f   %13.1f  %13.1f  %9.1f\n", t,
+                  util::rad_to_deg(truth.pose.theta),
+                  r.valid ? util::rad_to_deg(r.theta_rad) : 0.0,
+                  util::rad_to_deg(beam));
+    }
+    if (std::abs(truth.pose.theta) > 0.3) {
+      // During glances: does the beam point the same way the driver looks?
+      if (beam * truth.pose.theta > 0.0) beam_lead_samples += 1.0;
+      samples += 1.0;
+    }
+  }
+
+  std::printf(
+      "\nduring corner glances the beam pointed into the driver's gaze "
+      "direction %.0f%% of the time\n",
+      samples > 0.0 ? 100.0 * beam_lead_samples / samples : 0.0);
+  std::printf("(WiFi sensing is light-independent: this works at night, "
+              "where camera trackers degrade ~7x — see "
+              "bench_baseline_comparison)\n");
+  return 0;
+}

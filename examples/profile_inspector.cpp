@@ -1,0 +1,81 @@
+// Profile inspector: dump a driver's CSI profile in human-readable form.
+//
+// Prints, per profiled head position: the fingerprint phase (Eq. 4's
+// phi0_c(i)), the phase range covered by the sweep, and an ASCII rendering
+// of the phase-vs-orientation curve (the Fig. 3 relation). Useful both to
+// sanity-check a freshly built profile and to see why the curves are
+// non-injective.
+//
+//   ./build/examples/profile_inspector [position_index]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/experiment.h"
+#include "util/angle.h"
+#include "util/stats.h"
+
+namespace {
+
+// Renders theta (x) vs phase (y) as a scatter over a character grid.
+void render_curve(const vihot::core::PositionProfile& p) {
+  constexpr int kW = 72;
+  constexpr int kH = 21;
+  char grid[kH][kW + 1];
+  for (auto& row : grid) {
+    for (int c = 0; c < kW; ++c) row[c] = ' ';
+    row[kW] = '\0';
+  }
+  const double phi_lo = vihot::util::min_of(p.csi.values);
+  const double phi_hi = vihot::util::max_of(p.csi.values);
+  const double th_lo = vihot::util::min_of(p.orientation.values);
+  const double th_hi = vihot::util::max_of(p.orientation.values);
+  if (phi_hi <= phi_lo || th_hi <= th_lo) return;
+  for (std::size_t k = 0; k < p.csi.size(); ++k) {
+    const int col = static_cast<int>((p.orientation.values[k] - th_lo) /
+                                     (th_hi - th_lo) * (kW - 1));
+    const int row = static_cast<int>((phi_hi - p.csi.values[k]) /
+                                     (phi_hi - phi_lo) * (kH - 1));
+    grid[row][col] = '*';
+  }
+  std::printf("  phase %+.2f rad\n", phi_hi);
+  for (const auto& row : grid) std::printf("  |%s\n", row);
+  std::printf("  phase %+.2f rad\n", phi_lo);
+  std::printf("  theta: %+.0f deg ... %+.0f deg\n",
+              vihot::util::rad_to_deg(th_lo), vihot::util::rad_to_deg(th_hi));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vihot;
+
+  sim::ScenarioConfig config;
+  config.seed = 7;
+  sim::ExperimentRunner runner(config);
+  const core::CsiProfile profile = runner.build_profile();
+
+  std::printf("profile: %zu positions, grid %.0f Hz, reference %+.3f rad\n\n",
+              profile.size(), profile.sample_rate_hz,
+              profile.reference_phase);
+
+  std::printf("%-10s %-14s %-12s %-12s %s\n", "position", "fingerprint",
+              "phase min", "phase max", "samples");
+  for (const core::PositionProfile& p : profile.positions) {
+    std::printf("%-10zu %+.3f rad     %+.3f rad   %+.3f rad   %zu\n",
+                p.position_index, p.fingerprint_phase,
+                util::min_of(p.csi.values), util::max_of(p.csi.values),
+                p.csi.size());
+  }
+
+  const std::size_t show =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1]))
+               : profile.size() / 2;
+  if (show < profile.size()) {
+    std::printf("\nphase-vs-orientation curve at position %zu "
+                "(the Fig. 3 relation):\n", show);
+    render_curve(profile.positions[show]);
+  }
+  return 0;
+}

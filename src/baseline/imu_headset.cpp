@@ -1,0 +1,8 @@
+#include "baseline/imu_headset.h"
+
+namespace vihot::baseline {
+
+ImuHeadsetTracker::ImuHeadsetTracker(Config config, util::Rng rng)
+    : config_(config), rng_(std::move(rng)) {}
+
+}  // namespace vihot::baseline

@@ -1,0 +1,68 @@
+// Wearable IMU-headset baseline (Sec. 1 / Sec. 2.1).
+//
+// A headset gyro measures head rotation in the INERTIAL frame: when the
+// car itself turns, the headset cannot distinguish the body yaw of the
+// vehicle from a head turn ("the IMU sensors in the headset are interfered
+// by the vehicle steering [7]"). Integrating the gyro also accumulates
+// bias drift. This baseline makes both artifacts measurable so the benches
+// can show why ViHOT does not simply strap an IMU to the driver.
+#pragma once
+
+#include "motion/car.h"
+#include "motion/head_trajectory.h"
+#include "motion/steering.h"
+#include "util/rng.h"
+#include "util/time_series.h"
+
+namespace vihot::baseline {
+
+/// Dead-reckoning head tracker from a simulated headset gyro.
+class ImuHeadsetTracker {
+ public:
+  struct Config {
+    double rate_hz = 200.0;
+    double gyro_noise_std = 0.004;  ///< rad/s per sample
+    double gyro_bias = 0.004;       ///< rad/s uncompensated bias
+    /// If true, subtract the car yaw measured by a SECOND (phone) IMU —
+    /// the obvious fix, which still leaves doubled noise and both biases.
+    bool compensate_car_yaw = false;
+  };
+
+  ImuHeadsetTracker(Config config, util::Rng rng);
+
+  /// Integrates the headset gyro over [t0, t1] against ground truth
+  /// motion and the car's own rotation; returns the estimated orientation
+  /// series (rad).
+  template <typename TrajectoryFn>
+  [[nodiscard]] util::TimeSeries track(double t0, double t1,
+                                       TrajectoryFn&& truth_at,
+                                       const motion::CarDynamics& car,
+                                       const motion::SteeringModel& steering) {
+    util::TimeSeries out;
+    const double dt = 1.0 / config_.rate_hz;
+    double theta_hat = truth_at(t0).pose.theta;  // calibrated at start
+    for (double t = t0; t <= t1; t += dt) {
+      const motion::HeadState truth = truth_at(t);
+      const double car_yaw = car.at(t, steering).yaw_rate_rad_s;
+      // The headset senses head-relative-to-world = head-relative-to-car
+      // + car-relative-to-world.
+      double rate = truth.theta_dot + car_yaw + config_.gyro_bias +
+                    rng_.normal(0.0, config_.gyro_noise_std);
+      if (config_.compensate_car_yaw) {
+        // Phone IMU estimate of the car yaw: its own bias and noise.
+        rate -= car_yaw + 0.002 + rng_.normal(0.0, 0.006);
+      }
+      theta_hat += rate * dt;
+      out.push(t, theta_hat);
+    }
+    return out;
+  }
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+  util::Rng rng_;
+};
+
+}  // namespace vihot::baseline

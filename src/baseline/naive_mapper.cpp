@@ -1,0 +1,36 @@
+#include "baseline/naive_mapper.h"
+
+#include <cmath>
+
+namespace vihot::baseline {
+
+double NaiveMapper::estimate(const core::PositionProfile& position,
+                             double relative_phase) noexcept {
+  if (position.csi.empty()) return 0.0;
+  std::size_t best = 0;
+  double best_d = std::abs(position.csi.values[0] - relative_phase);
+  for (std::size_t k = 1; k < position.csi.size(); ++k) {
+    const double d = std::abs(position.csi.values[k] - relative_phase);
+    if (d < best_d) {
+      best_d = d;
+      best = k;
+    }
+  }
+  return position.orientation.values[best];
+}
+
+std::size_t NaiveMapper::preimage_count(
+    const core::PositionProfile& position, double relative_phase,
+    double tolerance_rad) noexcept {
+  std::size_t runs = 0;
+  bool in_run = false;
+  for (std::size_t k = 0; k < position.csi.size(); ++k) {
+    const bool close =
+        std::abs(position.csi.values[k] - relative_phase) <= tolerance_rad;
+    if (close && !in_run) ++runs;
+    in_run = close;
+  }
+  return runs;
+}
+
+}  // namespace vihot::baseline

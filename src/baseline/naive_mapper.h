@@ -1,0 +1,34 @@
+// Naive single-point inverse mapping — the strawman of Sec. 3.4.2.
+//
+// Eq. (5) hopes for theta = R(phi): look the current phase value up in the
+// profiled curve and read off the orientation. The paper shows R is not
+// injective (Fig. 3): the same phase recurs at several orientations within
+// one sweep, so this estimator picks arbitrarily among the pre-images and
+// produces large errors exactly where branches of the curve cross. It
+// exists here as the baseline demonstrating why Algorithm 1 matches a
+// *series* instead of a point.
+#pragma once
+
+#include "core/profile.h"
+
+namespace vihot::baseline {
+
+/// Point-lookup orientation estimator.
+class NaiveMapper {
+ public:
+  /// `relative_phase` is a single sanitized phase reading (anchored the
+  /// same way as the profile). Returns the orientation labelled at the
+  /// profile sample whose phase is nearest — the first such sample when
+  /// several branches tie, which is what makes it fail.
+  [[nodiscard]] static double estimate(const core::PositionProfile& position,
+                                       double relative_phase) noexcept;
+
+  /// Number of distinct pre-images of `relative_phase` in the profile
+  /// (within `tolerance_rad`), counting one per contiguous run. A value
+  /// > 1 certifies non-injectivity at this phase (Sec. 2.3).
+  [[nodiscard]] static std::size_t preimage_count(
+      const core::PositionProfile& position, double relative_phase,
+      double tolerance_rad = 0.03) noexcept;
+};
+
+}  // namespace vihot::baseline

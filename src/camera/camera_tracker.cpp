@@ -1,0 +1,48 @@
+#include "camera/camera_tracker.h"
+
+#include <cmath>
+
+namespace vihot::camera {
+
+CameraTracker::CameraTracker(Config config, util::Rng rng)
+    : config_(config), rng_(std::move(rng)) {}
+
+double CameraTracker::lighting_penalty() const noexcept {
+  switch (config_.lighting) {
+    case Lighting::kDaylight:
+      return 1.0;
+    case Lighting::kDusk:
+      return 2.5;
+    case Lighting::kNight:
+      return 7.0;  // landmark fits barely converge in the dark
+  }
+  return 1.0;
+}
+
+CameraTracker::Estimate CameraTracker::process_frame(
+    double t_exposure, const motion::HeadState& truth) {
+  Estimate e;
+  e.t = t_exposure + config_.latency_s;
+
+  // Motion within one frame interval: the rolling shutter smears the face
+  // across the exposure, inflating the landmark error (motion blur).
+  const double per_frame_motion =
+      std::abs(truth.theta_dot) / config_.frame_rate_hz;
+
+  if (per_frame_motion > config_.lost_track_rad &&
+      rng_.chance(config_.lost_track_prob)) {
+    // Face lost: FaceRig-style temporary track loss on a fast turn.
+    e.valid = false;
+    return e;
+  }
+
+  const double sigma =
+      (config_.base_error_std +
+       config_.blur_error_per_rad * per_frame_motion) *
+      lighting_penalty();
+  e.theta = truth.pose.theta + rng_.normal(0.0, sigma);
+  e.valid = true;
+  return e;
+}
+
+}  // namespace vihot::camera

@@ -1,0 +1,78 @@
+// Simulated camera-based head tracker.
+//
+// Serves three roles from the paper:
+//  * profiling ground-truth provider (Sec. 3.3: the phone's front camera
+//    labels the CSI stream; the head is turned slowly on purpose so the
+//    camera stays accurate),
+//  * the fallback tracker during sharp turns (Sec. 3.6.2, dlib in the
+//    prototype),
+//  * the conventional baseline ViHOT is compared against (Sec. 2.1): a
+//    rolling-shutter camera at ~30 FPS with motion blur that grows with
+//    angular speed, degraded frame quality at night, and processing
+//    latency.
+#pragma once
+
+#include "motion/head_trajectory.h"
+#include "util/rng.h"
+#include "util/time_series.h"
+
+namespace vihot::camera {
+
+/// Lighting regimes (Sec. 2.1: cabin brightness varies wildly; typical
+/// cameras degrade in the dark).
+enum class Lighting { kDaylight, kDusk, kNight };
+
+/// Camera + face-landmark pipeline model.
+class CameraTracker {
+ public:
+  struct Config {
+    double frame_rate_hz = 30.0;
+    /// Base angular error of the landmark fit at standstill (rad).
+    double base_error_std = 0.02;  // ~1.1 deg
+    /// Motion blur: extra error proportional to degrees moved per frame.
+    double blur_error_per_rad = 0.25;
+    /// Processing latency between exposure and pose output (Sec. 2.1:
+    /// image processing is heavy next to 1D series matching).
+    double latency_s = 0.045;
+    /// Probability of losing the face entirely for one frame when the
+    /// per-frame motion exceeds `lost_track_rad` (FaceRig-style dropout).
+    double lost_track_rad = 0.5;
+    double lost_track_prob = 0.5;
+    Lighting lighting = Lighting::kDaylight;
+  };
+
+  CameraTracker(Config config, util::Rng rng);
+
+  /// One pose estimate from a frame exposed at time t. Returns false if
+  /// the tracker lost the face for this frame.
+  struct Estimate {
+    double t = 0.0;        ///< when the estimate becomes available
+    double theta = 0.0;    ///< estimated head orientation (rad)
+    bool valid = false;
+  };
+  [[nodiscard]] Estimate process_frame(double t_exposure,
+                                       const motion::HeadState& truth);
+
+  /// Runs the camera over [t0, t1) against a ground-truth trajectory.
+  template <typename TrajectoryFn>
+  [[nodiscard]] std::vector<Estimate> capture(double t0, double t1,
+                                              TrajectoryFn&& truth_at) {
+    std::vector<Estimate> out;
+    const double dt = 1.0 / config_.frame_rate_hz;
+    for (double t = t0; t < t1; t += dt) {
+      out.push_back(process_frame(t, truth_at(t)));
+    }
+    return out;
+  }
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  /// Error multiplier for the configured lighting.
+  [[nodiscard]] double lighting_penalty() const noexcept;
+
+  Config config_;
+  util::Rng rng_;
+};
+
+}  // namespace vihot::camera

@@ -1,0 +1,131 @@
+#include "channel/cabin.h"
+
+#include <cmath>
+
+#include "channel/subcarrier.h"
+#include "util/angle.h"
+
+namespace vihot::channel {
+
+std::string to_string(AntennaLayout layout) {
+  switch (layout) {
+    case AntennaLayout::kHeadrestSplit:
+      return "Layout 1 (headrest NLOS + dash LOS)";
+    case AntennaLayout::kCenterConsole:
+      return "Layout 2 (center console pair)";
+    case AntennaLayout::kRearDeck:
+      return "Layout 3 (rear deck pair)";
+    case AntennaLayout::kDashPair:
+      return "Layout 4 (dash left + dash right)";
+    case AntennaLayout::kPassengerSide:
+      return "Layout 5 (passenger-side pair)";
+  }
+  return "Layout ?";
+}
+
+std::vector<AntennaLayout> all_layouts() {
+  return {AntennaLayout::kHeadrestSplit, AntennaLayout::kCenterConsole,
+          AntennaLayout::kRearDeck, AntennaLayout::kDashPair,
+          AntennaLayout::kPassengerSide};
+}
+
+namespace {
+
+std::vector<StaticReflector> default_static_reflectors() {
+  return {
+      // Rear-view mirror: metal-backed, close to the LOS.
+      {{0.0, 0.70, 1.30}, 0.22, 0.0},
+      // Driver seat frame behind the driver.
+      {{-0.36, -0.45, 0.80}, 0.30, 0.0},
+      // Passenger seat frame.
+      {{0.36, -0.45, 0.80}, 0.25, 0.0},
+      // Center console / gear area.
+      {{0.0, 0.20, 0.70}, 0.18, 0.0},
+      // Door speaker panel, vibrates when music plays (Sec. 5.3.1).
+      {{-0.70, 0.20, 0.90}, 0.20, 1.0},
+      // Windshield lower frame.
+      {{0.0, 0.95, 1.10}, 0.15, 0.0},
+  };
+}
+
+// Per-layout RX antennas. `los_amplitude`/`head_amplitude` encode how the
+// placement trades LOS exposure against head-reflection exposure — the
+// mechanism Sec. 5.2.2 identifies as the reason Layout 1 wins: one antenna
+// should be dominated by the head reflection (blocked LOS) and the other by
+// a clean LOS, so the two-antenna phase difference retains the head signal.
+std::array<RxAntenna, 2> rx_for(AntennaLayout layout) {
+  switch (layout) {
+    case AntennaLayout::kHeadrestSplit:
+      return {{
+          // Antenna A on the driver-side B-pillar just behind the head:
+          // the head blocks its LOS to the phone, and its lateral offset
+          // keeps the head-reflection path length sensitive to both the
+          // lateral and longitudinal scatter-center motion.
+          {{-0.68, -0.15, 1.05}, 0.35, 0.40},
+          // Antenna B high on the dash, clear LOS, weak head echo.
+          {{0.10, 0.80, 1.15}, 1.00, 0.15},
+      }};
+    case AntennaLayout::kCenterConsole:
+      return {{
+          // Both see the LOS and similar moderate head echoes; the
+          // difference cancels much of the head modulation.
+          {{0.02, 0.25, 0.75}, 0.60, 0.50},
+          {{-0.02, 0.15, 0.75}, 0.95, 0.22},
+      }};
+    case AntennaLayout::kRearDeck:
+      return {{
+          // Far from the phone: weak everything, poor SNR.
+          {{-0.25, -0.90, 1.05}, 0.35, 0.40},
+          {{0.25, -0.90, 1.05}, 0.40, 0.22},
+      }};
+    case AntennaLayout::kDashPair:
+      return {{
+          // Split across the dash: decent LOS asymmetry, some head signal.
+          {{-0.55, 0.80, 1.05}, 0.50, 0.42},
+          {{0.45, 0.80, 1.05}, 1.00, 0.12},
+      }};
+    case AntennaLayout::kPassengerSide:
+      return {{
+          // Both on the passenger side, nearly co-located: the phase
+          // difference nearly cancels the head echo entirely.
+          {{0.48, 0.45, 1.00}, 0.95, 0.16},
+          {{0.52, 0.40, 1.00}, 0.95, 0.14},
+      }};
+  }
+  return {};
+}
+
+}  // namespace
+
+CabinScene make_cabin_scene(AntennaLayout layout) {
+  CabinScene scene;
+  scene.rx = rx_for(layout);
+  scene.static_reflectors = default_static_reflectors();
+  return scene;
+}
+
+std::vector<std::complex<double>> passenger_null_ratio(
+    const CabinScene& scene, const SubcarrierGrid& grid) {
+  // Path lengths of the passenger bounce at each antenna.
+  const double d_tx =
+      geom::distance(scene.tx_position, scene.passenger_head_center);
+  const double d_rx0 =
+      geom::distance(scene.passenger_head_center, scene.rx[0].position);
+  const double d_rx1 =
+      geom::distance(scene.passenger_head_center, scene.rx[1].position);
+  const double len0 = d_tx + d_rx0;
+  const double len1 = d_tx + d_rx1;
+  // Amplitude ratio of the bounce at the two antennas (inverse-square
+  // spreading over the total path, as in the synthesizer).
+  const double amp_ratio = (len1 * len1) / (len0 * len0);
+
+  std::vector<std::complex<double>> out;
+  out.reserve(grid.size());
+  for (std::size_t f = 0; f < grid.size(); ++f) {
+    const double dphi = util::kTwoPi * (len0 - len1) / grid.wavelength(f);
+    out.push_back(std::polar(amp_ratio, dphi));
+  }
+  return out;
+}
+
+}  // namespace vihot::channel

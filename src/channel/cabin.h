@@ -1,0 +1,98 @@
+// Cabin geometry: where the phone (TX), the RX antennas, the driver, the
+// passenger, the steering wheel, and the static reflectors sit.
+//
+// Sec. 5.2.2 evaluates five RX antenna placements; Layout 1 (Fig. 9) is the
+// paper's recommended one: one antenna's line-of-sight to the phone is
+// blocked by the driver's head (so its phase is dominated by the head
+// reflection) while the other keeps a clear LOS (so it acts as the stable
+// phase reference after the two-antenna difference of Sec. 3.2).
+#pragma once
+
+#include <array>
+#include <complex>
+#include <string>
+#include <vector>
+
+#include "geom/antenna_pattern.h"
+#include "geom/vec3.h"
+
+namespace vihot::channel {
+
+/// The five RX antenna placement layouts of Fig. 12.
+enum class AntennaLayout {
+  kHeadrestSplit = 1,   ///< Layout 1 (Fig. 9): NLOS @ headrest + LOS @ dash
+  kCenterConsole = 2,   ///< Layout 2: both antennas on the center console
+  kRearDeck = 3,        ///< Layout 3: both near the rear deck
+  kDashPair = 4,        ///< Layout 4: dash left + dash right
+  kPassengerSide = 5,   ///< Layout 5: both close together, passenger side
+};
+
+[[nodiscard]] std::string to_string(AntennaLayout layout);
+
+/// A stationary single-bounce reflector in the cabin (seat frames, B-pillar
+/// trim, rear-view mirror, ...). Footnote 2 of the paper: these can even be
+/// metal with strong reflection — what matters is that they do not move.
+struct StaticReflector {
+  geom::Vec3 position;
+  double reflectivity = 0.2;  ///< amplitude coefficient
+  /// Some surfaces carry micro-vibrations (music playing, Sec. 5.3.1);
+  /// a nonzero gain couples the music displacement into this path length.
+  double music_coupling = 0.0;
+};
+
+/// One RX antenna: position plus how strongly it hears the head-reflection
+/// and LOS paths (encodes LOS blockage by the driver's head per layout).
+struct RxAntenna {
+  geom::Vec3 position;
+  double los_amplitude = 1.0;   ///< direct-path amplitude coefficient
+  double head_amplitude = 1.0;  ///< head-reflection amplitude coefficient
+};
+
+/// Full cabin scene. Distances are meters in the cabin frame (see vec3.h).
+struct CabinScene {
+  /// Phone on the dashboard in front of the driver (WiFi TX).
+  geom::Vec3 tx_position{-0.36, 0.75, 1.00};
+  /// Phone antenna wire axis. ViHOT's placement rule (Sec. 3.5): the
+  /// short edge — the pattern null — points AT the passenger's head, so
+  /// the axis follows the tx->passenger direction (not just +x).
+  geom::Vec3 tx_antenna_axis{0.72, -0.65, 0.15};
+  double tx_pattern_floor = 0.03;
+
+  /// Driver head center when sitting naturally (theta = 0).
+  geom::Vec3 driver_head_center{-0.36, 0.10, 1.18};
+  /// Driver torso (breathing reflector).
+  geom::Vec3 driver_torso{-0.36, 0.05, 0.95};
+
+  geom::Vec3 passenger_head_center{0.36, 0.10, 1.15};
+  geom::Vec3 steering_wheel_center{-0.36, 0.55, 0.95};
+  double steering_wheel_radius = 0.19;
+
+  std::array<RxAntenna, 2> rx{};
+
+  std::vector<StaticReflector> static_reflectors;
+
+  /// TX pattern built from the scene's axis/floor settings.
+  [[nodiscard]] geom::DipolePattern tx_pattern() const {
+    return geom::DipolePattern(tx_antenna_axis, tx_pattern_floor);
+  }
+};
+
+/// Builds the default Camry-like scene for a given antenna layout.
+[[nodiscard]] CabinScene make_cabin_scene(
+    AntennaLayout layout = AntennaLayout::kHeadrestSplit);
+
+/// All layouts, in figure order, for the placement sweep bench.
+[[nodiscard]] std::vector<AntennaLayout> all_layouts();
+
+/// Per-subcarrier complex ratio r_f between the passenger-reflection
+/// path's response at RX antenna 0 and antenna 1. The combination
+/// y_f = h0_f - r_f * h1_f nulls the passenger's single-bounce
+/// contribution (Sec. 7's "RX beamforming to filter passenger
+/// movements"), while head and static paths — whose inter-antenna ratios
+/// differ — survive. Forward-declared here; defined with the scene
+/// geometry in cabin.cpp.
+class SubcarrierGrid;
+[[nodiscard]] std::vector<std::complex<double>> passenger_null_ratio(
+    const CabinScene& scene, const SubcarrierGrid& grid);
+
+}  // namespace vihot::channel

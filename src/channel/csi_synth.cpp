@@ -1,0 +1,179 @@
+#include "channel/csi_synth.h"
+
+#include <cmath>
+
+#include "util/angle.h"
+
+namespace vihot::channel {
+
+namespace {
+
+// Horizontal unit vector at angle alpha (0 = +y, positive toward +x),
+// matching the head-orientation convention of geom/pose.h.
+geom::Vec3 horizontal_dir(double alpha) noexcept {
+  return {std::sin(alpha), std::cos(alpha), 0.0};
+}
+
+// Amplitude of a single-bounce path: reflectivity scaled by the TX pattern
+// gain toward the reflector and an inverse-square spreading over the total
+// path length. Units are arbitrary but consistent across paths, which is
+// all the phase-of-sum needs.
+double bounce_amplitude(double reflectivity, double tx_gain, double d1,
+                        double d2) noexcept {
+  const double total = d1 + d2;
+  return reflectivity * tx_gain / (total * total);
+}
+
+}  // namespace
+
+ChannelModel::ChannelModel(CabinScene scene, SubcarrierGrid grid,
+                           HeadScatterModel head_model)
+    : scene_(std::move(scene)),
+      grid_(std::move(grid)),
+      head_model_(head_model),
+      tx_pattern_(scene_.tx_pattern()) {}
+
+geom::Vec3 ChannelModel::head_scatter_center(
+    const geom::HeadPose& head) const noexcept {
+  // First harmonic: the face side facing theta scatters dominantly.
+  // Second harmonic: left/right ear symmetry adds a 2-theta term that makes
+  // the path length (and hence the phase) non-monotonic in theta.
+  const geom::Vec3 first =
+      head_model_.primary_offset_m * horizontal_dir(head.theta);
+  const geom::Vec3 second =
+      head_model_.secondary_offset_m *
+      horizontal_dir(2.0 * head.theta + head_model_.secondary_phase_rad);
+  // Third harmonic: nose/chin/ear fine structure. Its role is to break
+  // "twin branch" degeneracies — far-apart orientations whose phase level
+  // AND local slope coincide, which no windowed matcher could tell apart.
+  const geom::Vec3 third =
+      head_model_.tertiary_offset_m *
+      horizontal_dir(3.0 * head.theta + head_model_.tertiary_phase_rad);
+  return head.position + first + second + third;
+}
+
+double ChannelModel::head_path_length(const geom::HeadPose& head,
+                                      std::size_t rx) const noexcept {
+  const geom::Vec3 s = head_scatter_center(head);
+  return geom::distance(scene_.tx_position, s) +
+         geom::distance(s, scene_.rx[rx].position);
+}
+
+std::vector<ChannelModel::PathContribution> ChannelModel::paths_for(
+    const CabinState& state, std::size_t rx) const {
+  std::vector<PathContribution> paths;
+  paths.reserve(8 + scene_.static_reflectors.size());
+
+  const geom::Vec3 tx = scene_.tx_position + state.tx_offset;
+  const geom::Vec3 rx_pos = scene_.rx[rx].position + state.rx_offset[rx];
+  const RxAntenna& ant = scene_.rx[rx];
+
+  // 1. Line-of-sight path (attenuated when the driver's head blocks it —
+  //    encoded per layout in RxAntenna::los_amplitude).
+  {
+    const double d = geom::distance(tx, rx_pos);
+    const double gain = tx_pattern_.amplitude_gain(rx_pos - tx);
+    paths.push_back({d, ant.los_amplitude * gain / (d * d)});
+  }
+
+  // 2. Driver head reflection — the tracked signal.
+  {
+    const geom::Vec3 s = head_scatter_center(state.head);
+    const double d1 = geom::distance(tx, s);
+    const double d2 = geom::distance(s, rx_pos);
+    const double gain = tx_pattern_.amplitude_gain(s - tx);
+    paths.push_back({d1 + d2, ant.head_amplitude *
+                                  bounce_amplitude(head_model_.reflectivity,
+                                                   gain, d1, d2)});
+  }
+
+  // 3. Hands on the steering wheel. The grip point rides the rim; turning
+  //    the wheel sweeps it along the rim circle (Sec. 3.6, Fig. 8).
+  {
+    const double a = state.steering_rim_angle;
+    const geom::Vec3 rim =
+        scene_.steering_wheel_center +
+        scene_.steering_wheel_radius *
+            geom::Vec3{std::sin(a) * 0.22, 0.05 * std::sin(a),
+                       std::cos(a)};
+    const double d1 = geom::distance(tx, rim);
+    const double d2 = geom::distance(rim, rx_pos);
+    const double gain = tx_pattern_.amplitude_gain(rim - tx);
+    // Hands/wheel reflect weakly next to the head (small RCS, partly
+    // shadowed by the dash), or micro-corrections would drown the signal.
+    paths.push_back({d1 + d2, bounce_amplitude(0.22, gain, d1, d2)});
+  }
+
+  // 4. Front passenger (Sec. 3.5). The TX dipole null points at the
+  //    passenger, so `gain` is small under the recommended placement.
+  if (state.passenger_present) {
+    const geom::Vec3 s =
+        scene_.passenger_head_center +
+        0.03 * horizontal_dir(state.passenger_theta);
+    const double d1 = geom::distance(tx, s);
+    const double d2 = geom::distance(s, rx_pos);
+    const double gain = tx_pattern_.amplitude_gain(s - tx);
+    paths.push_back({d1 + d2, bounce_amplitude(0.7, gain, d1, d2)});
+  }
+
+  // 5. Driver torso: breathing moves the chest along +y.
+  {
+    const geom::Vec3 chest =
+        scene_.driver_torso +
+        geom::Vec3{0.0, state.breathing_displacement_m, 0.0};
+    const double d1 = geom::distance(tx, chest);
+    const double d2 = geom::distance(chest, rx_pos);
+    const double gain = tx_pattern_.amplitude_gain(chest - tx);
+    // Clothing absorbs most of the incident power; the chest echo is far
+    // weaker than the head echo (consistent with the small breathing
+    // footprint of Fig. 15).
+    paths.push_back({d1 + d2, bounce_amplitude(0.03, gain, d1, d2)});
+  }
+
+  // 6. Eye / eyelid micro-scatterer near the face (Sec. 5.3.1): tiny
+  //    reflective area, mm-scale displacement.
+  if (state.eye_displacement_m != 0.0) {
+    const geom::Vec3 eye =
+        state.head.position +
+        geom::Vec3{0.0, 0.08 + state.eye_displacement_m, 0.0};
+    const double d1 = geom::distance(tx, eye);
+    const double d2 = geom::distance(eye, rx_pos);
+    const double gain = tx_pattern_.amplitude_gain(eye - tx);
+    paths.push_back({d1 + d2, bounce_amplitude(0.04, gain, d1, d2)});
+  }
+
+  // 7. Static cabin reflectors (plus the music-vibrating panel).
+  for (const StaticReflector& r : scene_.static_reflectors) {
+    geom::Vec3 p = r.position;
+    if (r.music_coupling != 0.0) {
+      p += geom::Vec3{r.music_coupling * state.music_displacement_m, 0.0,
+                      0.0};
+    }
+    const double d1 = geom::distance(tx, p);
+    const double d2 = geom::distance(p, rx_pos);
+    const double gain = tx_pattern_.amplitude_gain(p - tx);
+    paths.push_back({d1 + d2, bounce_amplitude(r.reflectivity, gain, d1, d2)});
+  }
+
+  return paths;
+}
+
+CsiMatrix ChannelModel::csi(const CabinState& state) const {
+  CsiMatrix out;
+  const std::size_t nsc = grid_.size();
+  for (std::size_t rx = 0; rx < 2; ++rx) {
+    auto& row = out.h[rx];
+    row.assign(nsc, {0.0, 0.0});
+    const auto paths = paths_for(state, rx);
+    for (const PathContribution& p : paths) {
+      for (std::size_t f = 0; f < nsc; ++f) {
+        const double phase =
+            util::kTwoPi * p.length_m / grid_.wavelength(f);
+        row[f] += std::polar(p.amplitude, phase);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace vihot::channel

@@ -1,0 +1,108 @@
+// CSI synthesizer: the multipath channel model of Eq. (1),
+//
+//   H_f(t) = sum_k A_k(t) * exp(j * 2*pi * d_k(t) / lambda_f),
+//
+// evaluated over the cabin's path inventory for each RX antenna and
+// subcarrier. The time-varying path lengths d_k(t) come from the dynamic
+// cabin state: the driver's head pose (the signal ViHOT tracks), plus the
+// interference sources the paper studies — hands on the steering wheel
+// (Sec. 3.6), the front passenger (Sec. 3.5), micro-motions (Sec. 5.3.1),
+// and antenna vibration on bumpy roads (Sec. 5.3.2).
+#pragma once
+
+#include <array>
+#include <complex>
+#include <vector>
+
+#include "channel/cabin.h"
+#include "channel/subcarrier.h"
+#include "geom/pose.h"
+#include "geom/vec3.h"
+
+namespace vihot::channel {
+
+/// How the head scatters RF as it rotates. The effective scattering center
+/// of a human head is orientation-dependent (the face, ears and occiput
+/// reflect differently), which we model as a first- plus second-harmonic
+/// offset of the scattering center in the horizontal plane. The second
+/// harmonic is what makes the phase-orientation map non-injective within a
+/// single sweep — the core difficulty motivating ViHOT's series matching
+/// (Sec. 2.3, Fig. 3).
+struct HeadScatterModel {
+  double reflectivity = 0.85;
+  double primary_offset_m = 0.045;   ///< first-harmonic center shift
+  double secondary_offset_m = 0.032; ///< second-harmonic center shift
+  double secondary_phase_rad = -0.4; ///< phase of the second harmonic
+  double tertiary_offset_m = 0.0;    ///< third-harmonic center shift
+  double tertiary_phase_rad = 0.0;   ///< phase of the third harmonic
+};
+
+/// All time-varying quantities the channel depends on at one instant.
+struct CabinState {
+  geom::HeadPose head;  ///< driver head position & orientation
+
+  /// Angular position of the hands on the steering wheel rim, relative to
+  /// the straight-ahead grip (rad). Turning the wheel moves the hands.
+  double steering_rim_angle = 0.0;
+
+  bool passenger_present = false;
+  double passenger_theta = 0.0;  ///< passenger head orientation (rad)
+
+  double breathing_displacement_m = 0.0;  ///< driver chest excursion
+  double music_displacement_m = 0.0;      ///< vibrating-panel excursion
+  double eye_displacement_m = 0.0;        ///< eye/eyelid micro-scatterer
+
+  /// Antenna displacement from road vibration (Sec. 5.3.2).
+  std::array<geom::Vec3, 2> rx_offset{};
+  geom::Vec3 tx_offset{};
+};
+
+/// Noise-free CSI of one packet: h[antenna][subcarrier].
+struct CsiMatrix {
+  std::array<std::vector<std::complex<double>>, 2> h;
+  [[nodiscard]] std::size_t num_subcarriers() const noexcept {
+    return h[0].size();
+  }
+};
+
+/// Evaluates Eq. (1) for a cabin scene.
+class ChannelModel {
+ public:
+  ChannelModel(CabinScene scene, SubcarrierGrid grid,
+               HeadScatterModel head_model = {});
+
+  /// Clean (pre-hardware-noise) CSI for the given cabin state.
+  [[nodiscard]] CsiMatrix csi(const CabinState& state) const;
+
+  /// The orientation-dependent scattering center of the driver's head.
+  /// Exposed for tests and geometry diagnostics.
+  [[nodiscard]] geom::Vec3 head_scatter_center(
+      const geom::HeadPose& head) const noexcept;
+
+  /// Head-reflection path length to RX antenna `rx` (diagnostic).
+  [[nodiscard]] double head_path_length(const geom::HeadPose& head,
+                                        std::size_t rx) const noexcept;
+
+  [[nodiscard]] const CabinScene& scene() const noexcept { return scene_; }
+  [[nodiscard]] const SubcarrierGrid& grid() const noexcept { return grid_; }
+  [[nodiscard]] const HeadScatterModel& head_model() const noexcept {
+    return head_model_;
+  }
+
+ private:
+  struct PathContribution {
+    double length_m;
+    double amplitude;
+  };
+
+  /// Collects every propagation path for one RX antenna at one instant.
+  [[nodiscard]] std::vector<PathContribution> paths_for(
+      const CabinState& state, std::size_t rx) const;
+
+  CabinScene scene_;
+  SubcarrierGrid grid_;
+  HeadScatterModel head_model_;
+  geom::DipolePattern tx_pattern_;
+};
+
+}  // namespace vihot::channel

@@ -1,0 +1,29 @@
+#include "channel/subcarrier.h"
+
+namespace vihot::channel {
+
+SubcarrierGrid::SubcarrierGrid(const SubcarrierConfig& config)
+    : config_(config) {
+  const std::size_t n = config.num_subcarriers;
+  freqs_.reserve(n);
+  lambdas_.reserve(n);
+  indices_.reserve(n);
+  // Spread the reported subcarriers evenly over the occupied band
+  // (+-bandwidth * 28/64 around the center, mirroring the 802.11n
+  // -28..+28 data/pilot span).
+  const double span = config.bandwidth_hz *
+                      (28.0 * 2.0) / static_cast<double>(config.fft_size);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double frac =
+        (n == 1) ? 0.5
+                 : static_cast<double>(i) / static_cast<double>(n - 1);
+    const double offset = (frac - 0.5) * span;
+    const double f = config.center_freq_hz + offset;
+    freqs_.push_back(f);
+    lambdas_.push_back(kSpeedOfLight / f);
+    indices_.push_back(offset / config.bandwidth_hz *
+                       static_cast<double>(config.fft_size));
+  }
+}
+
+}  // namespace vihot::channel

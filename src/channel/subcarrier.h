@@ -1,0 +1,58 @@
+// OFDM subcarrier grid.
+//
+// The prototype measures CSI with the Intel 5300 802.11n CSI tool, which
+// reports 30 grouped subcarriers across a 20 MHz channel (grouping factor 2
+// over the 56 data/pilot subcarriers). We model that grid on 2.4 GHz
+// channel 6 by default; Sec. 7 notes the concept carries to 5/60 GHz, so
+// the center frequency is configurable.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vihot::channel {
+
+/// Physical constants.
+inline constexpr double kSpeedOfLight = 299'792'458.0;  // m/s
+
+/// Configuration of the OFDM grid the CSI is reported on.
+struct SubcarrierConfig {
+  double center_freq_hz = 2.437e9;   ///< 2.4 GHz channel 6
+  double bandwidth_hz = 20e6;        ///< 802.11n 20 MHz channel
+  std::size_t num_subcarriers = 30;  ///< Intel 5300 grouped report
+  std::size_t fft_size = 64;         ///< 802.11n 20 MHz FFT (the N in Eq. 2)
+};
+
+/// Immutable subcarrier grid with per-subcarrier frequency and wavelength.
+class SubcarrierGrid {
+ public:
+  explicit SubcarrierGrid(const SubcarrierConfig& config = {});
+
+  [[nodiscard]] std::size_t size() const noexcept { return freqs_.size(); }
+
+  /// Absolute RF frequency of subcarrier i, Hz.
+  [[nodiscard]] double frequency(std::size_t i) const noexcept {
+    return freqs_[i];
+  }
+  /// Wavelength of subcarrier i, meters.
+  [[nodiscard]] double wavelength(std::size_t i) const noexcept {
+    return lambdas_[i];
+  }
+  /// Signed OFDM subcarrier index (the f in the SFO term 2*pi*f/N*dt of
+  /// Eq. 2), spanning roughly [-28, 28] for the 5300 grouping.
+  [[nodiscard]] double ofdm_index(std::size_t i) const noexcept {
+    return indices_[i];
+  }
+
+  [[nodiscard]] const SubcarrierConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  SubcarrierConfig config_;
+  std::vector<double> freqs_;
+  std::vector<double> lambdas_;
+  std::vector<double> indices_;
+};
+
+}  // namespace vihot::channel

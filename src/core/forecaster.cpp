@@ -1,0 +1,24 @@
+#include "core/forecaster.h"
+
+namespace vihot::core {
+
+Forecast Forecaster::forecast(const PositionProfile& position,
+                              const OrientationEstimate& estimate,
+                              double horizon_s) noexcept {
+  Forecast out;
+  out.horizon_s = horizon_s;
+  if (!estimate.valid || position.orientation.empty()) return out;
+
+  const std::size_t last = estimate.match_start + estimate.match_length - 1;
+  if (last >= position.orientation.size()) return out;
+  const double tau_e = position.orientation.time_at(last);
+
+  // Move forward in profile time at the matched speed ratio.
+  const double tau_pred = tau_e + horizon_s * estimate.speed_ratio;
+  out.valid = true;
+  out.clamped = tau_pred > position.orientation.end_time();
+  out.theta_rad = position.orientation.interpolate(tau_pred);
+  return out;
+}
+
+}  // namespace vihot::core

@@ -1,0 +1,37 @@
+// Head-orientation forecasting, Eq. (6) of Sec. 3.4.6:
+//
+//   theta_hat(t + t_h) = Theta*_c(tau_e + t_h * Lm / W)
+//
+// The matched profile segment tells us where in the profiled sweep the
+// head currently is AND how fast the run-time turn is relative to the
+// profiling sweep (the ratio Lm/W). Walking forward in the profile at
+// that ratio predicts where the head will be t_h from now — the basis for
+// speculative AR rendering that masks display latency (Sec. 5.2.1).
+#pragma once
+
+#include "core/orientation_estimator.h"
+#include "core/profile.h"
+
+namespace vihot::core {
+
+/// One forecast.
+struct Forecast {
+  bool valid = false;
+  double horizon_s = 0.0;
+  double theta_rad = 0.0;
+  /// True when the forecast ran off the end of the profile series and the
+  /// last profiled orientation was used (clamped extrapolation).
+  bool clamped = false;
+};
+
+/// Stateless Eq. (6) evaluator.
+class Forecaster {
+ public:
+  /// Projects `estimate` (which must be valid and produced against
+  /// `position`) `horizon_s` into the future.
+  [[nodiscard]] static Forecast forecast(const PositionProfile& position,
+                                         const OrientationEstimate& estimate,
+                                         double horizon_s) noexcept;
+};
+
+}  // namespace vihot::core

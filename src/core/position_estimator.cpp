@@ -1,0 +1,24 @@
+#include "core/position_estimator.h"
+
+#include "util/angle.h"
+
+namespace vihot::core {
+
+PositionEstimate PositionEstimator::estimate(
+    const CsiProfile& profile, double stable_phase_relative) noexcept {
+  PositionEstimate out;
+  if (profile.empty()) return out;
+  for (std::size_t slot = 0; slot < profile.positions.size(); ++slot) {
+    const double err = util::angular_dist(
+        profile.positions[slot].fingerprint_phase, stable_phase_relative);
+    if (!out.valid || err < out.fingerprint_error_rad) {
+      out.valid = true;
+      out.profile_slot = slot;
+      out.position_index = profile.positions[slot].position_index;
+      out.fingerprint_error_rad = err;
+    }
+  }
+  return out;
+}
+
+}  // namespace vihot::core

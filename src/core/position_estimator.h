@@ -1,0 +1,33 @@
+// Head-position estimation, Eq. (4) of Sec. 3.4.1:
+//
+//   i* = argmin_i | phi0_c(i) - phi0_r |
+//
+// phi0_r is the stable phase observed while the driver faces forward;
+// phi0_c(i) are the per-position fingerprints recorded during profiling.
+// The comparison uses circular distance since phases live on a circle.
+#pragma once
+
+#include <cstddef>
+
+#include "core/profile.h"
+
+namespace vihot::core {
+
+/// Result of a position lookup.
+struct PositionEstimate {
+  bool valid = false;
+  std::size_t profile_slot = 0;   ///< index into CsiProfile::positions
+  std::size_t position_index = 0; ///< the profiled position's own label
+  double fingerprint_error_rad = 0.0;  ///< |phi0_c(i*) - phi0_r|
+};
+
+/// Stateless Eq. (4) evaluator.
+class PositionEstimator {
+ public:
+  /// `stable_phase_relative` must already be anchored with
+  /// CsiProfile::relative_phase.
+  [[nodiscard]] static PositionEstimate estimate(
+      const CsiProfile& profile, double stable_phase_relative) noexcept;
+};
+
+}  // namespace vihot::core

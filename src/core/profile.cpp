@@ -1,0 +1,11 @@
+#include "core/profile.h"
+
+#include "util/angle.h"
+
+namespace vihot::core {
+
+double CsiProfile::relative_phase(double raw_phase) const noexcept {
+  return util::wrap_pi(raw_phase - reference_phase);
+}
+
+}  // namespace vihot::core

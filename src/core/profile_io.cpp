@@ -1,0 +1,96 @@
+#include "core/profile_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace vihot::core {
+
+namespace {
+
+constexpr char kMagic[] = "# vihot-profile v1";
+
+}  // namespace
+
+bool save_profile(const std::string& path, const CsiProfile& profile) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os.precision(12);
+  os << kMagic << " rate=" << profile.sample_rate_hz
+     << " reference=" << profile.reference_phase
+     << " positions=" << profile.positions.size() << '\n';
+  for (const PositionProfile& p : profile.positions) {
+    if (p.csi.size() != p.orientation.size()) return false;
+    os << "position " << p.position_index << " fingerprint "
+       << p.fingerprint_phase << " t0 " << p.csi.t0 << " dt " << p.csi.dt
+       << " samples " << p.csi.size() << '\n';
+    for (std::size_t k = 0; k < p.csi.size(); ++k) {
+      os << p.csi.values[k] << ',' << p.orientation.values[k] << '\n';
+    }
+  }
+  return static_cast<bool>(os);
+}
+
+std::optional<CsiProfile> load_profile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return std::nullopt;
+  std::string header;
+  if (!std::getline(is, header) || header.rfind(kMagic, 0) != 0) {
+    return std::nullopt;
+  }
+  CsiProfile profile;
+  std::size_t expected_positions = 0;
+  {
+    const auto grab = [&header](const char* key) -> std::optional<double> {
+      const auto pos = header.find(key);
+      if (pos == std::string::npos) return std::nullopt;
+      return std::stod(header.substr(pos + std::string(key).size()));
+    };
+    const auto rate = grab("rate=");
+    const auto ref = grab("reference=");
+    const auto count = grab("positions=");
+    if (!rate || !ref || !count) return std::nullopt;
+    profile.sample_rate_hz = *rate;
+    profile.reference_phase = *ref;
+    expected_positions = static_cast<std::size_t>(*count);
+  }
+
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string kw;
+    PositionProfile p;
+    std::size_t samples = 0;
+    std::string fp_kw;
+    std::string t0_kw;
+    std::string dt_kw;
+    std::string n_kw;
+    if (!(ls >> kw >> p.position_index >> fp_kw >> p.fingerprint_phase >>
+          t0_kw >> p.csi.t0 >> dt_kw >> p.csi.dt >> n_kw >> samples) ||
+        kw != "position" || fp_kw != "fingerprint" || t0_kw != "t0" ||
+        dt_kw != "dt" || n_kw != "samples") {
+      return std::nullopt;
+    }
+    p.orientation.t0 = p.csi.t0;
+    p.orientation.dt = p.csi.dt;
+    p.csi.values.reserve(samples);
+    p.orientation.values.reserve(samples);
+    for (std::size_t k = 0; k < samples; ++k) {
+      if (!std::getline(is, line)) return std::nullopt;
+      std::istringstream row(line);
+      double phi = 0.0;
+      double theta = 0.0;
+      char comma = 0;
+      if (!(row >> phi >> comma >> theta) || comma != ',') {
+        return std::nullopt;
+      }
+      p.csi.values.push_back(phi);
+      p.orientation.values.push_back(theta);
+    }
+    profile.positions.push_back(std::move(p));
+  }
+  if (profile.positions.size() != expected_positions) return std::nullopt;
+  return profile;
+}
+
+}  // namespace vihot::core

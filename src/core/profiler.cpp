@@ -1,0 +1,150 @@
+#include "core/profiler.h"
+
+#include <cmath>
+#include <vector>
+
+#include "dsp/resampler.h"
+#include "util/angle.h"
+
+namespace vihot::core {
+
+JointProfiler::JointProfiler() : JointProfiler(Config{}) {}
+
+JointProfiler::JointProfiler(const Config& config)
+    : config_(config), sanitizer_(config.sanitizer) {}
+
+JointProfiler::Fingerprint JointProfiler::raw_fingerprint(
+    const ProfilingSession& session, const util::TimeSeries& phase) const {
+  // Collect phase samples taken while the head was (a) near forward and
+  // (b) nearly still — the "before the head rotation" condition of
+  // Sec. 3.3. The turn rate is estimated from the truth trace locally.
+  std::vector<double> stable;
+  const util::TimeSeries& truth = session.orientation_truth;
+  constexpr double kRateDt = 0.05;
+  for (const util::Sample& s : phase.samples()) {
+    const double theta = truth.interpolate(s.t);
+    if (std::abs(theta) > config_.fingerprint_max_angle_rad) continue;
+    const double rate =
+        (truth.interpolate(s.t + kRateDt) - truth.interpolate(s.t - kRateDt)) /
+        (2.0 * kRateDt);
+    if (std::abs(rate) > config_.fingerprint_max_rate_rad_s) continue;
+    stable.push_back(s.value);
+  }
+  Fingerprint fp;
+  // Demand a handful of stable samples; a sweep that never pauses at
+  // center cannot fingerprint the position.
+  if (stable.size() < 8) return fp;
+  fp.ok = true;
+  fp.phase = util::circular_mean(stable);
+  return fp;
+}
+
+CsiProfile JointProfiler::build(
+    std::span<const ProfilingSession> sessions) const {
+  CsiProfile profile;
+  profile.sample_rate_hz = config_.sample_rate_hz;
+
+  // Pass 1: sanitize and fingerprint every session.
+  struct Prepared {
+    const ProfilingSession* session;
+    util::TimeSeries phase;
+    double raw_fp;
+  };
+  std::vector<Prepared> prepared;
+  for (const ProfilingSession& session : sessions) {
+    util::TimeSeries phase = sanitizer_.phase_series(session.csi);
+    if (phase.size() < 4) continue;
+    const Fingerprint fp = raw_fingerprint(session, phase);
+    if (!fp.ok) continue;
+    prepared.push_back({&session, std::move(phase), fp.phase});
+  }
+  if (prepared.empty()) return profile;
+
+  // Anchor everything to the middle session's fingerprint so stored
+  // relative phases cluster around zero, away from the wrap boundary.
+  profile.reference_phase = prepared[prepared.size() / 2].raw_fp;
+
+  // Pass 2: re-express phases relative to the anchor and resample both
+  // series of each session onto the common grid.
+  for (Prepared& p : prepared) {
+    PositionProfile pos;
+    pos.position_index = p.session->position_index;
+    pos.true_position = p.session->true_position;
+    pos.fingerprint_phase = profile.relative_phase(p.raw_fp);
+
+    util::TimeSeries relative;
+    relative.reserve(p.phase.size());
+    for (const util::Sample& s : p.phase.samples()) {
+      relative.push(s.t, profile.relative_phase(s.value));
+    }
+    pos.csi = dsp::resample(relative, config_.sample_rate_hz);
+
+    // The orientation series is sampled on exactly the same grid so index
+    // k of both series refers to the same instant.
+    pos.orientation.t0 = pos.csi.t0;
+    pos.orientation.dt = pos.csi.dt;
+    pos.orientation.values.reserve(pos.csi.size());
+    for (std::size_t k = 0; k < pos.csi.size(); ++k) {
+      pos.orientation.values.push_back(
+          p.session->orientation_truth.interpolate(pos.csi.time_at(k)));
+    }
+    profile.positions.push_back(std::move(pos));
+  }
+  return profile;
+}
+
+CsiProfile JointProfiler::update(
+    const CsiProfile& existing,
+    std::span<const ProfilingSession> new_sessions,
+    double replace_threshold_rad) const {
+  if (existing.empty()) return build(new_sessions);
+
+  CsiProfile out = existing;
+  for (const ProfilingSession& session : new_sessions) {
+    util::TimeSeries phase = sanitizer_.phase_series(session.csi);
+    if (phase.size() < 4) continue;
+    const Fingerprint fp = raw_fingerprint(session, phase);
+    if (!fp.ok) continue;
+
+    PositionProfile pos;
+    pos.position_index = session.position_index;
+    pos.true_position = session.true_position;
+    // Keep the EXISTING anchor so old and new series stay comparable.
+    pos.fingerprint_phase = out.relative_phase(fp.phase);
+
+    util::TimeSeries relative;
+    relative.reserve(phase.size());
+    for (const util::Sample& s : phase.samples()) {
+      relative.push(s.t, out.relative_phase(s.value));
+    }
+    pos.csi = dsp::resample(relative, out.sample_rate_hz);
+    pos.orientation.t0 = pos.csi.t0;
+    pos.orientation.dt = pos.csi.dt;
+    pos.orientation.values.reserve(pos.csi.size());
+    for (std::size_t k = 0; k < pos.csi.size(); ++k) {
+      pos.orientation.values.push_back(
+          session.orientation_truth.interpolate(pos.csi.time_at(k)));
+    }
+
+    // Replace the nearest existing position (the driver re-profiled a
+    // known lean) or append a genuinely new one.
+    std::size_t nearest = 0;
+    double nearest_d = 1e18;
+    for (std::size_t i = 0; i < out.positions.size(); ++i) {
+      const double d = util::angular_dist(
+          out.positions[i].fingerprint_phase, pos.fingerprint_phase);
+      if (d < nearest_d) {
+        nearest_d = d;
+        nearest = i;
+      }
+    }
+    if (nearest_d <= replace_threshold_rad) {
+      out.positions[nearest] = std::move(pos);
+    } else {
+      out.positions.push_back(std::move(pos));
+    }
+  }
+  return out;
+}
+
+}  // namespace vihot::core

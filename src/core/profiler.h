@@ -1,0 +1,80 @@
+// Position-orientation joint profiling (Sec. 3.3, Fig. 5).
+//
+// The driver holds a head position, faces forward briefly (giving the
+// position fingerprint), then sweeps the head left-right while the phone
+// streams packets and the ground-truth provider (front camera in
+// deployment, headset in the paper's evaluation) labels each instant with
+// the true orientation. Repeating at ~10 positions takes under 100 s and
+// yields the profile P the run-time tracker matches against.
+#pragma once
+
+#include <span>
+
+#include "core/profile.h"
+#include "core/sanitizer.h"
+#include "util/time_series.h"
+#include "wifi/csi.h"
+
+namespace vihot::core {
+
+/// Raw material for one position's profile: the CSI capture and the
+/// ground-truth orientation trace covering the same time span.
+struct ProfilingSession {
+  std::size_t position_index = 0;
+  std::vector<wifi::CsiMeasurement> csi;
+  util::TimeSeries orientation_truth;  ///< rad, from camera/headset
+  geom::Vec3 true_position;            ///< diagnostics only
+};
+
+/// Builds CsiProfile from profiling sessions.
+class JointProfiler {
+ public:
+  struct Config {
+    SanitizerConfig sanitizer{};
+    /// Uniform grid rate for the stored series.
+    double sample_rate_hz = 200.0;
+    /// A sample contributes to the position fingerprint while the head is
+    /// within this angle of forward and turning slower than this rate.
+    double fingerprint_max_angle_rad = 0.09;   // ~5 deg
+    double fingerprint_max_rate_rad_s = 0.35;  // ~20 deg/s
+  };
+
+  JointProfiler();
+  explicit JointProfiler(const Config& config);
+
+  /// Assembles the full profile. The reference phase is anchored to the
+  /// fingerprint of the middle session. Sessions with too little stable
+  /// data for a fingerprint are skipped.
+  [[nodiscard]] CsiProfile build(
+      std::span<const ProfilingSession> sessions) const;
+
+  /// Incremental update (Sec. 3.3: "ViHOT also allows to keep updating a
+  /// driver's CSI profile by adding new traces after each trip"). Each new
+  /// session replaces the existing position whose fingerprint is nearest
+  /// (within `replace_threshold_rad` of it) or is appended as a new
+  /// position otherwise. The existing reference anchor is kept so stored
+  /// phases stay comparable across updates. Sessions that cannot be
+  /// fingerprinted are skipped, as in build().
+  [[nodiscard]] CsiProfile update(
+      const CsiProfile& existing,
+      std::span<const ProfilingSession> new_sessions,
+      double replace_threshold_rad = 0.08) const;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  /// Raw (un-anchored) fingerprint phase of one session, or nullopt-like
+  /// flag via `ok`.
+  struct Fingerprint {
+    bool ok = false;
+    double phase = 0.0;
+  };
+  [[nodiscard]] Fingerprint raw_fingerprint(
+      const ProfilingSession& session,
+      const util::TimeSeries& phase) const;
+
+  Config config_;
+  CsiSanitizer sanitizer_;
+};
+
+}  // namespace vihot::core

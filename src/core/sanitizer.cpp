@@ -1,0 +1,73 @@
+#include "core/sanitizer.h"
+
+#include <complex>
+
+#include "util/angle.h"
+
+namespace vihot::core {
+
+double CsiSanitizer::phase(const wifi::CsiMeasurement& m) const noexcept {
+  const std::size_t nsc = m.num_subcarriers();
+  if (nsc == 0) return 0.0;
+
+  if (!config_.antenna_difference) {
+    // Ablation: raw antenna-0 phase (CFO/SFO survive — Eq. 2 untreated).
+    if (!config_.subcarrier_average) {
+      const std::size_t f =
+          config_.single_subcarrier < nsc ? config_.single_subcarrier : 0;
+      return std::arg(m.h[0][f]);
+    }
+    std::complex<double> acc{0.0, 0.0};
+    for (std::size_t f = 0; f < nsc; ++f) {
+      acc += std::polar(1.0, std::arg(m.h[0][f]));
+    }
+    return std::arg(acc);
+  }
+
+  // RX-beamforming variant (Sec. 7 extension): null the passenger's
+  // bounce before taking the phase against the antenna-1 reference.
+  if (!config_.rx_null_ratio.empty()) {
+    std::complex<double> acc{0.0, 0.0};
+    for (std::size_t f = 0; f < nsc; ++f) {
+      const std::complex<double> r =
+          config_.rx_null_ratio[f < config_.rx_null_ratio.size()
+                                    ? f
+                                    : config_.rx_null_ratio.size() - 1];
+      const std::complex<double> y = m.h[0][f] - r * m.h[1][f];
+      const std::complex<double> d = y * std::conj(m.h[1][f]);
+      const double mag = std::abs(d);
+      if (mag > 0.0) acc += d / mag;
+    }
+    return std::arg(acc);
+  }
+
+  // Eq. (3): per-subcarrier inter-antenna phase difference. Computing
+  // arg(h1 * conj(h2)) is the numerically robust way to take
+  // arg(h1) - arg(h2) without wrap bookkeeping. The subcarrier average is
+  // done on the unit circle (circular mean) so a wrap boundary between
+  // subcarriers cannot corrupt the mean.
+  if (!config_.subcarrier_average) {
+    const std::size_t f =
+        config_.single_subcarrier < nsc ? config_.single_subcarrier : 0;
+    return std::arg(m.h[0][f] * std::conj(m.h[1][f]));
+  }
+  std::complex<double> acc{0.0, 0.0};
+  for (std::size_t f = 0; f < nsc; ++f) {
+    const std::complex<double> d = m.h[0][f] * std::conj(m.h[1][f]);
+    const double mag = std::abs(d);
+    if (mag > 0.0) acc += d / mag;
+  }
+  return std::arg(acc);
+}
+
+util::TimeSeries CsiSanitizer::phase_series(
+    std::span<const wifi::CsiMeasurement> capture) const {
+  util::TimeSeries out;
+  out.reserve(capture.size());
+  for (const wifi::CsiMeasurement& m : capture) {
+    out.push(m.t, phase(m));
+  }
+  return out;
+}
+
+}  // namespace vihot::core

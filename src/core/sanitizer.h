@@ -1,0 +1,68 @@
+// CSI phase sanitization (Sec. 3.2).
+//
+// Raw CSI phase from a commodity NIC is useless on its own: each frame
+// carries an unknown CFO phase offset beta(t) and an SFO term linear in
+// the subcarrier index (Eq. 2). Both are identical across the RX antennas
+// of one NIC, so the difference
+//
+//   phi_hat^1_f(t) - phi_hat^2_f(t) = phi^1_f(t) - phi^2_f(t) + (Z^1 - Z^2)
+//
+// cancels them exactly (Eq. 3), and averaging the difference across the K
+// subcarriers suppresses the residual thermal noise. The scalar output
+// phi(t) is "the phase" every later stage of ViHOT consumes.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "util/time_series.h"
+#include "wifi/csi.h"
+
+namespace vihot::core {
+
+/// Sanitizer configuration; the defaults are the paper's design. The
+/// ablation switches exist to demonstrate *why* the design is what it is
+/// (bench_ablation_sanitizer).
+struct SanitizerConfig {
+  /// Use the inter-antenna difference (Eq. 3). Turning this off exposes
+  /// the raw antenna-0 phase with CFO/SFO intact — unusable, by design.
+  bool antenna_difference = true;
+
+  /// Average the phase difference across subcarriers. Turning this off
+  /// uses only `single_subcarrier` and keeps more thermal noise.
+  bool subcarrier_average = true;
+  std::size_t single_subcarrier = 15;
+
+  /// RX-beamforming passenger null (Sec. 7 extension): when non-empty,
+  /// the sanitized phase is arg((h0 - r_f*h1) * conj(h1)) instead of
+  /// arg(h0 * conj(h1)). The per-subcarrier ratios r_f come from
+  /// channel::passenger_null_ratio(); the combination cancels the
+  /// passenger's single-bounce path while keeping the CFO/SFO
+  /// cancellation (both linear combinations share the oscillator phase).
+  /// Use when the phone cannot be oriented with its pattern null toward
+  /// the passenger (e.g., a flat-mounted phone).
+  std::vector<std::complex<double>> rx_null_ratio;
+};
+
+/// Stateless per-frame phase extractor.
+class CsiSanitizer {
+ public:
+  CsiSanitizer() = default;
+  explicit CsiSanitizer(const SanitizerConfig& config) : config_(config) {}
+
+  /// The sanitized scalar phase of one frame, in (-pi, pi].
+  [[nodiscard]] double phase(const wifi::CsiMeasurement& m) const noexcept;
+
+  /// Sanitizes a whole capture into a timestamped phase series.
+  [[nodiscard]] util::TimeSeries phase_series(
+      std::span<const wifi::CsiMeasurement> capture) const;
+
+  [[nodiscard]] const SanitizerConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  SanitizerConfig config_;
+};
+
+}  // namespace vihot::core

@@ -1,0 +1,41 @@
+#include "core/stability.h"
+
+#include <algorithm>
+
+namespace vihot::core {
+
+StablePhaseDetector::StablePhaseDetector()
+    : StablePhaseDetector(Config{}) {}
+
+StablePhaseDetector::StablePhaseDetector(const Config& config)
+    : config_(config) {}
+
+bool StablePhaseDetector::update(double t, double phase) {
+  window_.push_back({t, phase});
+  while (!window_.empty() && window_.front().t < t - config_.window_s) {
+    window_.pop_front();
+  }
+  if (window_.size() < config_.min_samples ||
+      (window_.back().t - window_.front().t) < 0.9 * config_.window_s) {
+    stable_ = false;
+    return false;
+  }
+  double lo = window_.front().phase;
+  double hi = lo;
+  double sum = 0.0;
+  for (const Entry& e : window_) {
+    lo = std::min(lo, e.phase);
+    hi = std::max(hi, e.phase);
+    sum += e.phase;
+  }
+  stable_ = (hi - lo) <= config_.max_spread_rad;
+  if (stable_) mean_ = sum / static_cast<double>(window_.size());
+  return stable_;
+}
+
+void StablePhaseDetector::reset() {
+  window_.clear();
+  stable_ = false;
+}
+
+}  // namespace vihot::core

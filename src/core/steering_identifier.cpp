@@ -1,0 +1,22 @@
+#include "core/steering_identifier.h"
+
+namespace vihot::core {
+
+SteeringIdentifier::SteeringIdentifier()
+    : SteeringIdentifier(Config{}) {}
+
+SteeringIdentifier::SteeringIdentifier(const Config& config)
+    : config_(config), detector_(config.detector) {}
+
+void SteeringIdentifier::push_imu(const imu::ImuSample& sample) {
+  detector_.update(sample);
+}
+
+TrackingMode SteeringIdentifier::mode() const noexcept {
+  if (config_.enabled && detector_.is_turning()) {
+    return TrackingMode::kCameraFallback;
+  }
+  return TrackingMode::kCsi;
+}
+
+}  // namespace vihot::core

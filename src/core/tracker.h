@@ -1,0 +1,191 @@
+// ViHotTracker: the run-time facade tying the whole pipeline together
+// (Fig. 4's run-time half).
+//
+//   CSI frames  -> sanitizer -> relative-phase buffer
+//                               |-> stable-phase detector -> Eq. (4)
+//                               |       (head position i*)
+//                               '-> Algorithm 1 matcher against C_{i*}
+//                                       (head orientation theta_hat)
+//   IMU samples -> steering identifier -> CSI / camera-fallback arbiter
+//   camera      -> fallback estimate during sharp turns
+//
+// Small bursty steering corrections are additionally rejected by a rate
+// ("jump") filter on the output: the head orientation can only change
+// continuously (Sec. 3.6), so an estimate that teleports is discarded.
+#pragma once
+
+#include <optional>
+
+#include "camera/camera_tracker.h"
+#include "core/forecaster.h"
+#include "core/orientation_estimator.h"
+#include "core/position_estimator.h"
+#include "core/profile.h"
+#include "core/sanitizer.h"
+#include "core/stability.h"
+#include "core/steering_identifier.h"
+#include "util/time_series.h"
+#include "wifi/csi.h"
+
+namespace vihot::core {
+
+/// Everything tunable about the run-time tracker.
+struct TrackerConfig {
+  SanitizerConfig sanitizer{};
+  MatcherConfig matcher{};
+  StablePhaseDetector::Config stability{};
+  SteeringIdentifier::Config steering{};
+
+  /// Output rate limit: estimates implying a faster head turn than this
+  /// are rejected as interference glitches (head turns top out well below
+  /// 300 deg/s). After `jump_filter_patience` consecutive rejections the
+  /// filter yields, so a genuinely lost tracker can re-converge.
+  /// Off by default: the continuity-constrained matcher already enforces
+  /// the same physical bound at the matching stage (where it can choose a
+  /// better candidate instead of merely holding the old output), and the
+  /// ablation bench shows the extra output filter only delays recovery.
+  bool jump_filter_enabled = false;
+  double max_theta_rate_rad_s = 5.2;
+  int jump_filter_patience = 6;
+
+  /// Camera fallback estimates older than this are considered stale.
+  double camera_staleness_s = 0.25;
+
+  /// Continuity-constrained matching: the matched segment must end within
+  /// reach of the previous output (max_theta_rate * elapsed + this slack).
+  double continuity_slack_rad = 0.25;
+  /// Escape hatch: when the constrained match stays this poor (normalized
+  /// DTW distance) for `relock_patience` consecutive estimates, the
+  /// tracker re-locks with an unconstrained global search.
+  double relock_distance = 0.02;
+  int relock_patience = 4;
+  /// Assume the driver faces forward when tracking starts (trip start).
+  bool assume_forward_start = true;
+
+  /// A stable phase only re-localizes the head position (Eq. 4) if it is
+  /// plausibly a forward-facing phase: within this margin of the range of
+  /// profiled fingerprints. A driver dwelling on the mirror produces a
+  /// stable phase too, but one far outside the fingerprint range.
+  double fingerprint_gate_margin_rad = 0.25;
+
+  /// Also try the matched position's grid neighbors and keep the best
+  /// DTW distance. The head usually sits between two profiled positions;
+  /// the neighbor curves bracket the session's true curve, so one of them
+  /// matches far better than the nominal Eq.-(4) slot alone.
+  std::size_t neighbor_slots = 0;
+
+  /// Subtract the per-slot session bias (stable forward phase minus the
+  /// slot fingerprint) from the run-time window before matching.
+  bool bias_correction = true;
+
+  /// Window-energy mode switch. A window with peak-to-peak phase spread
+  /// below `flat_spread_rad` carries no features: the head is still, so
+  /// the previous orientation is held (matching a flat window is pure
+  /// ambiguity). A spread above `moving_spread_rad` is feature-rich: a
+  /// GLOBAL match is reliable and self-correcting, so no continuity hint
+  /// is imposed (hints chain errors). In between, the hinted match with
+  /// the staged re-lock applies.
+  double flat_spread_rad = 0.05;
+  double moving_spread_rad = 0.30;
+
+  /// Twin-branch tie-break: when the global match's runner-up is within
+  /// this factor of the best distance (and the two end orientations
+  /// differ), prefer the candidate closer to the previous output. Pure
+  /// tie-breaking — an unambiguous window always wins outright.
+  double tie_break_ratio = 3.0;
+
+  /// Soft continuity prior weight for the global (strong-motion) match,
+  /// in normalized-DTW-distance units per rad^2 of angular jump.
+  /// Disabled by default: a prior strong enough to break twin-branch
+  /// ties also chains an earlier mistake into every later match, which
+  /// measures worse than letting the global match self-correct.
+  double soft_continuity_weight = 0.0;
+};
+
+/// One tracking output.
+struct TrackResult {
+  bool valid = false;
+  double t = 0.0;
+  double theta_rad = 0.0;
+  TrackingMode mode = TrackingMode::kCsi;
+  std::size_t position_slot = 0;  ///< profile slot used for matching
+  /// Raw matcher output (diagnostics; not rate-filtered).
+  OrientationEstimate raw{};
+};
+
+/// The run-time head tracker.
+class ViHotTracker {
+ public:
+  ViHotTracker(CsiProfile profile, TrackerConfig config);
+
+  /// Feed one CSI frame (order by time across all push_* calls).
+  void push_csi(const wifi::CsiMeasurement& m);
+
+  /// Feed one phone-IMU sample.
+  void push_imu(const imu::ImuSample& sample);
+
+  /// Feed one camera estimate (only consumed while in fallback mode, but
+  /// harmless to stream continuously).
+  void push_camera(const camera::CameraTracker::Estimate& estimate);
+
+  /// Estimate the head orientation at `t_now` (<= last pushed CSI time).
+  [[nodiscard]] TrackResult estimate(double t_now);
+
+  /// Forecast `horizon_s` past the LAST successful estimate() (Eq. 6).
+  [[nodiscard]] Forecast forecast(double horizon_s) const;
+
+  /// Current believed head-position slot (Eq. 4; diagnostics).
+  [[nodiscard]] std::size_t position_slot() const noexcept {
+    return position_slot_;
+  }
+  [[nodiscard]] TrackingMode mode() const noexcept {
+    return steering_.mode();
+  }
+  [[nodiscard]] const CsiProfile& profile() const noexcept {
+    return profile_;
+  }
+  [[nodiscard]] const TrackerConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  /// Applies the continuous-motion rate filter to a candidate output.
+  [[nodiscard]] double rate_filtered(double t, double theta);
+
+  CsiProfile profile_;
+  TrackerConfig config_;
+  double fingerprint_min_ = 0.0;
+  double fingerprint_max_ = 0.0;
+  CsiSanitizer sanitizer_;
+  OrientationEstimator matcher_;
+  StablePhaseDetector stability_;
+  SteeringIdentifier steering_;
+
+  /// Matches the window against one slot with its session bias applied.
+  [[nodiscard]] OrientationEstimate match_slot(std::size_t slot, double t_now,
+                                               const ContinuityHint* hint,
+                                               bool soft_prior);
+
+  /// Peak-to-peak spread of the phase window ending at t_now (< 0 when
+  /// the window is not yet filled).
+  [[nodiscard]] double window_spread(double t_now) const noexcept;
+
+  util::TimeSeries phase_buffer_;  ///< relative sanitized phase
+  std::size_t position_slot_ = 0;
+  std::size_t matched_slot_ = 0;  ///< slot of the last successful match
+  double last_stable_phi0_ = 0.0;
+  bool have_stable_phi0_ = false;
+  std::optional<camera::CameraTracker::Estimate> last_camera_;
+  std::optional<OrientationEstimate> last_match_;
+
+  // Jump-filter / continuity state.
+  bool have_output_ = false;
+  double last_output_t_ = 0.0;
+  double last_output_theta_ = 0.0;
+  int rejected_in_row_ = 0;
+  int poor_match_in_row_ = 0;
+  bool relock_widened_ = false;
+  double phase_bias_ = 0.0;  ///< session curve offset vs the profile
+};
+
+}  // namespace vihot::core

@@ -1,0 +1,139 @@
+#include "dsp/dtw.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vihot::dsp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double local_cost(double x, double y) noexcept {
+  const double d = x - y;
+  return d * d;
+}
+
+// Band half-width in cells for the given option and problem size.
+std::size_t band_cells(const DtwOptions& options, std::size_t n,
+                       std::size_t m) {
+  const double frac = std::clamp(options.band_fraction, 0.0, 1.0);
+  const auto longest = static_cast<double>(std::max(n, m));
+  // The band must at least cover the diagonal slope mismatch |n - m| or the
+  // end cell is unreachable.
+  const auto slope_gap =
+      static_cast<std::size_t>(n > m ? n - m : m - n);
+  const auto width = static_cast<std::size_t>(std::ceil(frac * longest));
+  return std::max<std::size_t>(std::max(width, slope_gap), 1);
+}
+
+}  // namespace
+
+double dtw_distance(std::span<const double> a, std::span<const double> b,
+                    const DtwOptions& options) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  if (n == 0 || m == 0) return kInf;
+
+  const std::size_t band = band_cells(options, n, m);
+  std::vector<double> prev(m + 1, kInf);
+  std::vector<double> curr(m + 1, kInf);
+  prev[0] = 0.0;
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    std::fill(curr.begin(), curr.end(), kInf);
+    // Row band: j near the diagonal i * m / n.
+    const auto diag =
+        static_cast<std::size_t>(static_cast<double>(i) *
+                                 static_cast<double>(m) /
+                                 static_cast<double>(n));
+    const std::size_t j_lo = (diag > band) ? diag - band : 1;
+    const std::size_t j_hi = std::min(m, diag + band);
+    double row_min = kInf;
+    for (std::size_t j = std::max<std::size_t>(j_lo, 1); j <= j_hi; ++j) {
+      const double best_prev =
+          std::min({prev[j], prev[j - 1], curr[j - 1]});
+      if (best_prev == kInf) continue;
+      const double c = best_prev + local_cost(a[i - 1], b[j - 1]);
+      curr[j] = c;
+      row_min = std::min(row_min, c);
+    }
+    if (row_min > options.abandon_above) return kInf;
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+double dtw_distance_normalized(std::span<const double> a,
+                               std::span<const double> b,
+                               const DtwOptions& options) {
+  const double d = dtw_distance(a, b, options);
+  if (d == kInf) return kInf;
+  return d / static_cast<double>(a.size() + b.size());
+}
+
+DtwAlignment dtw_align(std::span<const double> a, std::span<const double> b,
+                       const DtwOptions& options) {
+  DtwAlignment out;
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  if (n == 0 || m == 0) return out;
+
+  const std::size_t band = band_cells(options, n, m);
+  std::vector<std::vector<double>> dp(n + 1,
+                                      std::vector<double>(m + 1, kInf));
+  dp[0][0] = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    const auto diag =
+        static_cast<std::size_t>(static_cast<double>(i) *
+                                 static_cast<double>(m) /
+                                 static_cast<double>(n));
+    const std::size_t j_lo = (diag > band) ? diag - band : 1;
+    const std::size_t j_hi = std::min(m, diag + band);
+    for (std::size_t j = std::max<std::size_t>(j_lo, 1); j <= j_hi; ++j) {
+      const double best_prev =
+          std::min({dp[i - 1][j], dp[i - 1][j - 1], dp[i][j - 1]});
+      if (best_prev == kInf) continue;
+      dp[i][j] = best_prev + local_cost(a[i - 1], b[j - 1]);
+    }
+  }
+  out.distance = dp[n][m];
+  if (out.distance == kInf) return out;
+
+  // Backtrack from (n, m) to (1, 1).
+  std::size_t i = n;
+  std::size_t j = m;
+  while (i >= 1 && j >= 1) {
+    out.path.emplace_back(i - 1, j - 1);
+    if (i == 1 && j == 1) break;
+    double up = (i > 1) ? dp[i - 1][j] : kInf;
+    double left = (j > 1) ? dp[i][j - 1] : kInf;
+    double diag_v = (i > 1 && j > 1) ? dp[i - 1][j - 1] : kInf;
+    if (diag_v <= up && diag_v <= left) {
+      --i;
+      --j;
+    } else if (up <= left) {
+      --i;
+    } else {
+      --j;
+    }
+  }
+  std::reverse(out.path.begin(), out.path.end());
+  return out;
+}
+
+double dtw_lower_bound(std::span<const double> a,
+                       std::span<const double> b) noexcept {
+  if (a.empty() || b.empty()) return kInf;
+  // Endpoints must align in any warp path, so their local costs are a
+  // lower bound on the total.
+  double lb = local_cost(a.front(), b.front()) +
+              local_cost(a.back(), b.back());
+  // First/last cells count once each unless the series are length-1.
+  if (a.size() == 1 && b.size() == 1) {
+    lb = local_cost(a.front(), b.front());
+  }
+  return lb;
+}
+
+}  // namespace vihot::dsp

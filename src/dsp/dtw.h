@@ -1,0 +1,64 @@
+// Dynamic Time Warping.
+//
+// ViHOT matches the run-time CSI window against profile segments whose
+// length is unknown because the head-turning speed differs between
+// profiling and run-time (Sec. 3.4.4). DTW absorbs that speed mismatch.
+// This implementation provides:
+//   * full O(n*m) distance with a rolling two-row table,
+//   * an optional Sakoe-Chiba band to bound the warp,
+//   * early abandoning against a best-so-far threshold (the inner loop of
+//     Algorithm 1 evaluates thousands of candidate segments; abandoning
+//     hopeless ones keeps the matcher real-time),
+//   * optional warp-path extraction for diagnostics.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace vihot::dsp {
+
+/// Options controlling a DTW evaluation.
+struct DtwOptions {
+  /// Sakoe-Chiba band half-width as a fraction of max(n, m); 1.0 disables
+  /// the band (full warping freedom).
+  double band_fraction = 1.0;
+
+  /// Early-abandon threshold: if every cell of a DP row exceeds this value
+  /// the evaluation returns infinity immediately. Infinity disables it.
+  double abandon_above = std::numeric_limits<double>::infinity();
+};
+
+/// DTW distance between `a` and `b` with squared-difference local cost.
+/// Returns +infinity when either input is empty, when the band makes the
+/// end cell unreachable, or when the evaluation was abandoned.
+[[nodiscard]] double dtw_distance(std::span<const double> a,
+                                  std::span<const double> b,
+                                  const DtwOptions& options = {});
+
+/// DTW distance normalized by the warp-path-independent length (n + m),
+/// which makes distances comparable across candidate segment lengths
+/// (Algorithm 1 compares candidates of length 0.5W .. 2W).
+[[nodiscard]] double dtw_distance_normalized(std::span<const double> a,
+                                             std::span<const double> b,
+                                             const DtwOptions& options = {});
+
+/// Full DTW with warp-path extraction (O(n*m) memory). The path is a list
+/// of (i, j) index pairs from (0, 0) to (n-1, m-1).
+struct DtwAlignment {
+  double distance = std::numeric_limits<double>::infinity();
+  std::vector<std::pair<std::size_t, std::size_t>> path;
+};
+[[nodiscard]] DtwAlignment dtw_align(std::span<const double> a,
+                                     std::span<const double> b,
+                                     const DtwOptions& options = {});
+
+/// Cheap lower bound on the DTW distance (LB_Kim-style endpoint bound).
+/// Never exceeds the true DTW distance; used to skip candidates whose
+/// bound already beats the current best in the series matcher.
+[[nodiscard]] double dtw_lower_bound(std::span<const double> a,
+                                     std::span<const double> b) noexcept;
+
+}  // namespace vihot::dsp

@@ -1,0 +1,114 @@
+#include "dsp/mdtw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace vihot::dsp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double local_cost(std::span<const double> a, std::span<const double> b,
+                  std::size_t ai, std::size_t bi, std::size_t dim) noexcept {
+  double c = 0.0;
+  for (std::size_t d = 0; d < dim; ++d) {
+    const double diff = a[ai * dim + d] - b[bi * dim + d];
+    c += diff * diff;
+  }
+  return c;
+}
+
+}  // namespace
+
+double mdtw_distance(std::span<const double> a, std::span<const double> b,
+                     std::size_t dim, double band_fraction,
+                     double abandon_above) {
+  if (dim == 0 || a.size() % dim != 0 || b.size() % dim != 0) return kInf;
+  const std::size_t n = a.size() / dim;
+  const std::size_t m = b.size() / dim;
+  if (n == 0 || m == 0) return kInf;
+
+  const double frac = std::clamp(band_fraction, 0.0, 1.0);
+  const auto slope_gap = static_cast<std::size_t>(n > m ? n - m : m - n);
+  const std::size_t band = std::max<std::size_t>(
+      {static_cast<std::size_t>(
+           std::ceil(frac * static_cast<double>(std::max(n, m)))),
+       slope_gap, 1});
+
+  std::vector<double> prev(m + 1, kInf);
+  std::vector<double> curr(m + 1, kInf);
+  prev[0] = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    std::fill(curr.begin(), curr.end(), kInf);
+    const auto diag = static_cast<std::size_t>(
+        static_cast<double>(i) * static_cast<double>(m) /
+        static_cast<double>(n));
+    const std::size_t j_lo = (diag > band) ? diag - band : 1;
+    const std::size_t j_hi = std::min(m, diag + band);
+    double row_min = kInf;
+    for (std::size_t j = std::max<std::size_t>(j_lo, 1); j <= j_hi; ++j) {
+      const double best_prev = std::min({prev[j], prev[j - 1], curr[j - 1]});
+      if (best_prev == kInf) continue;
+      const double c = best_prev + local_cost(a, b, i - 1, j - 1, dim);
+      curr[j] = c;
+      row_min = std::min(row_min, c);
+    }
+    if (row_min > abandon_above) return kInf;
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+MdtwMatch mdtw_find_best(std::span<const double> query,
+                         std::span<const double> reference, std::size_t dim,
+                         const MdtwSearchOptions& options) {
+  MdtwMatch best;
+  if (dim == 0 || query.size() % dim != 0 || reference.size() % dim != 0) {
+    return best;
+  }
+  const std::size_t q_rows = query.size() / dim;
+  const std::size_t r_rows = reference.size() / dim;
+  if (q_rows < 2 || r_rows < 2) return best;
+
+  std::vector<std::size_t> lengths;
+  for (std::size_t k = 0; k < std::max<std::size_t>(options.num_lengths, 1);
+       ++k) {
+    const double f =
+        options.num_lengths == 1
+            ? options.min_length_factor
+            : options.min_length_factor +
+                  (options.max_length_factor - options.min_length_factor) *
+                      static_cast<double>(k) /
+                      static_cast<double>(options.num_lengths - 1);
+    const auto len = static_cast<std::size_t>(
+        std::round(f * static_cast<double>(q_rows)));
+    if (len >= 2 && len <= r_rows) lengths.push_back(len);
+  }
+  std::sort(lengths.begin(), lengths.end());
+  lengths.erase(std::unique(lengths.begin(), lengths.end()), lengths.end());
+
+  const std::size_t stride = std::max<std::size_t>(options.start_stride, 1);
+  for (const std::size_t len : lengths) {
+    for (std::size_t start = 0; start + len <= r_rows; start += stride) {
+      const auto segment = reference.subspan(start * dim, len * dim);
+      const double scale = static_cast<double>(q_rows + len);
+      const double abandon =
+          best.found ? best.distance * scale : kInf;
+      const double d =
+          mdtw_distance(query, segment, dim, options.band_fraction, abandon);
+      if (d == kInf) continue;
+      const double norm = d / scale;
+      if (norm < best.distance) {
+        best.found = true;
+        best.start = start;
+        best.length = len;
+        best.distance = norm;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace vihot::dsp

@@ -1,0 +1,51 @@
+// Multivariate DTW.
+//
+// The 3D-tracking extension (ext3d/, the paper's Sec. 7 cockpit vision)
+// matches a time-series of FEATURE VECTORS — one phase difference per
+// extra RX antenna — instead of scalars: a 2D orientation (yaw, pitch)
+// cannot be disambiguated from one phase track, but K-1 simultaneous
+// phase tracks pin it down. Series are stored row-major: sample i's
+// feature j lives at [i * dim + j].
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+
+namespace vihot::dsp {
+
+/// DTW distance between two row-major multivariate series with squared
+/// Euclidean local cost. `a` holds a_len rows of `dim` values (likewise
+/// `b`). Optional Sakoe-Chiba band via band_fraction (1.0 = full) and
+/// early abandoning via abandon_above. Returns +infinity for empty or
+/// malformed inputs, and when abandoned.
+[[nodiscard]] double mdtw_distance(
+    std::span<const double> a, std::span<const double> b, std::size_t dim,
+    double band_fraction = 1.0,
+    double abandon_above = std::numeric_limits<double>::infinity());
+
+/// Best match of a multivariate query inside a long reference, searching
+/// candidate lengths [min_factor, max_factor] * query_rows on a stride
+/// grid (the Algorithm-1 kernel, lifted to feature vectors).
+struct MdtwMatch {
+  bool found = false;
+  std::size_t start = 0;   ///< row index in the reference
+  std::size_t length = 0;  ///< rows
+  double distance = std::numeric_limits<double>::infinity();
+  [[nodiscard]] std::size_t end() const noexcept { return start + length; }
+};
+
+struct MdtwSearchOptions {
+  double min_length_factor = 0.5;
+  double max_length_factor = 2.0;
+  std::size_t num_lengths = 7;
+  std::size_t start_stride = 2;
+  double band_fraction = 0.25;
+};
+
+[[nodiscard]] MdtwMatch mdtw_find_best(std::span<const double> query,
+                                       std::span<const double> reference,
+                                       std::size_t dim,
+                                       const MdtwSearchOptions& options = {});
+
+}  // namespace vihot::dsp

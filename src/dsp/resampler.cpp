@@ -1,0 +1,56 @@
+#include "dsp/resampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vihot::dsp {
+
+util::UniformSeries resample(const util::TimeSeries& in, double rate_hz) {
+  util::UniformSeries out;
+  if (in.empty() || rate_hz <= 0.0) return out;
+  out.t0 = in.front().t;
+  out.dt = 1.0 / rate_hz;
+  if (in.size() == 1) {
+    out.values.push_back(in.front().value);
+    return out;
+  }
+  const double duration = in.duration();
+  const auto count =
+      static_cast<std::size_t>(std::floor(duration * rate_hz)) + 1;
+  out.values.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.values.push_back(in.interpolate(out.time_at(i)));
+  }
+  return out;
+}
+
+util::UniformSeries resample_window(const util::TimeSeries& in, double t0,
+                                    double t1, std::size_t count) {
+  util::UniformSeries out;
+  if (in.empty() || count == 0 || t1 < t0) return out;
+  out.t0 = t0;
+  out.dt = (count > 1) ? (t1 - t0) / static_cast<double>(count - 1) : 0.0;
+  out.values.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double t = (count > 1) ? out.time_at(i) : t0;
+    out.values.push_back(in.interpolate(t));
+  }
+  return out;
+}
+
+double max_gap(const util::TimeSeries& in) noexcept {
+  if (in.size() < 2) return 0.0;
+  double g = 0.0;
+  for (std::size_t i = 1; i < in.size(); ++i) {
+    g = std::max(g, in[i].t - in[i - 1].t);
+  }
+  return g;
+}
+
+double mean_rate_hz(const util::TimeSeries& in) noexcept {
+  const double d = in.duration();
+  if (d <= 0.0 || in.size() < 2) return 0.0;
+  return static_cast<double>(in.size() - 1) / d;
+}
+
+}  // namespace vihot::dsp

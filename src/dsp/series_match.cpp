@@ -1,0 +1,162 @@
+#include "dsp/series_match.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace vihot::dsp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::vector<double> centered(std::span<const double> xs) {
+  std::vector<double> out(xs.begin(), xs.end());
+  const double m = util::mean(xs);
+  for (double& v : out) v -= m;
+  return out;
+}
+
+// Candidate lengths spread evenly over [min_factor, max_factor] * W.
+std::vector<std::size_t> candidate_lengths(std::size_t query_len,
+                                           const SeriesMatchOptions& opt) {
+  std::vector<std::size_t> lengths;
+  const std::size_t n = std::max<std::size_t>(opt.num_lengths, 1);
+  const double lo = std::max(opt.min_length_factor, 0.0);
+  const double hi = std::max(opt.max_length_factor, lo);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double f =
+        (n == 1) ? lo
+                 : lo + (hi - lo) * static_cast<double>(k) /
+                           static_cast<double>(n - 1);
+    const auto len = static_cast<std::size_t>(
+        std::round(f * static_cast<double>(query_len)));
+    if (len >= 2) lengths.push_back(len);
+  }
+  // Dedupe (small query lengths can collapse neighbors onto one value).
+  std::sort(lengths.begin(), lengths.end());
+  lengths.erase(std::unique(lengths.begin(), lengths.end()), lengths.end());
+  return lengths;
+}
+
+bool overlaps(std::size_t a_start, std::size_t a_len, std::size_t b_start,
+              std::size_t b_len) noexcept {
+  return a_start < b_start + b_len && b_start < a_start + a_len;
+}
+
+}  // namespace
+
+SeriesMatch find_best_match(std::span<const double> query,
+                            std::span<const double> reference,
+                            const SeriesMatchOptions& options) {
+  SeriesMatch best;
+  if (query.size() < 2 || reference.size() < 2) return best;
+
+  std::vector<double> query_c;
+  if (options.mean_center) {
+    query_c = centered(query);
+    query = query_c;
+  }
+
+  const auto lengths = candidate_lengths(query.size(), options);
+  if (lengths.empty()) return best;
+
+  const std::size_t stride = std::max<std::size_t>(options.start_stride, 1);
+
+  // Track the best non-overlapping runner-up for ambiguity diagnostics.
+  struct Hit {
+    std::size_t start;
+    std::size_t length;
+    double distance;
+  };
+  std::vector<Hit> hits;
+
+  std::vector<double> segment_c;
+  std::vector<double> shifted_q;
+  double query_mean = 0.0;
+  for (const double v : query) query_mean += v;
+  query_mean /= static_cast<double>(query.size());
+  for (const std::size_t len : lengths) {
+    if (len > reference.size()) continue;
+    for (std::size_t start = 0; start + len <= reference.size();
+         start += stride) {
+      if (options.candidate_filter && !options.candidate_filter(start, len)) {
+        continue;
+      }
+      std::span<const double> segment = reference.subspan(start, len);
+      if (options.mean_center) {
+        segment_c = centered(segment);
+        segment = segment_c;
+      }
+      std::span<const double> q = query;
+      if (options.max_dc_offset > 0.0) {
+        double seg_mean = 0.0;
+        for (const double v : segment) seg_mean += v;
+        seg_mean /= static_cast<double>(segment.size());
+        const double delta = std::clamp(seg_mean - query_mean,
+                                        -options.max_dc_offset,
+                                        options.max_dc_offset);
+        shifted_q.resize(query.size());
+        for (std::size_t k = 0; k < query.size(); ++k) {
+          shifted_q[k] = query[k] + delta;
+        }
+        q = shifted_q;
+      }
+      const double bias =
+          options.score_bias ? options.score_bias(start, len) : 0.0;
+      // Normalized scores are compared, so the abandon threshold maps
+      // back to an un-normalized bound for this candidate's size. A
+      // candidate can only win if d + bias < best.score, so pruning DTW
+      // at (best.score - bias) is exact.
+      const double scale = static_cast<double>(q.size() + len);
+      const double slack = std::max(options.runner_up_slack, 1.0);
+      const double win_bar = best.score * slack - bias;
+      if (win_bar <= 0.0) continue;
+      if (options.use_lower_bound && best.score < kInf) {
+        if (dtw_lower_bound(q, segment) / scale >= win_bar) {
+          continue;
+        }
+      }
+      DtwOptions dtw_opt = options.dtw;
+      if (best.score < kInf) {
+        dtw_opt.abandon_above = win_bar * scale;
+      }
+      const double d = dtw_distance_normalized(q, segment, dtw_opt);
+      if (d == kInf) continue;
+      hits.push_back({start, len, d});
+      if (d + bias < best.score) {
+        best.found = true;
+        best.start = start;
+        best.length = len;
+        best.distance = d;
+        best.score = d + bias;
+      }
+    }
+  }
+  if (!best.found) return best;
+
+  // Greedy non-overlapping top-K by ascending distance (winner first).
+  std::sort(hits.begin(), hits.end(),
+            [](const Hit& a, const Hit& b) { return a.distance < b.distance; });
+  for (const Hit& h : hits) {
+    if (best.top.size() >= std::max<std::size_t>(options.top_k, 1)) break;
+    bool clash = false;
+    for (const auto& c : best.top) {
+      if (overlaps(h.start, h.length, c.start, c.length)) {
+        clash = true;
+        break;
+      }
+    }
+    if (!clash) best.top.push_back({h.start, h.length, h.distance});
+  }
+  if (best.top.size() >= 2) {
+    best.runner_up = best.top[1].distance;
+    best.runner_up_start = best.top[1].start;
+    best.runner_up_length = best.top[1].length;
+  }
+  return best;
+}
+
+}  // namespace vihot::dsp

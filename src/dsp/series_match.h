@@ -1,0 +1,113 @@
+// Sliding best-match search of a query window inside a long reference
+// series — the computational kernel of ViHOT's Algorithm 1 (Sec. 3.4.5):
+//
+//   for all candidate lengths Ln in [0.5W, 2W] (step dL)
+//     for all start offsets tau_j in the profile
+//       d = DTW(query, profile[tau_j, tau_j + Ln])
+//   return the segment with minimum d
+//
+// The search is exhaustive over a configurable stride grid, with optional
+// lower-bound pruning and DTW early abandoning against the best-so-far.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "dsp/dtw.h"
+
+namespace vihot::dsp {
+
+/// Tuning knobs for the segment search.
+struct SeriesMatchOptions {
+  /// Candidate-length range as factors of the query length (the paper uses
+  /// [0.5, 2.0], Sec. 3.4.4).
+  double min_length_factor = 0.5;
+  double max_length_factor = 2.0;
+
+  /// Number of candidate lengths enumerated across the range (the paper's
+  /// step dL). Must be >= 1.
+  std::size_t num_lengths = 7;
+
+  /// Start-offset stride in reference samples; 1 is exhaustive.
+  std::size_t start_stride = 2;
+
+  /// Subtract each side's mean before comparing. Off by default: the
+  /// absolute phase level carries head-position information.
+  bool mean_center = false;
+
+  /// Tolerated DC offset between query and candidate (same units as the
+  /// series). The query is shifted by clamp(mean(seg) - mean(query),
+  /// +-max_dc_offset) before DTW. A small value absorbs the curve offset
+  /// caused by the head sitting *between* two profiled positions, while
+  /// still rejecting far-away branches whose level differs by more.
+  /// 0 disables the adjustment.
+  double max_dc_offset = 0.0;
+
+  /// Skip candidates whose cheap lower bound exceeds the best-so-far.
+  bool use_lower_bound = true;
+
+  /// Candidates within this factor of the best score are still evaluated
+  /// fully (not abandoned), so the runner-up report stays meaningful.
+  double runner_up_slack = 4.0;
+
+  /// How many mutually non-overlapping top candidates to report.
+  std::size_t top_k = 4;
+
+  /// DTW options; `abandon_above` is managed internally per candidate.
+  DtwOptions dtw{};
+
+  /// Optional per-candidate predicate on (start, length). Candidates it
+  /// rejects are skipped before any DTW work. ViHOT uses this to enforce
+  /// head-motion continuity: only segments ending at an orientation the
+  /// head could have reached since the last estimate are eligible.
+  std::function<bool(std::size_t start, std::size_t length)> candidate_filter;
+
+  /// Optional non-negative score penalty added to a candidate's
+  /// normalized DTW distance before comparison. ViHOT uses this as a SOFT
+  /// continuity prior: two profile regions can have the same phase level
+  /// and slope ("twin branches"); a gentle penalty on the angular jump
+  /// breaks such near-ties toward the previous estimate while a decisive
+  /// shape difference still wins outright.
+  std::function<double(std::size_t start, std::size_t length)> score_bias;
+};
+
+/// Outcome of a segment search.
+struct SeriesMatch {
+  bool found = false;
+  std::size_t start = 0;   ///< start index in the reference
+  std::size_t length = 0;  ///< matched segment length, in samples
+  double distance = std::numeric_limits<double>::infinity();
+  /// distance + score_bias of the winner (== distance when no bias).
+  double score = std::numeric_limits<double>::infinity();
+  /// Best match that does NOT overlap the winner; gauges ambiguity
+  /// (close second => the phase window was not discriminative, the
+  /// failure mode behind slow-turn errors in Fig. 13c) and supports
+  /// tie-breaking between twin branches.
+  double runner_up = std::numeric_limits<double>::infinity();
+  std::size_t runner_up_start = 0;
+  std::size_t runner_up_length = 0;
+
+  /// Top candidates (winner first), mutually non-overlapping, by
+  /// ascending distance. Size bounded by SeriesMatchOptions::top_k.
+  struct Candidate {
+    std::size_t start = 0;
+    std::size_t length = 0;
+    double distance = std::numeric_limits<double>::infinity();
+    [[nodiscard]] std::size_t end() const noexcept { return start + length; }
+  };
+  std::vector<Candidate> top;
+  /// End index (exclusive) in the reference.
+  [[nodiscard]] std::size_t end() const noexcept { return start + length; }
+};
+
+/// Finds the best-matching segment of `reference` for `query` under DTW.
+/// Returns found == false when the reference is shorter than the smallest
+/// candidate or either series is empty.
+[[nodiscard]] SeriesMatch find_best_match(
+    std::span<const double> query, std::span<const double> reference,
+    const SeriesMatchOptions& options = {});
+
+}  // namespace vihot::dsp

@@ -1,0 +1,113 @@
+#include "ext3d/cockpit.h"
+
+#include <cmath>
+
+#include "util/angle.h"
+
+namespace vihot::ext3d {
+
+namespace {
+
+// 3D facing direction for (yaw, pitch): yaw 0 faces +y, pitch rotates up.
+geom::Vec3 facing3(double yaw, double pitch) noexcept {
+  const double cp = std::cos(pitch);
+  return {std::sin(yaw) * cp, std::cos(yaw) * cp, std::sin(pitch)};
+}
+
+double bounce_amplitude(double reflectivity, double d1, double d2) noexcept {
+  const double total = d1 + d2;
+  return reflectivity / (total * total);
+}
+
+}  // namespace
+
+CockpitChannel::CockpitChannel(CockpitScene scene,
+                               channel::SubcarrierGrid grid,
+                               HeadScatter3d scatter, util::Rng rng)
+    : scene_(std::move(scene)),
+      grid_(std::move(grid)),
+      scatter_(scatter),
+      rng_(std::move(rng)) {}
+
+geom::Vec3 CockpitChannel::scatter_center(const HeadPose3d& pose) const {
+  const geom::Vec3 first =
+      scatter_.primary_offset_m * facing3(pose.yaw, pose.pitch);
+  const geom::Vec3 second =
+      scatter_.secondary_offset_m *
+      facing3(2.0 * pose.yaw + scatter_.secondary_phase_rad,
+              2.0 * pose.pitch);
+  const geom::Vec3 vertical{0.0, 0.0, scatter_.pitch_offset_m * pose.pitch};
+  return scene_.head_center + first + second + vertical;
+}
+
+Csi3d CockpitChannel::measure(double t, const HeadPose3d& pose) {
+  Csi3d out;
+  out.t = t;
+  const geom::Vec3 s = scatter_center(pose);
+  // Per-frame CFO phase + slowly walking SFO lag, SHARED by all antennas
+  // (one oscillator, one sampling clock — the Eq. 3 premise).
+  const double beta = rng_.uniform(-util::kPi, util::kPi);
+
+  for (std::size_t a = 0; a < CockpitScene::kNumRx; ++a) {
+    const geom::Vec3 rx = scene_.rx_positions[a];
+    auto& row = out.h[a];
+    row.assign(grid_.size(), {0.0, 0.0});
+
+    // Path inventory: LOS, head echo, static struts.
+    struct Path {
+      double length;
+      double amplitude;
+    };
+    std::vector<Path> paths;
+    {
+      const double d = geom::distance(scene_.tx_position, rx);
+      paths.push_back({d, scene_.los_amplitude[a] / (d * d)});
+    }
+    {
+      const double d1 = geom::distance(scene_.tx_position, s);
+      const double d2 = geom::distance(s, rx);
+      paths.push_back({d1 + d2,
+                       scene_.head_amplitude[a] *
+                           bounce_amplitude(scatter_.reflectivity, d1, d2)});
+    }
+    for (const geom::Vec3& p : scene_.static_reflectors) {
+      const double d1 = geom::distance(scene_.tx_position, p);
+      const double d2 = geom::distance(p, rx);
+      paths.push_back(
+          {d1 + d2, bounce_amplitude(scene_.static_reflectivity, d1, d2)});
+    }
+
+    for (std::size_t f = 0; f < grid_.size(); ++f) {
+      std::complex<double> h{0.0, 0.0};
+      for (const Path& p : paths) {
+        h += std::polar(p.amplitude,
+                        util::kTwoPi * p.length / grid_.wavelength(f));
+      }
+      // Shared CFO rotation + independent thermal noise.
+      h *= std::polar(1.0, beta);
+      h += std::complex<double>(rng_.normal(0.0, thermal_std_),
+                                rng_.normal(0.0, thermal_std_));
+      row[f] = h;
+    }
+  }
+  return out;
+}
+
+std::array<double, CockpitScene::kNumRx - 1> CockpitChannel::features(
+    const Csi3d& frame) {
+  std::array<double, CockpitScene::kNumRx - 1> out{};
+  const std::size_t nsc = frame.h[0].size();
+  for (std::size_t a = 1; a < CockpitScene::kNumRx; ++a) {
+    std::complex<double> acc{0.0, 0.0};
+    for (std::size_t f = 0; f < nsc; ++f) {
+      const std::complex<double> d =
+          frame.h[a][f] * std::conj(frame.h[0][f]);
+      const double mag = std::abs(d);
+      if (mag > 0.0) acc += d / mag;
+    }
+    out[a - 1] = std::arg(acc);
+  }
+  return out;
+}
+
+}  // namespace vihot::ext3d

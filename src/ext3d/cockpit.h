@@ -1,0 +1,110 @@
+// 3D head tracking in an aircraft cockpit — the paper's Sec. 7 vision:
+// "Since 802.11ac is gaining popularity, up to 8 antennas may soon become
+// available ... for more accurate head tracking" and Sec. 2.3: "Our
+// solution can also extend to 3D cases like in the aircraft cockpit."
+//
+// A pilot scans both horizontally (other traffic) and vertically
+// (instruments vs horizon), so the head pose is (yaw, pitch). One
+// inter-antenna phase difference cannot pin down two angles; with K >= 3
+// RX antennas the K-1 simultaneous phase differences form a feature
+// vector whose trajectory identifies the pose, matched by multivariate
+// DTW (dsp/mdtw.h).
+//
+// This module is a self-contained extension prototype: its own cockpit
+// scene and K-antenna channel, a serpentine (yaw-sweep, pitch-step)
+// profiler, and a windowed matcher over feature-vector series.
+#pragma once
+
+#include <array>
+#include <complex>
+#include <vector>
+
+#include "channel/subcarrier.h"
+#include "geom/vec3.h"
+#include "util/rng.h"
+
+namespace vihot::ext3d {
+
+/// Full 3D head orientation tracked by the extension.
+struct HeadPose3d {
+  double yaw = 0.0;    ///< rad, + toward the right window
+  double pitch = 0.0;  ///< rad, + looking up
+};
+
+/// Head scattering with pitch structure: the scattering center rides the
+/// facing direction in 3D, with a second harmonic per axis (the same
+/// mechanism that makes the 2D curve non-injective).
+struct HeadScatter3d {
+  double reflectivity = 0.85;
+  double primary_offset_m = 0.045;
+  double secondary_offset_m = 0.032;
+  double secondary_phase_rad = -0.4;
+  double pitch_offset_m = 0.035;  ///< vertical scatter travel per rad
+};
+
+/// Cockpit geometry: TX on the instrument panel, K RX antennas spread
+/// around the canopy frame for gradient diversity (each antenna's path
+/// length must respond to a different mix of yaw and pitch).
+struct CockpitScene {
+  static constexpr std::size_t kNumRx = 4;
+
+  geom::Vec3 tx_position{0.0, 0.75, 1.05};  ///< instrument panel
+  geom::Vec3 head_center{0.0, 0.10, 1.25};
+
+  /// RX antennas: [0] panel reference (clean LOS), [1] left frame,
+  /// [2] canopy overhead (pitch-sensitive), [3] right frame.
+  std::array<geom::Vec3, kNumRx> rx_positions{{
+      {0.25, 0.80, 1.10},
+      {-0.55, -0.05, 1.25},
+      {0.05, -0.10, 1.75},
+      {0.55, -0.05, 1.25},
+  }};
+  /// Per-antenna LOS and head-echo amplitude coefficients.
+  std::array<double, kNumRx> los_amplitude{{1.0, 0.45, 0.45, 0.45}};
+  std::array<double, kNumRx> head_amplitude{{0.15, 0.34, 0.34, 0.34}};
+
+  std::vector<geom::Vec3> static_reflectors{
+      {0.0, -0.8, 1.1},   // seat frame
+      {-0.6, 0.5, 1.4},   // left canopy strut
+      {0.6, 0.5, 1.4},    // right canopy strut
+      {0.0, 0.95, 0.85},  // panel base
+  };
+  double static_reflectivity = 0.25;
+};
+
+/// One frame's CSI across the K antennas (noisy, as a NIC reports it).
+struct Csi3d {
+  double t = 0.0;
+  std::array<std::vector<std::complex<double>>, CockpitScene::kNumRx> h;
+};
+
+/// K-antenna cockpit channel with shared-oscillator CFO/SFO noise.
+class CockpitChannel {
+ public:
+  CockpitChannel(CockpitScene scene, channel::SubcarrierGrid grid,
+                 HeadScatter3d scatter, util::Rng rng);
+
+  /// Noisy CSI for one frame at time t with the given head pose.
+  [[nodiscard]] Csi3d measure(double t, const HeadPose3d& pose);
+
+  /// The orientation-dependent scattering center (diagnostics).
+  [[nodiscard]] geom::Vec3 scatter_center(const HeadPose3d& pose) const;
+
+  /// Sanitized feature vector of a frame: K-1 inter-antenna phase
+  /// differences (antenna k vs the panel reference 0), each averaged over
+  /// subcarriers on the unit circle. The CFO/SFO offsets cancel exactly
+  /// as in the 2D sanitizer (Eq. 3).
+  [[nodiscard]] static std::array<double, CockpitScene::kNumRx - 1> features(
+      const Csi3d& frame);
+
+  [[nodiscard]] const CockpitScene& scene() const noexcept { return scene_; }
+
+ private:
+  CockpitScene scene_;
+  channel::SubcarrierGrid grid_;
+  HeadScatter3d scatter_;
+  util::Rng rng_;
+  double thermal_std_ = 0.01;
+};
+
+}  // namespace vihot::ext3d

@@ -1,0 +1,159 @@
+#include "ext3d/tracker3d.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/angle.h"
+
+// anchored = wrap_pi(raw - reference), per dimension.
+
+namespace vihot::ext3d {
+
+SerpentineScan::SerpentineScan(const Config& config) : config_(config) {
+  // One row: sweep from -yaw_max to +yaw_max (or back).
+  row_time_ = 2.0 * config_.yaw_max_rad /
+              std::max(config_.yaw_speed_rad_s, 1e-6);
+}
+
+double SerpentineScan::duration() const noexcept {
+  return row_time_ * static_cast<double>(config_.pitch_rows);
+}
+
+HeadPose3d SerpentineScan::at(double t) const noexcept {
+  const double total = duration();
+  const double u = std::clamp(t, 0.0, total - 1e-9);
+  const auto row = static_cast<std::size_t>(u / row_time_);
+  const double in_row = u - static_cast<double>(row) * row_time_;
+  const double frac = in_row / row_time_;  // 0..1 across the sweep
+
+  HeadPose3d pose;
+  // Alternate sweep direction per row (the serpentine).
+  const double yaw_frac = (row % 2 == 0) ? frac : 1.0 - frac;
+  pose.yaw = -config_.yaw_max_rad + 2.0 * config_.yaw_max_rad * yaw_frac;
+  // Pitch steps per row, bottom to top.
+  const double rows = static_cast<double>(config_.pitch_rows - 1);
+  pose.pitch = -config_.pitch_max_rad +
+               2.0 * config_.pitch_max_rad *
+                   (rows > 0.0 ? static_cast<double>(row) / rows : 0.5);
+  return pose;
+}
+
+Profile3d build_profile3d(CockpitChannel& channel,
+                          const SerpentineScan& scan, double frame_rate_hz) {
+  Profile3d profile;
+  profile.dt = 1.0 / frame_rate_hz;
+
+  // Anchor: average the feature vector while the pilot faces (0, 0)
+  // before the scan starts (the 3D analogue of phi0 at theta = 0).
+  {
+    std::array<std::complex<double>, Profile3d::kDim> acc{};
+    for (int i = 0; i < 32; ++i) {
+      const auto f = CockpitChannel::features(
+          channel.measure(-0.1 + 0.002 * i, HeadPose3d{}));
+      for (std::size_t d = 0; d < Profile3d::kDim; ++d) {
+        acc[d] += std::polar(1.0, f[d]);
+      }
+    }
+    for (std::size_t d = 0; d < Profile3d::kDim; ++d) {
+      profile.reference[d] = std::arg(acc[d]);
+    }
+  }
+
+  const double total = scan.duration();
+  for (double t = 0.0; t < total; t += profile.dt) {
+    const HeadPose3d pose = scan.at(t);
+    const Csi3d frame = channel.measure(t, pose);
+    const auto f = CockpitChannel::features(frame);
+    for (std::size_t d = 0; d < Profile3d::kDim; ++d) {
+      profile.features.push_back(
+          util::wrap_pi(f[d] - profile.reference[d]));
+    }
+    profile.poses.push_back(pose);
+  }
+  return profile;
+}
+
+Tracker3d::Tracker3d(Profile3d profile, const Config& config)
+    : profile_(std::move(profile)), config_(config) {}
+
+void Tracker3d::push(double t,
+                     const std::array<double, Profile3d::kDim>& feature) {
+  times_.push_back(t);
+  for (std::size_t d = 0; d < Profile3d::kDim; ++d) {
+    feats_.push_back(util::wrap_pi(feature[d] - profile_.reference[d]));
+  }
+  // Trim far history.
+  const double keep_from = t - 4.0 * config_.window_s - 1.0;
+  std::size_t drop = 0;
+  while (drop < times_.size() && times_[drop] < keep_from) ++drop;
+  if (drop > 512) {
+    times_.erase(times_.begin(), times_.begin() + static_cast<long>(drop));
+    feats_.erase(feats_.begin(),
+                 feats_.begin() + static_cast<long>(drop * Profile3d::kDim));
+  }
+}
+
+Estimate3d Tracker3d::estimate(double t_now) {
+  Estimate3d out;
+  out.t = t_now;
+  if (profile_.empty() || times_.empty()) return out;
+  const double t0 = t_now - config_.window_s;
+  if (times_.front() > t0) return out;  // window not yet filled
+
+  // Resample the window onto the matching grid (nearest-sample pick is
+  // fine at 400 Hz input vs 100 Hz grid).
+  const std::size_t dims = std::min(config_.dims, Profile3d::kDim);
+  const auto count = static_cast<std::size_t>(
+      std::round(config_.window_s * config_.feature_rate_hz)) + 1;
+  std::vector<double> query;
+  query.reserve(count * dims);
+  std::size_t cursor = 0;
+  double energy = 0.0;
+  std::array<double, Profile3d::kDim> first{};
+  for (std::size_t i = 0; i < count; ++i) {
+    const double t = t0 + (t_now - t0) * static_cast<double>(i) /
+                              static_cast<double>(count - 1);
+    while (cursor + 1 < times_.size() && times_[cursor + 1] <= t) ++cursor;
+    for (std::size_t d = 0; d < dims; ++d) {
+      const double v = feats_[cursor * Profile3d::kDim + d];
+      query.push_back(v);
+      if (i == 0) {
+        first[d] = v;
+      } else {
+        energy = std::max(energy, std::abs(v - first[d]));
+      }
+    }
+  }
+
+  // Flat window: the head is holding still.
+  if (have_output_ && energy < config_.flat_energy) {
+    out.valid = true;
+    out.pose = last_pose_;
+    return out;
+  }
+
+  // Down-select the profile feature columns when dims < kDim (ablation).
+  std::span<const double> reference = profile_.features;
+  std::vector<double> reduced;
+  if (dims < Profile3d::kDim) {
+    reduced.reserve(profile_.rows() * dims);
+    for (std::size_t r = 0; r < profile_.rows(); ++r) {
+      for (std::size_t d = 0; d < dims; ++d) {
+        reduced.push_back(profile_.features[r * Profile3d::kDim + d]);
+      }
+    }
+    reference = reduced;
+  }
+
+  const dsp::MdtwMatch match =
+      dsp::mdtw_find_best(query, reference, dims, config_.search);
+  if (!match.found) return out;
+  out.valid = true;
+  out.pose = profile_.poses[match.end() - 1];
+  out.match_distance = match.distance;
+  have_output_ = true;
+  last_pose_ = out.pose;
+  return out;
+}
+
+}  // namespace vihot::ext3d

@@ -1,0 +1,107 @@
+// 3D profiling + tracking on top of the cockpit channel.
+//
+// Profiling: the pilot scans the head in a serpentine pattern — yaw sweeps
+// left-right while the pitch steps through rows — so the profile covers
+// the (yaw, pitch) rectangle with a continuous trajectory, labelled in
+// real time (the 2D analogue of Fig. 5's position-orientation sweep).
+//
+// Tracking: the recent feature-vector window (K-1 inter-antenna phase
+// differences per frame) is matched into the profile's feature series
+// with multivariate DTW; the (yaw, pitch) labels at the matched segment's
+// end are the estimate (Algorithm 1, lifted one dimension).
+#pragma once
+
+#include <vector>
+
+#include "dsp/mdtw.h"
+#include "ext3d/cockpit.h"
+
+namespace vihot::ext3d {
+
+/// The serpentine profiling trajectory.
+class SerpentineScan {
+ public:
+  struct Config {
+    double yaw_max_rad = 1.3;      ///< sweep +-75 deg
+    double pitch_max_rad = 0.45;   ///< rows span +-26 deg
+    std::size_t pitch_rows = 7;    ///< serpentine rows
+    double yaw_speed_rad_s = 1.4;  ///< deliberate profiling speed
+  };
+
+  explicit SerpentineScan(const Config& config);
+
+  [[nodiscard]] HeadPose3d at(double t) const noexcept;
+  [[nodiscard]] double duration() const noexcept;
+
+ private:
+  Config config_;
+  double row_time_;
+};
+
+/// The 3D profile: feature rows + pose labels on a uniform grid.
+struct Profile3d {
+  static constexpr std::size_t kDim = CockpitScene::kNumRx - 1;
+  double dt = 0.0;
+  /// Phase anchor per dimension: the feature vector at pose (0, 0).
+  /// Stored features (and every run-time feature) are re-expressed
+  /// relative to it and wrapped, keeping values away from +-pi (the same
+  /// anchoring the 2D profile applies via its reference_phase).
+  std::array<double, kDim> reference{};
+  std::vector<double> features;  ///< row-major, kDim, anchored
+  std::vector<HeadPose3d> poses;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return poses.size(); }
+  [[nodiscard]] bool empty() const noexcept { return poses.empty(); }
+};
+
+/// One 3D tracking estimate.
+struct Estimate3d {
+  bool valid = false;
+  double t = 0.0;
+  HeadPose3d pose;
+  double match_distance = 0.0;
+};
+
+/// Builds a 3D profile and tracks against it.
+class Tracker3d {
+ public:
+  struct Config {
+    double window_s = 0.25;        ///< longer than 2D: two angles to pin
+    double feature_rate_hz = 100.0;
+    dsp::MdtwSearchOptions search{};
+    /// Hold the previous pose when the window's feature energy is below
+    /// this (the flat-window rule, lifted to vector features).
+    double flat_energy = 0.05;
+    /// How many feature dimensions to use (ablation: 1 mimics the
+    /// 2-antenna 2D system and cannot resolve pitch).
+    std::size_t dims = Profile3d::kDim;
+  };
+
+  Tracker3d(Profile3d profile, const Config& config);
+
+  /// Feed one frame's feature vector.
+  void push(double t, const std::array<double, Profile3d::kDim>& feature);
+
+  /// Estimate the pose at t_now (needs a full window of features).
+  [[nodiscard]] Estimate3d estimate(double t_now);
+
+  [[nodiscard]] const Profile3d& profile() const noexcept {
+    return profile_;
+  }
+
+ private:
+  Profile3d profile_;
+  Config config_;
+  std::vector<double> times_;
+  std::vector<double> feats_;  ///< row-major kDim
+  bool have_output_ = false;
+  HeadPose3d last_pose_;
+};
+
+/// Runs the serpentine profiling stage through a channel and assembles
+/// the profile (features resampled onto a uniform grid).
+[[nodiscard]] Profile3d build_profile3d(CockpitChannel& channel,
+                                        const SerpentineScan& scan,
+                                        double frame_rate_hz = 400.0);
+
+}  // namespace vihot::ext3d

@@ -1,0 +1,108 @@
+#include "fusion/hybrid_tracker.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vihot::fusion {
+
+HybridTracker::HybridTracker(core::CsiProfile profile, Config config)
+    : config_(config), csi_(std::move(profile), config.csi) {}
+
+void HybridTracker::push_csi(const wifi::CsiMeasurement& m) {
+  csi_.push_csi(m);
+}
+
+void HybridTracker::push_imu(const imu::ImuSample& sample) {
+  csi_.push_imu(sample);
+}
+
+void HybridTracker::push_camera(const camera::CameraTracker::Estimate& e) {
+  // The CSI tracker keeps its own copy for the steering fallback.
+  csi_.push_camera(e);
+  if (e.valid) pending_camera_ = e;
+}
+
+bool HybridTracker::camera_should_be_on(double t) const noexcept {
+  switch (config_.policy) {
+    case CameraPolicy::kAlwaysOn:
+      return true;
+    case CameraPolicy::kOff:
+      return false;
+    case CameraPolicy::kEnergyAware:
+      return t <= camera_on_until_;
+  }
+  return false;
+}
+
+HybridTracker::Result HybridTracker::estimate(double t_now) {
+  Result out;
+  out.t = t_now;
+
+  const core::TrackResult csi = csi_.estimate(t_now);
+
+  // Energy-aware wake-up: poor CSI confidence (or the steering fallback,
+  // which needs the camera anyway) powers the camera for a while.
+  if (config_.policy == CameraPolicy::kEnergyAware) {
+    const bool poor = (csi.valid &&
+                       csi.raw.match_distance > config_.poor_match_distance) ||
+                      !csi.valid ||
+                      csi.mode == core::TrackingMode::kCameraFallback;
+    const bool heartbeat = t_now >= next_heartbeat_;
+    if (heartbeat) next_heartbeat_ = t_now + config_.camera_heartbeat_s;
+    if (poor || heartbeat) {
+      camera_on_until_ =
+          std::max(camera_on_until_, t_now + config_.camera_min_on_s);
+    }
+  }
+  out.camera_powered = camera_should_be_on(t_now);
+
+  // Energy accounting between consecutive estimates.
+  if (last_estimate_t_ >= 0.0 && t_now > last_estimate_t_) {
+    const double dt = t_now - last_estimate_t_;
+    observed_time_ += dt;
+    if (out.camera_powered) powered_time_ += dt;
+  }
+  last_estimate_t_ = t_now;
+
+  // Complementary filter: integrate the CSI increment, anchor with the
+  // camera when powered.
+  double csi_increment = 0.0;
+  if (csi.valid) {
+    if (have_csi_theta_ && have_fused_) {
+      csi_increment = csi.theta_rad - last_csi_theta_;
+      fused_theta_ += csi_increment;
+      // Decay the camera-correction offset toward the absolute CSI
+      // output: once the CSI tracker re-locks on its own, a correction
+      // accumulated against its OLD mistake must not keep shifting the
+      // fused output.
+      fused_theta_ += config_.csi_relax * (csi.theta_rad - fused_theta_);
+    } else {
+      fused_theta_ = csi.theta_rad;
+      have_fused_ = true;
+    }
+    last_csi_theta_ = csi.theta_rad;
+    have_csi_theta_ = true;
+  }
+  // Camera frames are exposed ~latency+frame-age before t_now; blending a
+  // stale absolute angle during a fast turn would drag the fused state
+  // backwards, so the anchor only applies while the head is slow (when
+  // staleness is harmless and absolute drift correction matters most).
+  const bool head_slow = std::abs(csi_increment) < 0.05;
+  if (out.camera_powered && pending_camera_ && head_slow &&
+      t_now - pending_camera_->t < 0.2 && have_fused_) {
+    fused_theta_ += config_.camera_blend *
+                    (pending_camera_->theta - fused_theta_);
+    pending_camera_.reset();
+  }
+
+  out.valid = have_fused_;
+  out.theta_rad = fused_theta_;
+  return out;
+}
+
+double HybridTracker::camera_duty_cycle() const noexcept {
+  if (observed_time_ <= 0.0) return 0.0;
+  return powered_time_ / observed_time_;
+}
+
+}  // namespace vihot::fusion

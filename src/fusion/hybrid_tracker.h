@@ -1,0 +1,101 @@
+// Hybrid CSI + camera tracking (the "Combining with cameras" future-work
+// direction of Sec. 7).
+//
+// Cameras and CSI fail differently: the camera is absolute and robust to
+// cabin motion but slow (~30 FPS), latency-laden, and light-dependent;
+// CSI is fast (~500 Hz) and light-independent but occasionally grabs a
+// wrong branch of the non-injective phase curve. The hybrid tracker fuses
+// them with a complementary filter — CSI supplies the high-rate dynamics,
+// the camera a low-rate absolute anchor — and optionally duty-cycles the
+// camera ("energy-aware scheduling" in the paper's words): the camera is
+// powered only while the CSI match quality is poor, so the expensive
+// pipeline runs a small fraction of the time.
+#pragma once
+
+#include "camera/camera_tracker.h"
+#include "core/tracker.h"
+
+namespace vihot::fusion {
+
+/// When the camera contributes.
+enum class CameraPolicy {
+  kAlwaysOn,     ///< fuse every camera frame (max accuracy, max energy)
+  kEnergyAware,  ///< power the camera only while CSI confidence is poor
+  kOff,          ///< CSI only (ViHotTracker pass-through)
+};
+
+/// Complementary-filter fusion of ViHOT and a camera tracker.
+class HybridTracker {
+ public:
+  struct Config {
+    core::TrackerConfig csi{};
+    CameraPolicy policy = CameraPolicy::kEnergyAware;
+
+    /// Blend factor applied per accepted camera frame: the fused state
+    /// moves this fraction of the way to the camera's absolute estimate.
+    double camera_blend = 0.35;
+
+    /// Per-estimate relaxation toward the absolute CSI output. Camera
+    /// corrections live in the fused-vs-CSI offset; when the CSI tracker
+    /// self-corrects (a global re-lock), that stored offset becomes
+    /// stale, so it must decay rather than persist.
+    double csi_relax = 0.15;
+
+    /// Energy-aware thresholds: the camera powers ON when the CSI match
+    /// distance exceeds `poor_match_distance` (or CSI is in fallback
+    /// mode), and stays on for at least `camera_min_on_s` once woken.
+    double poor_match_distance = 0.0012;
+    double camera_min_on_s = 0.8;
+
+    /// Periodic revalidation: even with confident CSI, the camera wakes
+    /// for one burst every `camera_heartbeat_s` to re-anchor the fused
+    /// state (drift insurance; a small, predictable energy cost).
+    double camera_heartbeat_s = 5.0;
+  };
+
+  HybridTracker(core::CsiProfile profile, Config config);
+
+  /// Feed streams (time-ordered across all push_* calls).
+  void push_csi(const wifi::CsiMeasurement& m);
+  void push_imu(const imu::ImuSample& sample);
+  /// Camera frames are delivered unconditionally; the tracker decides
+  /// whether the camera would have been powered (and counts the energy).
+  void push_camera(const camera::CameraTracker::Estimate& estimate);
+
+  struct Result {
+    bool valid = false;
+    double t = 0.0;
+    double theta_rad = 0.0;
+    bool camera_powered = false;  ///< camera on at this instant
+  };
+  [[nodiscard]] Result estimate(double t_now);
+
+  /// Fraction of time the camera was powered so far (the energy proxy;
+  /// 1.0 for kAlwaysOn, ~0 for kOff).
+  [[nodiscard]] double camera_duty_cycle() const noexcept;
+
+  [[nodiscard]] const core::ViHotTracker& csi_tracker() const noexcept {
+    return csi_;
+  }
+
+ private:
+  [[nodiscard]] bool camera_should_be_on(double t) const noexcept;
+
+  Config config_;
+  core::ViHotTracker csi_;
+
+  bool have_fused_ = false;
+  double fused_theta_ = 0.0;
+  double last_csi_theta_ = 0.0;
+  bool have_csi_theta_ = false;
+
+  // Camera power state + accounting.
+  double camera_on_until_ = -1.0;
+  double next_heartbeat_ = 0.0;
+  double powered_time_ = 0.0;
+  double observed_time_ = 0.0;
+  double last_estimate_t_ = -1.0;
+  std::optional<camera::CameraTracker::Estimate> pending_camera_;
+};
+
+}  // namespace vihot::fusion

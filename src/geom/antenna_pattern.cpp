@@ -1,0 +1,24 @@
+#include "geom/antenna_pattern.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vihot::geom {
+
+DipolePattern::DipolePattern(const Vec3& axis, double floor_gain)
+    : axis_(axis.normalized()), floor_gain_(std::clamp(floor_gain, 0.0, 1.0)) {}
+
+double DipolePattern::gain(const Vec3& direction) const noexcept {
+  const Vec3 d = direction.normalized();
+  if (d.norm_sq() <= 0.0) return floor_gain_;
+  // sin^2 of the angle to the wire axis: 1 broadside, ~0 along the axis.
+  const double cos_axis = d.dot(axis_);
+  const double sin_sq = 1.0 - cos_axis * cos_axis;
+  return std::max(sin_sq, floor_gain_);
+}
+
+double DipolePattern::amplitude_gain(const Vec3& direction) const noexcept {
+  return std::sqrt(gain(direction));
+}
+
+}  // namespace vihot::geom

@@ -1,0 +1,46 @@
+// Antenna radiation patterns.
+//
+// Sec. 3.5: the phone's WiFi antenna is a wire along the phone's long edge;
+// its radiation pattern is a "donut" — omnidirectional in the plane
+// orthogonal to the wire and near-null along the wire axis. ViHOT exploits
+// this by orienting the phone so the short edge (the wire axis' null)
+// points at the passenger, suppressing reflections from the passenger side
+// while keeping full gain toward the driver.
+#pragma once
+
+#include "geom/vec3.h"
+
+namespace vihot::geom {
+
+/// Idealized half-wave-dipole ("donut") power gain pattern.
+class DipolePattern {
+ public:
+  /// `axis` is the antenna wire direction (the null axis); it is stored
+  /// normalized. `floor_gain` is the residual gain in the null (real
+  /// antennas never reach a perfect zero).
+  explicit DipolePattern(const Vec3& axis, double floor_gain = 0.02);
+
+  /// Linear power gain toward `direction` (from the antenna), in
+  /// [floor_gain, 1]. Follows the classic sin^2 dipole shape.
+  [[nodiscard]] double gain(const Vec3& direction) const noexcept;
+
+  /// Amplitude gain = sqrt(power gain).
+  [[nodiscard]] double amplitude_gain(const Vec3& direction) const noexcept;
+
+  [[nodiscard]] const Vec3& axis() const noexcept { return axis_; }
+
+ private:
+  Vec3 axis_;
+  double floor_gain_;
+};
+
+/// Isotropic pattern (used for the RX antennas, whose placement — not
+/// pattern — is the paper's variable, Sec. 5.2.2).
+class IsotropicPattern {
+ public:
+  [[nodiscard]] static double gain(const Vec3& /*direction*/) noexcept {
+    return 1.0;
+  }
+};
+
+}  // namespace vihot::geom

@@ -1,0 +1,30 @@
+// Head pose types shared by the motion models and the tracker.
+#pragma once
+
+#include "geom/vec3.h"
+
+namespace vihot::geom {
+
+/// Full 3D head rotation (Fig. 2 decomposes a driving head scan into these
+/// axes; yaw dominates, pitch/roll stay small).
+struct HeadRotation {
+  double yaw = 0.0;    ///< rad, 0 = facing the car front, + toward passenger
+  double pitch = 0.0;  ///< rad, + looking up
+  double roll = 0.0;   ///< rad, + tilting toward passenger
+};
+
+/// The pose the tracker estimates: a discrete-ish head position (the head
+/// center in cabin coordinates) plus the horizontal orientation theta
+/// (Sec. 2.3 argues 2D yaw tracking suffices in a car).
+struct HeadPose {
+  Vec3 position;       ///< head center, meters, cabin frame
+  double theta = 0.0;  ///< rad, horizontal orientation (yaw)
+};
+
+/// Unit vector the head faces for a given yaw (in the horizontal plane).
+inline Vec3 facing_direction(double theta) noexcept {
+  // theta = 0 faces +y (car front); positive theta rotates toward +x.
+  return {std::sin(theta), std::cos(theta), 0.0};
+}
+
+}  // namespace vihot::geom

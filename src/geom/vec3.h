@@ -1,0 +1,79 @@
+// Minimal 3D vector type for cabin geometry.
+//
+// Coordinate convention used across the simulator (left-hand-drive car):
+//   +x : toward the passenger side (driver sits at negative x)
+//   +y : toward the front of the car
+//   +z : up
+// The origin is at the cabin floor center. Head orientation theta = 0 faces
+// +y (the paper's "direction from the car's back to the front", Sec. 2.3);
+// positive theta turns toward +x.
+#pragma once
+
+#include <cmath>
+
+namespace vihot::geom {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const noexcept {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const noexcept {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator*(double s) const noexcept {
+    return {x * s, y * s, z * s};
+  }
+  constexpr Vec3 operator/(double s) const noexcept {
+    return {x / s, y / s, z / s};
+  }
+  constexpr Vec3& operator+=(const Vec3& o) noexcept {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr Vec3 operator-() const noexcept { return {-x, -y, -z}; }
+
+  [[nodiscard]] constexpr double dot(const Vec3& o) const noexcept {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  [[nodiscard]] constexpr Vec3 cross(const Vec3& o) const noexcept {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  [[nodiscard]] double norm() const noexcept { return std::sqrt(dot(*this)); }
+  [[nodiscard]] constexpr double norm_sq() const noexcept {
+    return dot(*this);
+  }
+  /// Unit vector; the zero vector normalizes to itself.
+  [[nodiscard]] Vec3 normalized() const noexcept {
+    const double n = norm();
+    return n > 0.0 ? *this / n : *this;
+  }
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) noexcept { return v * s; }
+
+/// Euclidean distance.
+inline double distance(const Vec3& a, const Vec3& b) noexcept {
+  return (a - b).norm();
+}
+
+/// Angle between two vectors in radians, in [0, pi]. Zero vectors give 0.
+inline double angle_between(const Vec3& a, const Vec3& b) noexcept {
+  const double na = a.norm();
+  const double nb = b.norm();
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  double c = a.dot(b) / (na * nb);
+  if (c > 1.0) c = 1.0;
+  if (c < -1.0) c = -1.0;
+  return std::acos(c);
+}
+
+}  // namespace vihot::geom

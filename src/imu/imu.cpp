@@ -1,0 +1,32 @@
+#include "imu/imu.h"
+
+namespace vihot::imu {
+
+PhoneImu::PhoneImu(Config config, util::Rng rng)
+    : config_(config), rng_(std::move(rng)) {}
+
+ImuSample PhoneImu::sample(double t, const motion::CarState& car) {
+  ImuSample s;
+  s.t = t;
+  s.gyro_yaw_rad_s = car.yaw_rate_rad_s + config_.gyro_bias +
+                     rng_.normal(0.0, config_.gyro_noise_std);
+  // Centripetal acceleration a = v * yaw_rate.
+  s.accel_lateral_mps2 = car.speed_mps * car.yaw_rate_rad_s +
+                         rng_.normal(0.0, config_.accel_noise_std);
+  return s;
+}
+
+std::vector<ImuSample> PhoneImu::capture(
+    double t0, double t1, const motion::CarDynamics& dynamics,
+    const motion::SteeringModel& steering) {
+  std::vector<ImuSample> out;
+  if (t1 <= t0 || config_.rate_hz <= 0.0) return out;
+  const double dt = 1.0 / config_.rate_hz;
+  out.reserve(static_cast<std::size_t>((t1 - t0) / dt) + 1);
+  for (double t = t0; t < t1; t += dt) {
+    out.push_back(sample(t, dynamics.at(t, steering)));
+  }
+  return out;
+}
+
+}  // namespace vihot::imu

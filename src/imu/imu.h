@@ -1,0 +1,51 @@
+// Simulated phone IMU.
+//
+// Sec. 3.6.2: the phone is mounted rigidly on the dashboard, so its gyro
+// measures the car body's rotation. ViHOT streams these readings to the
+// receiver alongside the CSI (UDP in the prototype) and uses them to decide
+// whether a CSI disturbance came from steering (car is turning) or from the
+// driver's head (car is not).
+#pragma once
+
+#include "motion/car.h"
+#include "motion/steering.h"
+#include "util/rng.h"
+#include "util/time_series.h"
+
+namespace vihot::imu {
+
+/// One IMU report (only the yaw gyro axis matters to the identifier).
+struct ImuSample {
+  double t = 0.0;
+  double gyro_yaw_rad_s = 0.0;   ///< body yaw rate + bias + noise
+  double accel_lateral_mps2 = 0.0;  ///< centripetal acceleration
+};
+
+/// Samples the car state through a noisy MEMS gyro model.
+class PhoneImu {
+ public:
+  struct Config {
+    double rate_hz = 100.0;        ///< typical Android sensor rate
+    double gyro_noise_std = 0.006; ///< rad/s white noise
+    double gyro_bias = 0.002;      ///< rad/s constant bias (uncalibrated)
+    double accel_noise_std = 0.05; ///< m/s^2
+  };
+
+  PhoneImu(Config config, util::Rng rng);
+
+  /// One reading at time t.
+  [[nodiscard]] ImuSample sample(double t, const motion::CarState& car);
+
+  /// Full trace over [t0, t1) at the configured rate.
+  [[nodiscard]] std::vector<ImuSample> capture(
+      double t0, double t1, const motion::CarDynamics& dynamics,
+      const motion::SteeringModel& steering);
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+  util::Rng rng_;
+};
+
+}  // namespace vihot::imu

@@ -1,0 +1,41 @@
+#include "imu/turn_detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace vihot::imu {
+
+TurnDetector::TurnDetector() : config_(Config{}) {}
+
+TurnDetector::TurnDetector(const Config& config) : config_(config) {}
+
+bool TurnDetector::update(const ImuSample& sample) {
+  window_.push_back(sample);
+  while (!window_.empty() &&
+         window_.front().t < sample.t - config_.smooth_window_s) {
+    window_.pop_front();
+  }
+  // Median over the window: robust to single-sample gyro glitches that
+  // a mean would smear into a false turn.
+  std::vector<double> rates;
+  rates.reserve(window_.size());
+  for (const ImuSample& w : window_) rates.push_back(w.gyro_yaw_rad_s);
+  const auto mid = rates.begin() + static_cast<std::ptrdiff_t>(rates.size() / 2);
+  std::nth_element(rates.begin(), mid, rates.end());
+  smoothed_ = std::abs(*mid);
+
+  if (turning_raw_) {
+    if (smoothed_ < config_.yaw_rate_threshold * config_.release_ratio) {
+      turning_raw_ = false;
+    }
+  } else if (smoothed_ > config_.yaw_rate_threshold) {
+    turning_raw_ = true;
+  }
+  if (turning_raw_) last_turning_t_ = sample.t;
+  turning_latched_ =
+      turning_raw_ || (sample.t - last_turning_t_) < config_.hold_after_s;
+  return turning_latched_;
+}
+
+}  // namespace vihot::imu

@@ -1,0 +1,25 @@
+#include "motion/car.h"
+
+#include <cmath>
+
+namespace vihot::motion {
+
+CarDynamics::CarDynamics() : config_(Config{}) {}
+
+double CarDynamics::steady_yaw_rate(double wheel_angle_rad) const noexcept {
+  // Bicycle model: yaw_rate = v / L * tan(road_wheel_angle).
+  const double road_angle = wheel_angle_rad / config_.steering_ratio;
+  return config_.speed_mps / config_.wheelbase_m * std::tan(road_angle);
+}
+
+CarState CarDynamics::at(double t,
+                         const SteeringModel& steering) const noexcept {
+  CarState s;
+  s.speed_mps = config_.speed_mps;
+  const double t_lagged = t - config_.yaw_lag_s;
+  const SteeringState w = steering.at(t_lagged > 0.0 ? t_lagged : 0.0);
+  s.yaw_rate_rad_s = steady_yaw_rate(w.wheel_angle_rad);
+  return s;
+}
+
+}  // namespace vihot::motion

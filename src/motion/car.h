@@ -1,0 +1,48 @@
+// Car body dynamics.
+//
+// Sec. 3.6.1: steering the wheel redirects the car almost immediately,
+// while turning the head does not — that asymmetry is what lets the phone
+// IMU attribute a CSI disturbance to steering. We model the yaw rate as a
+// first-order response to the wheel angle scaled by speed (a bicycle-model
+// approximation), which is all the turn detector consumes.
+#pragma once
+
+#include "motion/steering.h"
+
+namespace vihot::motion {
+
+/// Instantaneous car body state.
+struct CarState {
+  double yaw_rate_rad_s = 0.0;  ///< body rotation rate (what the IMU sees)
+  double speed_mps = 6.0;       ///< forward speed (~ <15 mph in Sec. 5.1)
+};
+
+/// Maps steering input to car body motion.
+class CarDynamics {
+ public:
+  struct Config {
+    double speed_mps = 6.0;        ///< campus-road speed, Sec. 5.1
+    double wheelbase_m = 2.78;     ///< Toyota Camry
+    double steering_ratio = 14.5;  ///< wheel angle : road-wheel angle
+    /// First-order lag between wheel input and body yaw (s).
+    double yaw_lag_s = 0.25;
+  };
+
+  CarDynamics();
+  explicit CarDynamics(const Config& config) : config_(config) {}
+
+  /// Yaw rate for a wheel angle held quasi-statically.
+  [[nodiscard]] double steady_yaw_rate(double wheel_angle_rad) const noexcept;
+
+  /// Car state at time t for a given steering model. The lag is
+  /// approximated by sampling the wheel angle `yaw_lag_s` in the past.
+  [[nodiscard]] CarState at(double t,
+                            const SteeringModel& steering) const noexcept;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace vihot::motion

@@ -1,0 +1,51 @@
+#include "motion/driver_profile.h"
+
+#include "util/angle.h"
+
+namespace vihot::motion {
+
+DriverProfile driver_a() {
+  DriverProfile d;
+  d.name = "Driver A";
+  d.height_cm = 175.0;
+  d.head_center = {-0.36, 0.10, 1.18};
+  d.scatter.primary_offset_m = 0.045;
+  d.scatter.secondary_offset_m = 0.032;
+  d.scatter.secondary_phase_rad = -0.40;
+  d.turn_speed_rad_s = util::deg_to_rad(112.0);
+  d.speed_jitter = 0.12;
+  return d;
+}
+
+DriverProfile driver_b() {
+  DriverProfile d;
+  d.name = "Driver B";
+  d.height_cm = 182.0;
+  // Taller: head sits higher and slightly further back.
+  d.head_center = {-0.36, 0.07, 1.23};
+  d.scatter.primary_offset_m = 0.048;  // larger head
+  d.scatter.secondary_offset_m = 0.035;
+  d.scatter.secondary_phase_rad = -0.25;
+  d.turn_speed_rad_s = util::deg_to_rad(128.0);  // brisk scanner
+  d.speed_jitter = 0.18;
+  return d;
+}
+
+DriverProfile driver_c() {
+  DriverProfile d;
+  d.name = "Driver C";
+  d.height_cm = 170.0;
+  d.head_center = {-0.35, 0.12, 1.14};
+  d.scatter.primary_offset_m = 0.041;
+  d.scatter.secondary_offset_m = 0.029;
+  d.scatter.secondary_phase_rad = -0.55;
+  d.turn_speed_rad_s = util::deg_to_rad(101.0);  // slower habit
+  d.speed_jitter = 0.2;
+  return d;
+}
+
+std::vector<DriverProfile> all_drivers() {
+  return {driver_a(), driver_b(), driver_c()};
+}
+
+}  // namespace vihot::motion

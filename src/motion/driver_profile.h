@@ -1,0 +1,41 @@
+// Per-driver characteristics.
+//
+// Sec. 5.2.5 evaluates three drivers (heights 170-182 cm) and attributes
+// their accuracy differences mainly to head-turning-speed habits; head
+// size and sitting pose also shift the CSI-orientation relation, which is
+// why each driver builds a personal profile.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "channel/csi_synth.h"
+#include "geom/vec3.h"
+
+namespace vihot::motion {
+
+/// Everything driver-specific the simulator needs.
+struct DriverProfile {
+  std::string name = "Driver A";
+  double height_cm = 175.0;
+
+  /// Natural head-center position (depends on height & seat setting).
+  geom::Vec3 head_center{-0.36, 0.10, 1.18};
+
+  /// Head scattering geometry (head size shifts the harmonics).
+  channel::HeadScatterModel scatter{};
+
+  /// Habitual head-turn speed, rad/s (Sec. 5.1: typically 100-120 deg/s).
+  double turn_speed_rad_s = 1.92;
+
+  /// Relative jitter of the turn speed between events.
+  double speed_jitter = 0.15;
+};
+
+/// The paper's three test drivers, with plausible per-driver variation.
+[[nodiscard]] DriverProfile driver_a();
+[[nodiscard]] DriverProfile driver_b();
+[[nodiscard]] DriverProfile driver_c();
+[[nodiscard]] std::vector<DriverProfile> all_drivers();
+
+}  // namespace vihot::motion

@@ -1,0 +1,193 @@
+#include "motion/head_trajectory.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/angle.h"
+
+namespace vihot::motion {
+
+namespace {
+
+// Smoothstep easing and its derivative, used for natural turn onsets.
+double smoothstep(double x) noexcept {
+  x = std::clamp(x, 0.0, 1.0);
+  return x * x * (3.0 - 2.0 * x);
+}
+double smoothstep_deriv(double x) noexcept {
+  if (x <= 0.0 || x >= 1.0) return 0.0;
+  return 6.0 * x * (1.0 - x);
+}
+
+}  // namespace
+
+HeadPositionGrid::HeadPositionGrid(geom::Vec3 center, std::size_t count,
+                                   double spacing_m)
+    : center_(center), count_(std::max<std::size_t>(count, 1)),
+      spacing_m_(spacing_m) {}
+
+geom::Vec3 HeadPositionGrid::position(std::size_t i) const noexcept {
+  // Lean axis: dominantly forward/backward, but a torso lean also drops
+  // the head slightly and shifts it a little toward the wheel (drivers
+  // pivot at the hips, not straight along the car axis).
+  static const geom::Vec3 kLeanDir =
+      geom::Vec3{0.10, 0.92, -0.38}.normalized();
+  const double mid = static_cast<double>(count_ - 1) / 2.0;
+  const double offset = (static_cast<double>(i) - mid) * spacing_m_;
+  return center_ + kLeanDir * offset;
+}
+
+std::size_t HeadPositionGrid::nearest(const geom::Vec3& p) const noexcept {
+  std::size_t best = 0;
+  double best_d = geom::distance(p, position(0));
+  for (std::size_t i = 1; i < count_; ++i) {
+    const double d = geom::distance(p, position(i));
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+SweepTrajectory::SweepTrajectory(Config config, geom::Vec3 head_position)
+    : config_(config), head_position_(head_position) {
+  const double span = config_.theta_max_rad - config_.theta_min_rad;
+  // One period covers span out and span back at the configured speed.
+  period_ = 2.0 * span / std::max(config_.speed_rad_s, 1e-6);
+}
+
+HeadState SweepTrajectory::at(double t) const noexcept {
+  const double span = config_.theta_max_rad - config_.theta_min_rad;
+  const double half = period_ / 2.0;
+  double u = std::fmod(t + config_.phase0 * period_, period_);
+  if (u < 0.0) u += period_;
+
+  // Rounded triangular wave: ease within 12% of each half-period end.
+  const double ease = 0.12;
+  double pos;    // 0..1 within the span
+  double dpos;   // d(pos)/dt in 1/s
+  const bool forward = u < half;
+  const double v = forward ? u / half : (u - half) / half;  // 0..1
+  // Piecewise: ease-in [0, ease], linear, ease-out [1-ease, 1], built so
+  // position and velocity are continuous.
+  const double ve = ease;
+  const double v_lin = 1.0 - 2.0 * ve;      // fraction covered linearly
+  const double s_ease = ve / 2.0;           // distance within one easing
+  const double total = 2.0 * s_ease + v_lin;
+  double s;
+  double ds;
+  if (v < ve) {
+    const double x = v / ve;
+    s = s_ease * (x * x);
+    ds = 2.0 * s_ease * (v / (ve * ve));
+  } else if (v > 1.0 - ve) {
+    const double x = (1.0 - v) / ve;
+    s = total - s_ease * (x * x);
+    ds = 2.0 * s_ease * ((1.0 - v) / (ve * ve));
+  } else {
+    s = s_ease + (v - ve);
+    ds = 1.0;
+  }
+  pos = s / total;
+  dpos = ds / (total * half);
+
+  if (!forward) {
+    pos = 1.0 - pos;
+    dpos = -dpos;
+  }
+
+  HeadState state;
+  state.pose.position = head_position_;
+  state.pose.theta = config_.theta_min_rad + pos * span;
+  state.theta_dot = dpos * span;
+  return state;
+}
+
+double DrivingScanTrajectory::ScanEvent::turn_duration() const noexcept {
+  return std::abs(target_rad) / std::max(speed_rad_s, 1e-6);
+}
+
+double DrivingScanTrajectory::ScanEvent::end() const noexcept {
+  return start + 2.0 * turn_duration() + hold_s;
+}
+
+DrivingScanTrajectory::DrivingScanTrajectory(Config config,
+                                             geom::Vec3 head_position,
+                                             util::Rng rng)
+    : config_(config), head_position_(head_position) {
+  jitter_phase1_ = rng.uniform(0.0, util::kTwoPi);
+  jitter_phase2_ = rng.uniform(0.0, util::kTwoPi);
+
+  double t = rng.uniform(0.5, config.mean_event_interval_s);
+  int side = rng.chance(0.5) ? 1 : -1;
+  while (t < config.duration_s) {
+    ScanEvent ev;
+    ev.start = t;
+    const double amplitude =
+        rng.uniform(config.min_target_rad, config.max_target_rad);
+    ev.target_rad = static_cast<double>(side) * amplitude;
+    ev.speed_rad_s = config.turn_speed_rad_s *
+                     (1.0 + rng.normal(0.0, config.speed_jitter));
+    ev.speed_rad_s = std::max(ev.speed_rad_s, 0.3);
+    ev.hold_s = rng.uniform(config.hold_min_s, config.hold_max_s);
+    events_.push_back(ev);
+    // Alternate sides most of the time (mirror check left, then right...).
+    if (rng.chance(0.75)) side = -side;
+    t = ev.end() + rng.exponential(config.mean_event_interval_s);
+  }
+}
+
+HeadState DrivingScanTrajectory::at(double t) const noexcept {
+  HeadState state;
+  state.pose.position = head_position_;
+
+  // Small idle wander while facing the road (two incommensurate tones).
+  const double jitter =
+      config_.idle_jitter_rad *
+      (std::sin(util::kTwoPi * 0.23 * t + jitter_phase1_) +
+       0.6 * std::sin(util::kTwoPi * 0.61 * t + jitter_phase2_));
+  state.pose.theta = jitter;
+  state.theta_dot = config_.idle_jitter_rad *
+                    (util::kTwoPi * 0.23 *
+                         std::cos(util::kTwoPi * 0.23 * t + jitter_phase1_) +
+                     0.6 * util::kTwoPi * 0.61 *
+                         std::cos(util::kTwoPi * 0.61 * t + jitter_phase2_));
+
+  // Find the scan event covering t (events never overlap by construction).
+  for (const ScanEvent& ev : events_) {
+    if (t < ev.start) break;
+    if (t >= ev.end()) continue;
+    const double turn = ev.turn_duration();
+    const double u = t - ev.start;
+    double frac;
+    double dfrac;
+    if (u < turn) {  // turning out
+      frac = smoothstep(u / turn);
+      dfrac = smoothstep_deriv(u / turn) / turn;
+    } else if (u < turn + ev.hold_s) {  // dwelling at the target
+      frac = 1.0;
+      dfrac = 0.0;
+    } else {  // returning to center
+      const double x = (u - turn - ev.hold_s) / turn;
+      frac = 1.0 - smoothstep(x);
+      dfrac = -smoothstep_deriv(x) / turn;
+    }
+    state.pose.theta = ev.target_rad * frac + jitter * (1.0 - frac);
+    state.theta_dot = ev.target_rad * dfrac;
+    break;
+  }
+  return state;
+}
+
+HeadRotation3d rotation_3d(double yaw_rad, double t) noexcept {
+  // Fig. 2: a natural horizontal scan projects weakly onto pitch/roll.
+  HeadRotation3d r;
+  r.yaw_rad = yaw_rad;
+  r.pitch_rad = 0.06 * yaw_rad * std::sin(0.9 * t) +
+                util::deg_to_rad(1.5) * std::sin(0.31 * t);
+  r.roll_rad = 0.05 * yaw_rad + util::deg_to_rad(1.0) * std::sin(0.47 * t);
+  return r;
+}
+
+}  // namespace vihot::motion

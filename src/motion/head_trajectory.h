@@ -1,0 +1,124 @@
+// Driver head motion models.
+//
+// Two regimes matter to ViHOT:
+//  * Profiling (Sec. 3.3): the driver deliberately sweeps the head from the
+//    anatomical leftmost to rightmost orientation, at each of ~10 head
+//    positions (leaning forward/backward), ~10 s per position.
+//  * Run time (Sec. 5.1): the driver faces the road (theta ~ 0) and
+//    executes quick scan events — mirror checks, roadside glances — at
+//    100-150 deg/s, returning to center between events.
+//
+// All models are deterministic functions of time once seeded, so any
+// component can evaluate the state at arbitrary t (random events are
+// pre-generated at construction).
+#pragma once
+
+#include <vector>
+
+#include "geom/pose.h"
+#include "util/rng.h"
+
+namespace vihot::motion {
+
+/// Instantaneous head state.
+struct HeadState {
+  geom::HeadPose pose;
+  double theta_dot = 0.0;  ///< rad/s, signed angular speed
+};
+
+/// Discrete head positions of the profiling grid (Fig. 5): the driver
+/// leans forward/backward through `count` positions spaced `spacing_m`
+/// along the car's longitudinal axis.
+class HeadPositionGrid {
+ public:
+  HeadPositionGrid(geom::Vec3 center, std::size_t count = 10,
+                   double spacing_m = 0.012);
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  /// Head-center position of grid slot i (0 = most leaned back).
+  [[nodiscard]] geom::Vec3 position(std::size_t i) const noexcept;
+  /// The grid slot nearest to an arbitrary head position.
+  [[nodiscard]] std::size_t nearest(const geom::Vec3& p) const noexcept;
+
+ private:
+  geom::Vec3 center_;
+  std::size_t count_;
+  double spacing_m_;
+};
+
+/// Profiling sweep: continuous back-and-forth rotation between
+/// [theta_min, theta_max] at a roughly constant angular speed, with
+/// smoothed turnarounds (a rounded triangular wave).
+class SweepTrajectory {
+ public:
+  struct Config {
+    double theta_min_rad = -1.57;  ///< anatomical leftmost (~ -90 deg)
+    double theta_max_rad = 1.57;   ///< anatomical rightmost
+    double speed_rad_s = 1.92;     ///< ~110 deg/s default
+    double phase0 = 0.0;           ///< initial position within the cycle
+  };
+
+  SweepTrajectory(Config config, geom::Vec3 head_position);
+
+  [[nodiscard]] HeadState at(double t) const noexcept;
+  [[nodiscard]] double period() const noexcept { return period_; }
+
+ private:
+  Config config_;
+  geom::Vec3 head_position_;
+  double period_;
+};
+
+/// Run-time driving motion: theta ~ 0 facing the road, with scan events.
+class DrivingScanTrajectory {
+ public:
+  struct Config {
+    double duration_s = 60.0;
+    double mean_event_interval_s = 4.0;  ///< Poisson-ish scan arrivals
+    double min_target_rad = 0.6;         ///< smallest scan amplitude
+    double max_target_rad = 1.4;         ///< largest scan amplitude
+    double turn_speed_rad_s = 1.92;      ///< driver habit, ~110 deg/s
+    double speed_jitter = 0.15;          ///< relative speed variation
+    double hold_min_s = 0.25;            ///< dwell at the scan target
+    double hold_max_s = 0.7;
+    double idle_jitter_rad = 0.012;      ///< small wander facing forward
+  };
+
+  DrivingScanTrajectory(Config config, geom::Vec3 head_position,
+                        util::Rng rng);
+
+  [[nodiscard]] HeadState at(double t) const noexcept;
+
+  /// The generated scan events (start time, signed target, speed, hold).
+  struct ScanEvent {
+    double start = 0.0;
+    double target_rad = 0.0;
+    double speed_rad_s = 1.9;
+    double hold_s = 0.4;
+    [[nodiscard]] double turn_duration() const noexcept;
+    [[nodiscard]] double end() const noexcept;
+  };
+  [[nodiscard]] const std::vector<ScanEvent>& events() const noexcept {
+    return events_;
+  }
+
+ private:
+  Config config_;
+  geom::Vec3 head_position_;
+  std::vector<ScanEvent> events_;
+  double jitter_phase1_ = 0.0;
+  double jitter_phase2_ = 0.0;
+};
+
+/// Full 3D rotation decomposition used by the Fig. 2 reproduction: yaw is
+/// the tracked theta; pitch/roll are the small residual projections of a
+/// natural head scan (|pitch|, |roll| << |yaw|).
+struct HeadRotation3d {
+  double yaw_rad = 0.0;
+  double pitch_rad = 0.0;
+  double roll_rad = 0.0;
+};
+[[nodiscard]] HeadRotation3d rotation_3d(double yaw_rad,
+                                         double t) noexcept;
+
+}  // namespace vihot::motion

@@ -1,0 +1,55 @@
+#include "motion/micromotion.h"
+
+#include <cmath>
+
+#include "util/angle.h"
+
+namespace vihot::motion {
+
+BreathingModel::BreathingModel(Config config, util::Rng rng)
+    : config_(config), phase_(rng.uniform(0.0, util::kTwoPi)) {}
+
+double BreathingModel::displacement_at(double t) const noexcept {
+  // Breathing is not a pure tone: inhale is faster than exhale, which a
+  // second harmonic captures well enough for phase-footprint purposes.
+  const double w = util::kTwoPi * config_.rate_hz;
+  return config_.amplitude_m *
+         (std::sin(w * t + phase_) + 0.25 * std::sin(2.0 * w * t + phase_));
+}
+
+EyeMotionModel::EyeMotionModel(Config config, util::Rng rng)
+    : config_(config), phase_(rng.uniform(0.0, util::kTwoPi)) {
+  double t = rng.uniform(0.0, config.blink_interval_s);
+  while (t < config.duration_s) {
+    blink_starts_.push_back(t);
+    t += config.blink_interval_s * rng.uniform(0.5, 1.8);
+  }
+}
+
+double EyeMotionModel::displacement_at(double t) const noexcept {
+  double d = 0.0;
+  for (const double start : blink_starts_) {
+    if (t < start) break;
+    if (t >= start + config_.blink_len_s) continue;
+    const double x = (t - start) / config_.blink_len_s;
+    d += config_.blink_amplitude_m * std::sin(util::kPi * x);
+  }
+  if (config_.intense) {
+    d += config_.intense_amplitude_m *
+         std::sin(util::kTwoPi * config_.intense_rate_hz * t + phase_);
+  }
+  return d;
+}
+
+MusicVibrationModel::MusicVibrationModel(Config config, util::Rng rng)
+    : config_(config), phase_(rng.uniform(0.0, util::kTwoPi)) {}
+
+double MusicVibrationModel::displacement_at(double t) const noexcept {
+  if (!config_.playing) return 0.0;
+  const double envelope =
+      0.6 + 0.4 * std::sin(util::kTwoPi * config_.beat_hz * t + phase_);
+  return config_.amplitude_m * envelope *
+         std::sin(util::kTwoPi * config_.carrier_hz * t);
+}
+
+}  // namespace vihot::motion

@@ -1,0 +1,56 @@
+#include "motion/passenger.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vihot::motion {
+
+PassengerModel::PassengerModel(Config config, util::Rng rng) {
+  double t = rng.exponential(config.mean_event_interval_s) + 2.0;
+  int side = 1;  // window side first
+  while (t < config.duration_s) {
+    Glance g;
+    g.start = t;
+    g.target_rad =
+        static_cast<double>(side) * config.target_rad * rng.uniform(0.6, 1.0);
+    g.turn_s = std::abs(g.target_rad) /
+               std::max(config.turn_speed_rad_s, 1e-6);
+    g.hold_s = rng.uniform(config.hold_min_s, config.hold_max_s);
+    glances_.push_back(g);
+    if (rng.chance(0.3)) side = -side;
+    t = g.end() + rng.exponential(config.mean_event_interval_s);
+  }
+}
+
+double PassengerModel::theta_at(double t) const noexcept {
+  for (const Glance& g : glances_) {
+    if (t < g.start) break;
+    if (t >= g.end()) continue;
+    const double u = t - g.start;
+    double frac;
+    if (u < g.turn_s) {
+      const double x = u / g.turn_s;
+      frac = x * x * (3.0 - 2.0 * x);
+    } else if (u < g.turn_s + g.hold_s) {
+      frac = 1.0;
+    } else {
+      const double x = (u - g.turn_s - g.hold_s) / g.turn_s;
+      frac = 1.0 - x * x * (3.0 - 2.0 * x);
+    }
+    return g.target_rad * frac;
+  }
+  return 0.0;
+}
+
+bool PassengerModel::moving_at(double t) const noexcept {
+  for (const Glance& g : glances_) {
+    if (t < g.start) break;
+    if (t >= g.end()) continue;
+    const double u = t - g.start;
+    // Moving during the two turn phases, still during the hold.
+    return u < g.turn_s || u >= g.turn_s + g.hold_s;
+  }
+  return false;
+}
+
+}  // namespace vihot::motion

@@ -1,0 +1,49 @@
+// Front-passenger motion (Sec. 5.3.4).
+//
+// The paper's passenger volunteer "turns his head infrequently to look at
+// roadside scenes"; those moments are the only ones that produce visible
+// error spikes in Fig. 17c. Back-seat passengers reflect too weakly to
+// matter (Sec. 3.5) and are not modeled.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace vihot::motion {
+
+/// Passenger head orientation over time.
+class PassengerModel {
+ public:
+  struct Config {
+    double duration_s = 60.0;
+    double mean_event_interval_s = 8.0;  ///< infrequent roadside glances
+    double target_rad = 1.2;             ///< glance amplitude
+    double turn_speed_rad_s = 1.4;       ///< casual, slower than a driver
+    double hold_min_s = 0.8;
+    double hold_max_s = 2.5;
+  };
+
+  PassengerModel(Config config, util::Rng rng);
+
+  /// Passenger head orientation at time t (0 = facing forward).
+  [[nodiscard]] double theta_at(double t) const noexcept;
+
+  /// True while the passenger is mid-glance (their motion is polluting
+  /// the channel). Used by the evaluation to locate the Fig. 17c spikes.
+  [[nodiscard]] bool moving_at(double t) const noexcept;
+
+ private:
+  struct Glance {
+    double start = 0.0;
+    double target_rad = 0.0;
+    double turn_s = 1.0;
+    double hold_s = 1.0;
+    [[nodiscard]] double end() const noexcept {
+      return start + 2.0 * turn_s + hold_s;
+    }
+  };
+  std::vector<Glance> glances_;
+};
+
+}  // namespace vihot::motion

@@ -1,0 +1,69 @@
+#include "motion/steering.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/angle.h"
+
+namespace vihot::motion {
+
+SteeringModel::SteeringModel(Config config, util::Rng rng)
+    : config_(config) {
+  micro_phase1_ = rng.uniform(0.0, util::kTwoPi);
+  micro_phase2_ = rng.uniform(0.0, util::kTwoPi);
+  if (!config_.enable_turn_events) return;
+  double t = rng.exponential(config_.mean_turn_interval_s) + 5.0;
+  while (t < config_.duration_s) {
+    TurnEvent ev;
+    ev.start = t;
+    const double mag =
+        rng.uniform(config_.turn_angle_min_rad, config_.turn_angle_max_rad);
+    ev.angle_rad = rng.chance(0.5) ? mag : -mag;
+    ev.ramp_s = config_.turn_ramp_s * rng.uniform(0.8, 1.3);
+    ev.hold_s = config_.turn_hold_s * rng.uniform(0.7, 1.5);
+    events_.push_back(ev);
+    t = ev.end() + rng.exponential(config_.mean_turn_interval_s);
+  }
+}
+
+SteeringState SteeringModel::at(double t) const noexcept {
+  SteeringState s;
+  // Micro-corrections: two slow tones; always present while driving.
+  const double w1 = util::kTwoPi * config_.micro_rate_hz;
+  const double w2 = util::kTwoPi * config_.micro_rate_hz * 2.3;
+  s.wheel_angle_rad =
+      config_.micro_amplitude_rad *
+      (std::sin(w1 * t + micro_phase1_) +
+       0.5 * std::sin(w2 * t + micro_phase2_));
+  s.wheel_rate_rad_s =
+      config_.micro_amplitude_rad *
+      (w1 * std::cos(w1 * t + micro_phase1_) +
+       0.5 * w2 * std::cos(w2 * t + micro_phase2_));
+
+  for (const TurnEvent& ev : events_) {
+    if (t < ev.start) break;
+    if (t >= ev.end()) continue;
+    const double u = t - ev.start;
+    double frac;
+    double dfrac;
+    if (u < ev.ramp_s) {  // winding in
+      const double x = u / ev.ramp_s;
+      frac = x * x * (3.0 - 2.0 * x);
+      dfrac = 6.0 * x * (1.0 - x) / ev.ramp_s;
+    } else if (u < ev.ramp_s + ev.hold_s) {
+      frac = 1.0;
+      dfrac = 0.0;
+    } else {  // unwinding
+      const double x = (u - ev.ramp_s - ev.hold_s) / ev.ramp_s;
+      frac = 1.0 - x * x * (3.0 - 2.0 * x);
+      dfrac = -6.0 * x * (1.0 - x) / ev.ramp_s;
+    }
+    s.wheel_angle_rad += ev.angle_rad * frac;
+    s.wheel_rate_rad_s += ev.angle_rad * dfrac;
+    s.in_turn_event = true;
+    break;
+  }
+  return s;
+}
+
+}  // namespace vihot::motion

@@ -1,0 +1,67 @@
+// Steering input model.
+//
+// Sec. 3.6: the driver's hands on the wheel are a strong reflector close to
+// the TX; turning the wheel moves them and perturbs the CSI phase even when
+// the head is still (Fig. 8). Two regimes:
+//  * micro-corrections: small, bursty wheel jiggles keeping the car
+//    straight — easily filtered because the head cannot jump;
+//  * large steering events (intersection turns): long, large wheel
+//    excursions that also rotate the car body, which is what the phone IMU
+//    detects (Sec. 3.6.2).
+#pragma once
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace vihot::motion {
+
+/// Instantaneous steering state.
+struct SteeringState {
+  double wheel_angle_rad = 0.0;  ///< steering wheel rotation
+  double wheel_rate_rad_s = 0.0;
+  bool in_turn_event = false;    ///< inside a large (intersection) turn
+};
+
+/// Deterministic-after-seeding steering trace over a fixed duration.
+class SteeringModel {
+ public:
+  struct Config {
+    double duration_s = 60.0;
+    /// Micro-correction amplitude (rad of wheel angle) and rate.
+    double micro_amplitude_rad = 0.035;
+    double micro_rate_hz = 0.4;
+    /// Large turn events.
+    double mean_turn_interval_s = 25.0;
+    double turn_angle_min_rad = 1.2;   ///< ~70 deg of wheel
+    double turn_angle_max_rad = 2.6;   ///< ~150 deg of wheel
+    double turn_ramp_s = 1.5;          ///< time to wind the wheel in
+    double turn_hold_s = 2.0;          ///< held through the corner
+    bool enable_turn_events = true;
+  };
+
+  SteeringModel(Config config, util::Rng rng);
+
+  [[nodiscard]] SteeringState at(double t) const noexcept;
+
+  struct TurnEvent {
+    double start = 0.0;
+    double angle_rad = 0.0;  ///< signed peak wheel angle
+    double ramp_s = 1.5;
+    double hold_s = 2.0;
+    [[nodiscard]] double end() const noexcept {
+      return start + 2.0 * ramp_s + hold_s;
+    }
+  };
+  [[nodiscard]] const std::vector<TurnEvent>& events() const noexcept {
+    return events_;
+  }
+
+ private:
+  Config config_;
+  std::vector<TurnEvent> events_;
+  double micro_phase1_ = 0.0;
+  double micro_phase2_ = 0.0;
+};
+
+}  // namespace vihot::motion

@@ -1,0 +1,74 @@
+#include "motion/vibration.h"
+
+#include <cmath>
+
+#include "util/angle.h"
+
+namespace vihot::motion {
+
+VibrationModel::VibrationModel(Config config, util::Rng rng)
+    : config_(config) {
+  if (!config_.enabled) return;
+
+  const auto make_tones = [&](double amplitude) {
+    std::vector<Tone> tones;
+    // Suspension sway: dominant, mostly vertical with some lateral.
+    tones.push_back({amplitude,
+                     config_.sway_hz * rng.uniform(0.9, 1.1),
+                     rng.uniform(0.0, util::kTwoPi),
+                     geom::Vec3{rng.uniform(-0.3, 0.3), rng.uniform(-0.2, 0.2),
+                                1.0}
+                         .normalized()});
+    // Road texture buzz: smaller, faster.
+    tones.push_back({amplitude * 0.35,
+                     config_.texture_hz * rng.uniform(0.85, 1.15),
+                     rng.uniform(0.0, util::kTwoPi),
+                     geom::Vec3{rng.uniform(-0.5, 0.5), rng.uniform(-0.5, 0.5),
+                                1.0}
+                         .normalized()});
+    return tones;
+  };
+
+  rx_tones_[0] = make_tones(config_.rx_amplitude_m);
+  rx_tones_[1] = make_tones(config_.rx_amplitude_m);
+  tx_tones_ = make_tones(config_.tx_amplitude_m);
+
+  double t = rng.exponential(config_.mean_bump_interval_s);
+  while (t < config_.duration_s) {
+    bumps_.push_back({t, config_.bump_amplitude_m * rng.uniform(0.4, 1.0)});
+    t += rng.exponential(config_.mean_bump_interval_s);
+  }
+}
+
+geom::Vec3 VibrationModel::eval(std::span<const Tone> tones, double bump_gain,
+                                double t) const noexcept {
+  geom::Vec3 d{};
+  for (const Tone& tone : tones) {
+    d += tone.dir *
+         (tone.amp * std::sin(util::kTwoPi * tone.freq_hz * t + tone.phase));
+  }
+  // Discrete bumps ring down through the suspension (damped vertical
+  // oscillation shared by everything mounted to the body).
+  for (const Bump& b : bumps_) {
+    if (t < b.t) break;
+    const double u = t - b.t;
+    if (u > 5.0 * config_.bump_decay_s) continue;
+    d += geom::Vec3{0.0, 0.0, 1.0} *
+         (bump_gain * b.amp * std::exp(-u / config_.bump_decay_s) *
+          std::sin(util::kTwoPi * config_.sway_hz * 2.0 * u));
+  }
+  return d;
+}
+
+geom::Vec3 VibrationModel::rx_offset_at(std::size_t idx,
+                                        double t) const noexcept {
+  if (!config_.enabled) return {};
+  return eval(rx_tones_[idx], 1.0, t);
+}
+
+geom::Vec3 VibrationModel::tx_offset_at(double t) const noexcept {
+  if (!config_.enabled) return {};
+  return eval(tx_tones_, 0.15, t);
+}
+
+}  // namespace vihot::motion

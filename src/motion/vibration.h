@@ -1,0 +1,67 @@
+// Antenna vibration from road roughness (Sec. 5.3.2, Figs. 16/17a).
+//
+// The paper deliberately tests the worst case: long soft coil antennas that
+// visibly sway on bumpy roads. The displacement is a suspension-frequency
+// sway plus road-texture buzz plus occasional discrete bumps. Each antenna
+// gets a correlated-but-not-identical trace (they share the road but hang
+// on different mounts), producing the near-parallel phase curves of Fig. 16.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "geom/vec3.h"
+#include "util/rng.h"
+
+namespace vihot::motion {
+
+/// Displacement traces for the two RX antennas and the TX phone mount.
+class VibrationModel {
+ public:
+  struct Config {
+    bool enabled = false;
+    double duration_s = 60.0;
+    /// Soft coil antennas: ~3 mm sway. The phone sits in a rigid HUD
+    /// mount, so its vibration is much smaller.
+    double rx_amplitude_m = 0.003;
+    double tx_amplitude_m = 0.0004;
+    double sway_hz = 1.6;      ///< suspension natural frequency
+    double texture_hz = 11.0;  ///< road-texture buzz
+    double mean_bump_interval_s = 7.0;
+    double bump_amplitude_m = 0.004;
+    double bump_decay_s = 0.35;
+  };
+
+  VibrationModel(Config config, util::Rng rng);
+
+  /// Displacement of RX antenna `idx` (0/1) at time t.
+  [[nodiscard]] geom::Vec3 rx_offset_at(std::size_t idx,
+                                        double t) const noexcept;
+  /// Displacement of the phone (TX) at time t.
+  [[nodiscard]] geom::Vec3 tx_offset_at(double t) const noexcept;
+
+  [[nodiscard]] bool enabled() const noexcept { return config_.enabled; }
+
+ private:
+  struct Tone {
+    double amp;
+    double freq_hz;
+    double phase;
+    geom::Vec3 dir;
+  };
+  struct Bump {
+    double t;
+    double amp;
+  };
+
+  [[nodiscard]] geom::Vec3 eval(std::span<const Tone> tones,
+                                double bump_gain, double t) const noexcept;
+
+  Config config_;
+  std::array<std::vector<Tone>, 2> rx_tones_;
+  std::vector<Tone> tx_tones_;
+  std::vector<Bump> bumps_;
+};
+
+}  // namespace vihot::motion

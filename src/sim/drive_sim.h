@@ -1,0 +1,93 @@
+// Drive simulator: wires the cabin scene, the motion models and the WiFi
+// link into time-indexed state providers for one profiling or run-time
+// session.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "channel/cabin.h"
+#include "channel/csi_synth.h"
+#include "motion/car.h"
+#include "motion/head_trajectory.h"
+#include "motion/micromotion.h"
+#include "motion/passenger.h"
+#include "motion/steering.h"
+#include "motion/vibration.h"
+#include "sim/scenario.h"
+#include "util/rng.h"
+#include "wifi/link.h"
+
+namespace vihot::sim {
+
+/// One run-time driving session's worth of composed models.
+class DriveSession {
+ public:
+  /// `head_position` is where the driver's head actually sits this
+  /// session (possibly off the profiled grid).
+  DriveSession(const ScenarioConfig& config, geom::Vec3 head_position,
+               util::Rng rng);
+
+  /// Ground-truth head state at time t.
+  [[nodiscard]] motion::HeadState head_at(double t) const;
+
+  /// Everything the channel needs at time t.
+  [[nodiscard]] channel::CabinState cabin_state_at(double t) const;
+
+  /// Car body state (for the IMU).
+  [[nodiscard]] motion::CarState car_at(double t) const;
+
+  [[nodiscard]] const motion::SteeringModel& steering() const {
+    return *steering_;
+  }
+  [[nodiscard]] const motion::CarDynamics& car_dynamics() const {
+    return car_;
+  }
+  [[nodiscard]] const motion::DrivingScanTrajectory& trajectory() const {
+    return *trajectory_;
+  }
+  [[nodiscard]] const motion::PassengerModel* passenger() const {
+    return passenger_.get();
+  }
+
+ private:
+  const ScenarioConfig& config_;
+  std::unique_ptr<motion::DrivingScanTrajectory> trajectory_;
+  std::unique_ptr<motion::SteeringModel> steering_;
+  motion::CarDynamics car_;
+  std::unique_ptr<motion::PassengerModel> passenger_;
+  std::unique_ptr<motion::BreathingModel> breathing_;
+  std::unique_ptr<motion::EyeMotionModel> eye_;
+  std::unique_ptr<motion::MusicVibrationModel> music_;
+  std::unique_ptr<motion::VibrationModel> vibration_;
+};
+
+/// Profiling-session motion: hold forward, then sweep (Sec. 3.3).
+class ProfilingMotion {
+ public:
+  ProfilingMotion(const ScenarioConfig& config, geom::Vec3 head_position);
+
+  /// Head state at local session time u in [0, hold + sweep).
+  [[nodiscard]] motion::HeadState head_at(double u) const;
+
+  /// Cabin state during profiling: parked car, no steering, no passenger
+  /// (the driver profiles alone before the trip).
+  [[nodiscard]] channel::CabinState cabin_state_at(double u) const;
+
+  [[nodiscard]] double duration() const noexcept;
+
+ private:
+  const ScenarioConfig& config_;
+  geom::Vec3 head_position_;
+  motion::SweepTrajectory sweep_;
+};
+
+/// Builds the channel model for a scenario: scene for the configured
+/// layout + the driver's scattering parameters, with optional static-
+/// reflector drift (run-time cabins differ slightly from profiling-time
+/// cabins after long intervals, Sec. 5.2.4).
+[[nodiscard]] channel::ChannelModel make_channel(const ScenarioConfig& config,
+                                                 double cabin_drift_m,
+                                                 util::Rng& rng);
+
+}  // namespace vihot::sim

@@ -1,0 +1,231 @@
+#include "sim/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baseline/naive_mapper.h"
+#include "camera/camera_tracker.h"
+#include "core/sanitizer.h"
+#include "core/tracker.h"
+#include "dsp/resampler.h"
+#include "imu/imu.h"
+#include "util/angle.h"
+
+namespace vihot::sim {
+
+ExperimentRunner::ExperimentRunner(ScenarioConfig config)
+    : config_(std::move(config)) {}
+
+core::CsiProfile ExperimentRunner::build_profile() {
+  util::Rng rng(config_.seed);
+  util::Rng prof_rng = rng.fork("profiling");
+
+  // Profiling happens parked before the trip on an uncontended channel.
+  const channel::ChannelModel channel =
+      make_channel(config_, /*cabin_drift_m=*/0.0, prof_rng);
+  wifi::SchedulerConfig sched = config_.scheduler;
+  sched.load = wifi::ChannelLoad::kClean;
+  wifi::WifiLink link(channel, config_.noise, sched, prof_rng.fork("link"));
+
+  const motion::HeadPositionGrid grid(config_.driver.head_center,
+                                      config_.num_positions,
+                                      config_.position_spacing_m);
+
+  util::Rng truth_rng = prof_rng.fork("truth");
+  std::vector<core::ProfilingSession> sessions;
+  double t0 = 0.0;
+  for (std::size_t i = 0; i < grid.count(); ++i) {
+    const ProfilingMotion motion(config_, grid.position(i));
+    const double t1 = t0 + motion.duration();
+
+    core::ProfilingSession session;
+    session.position_index = i;
+    session.true_position = grid.position(i);
+    session.csi = link.capture(t0, t1, [&](double t) {
+      return motion.cabin_state_at(t - t0);
+    });
+    // Ground-truth labels (headset/camera) at 100 Hz with label noise.
+    for (double t = t0; t < t1; t += 0.01) {
+      const motion::HeadState head = motion.head_at(t - t0);
+      session.orientation_truth.push(
+          t, head.pose.theta +
+                 truth_rng.normal(0.0, config_.profiling_truth_noise_rad));
+    }
+    sessions.push_back(std::move(session));
+    t0 = t1;
+  }
+
+  core::JointProfiler::Config prof_cfg;
+  prof_cfg.sanitizer = config_.tracker.sanitizer;
+  const core::JointProfiler profiler(prof_cfg);
+  return profiler.build(sessions);
+}
+
+SessionResult ExperimentRunner::run_session(const core::CsiProfile& profile,
+                                            std::uint64_t session_index) {
+  SessionResult result;
+  util::Rng rng(config_.seed ^ (0x9e3779b97f4a7c15ULL * (session_index + 1)));
+
+  // Where does the head actually sit this session?
+  const motion::HeadPositionGrid grid(config_.driver.head_center,
+                                      config_.num_positions,
+                                      config_.position_spacing_m);
+  std::size_t slot = config_.runtime_position_slot >= 0
+                         ? static_cast<std::size_t>(
+                               config_.runtime_position_slot)
+                         : grid.count() / 2;
+  slot = std::min(slot, grid.count() - 1);
+  result.true_position_slot = slot;
+  geom::Vec3 head_pos = grid.position(slot);
+  head_pos += geom::Vec3{rng.normal(0.0, config_.position_jitter_m * 0.4),
+                         rng.normal(0.0, config_.position_jitter_m),
+                         rng.normal(0.0, config_.position_jitter_m * 0.3)};
+  head_pos += geom::Vec3{0.0, config_.seat_shift_m, 0.0};
+
+  // Physical substrate for this session.
+  util::Rng chan_rng = rng.fork("channel");
+  const channel::ChannelModel channel =
+      make_channel(config_, config_.cabin_drift_m, chan_rng);
+  wifi::WifiLink link(channel, config_.noise, config_.scheduler,
+                      rng.fork("link"));
+  DriveSession session(config_, head_pos, rng.fork("drive"));
+
+  const double duration = config_.runtime_duration_s;
+
+  // Input streams.
+  const std::vector<wifi::CsiMeasurement> csi = link.capture(
+      0.0, duration, [&](double t) { return session.cabin_state_at(t); });
+  {
+    util::TimeSeries ts;
+    for (const auto& m : csi) ts.push(m.t, 0.0);
+    result.csi_rate_hz = dsp::mean_rate_hz(ts);
+    result.max_gap_s = dsp::max_gap(ts);
+  }
+
+  imu::PhoneImu phone_imu(imu::PhoneImu::Config{}, rng.fork("imu"));
+  const std::vector<imu::ImuSample> imu_samples = phone_imu.capture(
+      0.0, duration, session.car_dynamics(), session.steering());
+
+  camera::CameraTracker camera(camera::CameraTracker::Config{},
+                               rng.fork("camera"));
+  const std::vector<camera::CameraTracker::Estimate> camera_estimates =
+      camera.capture(0.0, duration,
+                     [&](double t) { return session.head_at(t); });
+
+  // The tracker under test.
+  core::ViHotTracker tracker(profile, config_.tracker);
+  core::CsiSanitizer sanitizer(config_.tracker.sanitizer);
+
+  // Merge-feed the streams and evaluate on a fixed grid.
+  std::size_t ci = 0;
+  std::size_t ii = 0;
+  std::size_t cam_i = 0;
+  double last_phase = 0.0;
+  bool have_phase = false;
+  std::size_t fallback_count = 0;
+  std::size_t position_hits = 0;
+
+  const double dt_est = 1.0 / config_.estimate_rate_hz;
+  for (double t_est = config_.warmup_s; t_est < duration; t_est += dt_est) {
+    while (ci < csi.size() && csi[ci].t <= t_est) {
+      last_phase = profile.relative_phase(sanitizer.phase(csi[ci]));
+      have_phase = true;
+      tracker.push_csi(csi[ci]);
+      ++ci;
+    }
+    while (ii < imu_samples.size() && imu_samples[ii].t <= t_est) {
+      tracker.push_imu(imu_samples[ii]);
+      ++ii;
+    }
+    while (cam_i < camera_estimates.size() &&
+           camera_estimates[cam_i].t <= t_est) {
+      tracker.push_camera(camera_estimates[cam_i]);
+      ++cam_i;
+    }
+
+    const core::TrackResult r = tracker.estimate(t_est);
+    ++result.estimates;
+    if (r.mode == core::TrackingMode::kCameraFallback) ++fallback_count;
+
+    const std::size_t slot_est = tracker.position_slot();
+    const std::size_t slot_true = result.true_position_slot;
+    if ((slot_est > slot_true ? slot_est - slot_true
+                              : slot_true - slot_est) <= 1) {
+      ++position_hits;
+    }
+
+    // Evaluation target: current truth, or the future truth when a
+    // prediction horizon is configured (Sec. 5.2.1).
+    const double horizon = config_.prediction_horizon_s;
+    const double t_target = t_est + horizon;
+    if (t_target >= duration) continue;
+    const motion::HeadState truth = session.head_at(t_target);
+
+    // Only head-turning events enter the CDF (Sec. 5.1).
+    const bool in_event =
+        std::abs(truth.pose.theta) > config_.eval_min_angle_rad ||
+        std::abs(truth.theta_dot) > config_.eval_min_rate_rad_s;
+    if (!in_event) continue;
+
+    if (horizon > 0.0) {
+      const core::Forecast f = tracker.forecast(horizon);
+      if (f.valid) {
+        result.errors.add(angular_error_deg(f.theta_rad, truth.pose.theta));
+        ++result.evaluated;
+      }
+    } else if (r.valid) {
+      result.errors.add(angular_error_deg(r.theta_rad, truth.pose.theta));
+      ++result.evaluated;
+    }
+
+    if (config_.collect_naive_baseline && have_phase && !profile.empty()) {
+      const double naive = baseline::NaiveMapper::estimate(
+          profile.positions[tracker.position_slot()], last_phase);
+      result.naive_errors.add(
+          angular_error_deg(naive, session.head_at(t_est).pose.theta));
+    }
+    if (config_.collect_camera_baseline && cam_i > 0) {
+      // Most recent available camera output (frame latency included).
+      std::size_t k = cam_i;
+      while (k > 0 && !camera_estimates[k - 1].valid) --k;
+      if (k > 0) {
+        result.camera_errors.add(
+            angular_error_deg(camera_estimates[k - 1].theta,
+                              session.head_at(t_est).pose.theta));
+      }
+    }
+  }
+
+  if (result.estimates > 0) {
+    result.fallback_fraction = static_cast<double>(fallback_count) /
+                               static_cast<double>(result.estimates);
+    result.position_hit_rate = static_cast<double>(position_hits) /
+                               static_cast<double>(result.estimates);
+  }
+  return result;
+}
+
+ExperimentResult ExperimentRunner::run() {
+  ExperimentResult out;
+  out.profile = build_profile();
+  double rate_sum = 0.0;
+  double fallback_sum = 0.0;
+  for (std::size_t s = 0; s < config_.runtime_sessions; ++s) {
+    SessionResult sr = run_session(out.profile, s);
+    out.errors.merge(sr.errors);
+    out.naive_errors.merge(sr.naive_errors);
+    out.camera_errors.merge(sr.camera_errors);
+    rate_sum += sr.csi_rate_hz;
+    fallback_sum += sr.fallback_fraction;
+    out.max_gap_s = std::max(out.max_gap_s, sr.max_gap_s);
+    out.sessions.push_back(std::move(sr));
+  }
+  if (!out.sessions.empty()) {
+    const auto n = static_cast<double>(out.sessions.size());
+    out.mean_csi_rate_hz = rate_sum / n;
+    out.mean_fallback_fraction = fallback_sum / n;
+  }
+  return out;
+}
+
+}  // namespace vihot::sim

@@ -1,0 +1,66 @@
+// Experiment runner: profiling stage + run-time sessions + error
+// collection — the loop behind every figure reproduction in bench/.
+#pragma once
+
+#include <vector>
+
+#include "core/profile.h"
+#include "core/profiler.h"
+#include "sim/drive_sim.h"
+#include "sim/metrics.h"
+#include "sim/scenario.h"
+
+namespace vihot::sim {
+
+/// Outcome of one run-time session.
+struct SessionResult {
+  ErrorCollector errors;         ///< ViHOT angular errors (deg)
+  ErrorCollector naive_errors;   ///< Eq.-(5) baseline (if collected)
+  ErrorCollector camera_errors;  ///< camera baseline (if collected)
+
+  double fallback_fraction = 0.0;  ///< share of estimates in camera mode
+  double csi_rate_hz = 0.0;        ///< measured CSI sampling rate
+  double max_gap_s = 0.0;          ///< worst inter-frame gap
+  std::size_t estimates = 0;       ///< total estimate() calls
+  std::size_t evaluated = 0;       ///< estimates that entered the CDF
+  std::size_t true_position_slot = 0;  ///< where the head actually was
+  double position_hit_rate = 0.0;  ///< fraction of estimates with the
+                                   ///< position slot within 1 of truth
+};
+
+/// Aggregate over all sessions of one scenario.
+struct ExperimentResult {
+  core::CsiProfile profile;
+  std::vector<SessionResult> sessions;
+  ErrorCollector errors;         ///< merged ViHOT errors
+  ErrorCollector naive_errors;   ///< merged naive-baseline errors
+  ErrorCollector camera_errors;  ///< merged camera-baseline errors
+  double mean_csi_rate_hz = 0.0;
+  double max_gap_s = 0.0;
+  double mean_fallback_fraction = 0.0;
+};
+
+/// Runs scenarios end to end.
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(ScenarioConfig config);
+
+  /// Profiling stage (Sec. 3.3): sweeps every grid position and builds P.
+  [[nodiscard]] core::CsiProfile build_profile();
+
+  /// One run-time session against a prebuilt profile.
+  [[nodiscard]] SessionResult run_session(const core::CsiProfile& profile,
+                                          std::uint64_t session_index);
+
+  /// Full experiment: profile once, run the configured session count.
+  [[nodiscard]] ExperimentResult run();
+
+  [[nodiscard]] const ScenarioConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  ScenarioConfig config_;
+};
+
+}  // namespace vihot::sim

@@ -1,0 +1,15 @@
+#include "sim/scenario.h"
+
+namespace vihot::sim {
+
+double resolved_profiling_speed(const ScenarioConfig& c) {
+  if (c.profiling_speed_rad_s > 0.0) return c.profiling_speed_rad_s;
+  return 0.7 * c.driver.turn_speed_rad_s;
+}
+
+double resolved_turn_speed(const ScenarioConfig& c) {
+  if (c.head_turn_speed_rad_s > 0.0) return c.head_turn_speed_rad_s;
+  return c.driver.turn_speed_rad_s;
+}
+
+}  // namespace vihot::sim

@@ -1,0 +1,100 @@
+// Scenario configuration: one struct per experiment run.
+//
+// Every figure of Sec. 5 is a sweep over one or two of these fields with
+// everything else at the defaults of Sec. 5.1 (10 head positions, 10 s of
+// sweeping per position, 60 s runs repeated 10x, 100 ms CSI window, 0 ms
+// horizon, Layout 1, no passenger, Bluetooth off / clean channel).
+#pragma once
+
+#include <cstdint>
+
+#include "channel/cabin.h"
+#include "channel/subcarrier.h"
+#include "core/tracker.h"
+#include "motion/driver_profile.h"
+#include "motion/head_trajectory.h"
+#include "motion/micromotion.h"
+#include "motion/passenger.h"
+#include "motion/steering.h"
+#include "motion/vibration.h"
+#include "wifi/noise.h"
+#include "wifi/scheduler.h"
+
+namespace vihot::sim {
+
+/// Complete description of one experiment.
+struct ScenarioConfig {
+  std::uint64_t seed = 42;
+
+  // --- Physical setup -----------------------------------------------
+  channel::AntennaLayout layout = channel::AntennaLayout::kHeadrestSplit;
+  /// RF band (Sec. 7: the concept extends to 5 GHz and beyond).
+  channel::SubcarrierConfig subcarrier{};
+  motion::DriverProfile driver = motion::driver_a();
+  wifi::NoiseConfig noise{};
+  wifi::SchedulerConfig scheduler{};
+
+  // --- Profiling stage (Sec. 3.3 / 5.1) -------------------------------
+  std::size_t num_positions = 10;
+  double position_spacing_m = 0.012;
+  double profiling_hold_s = 1.5;   ///< forward hold for the fingerprint
+  double profiling_sweep_s = 10.0; ///< per-position sweep time
+  /// Deliberately slow profiling sweep so the camera ground truth stays
+  /// sharp (Sec. 3.3). 0 uses 0.7x the driver's habitual speed.
+  double profiling_speed_rad_s = 0.0;
+  /// Ground-truth labelling noise during profiling (headset-grade).
+  double profiling_truth_noise_rad = 0.004;
+
+  // --- Run-time stage --------------------------------------------------
+  double runtime_duration_s = 30.0;
+  std::size_t runtime_sessions = 3;
+  /// 0 uses the driver's habitual turn speed.
+  double head_turn_speed_rad_s = 0.0;
+  motion::DrivingScanTrajectory::Config scan{};
+  /// Which profiled position the driver actually sits at (slot index);
+  /// negative = middle of the grid.
+  int runtime_position_slot = -1;
+  /// Head-position mismatch vs the profiled grid: per-session random
+  /// jitter plus a fixed seat shift (models the driver having left the
+  /// seat between profiling and run-time, Sec. 5.2.4).
+  double position_jitter_m = 0.002;
+  double seat_shift_m = 0.0;
+  /// Perturbs static cabin reflectors between profiling and run-time
+  /// (meters of displacement; models cabin changes over long intervals).
+  double cabin_drift_m = 0.0;
+
+  // --- Interference toggles (Sec. 5.3) ---------------------------------
+  bool passenger_present = false;
+  motion::PassengerModel::Config passenger{};
+  bool steering_events = false;
+  motion::SteeringModel::Config steering{};
+  bool antenna_vibration = false;
+  motion::VibrationModel::Config vibration{};
+  bool music_playing = false;
+  bool intense_eye_motion = false;
+
+  // --- Tracker & evaluation -------------------------------------------
+  core::TrackerConfig tracker{};
+  /// How often estimate() is called (estimates per second).
+  double estimate_rate_hz = 20.0;
+  /// Prediction horizon t_h (0 disables forecasting, Sec. 5.1 default).
+  double prediction_horizon_s = 0.0;
+  /// Skip this much time at the session start (matcher setup, line 1 of
+  /// Algorithm 1, plus stability warm-up).
+  double warmup_s = 1.5;
+  /// Errors are collected only around head-turning events (the paper
+  /// reports deviation "across multiple head-turning events"): instants
+  /// with |theta| or |theta_dot| above these floors.
+  double eval_min_angle_rad = 0.035;
+  double eval_min_rate_rad_s = 0.17;
+
+  // --- Extra collectors -------------------------------------------------
+  bool collect_naive_baseline = false;
+  bool collect_camera_baseline = false;
+};
+
+/// Resolved speeds (applies the "0 = derive from driver" rules).
+[[nodiscard]] double resolved_profiling_speed(const ScenarioConfig& c);
+[[nodiscard]] double resolved_turn_speed(const ScenarioConfig& c);
+
+}  // namespace vihot::sim

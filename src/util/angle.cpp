@@ -1,0 +1,61 @@
+#include "util/angle.h"
+
+#include <cmath>
+
+namespace vihot::util {
+
+double wrap_pi(double rad) noexcept {
+  double w = std::fmod(rad + kPi, kTwoPi);
+  if (w < 0.0) w += kTwoPi;
+  const double out = w - kPi;
+  // Keep the boundary on the +pi side: the interval is (-pi, pi].
+  return out <= -kPi ? kPi : out;
+}
+
+double wrap_two_pi(double rad) noexcept {
+  double w = std::fmod(rad, kTwoPi);
+  if (w < 0.0) w += kTwoPi;
+  return w;
+}
+
+double angular_diff(double a, double b) noexcept { return wrap_pi(a - b); }
+
+double angular_dist(double a, double b) noexcept {
+  return std::abs(angular_diff(a, b));
+}
+
+void unwrap_in_place(std::span<double> phase) noexcept {
+  if (phase.size() < 2) return;
+  double offset = 0.0;
+  double prev = phase[0];
+  for (std::size_t i = 1; i < phase.size(); ++i) {
+    const double raw = phase[i];
+    const double delta = raw - prev;
+    if (delta > kPi) {
+      offset -= kTwoPi;
+    } else if (delta < -kPi) {
+      offset += kTwoPi;
+    }
+    prev = raw;
+    phase[i] = raw + offset;
+  }
+}
+
+std::vector<double> unwrapped(std::span<const double> phase) {
+  std::vector<double> out(phase.begin(), phase.end());
+  unwrap_in_place(out);
+  return out;
+}
+
+double circular_mean(std::span<const double> angles) noexcept {
+  if (angles.empty()) return 0.0;
+  double s = 0.0;
+  double c = 0.0;
+  for (const double a : angles) {
+    s += std::sin(a);
+    c += std::cos(a);
+  }
+  return std::atan2(s, c);
+}
+
+}  // namespace vihot::util

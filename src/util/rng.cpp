@@ -1,0 +1,40 @@
+#include "util/rng.h"
+
+#include <functional>
+
+namespace vihot::util {
+
+Rng Rng::fork(std::string_view label) {
+  // Mix the parent's next raw draw with the label hash (splitmix64 finalizer)
+  // so sibling forks with different labels are decorrelated.
+  std::uint64_t x = engine_() ^ std::hash<std::string_view>{}(label);
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x = x ^ (x >> 31);
+  return Rng(x);
+}
+
+double Rng::uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+double Rng::exponential(double mean) {
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+bool Rng::chance(double probability) {
+  if (probability <= 0.0) return false;
+  if (probability >= 1.0) return true;
+  return std::bernoulli_distribution(probability)(engine_);
+}
+
+}  // namespace vihot::util

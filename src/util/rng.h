@@ -1,0 +1,47 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the simulator draws from an explicitly
+// seeded Rng so that each experiment (and each paper figure) can be
+// regenerated bit-for-bit. Components that need independent streams derive
+// child generators with `fork()` so that adding draws to one component does
+// not perturb another.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+namespace vihot::util {
+
+/// A seeded PRNG wrapper around std::mt19937_64 with convenience samplers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Derives an independent child stream. The label decorrelates children
+  /// forked from the same parent for different purposes.
+  [[nodiscard]] Rng fork(std::string_view label);
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Gaussian sample.
+  [[nodiscard]] double normal(double mean, double stddev);
+
+  /// Exponentially distributed sample with the given mean (mean > 0).
+  [[nodiscard]] double exponential(double mean);
+
+  /// Bernoulli trial.
+  [[nodiscard]] bool chance(double probability);
+
+  /// Access to the raw engine for use with std:: distributions.
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace vihot::util

@@ -1,0 +1,47 @@
+// Descriptive statistics used by the evaluation layer (Sec. 5 of the paper
+// reports medians, means with stddev error bars, and CDFs of angular error).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace vihot::util {
+
+/// Aggregate summary of a sample set.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+
+/// Sample standard deviation; returns 0 for fewer than two samples.
+[[nodiscard]] double stddev(std::span<const double> xs) noexcept;
+
+/// Median via partial sort of a copy; returns 0 for an empty span.
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. Empty input returns 0.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+[[nodiscard]] double min_of(std::span<const double> xs) noexcept;
+[[nodiscard]] double max_of(std::span<const double> xs) noexcept;
+
+/// Root-mean-square value.
+[[nodiscard]] double rms(std::span<const double> xs) noexcept;
+
+/// One-pass summary of all the quantities above.
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Pearson correlation coefficient; returns 0 if either side is constant
+/// or the spans differ in length.
+[[nodiscard]] double pearson(std::span<const double> xs,
+                             std::span<const double> ys) noexcept;
+
+}  // namespace vihot::util

@@ -1,0 +1,28 @@
+#include "wifi/link.h"
+
+namespace vihot::wifi {
+
+WifiLink::WifiLink(const channel::ChannelModel& channel, NoiseConfig noise,
+                   SchedulerConfig scheduler, util::Rng rng)
+    : channel_(channel),
+      noise_(noise, rng.fork("noise")),
+      scheduler_(scheduler, rng.fork("scheduler")) {}
+
+CsiMeasurement WifiLink::measure(double t,
+                                 const channel::CabinState& state) {
+  return noise_.corrupt(t, channel_.csi(state), channel_.grid());
+}
+
+std::vector<CsiMeasurement> WifiLink::capture(
+    double t0, double t1,
+    const std::function<channel::CabinState(double)>& state_at) {
+  std::vector<CsiMeasurement> out;
+  const std::vector<double> times = scheduler_.arrivals(t0, t1);
+  out.reserve(times.size());
+  for (const double t : times) {
+    out.push_back(measure(t, state_at(t)));
+  }
+  return out;
+}
+
+}  // namespace vihot::wifi

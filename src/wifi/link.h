@@ -1,0 +1,45 @@
+// WiFi link front-end: channel + hardware noise, sampled at packet times.
+//
+// This is the boundary between "physics" (channel::ChannelModel) and what
+// the receiver software can actually observe (wifi::CsiMeasurement). The
+// tracker consumes only CsiMeasurement streams produced here.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "channel/csi_synth.h"
+#include "wifi/csi.h"
+#include "wifi/noise.h"
+#include "wifi/scheduler.h"
+
+namespace vihot::wifi {
+
+/// Produces the noisy CSI stream a receiver NIC reports.
+class WifiLink {
+ public:
+  WifiLink(const channel::ChannelModel& channel, NoiseConfig noise,
+           SchedulerConfig scheduler, util::Rng rng);
+
+  /// CSI for one frame received at time t with the given cabin state.
+  [[nodiscard]] CsiMeasurement measure(double t,
+                                       const channel::CabinState& state);
+
+  /// Runs the link over [t0, t1): draws packet arrivals from the CSMA
+  /// scheduler, queries `state_at` for the cabin state at each instant,
+  /// and returns the measurement stream.
+  [[nodiscard]] std::vector<CsiMeasurement> capture(
+      double t0, double t1,
+      const std::function<channel::CabinState(double)>& state_at);
+
+  [[nodiscard]] const channel::ChannelModel& channel() const noexcept {
+    return channel_;
+  }
+
+ private:
+  const channel::ChannelModel& channel_;
+  HardwareNoiseModel noise_;
+  PacketScheduler scheduler_;
+};
+
+}  // namespace vihot::wifi

@@ -1,0 +1,62 @@
+#include "wifi/noise.h"
+
+#include <cmath>
+
+#include "util/angle.h"
+
+namespace vihot::wifi {
+
+HardwareNoiseModel::HardwareNoiseModel(NoiseConfig config, util::Rng rng)
+    : config_(config), rng_(std::move(rng)) {}
+
+CsiMeasurement HardwareNoiseModel::corrupt(
+    double t, const channel::CsiMatrix& clean,
+    const channel::SubcarrierGrid& grid) {
+  CsiMeasurement out;
+  out.t = t;
+
+  // beta(t): unknown per-frame phase from residual CFO. A fresh uniform
+  // draw each packet models the fact that the offset is unusable as a
+  // reference between frames (Sec. 3.2).
+  const double beta =
+      config_.cfo_enabled ? rng_.uniform(-util::kPi, util::kPi) : 0.0;
+
+  // dt: SFO lag random walk with reflection at the configured bound.
+  if (config_.sfo_enabled) {
+    sfo_lag_s_ += rng_.normal(0.0, config_.sfo_walk_std);
+    if (sfo_lag_s_ > config_.sfo_max_lag) {
+      sfo_lag_s_ = 2.0 * config_.sfo_max_lag - sfo_lag_s_;
+    } else if (sfo_lag_s_ < -config_.sfo_max_lag) {
+      sfo_lag_s_ = -2.0 * config_.sfo_max_lag - sfo_lag_s_;
+    }
+  }
+
+  const std::size_t nsc = grid.size();
+  for (std::size_t rx = 0; rx < 2; ++rx) {
+    auto& row = out.h[rx];
+    row.resize(nsc);
+    for (std::size_t f = 0; f < nsc; ++f) {
+      // SFO phase error grows linearly with the (signed) subcarrier
+      // index: 2*pi * f * dt * subcarrier_spacing-equivalent. Using the
+      // absolute RF frequency keeps a common rotation too, which the
+      // antenna difference also removes.
+      double phase_err = beta;
+      if (config_.sfo_enabled) {
+        phase_err += util::kTwoPi * grid.ofdm_index(f) *
+                     (grid.config().bandwidth_hz /
+                      static_cast<double>(grid.config().fft_size)) *
+                     sfo_lag_s_;
+      }
+      std::complex<double> h =
+          clean.h[rx][f] * std::polar(1.0, phase_err);
+      // Thermal noise: independent per antenna and subcarrier (the Z_f^1 -
+      // Z_f^2 residual of Eq. 3 that subcarrier averaging then suppresses).
+      h += std::complex<double>(rng_.normal(0.0, config_.thermal_std),
+                                rng_.normal(0.0, config_.thermal_std));
+      row[f] = h;
+    }
+  }
+  return out;
+}
+
+}  // namespace vihot::wifi

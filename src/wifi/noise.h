@@ -1,0 +1,56 @@
+// Commodity-hardware phase noise: the CFO/SFO model of Eq. (2),
+//
+//   phi_hat_f(t) = phi_f(t) + 2*pi*(f/N)*dt + beta(t) + Z_f,
+//
+// where beta(t) is the unknown CFO-induced phase offset, dt the SFO sample
+// lag, and Z_f measurement (thermal) noise. Crucially, beta and dt are
+// IDENTICAL across the RX antennas of one NIC — they share the oscillator
+// and sampling clock (Sec. 3.2) — which is exactly why the two-antenna
+// phase difference cancels them. The thermal noise is independent per
+// antenna and subcarrier and does NOT cancel.
+#pragma once
+
+#include "channel/csi_synth.h"
+#include "channel/subcarrier.h"
+#include "util/rng.h"
+#include "wifi/csi.h"
+
+namespace vihot::wifi {
+
+/// Tuning of the hardware impairments.
+struct NoiseConfig {
+  /// CFO: residual carrier offset after packet-level correction, modeled
+  /// as a per-packet uniform random phase plus a slow random walk. The
+  /// uniform part reflects that beta(t) is effectively unknown per frame.
+  bool cfo_enabled = true;
+
+  /// SFO: sampling lag dt drifts slowly; scaled by subcarrier index f/N.
+  bool sfo_enabled = true;
+  double sfo_walk_std = 2e-9;   ///< seconds of lag drift per packet
+  double sfo_max_lag = 60e-9;   ///< reflect at this magnitude
+
+  /// Complex AWGN added to each antenna/subcarrier channel estimate.
+  /// Interpreted relative to typical |H| ~ 1 in the synthesizer's units.
+  double thermal_std = 0.01;
+};
+
+/// Stateful impairment generator; one instance per receiver NIC.
+class HardwareNoiseModel {
+ public:
+  HardwareNoiseModel(NoiseConfig config, util::Rng rng);
+
+  /// Applies Eq. (2) to a clean channel matrix, producing the measurement
+  /// a CSI tool would report for a frame received at time t.
+  [[nodiscard]] CsiMeasurement corrupt(double t,
+                                       const channel::CsiMatrix& clean,
+                                       const channel::SubcarrierGrid& grid);
+
+  [[nodiscard]] const NoiseConfig& config() const noexcept { return config_; }
+
+ private:
+  NoiseConfig config_;
+  util::Rng rng_;
+  double sfo_lag_s_ = 0.0;  ///< current dt (random walk)
+};
+
+}  // namespace vihot::wifi

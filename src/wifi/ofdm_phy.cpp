@@ -1,0 +1,120 @@
+#include "wifi/ofdm_phy.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "dsp/fft.h"
+#include "util/angle.h"
+
+namespace vihot::wifi {
+
+namespace {
+
+// The 802.11 L-LTF +-1 sequence over signed subcarriers -26..+26 (DC = 0),
+// per IEEE 802.11-2016 Table 19-6.
+constexpr int kLtfSeq[53] = {
+    // -26 .. -1
+    1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1,
+    -1, 1, 1, 1, 1,
+    // DC
+    0,
+    // +1 .. +26
+    1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1,
+    1, -1, 1, 1, 1, 1};
+
+}  // namespace
+
+OfdmPhy::OfdmPhy(const OfdmPhyConfig& config) : config_(config) {
+  assert(dsp::is_pow2(config_.fft_size));
+  assert(config_.fft_size >= 2 * ChannelResponse::kOccupied + 2);
+  ltf_.assign(std::begin(kLtfSeq), std::end(kLtfSeq));
+}
+
+std::size_t OfdmPhy::bin_of(int k) const noexcept {
+  return k >= 0 ? static_cast<std::size_t>(k)
+                : config_.fft_size - static_cast<std::size_t>(-k);
+}
+
+std::vector<std::complex<double>> OfdmPhy::transmit_ltf() const {
+  std::vector<std::complex<double>> freq(config_.fft_size, {0.0, 0.0});
+  for (int k = -ChannelResponse::kOccupied; k <= ChannelResponse::kOccupied;
+       ++k) {
+    freq[bin_of(k)] = {ltf_[static_cast<std::size_t>(
+                           k + ChannelResponse::kOccupied)],
+                       0.0};
+  }
+  dsp::ifft_in_place(freq);
+  // Prepend the cyclic prefix.
+  std::vector<std::complex<double>> out;
+  out.reserve(config_.cp_len + config_.fft_size);
+  out.insert(out.end(), freq.end() - static_cast<std::ptrdiff_t>(config_.cp_len),
+             freq.end());
+  out.insert(out.end(), freq.begin(), freq.end());
+  return out;
+}
+
+std::vector<std::complex<double>> OfdmPhy::through_channel(
+    std::span<const std::complex<double>> tx_time,
+    const ChannelResponse& channel, const PhyImpairments& impairments,
+    util::Rng& rng) const {
+  assert(tx_time.size() == config_.cp_len + config_.fft_size);
+
+  // Frequency-domain pass: the CP turns the linear convolution with the
+  // channel into a circular one, so applying H per bin on the FFT of the
+  // CP-stripped symbol is exact. The SFO fractional delay tau is a phase
+  // ramp exp(-j*2*pi*f_k*tau) over the signed bin frequency f_k.
+  std::vector<std::complex<double>> body(
+      tx_time.begin() + static_cast<std::ptrdiff_t>(config_.cp_len),
+      tx_time.end());
+  dsp::fft_in_place(body);
+  const double fs = config_.bandwidth_hz;
+  const auto n = static_cast<double>(config_.fft_size);
+  for (int k = -ChannelResponse::kOccupied; k <= ChannelResponse::kOccupied;
+       ++k) {
+    const double f_k = static_cast<double>(k) * fs / n;
+    const double ramp =
+        -util::kTwoPi * f_k * impairments.sampling_offset_s;
+    body[bin_of(k)] *= channel.at(k) * std::polar(1.0, ramp);
+  }
+  dsp::ifft_in_place(body);
+
+  // Back to a CP'd time-domain symbol, then time-domain impairments.
+  std::vector<std::complex<double>> out;
+  out.reserve(config_.cp_len + config_.fft_size);
+  out.insert(out.end(), body.end() - static_cast<std::ptrdiff_t>(config_.cp_len),
+             body.end());
+  out.insert(out.end(), body.begin(), body.end());
+
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    // CFO: a genuine per-sample carrier rotation.
+    const double phase = impairments.phase_offset_rad +
+                         util::kTwoPi * impairments.cfo_hz *
+                             static_cast<double>(i) / fs;
+    out[i] *= std::polar(1.0, phase);
+    if (impairments.noise_std > 0.0) {
+      out[i] += std::complex<double>(rng.normal(0.0, impairments.noise_std),
+                                     rng.normal(0.0, impairments.noise_std));
+    }
+  }
+  return out;
+}
+
+ChannelResponse OfdmPhy::estimate_csi(
+    std::span<const std::complex<double>> rx_time) const {
+  assert(rx_time.size() == config_.cp_len + config_.fft_size);
+  std::vector<std::complex<double>> body(
+      rx_time.begin() + static_cast<std::ptrdiff_t>(config_.cp_len),
+      rx_time.end());
+  dsp::fft_in_place(body);
+  ChannelResponse est;
+  for (int k = -ChannelResponse::kOccupied; k <= ChannelResponse::kOccupied;
+       ++k) {
+    const double ref =
+        ltf_[static_cast<std::size_t>(k + ChannelResponse::kOccupied)];
+    est.at(k) = (ref == 0.0) ? std::complex<double>{0.0, 0.0}
+                             : body[bin_of(k)] / ref;
+  }
+  return est;
+}
+
+}  // namespace vihot::wifi

@@ -1,0 +1,93 @@
+// Symbol-level 802.11n OFDM PHY.
+//
+// Everywhere else in the stack, the CFO/SFO phase corruption of Eq. (2)
+// is *modeled* (wifi/noise.h). This module derives it from first
+// principles: it synthesizes the long-training-field (LTF) OFDM symbol a
+// WiFi frame carries, passes it through a frequency-selective channel,
+// applies carrier frequency offset as a genuine time-domain rotation and
+// sampling offset as a genuine fractional delay, and then estimates the
+// CSI exactly as a receiver NIC does (strip CP, FFT, divide by the known
+// LTF). The tests then verify that Eq. (2)'s structure — a common phase
+// beta plus a term linear in the subcarrier index — EMERGES from the
+// physics, and that two RX chains sharing one oscillator see identical
+// offsets (the premise of ViHOT's Eq. 3 sanitizer).
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace vihot::wifi {
+
+/// PHY parameters (802.11n 20 MHz numerology).
+struct OfdmPhyConfig {
+  std::size_t fft_size = 64;
+  std::size_t cp_len = 16;
+  double bandwidth_hz = 20e6;  ///< sample rate
+};
+
+/// A frequency-domain channel response over the signed subcarrier indices
+/// [-occupied, +occupied] (index 0 = DC, unused in 802.11).
+struct ChannelResponse {
+  static constexpr int kOccupied = 26;  ///< 802.11 LTF occupied half-width
+  /// h[k + kOccupied] is the response of signed subcarrier k.
+  std::vector<std::complex<double>> h =
+      std::vector<std::complex<double>>(2 * kOccupied + 1, {1.0, 0.0});
+
+  [[nodiscard]] std::complex<double>& at(int k) {
+    return h[static_cast<std::size_t>(k + kOccupied)];
+  }
+  [[nodiscard]] const std::complex<double>& at(int k) const {
+    return h[static_cast<std::size_t>(k + kOccupied)];
+  }
+};
+
+/// Impairments applied between TX and RX (one receive chain).
+struct PhyImpairments {
+  double cfo_hz = 0.0;          ///< residual carrier frequency offset
+  double sampling_offset_s = 0.0;  ///< SFO-induced timing lag (dt of Eq. 2)
+  double phase_offset_rad = 0.0;   ///< oscillator phase at frame start
+  double noise_std = 0.0;          ///< time-domain AWGN per I/Q sample
+};
+
+/// LTF-based CSI measurement chain.
+class OfdmPhy {
+ public:
+  explicit OfdmPhy(const OfdmPhyConfig& config = {});
+
+  /// The known LTF frequency-domain sequence (+-1 on occupied bins).
+  [[nodiscard]] const std::vector<double>& ltf_sequence() const noexcept {
+    return ltf_;
+  }
+
+  /// Time-domain LTF symbol with cyclic prefix (what the TX radiates).
+  [[nodiscard]] std::vector<std::complex<double>> transmit_ltf() const;
+
+  /// Applies channel + impairments to a transmitted symbol: channel and
+  /// fractional delay act in the frequency domain (the CP makes the
+  /// convolution circular), CFO rotates in the time domain, AWGN is added
+  /// per sample.
+  [[nodiscard]] std::vector<std::complex<double>> through_channel(
+      std::span<const std::complex<double>> tx_time,
+      const ChannelResponse& channel, const PhyImpairments& impairments,
+      util::Rng& rng) const;
+
+  /// Receiver CSI estimation: strip CP, FFT, divide by the known LTF.
+  [[nodiscard]] ChannelResponse estimate_csi(
+      std::span<const std::complex<double>> rx_time) const;
+
+  [[nodiscard]] const OfdmPhyConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  /// FFT bin of signed subcarrier k.
+  [[nodiscard]] std::size_t bin_of(int k) const noexcept;
+
+  OfdmPhyConfig config_;
+  std::vector<double> ltf_;  ///< +-1 per occupied signed index
+};
+
+}  // namespace vihot::wifi

@@ -1,0 +1,45 @@
+#include "wifi/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vihot::wifi {
+
+PacketScheduler::PacketScheduler(SchedulerConfig config, util::Rng rng)
+    : config_(config), rng_(std::move(rng)) {}
+
+double PacketScheduler::next_interval() {
+  const bool busy = config_.load == ChannelLoad::kInterfering;
+  const double mean = busy ? config_.busy_mean_interval_s
+                           : config_.clean_mean_interval_s;
+  const double burst_gap =
+      busy ? config_.busy_burst_gap_s : config_.clean_burst_gap_s;
+  const double burst_prob =
+      busy ? config_.busy_burst_prob : config_.clean_burst_prob;
+
+  // Occasional long deferral: the channel is grabbed by another station
+  // (or by the interfering video stream) and our frame waits out a burst.
+  if (rng_.chance(burst_prob)) {
+    return std::max(config_.min_interval_s,
+                    rng_.uniform(0.5 * burst_gap, burst_gap));
+  }
+  // Common case: backoff jitter around the nominal spacing. A uniform
+  // +-40% band keeps the mean rate near the target while making the
+  // spacing genuinely irregular (what forces the resampling step).
+  const double interval = mean * rng_.uniform(0.6, 1.4);
+  return std::max(config_.min_interval_s, interval);
+}
+
+std::vector<double> PacketScheduler::arrivals(double t0, double t1) {
+  std::vector<double> out;
+  if (t1 <= t0) return out;
+  out.reserve(static_cast<std::size_t>((t1 - t0) * 550.0) + 8);
+  double t = t0 + next_interval();
+  while (t < t1) {
+    out.push_back(t);
+    t += next_interval();
+  }
+  return out;
+}
+
+}  // namespace vihot::wifi

@@ -1,0 +1,107 @@
+#include "wifi/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace vihot::wifi {
+
+namespace {
+
+constexpr char kCsiMagic[] = "# vihot-csi v1";
+constexpr char kImuMagic[] = "# vihot-imu v1";
+
+}  // namespace
+
+bool write_csi_trace(const std::string& path,
+                     std::span<const CsiMeasurement> capture) {
+  std::ofstream os(path);
+  if (!os) return false;
+  const std::size_t nsc = capture.empty() ? 0 : capture[0].num_subcarriers();
+  os << kCsiMagic << " antennas=2 subcarriers=" << nsc << '\n';
+  os.precision(12);
+  for (const CsiMeasurement& m : capture) {
+    if (m.num_subcarriers() != nsc || m.h[1].size() != nsc) return false;
+    os << m.t;
+    for (const auto& row : m.h) {
+      for (const auto& h : row) {
+        os << ',' << h.real() << ',' << h.imag();
+      }
+    }
+    os << '\n';
+  }
+  return static_cast<bool>(os);
+}
+
+std::optional<std::vector<CsiMeasurement>> read_csi_trace(
+    const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return std::nullopt;
+  std::string header;
+  if (!std::getline(is, header) ||
+      header.rfind(kCsiMagic, 0) != 0) {
+    return std::nullopt;
+  }
+  const auto pos = header.find("subcarriers=");
+  if (pos == std::string::npos) return std::nullopt;
+  const std::size_t nsc = std::stoul(header.substr(pos + 12));
+
+  std::vector<CsiMeasurement> out;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    CsiMeasurement m;
+    char comma = 0;
+    if (!(ls >> m.t)) return std::nullopt;
+    for (auto& row : m.h) {
+      row.reserve(nsc);
+      for (std::size_t f = 0; f < nsc; ++f) {
+        double re = 0.0;
+        double im = 0.0;
+        if (!(ls >> comma >> re >> comma >> im)) return std::nullopt;
+        row.emplace_back(re, im);
+      }
+    }
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+bool write_imu_trace(const std::string& path,
+                     std::span<const imu::ImuSample> samples) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << kImuMagic << '\n';
+  os.precision(12);
+  for (const imu::ImuSample& s : samples) {
+    os << s.t << ',' << s.gyro_yaw_rad_s << ',' << s.accel_lateral_mps2
+       << '\n';
+  }
+  return static_cast<bool>(os);
+}
+
+std::optional<std::vector<imu::ImuSample>> read_imu_trace(
+    const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return std::nullopt;
+  std::string header;
+  if (!std::getline(is, header) || header.rfind(kImuMagic, 0) != 0) {
+    return std::nullopt;
+  }
+  std::vector<imu::ImuSample> out;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    imu::ImuSample s;
+    char comma = 0;
+    if (!(ls >> s.t >> comma >> s.gyro_yaw_rad_s >> comma >>
+          s.accel_lateral_mps2)) {
+      return std::nullopt;
+    }
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace vihot::wifi

@@ -1,0 +1,113 @@
+#include "baseline/imu_headset.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "motion/head_trajectory.h"
+
+namespace vihot::baseline {
+namespace {
+
+motion::HeadState still_head(double) {
+  return motion::HeadState{};
+}
+
+TEST(ImuHeadsetTest, DriftsEvenWithStillHead) {
+  ImuHeadsetTracker::Config cfg;
+  cfg.gyro_bias = 0.004;
+  cfg.gyro_noise_std = 0.0;
+  ImuHeadsetTracker tracker(cfg, util::Rng(1));
+  motion::SteeringModel::Config scfg;
+  scfg.enable_turn_events = false;
+  scfg.micro_amplitude_rad = 0.0;
+  const motion::SteeringModel steering(scfg, util::Rng(2));
+  const motion::CarDynamics car;
+  const util::TimeSeries track =
+      tracker.track(0.0, 60.0, still_head, car, steering);
+  // Pure bias integration: ~0.24 rad (~14 deg) of drift in a minute.
+  EXPECT_NEAR(track.back().value, 0.004 * 60.0, 0.02);
+}
+
+TEST(ImuHeadsetTest, VehicleTurnCorruptsHeadEstimate) {
+  // Sec. 1: "IMU sensors in the headset are interfered by the vehicle
+  // steering". During a car turn the headset reads body yaw as head yaw.
+  ImuHeadsetTracker::Config cfg;
+  cfg.gyro_bias = 0.0;
+  cfg.gyro_noise_std = 0.0;
+  ImuHeadsetTracker tracker(cfg, util::Rng(3));
+  motion::SteeringModel::Config scfg;
+  scfg.duration_s = 60.0;
+  scfg.mean_turn_interval_s = 10.0;
+  scfg.micro_amplitude_rad = 0.0;
+  const motion::SteeringModel steering(scfg, util::Rng(4));
+  ASSERT_FALSE(steering.events().empty());
+  const motion::CarDynamics car;
+  const util::TimeSeries track =
+      tracker.track(0.0, 60.0, still_head, car, steering);
+  // The head never moved, yet the estimate accumulates the car's yaw.
+  double worst = 0.0;
+  for (const auto& s : track.samples()) {
+    worst = std::max(worst, std::abs(s.value));
+  }
+  EXPECT_GT(worst, 0.15);  // > ~8 deg of phantom head turn
+}
+
+TEST(ImuHeadsetTest, CompensationHelpsButLeavesResidual) {
+  motion::SteeringModel::Config scfg;
+  scfg.duration_s = 60.0;
+  scfg.mean_turn_interval_s = 10.0;
+  scfg.micro_amplitude_rad = 0.0;
+  const motion::SteeringModel steering(scfg, util::Rng(5));
+  const motion::CarDynamics car;
+
+  ImuHeadsetTracker::Config raw_cfg;
+  raw_cfg.gyro_bias = 0.0;
+  raw_cfg.gyro_noise_std = 0.0;
+  ImuHeadsetTracker raw(raw_cfg, util::Rng(6));
+  ImuHeadsetTracker::Config comp_cfg = raw_cfg;
+  comp_cfg.compensate_car_yaw = true;
+  ImuHeadsetTracker comp(comp_cfg, util::Rng(6));
+
+  const util::TimeSeries raw_track =
+      raw.track(0.0, 60.0, still_head, car, steering);
+  const util::TimeSeries comp_track =
+      comp.track(0.0, 60.0, still_head, car, steering);
+  double raw_worst = 0.0;
+  double comp_worst = 0.0;
+  for (const auto& s : raw_track.samples()) {
+    raw_worst = std::max(raw_worst, std::abs(s.value));
+  }
+  for (const auto& s : comp_track.samples()) {
+    comp_worst = std::max(comp_worst, std::abs(s.value));
+  }
+  EXPECT_LT(comp_worst, raw_worst);
+  // But the second IMU's bias still drifts: not error-free.
+  EXPECT_GT(comp_worst, 0.01);
+}
+
+TEST(ImuHeadsetTest, FollowsRealHeadMotionShortTerm) {
+  ImuHeadsetTracker::Config cfg;
+  cfg.gyro_bias = 0.0;
+  ImuHeadsetTracker tracker(cfg, util::Rng(7));
+  motion::SteeringModel::Config scfg;
+  scfg.enable_turn_events = false;
+  scfg.micro_amplitude_rad = 0.0;
+  const motion::SteeringModel steering(scfg, util::Rng(8));
+  const motion::CarDynamics car;
+  const auto head = [](double t) {
+    motion::HeadState s;
+    s.pose.theta = 0.8 * std::sin(0.7 * t);
+    s.theta_dot = 0.8 * 0.7 * std::cos(0.7 * t);
+    return s;
+  };
+  const util::TimeSeries track = tracker.track(0.0, 10.0, head, car,
+                                               steering);
+  // Short-term dead reckoning is accurate.
+  for (const auto& s : track.samples()) {
+    EXPECT_NEAR(s.value, 0.8 * std::sin(0.7 * s.t), 0.08);
+  }
+}
+
+}  // namespace
+}  // namespace vihot::baseline

@@ -1,0 +1,73 @@
+#include "baseline/naive_mapper.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tests/core/test_helpers.h"
+
+namespace vihot::baseline {
+namespace {
+
+using core::testing::synthetic_phase;
+using core::testing::synthetic_position;
+
+TEST(NaiveMapperTest, RecoversOrientationWhereCurveIsInjective) {
+  const core::PositionProfile pos = synthetic_position();
+  // Around theta=0 the synthetic curve is locally monotone... but other
+  // branches may share the value. The estimator returns *a* preimage; it
+  // must at least map the phase back to an orientation whose phase is the
+  // query value.
+  for (double theta = -0.9; theta <= 0.9; theta += 0.15) {
+    const double phi = synthetic_phase(theta);
+    const double est = NaiveMapper::estimate(pos, phi);
+    EXPECT_NEAR(synthetic_phase(est), phi, 0.02) << "theta=" << theta;
+  }
+}
+
+TEST(NaiveMapperTest, NonInjectivityProducesLargeErrors) {
+  // The Sec. 3.4.2 argument: some orientations share their phase with a
+  // far-away orientation, and the naive point lookup picks the wrong one
+  // for at least some of them.
+  const core::PositionProfile pos = synthetic_position();
+  double worst = 0.0;
+  for (double theta = -1.0; theta <= 1.0; theta += 0.02) {
+    const double est = NaiveMapper::estimate(pos, synthetic_phase(theta));
+    worst = std::max(worst, std::abs(est - theta));
+  }
+  EXPECT_GT(worst, 0.5);  // > ~30 deg somewhere
+}
+
+TEST(NaiveMapperTest, PreimageCountDetectsAmbiguity) {
+  const core::PositionProfile pos = synthetic_position();
+  // The curve max is unique; mid-levels have several preimages.
+  double phi_max = -1e9;
+  for (const double v : pos.csi.values) phi_max = std::max(phi_max, v);
+  EXPECT_GE(NaiveMapper::preimage_count(pos, phi_max, 0.02), 1u);
+  std::size_t worst = 0;
+  for (double phi = -0.8; phi <= 0.8; phi += 0.05) {
+    worst = std::max(worst, NaiveMapper::preimage_count(pos, phi, 0.02));
+  }
+  EXPECT_GE(worst, 2u) << "curve unexpectedly injective";
+}
+
+TEST(NaiveMapperTest, EmptyProfileReturnsZero) {
+  core::PositionProfile empty;
+  EXPECT_DOUBLE_EQ(NaiveMapper::estimate(empty, 0.5), 0.0);
+  EXPECT_EQ(NaiveMapper::preimage_count(empty, 0.5), 0u);
+}
+
+TEST(NaiveMapperTest, SimulatedProfileIsNonInjectiveToo) {
+  const core::CsiProfile& profile = core::testing::simulated_profile();
+  ASSERT_FALSE(profile.empty());
+  const core::PositionProfile& pos =
+      profile.positions[profile.size() / 2];
+  std::size_t worst = 0;
+  for (double phi = -1.0; phi <= 1.0; phi += 0.1) {
+    worst = std::max(worst, NaiveMapper::preimage_count(pos, phi, 0.03));
+  }
+  EXPECT_GE(worst, 2u);
+}
+
+}  // namespace
+}  // namespace vihot::baseline

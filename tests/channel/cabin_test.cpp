@@ -1,0 +1,81 @@
+#include "channel/cabin.h"
+
+#include <gtest/gtest.h>
+
+namespace vihot::channel {
+namespace {
+
+TEST(CabinTest, AllLayoutsEnumerated) {
+  const auto layouts = all_layouts();
+  ASSERT_EQ(layouts.size(), 5u);
+  EXPECT_EQ(layouts.front(), AntennaLayout::kHeadrestSplit);
+  EXPECT_EQ(layouts.back(), AntennaLayout::kPassengerSide);
+}
+
+TEST(CabinTest, LayoutNamesDistinct) {
+  std::string prev;
+  for (const AntennaLayout l : all_layouts()) {
+    const std::string name = to_string(l);
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, prev);
+    prev = name;
+  }
+}
+
+TEST(CabinTest, DefaultSceneGeometryIsPlausible) {
+  const CabinScene scene = make_cabin_scene();
+  // Phone on the dashboard in front of the driver.
+  EXPECT_GT(scene.tx_position.y, scene.driver_head_center.y);
+  EXPECT_LT(scene.tx_position.x, 0.0);  // driver side (left-hand drive)
+  // Driver and passenger mirror across the centerline.
+  EXPECT_LT(scene.driver_head_center.x, 0.0);
+  EXPECT_GT(scene.passenger_head_center.x, 0.0);
+  // Steering wheel between driver and dash.
+  EXPECT_GT(scene.steering_wheel_center.y, scene.driver_head_center.y);
+  EXPECT_LT(scene.steering_wheel_center.y, scene.tx_position.y);
+  EXPECT_FALSE(scene.static_reflectors.empty());
+}
+
+TEST(CabinTest, Layout1SplitsLosAndHeadExposure) {
+  // The design rule of Sec. 5.2.2: one antenna dominated by the head
+  // echo (blocked LOS), the other by a clean LOS.
+  const CabinScene scene = make_cabin_scene(AntennaLayout::kHeadrestSplit);
+  const RxAntenna& nlos = scene.rx[0];
+  const RxAntenna& los = scene.rx[1];
+  const double ratio_nlos = nlos.head_amplitude / nlos.los_amplitude;
+  const double ratio_los = los.head_amplitude / los.los_amplitude;
+  EXPECT_GT(ratio_nlos, 3.0 * ratio_los);
+  EXPECT_GT(los.los_amplitude, 0.9);
+}
+
+TEST(CabinTest, PassengerSideLayoutNearlyCoLocated) {
+  const CabinScene scene = make_cabin_scene(AntennaLayout::kPassengerSide);
+  EXPECT_LT(geom::distance(scene.rx[0].position, scene.rx[1].position), 0.15);
+}
+
+TEST(CabinTest, LayoutsProduceDistinctAntennaPositions) {
+  const CabinScene a = make_cabin_scene(AntennaLayout::kHeadrestSplit);
+  const CabinScene b = make_cabin_scene(AntennaLayout::kCenterConsole);
+  EXPECT_GT(geom::distance(a.rx[0].position, b.rx[0].position), 0.1);
+}
+
+TEST(CabinTest, TxPatternNullPointsAtPassenger) {
+  const CabinScene scene = make_cabin_scene();
+  const geom::DipolePattern pattern = scene.tx_pattern();
+  const geom::Vec3 to_passenger =
+      scene.passenger_head_center - scene.tx_position;
+  const geom::Vec3 to_driver = scene.driver_head_center - scene.tx_position;
+  EXPECT_GT(pattern.gain(to_driver), pattern.gain(to_passenger));
+}
+
+TEST(CabinTest, OneReflectorCouplesToMusic) {
+  const CabinScene scene = make_cabin_scene();
+  int coupled = 0;
+  for (const StaticReflector& r : scene.static_reflectors) {
+    if (r.music_coupling != 0.0) ++coupled;
+  }
+  EXPECT_EQ(coupled, 1);
+}
+
+}  // namespace
+}  // namespace vihot::channel

@@ -1,0 +1,219 @@
+#include "channel/csi_synth.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/sanitizer.h"
+#include "util/angle.h"
+#include "wifi/csi.h"
+
+namespace vihot::channel {
+namespace {
+
+CabinState state_at(const CabinScene& scene, double theta) {
+  CabinState st;
+  st.head.position = scene.driver_head_center;
+  st.head.theta = theta;
+  return st;
+}
+
+double sanitized_phase(const ChannelModel& model, const CabinState& st) {
+  const CsiMatrix H = model.csi(st);
+  wifi::CsiMeasurement m;
+  m.h = H.h;
+  return core::CsiSanitizer{}.phase(m);
+}
+
+class CsiSynthTest : public ::testing::Test {
+ protected:
+  CabinScene scene_ = make_cabin_scene();
+  ChannelModel model_{scene_, SubcarrierGrid{}, HeadScatterModel{}};
+};
+
+TEST_F(CsiSynthTest, OutputShape) {
+  const CsiMatrix H = model_.csi(state_at(scene_, 0.0));
+  EXPECT_EQ(H.num_subcarriers(), 30u);
+  EXPECT_EQ(H.h[0].size(), 30u);
+  EXPECT_EQ(H.h[1].size(), 30u);
+}
+
+TEST_F(CsiSynthTest, DeterministicForSameState) {
+  const CsiMatrix a = model_.csi(state_at(scene_, 0.3));
+  const CsiMatrix b = model_.csi(state_at(scene_, 0.3));
+  for (std::size_t f = 0; f < a.num_subcarriers(); ++f) {
+    EXPECT_EQ(a.h[0][f], b.h[0][f]);
+    EXPECT_EQ(a.h[1][f], b.h[1][f]);
+  }
+}
+
+TEST_F(CsiSynthTest, HeadRotationChangesCsi) {
+  const CsiMatrix a = model_.csi(state_at(scene_, 0.0));
+  const CsiMatrix b = model_.csi(state_at(scene_, 0.5));
+  double delta = 0.0;
+  for (std::size_t f = 0; f < a.num_subcarriers(); ++f) {
+    delta += std::abs(a.h[0][f] - b.h[0][f]);
+  }
+  EXPECT_GT(delta, 0.1);
+}
+
+TEST_F(CsiSynthTest, StationaryObjectsGiveStaticCsi) {
+  // Same head pose at two "times": nothing else moves by default.
+  const CabinState s1 = state_at(scene_, 0.2);
+  CabinState s2 = s1;
+  const CsiMatrix a = model_.csi(s1);
+  const CsiMatrix b = model_.csi(s2);
+  for (std::size_t f = 0; f < a.num_subcarriers(); ++f) {
+    EXPECT_EQ(a.h[0][f], b.h[0][f]);
+  }
+}
+
+TEST_F(CsiSynthTest, ScatterCenterMovesWithOrientation) {
+  geom::HeadPose pose;
+  pose.position = scene_.driver_head_center;
+  pose.theta = 0.0;
+  const geom::Vec3 front = model_.head_scatter_center(pose);
+  pose.theta = util::kPi / 2.0;
+  const geom::Vec3 side = model_.head_scatter_center(pose);
+  EXPECT_GT(geom::distance(front, side), 0.02);
+  // The scatter center stays near the head (within ~head radius).
+  EXPECT_LT(geom::distance(front, scene_.driver_head_center), 0.12);
+}
+
+TEST_F(CsiSynthTest, HeadPathLengthIsPlausible) {
+  geom::HeadPose pose;
+  pose.position = scene_.driver_head_center;
+  const double d0 = model_.head_path_length(pose, 0);
+  const double d1 = model_.head_path_length(pose, 1);
+  // TX->head->RX inside a cabin: somewhere between 0.5 and 3 meters.
+  EXPECT_GT(d0, 0.5);
+  EXPECT_LT(d0, 3.0);
+  EXPECT_GT(d1, 0.5);
+  EXPECT_LT(d1, 3.0);
+}
+
+TEST_F(CsiSynthTest, PhaseOrientationCurveIsNonInjective) {
+  // Sec. 2.3: the same phase must be observable at different orientations
+  // within a single sweep. Count revisits of the center level.
+  std::vector<double> phis;
+  for (int k = -90; k <= 90; k += 1) {
+    phis.push_back(
+        sanitized_phase(model_, state_at(scene_, util::deg_to_rad(k))));
+  }
+  const double probe =
+      (*std::max_element(phis.begin(), phis.end()) +
+       *std::min_element(phis.begin(), phis.end())) / 2.0;
+  int crossings = 0;
+  for (std::size_t i = 1; i < phis.size(); ++i) {
+    if ((phis[i - 1] < probe) != (phis[i] < probe)) ++crossings;
+  }
+  EXPECT_GE(crossings, 2) << "mid-level phase reached only once";
+}
+
+TEST_F(CsiSynthTest, SanitizedPhaseStaysAwayFromWrapBoundary) {
+  // The calibration contract: over the full orientation sweep and all
+  // profiled lean positions, the sanitized phase must not wrap.
+  for (double lean = -0.055; lean <= 0.055; lean += 0.011) {
+    for (int k = -90; k <= 90; k += 3) {
+      CabinState st = state_at(scene_, util::deg_to_rad(k));
+      st.head.position += geom::Vec3{0.0, lean, 0.0};
+      const double phi = sanitized_phase(model_, st);
+      EXPECT_LT(std::abs(phi), 3.05)
+          << "lean=" << lean << " theta=" << k;
+    }
+  }
+}
+
+TEST_F(CsiSynthTest, HeadPositionShiftsTheCurve) {
+  // Fig. 3: different head positions produce offset (near-parallel)
+  // curves. Compare phases at the same orientation from two positions.
+  CabinState near = state_at(scene_, 0.0);
+  CabinState far = state_at(scene_, 0.0);
+  far.head.position += geom::Vec3{0.0, 0.05, 0.0};
+  const double dphi = std::abs(sanitized_phase(model_, near) -
+                               sanitized_phase(model_, far));
+  EXPECT_GT(dphi, 0.05);
+}
+
+TEST_F(CsiSynthTest, SteeringRimAngleChangesPhase) {
+  CabinState a = state_at(scene_, 0.0);
+  CabinState b = a;
+  b.steering_rim_angle = 1.5;  // large intersection turn
+  EXPECT_GT(std::abs(sanitized_phase(model_, a) -
+                     sanitized_phase(model_, b)),
+            0.05);
+}
+
+TEST_F(CsiSynthTest, MicroMotionsCauseOnlyTinyPhaseChanges) {
+  // Sec. 5.3.1 / Fig. 15: breathing & music footprints are far below the
+  // head-turning signal.
+  const CabinState base = state_at(scene_, 0.0);
+  CabinState breathing = base;
+  breathing.breathing_displacement_m = 0.005;
+  CabinState music = base;
+  music.music_displacement_m = 0.0004;
+  const double phi0 = sanitized_phase(model_, base);
+  const double d_breath =
+      std::abs(sanitized_phase(model_, breathing) - phi0);
+  const double d_music = std::abs(sanitized_phase(model_, music) - phi0);
+  // Head turning swings the phase by more than a radian; micro-motions
+  // must stay an order of magnitude below.
+  EXPECT_LT(d_breath, 0.1);
+  EXPECT_LT(d_music, 0.05);
+}
+
+TEST_F(CsiSynthTest, PassengerPathOnlyWhenPresent) {
+  CabinState without = state_at(scene_, 0.0);
+  CabinState with = without;
+  with.passenger_present = true;
+  const CsiMatrix a = model_.csi(without);
+  const CsiMatrix b = model_.csi(with);
+  double delta = 0.0;
+  for (std::size_t f = 0; f < a.num_subcarriers(); ++f) {
+    delta += std::abs(a.h[0][f] - b.h[0][f]);
+  }
+  EXPECT_GT(delta, 0.0);
+  // ...but the donut null keeps the passenger's influence on the phase
+  // small relative to the head signal (Sec. 3.5).
+  wifi::CsiMeasurement ma;
+  ma.h = a.h;
+  wifi::CsiMeasurement mb;
+  mb.h = b.h;
+  const core::CsiSanitizer san;
+  EXPECT_LT(std::abs(san.phase(ma) - san.phase(mb)), 0.35);
+}
+
+TEST_F(CsiSynthTest, AntennaVibrationShiftsPhase) {
+  CabinState a = state_at(scene_, 0.0);
+  CabinState b = a;
+  b.rx_offset[0] = {0.0, 0.0, 0.003};
+  EXPECT_GT(std::abs(sanitized_phase(model_, a) -
+                     sanitized_phase(model_, b)),
+            1e-4);
+}
+
+// Parameterized: frequency selectivity — each subcarrier sees a slightly
+// different channel, and higher bands shorten the wavelength.
+class CsiFrequencyProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(CsiFrequencyProperty, SubcarriersDiffer) {
+  SubcarrierConfig cfg;
+  cfg.center_freq_hz = GetParam();
+  CabinScene scene = make_cabin_scene();
+  ChannelModel model(scene, SubcarrierGrid(cfg), HeadScatterModel{});
+  CabinState st;
+  st.head.position = scene.driver_head_center;
+  const CsiMatrix H = model.csi(st);
+  double spread = 0.0;
+  for (std::size_t f = 1; f < H.num_subcarriers(); ++f) {
+    spread += std::abs(H.h[0][f] - H.h[0][f - 1]);
+  }
+  EXPECT_GT(spread, 0.01);  // frequency-selective, not flat
+}
+
+INSTANTIATE_TEST_SUITE_P(Bands, CsiFrequencyProperty,
+                         ::testing::Values(2.412e9, 2.437e9, 2.462e9,
+                                           5.18e9));
+
+}  // namespace
+}  // namespace vihot::channel

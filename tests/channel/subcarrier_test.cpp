@@ -1,0 +1,63 @@
+#include "channel/subcarrier.h"
+
+#include <gtest/gtest.h>
+
+namespace vihot::channel {
+namespace {
+
+TEST(SubcarrierTest, DefaultGridMatchesIntel5300) {
+  const SubcarrierGrid grid;
+  EXPECT_EQ(grid.size(), 30u);
+  // Center frequency 2.437 GHz (channel 6).
+  EXPECT_NEAR(grid.frequency(grid.size() / 2), 2.437e9, 1e7);
+}
+
+TEST(SubcarrierTest, FrequenciesAscendAndSpanTheBand) {
+  const SubcarrierGrid grid;
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    EXPECT_GT(grid.frequency(i), grid.frequency(i - 1));
+  }
+  const double span = grid.frequency(grid.size() - 1) - grid.frequency(0);
+  // 802.11n occupies +-28 of 64 subcarriers of a 20 MHz channel: 17.5 MHz.
+  EXPECT_NEAR(span, 20e6 * 56.0 / 64.0, 1e5);
+}
+
+TEST(SubcarrierTest, WavelengthConsistentWithFrequency) {
+  const SubcarrierGrid grid;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_NEAR(grid.wavelength(i) * grid.frequency(i), kSpeedOfLight, 1.0);
+  }
+  // 2.4 GHz wavelength is ~12.3 cm.
+  EXPECT_NEAR(grid.wavelength(grid.size() / 2), 0.123, 0.002);
+}
+
+TEST(SubcarrierTest, OfdmIndicesAreSymmetricSigned) {
+  const SubcarrierGrid grid;
+  EXPECT_NEAR(grid.ofdm_index(0), -28.0, 0.5);
+  EXPECT_NEAR(grid.ofdm_index(grid.size() - 1), 28.0, 0.5);
+  // Antisymmetric around the center.
+  EXPECT_NEAR(grid.ofdm_index(0) + grid.ofdm_index(grid.size() - 1), 0.0,
+              1e-9);
+}
+
+TEST(SubcarrierTest, CustomConfig) {
+  SubcarrierConfig cfg;
+  cfg.center_freq_hz = 5.18e9;  // 5 GHz channel 36 (Sec. 7 discussion)
+  cfg.num_subcarriers = 56;
+  const SubcarrierGrid grid(cfg);
+  EXPECT_EQ(grid.size(), 56u);
+  EXPECT_NEAR(grid.frequency(28), 5.18e9, 2e6);
+  EXPECT_LT(grid.wavelength(0), 0.06);  // ~5.8 cm at 5 GHz
+}
+
+TEST(SubcarrierTest, SingleSubcarrierSitsAtCenter) {
+  SubcarrierConfig cfg;
+  cfg.num_subcarriers = 1;
+  const SubcarrierGrid grid(cfg);
+  ASSERT_EQ(grid.size(), 1u);
+  EXPECT_DOUBLE_EQ(grid.frequency(0), cfg.center_freq_hz);
+  EXPECT_NEAR(grid.ofdm_index(0), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace vihot::channel

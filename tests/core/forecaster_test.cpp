@@ -1,0 +1,94 @@
+#include "core/forecaster.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_helpers.h"
+
+namespace vihot::core {
+namespace {
+
+// An estimate pointing at profile sample `last` with the given ratio.
+OrientationEstimate estimate_at(const PositionProfile& pos, std::size_t last,
+                                double speed_ratio) {
+  OrientationEstimate e;
+  e.valid = true;
+  e.match_length = 21;
+  e.match_start = last + 1 - e.match_length;
+  e.speed_ratio = speed_ratio;
+  e.theta_rad = pos.orientation.values[last];
+  return e;
+}
+
+TEST(ForecasterTest, ZeroHorizonReturnsCurrent) {
+  const PositionProfile pos = testing::synthetic_position();
+  const OrientationEstimate e = estimate_at(pos, 400, 1.0);
+  const Forecast f = Forecaster::forecast(pos, e, 0.0);
+  ASSERT_TRUE(f.valid);
+  EXPECT_NEAR(f.theta_rad, pos.orientation.values[400], 1e-9);
+  EXPECT_FALSE(f.clamped);
+}
+
+TEST(ForecasterTest, UnitRatioWalksProfileTime) {
+  const PositionProfile pos = testing::synthetic_position();
+  const OrientationEstimate e = estimate_at(pos, 400, 1.0);
+  const double horizon = 0.2;  // 40 samples at 200 Hz
+  const Forecast f = Forecaster::forecast(pos, e, horizon);
+  ASSERT_TRUE(f.valid);
+  EXPECT_NEAR(f.theta_rad, pos.orientation.values[400 + 40], 0.02);
+}
+
+TEST(ForecasterTest, SpeedRatioScalesTheStep) {
+  // Eq. (6): with ratio 2 (run-time turning twice the profiling speed),
+  // predicting t_h ahead walks 2*t_h in profile time.
+  const PositionProfile pos = testing::synthetic_position();
+  const OrientationEstimate e = estimate_at(pos, 300, 2.0);
+  const Forecast f = Forecaster::forecast(pos, e, 0.1);
+  ASSERT_TRUE(f.valid);
+  EXPECT_NEAR(f.theta_rad, pos.orientation.values[300 + 40], 0.02);
+}
+
+TEST(ForecasterTest, ClampsAtProfileEnd) {
+  const PositionProfile pos = testing::synthetic_position();
+  const std::size_t last = pos.orientation.size() - 2;
+  const OrientationEstimate e = estimate_at(pos, last, 1.0);
+  const Forecast f = Forecaster::forecast(pos, e, 5.0);
+  ASSERT_TRUE(f.valid);
+  EXPECT_TRUE(f.clamped);
+  EXPECT_NEAR(f.theta_rad, pos.orientation.values.back(), 1e-9);
+}
+
+TEST(ForecasterTest, InvalidEstimateGivesInvalidForecast) {
+  const PositionProfile pos = testing::synthetic_position();
+  OrientationEstimate bad;
+  bad.valid = false;
+  EXPECT_FALSE(Forecaster::forecast(pos, bad, 0.1).valid);
+}
+
+TEST(ForecasterTest, EmptyProfileGivesInvalidForecast) {
+  PositionProfile empty;
+  OrientationEstimate e;
+  e.valid = true;
+  EXPECT_FALSE(Forecaster::forecast(empty, e, 0.1).valid);
+}
+
+// Parameterized horizon sweep (the Fig. 10 knob): prediction error against
+// the profile's own future grows with the horizon under a speed-ratio
+// mismatch, and is exact when the ratio is exact.
+class HorizonProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(HorizonProperty, ExactRatioPredictsProfileFuture) {
+  const double horizon = GetParam();
+  const PositionProfile pos = testing::synthetic_position();
+  const OrientationEstimate e = estimate_at(pos, 500, 1.0);
+  const Forecast f = Forecaster::forecast(pos, e, horizon);
+  ASSERT_TRUE(f.valid);
+  const double truth = pos.orientation.interpolate(
+      pos.orientation.time_at(500) + horizon);
+  EXPECT_NEAR(f.theta_rad, truth, 0.02) << "horizon=" << horizon;
+}
+
+INSTANTIATE_TEST_SUITE_P(Horizons, HorizonProperty,
+                         ::testing::Values(0.0, 0.1, 0.2, 0.3, 0.4));
+
+}  // namespace
+}  // namespace vihot::core

@@ -1,0 +1,75 @@
+#include "core/position_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_helpers.h"
+#include "util/angle.h"
+
+namespace vihot::core {
+namespace {
+
+TEST(PositionEstimatorTest, PicksExactFingerprint) {
+  const CsiProfile profile = testing::synthetic_profile(5);
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    const PositionEstimate e = PositionEstimator::estimate(
+        profile, profile.positions[i].fingerprint_phase);
+    ASSERT_TRUE(e.valid);
+    EXPECT_EQ(e.profile_slot, i);
+    EXPECT_NEAR(e.fingerprint_error_rad, 0.0, 1e-12);
+  }
+}
+
+TEST(PositionEstimatorTest, PicksNearestForOffFingerprintPhase) {
+  const CsiProfile profile = testing::synthetic_profile(5);
+  // Fingerprints are -0.4, -0.2, 0.0, 0.2, 0.4; phase 0.13 is nearest 0.2.
+  const PositionEstimate e = PositionEstimator::estimate(profile, 0.13);
+  ASSERT_TRUE(e.valid);
+  EXPECT_EQ(e.profile_slot, 3u);
+  EXPECT_NEAR(e.fingerprint_error_rad, 0.07, 1e-9);
+}
+
+TEST(PositionEstimatorTest, UsesCircularDistance) {
+  CsiProfile profile;
+  profile.sample_rate_hz = 200.0;
+  PositionProfile a = testing::synthetic_position(0, 3.0);
+  PositionProfile b = testing::synthetic_position(1, -0.5);
+  profile.positions = {a, b};
+  // Phase -3.1 is circularly close to +3.0 (distance ~0.18), far from
+  // -0.5 (distance 2.6).
+  const PositionEstimate e = PositionEstimator::estimate(profile, -3.1);
+  ASSERT_TRUE(e.valid);
+  EXPECT_EQ(e.profile_slot, 0u);
+}
+
+TEST(PositionEstimatorTest, EmptyProfileInvalid) {
+  const CsiProfile profile;
+  EXPECT_FALSE(PositionEstimator::estimate(profile, 0.0).valid);
+}
+
+TEST(PositionEstimatorTest, ReportsThePositionsOwnLabel) {
+  CsiProfile profile = testing::synthetic_profile(3);
+  profile.positions[2].position_index = 77;  // arbitrary external label
+  const PositionEstimate e = PositionEstimator::estimate(
+      profile, profile.positions[2].fingerprint_phase);
+  ASSERT_TRUE(e.valid);
+  EXPECT_EQ(e.position_index, 77u);
+}
+
+TEST(PositionEstimatorTest, SimulatedProfileFingerprints) {
+  // Against the real simulated profile: looking up each stored
+  // fingerprint recovers its own slot (Eq. 4 self-consistency).
+  const CsiProfile& profile = testing::simulated_profile();
+  ASSERT_GE(profile.size(), 8u);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    const PositionEstimate e = PositionEstimator::estimate(
+        profile, profile.positions[i].fingerprint_phase);
+    if (e.valid && e.profile_slot == i) ++hits;
+  }
+  // Distinct fingerprints may collide at the resolution of the channel;
+  // most slots must self-identify.
+  EXPECT_GE(hits, profile.size() - 2);
+}
+
+}  // namespace
+}  // namespace vihot::core

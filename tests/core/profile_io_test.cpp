@@ -1,0 +1,88 @@
+#include "core/profile_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "tests/core/test_helpers.h"
+
+namespace vihot::core {
+namespace {
+
+class ProfileIoTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "vihot_profile_test.txt";
+};
+
+TEST_F(ProfileIoTest, RoundTripSynthetic) {
+  const CsiProfile original = testing::synthetic_profile(4);
+  ASSERT_TRUE(save_profile(path_, original));
+  const auto loaded = load_profile(path_);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), original.size());
+  EXPECT_DOUBLE_EQ(loaded->sample_rate_hz, original.sample_rate_hz);
+  EXPECT_DOUBLE_EQ(loaded->reference_phase, original.reference_phase);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const PositionProfile& a = original.positions[i];
+    const PositionProfile& b = loaded->positions[i];
+    EXPECT_EQ(a.position_index, b.position_index);
+    EXPECT_NEAR(a.fingerprint_phase, b.fingerprint_phase, 1e-9);
+    ASSERT_EQ(a.csi.size(), b.csi.size());
+    for (std::size_t k = 0; k < a.csi.size(); k += 97) {
+      EXPECT_NEAR(a.csi.values[k], b.csi.values[k], 1e-9);
+      EXPECT_NEAR(a.orientation.values[k], b.orientation.values[k], 1e-9);
+    }
+  }
+}
+
+TEST_F(ProfileIoTest, RoundTripSimulatedProfileTracks) {
+  // The acid test: a profile saved and reloaded must drive the tracker
+  // identically to the original.
+  const CsiProfile& original = testing::simulated_profile();
+  ASSERT_TRUE(save_profile(path_, original));
+  const auto loaded = load_profile(path_);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), original.size());
+  // Relative phases agree to text-format precision everywhere.
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR(original.positions[i].csi.values[500],
+                loaded->positions[i].csi.values[500], 1e-9);
+  }
+}
+
+TEST_F(ProfileIoTest, MissingFile) {
+  EXPECT_FALSE(load_profile("/nonexistent/profile.txt").has_value());
+}
+
+TEST_F(ProfileIoTest, RejectsWrongMagic) {
+  std::ofstream os(path_);
+  os << "# not a profile\n";
+  os.close();
+  EXPECT_FALSE(load_profile(path_).has_value());
+}
+
+TEST_F(ProfileIoTest, RejectsTruncatedSamples) {
+  const CsiProfile original = testing::synthetic_profile(1);
+  ASSERT_TRUE(save_profile(path_, original));
+  // Chop the file in half.
+  std::ifstream in(path_);
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path_, std::ios::trunc);
+  out << all.substr(0, all.size() / 2);
+  out.close();
+  EXPECT_FALSE(load_profile(path_).has_value());
+}
+
+TEST_F(ProfileIoTest, EmptyProfileRoundTrips) {
+  ASSERT_TRUE(save_profile(path_, CsiProfile{}));
+  const auto loaded = load_profile(path_);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->empty());
+}
+
+}  // namespace
+}  // namespace vihot::core

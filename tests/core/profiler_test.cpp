@@ -1,0 +1,189 @@
+#include "core/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tests/core/test_helpers.h"
+#include "util/angle.h"
+
+namespace vihot::core {
+namespace {
+
+TEST(ProfilerTest, SimulatedProfileHasAllPositions) {
+  const CsiProfile& profile = testing::simulated_profile();
+  EXPECT_EQ(profile.size(), testing::fast_scenario().num_positions);
+  EXPECT_DOUBLE_EQ(profile.sample_rate_hz, 200.0);
+}
+
+TEST(ProfilerTest, SeriesShareTheGrid) {
+  const CsiProfile& profile = testing::simulated_profile();
+  for (const PositionProfile& p : profile.positions) {
+    ASSERT_EQ(p.csi.size(), p.orientation.size());
+    EXPECT_DOUBLE_EQ(p.csi.t0, p.orientation.t0);
+    EXPECT_DOUBLE_EQ(p.csi.dt, p.orientation.dt);
+    EXPECT_GT(p.csi.size(), 1000u);  // ~9.5 s at 200 Hz
+  }
+}
+
+TEST(ProfilerTest, OrientationSeriesCoversTheSweep) {
+  const CsiProfile& profile = testing::simulated_profile();
+  for (const PositionProfile& p : profile.positions) {
+    double lo = 1e9;
+    double hi = -1e9;
+    for (const double th : p.orientation.values) {
+      lo = std::min(lo, th);
+      hi = std::max(hi, th);
+    }
+    EXPECT_LT(lo, util::deg_to_rad(-80.0));
+    EXPECT_GT(hi, util::deg_to_rad(80.0));
+  }
+}
+
+TEST(ProfilerTest, FingerprintsAnchoredNearZero) {
+  // The reference phase is the middle session's fingerprint, so the
+  // middle position's relative fingerprint must be ~0 and all values sit
+  // far from the wrap boundary.
+  const CsiProfile& profile = testing::simulated_profile();
+  const std::size_t mid = profile.size() / 2;
+  EXPECT_NEAR(profile.positions[mid].fingerprint_phase, 0.0, 0.05);
+  for (const PositionProfile& p : profile.positions) {
+    EXPECT_LT(std::abs(p.fingerprint_phase), 2.0);
+  }
+}
+
+TEST(ProfilerTest, StoredPhasesAwayFromWrapBoundary) {
+  const CsiProfile& profile = testing::simulated_profile();
+  for (const PositionProfile& p : profile.positions) {
+    for (const double v : p.csi.values) {
+      EXPECT_LT(std::abs(v), 3.1);
+    }
+  }
+}
+
+TEST(ProfilerTest, RelativePhaseWraps) {
+  CsiProfile profile;
+  profile.reference_phase = 3.0;
+  // 3.0 - (-3.0) = 6.0 -> wrapped to 6.0 - 2*pi ~ -0.28.
+  EXPECT_NEAR(profile.relative_phase(-3.0), -3.0 - 3.0 + util::kTwoPi,
+              1e-9);
+  EXPECT_NEAR(profile.relative_phase(3.0), 0.0, 1e-12);
+}
+
+TEST(ProfilerTest, SkipsSessionsWithoutStableFingerprint) {
+  // A session whose ground truth never pauses near 0 deg cannot be
+  // fingerprinted and must be dropped.
+  JointProfiler profiler;
+  ProfilingSession session;
+  session.position_index = 0;
+  // CSI frames with 2 antennas / 30 subcarriers of dummy data.
+  for (int i = 0; i < 500; ++i) {
+    wifi::CsiMeasurement m;
+    m.t = 0.002 * i;
+    m.h[0].assign(30, {1.0, 0.0});
+    m.h[1].assign(30, {1.0, 0.0});
+    session.csi.push_back(m);
+    // Ground truth: fast continuous spin, never stable near zero.
+    session.orientation_truth.push(m.t, 5.0 * m.t + 0.5);
+  }
+  const CsiProfile profile =
+      profiler.build(std::vector<ProfilingSession>{session});
+  EXPECT_TRUE(profile.empty());
+}
+
+TEST(ProfilerTest, EmptyInputGivesEmptyProfile) {
+  JointProfiler profiler;
+  EXPECT_TRUE(profiler.build({}).empty());
+}
+
+namespace {
+
+// A synthetic profiling session whose sanitized phase is exactly
+// level + 0.8*sin(theta): hold at theta=0 for 1.5 s, then sweep.
+ProfilingSession synthetic_session(std::size_t index, double level) {
+  ProfilingSession session;
+  session.position_index = index;
+  for (int i = 0; i < 2500; ++i) {
+    const double t = 0.004 * i;
+    const double theta =
+        t < 1.5 ? 0.0 : std::sin(0.8 * (t - 1.5));  // slow sweep
+    const double phi = level + 0.8 * std::sin(theta);
+    wifi::CsiMeasurement m;
+    m.t = t;
+    m.h[0].assign(30, std::polar(1.0, phi));
+    m.h[1].assign(30, {1.0, 0.0});  // phase difference == phi
+    session.csi.push_back(std::move(m));
+    session.orientation_truth.push(t, theta);
+  }
+  return session;
+}
+
+}  // namespace
+
+TEST(ProfilerTest, UpdateReplacesNearestAndAppendsNew) {
+  JointProfiler profiler;
+  std::vector<ProfilingSession> sessions;
+  sessions.push_back(synthetic_session(0, 0.2));
+  sessions.push_back(synthetic_session(1, 0.6));
+  const CsiProfile base = profiler.build(sessions);
+  ASSERT_EQ(base.size(), 2u);
+
+  // A re-profiled trace near position 0 replaces it...
+  const CsiProfile replaced = profiler.update(
+      base, std::vector<ProfilingSession>{synthetic_session(7, 0.23)});
+  ASSERT_EQ(replaced.size(), 2u);
+  EXPECT_DOUBLE_EQ(replaced.reference_phase, base.reference_phase);
+  // ...and carries the new session's label.
+  const bool has_new_label =
+      replaced.positions[0].position_index == 7 ||
+      replaced.positions[1].position_index == 7;
+  EXPECT_TRUE(has_new_label);
+
+  // A trace at a genuinely new lean level is appended.
+  const CsiProfile grown = profiler.update(
+      base, std::vector<ProfilingSession>{synthetic_session(8, 1.2)});
+  EXPECT_EQ(grown.size(), 3u);
+}
+
+TEST(ProfilerTest, UpdateNoOpKeepsProfile) {
+  const CsiProfile& base = testing::simulated_profile();
+  JointProfiler profiler;
+  const CsiProfile same = profiler.update(base, {});
+  EXPECT_EQ(same.size(), base.size());
+  EXPECT_DOUBLE_EQ(same.reference_phase, base.reference_phase);
+}
+
+TEST(ProfilerTest, UpdateOnEmptyProfileBuilds) {
+  JointProfiler profiler;
+  const CsiProfile out = profiler.update(CsiProfile{}, {});
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ProfilerTest, UpdateSkipsUnfingerprintableSessions) {
+  const CsiProfile& base = testing::simulated_profile();
+  JointProfiler profiler;
+  ProfilingSession bad;
+  bad.position_index = 99;
+  for (int i = 0; i < 500; ++i) {
+    wifi::CsiMeasurement m;
+    m.t = 0.002 * i;
+    m.h[0].assign(30, {1.0, 0.0});
+    m.h[1].assign(30, {1.0, 0.0});
+    bad.csi.push_back(m);
+    bad.orientation_truth.push(m.t, 5.0 * m.t + 0.5);  // never stable at 0
+  }
+  const CsiProfile out =
+      profiler.update(base, std::vector<ProfilingSession>{bad});
+  EXPECT_EQ(out.size(), base.size());
+}
+
+TEST(ProfilerTest, ProfilingIsFast) {
+  // Sec. 3.3: the whole profiling pass takes under 100 s of driver time.
+  const sim::ScenarioConfig& cfg = testing::fast_scenario();
+  const double total = static_cast<double>(cfg.num_positions) *
+                       (cfg.profiling_hold_s + cfg.profiling_sweep_s);
+  EXPECT_LT(total, 100.0);
+}
+
+}  // namespace
+}  // namespace vihot::core

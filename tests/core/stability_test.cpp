@@ -1,0 +1,96 @@
+#include "core/stability.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace vihot::core {
+namespace {
+
+TEST(StabilityTest, FlatStreamBecomesStable) {
+  StablePhaseDetector det;
+  util::Rng rng(1);
+  bool stable = false;
+  for (double t = 0.0; t < 3.0; t += 0.002) {
+    stable = det.update(t, 0.5 + rng.normal(0.0, 0.005));
+  }
+  EXPECT_TRUE(stable);
+  EXPECT_NEAR(det.stable_phase(), 0.5, 0.01);
+}
+
+TEST(StabilityTest, NeedsFullWindowFirst) {
+  StablePhaseDetector::Config cfg;
+  cfg.window_s = 1.2;
+  StablePhaseDetector det(cfg);
+  // Only 0.5 s of perfectly flat data: not enough time span yet.
+  bool stable = false;
+  for (double t = 0.0; t < 0.5; t += 0.002) {
+    stable = det.update(t, 0.0);
+  }
+  EXPECT_FALSE(stable);
+}
+
+TEST(StabilityTest, HeadTurnBreaksStability) {
+  StablePhaseDetector det;
+  for (double t = 0.0; t < 2.0; t += 0.002) det.update(t, 0.1);
+  EXPECT_TRUE(det.is_stable());
+  // A head turn swings the phase by ~1 rad within 100 ms.
+  bool stable = true;
+  for (double t = 2.0; t < 2.1; t += 0.002) {
+    stable = det.update(t, 0.1 + 10.0 * (t - 2.0));
+  }
+  EXPECT_FALSE(stable);
+}
+
+TEST(StabilityTest, RecoversAfterTurnEnds) {
+  StablePhaseDetector det;
+  for (double t = 0.0; t < 2.0; t += 0.002) det.update(t, 0.0);
+  for (double t = 2.0; t < 2.5; t += 0.002) {
+    det.update(t, std::sin(20.0 * (t - 2.0)));
+  }
+  EXPECT_FALSE(det.is_stable());
+  // Settle at a new level: stable again after a full window.
+  bool stable = false;
+  for (double t = 2.5; t < 5.0; t += 0.002) {
+    stable = det.update(t, 0.3);
+  }
+  EXPECT_TRUE(stable);
+  EXPECT_NEAR(det.stable_phase(), 0.3, 0.01);
+}
+
+TEST(StabilityTest, SpreadThresholdIsRespected) {
+  StablePhaseDetector::Config cfg;
+  cfg.max_spread_rad = 0.08;
+  StablePhaseDetector det(cfg);
+  // Oscillation with peak-to-peak exactly above the threshold.
+  bool stable = true;
+  for (double t = 0.0; t < 3.0; t += 0.002) {
+    stable = det.update(t, 0.05 * std::sin(3.0 * t));
+  }
+  EXPECT_FALSE(stable);  // p2p = 0.10 > 0.08
+}
+
+TEST(StabilityTest, MinSamplesGuard) {
+  StablePhaseDetector::Config cfg;
+  cfg.min_samples = 30;
+  StablePhaseDetector det(cfg);
+  // Sparse updates (one per 0.2 s): the window never holds 30 samples.
+  bool stable = false;
+  for (double t = 0.0; t < 5.0; t += 0.2) {
+    stable = det.update(t, 0.0);
+  }
+  EXPECT_FALSE(stable);
+}
+
+TEST(StabilityTest, ResetClearsState) {
+  StablePhaseDetector det;
+  for (double t = 0.0; t < 3.0; t += 0.002) det.update(t, 0.0);
+  EXPECT_TRUE(det.is_stable());
+  det.reset();
+  EXPECT_FALSE(det.is_stable());
+}
+
+}  // namespace
+}  // namespace vihot::core

@@ -1,0 +1,59 @@
+#include "core/steering_identifier.h"
+
+#include <gtest/gtest.h>
+
+namespace vihot::core {
+namespace {
+
+imu::ImuSample sample(double t, double yaw) {
+  imu::ImuSample s;
+  s.t = t;
+  s.gyro_yaw_rad_s = yaw;
+  return s;
+}
+
+TEST(SteeringIdentifierTest, DefaultsToCsiMode) {
+  SteeringIdentifier id;
+  EXPECT_EQ(id.mode(), TrackingMode::kCsi);
+}
+
+TEST(SteeringIdentifierTest, CarTurnTriggersFallback) {
+  SteeringIdentifier id;
+  for (double t = 0.0; t < 1.0; t += 0.01) id.push_imu(sample(t, 0.0));
+  EXPECT_EQ(id.mode(), TrackingMode::kCsi);
+  for (double t = 1.0; t < 2.0; t += 0.01) id.push_imu(sample(t, 0.3));
+  EXPECT_EQ(id.mode(), TrackingMode::kCameraFallback);
+  EXPECT_TRUE(id.car_turning());
+}
+
+TEST(SteeringIdentifierTest, ReturnsToCsiAfterTurn) {
+  SteeringIdentifier id;
+  for (double t = 0.0; t < 1.0; t += 0.01) id.push_imu(sample(t, 0.3));
+  EXPECT_EQ(id.mode(), TrackingMode::kCameraFallback);
+  for (double t = 1.0; t < 4.0; t += 0.01) id.push_imu(sample(t, 0.0));
+  EXPECT_EQ(id.mode(), TrackingMode::kCsi);
+}
+
+TEST(SteeringIdentifierTest, DisabledAblationAlwaysCsi) {
+  // Fig. 17b "w/o steering identifier": the arbiter never leaves CSI
+  // mode even while the car is turning.
+  SteeringIdentifier::Config cfg;
+  cfg.enabled = false;
+  SteeringIdentifier id(cfg);
+  for (double t = 0.0; t < 2.0; t += 0.01) id.push_imu(sample(t, 0.4));
+  EXPECT_EQ(id.mode(), TrackingMode::kCsi);
+  // The detector still sees the turn — only the arbitration is off.
+  EXPECT_TRUE(id.car_turning());
+}
+
+TEST(SteeringIdentifierTest, GyroNoiseDoesNotTrip) {
+  SteeringIdentifier id;
+  util::Rng rng(2);
+  for (double t = 0.0; t < 10.0; t += 0.01) {
+    id.push_imu(sample(t, 0.002 + rng.normal(0.0, 0.006)));
+    EXPECT_EQ(id.mode(), TrackingMode::kCsi);
+  }
+}
+
+}  // namespace
+}  // namespace vihot::core

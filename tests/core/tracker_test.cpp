@@ -1,0 +1,230 @@
+#include "core/tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tests/core/test_helpers.h"
+#include "sim/drive_sim.h"
+#include "sim/metrics.h"
+#include "wifi/link.h"
+
+namespace vihot::core {
+namespace {
+
+// Full-stack fixture: simulated profile + one simulated drive.
+class TrackerTest : public ::testing::Test {
+ protected:
+  void run_drive(ViHotTracker& tracker, double duration,
+                 std::vector<double>* errors,
+                 bool steering_events = false) {
+    sim::ScenarioConfig config = testing::fast_scenario();
+    config.runtime_duration_s = duration;
+    config.steering_events = steering_events;
+    util::Rng rng(5551);
+    const motion::HeadPositionGrid grid(config.driver.head_center,
+                                        config.num_positions,
+                                        config.position_spacing_m);
+    util::Rng chan_rng = rng.fork("channel");
+    const channel::ChannelModel channel =
+        sim::make_channel(config, 0.0, chan_rng);
+    wifi::WifiLink link(channel, config.noise, config.scheduler,
+                        rng.fork("link"));
+    sim::DriveSession session(config, grid.position(grid.count() / 2),
+                              rng.fork("drive"));
+    const auto csi = link.capture(0.0, duration, [&](double t) {
+      return session.cabin_state_at(t);
+    });
+    imu::PhoneImu phone(imu::PhoneImu::Config{}, rng.fork("imu"));
+    const auto imu_samples = phone.capture(0.0, duration,
+                                           session.car_dynamics(),
+                                           session.steering());
+    camera::CameraTracker cam(camera::CameraTracker::Config{},
+                              rng.fork("camera"));
+    const auto cam_stream = cam.capture(
+        0.0, duration, [&](double t) { return session.head_at(t); });
+
+    std::size_t ci = 0;
+    std::size_t ii = 0;
+    std::size_t mi = 0;
+    for (double t = 1.5; t < duration; t += 0.05) {
+      while (ci < csi.size() && csi[ci].t <= t) tracker.push_csi(csi[ci++]);
+      while (ii < imu_samples.size() && imu_samples[ii].t <= t) {
+        tracker.push_imu(imu_samples[ii++]);
+      }
+      while (mi < cam_stream.size() && cam_stream[mi].t <= t) {
+        tracker.push_camera(cam_stream[mi++]);
+      }
+      const TrackResult r = tracker.estimate(t);
+      const motion::HeadState truth = session.head_at(t);
+      if (!r.valid) continue;
+      if (std::abs(truth.pose.theta) < 0.035 &&
+          std::abs(truth.theta_dot) < 0.17) {
+        continue;
+      }
+      errors->push_back(
+          sim::angular_error_deg(r.theta_rad, truth.pose.theta));
+    }
+  }
+};
+
+TEST_F(TrackerTest, TracksWithLowMedianError) {
+  ViHotTracker tracker(testing::simulated_profile(), TrackerConfig{});
+  std::vector<double> errors;
+  run_drive(tracker, 20.0, &errors);
+  ASSERT_GT(errors.size(), 20u);
+  // The paper's headline band: 4-10 deg median.
+  EXPECT_LT(util::median(errors), 12.0);
+}
+
+TEST_F(TrackerTest, EmptyProfileNeverValid) {
+  ViHotTracker tracker(CsiProfile{}, TrackerConfig{});
+  wifi::CsiMeasurement m;
+  m.t = 0.0;
+  m.h[0].assign(30, {1.0, 0.0});
+  m.h[1].assign(30, {1.0, 0.0});
+  tracker.push_csi(m);
+  EXPECT_FALSE(tracker.estimate(0.1).valid);
+}
+
+TEST_F(TrackerTest, InvalidBeforeSetupTime) {
+  ViHotTracker tracker(testing::simulated_profile(), TrackerConfig{});
+  // No CSI pushed at all: nothing to match.
+  EXPECT_FALSE(tracker.estimate(0.05).valid);
+}
+
+TEST_F(TrackerTest, PositionSlotConvergesToTruth) {
+  ViHotTracker tracker(testing::simulated_profile(), TrackerConfig{});
+  std::vector<double> errors;
+  run_drive(tracker, 20.0, &errors);
+  // The drive sits at the middle grid slot.
+  const std::size_t mid = testing::simulated_profile().size() / 2;
+  const std::size_t got = tracker.position_slot();
+  EXPECT_LE(got > mid ? got - mid : mid - got, 1u);
+}
+
+TEST_F(TrackerTest, SteeringEventsSwitchToFallback) {
+  TrackerConfig cfg;
+  ViHotTracker tracker(testing::simulated_profile(), cfg);
+  std::vector<double> errors;
+  run_drive(tracker, 25.0, &errors, /*steering_events=*/true);
+  // The identifier must have engaged at least once over 25 s with turn
+  // events scheduled (mean interval 25 s, but micro+events both exist).
+  // The mode is a function of the last IMU state; just sanity check the
+  // API and the error level stays sane despite steering interference.
+  EXPECT_LT(util::median(errors), 25.0);
+}
+
+TEST_F(TrackerTest, SteeringFallbackUsesCameraEstimate) {
+  // Force the identifier into fallback with sustained body yaw, provide a
+  // camera estimate, and check the output comes from the camera.
+  ViHotTracker tracker(testing::simulated_profile(), TrackerConfig{});
+  for (double t = 0.0; t < 1.0; t += 0.01) {
+    imu::ImuSample s;
+    s.t = t;
+    s.gyro_yaw_rad_s = 0.3;  // intersection turn
+    tracker.push_imu(s);
+  }
+  EXPECT_EQ(tracker.mode(), TrackingMode::kCameraFallback);
+  camera::CameraTracker::Estimate cam;
+  cam.t = 0.98;
+  cam.theta = 0.42;
+  cam.valid = true;
+  tracker.push_camera(cam);
+  const TrackResult r = tracker.estimate(1.0);
+  EXPECT_EQ(r.mode, TrackingMode::kCameraFallback);
+  ASSERT_TRUE(r.valid);
+  EXPECT_NEAR(r.theta_rad, 0.42, 1e-9);
+}
+
+TEST_F(TrackerTest, FallbackInvalidWithoutFreshCamera) {
+  ViHotTracker tracker(testing::simulated_profile(), TrackerConfig{});
+  for (double t = 0.0; t < 1.0; t += 0.01) {
+    imu::ImuSample s;
+    s.t = t;
+    s.gyro_yaw_rad_s = 0.3;
+    tracker.push_imu(s);
+  }
+  // A stale camera estimate (older than camera_staleness_s) is rejected.
+  camera::CameraTracker::Estimate cam;
+  cam.t = 0.2;
+  cam.theta = 0.42;
+  cam.valid = true;
+  tracker.push_camera(cam);
+  const TrackResult r = tracker.estimate(1.0);
+  EXPECT_EQ(r.mode, TrackingMode::kCameraFallback);
+  EXPECT_FALSE(r.valid);
+}
+
+TEST_F(TrackerTest, InvalidCameraEstimatesIgnored) {
+  ViHotTracker tracker(testing::simulated_profile(), TrackerConfig{});
+  for (double t = 0.0; t < 1.0; t += 0.01) {
+    imu::ImuSample s;
+    s.t = t;
+    s.gyro_yaw_rad_s = 0.3;
+    tracker.push_imu(s);
+  }
+  camera::CameraTracker::Estimate cam;
+  cam.t = 0.99;
+  cam.theta = 1.0;
+  cam.valid = false;  // lost-track frame
+  tracker.push_camera(cam);
+  EXPECT_FALSE(tracker.estimate(1.0).valid);
+}
+
+TEST_F(TrackerTest, ForecastNeedsAMatch) {
+  ViHotTracker tracker(testing::simulated_profile(), TrackerConfig{});
+  EXPECT_FALSE(tracker.forecast(0.1).valid);
+  std::vector<double> errors;
+  run_drive(tracker, 10.0, &errors);
+  const Forecast f = tracker.forecast(0.1);
+  // After a drive with matches, forecasting works.
+  EXPECT_TRUE(f.valid);
+}
+
+TEST_F(TrackerTest, JumpFilterLimitsOutputRate) {
+  TrackerConfig cfg;
+  cfg.jump_filter_enabled = true;
+  ViHotTracker tracker(testing::simulated_profile(), cfg);
+  sim::ScenarioConfig config = testing::fast_scenario();
+  // Track output deltas over a drive; no two consecutive outputs (50 ms
+  // apart) may exceed the configured rate bound + slack, except for
+  // re-lock jumps which are rare.
+  util::Rng rng(777);
+  const motion::HeadPositionGrid grid(config.driver.head_center,
+                                      config.num_positions,
+                                      config.position_spacing_m);
+  util::Rng chan_rng = rng.fork("channel");
+  const channel::ChannelModel channel =
+      sim::make_channel(config, 0.0, chan_rng);
+  wifi::WifiLink link(channel, config.noise, config.scheduler,
+                      rng.fork("link"));
+  sim::DriveSession session(config, grid.position(grid.count() / 2),
+                            rng.fork("drive"));
+  const auto csi = link.capture(0.0, 15.0, [&](double t) {
+    return session.cabin_state_at(t);
+  });
+  std::size_t ci = 0;
+  double prev = 0.0;
+  bool have_prev = false;
+  int big_jumps = 0;
+  int outputs = 0;
+  for (double t = 1.5; t < 15.0; t += 0.05) {
+    while (ci < csi.size() && csi[ci].t <= t) tracker.push_csi(csi[ci++]);
+    const TrackResult r = tracker.estimate(t);
+    if (!r.valid) continue;
+    if (have_prev &&
+        std::abs(r.theta_rad - prev) >
+            cfg.max_theta_rate_rad_s * 0.05 + 0.05) {
+      ++big_jumps;
+    }
+    prev = r.theta_rad;
+    have_prev = true;
+    ++outputs;
+  }
+  ASSERT_GT(outputs, 100);
+  EXPECT_LT(static_cast<double>(big_jumps) / outputs, 0.12);
+}
+
+}  // namespace
+}  // namespace vihot::core

@@ -1,0 +1,166 @@
+#include "dsp/dtw.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace vihot::dsp {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::vector<double> sine(int n, double period, double phase = 0.0) {
+  std::vector<double> xs;
+  for (int i = 0; i < n; ++i) {
+    xs.push_back(std::sin(2.0 * 3.14159265 * i / period + phase));
+  }
+  return xs;
+}
+
+TEST(DtwTest, IdenticalSeriesZeroDistance) {
+  const auto a = sine(50, 20.0);
+  EXPECT_DOUBLE_EQ(dtw_distance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(dtw_distance_normalized(a, a), 0.0);
+}
+
+TEST(DtwTest, EmptyInputIsInfinite) {
+  const std::vector<double> a = {1.0, 2.0};
+  EXPECT_EQ(dtw_distance(a, {}), kInf);
+  EXPECT_EQ(dtw_distance({}, a), kInf);
+}
+
+TEST(DtwTest, SingleElementPairs) {
+  const std::vector<double> a = {2.0};
+  const std::vector<double> b = {5.0};
+  EXPECT_DOUBLE_EQ(dtw_distance(a, b), 9.0);
+}
+
+TEST(DtwTest, AbsorbsTimeStretching) {
+  // The same sine at double the sampling: DTW distance should be far
+  // smaller than the Euclidean-style distance to a different signal.
+  const auto slow = sine(80, 40.0);
+  const auto fast = sine(40, 20.0);
+  const auto other = sine(40, 7.0);
+  EXPECT_LT(dtw_distance(fast, slow), dtw_distance(fast, other));
+  EXPECT_LT(dtw_distance(fast, slow), 1.0);
+}
+
+TEST(DtwTest, SymmetricDistance) {
+  const auto a = sine(30, 11.0);
+  const auto b = sine(45, 17.0, 0.5);
+  EXPECT_NEAR(dtw_distance(a, b), dtw_distance(b, a), 1e-9);
+}
+
+TEST(DtwTest, TriangleOffsetGrowsDistance) {
+  const auto a = sine(40, 20.0);
+  auto b = a;
+  for (double& v : b) v += 0.5;
+  auto c = a;
+  for (double& v : c) v += 1.0;
+  EXPECT_LT(dtw_distance(a, b), dtw_distance(a, c));
+}
+
+TEST(DtwTest, EarlyAbandonReturnsInfinity) {
+  const auto a = sine(40, 20.0);
+  auto b = a;
+  for (double& v : b) v += 2.0;
+  DtwOptions opt;
+  opt.abandon_above = 1.0;  // true distance is 40 * 4 = 160
+  EXPECT_EQ(dtw_distance(a, b, opt), kInf);
+}
+
+TEST(DtwTest, EarlyAbandonKeepsGoodMatches) {
+  const auto a = sine(40, 20.0);
+  DtwOptions opt;
+  opt.abandon_above = 1.0;
+  EXPECT_DOUBLE_EQ(dtw_distance(a, a, opt), 0.0);
+}
+
+TEST(DtwTest, BandRestrictsWarp) {
+  // With a full band the warp absorbs the stretch; with a tiny band the
+  // alignment is near-diagonal and the distance grows.
+  const auto slow = sine(80, 40.0);
+  const auto fast = sine(40, 20.0);
+  DtwOptions narrow;
+  narrow.band_fraction = 0.02;
+  DtwOptions full;
+  full.band_fraction = 1.0;
+  EXPECT_GE(dtw_distance(fast, slow, narrow),
+            dtw_distance(fast, slow, full));
+}
+
+TEST(DtwTest, BandAlwaysReachesEndCell) {
+  // Even a zero-width band must cover the diagonal slope mismatch.
+  const auto a = sine(10, 5.0);
+  const auto b = sine(37, 5.0);
+  DtwOptions opt;
+  opt.band_fraction = 0.0;
+  EXPECT_LT(dtw_distance(a, b, opt), kInf);
+}
+
+TEST(DtwTest, NormalizedDividesBySizes) {
+  const std::vector<double> a = {0.0, 0.0};
+  const std::vector<double> b = {1.0, 1.0};
+  const double raw = dtw_distance(a, b);
+  EXPECT_DOUBLE_EQ(dtw_distance_normalized(a, b), raw / 4.0);
+}
+
+TEST(DtwAlignTest, PathEndpointsAndMonotonicity) {
+  const auto a = sine(20, 10.0);
+  const auto b = sine(30, 15.0);
+  const DtwAlignment al = dtw_align(a, b);
+  ASSERT_FALSE(al.path.empty());
+  EXPECT_EQ(al.path.front().first, 0u);
+  EXPECT_EQ(al.path.front().second, 0u);
+  EXPECT_EQ(al.path.back().first, a.size() - 1);
+  EXPECT_EQ(al.path.back().second, b.size() - 1);
+  for (std::size_t k = 1; k < al.path.size(); ++k) {
+    EXPECT_GE(al.path[k].first, al.path[k - 1].first);
+    EXPECT_GE(al.path[k].second, al.path[k - 1].second);
+    const std::size_t step = (al.path[k].first - al.path[k - 1].first) +
+                             (al.path[k].second - al.path[k - 1].second);
+    EXPECT_GE(step, 1u);
+    EXPECT_LE(step, 2u);
+  }
+}
+
+TEST(DtwAlignTest, DistanceMatchesDtwDistance) {
+  const auto a = sine(25, 12.0);
+  const auto b = sine(35, 9.0, 1.0);
+  EXPECT_NEAR(dtw_align(a, b).distance, dtw_distance(a, b), 1e-9);
+}
+
+TEST(DtwLowerBoundTest, NeverExceedsTrueDistance) {
+  const auto a = sine(30, 13.0);
+  for (double period : {7.0, 11.0, 23.0}) {
+    for (double phase : {0.0, 0.7, 2.0}) {
+      const auto b = sine(40, period, phase);
+      EXPECT_LE(dtw_lower_bound(a, b), dtw_distance(a, b) + 1e-12)
+          << "period=" << period << " phase=" << phase;
+    }
+  }
+}
+
+TEST(DtwLowerBoundTest, EmptyIsInfinite) {
+  EXPECT_EQ(dtw_lower_bound({}, std::vector<double>{1.0}), kInf);
+}
+
+// Property: distance to a shifted copy grows monotonically with shift.
+class DtwShiftProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(DtwShiftProperty, MonotoneInOffset) {
+  const auto a = sine(30, 15.0);
+  const double s = GetParam();
+  auto near = a;
+  auto far = a;
+  for (double& v : near) v += s;
+  for (double& v : far) v += s + 0.5;
+  EXPECT_LE(dtw_distance(a, near), dtw_distance(a, far));
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, DtwShiftProperty,
+                         ::testing::Values(0.0, 0.1, 0.3, 0.8, 1.5));
+
+}  // namespace
+}  // namespace vihot::dsp

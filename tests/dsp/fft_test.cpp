@@ -1,0 +1,104 @@
+#include "dsp/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/angle.h"
+#include "util/rng.h"
+
+namespace vihot::dsp {
+namespace {
+
+TEST(FftTest, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(96));
+}
+
+TEST(FftTest, DeltaTransformsToFlat) {
+  std::vector<std::complex<double>> x(16, {0.0, 0.0});
+  x[0] = {1.0, 0.0};
+  const auto X = fft(x);
+  for (const auto& v : X) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(FftTest, SinglToneLandsInItsBin) {
+  const std::size_t n = 64;
+  std::vector<std::complex<double>> x(n);
+  const int tone = 5;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ph = util::kTwoPi * tone * static_cast<double>(i) /
+                      static_cast<double>(n);
+    x[i] = std::polar(1.0, ph);
+  }
+  const auto X = fft(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double expected = (k == tone) ? static_cast<double>(n) : 0.0;
+    EXPECT_NEAR(std::abs(X[k]), expected, 1e-9) << "bin " << k;
+  }
+}
+
+TEST(FftTest, RoundTrip) {
+  util::Rng rng(5);
+  std::vector<std::complex<double>> x(128);
+  for (auto& v : x) v = {rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)};
+  const auto y = ifft(fft(x));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(y[i] - x[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(FftTest, ParsevalHolds) {
+  util::Rng rng(7);
+  std::vector<std::complex<double>> x(64);
+  double e_time = 0.0;
+  for (auto& v : x) {
+    v = {rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)};
+    e_time += std::norm(v);
+  }
+  const auto X = fft(x);
+  double e_freq = 0.0;
+  for (const auto& v : X) e_freq += std::norm(v);
+  EXPECT_NEAR(e_freq / 64.0, e_time, 1e-9);
+}
+
+TEST(FftTest, LinearityOfFft) {
+  util::Rng rng(9);
+  std::vector<std::complex<double>> a(32);
+  std::vector<std::complex<double>> b(32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    a[i] = {rng.normal(0.0, 1.0), 0.0};
+    b[i] = {0.0, rng.normal(0.0, 1.0)};
+  }
+  std::vector<std::complex<double>> sum(32);
+  for (std::size_t i = 0; i < 32; ++i) sum[i] = 2.0 * a[i] + b[i];
+  const auto A = fft(a);
+  const auto B = fft(b);
+  const auto S = fft(sum);
+  for (std::size_t k = 0; k < 32; ++k) {
+    EXPECT_NEAR(std::abs(S[k] - (2.0 * A[k] + B[k])), 0.0, 1e-10);
+  }
+}
+
+TEST(FftTest, PowerSpectrumFindsTone) {
+  // 8 Hz tone sampled at 64 Hz for 2 s -> peak at bin 16 of a 128-pt FFT.
+  std::vector<double> xs;
+  for (int i = 0; i < 128; ++i) {
+    xs.push_back(std::sin(util::kTwoPi * 8.0 * i / 64.0));
+  }
+  const auto spec = power_spectrum(xs);
+  std::size_t peak = 0;
+  for (std::size_t k = 1; k < spec.size(); ++k) {
+    if (spec[k] > spec[peak]) peak = k;
+  }
+  EXPECT_EQ(peak, 16u);
+}
+
+}  // namespace
+}  // namespace vihot::dsp

@@ -1,0 +1,121 @@
+#include "dsp/resampler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace vihot::dsp {
+namespace {
+
+TEST(ResamplerTest, UniformInputRoundTrips) {
+  util::TimeSeries ts;
+  for (int i = 0; i < 10; ++i) ts.push(0.1 * i, static_cast<double>(i));
+  const util::UniformSeries out = resample(ts, 10.0);
+  ASSERT_EQ(out.size(), 10u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out.values[i], static_cast<double>(i), 1e-9);
+  }
+}
+
+TEST(ResamplerTest, IrregularInputInterpolated) {
+  util::TimeSeries ts;
+  ts.push(0.0, 0.0);
+  ts.push(0.3, 3.0);
+  ts.push(1.0, 10.0);  // value = 10 * t
+  const util::UniformSeries out = resample(ts, 4.0);  // t = 0, .25, .5, .75, 1
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_NEAR(out.values[1], 2.5, 1e-9);
+  EXPECT_NEAR(out.values[2], 5.0, 1e-9);
+  EXPECT_NEAR(out.values[4], 10.0, 1e-9);
+}
+
+TEST(ResamplerTest, EmptyAndSingle) {
+  util::TimeSeries empty;
+  EXPECT_TRUE(resample(empty, 100.0).empty());
+  util::TimeSeries one;
+  one.push(1.0, 42.0);
+  const auto out = resample(one, 100.0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out.values[0], 42.0);
+}
+
+TEST(ResamplerTest, ZeroRateIsEmpty) {
+  util::TimeSeries ts;
+  ts.push(0.0, 1.0);
+  ts.push(1.0, 2.0);
+  EXPECT_TRUE(resample(ts, 0.0).empty());
+}
+
+TEST(ResamplerTest, WindowResampleSpansExactly) {
+  util::TimeSeries ts;
+  for (int i = 0; i <= 100; ++i) ts.push(0.01 * i, std::sin(0.2 * i));
+  const util::UniformSeries w = resample_window(ts, 0.25, 0.75, 11);
+  ASSERT_EQ(w.size(), 11u);
+  EXPECT_DOUBLE_EQ(w.t0, 0.25);
+  EXPECT_NEAR(w.end_time(), 0.75, 1e-12);
+}
+
+TEST(ResamplerTest, WindowClampsOutsideData) {
+  util::TimeSeries ts;
+  ts.push(1.0, 5.0);
+  ts.push(2.0, 7.0);
+  const util::UniformSeries w = resample_window(ts, 0.0, 3.0, 4);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_DOUBLE_EQ(w.values.front(), 5.0);  // clamped before data start
+  EXPECT_DOUBLE_EQ(w.values.back(), 7.0);   // clamped after data end
+}
+
+TEST(ResamplerTest, WindowDegenerateInputs) {
+  util::TimeSeries ts;
+  ts.push(0.0, 1.0);
+  EXPECT_TRUE(resample_window(ts, 0.0, 1.0, 0).empty());
+  EXPECT_TRUE(resample_window(ts, 2.0, 1.0, 5).empty());
+  util::TimeSeries empty;
+  EXPECT_TRUE(resample_window(empty, 0.0, 1.0, 5).empty());
+}
+
+TEST(ResamplerTest, MaxGapFindsWorstInterval) {
+  util::TimeSeries ts;
+  ts.push(0.0, 0.0);
+  ts.push(0.002, 0.0);
+  ts.push(0.036, 0.0);  // 34 ms gap (the paper's clean-channel worst case)
+  ts.push(0.038, 0.0);
+  EXPECT_NEAR(max_gap(ts), 0.034, 1e-12);
+}
+
+TEST(ResamplerTest, MeanRateMatchesUniformSpacing) {
+  util::TimeSeries ts;
+  for (int i = 0; i < 501; ++i) ts.push(0.002 * i, 0.0);
+  EXPECT_NEAR(mean_rate_hz(ts), 500.0, 1e-6);
+  util::TimeSeries single;
+  single.push(0.0, 0.0);
+  EXPECT_DOUBLE_EQ(mean_rate_hz(single), 0.0);
+}
+
+// Property: resampling a band-limited signal preserves it closely.
+class ResampleFidelity : public ::testing::TestWithParam<double> {};
+
+TEST_P(ResampleFidelity, SineReconstruction) {
+  const double rate = GetParam();
+  util::Rng rng(17);
+  util::TimeSeries ts;
+  double t = 0.0;
+  while (t < 5.0) {
+    ts.push(t, std::sin(2.0 * 3.14159265 * 1.5 * t));  // 1.5 Hz tone
+    t += rng.uniform(0.001, 0.004);  // irregular ~400 Hz sampling
+  }
+  const util::UniformSeries out = resample(ts, rate);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double truth =
+        std::sin(2.0 * 3.14159265 * 1.5 * out.time_at(i));
+    EXPECT_NEAR(out.values[i], truth, 0.01);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, ResampleFidelity,
+                         ::testing::Values(50.0, 100.0, 200.0, 500.0));
+
+}  // namespace
+}  // namespace vihot::dsp

@@ -1,0 +1,98 @@
+#include "fusion/hybrid_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tests/core/test_helpers.h"
+#include "sim/drive_sim.h"
+#include "sim/metrics.h"
+#include "wifi/link.h"
+
+namespace vihot::fusion {
+namespace {
+
+// Runs one simulated drive through a HybridTracker; returns (errors,
+// camera duty cycle).
+std::pair<sim::ErrorCollector, double> run_drive(CameraPolicy policy,
+                                                 double duration = 20.0) {
+  sim::ScenarioConfig config = core::testing::fast_scenario();
+  config.runtime_duration_s = duration;
+  util::Rng rng(808);
+  const motion::HeadPositionGrid grid(config.driver.head_center,
+                                      config.num_positions,
+                                      config.position_spacing_m);
+  util::Rng chan_rng = rng.fork("channel");
+  const channel::ChannelModel channel =
+      sim::make_channel(config, 0.0, chan_rng);
+  wifi::WifiLink link(channel, config.noise, config.scheduler,
+                      rng.fork("link"));
+  sim::DriveSession session(config, grid.position(grid.count() / 2),
+                            rng.fork("drive"));
+  const auto csi = link.capture(0.0, duration, [&](double t) {
+    return session.cabin_state_at(t);
+  });
+  camera::CameraTracker cam(camera::CameraTracker::Config{},
+                            rng.fork("camera"));
+  const auto cam_stream = cam.capture(
+      0.0, duration, [&](double t) { return session.head_at(t); });
+
+  HybridTracker::Config cfg;
+  cfg.policy = policy;
+  HybridTracker tracker(core::testing::simulated_profile(), cfg);
+
+  sim::ErrorCollector errors;
+  std::size_t ci = 0;
+  std::size_t mi = 0;
+  for (double t = 1.5; t < duration; t += 0.05) {
+    while (ci < csi.size() && csi[ci].t <= t) tracker.push_csi(csi[ci++]);
+    while (mi < cam_stream.size() && cam_stream[mi].t <= t) {
+      tracker.push_camera(cam_stream[mi++]);
+    }
+    const HybridTracker::Result r = tracker.estimate(t);
+    const motion::HeadState truth = session.head_at(t);
+    if (!r.valid) continue;
+    if (std::abs(truth.pose.theta) < 0.035 &&
+        std::abs(truth.theta_dot) < 0.17) {
+      continue;
+    }
+    errors.add(sim::angular_error_deg(r.theta_rad, truth.pose.theta));
+  }
+  return {errors, tracker.camera_duty_cycle()};
+}
+
+TEST(HybridTrackerTest, OffPolicyNeverPowersCamera) {
+  const auto [errors, duty] = run_drive(CameraPolicy::kOff);
+  EXPECT_DOUBLE_EQ(duty, 0.0);
+  EXPECT_FALSE(errors.empty());
+}
+
+TEST(HybridTrackerTest, AlwaysOnPolicyFullDuty) {
+  const auto [errors, duty] = run_drive(CameraPolicy::kAlwaysOn);
+  EXPECT_DOUBLE_EQ(duty, 1.0);
+  EXPECT_FALSE(errors.empty());
+}
+
+TEST(HybridTrackerTest, EnergyAwareDutyBetweenExtremes) {
+  const auto [errors, duty] = run_drive(CameraPolicy::kEnergyAware);
+  EXPECT_GT(duty, 0.0);   // the camera wakes up sometimes
+  EXPECT_LT(duty, 0.85);  // but stays off most of the drive
+  EXPECT_FALSE(errors.empty());
+}
+
+TEST(HybridTrackerTest, FusionTamesTheCsiTail) {
+  // The fused tail (p90) must not exceed CSI-only, and AlwaysOn must be
+  // at least as good as EnergyAware at the tail.
+  const auto [off_errors, d0] = run_drive(CameraPolicy::kOff);
+  const auto [on_errors, d1] = run_drive(CameraPolicy::kAlwaysOn);
+  EXPECT_LE(on_errors.percentile_deg(90.0),
+            off_errors.percentile_deg(90.0) + 3.0);
+}
+
+TEST(HybridTrackerTest, TracksAccurately) {
+  const auto [errors, duty] = run_drive(CameraPolicy::kEnergyAware);
+  EXPECT_LT(errors.median_deg(), 12.0);
+}
+
+}  // namespace
+}  // namespace vihot::fusion

@@ -1,0 +1,73 @@
+#include "geom/antenna_pattern.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/angle.h"
+
+namespace vihot::geom {
+namespace {
+
+TEST(DipolePatternTest, BroadsideIsUnityGain) {
+  const DipolePattern p(Vec3{1.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(p.gain({0.0, 1.0, 0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(p.gain({0.0, 0.0, 1.0}), 1.0);
+}
+
+TEST(DipolePatternTest, NullAlongAxisIsFloor) {
+  const DipolePattern p(Vec3{1.0, 0.0, 0.0}, 0.02);
+  EXPECT_DOUBLE_EQ(p.gain({1.0, 0.0, 0.0}), 0.02);
+  EXPECT_DOUBLE_EQ(p.gain({-1.0, 0.0, 0.0}), 0.02);
+}
+
+TEST(DipolePatternTest, SinSquaredShape) {
+  const DipolePattern p(Vec3{0.0, 0.0, 1.0}, 0.0);
+  // 45 degrees off the axis: gain = sin^2(45 deg) = 0.5.
+  const Vec3 dir{1.0, 0.0, 1.0};
+  EXPECT_NEAR(p.gain(dir), 0.5, 1e-12);
+}
+
+TEST(DipolePatternTest, AmplitudeGainIsSqrt) {
+  const DipolePattern p(Vec3{0.0, 0.0, 1.0}, 0.0);
+  const Vec3 dir{1.0, 0.0, 1.0};
+  EXPECT_NEAR(p.amplitude_gain(dir), std::sqrt(0.5), 1e-12);
+}
+
+TEST(DipolePatternTest, AxisIsNormalizedOnConstruction) {
+  const DipolePattern p(Vec3{5.0, 0.0, 0.0});
+  EXPECT_NEAR(p.axis().norm(), 1.0, 1e-12);
+}
+
+TEST(DipolePatternTest, PassengerSuppressionScenario) {
+  // ViHOT placement rule (Sec. 3.5): the wire axis (+x) points at the
+  // passenger; the driver sits broadside. The passenger direction must be
+  // strongly attenuated relative to the driver direction.
+  const DipolePattern p(Vec3{1.0, 0.0, 0.0}, 0.03);
+  const Vec3 toward_driver{0.0, -0.65, 0.18};
+  const Vec3 toward_passenger{0.72, -0.65, 0.15};
+  EXPECT_GT(p.gain(toward_driver), 0.9);
+  EXPECT_LT(p.gain(toward_passenger), 0.6);
+  EXPECT_GT(p.gain(toward_driver) / p.gain(toward_passenger), 1.8);
+}
+
+TEST(DipolePatternTest, GainNeverBelowFloorNorAboveOne) {
+  const DipolePattern p(Vec3{0.3, 0.8, 0.5}, 0.05);
+  for (double az = 0.0; az < util::kTwoPi; az += 0.3) {
+    for (double el = -1.5; el <= 1.5; el += 0.3) {
+      const Vec3 dir{std::cos(el) * std::cos(az), std::cos(el) * std::sin(az),
+                     std::sin(el)};
+      const double g = p.gain(dir);
+      EXPECT_GE(g, 0.05);
+      EXPECT_LE(g, 1.0);
+    }
+  }
+}
+
+TEST(IsotropicPatternTest, AlwaysUnity) {
+  EXPECT_DOUBLE_EQ(IsotropicPattern::gain({1.0, 2.0, 3.0}), 1.0);
+  EXPECT_DOUBLE_EQ(IsotropicPattern::gain({}), 1.0);
+}
+
+}  // namespace
+}  // namespace vihot::geom

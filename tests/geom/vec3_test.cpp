@@ -1,0 +1,75 @@
+#include "geom/vec3.h"
+
+#include <gtest/gtest.h>
+
+#include "util/angle.h"
+
+namespace vihot::geom {
+namespace {
+
+TEST(Vec3Test, Arithmetic) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{4.0, 5.0, 6.0};
+  const Vec3 sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.x, 5.0);
+  EXPECT_DOUBLE_EQ(sum.y, 7.0);
+  EXPECT_DOUBLE_EQ(sum.z, 9.0);
+  const Vec3 diff = b - a;
+  EXPECT_DOUBLE_EQ(diff.x, 3.0);
+  const Vec3 scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled.z, 6.0);
+  const Vec3 scaled2 = 2.0 * a;
+  EXPECT_DOUBLE_EQ(scaled2.y, 4.0);
+  const Vec3 divided = b / 2.0;
+  EXPECT_DOUBLE_EQ(divided.x, 2.0);
+  const Vec3 neg = -a;
+  EXPECT_DOUBLE_EQ(neg.x, -1.0);
+}
+
+TEST(Vec3Test, DotAndCross) {
+  const Vec3 x{1.0, 0.0, 0.0};
+  const Vec3 y{0.0, 1.0, 0.0};
+  EXPECT_DOUBLE_EQ(x.dot(y), 0.0);
+  EXPECT_DOUBLE_EQ(x.dot(x), 1.0);
+  const Vec3 z = x.cross(y);
+  EXPECT_DOUBLE_EQ(z.x, 0.0);
+  EXPECT_DOUBLE_EQ(z.y, 0.0);
+  EXPECT_DOUBLE_EQ(z.z, 1.0);
+}
+
+TEST(Vec3Test, NormAndNormalized) {
+  const Vec3 v{3.0, 4.0, 0.0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm_sq(), 25.0);
+  const Vec3 u = v.normalized();
+  EXPECT_NEAR(u.norm(), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(u.x, 0.6);
+  // Zero vector normalizes to itself.
+  const Vec3 zero{};
+  EXPECT_DOUBLE_EQ(zero.normalized().norm(), 0.0);
+}
+
+TEST(Vec3Test, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0, 0}, {0, 3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1, 1}, {1, 1, 1}), 0.0);
+}
+
+TEST(Vec3Test, AngleBetween) {
+  const Vec3 x{1.0, 0.0, 0.0};
+  const Vec3 y{0.0, 2.0, 0.0};
+  EXPECT_NEAR(angle_between(x, y), util::kPi / 2.0, 1e-12);
+  EXPECT_NEAR(angle_between(x, x), 0.0, 1e-7);
+  EXPECT_NEAR(angle_between(x, -x), util::kPi, 1e-7);
+  EXPECT_DOUBLE_EQ(angle_between(x, {}), 0.0);  // zero vector convention
+}
+
+TEST(Vec3Test, PlusEquals) {
+  Vec3 v{1.0, 1.0, 1.0};
+  v += Vec3{0.5, -1.0, 2.0};
+  EXPECT_DOUBLE_EQ(v.x, 1.5);
+  EXPECT_DOUBLE_EQ(v.y, 0.0);
+  EXPECT_DOUBLE_EQ(v.z, 3.0);
+}
+
+}  // namespace
+}  // namespace vihot::geom

@@ -1,0 +1,80 @@
+#include "imu/imu.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace vihot::imu {
+namespace {
+
+TEST(PhoneImuTest, SampleReflectsYawRatePlusBias) {
+  PhoneImu::Config cfg;
+  cfg.gyro_noise_std = 0.0;
+  cfg.gyro_bias = 0.01;
+  PhoneImu imu(cfg, util::Rng(1));
+  motion::CarState car;
+  car.yaw_rate_rad_s = 0.3;
+  const ImuSample s = imu.sample(1.0, car);
+  EXPECT_DOUBLE_EQ(s.t, 1.0);
+  EXPECT_NEAR(s.gyro_yaw_rad_s, 0.31, 1e-12);
+}
+
+TEST(PhoneImuTest, NoiseStatistics) {
+  PhoneImu::Config cfg;
+  cfg.gyro_noise_std = 0.006;
+  cfg.gyro_bias = 0.0;
+  PhoneImu imu(cfg, util::Rng(2));
+  motion::CarState car;  // yaw 0
+  std::vector<double> readings;
+  for (int i = 0; i < 5000; ++i) {
+    readings.push_back(imu.sample(0.01 * i, car).gyro_yaw_rad_s);
+  }
+  EXPECT_NEAR(util::mean(readings), 0.0, 0.001);
+  EXPECT_NEAR(util::stddev(readings), 0.006, 0.001);
+}
+
+TEST(PhoneImuTest, LateralAccelIsCentripetal) {
+  PhoneImu::Config cfg;
+  cfg.accel_noise_std = 0.0;
+  PhoneImu imu(cfg, util::Rng(3));
+  motion::CarState car;
+  car.speed_mps = 6.0;
+  car.yaw_rate_rad_s = 0.25;
+  EXPECT_NEAR(imu.sample(0.0, car).accel_lateral_mps2, 1.5, 1e-9);
+}
+
+TEST(PhoneImuTest, CaptureRateAndDuration) {
+  PhoneImu imu(PhoneImu::Config{}, util::Rng(4));
+  motion::SteeringModel::Config scfg;
+  scfg.enable_turn_events = false;
+  const motion::SteeringModel steering(scfg, util::Rng(5));
+  const motion::CarDynamics car;
+  const auto trace = imu.capture(0.0, 10.0, car, steering);
+  EXPECT_NEAR(static_cast<double>(trace.size()), 1000.0, 2.0);
+  EXPECT_LT(trace.back().t, 10.0);
+}
+
+TEST(PhoneImuTest, CaptureSeesSteeringEvents) {
+  motion::SteeringModel::Config scfg;
+  scfg.duration_s = 60.0;
+  scfg.mean_turn_interval_s = 10.0;
+  const motion::SteeringModel steering(scfg, util::Rng(6));
+  ASSERT_FALSE(steering.events().empty());
+  const motion::CarDynamics car;
+  PhoneImu::Config icfg;
+  icfg.gyro_noise_std = 0.0;
+  icfg.gyro_bias = 0.0;
+  PhoneImu imu(icfg, util::Rng(7));
+  const auto trace = imu.capture(0.0, 60.0, car, steering);
+  double peak = 0.0;
+  for (const ImuSample& s : trace) {
+    peak = std::max(peak, std::abs(s.gyro_yaw_rad_s));
+  }
+  // An intersection turn at ~6 m/s yields >0.1 rad/s of body yaw.
+  EXPECT_GT(peak, 0.1);
+}
+
+}  // namespace
+}  // namespace vihot::imu

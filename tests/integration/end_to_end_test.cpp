@@ -1,0 +1,120 @@
+// End-to-end integration tests: the whole pipeline — channel synthesis,
+// hardware noise, CSMA timing, profiling, and run-time tracking — driven
+// through the public API, asserting the paper's qualitative results.
+
+#include <gtest/gtest.h>
+
+#include "baseline/naive_mapper.h"
+#include "sim/experiment.h"
+#include "util/angle.h"
+
+namespace vihot {
+namespace {
+
+sim::ScenarioConfig base_config(std::uint64_t seed) {
+  sim::ScenarioConfig c;
+  c.seed = seed;
+  c.runtime_sessions = 2;
+  c.runtime_duration_s = 25.0;
+  return c;
+}
+
+TEST(EndToEnd, HeadlineAccuracy) {
+  // Median angular error in (or near) the paper's 4-10 deg band.
+  sim::ExperimentRunner runner(base_config(101));
+  const sim::ExperimentResult res = runner.run();
+  ASSERT_GT(res.errors.size(), 80u);
+  EXPECT_LT(res.errors.median_deg(), 12.0);
+  EXPECT_GT(res.errors.median_deg(), 0.1);  // not trivially zero
+}
+
+TEST(EndToEnd, SamplingRateBeatsCameraTenfold) {
+  // Sec. 2.2 / Sec. 5: CSI sampling ~500 Hz vs ~30 FPS cameras.
+  sim::ExperimentRunner runner(base_config(102));
+  const sim::ExperimentResult res = runner.run();
+  EXPECT_GT(res.mean_csi_rate_hz, 10.0 * 30.0);
+}
+
+TEST(EndToEnd, ViHotBeatsNaiveMapping) {
+  // The series matcher must clearly beat the Eq.-(5) single-point lookup.
+  sim::ScenarioConfig cfg = base_config(103);
+  cfg.collect_naive_baseline = true;
+  sim::ExperimentRunner runner(cfg);
+  const sim::ExperimentResult res = runner.run();
+  ASSERT_FALSE(res.naive_errors.empty());
+  // The naive lookup's median can look deceptively fine (the curve is
+  // locally injective around many orientations); its failure mode is the
+  // tail, where the wrong preimage is picked. Compare tail and mean.
+  EXPECT_LT(res.errors.percentile_deg(90.0),
+            res.naive_errors.percentile_deg(90.0));
+  EXPECT_LT(res.errors.mean_deg(), res.naive_errors.mean_deg());
+}
+
+TEST(EndToEnd, SteeringIdentifierImprovesAccuracy) {
+  // Fig. 17b: with steering events, disabling the identifier hurts.
+  sim::ScenarioConfig with = base_config(104);
+  with.steering_events = true;
+  with.steering.mean_turn_interval_s = 8.0;
+  sim::ScenarioConfig without = with;
+  without.tracker.steering.enabled = false;
+  const sim::ExperimentResult res_with =
+      sim::ExperimentRunner(with).run();
+  const sim::ExperimentResult res_without =
+      sim::ExperimentRunner(without).run();
+  ASSERT_FALSE(res_with.errors.empty());
+  ASSERT_FALSE(res_without.errors.empty());
+  // The identifier must reduce the error tail (p90) under heavy steering.
+  EXPECT_LT(res_with.errors.percentile_deg(90.0),
+            res_without.errors.percentile_deg(90.0) + 5.0);
+  // And the fallback actually engages sometimes.
+  EXPECT_GT(res_with.mean_fallback_fraction, 0.0);
+}
+
+TEST(EndToEnd, PredictionDegradesGracefullyWithHorizon) {
+  // Fig. 10a: error grows with the horizon but stays bounded.
+  sim::ScenarioConfig h0 = base_config(105);
+  sim::ScenarioConfig h400 = base_config(105);
+  h400.prediction_horizon_s = 0.4;
+  const sim::ExperimentResult r0 = sim::ExperimentRunner(h0).run();
+  const sim::ExperimentResult r400 = sim::ExperimentRunner(h400).run();
+  ASSERT_FALSE(r0.errors.empty());
+  ASSERT_FALSE(r400.errors.empty());
+  EXPECT_LT(r0.errors.median_deg(), r400.errors.median_deg());
+}
+
+TEST(EndToEnd, BestLayoutBeatsWorstLayout) {
+  // Fig. 12: Layout 1 clearly better than the co-located Layout 5.
+  sim::ScenarioConfig best = base_config(106);
+  best.layout = channel::AntennaLayout::kHeadrestSplit;
+  sim::ScenarioConfig worst = base_config(106);
+  worst.layout = channel::AntennaLayout::kPassengerSide;
+  const sim::ExperimentResult rb = sim::ExperimentRunner(best).run();
+  const sim::ExperimentResult rw = sim::ExperimentRunner(worst).run();
+  ASSERT_FALSE(rb.errors.empty());
+  ASSERT_FALSE(rw.errors.empty());
+  EXPECT_LT(rb.errors.median_deg(), rw.errors.median_deg());
+}
+
+TEST(EndToEnd, PassengerCausesOnlyMildDegradation) {
+  // Fig. 17c: medians with and without a passenger stay close.
+  sim::ScenarioConfig without = base_config(107);
+  sim::ScenarioConfig with = base_config(107);
+  with.passenger_present = true;
+  const sim::ExperimentResult r0 = sim::ExperimentRunner(without).run();
+  const sim::ExperimentResult r1 = sim::ExperimentRunner(with).run();
+  ASSERT_FALSE(r1.errors.empty());
+  EXPECT_LT(r1.errors.median_deg(), r0.errors.median_deg() + 6.0);
+}
+
+TEST(EndToEnd, DeterministicAcrossRuns) {
+  const sim::ExperimentResult a =
+      sim::ExperimentRunner(base_config(108)).run();
+  const sim::ExperimentResult b =
+      sim::ExperimentRunner(base_config(108)).run();
+  ASSERT_EQ(a.errors.size(), b.errors.size());
+  EXPECT_DOUBLE_EQ(a.errors.median_deg(), b.errors.median_deg());
+  EXPECT_DOUBLE_EQ(a.errors.max_deg(), b.errors.max_deg());
+}
+
+}  // namespace
+}  // namespace vihot

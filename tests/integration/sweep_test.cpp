@@ -1,0 +1,113 @@
+// Parameterized pipeline sweeps: every antenna layout, driver, and
+// interference combination must run the full profile-then-track pipeline
+// to completion with sane outputs. These are invariants, not accuracy
+// targets (accuracy per configuration is the benches' job):
+//   * the profile always builds with all positions,
+//   * sessions always produce evaluated estimates,
+//   * the CSI link stays in its physical regime,
+//   * errors are finite angles.
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+
+namespace vihot {
+namespace {
+
+sim::ScenarioConfig sweep_config() {
+  sim::ScenarioConfig c;
+  c.seed = 4242;
+  c.runtime_sessions = 1;
+  c.runtime_duration_s = 15.0;
+  c.profiling_sweep_s = 8.0;
+  return c;
+}
+
+void check_invariants(const sim::ExperimentResult& res,
+                      const sim::ScenarioConfig& config) {
+  EXPECT_EQ(res.profile.size(), config.num_positions);
+  ASSERT_FALSE(res.sessions.empty());
+  for (const sim::SessionResult& s : res.sessions) {
+    EXPECT_GT(s.estimates, 100u);
+    EXPECT_GT(s.evaluated, 0u);
+    EXPECT_GT(s.csi_rate_hz, 300.0);
+    EXPECT_LT(s.csi_rate_hz, 600.0);
+    EXPECT_LT(s.max_gap_s, 0.06);
+  }
+  for (const double e : res.errors.samples()) {
+    EXPECT_GE(e, 0.0);
+    EXPECT_LE(e, 180.0);
+  }
+}
+
+class LayoutSweep
+    : public ::testing::TestWithParam<channel::AntennaLayout> {};
+
+TEST_P(LayoutSweep, PipelineCompletes) {
+  sim::ScenarioConfig config = sweep_config();
+  config.layout = GetParam();
+  const sim::ExperimentResult res = sim::ExperimentRunner(config).run();
+  check_invariants(res, config);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLayouts, LayoutSweep,
+    ::testing::Values(channel::AntennaLayout::kHeadrestSplit,
+                      channel::AntennaLayout::kCenterConsole,
+                      channel::AntennaLayout::kRearDeck,
+                      channel::AntennaLayout::kDashPair,
+                      channel::AntennaLayout::kPassengerSide));
+
+class DriverSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DriverSweep, PipelineCompletes) {
+  sim::ScenarioConfig config = sweep_config();
+  config.driver = motion::all_drivers()[static_cast<std::size_t>(
+      GetParam())];
+  const sim::ExperimentResult res = sim::ExperimentRunner(config).run();
+  check_invariants(res, config);
+  // Per-driver profiles must actually differ (personal calibration).
+  EXPECT_GT(res.errors.size(), 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDrivers, DriverSweep, ::testing::Range(0, 3));
+
+struct InterferenceCase {
+  bool passenger;
+  bool steering;
+  bool vibration;
+  bool busy_channel;
+  bool music;
+};
+
+class InterferenceSweep
+    : public ::testing::TestWithParam<InterferenceCase> {};
+
+TEST_P(InterferenceSweep, PipelineCompletes) {
+  const InterferenceCase& c = GetParam();
+  sim::ScenarioConfig config = sweep_config();
+  config.passenger_present = c.passenger;
+  config.steering_events = c.steering;
+  config.antenna_vibration = c.vibration;
+  config.music_playing = c.music;
+  if (c.busy_channel) {
+    config.scheduler.load = wifi::ChannelLoad::kInterfering;
+  }
+  const sim::ExperimentResult res = sim::ExperimentRunner(config).run();
+  ASSERT_FALSE(res.sessions.empty());
+  EXPECT_GT(res.sessions[0].evaluated, 0u);
+  // Even the everything-at-once case must stay usable on the median.
+  EXPECT_LT(res.errors.median_deg(), 45.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combos, InterferenceSweep,
+    ::testing::Values(InterferenceCase{true, false, false, false, false},
+                      InterferenceCase{false, true, false, false, false},
+                      InterferenceCase{false, false, true, false, false},
+                      InterferenceCase{false, false, false, true, false},
+                      InterferenceCase{false, false, false, false, true},
+                      InterferenceCase{true, true, true, true, true}));
+
+}  // namespace
+}  // namespace vihot

@@ -1,0 +1,72 @@
+#include "motion/car.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vihot::motion {
+namespace {
+
+TEST(CarTest, StraightWheelNoYaw) {
+  const CarDynamics car;
+  EXPECT_DOUBLE_EQ(car.steady_yaw_rate(0.0), 0.0);
+}
+
+TEST(CarTest, YawSignFollowsWheel) {
+  const CarDynamics car;
+  EXPECT_GT(car.steady_yaw_rate(1.0), 0.0);
+  EXPECT_LT(car.steady_yaw_rate(-1.0), 0.0);
+}
+
+TEST(CarTest, BicycleModelMagnitude) {
+  CarDynamics::Config cfg;
+  cfg.speed_mps = 6.0;
+  cfg.wheelbase_m = 2.78;
+  cfg.steering_ratio = 14.5;
+  const CarDynamics car(cfg);
+  // 90 deg of wheel -> ~6.2 deg road wheels -> v/L*tan(...) ~ 0.235 rad/s.
+  const double yaw = car.steady_yaw_rate(1.5708);
+  EXPECT_NEAR(yaw, 6.0 / 2.78 * std::tan(1.5708 / 14.5), 1e-9);
+  EXPECT_GT(yaw, 0.2);
+  EXPECT_LT(yaw, 0.3);
+}
+
+TEST(CarTest, MicroCorrectionsBarelyTurnTheCar) {
+  const CarDynamics car;
+  // 2 deg of wheel jiggle: yaw far below the turn-detector threshold.
+  EXPECT_LT(std::abs(car.steady_yaw_rate(0.035)), 0.01);
+}
+
+TEST(CarTest, AtAppliesLag) {
+  SteeringModel::Config scfg;
+  scfg.duration_s = 30.0;
+  scfg.mean_turn_interval_s = 8.0;
+  scfg.micro_amplitude_rad = 0.0;  // isolate the event
+  const SteeringModel steering(scfg, util::Rng(1));
+  ASSERT_FALSE(steering.events().empty());
+  const auto& ev = steering.events().front();
+
+  CarDynamics::Config ccfg;
+  ccfg.yaw_lag_s = 0.25;
+  const CarDynamics car(ccfg);
+  // At the moment the wheel reaches its peak, the car yaw still reflects
+  // the (smaller) wheel angle from yaw_lag_s earlier.
+  const double t_peak = ev.start + ev.ramp_s;
+  const double yaw_now = car.at(t_peak, steering).yaw_rate_rad_s;
+  const double yaw_unlagged = car.steady_yaw_rate(
+      steering.at(t_peak).wheel_angle_rad);
+  EXPECT_LT(std::abs(yaw_now), std::abs(yaw_unlagged) + 1e-12);
+}
+
+TEST(CarTest, SpeedPropagatesToState) {
+  CarDynamics::Config cfg;
+  cfg.speed_mps = 4.2;
+  const CarDynamics car(cfg);
+  SteeringModel::Config scfg;
+  scfg.enable_turn_events = false;
+  const SteeringModel steering(scfg, util::Rng(2));
+  EXPECT_DOUBLE_EQ(car.at(1.0, steering).speed_mps, 4.2);
+}
+
+}  // namespace
+}  // namespace vihot::motion

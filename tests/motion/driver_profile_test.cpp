@@ -1,0 +1,57 @@
+#include "motion/driver_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "util/angle.h"
+
+namespace vihot::motion {
+namespace {
+
+TEST(DriverProfileTest, ThreeDistinctDrivers) {
+  const auto drivers = all_drivers();
+  ASSERT_EQ(drivers.size(), 3u);
+  EXPECT_NE(drivers[0].name, drivers[1].name);
+  EXPECT_NE(drivers[1].name, drivers[2].name);
+}
+
+TEST(DriverProfileTest, HeightsMatchThePaper) {
+  // Sec. 5.2.5: heights 170-182 cm.
+  for (const DriverProfile& d : all_drivers()) {
+    EXPECT_GE(d.height_cm, 170.0);
+    EXPECT_LE(d.height_cm, 182.0);
+  }
+}
+
+TEST(DriverProfileTest, TallerDriverSitsHigher) {
+  const DriverProfile b = driver_b();  // tallest
+  const DriverProfile c = driver_c();  // shortest
+  EXPECT_GT(b.height_cm, c.height_cm);
+  EXPECT_GT(b.head_center.z, c.head_center.z);
+}
+
+TEST(DriverProfileTest, TurnSpeedsInTypicalDrivingRange) {
+  // Sec. 5.1: normal head-turning speed 100-120 deg/s; driver B is brisk.
+  for (const DriverProfile& d : all_drivers()) {
+    EXPECT_GE(d.turn_speed_rad_s, util::deg_to_rad(95.0));
+    EXPECT_LE(d.turn_speed_rad_s, util::deg_to_rad(135.0));
+  }
+}
+
+TEST(DriverProfileTest, ScatterModelsDifferPerDriver) {
+  const auto drivers = all_drivers();
+  EXPECT_NE(drivers[0].scatter.primary_offset_m,
+            drivers[1].scatter.primary_offset_m);
+  EXPECT_NE(drivers[1].scatter.secondary_phase_rad,
+            drivers[2].scatter.secondary_phase_rad);
+}
+
+TEST(DriverProfileTest, HeadCentersOnDriverSide) {
+  for (const DriverProfile& d : all_drivers()) {
+    EXPECT_LT(d.head_center.x, 0.0);
+    EXPECT_GT(d.head_center.z, 1.0);  // seated head height
+    EXPECT_LT(d.head_center.z, 1.4);
+  }
+}
+
+}  // namespace
+}  // namespace vihot::motion

@@ -1,0 +1,185 @@
+#include "motion/head_trajectory.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/angle.h"
+
+namespace vihot::motion {
+namespace {
+
+TEST(HeadPositionGridTest, CountAndSpacing) {
+  const geom::Vec3 center{-0.36, 0.10, 1.18};
+  const HeadPositionGrid grid(center, 10, 0.012);
+  EXPECT_EQ(grid.count(), 10u);
+  // Adjacent positions are exactly one spacing apart.
+  for (std::size_t i = 1; i < grid.count(); ++i) {
+    EXPECT_NEAR(geom::distance(grid.position(i), grid.position(i - 1)),
+                0.012, 1e-12);
+  }
+  // The grid is centered on the natural position.
+  const geom::Vec3 mid =
+      (grid.position(4) + grid.position(5)) / 2.0;
+  EXPECT_NEAR(geom::distance(mid, center), 0.0, 1e-9);
+}
+
+TEST(HeadPositionGridTest, LeanIsDominantlyLongitudinal) {
+  const HeadPositionGrid grid({0, 0, 0}, 10, 0.012);
+  const geom::Vec3 dir =
+      (grid.position(9) - grid.position(0)).normalized();
+  EXPECT_GT(std::abs(dir.y), 0.8);  // forward/backward dominates
+}
+
+TEST(HeadPositionGridTest, NearestRoundTrips) {
+  const HeadPositionGrid grid({-0.36, 0.10, 1.18}, 10, 0.012);
+  for (std::size_t i = 0; i < grid.count(); ++i) {
+    EXPECT_EQ(grid.nearest(grid.position(i)), i);
+  }
+  // A point slightly off a grid slot still maps to that slot.
+  const geom::Vec3 p = grid.position(3) + geom::Vec3{0.002, 0.001, 0.0};
+  EXPECT_EQ(grid.nearest(p), 3u);
+}
+
+TEST(SweepTrajectoryTest, CoversFullRange) {
+  SweepTrajectory::Config cfg;
+  cfg.theta_min_rad = -1.5;
+  cfg.theta_max_rad = 1.5;
+  cfg.speed_rad_s = 2.0;
+  const SweepTrajectory sweep(cfg, {0, 0, 0});
+  double lo = 1e9;
+  double hi = -1e9;
+  for (double t = 0.0; t < 2.0 * sweep.period(); t += 0.01) {
+    const double theta = sweep.at(t).pose.theta;
+    lo = std::min(lo, theta);
+    hi = std::max(hi, theta);
+  }
+  EXPECT_NEAR(lo, -1.5, 0.02);
+  EXPECT_NEAR(hi, 1.5, 0.02);
+}
+
+TEST(SweepTrajectoryTest, PeriodMatchesSpeed) {
+  SweepTrajectory::Config cfg;
+  cfg.theta_min_rad = -1.0;
+  cfg.theta_max_rad = 1.0;
+  cfg.speed_rad_s = 2.0;
+  const SweepTrajectory sweep(cfg, {0, 0, 0});
+  // One period = out and back: 2 * span / speed = 2 s.
+  EXPECT_NEAR(sweep.period(), 2.0, 1e-9);
+  // Periodicity.
+  EXPECT_NEAR(sweep.at(0.3).pose.theta,
+              sweep.at(0.3 + sweep.period()).pose.theta, 1e-9);
+}
+
+TEST(SweepTrajectoryTest, ContinuousPositionAndVelocity) {
+  SweepTrajectory::Config cfg;
+  const SweepTrajectory sweep(cfg, {0, 0, 0});
+  double prev_theta = sweep.at(0.0).pose.theta;
+  for (double t = 0.001; t < 1.5 * sweep.period(); t += 0.001) {
+    const HeadState s = sweep.at(t);
+    // No jumps.
+    EXPECT_LT(std::abs(s.pose.theta - prev_theta), 0.02);
+    prev_theta = s.pose.theta;
+    // |velocity| never exceeds ~1.3x the nominal (eased triangular).
+    EXPECT_LE(std::abs(s.theta_dot), cfg.speed_rad_s * 1.35);
+  }
+}
+
+TEST(SweepTrajectoryTest, VelocityMatchesFiniteDifference) {
+  const SweepTrajectory sweep(SweepTrajectory::Config{}, {0, 0, 0});
+  for (double t = 0.1; t < 3.0; t += 0.17) {
+    const double fd =
+        (sweep.at(t + 5e-4).pose.theta - sweep.at(t - 5e-4).pose.theta) /
+        1e-3;
+    EXPECT_NEAR(sweep.at(t).theta_dot, fd, 0.05) << "t=" << t;
+  }
+}
+
+TEST(DrivingScanTest, MostlyFacingForward) {
+  DrivingScanTrajectory::Config cfg;
+  cfg.duration_s = 60.0;
+  const DrivingScanTrajectory traj(cfg, {0, 0, 0}, util::Rng(1));
+  int forward = 0;
+  int total = 0;
+  for (double t = 0.0; t < 60.0; t += 0.05) {
+    if (std::abs(traj.at(t).pose.theta) < util::deg_to_rad(5.0)) ++forward;
+    ++total;
+  }
+  // Drivers look at the road most of the time (Sec. 3.4.1).
+  EXPECT_GT(static_cast<double>(forward) / total, 0.5);
+}
+
+TEST(DrivingScanTest, EventsReachTheirTargets) {
+  DrivingScanTrajectory::Config cfg;
+  cfg.duration_s = 40.0;
+  const DrivingScanTrajectory traj(cfg, {0, 0, 0}, util::Rng(2));
+  ASSERT_FALSE(traj.events().empty());
+  for (const auto& ev : traj.events()) {
+    const double t_peak = ev.start + ev.turn_duration() + ev.hold_s / 2.0;
+    if (t_peak >= cfg.duration_s) continue;
+    EXPECT_NEAR(traj.at(t_peak).pose.theta, ev.target_rad, 0.02);
+  }
+}
+
+TEST(DrivingScanTest, EventsDoNotOverlap) {
+  DrivingScanTrajectory::Config cfg;
+  cfg.duration_s = 120.0;
+  const DrivingScanTrajectory traj(cfg, {0, 0, 0}, util::Rng(3));
+  for (std::size_t i = 1; i < traj.events().size(); ++i) {
+    EXPECT_GE(traj.events()[i].start, traj.events()[i - 1].end());
+  }
+}
+
+TEST(DrivingScanTest, ScanAmplitudesWithinConfiguredBand) {
+  DrivingScanTrajectory::Config cfg;
+  cfg.duration_s = 200.0;
+  cfg.min_target_rad = 0.6;
+  cfg.max_target_rad = 1.4;
+  const DrivingScanTrajectory traj(cfg, {0, 0, 0}, util::Rng(4));
+  for (const auto& ev : traj.events()) {
+    EXPECT_GE(std::abs(ev.target_rad), 0.6);
+    EXPECT_LE(std::abs(ev.target_rad), 1.4);
+  }
+}
+
+TEST(DrivingScanTest, DeterministicForSeed) {
+  DrivingScanTrajectory::Config cfg;
+  const DrivingScanTrajectory a(cfg, {0, 0, 0}, util::Rng(5));
+  const DrivingScanTrajectory b(cfg, {0, 0, 0}, util::Rng(5));
+  for (double t = 0.0; t < 20.0; t += 0.37) {
+    EXPECT_DOUBLE_EQ(a.at(t).pose.theta, b.at(t).pose.theta);
+  }
+}
+
+TEST(Rotation3dTest, YawDominatesPitchRoll) {
+  // Fig. 2: the head scan is essentially horizontal.
+  for (double t = 0.0; t < 16.0; t += 0.1) {
+    const double yaw = 1.4 * std::sin(0.8 * t);
+    const HeadRotation3d r = rotation_3d(yaw, t);
+    EXPECT_DOUBLE_EQ(r.yaw_rad, yaw);
+    EXPECT_LT(std::abs(r.pitch_rad), 0.35 * std::abs(yaw) + 0.06);
+    EXPECT_LT(std::abs(r.roll_rad), 0.35 * std::abs(yaw) + 0.06);
+  }
+}
+
+// Parameterized sweep speeds: the achieved mean |speed| tracks the config.
+class SweepSpeedProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(SweepSpeedProperty, MeanSpeedNearNominal) {
+  SweepTrajectory::Config cfg;
+  cfg.speed_rad_s = GetParam();
+  const SweepTrajectory sweep(cfg, {0, 0, 0});
+  double sum = 0.0;
+  int n = 0;
+  for (double t = 0.0; t < 3.0 * sweep.period(); t += 0.002) {
+    sum += std::abs(sweep.at(t).theta_dot);
+    ++n;
+  }
+  EXPECT_NEAR(sum / n, cfg.speed_rad_s, 0.15 * cfg.speed_rad_s);
+}
+
+INSTANTIATE_TEST_SUITE_P(Speeds, SweepSpeedProperty,
+                         ::testing::Values(1.0, 1.75, 1.92, 2.2, 2.6));
+
+}  // namespace
+}  // namespace vihot::motion

@@ -1,0 +1,103 @@
+#include "motion/micromotion.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vihot::motion {
+namespace {
+
+TEST(BreathingTest, AmplitudeBounded) {
+  BreathingModel::Config cfg;
+  const BreathingModel model(cfg, util::Rng(1));
+  for (double t = 0.0; t < 60.0; t += 0.01) {
+    EXPECT_LE(std::abs(model.displacement_at(t)), 1.3 * cfg.amplitude_m);
+  }
+}
+
+TEST(BreathingTest, PeriodicityNearConfiguredRate) {
+  BreathingModel::Config cfg;
+  cfg.rate_hz = 0.27;
+  const BreathingModel model(cfg, util::Rng(2));
+  // Count zero crossings over 60 s: ~2 per cycle (plus harmonic wiggles).
+  int crossings = 0;
+  double prev = model.displacement_at(0.0);
+  for (double t = 0.01; t < 60.0; t += 0.01) {
+    const double cur = model.displacement_at(t);
+    if ((prev < 0.0) != (cur < 0.0)) ++crossings;
+    prev = cur;
+  }
+  const double cycles = 60.0 * cfg.rate_hz;
+  EXPECT_NEAR(crossings, 2.0 * cycles, cycles * 1.2);
+}
+
+TEST(EyeMotionTest, BlinksArePulses) {
+  EyeMotionModel::Config cfg;
+  cfg.duration_s = 60.0;
+  const EyeMotionModel model(cfg, util::Rng(3));
+  double peak = 0.0;
+  int nonzero_runs = 0;
+  bool in_run = false;
+  for (double t = 0.0; t < 60.0; t += 0.005) {
+    const double d = model.displacement_at(t);
+    peak = std::max(peak, d);
+    const bool active = d > 1e-9;
+    if (active && !in_run) ++nonzero_runs;
+    in_run = active;
+  }
+  EXPECT_NEAR(peak, cfg.blink_amplitude_m, 0.3 * cfg.blink_amplitude_m);
+  EXPECT_GT(nonzero_runs, 5);   // several blinks per minute
+  EXPECT_LT(nonzero_runs, 60);  // but not continuous
+}
+
+TEST(EyeMotionTest, IntenseModeAddsContinuousDither) {
+  EyeMotionModel::Config cfg;
+  cfg.duration_s = 10.0;
+  cfg.intense = true;
+  const EyeMotionModel model(cfg, util::Rng(4));
+  int active = 0;
+  int total = 0;
+  for (double t = 0.0; t < 10.0; t += 0.01) {
+    if (std::abs(model.displacement_at(t)) > 1e-6) ++active;
+    ++total;
+  }
+  EXPECT_GT(static_cast<double>(active) / total, 0.9);
+}
+
+TEST(MusicTest, SilentWhenNotPlaying) {
+  MusicVibrationModel::Config cfg;
+  cfg.playing = false;
+  const MusicVibrationModel model(cfg, util::Rng(5));
+  for (double t = 0.0; t < 5.0; t += 0.01) {
+    EXPECT_DOUBLE_EQ(model.displacement_at(t), 0.0);
+  }
+}
+
+TEST(MusicTest, SubMillimeterWhenPlaying) {
+  MusicVibrationModel::Config cfg;
+  cfg.playing = true;
+  const MusicVibrationModel model(cfg, util::Rng(6));
+  double peak = 0.0;
+  for (double t = 0.0; t < 5.0; t += 0.001) {
+    peak = std::max(peak, std::abs(model.displacement_at(t)));
+  }
+  EXPECT_GT(peak, 0.0001);
+  EXPECT_LT(peak, 0.001);  // sub-mm panel vibration
+}
+
+TEST(MusicTest, CarrierFasterThanBreathing) {
+  MusicVibrationModel::Config cfg;
+  cfg.playing = true;
+  const MusicVibrationModel model(cfg, util::Rng(7));
+  int crossings = 0;
+  double prev = model.displacement_at(0.0);
+  for (double t = 0.0005; t < 1.0; t += 0.0005) {
+    const double cur = model.displacement_at(t);
+    if ((prev < 0.0) != (cur < 0.0)) ++crossings;
+    prev = cur;
+  }
+  EXPECT_GT(crossings, 40);  // tens of Hz, audible-rate
+}
+
+}  // namespace
+}  // namespace vihot::motion

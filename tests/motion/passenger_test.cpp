@@ -1,0 +1,72 @@
+#include "motion/passenger.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vihot::motion {
+namespace {
+
+TEST(PassengerTest, MostlyFacingForward) {
+  PassengerModel::Config cfg;
+  cfg.duration_s = 120.0;
+  const PassengerModel model(cfg, util::Rng(1));
+  int forward = 0;
+  int total = 0;
+  for (double t = 0.0; t < 120.0; t += 0.05) {
+    if (std::abs(model.theta_at(t)) < 0.02) ++forward;
+    ++total;
+  }
+  EXPECT_GT(static_cast<double>(forward) / total, 0.4);
+}
+
+TEST(PassengerTest, GlancesAreInfrequentAndBounded) {
+  PassengerModel::Config cfg;
+  cfg.duration_s = 300.0;
+  cfg.mean_event_interval_s = 8.0;
+  const PassengerModel model(cfg, util::Rng(2));
+  double peak = 0.0;
+  for (double t = 0.0; t < 300.0; t += 0.02) {
+    peak = std::max(peak, std::abs(model.theta_at(t)));
+  }
+  EXPECT_GT(peak, 0.5);                       // glances happen
+  EXPECT_LE(peak, cfg.target_rad + 1e-9);     // and stay bounded
+}
+
+TEST(PassengerTest, MovingOnlyDuringTurnPhases) {
+  PassengerModel::Config cfg;
+  cfg.duration_s = 120.0;
+  const PassengerModel model(cfg, util::Rng(3));
+  for (double t = 0.0; t < 120.0; t += 0.01) {
+    if (model.moving_at(t)) {
+      // While moving, theta changes nearby.
+      const double d =
+          std::abs(model.theta_at(t + 0.05) - model.theta_at(t - 0.05));
+      EXPECT_GT(d, 0.0);
+    }
+  }
+}
+
+TEST(PassengerTest, ThetaIsContinuous) {
+  PassengerModel::Config cfg;
+  cfg.duration_s = 60.0;
+  const PassengerModel model(cfg, util::Rng(4));
+  double prev = model.theta_at(0.0);
+  for (double t = 0.005; t < 60.0; t += 0.005) {
+    const double cur = model.theta_at(t);
+    EXPECT_LT(std::abs(cur - prev), 0.03);
+    prev = cur;
+  }
+}
+
+TEST(PassengerTest, DeterministicForSeed) {
+  PassengerModel::Config cfg;
+  const PassengerModel a(cfg, util::Rng(5));
+  const PassengerModel b(cfg, util::Rng(5));
+  for (double t = 0.0; t < 40.0; t += 0.61) {
+    EXPECT_DOUBLE_EQ(a.theta_at(t), b.theta_at(t));
+  }
+}
+
+}  // namespace
+}  // namespace vihot::motion

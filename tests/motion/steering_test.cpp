@@ -1,0 +1,80 @@
+#include "motion/steering.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vihot::motion {
+namespace {
+
+TEST(SteeringTest, MicroCorrectionsSmallAndContinuous) {
+  SteeringModel::Config cfg;
+  cfg.enable_turn_events = false;
+  const SteeringModel model(cfg, util::Rng(1));
+  double prev = model.at(0.0).wheel_angle_rad;
+  for (double t = 0.01; t < 30.0; t += 0.01) {
+    const SteeringState s = model.at(t);
+    EXPECT_LE(std::abs(s.wheel_angle_rad), 1.6 * cfg.micro_amplitude_rad);
+    EXPECT_LT(std::abs(s.wheel_angle_rad - prev), 0.01);
+    EXPECT_FALSE(s.in_turn_event);
+    prev = s.wheel_angle_rad;
+  }
+}
+
+TEST(SteeringTest, TurnEventsReachConfiguredAngles) {
+  SteeringModel::Config cfg;
+  cfg.duration_s = 120.0;
+  cfg.mean_turn_interval_s = 15.0;
+  const SteeringModel model(cfg, util::Rng(2));
+  ASSERT_FALSE(model.events().empty());
+  for (const auto& ev : model.events()) {
+    EXPECT_GE(std::abs(ev.angle_rad), cfg.turn_angle_min_rad);
+    EXPECT_LE(std::abs(ev.angle_rad), cfg.turn_angle_max_rad);
+    // Mid-hold the wheel is at its peak (plus micro jitter).
+    const double t_mid = ev.start + ev.ramp_s + ev.hold_s / 2.0;
+    if (t_mid >= cfg.duration_s) continue;
+    EXPECT_NEAR(model.at(t_mid).wheel_angle_rad, ev.angle_rad, 0.08);
+    EXPECT_TRUE(model.at(t_mid).in_turn_event);
+  }
+}
+
+TEST(SteeringTest, EventsDoNotOverlap) {
+  SteeringModel::Config cfg;
+  cfg.duration_s = 300.0;
+  cfg.mean_turn_interval_s = 10.0;
+  const SteeringModel model(cfg, util::Rng(3));
+  for (std::size_t i = 1; i < model.events().size(); ++i) {
+    EXPECT_GE(model.events()[i].start, model.events()[i - 1].end());
+  }
+}
+
+TEST(SteeringTest, WheelRateConsistentWithAngle) {
+  SteeringModel::Config cfg;
+  cfg.duration_s = 60.0;
+  const SteeringModel model(cfg, util::Rng(4));
+  for (double t = 0.1; t < 50.0; t += 0.23) {
+    const double fd = (model.at(t + 5e-4).wheel_angle_rad -
+                       model.at(t - 5e-4).wheel_angle_rad) /
+                      1e-3;
+    EXPECT_NEAR(model.at(t).wheel_rate_rad_s, fd, 0.05) << "t=" << t;
+  }
+}
+
+TEST(SteeringTest, DisabledEventsLeaveOnlyMicro) {
+  SteeringModel::Config cfg;
+  cfg.enable_turn_events = false;
+  const SteeringModel model(cfg, util::Rng(5));
+  EXPECT_TRUE(model.events().empty());
+}
+
+TEST(SteeringTest, DeterministicForSeed) {
+  SteeringModel::Config cfg;
+  const SteeringModel a(cfg, util::Rng(6));
+  const SteeringModel b(cfg, util::Rng(6));
+  for (double t = 0.0; t < 30.0; t += 0.71) {
+    EXPECT_DOUBLE_EQ(a.at(t).wheel_angle_rad, b.at(t).wheel_angle_rad);
+  }
+}
+
+}  // namespace
+}  // namespace vihot::motion

@@ -1,0 +1,89 @@
+#include "motion/vibration.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vihot::motion {
+namespace {
+
+TEST(VibrationTest, DisabledGivesZeroOffsets) {
+  VibrationModel::Config cfg;
+  cfg.enabled = false;
+  const VibrationModel model(cfg, util::Rng(1));
+  EXPECT_FALSE(model.enabled());
+  for (double t = 0.0; t < 5.0; t += 0.1) {
+    EXPECT_DOUBLE_EQ(model.rx_offset_at(0, t).norm(), 0.0);
+    EXPECT_DOUBLE_EQ(model.tx_offset_at(t).norm(), 0.0);
+  }
+}
+
+TEST(VibrationTest, RxDisplacementMillimeterScale) {
+  VibrationModel::Config cfg;
+  cfg.enabled = true;
+  cfg.duration_s = 30.0;
+  const VibrationModel model(cfg, util::Rng(2));
+  double peak = 0.0;
+  for (double t = 0.0; t < 30.0; t += 0.005) {
+    peak = std::max(peak, model.rx_offset_at(0, t).norm());
+  }
+  EXPECT_GT(peak, 0.001);
+  EXPECT_LT(peak, 0.015);
+}
+
+TEST(VibrationTest, PhoneMountMuchStiffer) {
+  VibrationModel::Config cfg;
+  cfg.enabled = true;
+  cfg.duration_s = 30.0;
+  const VibrationModel model(cfg, util::Rng(3));
+  double rx_rms = 0.0;
+  double tx_rms = 0.0;
+  int n = 0;
+  for (double t = 0.0; t < 30.0; t += 0.01) {
+    rx_rms += model.rx_offset_at(0, t).norm_sq();
+    tx_rms += model.tx_offset_at(t).norm_sq();
+    ++n;
+  }
+  EXPECT_GT(std::sqrt(rx_rms / n), 3.0 * std::sqrt(tx_rms / n));
+}
+
+TEST(VibrationTest, AntennasVibrateDifferently) {
+  // Fig. 16: the two antennas share the road but hang on different
+  // mounts; their traces must be correlated in scale yet not identical.
+  VibrationModel::Config cfg;
+  cfg.enabled = true;
+  const VibrationModel model(cfg, util::Rng(4));
+  double diff = 0.0;
+  for (double t = 0.0; t < 10.0; t += 0.01) {
+    diff += (model.rx_offset_at(0, t) - model.rx_offset_at(1, t)).norm();
+  }
+  EXPECT_GT(diff, 0.01);
+}
+
+TEST(VibrationTest, ContinuousTrace) {
+  VibrationModel::Config cfg;
+  cfg.enabled = true;
+  cfg.duration_s = 20.0;
+  const VibrationModel model(cfg, util::Rng(5));
+  geom::Vec3 prev = model.rx_offset_at(0, 0.0);
+  for (double t = 0.001; t < 20.0; t += 0.001) {
+    const geom::Vec3 cur = model.rx_offset_at(0, t);
+    EXPECT_LT((cur - prev).norm(), 0.002);
+    prev = cur;
+  }
+}
+
+TEST(VibrationTest, BumpsDecay) {
+  VibrationModel::Config cfg;
+  cfg.enabled = true;
+  cfg.duration_s = 60.0;
+  cfg.mean_bump_interval_s = 2.0;  // frequent bumps for the test
+  const VibrationModel model(cfg, util::Rng(6));
+  // Vertical excursion stays bounded even with many bumps.
+  for (double t = 0.0; t < 60.0; t += 0.01) {
+    EXPECT_LT(std::abs(model.rx_offset_at(0, t).z), 0.02);
+  }
+}
+
+}  // namespace
+}  // namespace vihot::motion

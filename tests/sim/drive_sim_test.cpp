@@ -1,0 +1,142 @@
+#include "sim/drive_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/scenario.h"
+#include "util/angle.h"
+
+namespace vihot::sim {
+namespace {
+
+ScenarioConfig config_with(bool passenger, bool vibration, bool music) {
+  ScenarioConfig c;
+  c.seed = 3;
+  c.runtime_duration_s = 20.0;
+  c.passenger_present = passenger;
+  c.antenna_vibration = vibration;
+  c.music_playing = music;
+  return c;
+}
+
+TEST(ScenarioTest, ResolvedSpeedsUseDriverHabits) {
+  ScenarioConfig c;
+  c.profiling_speed_rad_s = 0.0;
+  c.head_turn_speed_rad_s = 0.0;
+  EXPECT_NEAR(resolved_profiling_speed(c), 0.7 * c.driver.turn_speed_rad_s,
+              1e-12);
+  EXPECT_DOUBLE_EQ(resolved_turn_speed(c), c.driver.turn_speed_rad_s);
+  c.profiling_speed_rad_s = 1.0;
+  c.head_turn_speed_rad_s = 2.0;
+  EXPECT_DOUBLE_EQ(resolved_profiling_speed(c), 1.0);
+  EXPECT_DOUBLE_EQ(resolved_turn_speed(c), 2.0);
+}
+
+TEST(DriveSessionTest, StateTogglesFollowConfig) {
+  const ScenarioConfig plain = config_with(false, false, false);
+  const ScenarioConfig full = config_with(true, true, true);
+  util::Rng rng1(9);
+  util::Rng rng2(9);
+  const DriveSession a(plain, plain.driver.head_center, std::move(rng1));
+  const DriveSession b(full, full.driver.head_center, std::move(rng2));
+
+  bool saw_music = false;
+  bool saw_vibration = false;
+  for (double t = 0.5; t < 15.0; t += 0.01) {
+    const channel::CabinState sa = a.cabin_state_at(t);
+    const channel::CabinState sb = b.cabin_state_at(t);
+    EXPECT_FALSE(sa.passenger_present);
+    EXPECT_TRUE(sb.passenger_present);
+    EXPECT_DOUBLE_EQ(sa.music_displacement_m, 0.0);
+    EXPECT_DOUBLE_EQ(sa.rx_offset[0].norm(), 0.0);
+    saw_music |= sb.music_displacement_m != 0.0;
+    saw_vibration |= sb.rx_offset[0].norm() > 1e-5;
+  }
+  EXPECT_TRUE(saw_music);
+  EXPECT_TRUE(saw_vibration);
+}
+
+TEST(DriveSessionTest, HeadStateMatchesCabinState) {
+  const ScenarioConfig c = config_with(false, false, false);
+  util::Rng rng(11);
+  const DriveSession session(c, c.driver.head_center, std::move(rng));
+  for (double t = 0.0; t < 10.0; t += 0.37) {
+    EXPECT_DOUBLE_EQ(session.head_at(t).pose.theta,
+                     session.cabin_state_at(t).head.theta);
+  }
+}
+
+TEST(DriveSessionTest, SteeringOffMeansNoTurnEvents) {
+  ScenarioConfig c = config_with(false, false, false);
+  c.steering_events = false;
+  util::Rng rng(13);
+  const DriveSession session(c, c.driver.head_center, std::move(rng));
+  EXPECT_TRUE(session.steering().events().empty());
+  for (double t = 0.0; t < 15.0; t += 0.1) {
+    EXPECT_LT(std::abs(session.car_at(t).yaw_rate_rad_s), 0.02);
+  }
+}
+
+TEST(ProfilingMotionTest, HoldThenSweep) {
+  ScenarioConfig c;
+  c.profiling_hold_s = 1.5;
+  c.profiling_sweep_s = 8.0;
+  const ProfilingMotion motion(c, c.driver.head_center);
+  EXPECT_DOUBLE_EQ(motion.duration(), 9.5);
+  // Hold: exactly forward.
+  for (double u = 0.0; u < 1.4; u += 0.1) {
+    EXPECT_DOUBLE_EQ(motion.head_at(u).pose.theta, 0.0);
+  }
+  // Sweep: covers a wide range.
+  double lo = 1e9;
+  double hi = -1e9;
+  for (double u = 1.5; u < 9.5; u += 0.01) {
+    const double theta = motion.head_at(u).pose.theta;
+    lo = std::min(lo, theta);
+    hi = std::max(hi, theta);
+  }
+  EXPECT_LT(lo, util::deg_to_rad(-80.0));
+  EXPECT_GT(hi, util::deg_to_rad(80.0));
+  // Continuity at the hold->sweep transition.
+  EXPECT_NEAR(motion.head_at(1.5001).pose.theta, 0.0, 0.01);
+}
+
+TEST(ProfilingMotionTest, CabinStateIsQuiet) {
+  ScenarioConfig c;
+  const ProfilingMotion motion(c, c.driver.head_center);
+  const channel::CabinState st = motion.cabin_state_at(3.0);
+  EXPECT_FALSE(st.passenger_present);
+  EXPECT_DOUBLE_EQ(st.steering_rim_angle, 0.0);
+  EXPECT_DOUBLE_EQ(st.rx_offset[0].norm(), 0.0);
+}
+
+TEST(MakeChannelTest, DriftPerturbsStaticReflectors) {
+  ScenarioConfig c;
+  util::Rng rng1(5);
+  util::Rng rng2(5);
+  const channel::ChannelModel clean = make_channel(c, 0.0, rng1);
+  const channel::ChannelModel drifted = make_channel(c, 0.01, rng2);
+  double moved = 0.0;
+  for (std::size_t i = 0; i < clean.scene().static_reflectors.size(); ++i) {
+    moved += geom::distance(clean.scene().static_reflectors[i].position,
+                            drifted.scene().static_reflectors[i].position);
+  }
+  EXPECT_GT(moved, 0.01);
+  // Antennas and head do not drift.
+  EXPECT_DOUBLE_EQ(
+      geom::distance(clean.scene().rx[0].position,
+                     drifted.scene().rx[0].position),
+      0.0);
+}
+
+TEST(MakeChannelTest, UsesConfiguredBand) {
+  ScenarioConfig c;
+  c.subcarrier.center_freq_hz = 5.18e9;
+  util::Rng rng(5);
+  const channel::ChannelModel model = make_channel(c, 0.0, rng);
+  EXPECT_NEAR(model.grid().frequency(model.grid().size() / 2), 5.18e9, 2e6);
+}
+
+}  // namespace
+}  // namespace vihot::sim

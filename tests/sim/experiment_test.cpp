@@ -1,0 +1,118 @@
+#include "sim/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace vihot::sim {
+namespace {
+
+ScenarioConfig small_config(std::uint64_t seed = 31) {
+  ScenarioConfig c;
+  c.seed = seed;
+  c.runtime_sessions = 1;
+  c.runtime_duration_s = 15.0;
+  c.profiling_sweep_s = 8.0;
+  return c;
+}
+
+TEST(ExperimentTest, ProfileBuildsDeterministically) {
+  ExperimentRunner a(small_config());
+  ExperimentRunner b(small_config());
+  const core::CsiProfile pa = a.build_profile();
+  const core::CsiProfile pb = b.build_profile();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_DOUBLE_EQ(pa.positions[i].fingerprint_phase,
+                     pb.positions[i].fingerprint_phase);
+    ASSERT_EQ(pa.positions[i].csi.size(), pb.positions[i].csi.size());
+    EXPECT_DOUBLE_EQ(pa.positions[i].csi.values[100],
+                     pb.positions[i].csi.values[100]);
+  }
+}
+
+TEST(ExperimentTest, SessionProducesErrorsAndDiagnostics) {
+  ExperimentRunner runner(small_config());
+  const core::CsiProfile profile = runner.build_profile();
+  const SessionResult r = runner.run_session(profile, 0);
+  EXPECT_GT(r.estimates, 200u);
+  EXPECT_GT(r.evaluated, 10u);
+  EXPECT_FALSE(r.errors.empty());
+  // Clean channel: ~500 Hz sampling, gaps <= ~34 ms (Sec. 5.3.5).
+  EXPECT_GT(r.csi_rate_hz, 430.0);
+  EXPECT_LT(r.max_gap_s, 0.040);
+  // No steering events configured: never in fallback.
+  EXPECT_DOUBLE_EQ(r.fallback_fraction, 0.0);
+}
+
+TEST(ExperimentTest, SessionsDifferButAreSeedStable) {
+  ExperimentRunner runner(small_config());
+  const core::CsiProfile profile = runner.build_profile();
+  const SessionResult r0a = runner.run_session(profile, 0);
+  const SessionResult r0b = runner.run_session(profile, 0);
+  const SessionResult r1 = runner.run_session(profile, 1);
+  ASSERT_EQ(r0a.errors.size(), r0b.errors.size());
+  EXPECT_DOUBLE_EQ(r0a.errors.median_deg(), r0b.errors.median_deg());
+  // A different session index gives a different random world.
+  EXPECT_NE(r0a.errors.size(), 0u);
+  EXPECT_FALSE(r0a.errors.size() == r1.errors.size() &&
+               r0a.errors.median_deg() == r1.errors.median_deg());
+}
+
+TEST(ExperimentTest, FullRunAggregates) {
+  ScenarioConfig cfg = small_config();
+  cfg.runtime_sessions = 2;
+  ExperimentRunner runner(cfg);
+  const ExperimentResult res = runner.run();
+  EXPECT_EQ(res.sessions.size(), 2u);
+  EXPECT_EQ(res.errors.size(),
+            res.sessions[0].errors.size() + res.sessions[1].errors.size());
+  EXPECT_GT(res.mean_csi_rate_hz, 400.0);
+}
+
+TEST(ExperimentTest, AccuracyWithinPaperBand) {
+  ScenarioConfig cfg = small_config(77);
+  cfg.runtime_sessions = 2;
+  cfg.runtime_duration_s = 25.0;
+  ExperimentRunner runner(cfg);
+  const ExperimentResult res = runner.run();
+  // Headline reproduction: median angular error in the paper's 4-10 deg
+  // band (we allow a little slack for the short test run).
+  EXPECT_LT(res.errors.median_deg(), 12.0);
+  EXPECT_GT(res.errors.size(), 50u);
+}
+
+TEST(ExperimentTest, InterferenceLowersSamplingRate) {
+  ScenarioConfig clean = small_config();
+  ScenarioConfig busy = small_config();
+  busy.scheduler.load = wifi::ChannelLoad::kInterfering;
+  ExperimentRunner clean_runner(clean);
+  ExperimentRunner busy_runner(busy);
+  const core::CsiProfile p1 = clean_runner.build_profile();
+  const core::CsiProfile p2 = busy_runner.build_profile();
+  const SessionResult rc = clean_runner.run_session(p1, 0);
+  const SessionResult rb = busy_runner.run_session(p2, 0);
+  EXPECT_GT(rc.csi_rate_hz, rb.csi_rate_hz + 50.0);
+  EXPECT_GT(rb.max_gap_s, rc.max_gap_s);
+}
+
+TEST(ExperimentTest, BaselineCollectorsFill) {
+  ScenarioConfig cfg = small_config();
+  cfg.collect_naive_baseline = true;
+  cfg.collect_camera_baseline = true;
+  ExperimentRunner runner(cfg);
+  const core::CsiProfile profile = runner.build_profile();
+  const SessionResult r = runner.run_session(profile, 0);
+  EXPECT_FALSE(r.naive_errors.empty());
+  EXPECT_FALSE(r.camera_errors.empty());
+}
+
+TEST(ExperimentTest, PredictionHorizonFillsForecastErrors) {
+  ScenarioConfig cfg = small_config();
+  cfg.prediction_horizon_s = 0.2;
+  ExperimentRunner runner(cfg);
+  const core::CsiProfile profile = runner.build_profile();
+  const SessionResult r = runner.run_session(profile, 0);
+  EXPECT_FALSE(r.errors.empty());
+}
+
+}  // namespace
+}  // namespace vihot::sim

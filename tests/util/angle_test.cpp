@@ -1,0 +1,137 @@
+#include "util/angle.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace vihot::util {
+namespace {
+
+TEST(AngleTest, DegRadRoundTrip) {
+  EXPECT_DOUBLE_EQ(deg_to_rad(180.0), kPi);
+  EXPECT_DOUBLE_EQ(rad_to_deg(kPi), 180.0);
+  for (double d = -720.0; d <= 720.0; d += 37.5) {
+    EXPECT_NEAR(rad_to_deg(deg_to_rad(d)), d, 1e-12);
+  }
+}
+
+TEST(AngleTest, WrapPiPrincipalInterval) {
+  EXPECT_NEAR(wrap_pi(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(wrap_pi(kPi + 0.1), -kPi + 0.1, 1e-12);
+  EXPECT_NEAR(wrap_pi(-kPi - 0.1), kPi - 0.1, 1e-12);
+  EXPECT_NEAR(wrap_pi(5.0 * kTwoPi + 1.0), 1.0, 1e-9);
+  EXPECT_NEAR(wrap_pi(-7.0 * kTwoPi - 2.0), -2.0, 1e-9);
+}
+
+TEST(AngleTest, WrapPiBoundaryIsPlusPi) {
+  // (-pi, pi]: exactly +pi stays, exactly -pi maps to +pi.
+  EXPECT_NEAR(wrap_pi(kPi), kPi, 1e-12);
+  EXPECT_NEAR(wrap_pi(-kPi), kPi, 1e-12);
+}
+
+TEST(AngleTest, WrapTwoPi) {
+  EXPECT_NEAR(wrap_two_pi(-0.5), kTwoPi - 0.5, 1e-12);
+  EXPECT_NEAR(wrap_two_pi(kTwoPi + 0.5), 0.5, 1e-12);
+  for (double a = -20.0; a < 20.0; a += 0.7) {
+    const double w = wrap_two_pi(a);
+    EXPECT_GE(w, 0.0);
+    EXPECT_LT(w, kTwoPi);
+    EXPECT_NEAR(std::remainder(w - a, kTwoPi), 0.0, 1e-9);
+  }
+}
+
+TEST(AngleTest, AngularDiffShortestPath) {
+  EXPECT_NEAR(angular_diff(0.1, -0.1), 0.2, 1e-12);
+  // Crossing the wrap boundary: 175 deg to -175 deg is -10 deg apart.
+  EXPECT_NEAR(angular_diff(deg_to_rad(175.0), deg_to_rad(-175.0)),
+              deg_to_rad(-10.0), 1e-9);
+  EXPECT_NEAR(angular_diff(deg_to_rad(-175.0), deg_to_rad(175.0)),
+              deg_to_rad(10.0), 1e-9);
+}
+
+TEST(AngleTest, AngularDistSymmetricNonNegative) {
+  for (double a = -3.0; a <= 3.0; a += 0.5) {
+    for (double b = -3.0; b <= 3.0; b += 0.5) {
+      EXPECT_GE(angular_dist(a, b), 0.0);
+      EXPECT_NEAR(angular_dist(a, b), angular_dist(b, a), 1e-12);
+      EXPECT_LE(angular_dist(a, b), kPi + 1e-12);
+    }
+  }
+}
+
+TEST(AngleTest, UnwrapRemovesJumps) {
+  // A linear ramp wrapped into (-pi, pi] must unwrap back to the ramp.
+  std::vector<double> truth;
+  std::vector<double> wrapped;
+  for (int i = 0; i < 200; ++i) {
+    const double v = 0.1 * i;
+    truth.push_back(v);
+    wrapped.push_back(wrap_pi(v));
+  }
+  unwrap_in_place(wrapped);
+  // Unwrap is relative to the first sample; the ramp starts at 0, so the
+  // result matches absolutely.
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(wrapped[i], truth[i], 1e-9) << "at " << i;
+  }
+}
+
+TEST(AngleTest, UnwrapNegativeRamp) {
+  std::vector<double> wrapped;
+  for (int i = 0; i < 150; ++i) wrapped.push_back(wrap_pi(-0.2 * i));
+  unwrap_in_place(wrapped);
+  for (std::size_t i = 1; i < wrapped.size(); ++i) {
+    EXPECT_NEAR(wrapped[i] - wrapped[i - 1], -0.2, 1e-9);
+  }
+}
+
+TEST(AngleTest, UnwrappedCopyLeavesInputIntact) {
+  const std::vector<double> in = {3.0, -3.0, 3.0};
+  const std::vector<double> out = unwrapped(in);
+  EXPECT_EQ(in[1], -3.0);
+  // -3.0 is closer to 3.0 via the wrap (+2pi).
+  EXPECT_NEAR(out[1], -3.0 + kTwoPi, 1e-12);
+}
+
+TEST(AngleTest, UnwrapShortInputsNoop) {
+  std::vector<double> one = {1.5};
+  unwrap_in_place(one);
+  EXPECT_DOUBLE_EQ(one[0], 1.5);
+  std::vector<double> empty;
+  unwrap_in_place(empty);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(AngleTest, CircularMeanHandlesWrap) {
+  // Mean of 179 deg and -179 deg is 180 deg, not 0.
+  const std::vector<double> xs = {deg_to_rad(179.0), deg_to_rad(-179.0)};
+  EXPECT_NEAR(std::abs(circular_mean(xs)), kPi, 1e-6);
+}
+
+TEST(AngleTest, CircularMeanOfClusteredAngles) {
+  const std::vector<double> xs = {0.9, 1.0, 1.1};
+  EXPECT_NEAR(circular_mean(xs), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(circular_mean({}), 0.0);
+}
+
+// Property sweep: wrap_pi is idempotent and 2*pi-periodic.
+class WrapPiProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(WrapPiProperty, IdempotentAndPeriodic) {
+  const double a = GetParam();
+  const double w = wrap_pi(a);
+  EXPECT_GT(w, -kPi - 1e-12);
+  EXPECT_LE(w, kPi + 1e-12);
+  EXPECT_NEAR(wrap_pi(w), w, 1e-12);
+  EXPECT_NEAR(wrap_pi(a + kTwoPi), w, 1e-9);
+  EXPECT_NEAR(wrap_pi(a - kTwoPi), w, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WrapPiProperty,
+                         ::testing::Values(-15.0, -6.3, -3.2, -1.0, -1e-9,
+                                           0.0, 0.5, 3.1, 3.2, 6.2, 6.4,
+                                           12.6, 100.0));
+
+}  // namespace
+}  // namespace vihot::util

@@ -1,0 +1,117 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vihot::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.5, 3.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 3.5);
+  }
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double m = sum / n;
+  const double var = sq / n - m * m;
+  EXPECT_NEAR(m, 3.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(0.5);
+  EXPECT_NEAR(sum / n, 0.5, 0.03);
+}
+
+TEST(RngTest, ChanceEdgeCases) {
+  Rng rng(17);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-1.0));
+    EXPECT_TRUE(rng.chance(2.0));
+  }
+}
+
+TEST(RngTest, ChanceFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.03);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependentByLabel) {
+  Rng parent1(99);
+  Rng parent2(99);
+  Rng a = parent1.fork("alpha");
+  Rng b = parent2.fork("beta");
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng p1(5);
+  Rng p2(5);
+  Rng a = p1.fork("x");
+  Rng b = p2.fork("x");
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  }
+}
+
+}  // namespace
+}  // namespace vihot::util

@@ -1,0 +1,70 @@
+#include "wifi/link.h"
+
+#include <gtest/gtest.h>
+
+#include "channel/cabin.h"
+#include "core/sanitizer.h"
+
+namespace vihot::wifi {
+namespace {
+
+class LinkTest : public ::testing::Test {
+ protected:
+  channel::CabinScene scene_ = channel::make_cabin_scene();
+  channel::ChannelModel model_{scene_, channel::SubcarrierGrid{},
+                               channel::HeadScatterModel{}};
+
+  channel::CabinState state(double theta) const {
+    channel::CabinState st;
+    st.head.position = scene_.driver_head_center;
+    st.head.theta = theta;
+    return st;
+  }
+};
+
+TEST_F(LinkTest, CaptureProducesTimestampedStream) {
+  WifiLink link(model_, NoiseConfig{}, SchedulerConfig{}, util::Rng(1));
+  const auto capture =
+      link.capture(0.0, 2.0, [&](double) { return state(0.0); });
+  ASSERT_GT(capture.size(), 700u);  // ~500 Hz for 2 s
+  for (std::size_t i = 1; i < capture.size(); ++i) {
+    EXPECT_GT(capture[i].t, capture[i - 1].t);
+  }
+  EXPECT_EQ(capture.front().num_subcarriers(), 30u);
+}
+
+TEST_F(LinkTest, MeasurementsDependOnState) {
+  WifiLink link(model_, NoiseConfig{}, SchedulerConfig{}, util::Rng(2));
+  const CsiMeasurement a = link.measure(0.0, state(0.0));
+  const CsiMeasurement b = link.measure(0.002, state(0.8));
+  // The sanitized phase (CFO-free) must differ between orientations.
+  const core::CsiSanitizer san;
+  EXPECT_GT(std::abs(san.phase(a) - san.phase(b)), 0.05);
+}
+
+TEST_F(LinkTest, SanitizedPhaseIsStableForStaticScene) {
+  // Frames of an unchanged cabin: raw phases jump (CFO), sanitized
+  // phases agree to within thermal noise.
+  WifiLink link(model_, NoiseConfig{}, SchedulerConfig{}, util::Rng(3));
+  const core::CsiSanitizer san;
+  const CsiMeasurement first = link.measure(0.0, state(0.1));
+  const double ref = san.phase(first);
+  for (int i = 1; i < 50; ++i) {
+    const CsiMeasurement m = link.measure(0.002 * i, state(0.1));
+    EXPECT_NEAR(san.phase(m), ref, 0.05);
+  }
+}
+
+TEST_F(LinkTest, StateCallbackSeesMonotoneTime) {
+  WifiLink link(model_, NoiseConfig{}, SchedulerConfig{}, util::Rng(4));
+  double last_t = -1.0;
+  (void)link.capture(0.0, 1.0, [&](double t) {
+    EXPECT_GT(t, last_t);
+    last_t = t;
+    return state(0.0);
+  });
+  EXPECT_GT(last_t, 0.9);
+}
+
+}  // namespace
+}  // namespace vihot::wifi

@@ -1,0 +1,128 @@
+#include "wifi/noise.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/cabin.h"
+#include "util/angle.h"
+
+namespace vihot::wifi {
+namespace {
+
+channel::CsiMatrix clean_csi() {
+  const channel::CabinScene scene = channel::make_cabin_scene();
+  const channel::ChannelModel model(scene, channel::SubcarrierGrid{},
+                                    channel::HeadScatterModel{});
+  channel::CabinState st;
+  st.head.position = scene.driver_head_center;
+  return model.csi(st);
+}
+
+TEST(NoiseTest, RawPhaseIsScrambledByCfo) {
+  const channel::SubcarrierGrid grid;
+  const channel::CsiMatrix clean = clean_csi();
+  HardwareNoiseModel noise(NoiseConfig{}, util::Rng(3));
+  // The same clean channel measured in two frames gets different raw
+  // phases (beta changes per frame) — raw CSI phase is unusable.
+  const CsiMeasurement m1 = noise.corrupt(0.0, clean, grid);
+  const CsiMeasurement m2 = noise.corrupt(0.002, clean, grid);
+  const double d01 = util::angular_dist(m1.phase(0, 15), m2.phase(0, 15));
+  EXPECT_GT(d01, 1e-3);
+}
+
+TEST(NoiseTest, CfoIdenticalAcrossAntennas) {
+  // The whole premise of Eq. (3): both RX chains share beta and dt, so
+  // the inter-antenna phase DIFFERENCE of one frame is reproducible
+  // across frames up to thermal noise.
+  const channel::SubcarrierGrid grid;
+  const channel::CsiMatrix clean = clean_csi();
+  NoiseConfig cfg;
+  cfg.thermal_std = 0.0;  // isolate CFO/SFO
+  HardwareNoiseModel noise(cfg, util::Rng(3));
+  const CsiMeasurement m1 = noise.corrupt(0.0, clean, grid);
+  const CsiMeasurement m2 = noise.corrupt(0.002, clean, grid);
+  const double diff1 =
+      std::arg(m1.h[0][10] * std::conj(m1.h[1][10]));
+  const double diff2 =
+      std::arg(m2.h[0][10] * std::conj(m2.h[1][10]));
+  EXPECT_NEAR(diff1, diff2, 1e-9);
+}
+
+TEST(NoiseTest, SfoGrowsWithSubcarrierIndex) {
+  const channel::SubcarrierGrid grid;
+  // A flat unit channel isolates the SFO ramp.
+  channel::CsiMatrix flat;
+  for (auto& row : flat.h) row.assign(grid.size(), {1.0, 0.0});
+  NoiseConfig cfg;
+  cfg.cfo_enabled = false;
+  cfg.thermal_std = 0.0;
+  cfg.sfo_walk_std = 0.0;  // hold dt at its initial value...
+  HardwareNoiseModel noise(cfg, util::Rng(5));
+  // ...which is 0, so force a lag by walking once with a big step.
+  NoiseConfig cfg2 = cfg;
+  cfg2.sfo_walk_std = 40e-9;
+  HardwareNoiseModel noise2(cfg2, util::Rng(5));
+  const CsiMeasurement m = noise2.corrupt(0.0, flat, grid);
+  // Phase error is antisymmetric in the signed subcarrier index: edges
+  // rotate in opposite directions, center barely moves.
+  const double lo = m.phase(0, 0);
+  const double mid = m.phase(0, grid.size() / 2);
+  const double hi = m.phase(0, grid.size() - 1);
+  EXPECT_LT(std::abs(mid), std::abs(lo) + std::abs(hi));
+  EXPECT_LT(lo * hi, 0.0);  // opposite signs
+}
+
+TEST(NoiseTest, ThermalNoisePerturbsMagnitude) {
+  const channel::SubcarrierGrid grid;
+  channel::CsiMatrix flat;
+  for (auto& row : flat.h) row.assign(grid.size(), {1.0, 0.0});
+  NoiseConfig cfg;
+  cfg.cfo_enabled = false;
+  cfg.sfo_enabled = false;
+  cfg.thermal_std = 0.05;
+  HardwareNoiseModel noise(cfg, util::Rng(7));
+  const CsiMeasurement m = noise.corrupt(0.0, flat, grid);
+  double dev = 0.0;
+  for (std::size_t f = 0; f < grid.size(); ++f) {
+    dev += std::abs(std::abs(m.h[0][f]) - 1.0);
+  }
+  EXPECT_GT(dev / static_cast<double>(grid.size()), 0.005);
+}
+
+TEST(NoiseTest, DisabledNoisePassesThrough) {
+  const channel::SubcarrierGrid grid;
+  const channel::CsiMatrix clean = clean_csi();
+  NoiseConfig cfg;
+  cfg.cfo_enabled = false;
+  cfg.sfo_enabled = false;
+  cfg.thermal_std = 0.0;
+  HardwareNoiseModel noise(cfg, util::Rng(9));
+  const CsiMeasurement m = noise.corrupt(1.5, clean, grid);
+  EXPECT_DOUBLE_EQ(m.t, 1.5);
+  for (std::size_t f = 0; f < grid.size(); ++f) {
+    EXPECT_NEAR(std::abs(m.h[0][f] - clean.h[0][f]), 0.0, 1e-12);
+  }
+}
+
+TEST(NoiseTest, SfoLagStaysBounded) {
+  const channel::SubcarrierGrid grid;
+  channel::CsiMatrix flat;
+  for (auto& row : flat.h) row.assign(grid.size(), {1.0, 0.0});
+  NoiseConfig cfg;
+  cfg.cfo_enabled = false;
+  cfg.thermal_std = 0.0;
+  cfg.sfo_walk_std = 30e-9;
+  cfg.sfo_max_lag = 60e-9;
+  HardwareNoiseModel noise(cfg, util::Rng(11));
+  // After many packets the edge-subcarrier phase error must stay bounded
+  // by the reflected walk (|dt| <= max_lag).
+  const double bound = util::kTwoPi * 28.0 * (20e6 / 64.0) * 60e-9;
+  for (int i = 0; i < 2000; ++i) {
+    const CsiMeasurement m = noise.corrupt(0.002 * i, flat, grid);
+    EXPECT_LE(std::abs(m.phase(0, grid.size() - 1)), bound * 1.05);
+  }
+}
+
+}  // namespace
+}  // namespace vihot::wifi

@@ -1,0 +1,157 @@
+// These tests are the first-principles justification of Eq. (2) and the
+// Eq. (3) sanitizer: the phase-corruption structure ViHOT assumes is shown
+// to EMERGE from a symbol-level OFDM link with genuine time-domain CFO
+// and a genuine fractional sampling delay.
+
+#include "wifi/ofdm_phy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/angle.h"
+
+namespace vihot::wifi {
+namespace {
+
+class OfdmPhyTest : public ::testing::Test {
+ protected:
+  OfdmPhy phy_{};
+  util::Rng rng_{3};
+
+  ChannelResponse measure(const ChannelResponse& channel,
+                          const PhyImpairments& imp) {
+    const auto tx = phy_.transmit_ltf();
+    const auto rx = phy_.through_channel(tx, channel, imp, rng_);
+    return phy_.estimate_csi(rx);
+  }
+};
+
+TEST_F(OfdmPhyTest, CleanChannelEstimatesExactly) {
+  ChannelResponse truth;
+  // A mildly frequency-selective two-tap-like channel.
+  for (int k = -ChannelResponse::kOccupied; k <= ChannelResponse::kOccupied;
+       ++k) {
+    truth.at(k) = std::polar(1.0 + 0.1 * std::sin(0.2 * k), 0.05 * k);
+  }
+  const ChannelResponse est = measure(truth, PhyImpairments{});
+  for (int k = -ChannelResponse::kOccupied; k <= ChannelResponse::kOccupied;
+       ++k) {
+    if (k == 0) continue;  // DC carries no LTF energy
+    EXPECT_NEAR(std::abs(est.at(k) - truth.at(k)), 0.0, 1e-9) << "k=" << k;
+  }
+}
+
+TEST_F(OfdmPhyTest, PhaseOffsetAppearsAsCommonBeta) {
+  // Eq. (2): the oscillator phase beta(t) is a COMMON additive phase on
+  // every subcarrier of a frame.
+  PhyImpairments imp;
+  imp.phase_offset_rad = 0.8;
+  const ChannelResponse est = measure(ChannelResponse{}, imp);
+  for (int k = -ChannelResponse::kOccupied; k <= ChannelResponse::kOccupied;
+       ++k) {
+    if (k == 0) continue;
+    EXPECT_NEAR(util::wrap_pi(std::arg(est.at(k)) - 0.8), 0.0, 0.02)
+        << "k=" << k;
+  }
+}
+
+TEST_F(OfdmPhyTest, CfoAddsNearCommonRotation) {
+  // A residual CFO over one OFDM symbol rotates all subcarriers by
+  // (nearly) the same angle — it acts like a per-frame beta, which is why
+  // a per-frame random beta models it (wifi/noise.h).
+  PhyImpairments imp;
+  // 20 kHz of residual CFO rotates the carrier by ~0.3 rad by the middle
+  // of the 80-sample symbol (which is the effective rotation the CSI
+  // estimate inherits), while staying at ~6% of the subcarrier spacing
+  // so inter-carrier interference remains second-order.
+  imp.cfo_hz = 20e3;
+  const ChannelResponse est = measure(ChannelResponse{}, imp);
+  const double ref = std::arg(est.at(1));
+  EXPECT_GT(std::abs(ref), 0.1);  // a real rotation happened
+  for (int k = -ChannelResponse::kOccupied; k <= ChannelResponse::kOccupied;
+       ++k) {
+    if (k == 0) continue;
+    // Inter-carrier interference makes it only approximately common.
+    EXPECT_NEAR(util::wrap_pi(std::arg(est.at(k)) - ref), 0.0, 0.12)
+        << "k=" << k;
+  }
+}
+
+TEST_F(OfdmPhyTest, SamplingOffsetGivesLinearPhaseRamp) {
+  // Eq. (2): the SFO lag dt appears as a phase error 2*pi*(f/N)*dt,
+  // LINEAR in the signed subcarrier index. Derived, not assumed.
+  PhyImpairments imp;
+  imp.sampling_offset_s = 20e-9;
+  const ChannelResponse est = measure(ChannelResponse{}, imp);
+  const OfdmPhyConfig& cfg = phy_.config();
+  const double slope_per_k = -util::kTwoPi * cfg.bandwidth_hz /
+                             static_cast<double>(cfg.fft_size) *
+                             imp.sampling_offset_s;
+  for (int k = -ChannelResponse::kOccupied; k <= ChannelResponse::kOccupied;
+       ++k) {
+    if (k == 0) continue;
+    EXPECT_NEAR(std::arg(est.at(k)), slope_per_k * k, 1e-6) << "k=" << k;
+  }
+}
+
+TEST_F(OfdmPhyTest, SharedOscillatorCancelsInAntennaDifference) {
+  // The Eq. (3) premise, at the PHY level: two RX chains share beta and
+  // dt; per-subcarrier channels differ. The inter-antenna phase
+  // difference must equal the channel phase difference, offsets gone.
+  ChannelResponse h1;
+  ChannelResponse h2;
+  for (int k = -ChannelResponse::kOccupied; k <= ChannelResponse::kOccupied;
+       ++k) {
+    h1.at(k) = std::polar(1.0, 0.03 * k + 0.4);
+    h2.at(k) = std::polar(0.8, -0.02 * k);
+  }
+  PhyImpairments imp;
+  imp.phase_offset_rad = 1.1;
+  imp.sampling_offset_s = 35e-9;
+  const auto tx = phy_.transmit_ltf();
+  const auto rx1 = phy_.through_channel(tx, h1, imp, rng_);
+  const auto rx2 = phy_.through_channel(tx, h2, imp, rng_);
+  const ChannelResponse e1 = phy_.estimate_csi(rx1);
+  const ChannelResponse e2 = phy_.estimate_csi(rx2);
+  for (int k = -ChannelResponse::kOccupied; k <= ChannelResponse::kOccupied;
+       ++k) {
+    if (k == 0) continue;
+    const double measured_diff =
+        std::arg(e1.at(k) * std::conj(e2.at(k)));
+    const double true_diff = std::arg(h1.at(k) * std::conj(h2.at(k)));
+    EXPECT_NEAR(util::wrap_pi(measured_diff - true_diff), 0.0, 1e-6)
+        << "k=" << k;
+  }
+}
+
+TEST_F(OfdmPhyTest, NoisePerturbsEstimateProportionally) {
+  PhyImpairments low;
+  low.noise_std = 0.01;
+  PhyImpairments high;
+  high.noise_std = 0.1;
+  double err_low = 0.0;
+  double err_high = 0.0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const ChannelResponse el = measure(ChannelResponse{}, low);
+    const ChannelResponse eh = measure(ChannelResponse{}, high);
+    for (int k = 1; k <= ChannelResponse::kOccupied; ++k) {
+      err_low += std::abs(el.at(k) - std::complex<double>{1.0, 0.0});
+      err_high += std::abs(eh.at(k) - std::complex<double>{1.0, 0.0});
+    }
+  }
+  EXPECT_GT(err_high, 4.0 * err_low);
+}
+
+TEST_F(OfdmPhyTest, LtfSymbolHasCyclicPrefix) {
+  const auto tx = phy_.transmit_ltf();
+  const OfdmPhyConfig& cfg = phy_.config();
+  ASSERT_EQ(tx.size(), cfg.cp_len + cfg.fft_size);
+  // The CP is a copy of the symbol tail.
+  for (std::size_t i = 0; i < cfg.cp_len; ++i) {
+    EXPECT_NEAR(std::abs(tx[i] - tx[cfg.fft_size + i]), 0.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace vihot::wifi

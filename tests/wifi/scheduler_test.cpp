@@ -1,0 +1,97 @@
+#include "wifi/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace vihot::wifi {
+namespace {
+
+TEST(SchedulerTest, CleanChannelRateNear500Hz) {
+  PacketScheduler sched(SchedulerConfig{}, util::Rng(1));
+  const auto arrivals = sched.arrivals(0.0, 60.0);
+  const double rate = static_cast<double>(arrivals.size()) / 60.0;
+  EXPECT_GT(rate, 430.0);
+  EXPECT_LT(rate, 560.0);
+}
+
+TEST(SchedulerTest, InterferenceDropsRateToward400Hz) {
+  SchedulerConfig cfg;
+  cfg.load = ChannelLoad::kInterfering;
+  PacketScheduler sched(cfg, util::Rng(1));
+  const auto arrivals = sched.arrivals(0.0, 60.0);
+  const double rate = static_cast<double>(arrivals.size()) / 60.0;
+  EXPECT_GT(rate, 330.0);
+  EXPECT_LT(rate, 450.0);
+}
+
+TEST(SchedulerTest, ArrivalsStrictlyIncreasing) {
+  PacketScheduler sched(SchedulerConfig{}, util::Rng(2));
+  const auto arrivals = sched.arrivals(0.0, 10.0);
+  ASSERT_GT(arrivals.size(), 100u);
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_GT(arrivals[i], arrivals[i - 1]);
+  }
+  EXPECT_GE(arrivals.front(), 0.0);
+  EXPECT_LT(arrivals.back(), 10.0);
+}
+
+TEST(SchedulerTest, IntervalsRespectMinimum) {
+  SchedulerConfig cfg;
+  PacketScheduler sched(cfg, util::Rng(3));
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(sched.next_interval(), cfg.min_interval_s);
+  }
+}
+
+TEST(SchedulerTest, CleanMaxGapBounded) {
+  SchedulerConfig cfg;
+  PacketScheduler sched(cfg, util::Rng(4));
+  double worst = 0.0;
+  for (int i = 0; i < 60000; ++i) {
+    worst = std::max(worst, sched.next_interval());
+  }
+  // Sec. 5.3.5: max ~34 ms clean.
+  EXPECT_LE(worst, cfg.clean_burst_gap_s + 1e-9);
+  EXPECT_GT(worst, 0.01);  // bursts do occur at this sample count
+}
+
+TEST(SchedulerTest, InterferingMaxGapLarger) {
+  SchedulerConfig clean_cfg;
+  SchedulerConfig busy_cfg;
+  busy_cfg.load = ChannelLoad::kInterfering;
+  PacketScheduler clean(clean_cfg, util::Rng(5));
+  PacketScheduler busy(busy_cfg, util::Rng(5));
+  double worst_clean = 0.0;
+  double worst_busy = 0.0;
+  for (int i = 0; i < 60000; ++i) {
+    worst_clean = std::max(worst_clean, clean.next_interval());
+    worst_busy = std::max(worst_busy, busy.next_interval());
+  }
+  // Sec. 5.3.5: 49 ms vs 34 ms worst-case frame interval.
+  EXPECT_GT(worst_busy, worst_clean);
+  EXPECT_LE(worst_busy, busy_cfg.busy_burst_gap_s + 1e-9);
+}
+
+TEST(SchedulerTest, IntervalsAreIrregular) {
+  // CSMA jitter: consecutive intervals must differ (what forces the
+  // resampling step in Sec. 3.4.3).
+  PacketScheduler sched(SchedulerConfig{}, util::Rng(6));
+  int distinct = 0;
+  double prev = sched.next_interval();
+  for (int i = 0; i < 100; ++i) {
+    const double cur = sched.next_interval();
+    if (std::abs(cur - prev) > 1e-6) ++distinct;
+    prev = cur;
+  }
+  EXPECT_GT(distinct, 90);
+}
+
+TEST(SchedulerTest, EmptyWindow) {
+  PacketScheduler sched(SchedulerConfig{}, util::Rng(7));
+  EXPECT_TRUE(sched.arrivals(5.0, 5.0).empty());
+  EXPECT_TRUE(sched.arrivals(5.0, 4.0).empty());
+}
+
+}  // namespace
+}  // namespace vihot::wifi

@@ -1,0 +1,111 @@
+#include "wifi/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "channel/cabin.h"
+#include "wifi/link.h"
+
+namespace vihot::wifi {
+namespace {
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    std::remove(path_.c_str());
+  }
+  std::string path_ = ::testing::TempDir() + "vihot_trace_test.csv";
+};
+
+std::vector<CsiMeasurement> sample_capture(double seconds = 0.5) {
+  const channel::CabinScene scene = channel::make_cabin_scene();
+  const channel::ChannelModel model(scene, channel::SubcarrierGrid{},
+                                    channel::HeadScatterModel{});
+  WifiLink link(model, NoiseConfig{}, SchedulerConfig{}, util::Rng(17));
+  return link.capture(0.0, seconds, [&](double t) {
+    channel::CabinState st;
+    st.head.position = scene.driver_head_center;
+    st.head.theta = 0.5 * std::sin(3.0 * t);
+    return st;
+  });
+}
+
+TEST_F(TraceIoTest, CsiRoundTrip) {
+  const auto capture = sample_capture();
+  ASSERT_GT(capture.size(), 100u);
+  ASSERT_TRUE(write_csi_trace(path_, capture));
+  const auto loaded = read_csi_trace(path_);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), capture.size());
+  for (std::size_t i = 0; i < capture.size(); i += 37) {
+    EXPECT_NEAR((*loaded)[i].t, capture[i].t, 1e-9);
+    for (std::size_t f = 0; f < capture[i].num_subcarriers(); f += 7) {
+      EXPECT_NEAR(std::abs((*loaded)[i].h[0][f] - capture[i].h[0][f]), 0.0,
+                  1e-9);
+      EXPECT_NEAR(std::abs((*loaded)[i].h[1][f] - capture[i].h[1][f]), 0.0,
+                  1e-9);
+    }
+  }
+}
+
+TEST_F(TraceIoTest, CsiMissingFile) {
+  EXPECT_FALSE(read_csi_trace("/nonexistent/dir/foo.csv").has_value());
+}
+
+TEST_F(TraceIoTest, CsiRejectsBadHeader) {
+  std::ofstream os(path_);
+  os << "not a vihot trace\n1.0,0.5,0.5\n";
+  os.close();
+  EXPECT_FALSE(read_csi_trace(path_).has_value());
+}
+
+TEST_F(TraceIoTest, CsiRejectsTruncatedRow) {
+  const auto capture = sample_capture(0.05);
+  ASSERT_TRUE(write_csi_trace(path_, capture));
+  // Append a malformed row.
+  std::ofstream os(path_, std::ios::app);
+  os << "1.23,0.5,0.5\n";
+  os.close();
+  EXPECT_FALSE(read_csi_trace(path_).has_value());
+}
+
+TEST_F(TraceIoTest, EmptyCaptureRoundTrips) {
+  ASSERT_TRUE(write_csi_trace(path_, {}));
+  const auto loaded = read_csi_trace(path_);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->empty());
+}
+
+TEST_F(TraceIoTest, ImuRoundTrip) {
+  std::vector<imu::ImuSample> samples;
+  for (int i = 0; i < 200; ++i) {
+    imu::ImuSample s;
+    s.t = 0.01 * i;
+    s.gyro_yaw_rad_s = 0.1 * std::sin(0.5 * i);
+    s.accel_lateral_mps2 = 0.6 * std::cos(0.3 * i);
+    samples.push_back(s);
+  }
+  ASSERT_TRUE(write_imu_trace(path_, samples));
+  const auto loaded = read_imu_trace(path_);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), samples.size());
+  for (std::size_t i = 0; i < samples.size(); i += 13) {
+    EXPECT_NEAR((*loaded)[i].t, samples[i].t, 1e-9);
+    EXPECT_NEAR((*loaded)[i].gyro_yaw_rad_s, samples[i].gyro_yaw_rad_s,
+                1e-9);
+    EXPECT_NEAR((*loaded)[i].accel_lateral_mps2,
+                samples[i].accel_lateral_mps2, 1e-9);
+  }
+}
+
+TEST_F(TraceIoTest, ImuRejectsWrongMagic) {
+  std::ofstream os(path_);
+  os << "# vihot-csi v1 antennas=2 subcarriers=30\n";
+  os.close();
+  EXPECT_FALSE(read_imu_trace(path_).has_value());
+}
+
+}  // namespace
+}  // namespace vihot::wifi

@@ -1,0 +1,155 @@
+// vihot_sim: run any evaluation scenario from the command line.
+//
+//   vihot_sim [options]
+//     --seed N             RNG seed (default 2024)
+//     --sessions N         run-time sessions (default 5)
+//     --duration S         seconds per session (default 30)
+//     --layout 1..5        RX antenna layout (default 1)
+//     --driver A|B|C       driver profile (default A)
+//     --window-ms N        CSI matching window (default 100)
+//     --horizon-ms N       prediction horizon (default 0)
+//     --turn-speed D       head turn speed, deg/s (default: driver habit)
+//     --passenger          front passenger present
+//     --steering           large steering events on the route
+//     --vibration          bumpy road / antenna vibration
+//     --interference       contended WiFi channel
+//     --music              music playing (panel vibration)
+//     --seat-shift MM      head-position shift vs profiling (default 0)
+//     --naive              also evaluate the Eq.-(5) baseline
+//     --camera             also evaluate the camera baseline
+//     --csv                machine-readable one-line summary
+//
+// Example: reproduce the Fig. 17b "w/o identifier" condition:
+//   vihot_sim --steering --no-identifier
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sim/experiment.h"
+#include "util/angle.h"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seed N] [--sessions N] [--duration S] "
+               "[--layout 1..5]\n"
+               "  [--driver A|B|C] [--window-ms N] [--horizon-ms N] "
+               "[--turn-speed DEG_S]\n"
+               "  [--passenger] [--steering] [--no-identifier] "
+               "[--vibration] [--interference]\n"
+               "  [--music] [--seat-shift MM] [--naive] [--camera] "
+               "[--csv]\n",
+               argv0);
+  std::exit(2);
+}
+
+double num_arg(int argc, char** argv, int& i, const char* argv0) {
+  if (i + 1 >= argc) usage(argv0);
+  return std::atof(argv[++i]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vihot;
+  sim::ScenarioConfig config;
+  config.seed = 2024;
+  config.runtime_sessions = 5;
+  config.runtime_duration_s = 30.0;
+  bool csv = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--seed") {
+      config.seed = static_cast<std::uint64_t>(num_arg(argc, argv, i, *argv));
+    } else if (a == "--sessions") {
+      config.runtime_sessions =
+          static_cast<std::size_t>(num_arg(argc, argv, i, *argv));
+    } else if (a == "--duration") {
+      config.runtime_duration_s = num_arg(argc, argv, i, *argv);
+    } else if (a == "--layout") {
+      const int l = static_cast<int>(num_arg(argc, argv, i, *argv));
+      if (l < 1 || l > 5) usage(*argv);
+      config.layout = static_cast<channel::AntennaLayout>(l);
+    } else if (a == "--driver") {
+      if (i + 1 >= argc) usage(*argv);
+      const std::string d = argv[++i];
+      if (d == "A") config.driver = motion::driver_a();
+      else if (d == "B") config.driver = motion::driver_b();
+      else if (d == "C") config.driver = motion::driver_c();
+      else usage(*argv);
+    } else if (a == "--window-ms") {
+      config.tracker.matcher.window_s =
+          num_arg(argc, argv, i, *argv) / 1000.0;
+    } else if (a == "--horizon-ms") {
+      config.prediction_horizon_s = num_arg(argc, argv, i, *argv) / 1000.0;
+    } else if (a == "--turn-speed") {
+      config.head_turn_speed_rad_s =
+          util::deg_to_rad(num_arg(argc, argv, i, *argv));
+    } else if (a == "--passenger") {
+      config.passenger_present = true;
+    } else if (a == "--steering") {
+      config.steering_events = true;
+    } else if (a == "--no-identifier") {
+      config.tracker.steering.enabled = false;
+    } else if (a == "--vibration") {
+      config.antenna_vibration = true;
+    } else if (a == "--interference") {
+      config.scheduler.load = wifi::ChannelLoad::kInterfering;
+    } else if (a == "--music") {
+      config.music_playing = true;
+    } else if (a == "--seat-shift") {
+      config.seat_shift_m = num_arg(argc, argv, i, *argv) / 1000.0;
+    } else if (a == "--naive") {
+      config.collect_naive_baseline = true;
+    } else if (a == "--camera") {
+      config.collect_camera_baseline = true;
+    } else if (a == "--csv") {
+      csv = true;
+    } else {
+      usage(*argv);
+    }
+  }
+
+  sim::ExperimentRunner runner(config);
+  const sim::ExperimentResult res = runner.run();
+
+  if (csv) {
+    std::printf(
+        "median_deg,mean_deg,p90_deg,max_deg,n,csi_rate_hz,max_gap_ms,"
+        "fallback_frac\n%.2f,%.2f,%.2f,%.2f,%zu,%.0f,%.1f,%.3f\n",
+        res.errors.median_deg(), res.errors.mean_deg(),
+        res.errors.percentile_deg(90.0), res.errors.max_deg(),
+        res.errors.size(), res.mean_csi_rate_hz, res.max_gap_s * 1e3,
+        res.mean_fallback_fraction);
+    return 0;
+  }
+
+  std::printf("ViHOT scenario summary (%zu sessions x %.0f s)\n",
+              config.runtime_sessions, config.runtime_duration_s);
+  std::printf("  layout:     %s\n", channel::to_string(config.layout).c_str());
+  std::printf("  driver:     %s\n", config.driver.name.c_str());
+  std::printf("  errors:     median %.1f deg, mean %.1f, p90 %.1f, max %.1f "
+              "(n=%zu)\n",
+              res.errors.median_deg(), res.errors.mean_deg(),
+              res.errors.percentile_deg(90.0), res.errors.max_deg(),
+              res.errors.size());
+  std::printf("  csi link:   %.0f Hz mean rate, %.0f ms max gap\n",
+              res.mean_csi_rate_hz, res.max_gap_s * 1e3);
+  if (res.mean_fallback_fraction > 0.0) {
+    std::printf("  fallback:   %.1f%% of estimates in camera mode\n",
+                res.mean_fallback_fraction * 100.0);
+  }
+  if (!res.naive_errors.empty()) {
+    std::printf("  naive:      median %.1f deg (Eq. 5 baseline)\n",
+                res.naive_errors.median_deg());
+  }
+  if (!res.camera_errors.empty()) {
+    std::printf("  camera:     median %.1f deg (30 FPS baseline)\n",
+                res.camera_errors.median_deg());
+  }
+  return 0;
+}
