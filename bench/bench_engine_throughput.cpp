@@ -1,0 +1,147 @@
+// Fleet-serving throughput of engine::TrackerEngine::estimate_all().
+//
+//   bench_engine_throughput [--sessions N] [--ticks N]
+//
+// A fixed fleet of sessions is pre-fed identical-cost phase streams; the
+// timed region is the batch tick alone, so the numbers isolate how the
+// worker pool scales the matcher work. Reported: session-estimates/s at
+// 1, 2, 4 and 8 worker threads (plus the inline no-pool baseline) and
+// the speedup over 1 thread. On capable hardware 8 threads should serve
+// >= 3x the single-thread rate; a core-starved machine (CI container)
+// flattens the curve — judge scaling on hardware with real parallelism.
+#include <chrono>
+#include <cmath>
+#include <complex>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "engine/tracker_engine.h"
+#include "util/table.h"
+
+namespace {
+
+using vihot::engine::SessionId;
+using vihot::engine::TrackerEngine;
+
+// The non-injective phase curve used across the core tests (Fig. 3
+// shape): representative matcher cost without simulator overhead.
+double phase_of(double theta) {
+  return 0.8 * std::sin(1.3 * theta) + 0.35 * std::sin(2.6 * theta + 0.7);
+}
+
+vihot::core::CsiProfile make_profile() {
+  vihot::core::PositionProfile pos;
+  pos.position_index = 0;
+  pos.fingerprint_phase = phase_of(0.0);
+  pos.csi.t0 = 0.0;
+  pos.csi.dt = 1.0 / 200.0;
+  pos.orientation.t0 = 0.0;
+  pos.orientation.dt = pos.csi.dt;
+  const double period = 5.0;  // theta triangle [-2, 2] at 1.6 rad/s
+  for (std::size_t k = 0; k < 2000; ++k) {
+    const double t = pos.csi.time_at(k);
+    const double u = std::fmod(t, period) / period;
+    const double theta = (u < 0.5) ? (-2.0 + 8.0 * u) : (6.0 - 8.0 * u);
+    pos.orientation.values.push_back(theta);
+    pos.csi.values.push_back(phase_of(theta));
+  }
+  vihot::core::CsiProfile profile;
+  profile.positions.push_back(std::move(pos));
+  return profile;
+}
+
+vihot::wifi::CsiMeasurement measurement(double t, double phi) {
+  vihot::wifi::CsiMeasurement m;
+  m.t = t;
+  m.h[0].assign(4, std::polar(1.0, phi));
+  m.h[1].assign(4, {1.0, 0.0});
+  return m;
+}
+
+struct RunStats {
+  double wall_s = 0.0;
+  double session_estimates_per_s = 0.0;
+};
+
+RunStats run_fleet_ticks(std::size_t num_threads, std::size_t num_sessions,
+                         std::size_t num_ticks,
+                         const std::shared_ptr<const vihot::core::CsiProfile>&
+                             profile) {
+  TrackerEngine engine({num_threads});
+  std::vector<SessionId> ids;
+  for (std::size_t s = 0; s < num_sessions; ++s) {
+    ids.push_back(engine.create_session(profile));
+    // Per-session trajectory: same cost, slightly different motion.
+    const double rate = 0.6 + 0.05 * static_cast<double>(s % 8);
+    for (double t = 0.0; t < 6.0; t += 0.004) {
+      const double theta = -1.2 + rate * t;
+      engine.push_csi(ids.back(), measurement(t, phase_of(theta)));
+    }
+  }
+
+  // Warm the caches (and pay first-touch costs) outside the timed loop.
+  (void)engine.estimate_all(0.9);
+  (void)engine.estimate_all(0.95);
+
+  const double dt = 4.9 / static_cast<double>(num_ticks);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t k = 0; k < num_ticks; ++k) {
+    (void)engine.estimate_all(1.0 + static_cast<double>(k) * dt);
+  }
+  const auto end = std::chrono::steady_clock::now();
+
+  RunStats stats;
+  stats.wall_s = std::chrono::duration<double>(end - start).count();
+  if (stats.wall_s > 0.0) {
+    stats.session_estimates_per_s =
+        static_cast<double>(num_sessions * num_ticks) / stats.wall_s;
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t sessions = 16;
+  std::size_t ticks = 60;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sessions") == 0 && i + 1 < argc) {
+      sessions = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--ticks") == 0 && i + 1 < argc) {
+      ticks = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else {
+      std::fprintf(stderr, "usage: %s [--sessions N] [--ticks N]\n",
+                   *argv);
+      return 2;
+    }
+  }
+
+  const auto profile =
+      std::make_shared<const vihot::core::CsiProfile>(make_profile());
+
+  std::printf("TrackerEngine batch throughput: %zu sessions, %zu ticks\n",
+              sessions, ticks);
+  vihot::util::Table table(
+      {"threads", "wall(s)", "session-est/s", "speedup_vs_1"});
+
+  double base_rate = 0.0;
+  const std::size_t thread_counts[] = {0, 1, 2, 4, 8};
+  for (const std::size_t n : thread_counts) {
+    const RunStats stats = run_fleet_ticks(n, sessions, ticks, profile);
+    if (n == 1) base_rate = stats.session_estimates_per_s;
+    const std::string label = n == 0 ? "inline" : std::to_string(n);
+    const std::string speedup =
+        (n >= 1 && base_rate > 0.0)
+            ? vihot::util::fmt(stats.session_estimates_per_s / base_rate, 2)
+            : "-";
+    table.add_row({label, vihot::util::fmt(stats.wall_s, 2),
+                   vihot::util::fmt(stats.session_estimates_per_s, 0),
+                   speedup});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,28 @@
+#include "core/mode_arbiter.h"
+
+namespace vihot::core {
+
+ModeArbiter::ModeArbiter(const SteeringIdentifier::Config& steering,
+                         double camera_staleness_s)
+    : steering_(steering), camera_staleness_s_(camera_staleness_s) {}
+
+void ModeArbiter::push_imu(const imu::ImuSample& sample) {
+  steering_.push_imu(sample);
+}
+
+void ModeArbiter::push_camera(
+    const camera::CameraTracker::Estimate& estimate) {
+  if (estimate.valid) last_camera_ = estimate;
+}
+
+ModeArbiter::CameraDecision ModeArbiter::camera_output(
+    double t_now) const noexcept {
+  CameraDecision out;
+  if (last_camera_ && t_now - last_camera_->t <= camera_staleness_s_) {
+    out.valid = true;
+    out.theta_rad = last_camera_->theta;
+  }
+  return out;
+}
+
+}  // namespace vihot::core

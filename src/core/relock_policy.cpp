@@ -1,0 +1,25 @@
+#include "core/relock_policy.h"
+
+namespace vihot::core {
+
+RelockPolicy::Action RelockPolicy::observe(
+    bool used_hint, const OrientationEstimate& estimate) {
+  if (!used_hint) return Action::kNone;
+  const bool poor =
+      !estimate.valid || estimate.match_distance > config_.relock_distance;
+  poor_in_row_ = poor ? poor_in_row_ + 1 : 0;
+  if (!poor) {
+    widened_ = false;
+    return Action::kNone;
+  }
+  if (poor_in_row_ < config_.patience) return Action::kNone;
+  poor_in_row_ = 0;
+  if (!widened_) {
+    widened_ = true;
+    return Action::kWiden;
+  }
+  widened_ = false;
+  return Action::kGlobal;
+}
+
+}  // namespace vihot::core

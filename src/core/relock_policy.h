@@ -1,0 +1,67 @@
+// Pipeline stage 4: staged re-lock (DESIGN.md Sec. 5b, extension 1).
+//
+// When the continuity-constrained (hinted) match keeps scoring poorly,
+// the hint is probably wrong — the tracker locked the wrong branch of the
+// non-injective phase curve, or the head moved faster than the rate
+// bound. Escalation is staged: first retry with a much wider hint (cheap,
+// keeps some continuity), and only if that stays poor too fall back to a
+// fully global search (self-correcting but free to jump branches).
+#pragma once
+
+#include "core/orientation_estimator.h"
+
+namespace vihot::core {
+
+/// Streaming poor-match counter deciding when and how to re-lock.
+class RelockPolicy {
+ public:
+  struct Config {
+    /// A hinted match with normalized DTW distance above this is "poor".
+    double relock_distance = 0.02;
+    /// Consecutive poor matches before a retry fires.
+    int patience = 4;
+    /// Hint widening factor of the first escalation stage.
+    double widen_factor = 3.0;
+  };
+
+  RelockPolicy() = default;
+  explicit RelockPolicy(const Config& config) : config_(config) {}
+
+  /// What to retry after observing one hinted-match outcome.
+  enum class Action {
+    kNone,    ///< keep the estimate as is
+    kWiden,   ///< retry with the hint deviation widened by widen_factor
+    kGlobal,  ///< retry with an unconstrained global search
+  };
+
+  /// Consumes one match outcome and advances the escalation state.
+  /// `used_hint` must be false for unconstrained matches (they neither
+  /// count as poor nor trigger retries — a global match IS the re-lock).
+  Action observe(bool used_hint, const OrientationEstimate& estimate);
+
+  /// Whether a retry outcome should replace the original estimate: any
+  /// valid retry beats an invalid original, otherwise the better DTW
+  /// distance wins.
+  [[nodiscard]] static bool accept(const OrientationEstimate& retry,
+                                   const OrientationEstimate& original) {
+    return retry.valid &&
+           (!original.valid ||
+            retry.match_distance < original.match_distance);
+  }
+
+  void reset() noexcept {
+    poor_in_row_ = 0;
+    widened_ = false;
+  }
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+  int poor_in_row_ = 0;
+  /// The previous escalation was the widened stage; the next one goes
+  /// global. Cleared by any good hinted match.
+  bool widened_ = false;
+};
+
+}  // namespace vihot::core

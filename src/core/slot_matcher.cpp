@@ -1,0 +1,42 @@
+#include "core/slot_matcher.h"
+
+#include <algorithm>
+
+namespace vihot::core {
+
+SlotMatcher::Result SlotMatcher::match(const CsiProfile& profile,
+                                       const util::TimeSeries& phase,
+                                       std::size_t slot, double t_now,
+                                       const ContinuityHint* hint,
+                                       bool soft_prior, double soft_theta_rad,
+                                       const Bias& bias) const {
+  Result out;
+  out.matched_slot = slot;
+  if (profile.empty()) return out;
+  const std::size_t lo =
+      slot > config_.neighbor_slots ? slot - config_.neighbor_slots : 0;
+  const std::size_t hi =
+      std::min(profile.size() - 1, slot + config_.neighbor_slots);
+  for (std::size_t j = lo; j <= hi; ++j) {
+    const PositionProfile& pos = profile.positions[j];
+    MatchContext context;
+    context.hard_hint = hint;
+    context.phase_bias = (config_.bias_correction && bias.have)
+                             ? bias.stable_phi0 - pos.fingerprint_phase
+                             : 0.0;
+    if (soft_prior) {
+      context.soft_theta_rad = soft_theta_rad;
+      context.soft_weight = config_.soft_continuity_weight;
+    }
+    const OrientationEstimate ej =
+        matcher_.estimate(pos, phase, t_now, context);
+    if (ej.valid && (!out.estimate.valid ||
+                     ej.match_distance < out.estimate.match_distance)) {
+      out.estimate = ej;
+      out.matched_slot = j;
+    }
+  }
+  return out;
+}
+
+}  // namespace vihot::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 namespace vihot::core {
 
@@ -13,30 +14,41 @@ constexpr double kBufferSlackS = 1.5;
 
 }  // namespace
 
-ViHotTracker::ViHotTracker(CsiProfile profile, TrackerConfig config)
-    : profile_(std::move(profile)),
+ViHotTracker::ViHotTracker(CsiProfile profile, const TrackerConfig& config)
+    : ViHotTracker(std::make_shared<const CsiProfile>(std::move(profile)),
+                   config) {}
+
+ViHotTracker::ViHotTracker(std::shared_ptr<const CsiProfile> profile,
+                           const TrackerConfig& config)
+    : profile_(profile ? std::move(profile)
+                       : std::make_shared<const CsiProfile>()),
       config_(config),
-      sanitizer_(config.sanitizer),
-      matcher_(config.matcher),
-      stability_(config.stability),
-      steering_(config.steering) {
+      sanitizer_(config_.sanitizer),
+      stability_(config_.stability),
+      arbiter_(config_.steering, config_.camera_staleness_s),
+      analyzer_({config_.matcher.window_s, config_.flat_spread_rad,
+                 config_.moving_spread_rad}),
+      slot_matcher_({config_.matcher, config_.neighbor_slots,
+                     config_.bias_correction,
+                     config_.soft_continuity_weight}),
+      relock_({config_.relock_distance, config_.relock_patience}),
+      tie_breaker_(config_.tie_break_ratio) {
   // Until the first stable segment localizes the head, assume the middle
   // profiled position (the natural sitting position).
-  position_slot_ = profile_.size() / 2;
-  if (!profile_.empty()) {
-    fingerprint_min_ = profile_.positions.front().fingerprint_phase;
+  position_slot_ = profile_->size() / 2;
+  if (!profile_->empty()) {
+    fingerprint_min_ = profile_->positions.front().fingerprint_phase;
     fingerprint_max_ = fingerprint_min_;
-    for (const PositionProfile& p : profile_.positions) {
+    for (const PositionProfile& p : profile_->positions) {
       fingerprint_min_ = std::min(fingerprint_min_, p.fingerprint_phase);
       fingerprint_max_ = std::max(fingerprint_max_, p.fingerprint_phase);
     }
   }
 }
 
-
 void ViHotTracker::push_csi(const wifi::CsiMeasurement& m) {
-  if (profile_.empty()) return;
-  const double rel = profile_.relative_phase(sanitizer_.phase(m));
+  if (profile_->empty()) return;
+  const double rel = profile_->relative_phase(sanitizer_.phase(m));
   phase_buffer_.push(m.t, rel);
 
   // Trim history we can no longer need.
@@ -51,21 +63,20 @@ void ViHotTracker::push_csi(const wifi::CsiMeasurement& m) {
   // Stable phase -> the driver faces forward -> refresh the position
   // estimate (Sec. 3.4.1). Only while CSI is trusted: during a steering
   // event the flat-ish polluted phase must not re-localize the head.
-  if (steering_.mode() == TrackingMode::kCsi &&
-      stability_.update(m.t, rel)) {
+  if (arbiter_.mode() == TrackingMode::kCsi && stability_.update(m.t, rel)) {
     // Gate on plausibility: a long dwell on the mirror is stable too, but
     // its phase sits outside the forward-facing fingerprint range.
     const double phi0 = stability_.stable_phase();
     if (phi0 > fingerprint_min_ - config_.fingerprint_gate_margin_rad &&
         phi0 < fingerprint_max_ + config_.fingerprint_gate_margin_rad) {
-      const PositionEstimate pe = PositionEstimator::estimate(profile_, phi0);
+      const PositionEstimate pe = PositionEstimator::estimate(*profile_, phi0);
       if (pe.valid) {
         position_slot_ = pe.profile_slot;
         // Session-wide phase-bias calibration: the head usually sits
         // between two profiled grid positions, offsetting the whole curve
         // by the residual of Eq. (4). The stable forward phase (where the
         // orientation is unambiguously 0 deg) anchors a per-slot bias
-        // that match_slot() subtracts from every run-time window.
+        // that the SlotMatcher subtracts from every run-time window.
         last_stable_phi0_ = phi0;
         have_stable_phi0_ = true;
       }
@@ -74,11 +85,11 @@ void ViHotTracker::push_csi(const wifi::CsiMeasurement& m) {
 }
 
 void ViHotTracker::push_imu(const imu::ImuSample& sample) {
-  steering_.push_imu(sample);
+  arbiter_.push_imu(sample);
 }
 
 void ViHotTracker::push_camera(const camera::CameraTracker::Estimate& e) {
-  if (e.valid) last_camera_ = e;
+  arbiter_.push_camera(e);
 }
 
 double ViHotTracker::rate_filtered(double t, double theta) {
@@ -105,39 +116,40 @@ double ViHotTracker::rate_filtered(double t, double theta) {
   return theta;
 }
 
-double ViHotTracker::window_spread(double t_now) const noexcept {
-  const double t0 = t_now - config_.matcher.window_s;
-  if (phase_buffer_.empty() || phase_buffer_.front().t > t0) return -1.0;
-  double lo = 0.0;
-  double hi = 0.0;
-  bool first = true;
-  for (std::size_t k = phase_buffer_.lower_bound(t0);
-       k < phase_buffer_.size() && phase_buffer_[k].t <= t_now; ++k) {
-    const double v = phase_buffer_[k].value;
-    if (first) {
-      lo = hi = v;
-      first = false;
-    } else {
-      lo = std::min(lo, v);
-      hi = std::max(hi, v);
-    }
+std::optional<ContinuityHint> ViHotTracker::make_hint(double t_now) const {
+  ContinuityHint hint;
+  if (have_output_) {
+    // The head cannot have moved further than max rate * elapsed since
+    // the previous output.
+    const double elapsed = std::max(t_now - last_output_t_, 0.0);
+    hint.theta_rad = last_output_theta_;
+    hint.max_dev_rad = config_.max_theta_rate_rad_s * elapsed +
+                       config_.continuity_slack_rad;
+    return hint;
   }
-  return first ? -1.0 : hi - lo;
+  if (config_.assume_forward_start) {
+    // Trips start with the driver facing the road (Sec. 3.4.1).
+    hint.theta_rad = 0.0;
+    hint.max_dev_rad = 0.5;
+    return hint;
+  }
+  return std::nullopt;
 }
 
 TrackResult ViHotTracker::estimate(double t_now) {
   TrackResult out;
   out.t = t_now;
-  out.mode = steering_.mode();
+  out.mode = arbiter_.mode();
   out.position_slot = position_slot_;
-  if (profile_.empty()) return out;
+  if (profile_->empty()) return out;
 
+  // [1] Mode arbitration: steering interference -> camera fallback
+  // (Sec. 3.6.2 workflow).
   if (out.mode == TrackingMode::kCameraFallback) {
-    // Steering interference: trust the camera (Sec. 3.6.2 workflow).
-    if (last_camera_ &&
-        t_now - last_camera_->t <= config_.camera_staleness_s) {
+    const ModeArbiter::CameraDecision cam = arbiter_.camera_output(t_now);
+    if (cam.valid) {
       out.valid = true;
-      out.theta_rad = rate_filtered(t_now, last_camera_->theta);
+      out.theta_rad = rate_filtered(t_now, cam.theta_rad);
     }
     // Matching against polluted CSI is pointless; also invalidate the
     // cached match so forecasts don't extrapolate stale motion.
@@ -145,106 +157,49 @@ TrackResult ViHotTracker::estimate(double t_now) {
     return out;
   }
 
-  const double spread = window_spread(t_now);
-
-  // Featureless window: the head is holding still, so the orientation is
-  // whatever it already was. Matching would be pure ambiguity (any
-  // profile stretch at this phase level fits equally well).
-  if (have_output_ && spread >= 0.0 && spread < config_.flat_spread_rad) {
+  // [2] Window regime: a featureless window holds the previous output.
+  const WindowAnalyzer::Analysis window =
+      analyzer_.analyze(phase_buffer_, t_now, have_output_);
+  if (window.regime == WindowRegime::kFlat) {
     out.valid = true;
     out.theta_rad = last_output_theta_;
     last_output_t_ = t_now;
     return out;
   }
+  const bool global = window.regime == WindowRegime::kGlobal;
 
-  // Feature-rich window: a global match is reliable and self-correcting;
-  // continuity hints would only chain earlier mistakes into it.
-  const bool strong_motion = spread > config_.moving_spread_rad;
+  // [3] Slot match: continuity-hinted unless the window is feature-rich.
+  const std::optional<ContinuityHint> hint =
+      global ? std::nullopt : make_hint(t_now);
+  OrientationEstimate est =
+      match_slot(t_now, hint ? &*hint : nullptr, /*soft_prior=*/global);
 
-  // Otherwise: continuity-constrained match — the head cannot have moved
-  // further than max rate * elapsed since the previous output.
-  ContinuityHint hint;
-  bool use_hint = false;
-  if (!strong_motion) {
-    if (have_output_) {
-      const double elapsed = std::max(t_now - last_output_t_, 0.0);
-      hint.theta_rad = last_output_theta_;
-      hint.max_dev_rad = config_.max_theta_rate_rad_s * elapsed +
-                         config_.continuity_slack_rad;
-      use_hint = true;
-    } else if (config_.assume_forward_start) {
-      // Trips start with the driver facing the road (Sec. 3.4.1).
-      hint.theta_rad = 0.0;
-      hint.max_dev_rad = 0.5;
-      use_hint = true;
+  // [4] Staged re-lock when the hinted match keeps scoring poorly.
+  const RelockPolicy::Action relock = relock_.observe(hint.has_value(), est);
+  if (relock != RelockPolicy::Action::kNone) {
+    OrientationEstimate retry;
+    if (relock == RelockPolicy::Action::kWiden) {
+      ContinuityHint wide = *hint;
+      wide.max_dev_rad *= relock_.config().widen_factor;
+      retry = match_slot(t_now, &wide, false);
+    } else {
+      retry = match_slot(t_now, nullptr, true);
+    }
+    if (RelockPolicy::accept(retry, est)) {
+      est = retry;
+      // The re-lock result bypasses the rate filter: accept the jump.
+      have_output_ = false;
     }
   }
 
-  OrientationEstimate est = match_slot(position_slot_, t_now,
-                                       use_hint ? &hint : nullptr,
-                                       /*soft_prior=*/strong_motion);
-
-  // Staged re-lock: if the constrained search keeps matching poorly, the
-  // hint is probably wrong (wrong branch, or a move faster than the rate
-  // bound). First retry with a much wider hint; if that stays poor too,
-  // fall back to a fully global search.
-  if (use_hint) {
-    const bool poor = !est.valid || est.match_distance > config_.relock_distance;
-    poor_match_in_row_ = poor ? poor_match_in_row_ + 1 : 0;
-    if (!poor) relock_widened_ = false;
-    if (poor && poor_match_in_row_ >= config_.relock_patience) {
-      OrientationEstimate retry;
-      if (!relock_widened_) {
-        ContinuityHint wide = hint;
-        wide.max_dev_rad *= 3.0;
-        retry = match_slot(position_slot_, t_now, &wide, false);
-        relock_widened_ = true;
-      } else {
-        retry = match_slot(position_slot_, t_now, nullptr, true);
-        relock_widened_ = false;
-      }
-      if (retry.valid && (!est.valid ||
-                          retry.match_distance < est.match_distance)) {
-        est = retry;
-        // The re-lock result bypasses the rate filter: accept the jump.
-        have_output_ = false;
-      }
-      poor_match_in_row_ = 0;
-    }
-  }
-
-  // Twin-branch tie-break on ambiguous global matches: several far-apart
-  // profile regions can fit a windowed phase equally well; among the
-  // near-tied top candidates, continuity picks the one reachable from the
-  // previous output. Pure tie-breaking — a decisively better match always
-  // wins outright.
-  if (strong_motion && have_output_ && est.valid && est.candidates.size() > 1) {
-    const double bar =
-        config_.tie_break_ratio * std::max(est.match_distance, 1e-6);
-    const OrientationEstimate::AltCandidate* pick = nullptr;
-    double pick_dev = std::abs(est.theta_rad - last_output_theta_);
-    for (const auto& c : est.candidates) {
-      if (c.distance > bar) break;  // sorted ascending
-      const double dev = std::abs(c.theta_rad - last_output_theta_);
-      if (dev + 0.1 < pick_dev) {
-        pick = &c;
-        pick_dev = dev;
-      }
-    }
-    if (pick != nullptr) {
-      est.theta_rad = pick->theta_rad;
-      est.match_start = pick->match_start;
-      est.match_length = pick->match_length;
-      est.speed_ratio = pick->speed_ratio;
-      est.match_distance = pick->distance;
-    }
-  }
+  // [5] Twin-branch tie-break on ambiguous global matches.
+  if (global && have_output_) tie_breaker_.apply(est, last_output_theta_);
 
   out.raw = est;
   if (!est.valid) return out;
   last_match_ = est;
   out.valid = true;
-  if (strong_motion) {
+  if (global) {
     // Accept the global result as-is; the rate filter would fight the
     // very re-convergence the global match provides.
     have_output_ = true;
@@ -258,43 +213,20 @@ TrackResult ViHotTracker::estimate(double t_now) {
   return out;
 }
 
-OrientationEstimate ViHotTracker::match_slot(std::size_t slot, double t_now,
+OrientationEstimate ViHotTracker::match_slot(double t_now,
                                              const ContinuityHint* hint,
                                              bool soft_prior) {
-  // Try the Eq.-(4) slot and its grid neighbors; the session's true head
-  // position generally falls between two profiled positions, and the best
-  // DTW distance identifies which neighbor's curve fits this session.
-  const std::size_t lo =
-      slot > config_.neighbor_slots ? slot - config_.neighbor_slots : 0;
-  const std::size_t hi =
-      std::min(profile_.size() - 1, slot + config_.neighbor_slots);
-  OrientationEstimate best;
-  std::size_t best_slot = slot;
-  for (std::size_t j = lo; j <= hi; ++j) {
-    const PositionProfile& pos = profile_.positions[j];
-    MatchContext context;
-    context.hard_hint = hint;
-    context.phase_bias = (config_.bias_correction && have_stable_phi0_)
-                             ? last_stable_phi0_ - pos.fingerprint_phase
-                             : 0.0;
-    if (soft_prior && have_output_) {
-      context.soft_theta_rad = last_output_theta_;
-      context.soft_weight = config_.soft_continuity_weight;
-    }
-    const OrientationEstimate ej =
-        matcher_.estimate(pos, phase_buffer_, t_now, context);
-    if (ej.valid && (!best.valid || ej.match_distance < best.match_distance)) {
-      best = ej;
-      best_slot = j;
-    }
-  }
-  if (best.valid) matched_slot_ = best_slot;
-  return best;
+  const SlotMatcher::Result r = slot_matcher_.match(
+      *profile_, phase_buffer_, position_slot_, t_now, hint,
+      soft_prior && have_output_, last_output_theta_,
+      {have_stable_phi0_, last_stable_phi0_});
+  if (r.estimate.valid) matched_slot_ = r.matched_slot;
+  return r.estimate;
 }
 
 Forecast ViHotTracker::forecast(double horizon_s) const {
-  if (!last_match_ || profile_.empty()) return {};
-  return Forecaster::forecast(profile_.positions[matched_slot_],
+  if (!last_match_ || profile_->empty()) return {};
+  return Forecaster::forecast(profile_->positions[matched_slot_],
                               *last_match_, horizon_s);
 }
 

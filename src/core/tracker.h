@@ -1,29 +1,46 @@
-// ViHotTracker: the run-time facade tying the whole pipeline together
-// (Fig. 4's run-time half).
+// ViHotTracker: the run-time pipeline (Fig. 4's run-time half), composed
+// from five small, independently testable stages:
 //
-//   CSI frames  -> sanitizer -> relative-phase buffer
-//                               |-> stable-phase detector -> Eq. (4)
-//                               |       (head position i*)
-//                               '-> Algorithm 1 matcher against C_{i*}
-//                                       (head orientation theta_hat)
-//   IMU samples -> steering identifier -> CSI / camera-fallback arbiter
-//   camera      -> fallback estimate during sharp turns
+//   CSI frames ─► sanitizer ─► relative-phase buffer
+//                              └─► stable-phase detector ─► Eq. (4)
+//                                      (position slot + session bias)
 //
-// Small bursty steering corrections are additionally rejected by a rate
-// ("jump") filter on the output: the head orientation can only change
-// continuously (Sec. 3.6), so an estimate that teleports is discarded.
+//   estimate(t):
+//     [1] ModeArbiter      IMU ─► steering identifier; during steering
+//                          interference output the (fresh) camera
+//                          fallback estimate instead of matching
+//     [2] WindowAnalyzer   window spread ─► regime: flat (hold output) /
+//                          hinted (continuity-constrained) / global
+//     [3] SlotMatcher      Algorithm 1 DTW match against the slot's and
+//                          its neighbors' curves, session bias corrected
+//     [4] RelockPolicy     hinted match stays poor ─► staged re-lock:
+//                          widened hint, then unconstrained global
+//     [5] TieBreaker       ambiguous global match ─► among near-tied
+//                          candidates pick the continuity-reachable one
+//     └─► rate ("jump") filter ─► TrackResult
+//
+// The tracker itself only wires the stages and holds per-session state
+// (phase buffer, position slot, last output, re-lock counters). Profiles
+// are shared immutable data: many trackers — e.g. the sessions of an
+// engine::TrackerEngine — can match against one CsiProfile concurrently.
 #pragma once
 
+#include <memory>
 #include <optional>
 
 #include "camera/camera_tracker.h"
 #include "core/forecaster.h"
+#include "core/mode_arbiter.h"
 #include "core/orientation_estimator.h"
 #include "core/position_estimator.h"
 #include "core/profile.h"
+#include "core/relock_policy.h"
 #include "core/sanitizer.h"
+#include "core/slot_matcher.h"
 #include "core/stability.h"
 #include "core/steering_identifier.h"
+#include "core/tie_breaker.h"
+#include "core/window_analyzer.h"
 #include "util/time_series.h"
 #include "wifi/csi.h"
 
@@ -113,10 +130,16 @@ struct TrackResult {
   OrientationEstimate raw{};
 };
 
-/// The run-time head tracker.
+/// The run-time head tracker: stage wiring + per-session state.
 class ViHotTracker {
  public:
-  ViHotTracker(CsiProfile profile, TrackerConfig config);
+  /// Shares an immutable profile (the fleet-serving form: one profile,
+  /// many sessions, zero copies).
+  ViHotTracker(std::shared_ptr<const CsiProfile> profile,
+               const TrackerConfig& config);
+
+  /// Owns a private copy of the profile (the single-session form).
+  ViHotTracker(CsiProfile profile, const TrackerConfig& config);
 
   /// Feed one CSI frame (order by time across all push_* calls).
   void push_csi(const wifi::CsiMeasurement& m);
@@ -139,10 +162,10 @@ class ViHotTracker {
     return position_slot_;
   }
   [[nodiscard]] TrackingMode mode() const noexcept {
-    return steering_.mode();
+    return arbiter_.mode();
   }
   [[nodiscard]] const CsiProfile& profile() const noexcept {
-    return profile_;
+    return *profile_;
   }
   [[nodiscard]] const TrackerConfig& config() const noexcept {
     return config_;
@@ -152,30 +175,34 @@ class ViHotTracker {
   /// Applies the continuous-motion rate filter to a candidate output.
   [[nodiscard]] double rate_filtered(double t, double theta);
 
-  CsiProfile profile_;
-  TrackerConfig config_;
-  double fingerprint_min_ = 0.0;
-  double fingerprint_max_ = 0.0;
-  CsiSanitizer sanitizer_;
-  OrientationEstimator matcher_;
-  StablePhaseDetector stability_;
-  SteeringIdentifier steering_;
-
-  /// Matches the window against one slot with its session bias applied.
-  [[nodiscard]] OrientationEstimate match_slot(std::size_t slot, double t_now,
+  /// Runs the SlotMatcher stage and records the winning slot.
+  [[nodiscard]] OrientationEstimate match_slot(double t_now,
                                                const ContinuityHint* hint,
                                                bool soft_prior);
 
-  /// Peak-to-peak spread of the phase window ending at t_now (< 0 when
-  /// the window is not yet filled).
-  [[nodiscard]] double window_spread(double t_now) const noexcept;
+  /// The continuity hint for a hinted-regime match, if one applies.
+  [[nodiscard]] std::optional<ContinuityHint> make_hint(double t_now) const;
 
+  std::shared_ptr<const CsiProfile> profile_;
+  TrackerConfig config_;
+  double fingerprint_min_ = 0.0;
+  double fingerprint_max_ = 0.0;
+
+  // The pipeline stages (construction order follows config_).
+  CsiSanitizer sanitizer_;
+  StablePhaseDetector stability_;
+  ModeArbiter arbiter_;
+  WindowAnalyzer analyzer_;
+  SlotMatcher slot_matcher_;
+  RelockPolicy relock_;
+  TieBreaker tie_breaker_;
+
+  // Per-session state.
   util::TimeSeries phase_buffer_;  ///< relative sanitized phase
   std::size_t position_slot_ = 0;
   std::size_t matched_slot_ = 0;  ///< slot of the last successful match
   double last_stable_phi0_ = 0.0;
   bool have_stable_phi0_ = false;
-  std::optional<camera::CameraTracker::Estimate> last_camera_;
   std::optional<OrientationEstimate> last_match_;
 
   // Jump-filter / continuity state.
@@ -183,9 +210,6 @@ class ViHotTracker {
   double last_output_t_ = 0.0;
   double last_output_theta_ = 0.0;
   int rejected_in_row_ = 0;
-  int poor_match_in_row_ = 0;
-  bool relock_widened_ = false;
-  double phase_bias_ = 0.0;  ///< session curve offset vs the profile
 };
 
 }  // namespace vihot::core

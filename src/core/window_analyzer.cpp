@@ -1,0 +1,28 @@
+#include "core/window_analyzer.h"
+
+namespace vihot::core {
+
+WindowAnalyzer::Analysis WindowAnalyzer::analyze(
+    const util::TimeSeries& phase, double t_now,
+    bool have_output) const noexcept {
+  Analysis out;
+  const double t0 = t_now - config_.window_s;
+  // The window must be fully covered: a partially filled buffer would
+  // report the spread of a shorter stretch and misclassify the regime.
+  if (!phase.empty() && phase.front().t <= t0) {
+    if (const auto mm = phase.minmax_in(t0, t_now)) {
+      out.spread_rad = mm->spread();
+    }
+  }
+  if (have_output && out.spread_rad >= 0.0 &&
+      out.spread_rad < config_.flat_spread_rad) {
+    out.regime = WindowRegime::kFlat;
+  } else if (out.spread_rad > config_.moving_spread_rad) {
+    out.regime = WindowRegime::kGlobal;
+  } else {
+    out.regime = WindowRegime::kHinted;
+  }
+  return out;
+}
+
+}  // namespace vihot::core

@@ -1,0 +1,61 @@
+// Pipeline stage 2: window-energy regime classification.
+//
+// The peak-to-peak spread of the recent phase window decides how much the
+// matcher may be trusted (DESIGN.md Sec. 5b, extension 2):
+//
+//   spread < flat    -> kFlat:   the head is holding still; matching a
+//                                featureless window is pure ambiguity, so
+//                                the previous orientation is held.
+//   spread > moving  -> kGlobal: feature-rich window; a global match is
+//                                reliable and self-correcting, continuity
+//                                hints would only chain earlier mistakes.
+//   in between       -> kHinted: match under the continuity constraint
+//                                (with the staged re-lock as escape hatch).
+//
+// A window that is not yet covered by the buffer also classifies kHinted:
+// the matcher itself reports invalid until its setup time has passed.
+#pragma once
+
+#include "util/time_series.h"
+
+namespace vihot::core {
+
+/// How the current phase window should be matched.
+enum class WindowRegime {
+  kFlat,    ///< featureless: hold the previous output
+  kHinted,  ///< continuity-constrained match
+  kGlobal,  ///< unconstrained global match
+};
+
+/// Classifies the recent phase window by its energy (peak-to-peak spread).
+class WindowAnalyzer {
+ public:
+  struct Config {
+    double window_s = 0.1;          ///< matcher window W
+    double flat_spread_rad = 0.05;  ///< below: featureless
+    double moving_spread_rad = 0.30;  ///< above: feature-rich
+  };
+
+  WindowAnalyzer() = default;
+  explicit WindowAnalyzer(const Config& config) : config_(config) {}
+
+  struct Analysis {
+    /// Peak-to-peak spread of the window ending at t_now; < 0 while the
+    /// buffer does not yet cover a full window.
+    double spread_rad = -1.0;
+    WindowRegime regime = WindowRegime::kHinted;
+  };
+
+  /// Classifies the window ending at `t_now`. `have_output` gates the
+  /// kFlat verdict: with no previous output there is nothing to hold, so
+  /// a flat window still goes to the (hinted) matcher.
+  [[nodiscard]] Analysis analyze(const util::TimeSeries& phase, double t_now,
+                                 bool have_output) const noexcept;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace vihot::core

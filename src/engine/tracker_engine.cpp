@@ -1,0 +1,113 @@
+#include "engine/tracker_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace vihot::engine {
+
+TrackerEngine::TrackerEngine(const Config& config)
+    : pool_(config.num_threads) {}
+
+std::shared_ptr<const core::CsiProfile> TrackerEngine::add_profile(
+    core::CsiProfile profile) {
+  auto shared =
+      std::make_shared<const core::CsiProfile>(std::move(profile));
+  std::lock_guard<std::mutex> lk(profiles_mu_);
+  profiles_.push_back(shared);
+  return shared;
+}
+
+SessionId TrackerEngine::create_session(
+    std::shared_ptr<const core::CsiProfile> profile,
+    const core::TrackerConfig& config) {
+  // Exclude batch ticks so roster_/results_ never reshape under a
+  // running estimate_all().
+  std::lock_guard<std::mutex> batch(batch_mu_);
+  std::unique_lock<std::shared_mutex> lk(roster_mu_);
+  const SessionId id = next_id_++;
+  auto session =
+      std::make_unique<TrackerSession>(id, std::move(profile), config);
+  roster_.push_back(session.get());
+  results_.resize(roster_.size());
+  sessions_.emplace(id, std::move(session));
+  return id;
+}
+
+bool TrackerEngine::destroy_session(SessionId id) {
+  std::lock_guard<std::mutex> batch(batch_mu_);
+  std::unique_lock<std::shared_mutex> lk(roster_mu_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) return false;
+  roster_.erase(std::remove(roster_.begin(), roster_.end(), it->second.get()),
+                roster_.end());
+  results_.resize(roster_.size());
+  sessions_.erase(it);
+  return true;
+}
+
+std::size_t TrackerEngine::session_count() const {
+  std::shared_lock<std::shared_mutex> lk(roster_mu_);
+  return sessions_.size();
+}
+
+std::vector<SessionId> TrackerEngine::session_ids() const {
+  std::shared_lock<std::shared_mutex> lk(roster_mu_);
+  std::vector<SessionId> ids;
+  ids.reserve(roster_.size());
+  for (const TrackerSession* s : roster_) ids.push_back(s->id());
+  return ids;
+}
+
+TrackerSession* TrackerEngine::find(SessionId id) const {
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+bool TrackerEngine::push_csi(SessionId id, const wifi::CsiMeasurement& m) {
+  std::shared_lock<std::shared_mutex> lk(roster_mu_);
+  TrackerSession* s = find(id);
+  if (!s) return false;
+  s->push_csi(m);
+  return true;
+}
+
+bool TrackerEngine::push_imu(SessionId id, const imu::ImuSample& sample) {
+  std::shared_lock<std::shared_mutex> lk(roster_mu_);
+  TrackerSession* s = find(id);
+  if (!s) return false;
+  s->push_imu(sample);
+  return true;
+}
+
+bool TrackerEngine::push_camera(
+    SessionId id, const camera::CameraTracker::Estimate& estimate) {
+  std::shared_lock<std::shared_mutex> lk(roster_mu_);
+  TrackerSession* s = find(id);
+  if (!s) return false;
+  s->push_camera(estimate);
+  return true;
+}
+
+core::TrackResult TrackerEngine::estimate_one(SessionId id, double t_now) {
+  std::shared_lock<std::shared_mutex> lk(roster_mu_);
+  TrackerSession* s = find(id);
+  if (!s) return {};
+  return s->estimate(t_now);
+}
+
+core::Forecast TrackerEngine::forecast_one(SessionId id, double horizon_s) {
+  std::shared_lock<std::shared_mutex> lk(roster_mu_);
+  TrackerSession* s = find(id);
+  if (!s) return {};
+  return s->forecast(horizon_s);
+}
+
+std::span<const core::TrackResult> TrackerEngine::estimate_all(double t_now) {
+  std::lock_guard<std::mutex> batch(batch_mu_);
+  std::shared_lock<std::shared_mutex> lk(roster_mu_);
+  auto job = [&](std::size_t i) { results_[i] = roster_[i]->estimate(t_now); };
+  pool_.run(roster_.size(), job);
+  return {results_.data(), results_.size()};
+}
+
+}  // namespace vihot::engine

@@ -1,0 +1,153 @@
+// TrackerEngine: one process, many drivers (fleet serving).
+//
+// The single-session ViHotTracker is a per-driver state machine over
+// shared immutable profile data — which makes fleet serving a scheduling
+// problem, not an algorithmic one. The engine owns
+//
+//   * the profiles, interned as std::shared_ptr<const CsiProfile>: one
+//     profile feeds any number of sessions with zero copies, and a
+//     profile outlives the engine exactly as long as a session (or the
+//     caller) still references it;
+//   * N independent TrackerSessions, addressed by SessionId
+//     (create / feed / estimate / destroy);
+//   * a fixed WorkerPool fanning the batched estimate_all() tick across
+//     every live session, with no allocation on the per-tick hot path.
+//
+// Thread model: every per-session operation locks that session's own
+// mutex, so distinct sessions can be fed from distinct producer threads
+// while estimate_all() runs. Fleet mutation (create/destroy) excludes
+// batch ticks; concurrent estimate_all() calls serialize.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/tracker.h"
+#include "engine/worker_pool.h"
+
+namespace vihot::engine {
+
+/// Opaque handle of one tracking session; never reused within an engine.
+using SessionId = std::uint64_t;
+
+/// Invalid session handle (never returned by create_session).
+inline constexpr SessionId kNoSession = 0;
+
+/// One driver's tracking state inside the engine: a ViHotTracker plus
+/// the lock making it safely reachable from producer threads and the
+/// worker pool.
+class TrackerSession {
+ public:
+  TrackerSession(SessionId id, std::shared_ptr<const core::CsiProfile> profile,
+                 const core::TrackerConfig& config)
+      : id_(id), tracker_(std::move(profile), config) {}
+
+  [[nodiscard]] SessionId id() const noexcept { return id_; }
+
+  void push_csi(const wifi::CsiMeasurement& m) {
+    std::lock_guard<std::mutex> lk(mu_);
+    tracker_.push_csi(m);
+  }
+  void push_imu(const imu::ImuSample& sample) {
+    std::lock_guard<std::mutex> lk(mu_);
+    tracker_.push_imu(sample);
+  }
+  void push_camera(const camera::CameraTracker::Estimate& estimate) {
+    std::lock_guard<std::mutex> lk(mu_);
+    tracker_.push_camera(estimate);
+  }
+  [[nodiscard]] core::TrackResult estimate(double t_now) {
+    std::lock_guard<std::mutex> lk(mu_);
+    return tracker_.estimate(t_now);
+  }
+  [[nodiscard]] core::Forecast forecast(double horizon_s) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return tracker_.forecast(horizon_s);
+  }
+
+ private:
+  SessionId id_;
+  mutable std::mutex mu_;
+  core::ViHotTracker tracker_;
+};
+
+/// Serves many concurrent tracking sessions against shared profiles.
+class TrackerEngine {
+ public:
+  struct Config {
+    /// Worker threads for estimate_all(). 0 = run batches inline on the
+    /// calling thread (no threads are spawned).
+    std::size_t num_threads = 0;
+  };
+
+  TrackerEngine() : TrackerEngine(Config{}) {}
+  explicit TrackerEngine(const Config& config);
+
+  /// Interns a profile as shared immutable data. The returned pointer
+  /// can seed any number of sessions (in this engine or outside it).
+  std::shared_ptr<const core::CsiProfile> add_profile(
+      core::CsiProfile profile);
+
+  /// Creates one session against a shared profile. The profile pointer
+  /// may come from add_profile() or anywhere else.
+  SessionId create_session(std::shared_ptr<const core::CsiProfile> profile,
+                           const core::TrackerConfig& config = {});
+
+  /// Destroys a session; returns false for unknown ids.
+  bool destroy_session(SessionId id);
+
+  [[nodiscard]] std::size_t session_count() const;
+
+  /// Live session ids in estimate_all() result order.
+  [[nodiscard]] std::vector<SessionId> session_ids() const;
+
+  // Per-session feeds; return false for unknown ids. Safe to call from
+  // multiple producer threads, including while estimate_all() runs.
+  bool push_csi(SessionId id, const wifi::CsiMeasurement& m);
+  bool push_imu(SessionId id, const imu::ImuSample& sample);
+  bool push_camera(SessionId id,
+                   const camera::CameraTracker::Estimate& estimate);
+
+  /// Estimates one session immediately on the calling thread.
+  [[nodiscard]] core::TrackResult estimate_one(SessionId id, double t_now);
+
+  /// Forecast for one session (Eq. 6), past its last estimate.
+  [[nodiscard]] core::Forecast forecast_one(SessionId id, double horizon_s);
+
+  /// One batch tick: estimates EVERY live session at `t_now`, fanned out
+  /// across the worker pool. Returns results in session_ids() order; the
+  /// span stays valid until the next estimate_all/create/destroy call.
+  /// Allocation-free for a stable fleet (the result buffer is reused).
+  std::span<const core::TrackResult> estimate_all(double t_now);
+
+  [[nodiscard]] std::size_t num_threads() const noexcept {
+    return pool_.size();
+  }
+
+ private:
+  /// Looks up a session under the roster lock; nullptr when unknown.
+  [[nodiscard]] TrackerSession* find(SessionId id) const;
+
+  WorkerPool pool_;
+
+  /// Guards the roster (sessions_/roster_/results_ shape). Shared for
+  /// per-session access, exclusive for fleet mutation.
+  mutable std::shared_mutex roster_mu_;
+  std::unordered_map<SessionId, std::unique_ptr<TrackerSession>> sessions_;
+  std::vector<TrackerSession*> roster_;  ///< stable batch iteration order
+  std::vector<core::TrackResult> results_;  ///< reused batch output buffer
+  SessionId next_id_ = 1;
+
+  /// Serializes estimate_all() ticks (the pool runs one batch at a time).
+  std::mutex batch_mu_;
+
+  std::mutex profiles_mu_;
+  std::vector<std::shared_ptr<const core::CsiProfile>> profiles_;
+};
+
+}  // namespace vihot::engine

@@ -1,0 +1,80 @@
+#include "engine/worker_pool.h"
+
+namespace vihot::engine {
+
+WorkerPool::WorkerPool(std::size_t num_threads) {
+  workers_.reserve(num_threads);
+  num_threads_ = num_threads;
+  for (std::size_t k = 0; k < num_threads; ++k) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void WorkerPool::run(std::size_t count, IndexFnRef fn) {
+  if (count == 0) return;
+  if (num_threads_ == 0) {
+    // Inline degradation: the single-process embedding.
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  // A worker of the previous batch may still be between its last index
+  // claim and re-parking; resetting `next_` under its feet would let it
+  // steal an index of the new batch. Wait until every worker is parked.
+  done_cv_.wait(lk, [this] { return idle_ == num_threads_; });
+  job_ = &fn;
+  count_ = count;
+  next_.store(0);
+  remaining_ = count;
+  ++generation_;
+  work_cv_.notify_all();
+  done_cv_.wait(lk, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+}
+
+void WorkerPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    ++idle_;
+    if (idle_ == num_threads_) done_cv_.notify_all();
+    // `job_ != nullptr` matters: a worker that slept through a whole
+    // batch (it completed without this thread) wakes with a stale `seen`
+    // after run() already cleared the job — it must keep waiting for the
+    // NEXT batch, not run the finished one.
+    work_cv_.wait(lk, [&] {
+      return stop_ || (job_ != nullptr && generation_ != seen);
+    });
+    if (stop_) return;
+    seen = generation_;
+    --idle_;
+    const IndexFnRef job = *job_;
+    const std::size_t count = count_;
+    lk.unlock();
+
+    // Drain the shared index counter: natural work stealing, so one slow
+    // session never pins the whole batch behind a single worker.
+    std::size_t done_here = 0;
+    for (;;) {
+      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      job(i);
+      ++done_here;
+    }
+
+    lk.lock();
+    remaining_ -= done_here;
+    if (remaining_ == 0) done_cv_.notify_all();
+  }
+}
+
+}  // namespace vihot::engine

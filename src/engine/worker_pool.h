@@ -1,0 +1,84 @@
+// Fixed worker pool for batched index-space fan-out.
+//
+// The engine's estimate_all() dispatches one job per tracking session on
+// every batch tick, potentially thousands of times per second — so the
+// pool is built for repeated cheap dispatch, not generic task queueing:
+//
+//   * threads are created once and live for the pool's lifetime;
+//   * a batch is a half-open index range [0, count) drained through a
+//     single atomic counter (work stealing by construction: fast sessions
+//     don't pin a worker while a slow one finishes);
+//   * the job callable is passed by reference (no std::function, no
+//     per-call allocation on the dispatch path).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <type_traits>
+#include <thread>
+#include <vector>
+
+namespace vihot::engine {
+
+/// Non-owning reference to a `void(std::size_t index)` callable — just
+/// enough type erasure to cross the worker boundary without allocating.
+class IndexFnRef {
+ public:
+  template <typename F, typename = std::enable_if_t<!std::is_same_v<
+                            std::remove_cv_t<F>, IndexFnRef>>>
+  IndexFnRef(F& fn)  // NOLINT(google-explicit-constructor)
+      : obj_(&fn), call_([](void* obj, std::size_t i) {
+          (*static_cast<F*>(obj))(i);
+        }) {}
+
+  void operator()(std::size_t i) const { call_(obj_, i); }
+
+ private:
+  void* obj_;
+  void (*call_)(void*, std::size_t);
+};
+
+/// Fixed pool of worker threads running index-range batches.
+class WorkerPool {
+ public:
+  /// `num_threads == 0` degrades to inline execution on the caller
+  /// thread (no threads are spawned) — the single-process embedding.
+  explicit WorkerPool(std::size_t num_threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Runs `fn(i)` for every i in [0, count) across the pool and blocks
+  /// until all calls returned. `fn` must be safe to invoke concurrently
+  /// for distinct indices. Calls must not be issued concurrently.
+  void run(std::size_t count, IndexFnRef fn);
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return workers_.size();
+  }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers wait for a new batch
+  std::condition_variable done_cv_;  ///< run() waits for completion/idle
+  std::uint64_t generation_ = 0;     ///< batch sequence number
+  std::size_t num_threads_ = 0;
+  std::size_t idle_ = 0;  ///< workers parked in work_cv_ (under mu_)
+  bool stop_ = false;
+
+  // Current batch (valid while remaining_ > 0).
+  const IndexFnRef* job_ = nullptr;
+  std::size_t count_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::size_t remaining_ = 0;  ///< indices not yet completed (under mu_)
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace vihot::engine

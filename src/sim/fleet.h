@@ -1,0 +1,32 @@
+// Fleet serving through one TrackerEngine: N simulated drives advancing
+// on a common timeline, one batched estimate_all() per evaluation tick.
+//
+// The per-session physics and streams are derived exactly like
+// ExperimentRunner::run_session (same rng derivation per session index),
+// so the fleet's error statistics are comparable with the sequential
+// runner; what changes is WHO schedules the matcher work.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/experiment.h"
+
+namespace vihot::sim {
+
+/// Outcome of one fleet run.
+struct FleetResult {
+  ErrorCollector errors;      ///< merged ViHOT angular errors (deg)
+  std::size_t sessions = 0;
+  std::size_t ticks = 0;      ///< estimate_all() batch ticks served
+  double serve_wall_s = 0.0;  ///< wall clock of the feed + tick loop
+  /// sessions * ticks / serve_wall_s: the fleet-serving throughput.
+  double session_estimates_per_s = 0.0;
+  double mean_fallback_fraction = 0.0;
+};
+
+/// Profiles once, then serves `config.runtime_sessions` concurrent drives
+/// through a TrackerEngine with `num_threads` workers (0 = inline).
+[[nodiscard]] FleetResult run_fleet(const ScenarioConfig& config,
+                                    std::size_t num_threads);
+
+}  // namespace vihot::sim

@@ -47,6 +47,22 @@ std::size_t TimeSeries::lower_bound(double t) const noexcept {
   return static_cast<std::size_t>(it - samples_.begin());
 }
 
+std::optional<TimeSeries::MinMax> TimeSeries::minmax_in(
+    double t0, double t1) const noexcept {
+  std::optional<MinMax> out;
+  for (std::size_t k = lower_bound(t0);
+       k < samples_.size() && samples_[k].t <= t1; ++k) {
+    const double v = samples_[k].value;
+    if (!out) {
+      out = MinMax{v, v};
+    } else {
+      out->min = std::min(out->min, v);
+      out->max = std::max(out->max, v);
+    }
+  }
+  return out;
+}
+
 std::vector<double> TimeSeries::times() const {
   std::vector<double> out;
   out.reserve(samples_.size());

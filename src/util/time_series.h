@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -51,6 +52,19 @@ class TimeSeries {
 
   /// Index of the first sample with timestamp >= t (size() if none).
   [[nodiscard]] std::size_t lower_bound(double t) const noexcept;
+
+  /// Smallest and largest value among the samples with t in [t0, t1].
+  /// One binary search plus a single pass over the covered range — the
+  /// hot-path replacement for slicing or hand-rolled rescans (the tracker
+  /// calls this per estimate() to classify the window regime).
+  /// nullopt when no sample falls inside the range.
+  struct MinMax {
+    double min = 0.0;
+    double max = 0.0;
+    [[nodiscard]] double spread() const noexcept { return max - min; }
+  };
+  [[nodiscard]] std::optional<MinMax> minmax_in(double t0,
+                                                double t1) const noexcept;
 
   /// Columns split out for numeric routines.
   [[nodiscard]] std::vector<double> times() const;

@@ -226,5 +226,166 @@ TEST_F(TrackerTest, JumpFilterLimitsOutputRate) {
   EXPECT_LT(static_cast<double>(big_jumps) / outputs, 0.12);
 }
 
+// ------------------------------------------------------------------------
+// Staged re-lock and twin-branch tie-break, driven through the full
+// tracker with hand-built profiles whose phase curves make the failure
+// modes exact (stages_test.cpp covers the stages in isolation).
+
+// Phase-controlled measurement: h[0] carries phase `phi` against a flat
+// h[1], so the sanitized antenna-difference phase is exactly `phi`.
+wifi::CsiMeasurement phase_measurement(double t, double phi) {
+  wifi::CsiMeasurement m;
+  m.t = t;
+  m.h[0].assign(4, std::polar(1.0, phi));
+  m.h[1].assign(4, {1.0, 0.0});
+  return m;
+}
+
+// Single-position profile sweeping theta in [lo, hi] as a triangle wave
+// at 1.6 rad/s, with phase = phase_of(theta).
+template <typename PhaseFn>
+CsiProfile swept_profile(PhaseFn&& phase_of, double lo = -2.0,
+                         double hi = 2.0, std::size_t num_samples = 2000) {
+  PositionProfile pos;
+  pos.position_index = 0;
+  pos.fingerprint_phase = phase_of(0.0);
+  pos.csi.t0 = 0.0;
+  pos.csi.dt = 1.0 / 200.0;
+  pos.orientation.t0 = 0.0;
+  pos.orientation.dt = pos.csi.dt;
+  const double period = 2.0 * (hi - lo) / 1.6;  // out & back at 1.6 rad/s
+  for (std::size_t k = 0; k < num_samples; ++k) {
+    const double t = pos.csi.time_at(k);
+    const double u = std::fmod(t, period) / period;
+    const double theta = lo + (hi - lo) * (u < 0.5 ? 2.0 * u
+                                                   : 2.0 - 2.0 * u);
+    pos.orientation.values.push_back(theta);
+    pos.csi.values.push_back(phase_of(theta));
+  }
+  CsiProfile profile;
+  profile.sample_rate_hz = 200.0;
+  profile.reference_phase = 0.0;
+  profile.positions.push_back(std::move(pos));
+  return profile;
+}
+
+TEST_F(TrackerTest, WrongBranchHintRecoversViaStagedRelock) {
+  // Injective unit-slope curve: phase == theta, so match quality reads
+  // directly as branch correctness.
+  const CsiProfile profile = swept_profile([](double th) { return th; });
+
+  TrackerConfig cfg;
+  // Tight continuity (0.125 rad reachable per 50 ms tick) and quick
+  // escalation, with the window-energy global switch disabled so the
+  // ONLY recovery path is the staged re-lock ladder.
+  cfg.max_theta_rate_rad_s = 0.5;
+  cfg.continuity_slack_rad = 0.1;
+  cfg.relock_patience = 2;
+  cfg.moving_spread_rad = 10.0;
+  cfg.bias_correction = false;
+  ViHotTracker tracker(profile, cfg);
+
+  // The head: forward start, steady turn to +0.8 — then the tracker's
+  // belief is invalidated by a teleport to -1.5 (in reality: the hint
+  // locked a wrong branch and the true motion diverged).
+  const auto theta_true = [](double t) {
+    return t <= 1.0 ? 0.8 * t : -1.5 + 0.8 * (t - 1.0);
+  };
+  double next_csi = 0.0;
+  double recovered_at = -1.0;
+  bool wrong_branch_held = false;
+  for (double t = 0.15; t < 2.0; t += 0.05) {
+    for (; next_csi <= t; next_csi += 0.004) {
+      tracker.push_csi(phase_measurement(next_csi, theta_true(next_csi)));
+    }
+    const TrackResult r = tracker.estimate(t);
+    if (t <= 1.0) continue;
+    ASSERT_TRUE(r.valid) << "t=" << t;
+    const double err = std::abs(r.theta_rad - theta_true(t));
+    if (t < 1.1) {
+      // Inside the patience span the wrong branch is still held: the
+      // hint forbids the 2.3 rad jump.
+      EXPECT_GT(err, 0.8) << "t=" << t;
+      wrong_branch_held = true;
+    } else if (err < 0.2 && recovered_at < 0.0) {
+      recovered_at = t;
+    }
+  }
+  EXPECT_TRUE(wrong_branch_held);
+  // Two escalations at patience 2 (widen at ~2 ticks, global at ~4) plus
+  // slack: the global stage must have re-locked within half a second.
+  ASSERT_GT(recovered_at, 0.0) << "tracker never re-locked";
+  EXPECT_LT(recovered_at, 1.5);
+
+  // And it keeps tracking the true branch afterwards.
+  const TrackResult end = tracker.estimate(2.0);
+  ASSERT_TRUE(end.valid);
+  EXPECT_NEAR(end.theta_rad, theta_true(2.0), 0.2);
+}
+
+TEST_F(TrackerTest, AmbiguousGlobalMatchFollowsContinuity) {
+  // Periodic curve: theta and theta + pi/2 produce IDENTICAL phase and
+  // slope — exact twin branches. Two trackers are walked to twin priors
+  // and then fed the exact same fast (global-regime) phase stream; each
+  // must resolve the ambiguity toward its own reachable branch.
+  const auto phase_of = [](double th) { return 0.4 * std::sin(4.0 * th); };
+  constexpr double kTwin = 1.5707963267948966;  // pi/2: sin(4th) period
+  // The range holds exactly the two twin branches the test walks, and
+  // the sweep covers exactly ONE period: each branch then appears once
+  // per leg (2 branches x 2 legs = the matcher's top-4 candidate list),
+  // so the reachable branch is always among the reported candidates.
+  // More range or more periods would crowd it out with duplicates.
+  const CsiProfile profile =
+      swept_profile(phase_of, -1.2, 1.6, /*num_samples=*/700);
+
+  TrackerConfig cfg;
+  cfg.moving_spread_rad = 0.15;  // the fast segment must match globally
+  cfg.bias_correction = false;
+  ViHotTracker a(profile, cfg);
+  ViHotTracker b(profile, cfg);
+
+  // Twin priors a quarter-period apart; the walks are slow enough to
+  // stay in the hinted regime, then a dwell parks each tracker on its
+  // branch before the fast ambiguous segment.
+  const auto theta_a = [&](double t) {
+    if (t <= 0.2) return 0.0;
+    if (t <= 2.2) return -0.5 * (t - 0.2);
+    if (t <= 2.6) return -1.0;
+    return -1.0 + 2.5 * (t - 2.6);
+  };
+  const auto theta_b = [&](double t) {
+    if (t <= 0.2) return 0.0;
+    if (t <= 0.2 + 2.0 * (kTwin - 1.0)) return 0.5 * (t - 0.2);
+    if (t <= 2.6) return kTwin - 1.0;
+    return kTwin - 1.0 + 2.5 * (t - 2.6);
+  };
+
+  double next_csi = 0.0;
+  TrackResult ra, rb;
+  for (double t = 0.15; t <= 2.9; t += 0.05) {
+    for (; next_csi <= t; next_csi += 0.004) {
+      a.push_csi(phase_measurement(next_csi, phase_of(theta_a(next_csi))));
+      b.push_csi(phase_measurement(next_csi, phase_of(theta_b(next_csi))));
+    }
+    ra = a.estimate(t);
+    rb = b.estimate(t);
+    if (t > 2.5 && t < 2.6) {
+      // Both parked on their priors before the ambiguous segment.
+      ASSERT_TRUE(ra.valid);
+      ASSERT_TRUE(rb.valid);
+      ASSERT_NEAR(ra.theta_rad, -1.0, 0.2);
+      ASSERT_NEAR(rb.theta_rad, kTwin - 1.0, 0.2);
+    }
+  }
+  // From t = 2.6 the two phase streams are IDENTICAL (twin branches), yet
+  // each tracker must have followed its own: the tie-break picked the
+  // continuity-reachable candidate, not an arbitrary twin.
+  ASSERT_TRUE(ra.valid);
+  ASSERT_TRUE(rb.valid);
+  EXPECT_NEAR(ra.theta_rad, theta_a(2.9), 0.25);
+  EXPECT_NEAR(rb.theta_rad, theta_b(2.9), 0.25);
+  EXPECT_NEAR(rb.theta_rad - ra.theta_rad, kTwin, 0.3);
+}
+
 }  // namespace
 }  // namespace vihot::core

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 namespace vihot::util {
 namespace {
 
@@ -74,6 +77,62 @@ TEST(TimeSeriesTest, LowerBound) {
   EXPECT_EQ(ts.lower_bound(2.0), 2u);
   EXPECT_EQ(ts.lower_bound(2.5), 3u);
   EXPECT_EQ(ts.lower_bound(10.0), 5u);
+}
+
+TEST(TimeSeriesTest, MinMaxInRange) {
+  // v = 3 - t for t in 0..6, then rising again: min sits mid-series.
+  TimeSeries ts;
+  for (int i = 0; i <= 6; ++i) ts.push(i, std::abs(3.0 - i));
+  const auto mm = ts.minmax_in(1.0, 5.0);
+  ASSERT_TRUE(mm.has_value());
+  EXPECT_DOUBLE_EQ(mm->min, 0.0);  // at t = 3
+  EXPECT_DOUBLE_EQ(mm->max, 2.0);  // at t = 1 and t = 5
+  EXPECT_DOUBLE_EQ(mm->spread(), 2.0);
+}
+
+TEST(TimeSeriesTest, MinMaxInBoundsInclusive) {
+  const TimeSeries ts = ramp(0.0, 1.0, 5, 0.0, 10.0);  // v = 10*t
+  const auto mm = ts.minmax_in(1.0, 3.0);
+  ASSERT_TRUE(mm.has_value());
+  EXPECT_DOUBLE_EQ(mm->min, 10.0);
+  EXPECT_DOUBLE_EQ(mm->max, 30.0);
+}
+
+TEST(TimeSeriesTest, MinMaxInSingleSample) {
+  const TimeSeries ts = ramp(0.0, 1.0, 5, 0.0, 10.0);
+  const auto mm = ts.minmax_in(1.9, 2.1);
+  ASSERT_TRUE(mm.has_value());
+  EXPECT_DOUBLE_EQ(mm->min, 20.0);
+  EXPECT_DOUBLE_EQ(mm->max, 20.0);
+  EXPECT_DOUBLE_EQ(mm->spread(), 0.0);
+}
+
+TEST(TimeSeriesTest, MinMaxInEmptyRange) {
+  const TimeSeries ts = ramp(0.0, 1.0, 5, 0.0, 1.0);
+  EXPECT_FALSE(ts.minmax_in(10.0, 20.0).has_value());
+  EXPECT_FALSE(ts.minmax_in(3.0, 2.0).has_value());
+  EXPECT_FALSE(ts.minmax_in(1.2, 1.8).has_value());  // between samples
+  EXPECT_FALSE(TimeSeries{}.minmax_in(0.0, 1.0).has_value());
+}
+
+TEST(TimeSeriesTest, MinMaxInMatchesSliceScan) {
+  TimeSeries ts;
+  double v = 0.25;
+  for (int i = 0; i < 200; ++i) {
+    v = 3.9 * v * (1.0 - v);  // deterministic chaotic values
+    ts.push(0.01 * i, v);
+  }
+  const TimeSeries ref = ts.slice(0.5, 1.5);
+  const auto mm = ts.minmax_in(0.5, 1.5);
+  ASSERT_TRUE(mm.has_value());
+  double lo = ref[0].value;
+  double hi = ref[0].value;
+  for (const auto& s : ref.samples()) {
+    lo = std::min(lo, s.value);
+    hi = std::max(hi, s.value);
+  }
+  EXPECT_DOUBLE_EQ(mm->min, lo);
+  EXPECT_DOUBLE_EQ(mm->max, hi);
 }
 
 TEST(TimeSeriesTest, ColumnsSplit) {

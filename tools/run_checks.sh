@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Sanitizer sweep: build the asan and tsan presets and run the test suite
+# under each. The tsan leg is what keeps TrackerEngine / WorkerPool honest
+# (engine_tests exercises concurrent producers against batch ticks).
+#
+#   tools/run_checks.sh            # both sanitizers, full ctest
+#   tools/run_checks.sh tsan       # one preset only
+#   CHECK_JOBS=8 tools/run_checks.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs="${CHECK_JOBS:-$(nproc 2>/dev/null || echo 2)}"
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(asan tsan)
+fi
+
+for preset in "${presets[@]}"; do
+  echo "== ${preset}: configure =="
+  cmake --preset "${preset}"
+  echo "== ${preset}: build =="
+  cmake --build --preset "${preset}" -j "${jobs}"
+  echo "== ${preset}: test =="
+  ctest --preset "${preset}" -j "${jobs}"
+done
+
+echo "All sanitizer checks passed: ${presets[*]}"

@@ -17,6 +17,9 @@
 //     --seat-shift MM      head-position shift vs profiling (default 0)
 //     --naive              also evaluate the Eq.-(5) baseline
 //     --camera             also evaluate the camera baseline
+//     --threads K          fleet mode: serve all sessions concurrently
+//                          through one TrackerEngine with K workers
+//                          (0 = engine with inline batches)
 //     --csv                machine-readable one-line summary
 //
 // Example: reproduce the Fig. 17b "w/o identifier" condition:
@@ -28,6 +31,7 @@
 #include <string>
 
 #include "sim/experiment.h"
+#include "sim/fleet.h"
 #include "util/angle.h"
 
 namespace {
@@ -41,7 +45,7 @@ namespace {
                "  [--passenger] [--steering] [--no-identifier] "
                "[--vibration] [--interference]\n"
                "  [--music] [--seat-shift MM] [--naive] [--camera] "
-               "[--csv]\n",
+               "[--threads K] [--csv]\n",
                argv0);
   std::exit(2);
 }
@@ -60,6 +64,8 @@ int main(int argc, char** argv) {
   config.runtime_sessions = 5;
   config.runtime_duration_s = 30.0;
   bool csv = false;
+  bool fleet = false;
+  std::size_t threads = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -107,11 +113,44 @@ int main(int argc, char** argv) {
       config.collect_naive_baseline = true;
     } else if (a == "--camera") {
       config.collect_camera_baseline = true;
+    } else if (a == "--threads") {
+      fleet = true;
+      threads = static_cast<std::size_t>(num_arg(argc, argv, i, *argv));
     } else if (a == "--csv") {
       csv = true;
     } else {
       usage(*argv);
     }
+  }
+
+  if (fleet) {
+    const sim::FleetResult res = sim::run_fleet(config, threads);
+    if (csv) {
+      std::printf(
+          "median_deg,mean_deg,p90_deg,n,sessions,threads,ticks,"
+          "serve_wall_s,session_estimates_per_s\n"
+          "%.2f,%.2f,%.2f,%zu,%zu,%zu,%zu,%.3f,%.0f\n",
+          res.errors.median_deg(), res.errors.mean_deg(),
+          res.errors.percentile_deg(90.0), res.errors.size(), res.sessions,
+          threads, res.ticks, res.serve_wall_s,
+          res.session_estimates_per_s);
+      return 0;
+    }
+    std::printf("ViHOT fleet summary (%zu sessions x %.0f s, %zu worker "
+                "threads)\n",
+                res.sessions, config.runtime_duration_s, threads);
+    std::printf("  errors:     median %.1f deg, mean %.1f, p90 %.1f "
+                "(n=%zu)\n",
+                res.errors.median_deg(), res.errors.mean_deg(),
+                res.errors.percentile_deg(90.0), res.errors.size());
+    std::printf("  serving:    %zu batch ticks in %.2f s -> %.0f "
+                "session-estimates/s\n",
+                res.ticks, res.serve_wall_s, res.session_estimates_per_s);
+    if (res.mean_fallback_fraction > 0.0) {
+      std::printf("  fallback:   %.1f%% of estimates in camera mode\n",
+                  res.mean_fallback_fraction * 100.0);
+    }
+    return 0;
   }
 
   sim::ExperimentRunner runner(config);
