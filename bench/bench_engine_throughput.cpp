@@ -9,6 +9,7 @@
 // the speedup over 1 thread. On capable hardware 8 threads should serve
 // >= 3x the single-thread rate; a core-starved machine (CI container)
 // flattens the curve — judge scaling on hardware with real parallelism.
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <complex>
@@ -20,6 +21,7 @@
 #include <vector>
 
 #include "engine/tracker_engine.h"
+#include "obs/sink.h"
 #include "util/table.h"
 
 namespace {
@@ -70,8 +72,9 @@ struct RunStats {
 RunStats run_fleet_ticks(std::size_t num_threads, std::size_t num_sessions,
                          std::size_t num_ticks,
                          const std::shared_ptr<const vihot::core::CsiProfile>&
-                             profile) {
-  TrackerEngine engine({num_threads});
+                             profile,
+                         vihot::obs::Sink* sink = nullptr) {
+  TrackerEngine engine({num_threads, sink});
   std::vector<SessionId> ids;
   for (std::size_t s = 0; s < num_sessions; ++s) {
     ids.push_back(engine.create_session(profile));
@@ -143,5 +146,27 @@ int main(int argc, char** argv) {
                    speedup});
   }
   table.print(std::cout);
+
+  // Metrics-overhead check (the obs acceptance bar: <= 2%): the same
+  // single-threaded run with and without a sink attached, interleaved
+  // A/B over several repetitions so drift hits both sides equally, best
+  // rate kept per side (the standard noise-floor estimator).
+  double best_plain = 0.0;
+  double best_obs = 0.0;
+  vihot::obs::Sink sink;
+  for (int rep = 0; rep < 3; ++rep) {
+    best_plain = std::max(
+        best_plain,
+        run_fleet_ticks(1, sessions, ticks, profile).session_estimates_per_s);
+    best_obs = std::max(
+        best_obs, run_fleet_ticks(1, sessions, ticks, profile, &sink)
+                      .session_estimates_per_s);
+  }
+  if (best_plain > 0.0 && best_obs > 0.0) {
+    const double overhead_pct = (best_plain / best_obs - 1.0) * 100.0;
+    std::printf("\nmetrics overhead (1 thread, best of 3): "
+                "%.0f est/s plain vs %.0f est/s with sink -> %+.2f%%\n",
+                best_plain, best_obs, overhead_pct);
+  }
   return 0;
 }

@@ -1,5 +1,7 @@
 #include "core/mode_arbiter.h"
 
+#include "obs/sink.h"
+
 namespace vihot::core {
 
 ModeArbiter::ModeArbiter(const SteeringIdentifier::Config& steering,
@@ -7,7 +9,12 @@ ModeArbiter::ModeArbiter(const SteeringIdentifier::Config& steering,
     : steering_(steering), camera_staleness_s_(camera_staleness_s) {}
 
 void ModeArbiter::push_imu(const imu::ImuSample& sample) {
+  const TrackingMode before = steering_.mode();
   steering_.push_imu(sample);
+  if (stats_ != nullptr && before == TrackingMode::kCsi &&
+      steering_.mode() == TrackingMode::kCameraFallback) {
+    stats_->fallback_engaged.inc();
+  }
 }
 
 void ModeArbiter::push_camera(
@@ -21,6 +28,9 @@ ModeArbiter::CameraDecision ModeArbiter::camera_output(
   if (last_camera_ && t_now - last_camera_->t <= camera_staleness_s_) {
     out.valid = true;
     out.theta_rad = last_camera_->theta;
+  }
+  if (stats_ != nullptr) {
+    (out.valid ? stats_->fallback_served : stats_->fallback_stale).inc();
   }
   return out;
 }

@@ -13,6 +13,10 @@
 #include "core/steering_identifier.h"
 #include "imu/imu.h"
 
+namespace vihot::obs {
+struct TrackerStats;
+}
+
 namespace vihot::core {
 
 /// Arbitrates CSI tracking vs the camera fallback and owns the fallback's
@@ -43,10 +47,14 @@ class ModeArbiter {
   /// it is older than the configured staleness bound.
   [[nodiscard]] CameraDecision camera_output(double t_now) const noexcept;
 
+  /// Optional decision counters (fallback transitions, stale fallbacks).
+  void set_stats(obs::TrackerStats* stats) noexcept { stats_ = stats; }
+
  private:
   SteeringIdentifier steering_;
   double camera_staleness_s_;
   std::optional<camera::CameraTracker::Estimate> last_camera_;
+  obs::TrackerStats* stats_ = nullptr;
 };
 
 }  // namespace vihot::core

@@ -1,5 +1,7 @@
 #include "core/relock_policy.h"
 
+#include "obs/sink.h"
+
 namespace vihot::core {
 
 RelockPolicy::Action RelockPolicy::observe(
@@ -16,9 +18,11 @@ RelockPolicy::Action RelockPolicy::observe(
   poor_in_row_ = 0;
   if (!widened_) {
     widened_ = true;
+    if (stats_ != nullptr) stats_->relock_widen.inc();
     return Action::kWiden;
   }
   widened_ = false;
+  if (stats_ != nullptr) stats_->relock_global.inc();
   return Action::kGlobal;
 }
 

@@ -10,6 +10,10 @@
 
 #include "core/orientation_estimator.h"
 
+namespace vihot::obs {
+struct TrackerStats;
+}
+
 namespace vihot::core {
 
 /// Streaming poor-match counter deciding when and how to re-lock.
@@ -56,8 +60,12 @@ class RelockPolicy {
 
   [[nodiscard]] const Config& config() const noexcept { return config_; }
 
+  /// Optional escalation counters (widen / global relocks fired).
+  void set_stats(obs::TrackerStats* stats) noexcept { stats_ = stats; }
+
  private:
   Config config_;
+  obs::TrackerStats* stats_ = nullptr;
   int poor_in_row_ = 0;
   /// The previous escalation was the widened stage; the next one goes
   /// global. Cleared by any good hinted match.

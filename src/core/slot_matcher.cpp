@@ -1,6 +1,9 @@
 #include "core/slot_matcher.h"
 
 #include <algorithm>
+#include <cmath>
+
+#include "obs/sink.h"
 
 namespace vihot::core {
 
@@ -34,6 +37,21 @@ SlotMatcher::Result SlotMatcher::match(const CsiProfile& profile,
                      ej.match_distance < out.estimate.match_distance)) {
       out.estimate = ej;
       out.matched_slot = j;
+    }
+  }
+  if (stats_ != nullptr) {
+    stats_->match_attempts.inc();
+    if (out.estimate.valid) {
+      stats_->dtw_best_cost.observe(out.estimate.match_distance);
+      stats_->dtw_candidates.observe(
+          static_cast<double>(out.estimate.candidates.size()));
+    } else {
+      stats_->match_invalid.inc();
+    }
+    if (config_.bias_correction && bias.have) {
+      stats_->phase_bias_abs.observe(std::abs(
+          bias.stable_phi0 -
+          profile.positions[out.matched_slot].fingerprint_phase));
     }
   }
   return out;

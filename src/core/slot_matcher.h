@@ -18,6 +18,10 @@
 #include "core/profile.h"
 #include "util/time_series.h"
 
+namespace vihot::obs {
+struct TrackerStats;
+}
+
 namespace vihot::core {
 
 /// Matches a phase window against a profile slot neighborhood.
@@ -61,9 +65,14 @@ class SlotMatcher {
 
   [[nodiscard]] const Config& config() const noexcept { return config_; }
 
+  /// Optional match-quality counters (attempts, best cost, candidates,
+  /// applied bias magnitude).
+  void set_stats(obs::TrackerStats* stats) noexcept { stats_ = stats; }
+
  private:
   Config config_;
   OrientationEstimator matcher_;
+  obs::TrackerStats* stats_ = nullptr;
 };
 
 }  // namespace vihot::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/sink.h"
+
 namespace vihot::core {
 
 bool TieBreaker::apply(OrientationEstimate& estimate,
@@ -22,6 +24,7 @@ bool TieBreaker::apply(OrientationEstimate& estimate,
     }
   }
   if (pick == nullptr) return false;
+  if (stats_ != nullptr) stats_->tie_break_applied.inc();
   estimate.theta_rad = pick->theta_rad;
   estimate.match_start = pick->match_start;
   estimate.match_length = pick->match_length;

@@ -9,6 +9,10 @@
 
 #include "core/orientation_estimator.h"
 
+namespace vihot::obs {
+struct TrackerStats;
+}
+
 namespace vihot::core {
 
 /// Re-picks the winner of an ambiguous global match by continuity.
@@ -27,8 +31,12 @@ class TieBreaker {
 
   [[nodiscard]] double ratio() const noexcept { return ratio_; }
 
+  /// Optional activation counter (winners flipped by continuity).
+  void set_stats(obs::TrackerStats* stats) noexcept { stats_ = stats; }
+
  private:
   double ratio_ = 3.0;
+  obs::TrackerStats* stats_ = nullptr;
 };
 
 }  // namespace vihot::core

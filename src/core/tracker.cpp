@@ -4,6 +4,8 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/sink.h"
+
 namespace vihot::core {
 
 namespace {
@@ -33,6 +35,14 @@ ViHotTracker::ViHotTracker(std::shared_ptr<const CsiProfile> profile,
                      config_.soft_continuity_weight}),
       relock_({config_.relock_distance, config_.relock_patience}),
       tie_breaker_(config_.tie_break_ratio) {
+  if (config_.sink != nullptr) {
+    obs::TrackerStats* stats = &config_.sink->tracker;
+    arbiter_.set_stats(stats);
+    analyzer_.set_stats(stats);
+    slot_matcher_.set_stats(stats);
+    relock_.set_stats(stats);
+    tie_breaker_.set_stats(stats);
+  }
   // Until the first stable segment localizes the head, assume the middle
   // profiled position (the natural sitting position).
   position_slot_ = profile_->size() / 2;
@@ -48,6 +58,15 @@ ViHotTracker::ViHotTracker(std::shared_ptr<const CsiProfile> profile,
 
 void ViHotTracker::push_csi(const wifi::CsiMeasurement& m) {
   if (profile_->empty()) return;
+  // An out-of-order frame would corrupt the lower_bound-based buffer
+  // lookups downstream (TimeSeries::push only asserts in debug builds);
+  // drop it and count the drop instead.
+  if (!phase_buffer_.empty() && m.t < phase_buffer_.back().t) {
+    if (config_.sink != nullptr) {
+      config_.sink->tracker.csi_out_of_order.inc();
+    }
+    return;
+  }
   const double rel = profile_->relative_phase(sanitizer_.phase(m));
   phase_buffer_.push(m.t, rel);
 
@@ -71,6 +90,9 @@ void ViHotTracker::push_csi(const wifi::CsiMeasurement& m) {
         phi0 < fingerprint_max_ + config_.fingerprint_gate_margin_rad) {
       const PositionEstimate pe = PositionEstimator::estimate(*profile_, phi0);
       if (pe.valid) {
+        if (config_.sink != nullptr) {
+          config_.sink->tracker.stable_phase_locks.inc();
+        }
         position_slot_ = pe.profile_slot;
         // Session-wide phase-bias calibration: the head usually sits
         // between two profiled grid positions, offsetting the whole curve
@@ -141,6 +163,12 @@ TrackResult ViHotTracker::estimate(double t_now) {
   out.t = t_now;
   out.mode = arbiter_.mode();
   out.position_slot = position_slot_;
+  if (config_.sink != nullptr) {
+    obs::TrackerStats& stats = config_.sink->tracker;
+    stats.estimates.inc();
+    (out.mode == TrackingMode::kCsi ? stats.mode_csi : stats.mode_fallback)
+        .inc();
+  }
   if (profile_->empty()) return out;
 
   // [1] Mode arbitration: steering interference -> camera fallback
@@ -186,6 +214,9 @@ TrackResult ViHotTracker::estimate(double t_now) {
       retry = match_slot(t_now, nullptr, true);
     }
     if (RelockPolicy::accept(retry, est)) {
+      if (config_.sink != nullptr) {
+        config_.sink->tracker.relock_accepted.inc();
+      }
       est = retry;
       // The re-lock result bypasses the rate filter: accept the jump.
       have_output_ = false;

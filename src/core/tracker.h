@@ -44,6 +44,10 @@
 #include "util/time_series.h"
 #include "wifi/csi.h"
 
+namespace vihot::obs {
+struct Sink;
+}
+
 namespace vihot::core {
 
 /// Everything tunable about the run-time tracker.
@@ -117,6 +121,12 @@ struct TrackerConfig {
   /// ties also chains an earlier mistake into every later match, which
   /// measures worse than letting the global match self-correct.
   double soft_continuity_weight = 0.0;
+
+  /// Optional metrics sink the pipeline stages report into (nullptr =
+  /// observability off, zero overhead). Not owned; must outlive the
+  /// tracker. One sink may be shared by many trackers — the counters are
+  /// thread-safe and aggregate fleet-wide.
+  obs::Sink* sink = nullptr;
 };
 
 /// One tracking output.

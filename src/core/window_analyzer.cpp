@@ -1,5 +1,7 @@
 #include "core/window_analyzer.h"
 
+#include "obs/sink.h"
+
 namespace vihot::core {
 
 WindowAnalyzer::Analysis WindowAnalyzer::analyze(
@@ -21,6 +23,14 @@ WindowAnalyzer::Analysis WindowAnalyzer::analyze(
     out.regime = WindowRegime::kGlobal;
   } else {
     out.regime = WindowRegime::kHinted;
+  }
+  if (stats_ != nullptr) {
+    if (out.spread_rad < 0.0) stats_->window_uncovered.inc();
+    switch (out.regime) {
+      case WindowRegime::kFlat: stats_->window_flat.inc(); break;
+      case WindowRegime::kHinted: stats_->window_hinted.inc(); break;
+      case WindowRegime::kGlobal: stats_->window_global.inc(); break;
+    }
   }
   return out;
 }

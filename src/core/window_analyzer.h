@@ -18,6 +18,10 @@
 
 #include "util/time_series.h"
 
+namespace vihot::obs {
+struct TrackerStats;
+}
+
 namespace vihot::core {
 
 /// How the current phase window should be matched.
@@ -54,8 +58,12 @@ class WindowAnalyzer {
 
   [[nodiscard]] const Config& config() const noexcept { return config_; }
 
+  /// Optional regime counters (flat/hinted/global/uncovered).
+  void set_stats(obs::TrackerStats* stats) noexcept { stats_ = stats; }
+
  private:
   Config config_;
+  obs::TrackerStats* stats_ = nullptr;
 };
 
 }  // namespace vihot::core

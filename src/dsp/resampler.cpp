@@ -15,8 +15,13 @@ util::UniformSeries resample(const util::TimeSeries& in, double rate_hz) {
     return out;
   }
   const double duration = in.duration();
-  const auto count =
-      static_cast<std::size_t>(std::floor(duration * rate_hz)) + 1;
+  // `duration * rate_hz` lands epsilon-BELOW the integer when the span is
+  // an exact multiple of the sample period (0.3 * 10 == 2.9999...), and
+  // floor() then drops the final in-range sample. Nudge by an epsilon
+  // scaled to the tick count before flooring.
+  const double ticks = duration * rate_hz;
+  const double eps = 1e-9 + ticks * 1e-12;
+  const auto count = static_cast<std::size_t>(std::floor(ticks + eps)) + 1;
   out.values.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     out.values.push_back(in.interpolate(out.time_at(i)));

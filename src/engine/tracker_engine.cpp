@@ -1,12 +1,13 @@
 #include "engine/tracker_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 namespace vihot::engine {
 
 TrackerEngine::TrackerEngine(const Config& config)
-    : pool_(config.num_threads) {}
+    : pool_(config.num_threads), sink_(config.sink) {}
 
 std::shared_ptr<const core::CsiProfile> TrackerEngine::add_profile(
     core::CsiProfile profile) {
@@ -25,11 +26,16 @@ SessionId TrackerEngine::create_session(
   std::lock_guard<std::mutex> batch(batch_mu_);
   std::unique_lock<std::shared_mutex> lk(roster_mu_);
   const SessionId id = next_id_++;
-  auto session =
-      std::make_unique<TrackerSession>(id, std::move(profile), config);
+  // Sessions without their own sink inherit the engine's, so one hub
+  // aggregates both the serving metrics and the per-stage counters.
+  core::TrackerConfig cfg = config;
+  if (cfg.sink == nullptr) cfg.sink = sink_;
+  auto session = std::make_unique<TrackerSession>(
+      id, std::move(profile), cfg, sink_ ? &sink_->engine : nullptr);
   roster_.push_back(session.get());
   results_.resize(roster_.size());
   sessions_.emplace(id, std::move(session));
+  if (sink_ != nullptr) sink_->engine.sessions_created.inc();
   return id;
 }
 
@@ -42,6 +48,7 @@ bool TrackerEngine::destroy_session(SessionId id) {
                 roster_.end());
   results_.resize(roster_.size());
   sessions_.erase(it);
+  if (sink_ != nullptr) sink_->engine.sessions_destroyed.inc();
   return true;
 }
 
@@ -67,16 +74,14 @@ bool TrackerEngine::push_csi(SessionId id, const wifi::CsiMeasurement& m) {
   std::shared_lock<std::shared_mutex> lk(roster_mu_);
   TrackerSession* s = find(id);
   if (!s) return false;
-  s->push_csi(m);
-  return true;
+  return s->push_csi(m);
 }
 
 bool TrackerEngine::push_imu(SessionId id, const imu::ImuSample& sample) {
   std::shared_lock<std::shared_mutex> lk(roster_mu_);
   TrackerSession* s = find(id);
   if (!s) return false;
-  s->push_imu(sample);
-  return true;
+  return s->push_imu(sample);
 }
 
 bool TrackerEngine::push_camera(
@@ -84,8 +89,7 @@ bool TrackerEngine::push_camera(
   std::shared_lock<std::shared_mutex> lk(roster_mu_);
   TrackerSession* s = find(id);
   if (!s) return false;
-  s->push_camera(estimate);
-  return true;
+  return s->push_camera(estimate);
 }
 
 core::TrackResult TrackerEngine::estimate_one(SessionId id, double t_now) {
@@ -106,7 +110,18 @@ std::span<const core::TrackResult> TrackerEngine::estimate_all(double t_now) {
   std::lock_guard<std::mutex> batch(batch_mu_);
   std::shared_lock<std::shared_mutex> lk(roster_mu_);
   auto job = [&](std::size_t i) { results_[i] = roster_[i]->estimate(t_now); };
+  if (sink_ == nullptr) {
+    pool_.run(roster_.size(), job);
+    return {results_.data(), results_.size()};
+  }
+  const auto t0 = std::chrono::steady_clock::now();
   pool_.run(roster_.size(), job);
+  const auto t1 = std::chrono::steady_clock::now();
+  obs::EngineStats& stats = sink_->engine;
+  stats.batches.inc();
+  stats.batch_estimates.inc(roster_.size());
+  stats.batch_latency_us.observe(
+      std::chrono::duration<double, std::micro>(t1 - t0).count());
   return {results_.data(), results_.size()};
 }
 

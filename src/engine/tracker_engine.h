@@ -29,6 +29,7 @@
 
 #include "core/tracker.h"
 #include "engine/worker_pool.h"
+#include "obs/sink.h"
 
 namespace vihot::engine {
 
@@ -44,22 +45,57 @@ inline constexpr SessionId kNoSession = 0;
 class TrackerSession {
  public:
   TrackerSession(SessionId id, std::shared_ptr<const core::CsiProfile> profile,
-                 const core::TrackerConfig& config)
-      : id_(id), tracker_(std::move(profile), config) {}
+                 const core::TrackerConfig& config,
+                 obs::EngineStats* stats = nullptr)
+      : id_(id), stats_(stats), tracker_(std::move(profile), config) {}
 
   [[nodiscard]] SessionId id() const noexcept { return id_; }
 
-  void push_csi(const wifi::CsiMeasurement& m) {
+  // Per-stream feeds. Each stream must be fed in nondecreasing time
+  // order; a sample older than the stream's last accepted one is
+  // rejected (returns false) and counted in the engine stats, instead
+  // of silently corrupting the tracker's time-ordered buffers
+  // (util::TimeSeries::push only asserts in debug builds).
+  bool push_csi(const wifi::CsiMeasurement& m) {
     std::lock_guard<std::mutex> lk(mu_);
+    if (have_csi_t_ && m.t < last_csi_t_) {
+      if (stats_ != nullptr) stats_->out_of_order_csi.inc();
+      return false;
+    }
+    if (stats_ != nullptr) {
+      stats_->csi_frames.inc();
+      if (have_csi_t_) {
+        stats_->csi_feed_gap_ms.observe((m.t - last_csi_t_) * 1e3);
+      }
+    }
+    have_csi_t_ = true;
+    last_csi_t_ = m.t;
     tracker_.push_csi(m);
+    return true;
   }
-  void push_imu(const imu::ImuSample& sample) {
+  bool push_imu(const imu::ImuSample& sample) {
     std::lock_guard<std::mutex> lk(mu_);
+    if (have_imu_t_ && sample.t < last_imu_t_) {
+      if (stats_ != nullptr) stats_->out_of_order_imu.inc();
+      return false;
+    }
+    if (stats_ != nullptr) stats_->imu_samples.inc();
+    have_imu_t_ = true;
+    last_imu_t_ = sample.t;
     tracker_.push_imu(sample);
+    return true;
   }
-  void push_camera(const camera::CameraTracker::Estimate& estimate) {
+  bool push_camera(const camera::CameraTracker::Estimate& estimate) {
     std::lock_guard<std::mutex> lk(mu_);
+    if (have_camera_t_ && estimate.t < last_camera_t_) {
+      if (stats_ != nullptr) stats_->out_of_order_camera.inc();
+      return false;
+    }
+    if (stats_ != nullptr) stats_->camera_frames.inc();
+    have_camera_t_ = true;
+    last_camera_t_ = estimate.t;
     tracker_.push_camera(estimate);
+    return true;
   }
   [[nodiscard]] core::TrackResult estimate(double t_now) {
     std::lock_guard<std::mutex> lk(mu_);
@@ -72,8 +108,17 @@ class TrackerSession {
 
  private:
   SessionId id_;
+  obs::EngineStats* stats_ = nullptr;  ///< not owned; may be nullptr
   mutable std::mutex mu_;
   core::ViHotTracker tracker_;
+
+  // Last accepted timestamp per feed stream (under mu_).
+  bool have_csi_t_ = false;
+  bool have_imu_t_ = false;
+  bool have_camera_t_ = false;
+  double last_csi_t_ = 0.0;
+  double last_imu_t_ = 0.0;
+  double last_camera_t_ = 0.0;
 };
 
 /// Serves many concurrent tracking sessions against shared profiles.
@@ -83,6 +128,12 @@ class TrackerEngine {
     /// Worker threads for estimate_all(). 0 = run batches inline on the
     /// calling thread (no threads are spawned).
     std::size_t num_threads = 0;
+
+    /// Optional metrics sink (nullptr = observability off). Not owned;
+    /// must outlive the engine. Sessions created with a TrackerConfig
+    /// whose own sink is null inherit this one, so engine- and
+    /// stage-level metrics land in the same hub.
+    obs::Sink* sink = nullptr;
   };
 
   TrackerEngine() : TrackerEngine(Config{}) {}
@@ -106,8 +157,10 @@ class TrackerEngine {
   /// Live session ids in estimate_all() result order.
   [[nodiscard]] std::vector<SessionId> session_ids() const;
 
-  // Per-session feeds; return false for unknown ids. Safe to call from
-  // multiple producer threads, including while estimate_all() runs.
+  // Per-session feeds; return false for unknown ids and for rejected
+  // out-of-order samples (counted in the sink's engine.out_of_order_*
+  // family). Safe to call from multiple producer threads, including
+  // while estimate_all() runs.
   bool push_csi(SessionId id, const wifi::CsiMeasurement& m);
   bool push_imu(SessionId id, const imu::ImuSample& sample);
   bool push_camera(SessionId id,
@@ -129,11 +182,21 @@ class TrackerEngine {
     return pool_.size();
   }
 
+  /// Per-worker items drained by estimate_all() batches (work-stealing
+  /// balance diagnostics; a single slot 0 for the inline pool).
+  [[nodiscard]] std::vector<std::uint64_t> worker_items_drained() const {
+    return pool_.items_drained();
+  }
+
+  /// The sink this engine reports into (nullptr when observability off).
+  [[nodiscard]] obs::Sink* sink() const noexcept { return sink_; }
+
  private:
   /// Looks up a session under the roster lock; nullptr when unknown.
   [[nodiscard]] TrackerSession* find(SessionId id) const;
 
   WorkerPool pool_;
+  obs::Sink* sink_ = nullptr;  ///< not owned; may be nullptr
 
   /// Guards the roster (sessions_/roster_/results_ shape). Shared for
   /// per-session access, exclusive for fleet mutation.

@@ -2,11 +2,12 @@
 
 namespace vihot::engine {
 
-WorkerPool::WorkerPool(std::size_t num_threads) {
+WorkerPool::WorkerPool(std::size_t num_threads)
+    : drained_(num_threads == 0 ? 1 : num_threads) {
   workers_.reserve(num_threads);
   num_threads_ = num_threads;
   for (std::size_t k = 0; k < num_threads; ++k) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, k] { worker_loop(k); });
   }
 }
 
@@ -24,6 +25,7 @@ void WorkerPool::run(std::size_t count, IndexFnRef fn) {
   if (num_threads_ == 0) {
     // Inline degradation: the single-process embedding.
     for (std::size_t i = 0; i < count; ++i) fn(i);
+    drained_[0].fetch_add(count, std::memory_order_relaxed);
     return;
   }
   std::unique_lock<std::mutex> lk(mu_);
@@ -41,7 +43,15 @@ void WorkerPool::run(std::size_t count, IndexFnRef fn) {
   job_ = nullptr;
 }
 
-void WorkerPool::worker_loop() {
+std::vector<std::uint64_t> WorkerPool::items_drained() const {
+  std::vector<std::uint64_t> out(drained_.size());
+  for (std::size_t i = 0; i < drained_.size(); ++i) {
+    out[i] = drained_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void WorkerPool::worker_loop(std::size_t worker_index) {
   std::uint64_t seen = 0;
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
@@ -70,6 +80,8 @@ void WorkerPool::worker_loop() {
       job(i);
       ++done_here;
     }
+
+    drained_[worker_index].fetch_add(done_here, std::memory_order_relaxed);
 
     lk.lock();
     remaining_ -= done_here;

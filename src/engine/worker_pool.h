@@ -61,8 +61,13 @@ class WorkerPool {
     return workers_.size();
   }
 
+  /// Lifetime items drained per worker (index = worker; a single slot 0
+  /// for the inline num_threads == 0 pool). Exposes the work-stealing
+  /// balance: a healthy pool drains roughly evenly.
+  [[nodiscard]] std::vector<std::uint64_t> items_drained() const;
+
  private:
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
 
   std::mutex mu_;
   std::condition_variable work_cv_;  ///< workers wait for a new batch
@@ -78,6 +83,7 @@ class WorkerPool {
   std::atomic<std::size_t> next_{0};
   std::size_t remaining_ = 0;  ///< indices not yet completed (under mu_)
 
+  std::vector<std::atomic<std::uint64_t>> drained_;  ///< per-worker items
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,66 @@
+#include "obs/sink.h"
+
+namespace vihot::obs {
+
+void Sink::attach_to(Registry& registry, const std::string& prefix) const {
+  const std::string t = prefix + "tracker.";
+  registry.attach(t + "estimates", tracker.estimates);
+  registry.attach(t + "mode_csi", tracker.mode_csi);
+  registry.attach(t + "mode_fallback", tracker.mode_fallback);
+  registry.attach(t + "csi_out_of_order", tracker.csi_out_of_order);
+  registry.attach(t + "fallback_engaged", tracker.fallback_engaged);
+  registry.attach(t + "fallback_served", tracker.fallback_served);
+  registry.attach(t + "fallback_stale", tracker.fallback_stale);
+  registry.attach(t + "window_flat", tracker.window_flat);
+  registry.attach(t + "window_hinted", tracker.window_hinted);
+  registry.attach(t + "window_global", tracker.window_global);
+  registry.attach(t + "window_uncovered", tracker.window_uncovered);
+  registry.attach(t + "match_attempts", tracker.match_attempts);
+  registry.attach(t + "match_invalid", tracker.match_invalid);
+  registry.attach(t + "dtw_best_cost", tracker.dtw_best_cost);
+  registry.attach(t + "dtw_candidates", tracker.dtw_candidates);
+  registry.attach(t + "phase_bias_abs", tracker.phase_bias_abs);
+  registry.attach(t + "relock_widen", tracker.relock_widen);
+  registry.attach(t + "relock_global", tracker.relock_global);
+  registry.attach(t + "relock_accepted", tracker.relock_accepted);
+  registry.attach(t + "tie_break_applied", tracker.tie_break_applied);
+  registry.attach(t + "stable_phase_locks", tracker.stable_phase_locks);
+
+  const std::string e = prefix + "engine.";
+  registry.attach(e + "batches", engine.batches);
+  registry.attach(e + "batch_estimates", engine.batch_estimates);
+  registry.attach(e + "batch_latency_us", engine.batch_latency_us);
+  registry.attach(e + "sessions_created", engine.sessions_created);
+  registry.attach(e + "sessions_destroyed", engine.sessions_destroyed);
+  registry.attach(e + "csi_frames", engine.csi_frames);
+  registry.attach(e + "imu_samples", engine.imu_samples);
+  registry.attach(e + "camera_frames", engine.camera_frames);
+  registry.attach(e + "out_of_order_csi", engine.out_of_order_csi);
+  registry.attach(e + "out_of_order_imu", engine.out_of_order_imu);
+  registry.attach(e + "out_of_order_camera", engine.out_of_order_camera);
+  registry.attach(e + "csi_feed_gap_ms", engine.csi_feed_gap_ms);
+}
+
+TrackerStatsSnapshot snapshot(const TrackerStats& stats) {
+  TrackerStatsSnapshot out;
+  out.estimates = stats.estimates.value();
+  out.mode_csi = stats.mode_csi.value();
+  out.mode_fallback = stats.mode_fallback.value();
+  out.csi_out_of_order = stats.csi_out_of_order.value();
+  out.fallback_engaged = stats.fallback_engaged.value();
+  out.window_flat = stats.window_flat.value();
+  out.window_hinted = stats.window_hinted.value();
+  out.window_global = stats.window_global.value();
+  out.window_uncovered = stats.window_uncovered.value();
+  out.match_attempts = stats.match_attempts.value();
+  out.match_invalid = stats.match_invalid.value();
+  out.relock_widen = stats.relock_widen.value();
+  out.relock_global = stats.relock_global.value();
+  out.relock_accepted = stats.relock_accepted.value();
+  out.tie_break_applied = stats.tie_break_applied.value();
+  out.stable_phase_locks = stats.stable_phase_locks.value();
+  out.dtw_best_cost_mean = stats.dtw_best_cost.mean();
+  return out;
+}
+
+}  // namespace vihot::obs

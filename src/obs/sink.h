@@ -1,0 +1,121 @@
+// The metrics sink the tracking pipeline and serving engine write into.
+//
+// TrackerStats / EngineStats are FIXED structs of counters and
+// histograms — no names, no maps, no allocation on the increment path —
+// because the writers are the per-estimate stage code and the per-frame
+// feed path. One Sink may be shared by any number of trackers and one
+// engine (all members are thread-safe), which is exactly the fleet
+// deployment: stats aggregate across sessions the way error CDFs do.
+//
+// Naming happens only at snapshot time: Sink::attach_to() registers every
+// member with an obs::Registry under canonical "tracker.*" / "engine.*"
+// names, and the registry renders JSON/CSV.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace vihot::obs {
+
+/// Per-stage decision and quality counters of the ViHOT run-time pipeline
+/// (the signals Secs. 3.4-3.6 argue robustness from).
+struct TrackerStats {
+  // Tracker output loop.
+  Counter estimates;       ///< estimate() calls
+  Counter mode_csi;        ///< estimates served in CSI mode
+  Counter mode_fallback;   ///< estimates served in camera-fallback mode
+  Counter csi_out_of_order;  ///< CSI frames dropped for stale timestamps
+
+  // Stage 1: ModeArbiter.
+  Counter fallback_engaged;  ///< CSI -> camera-fallback transitions
+  Counter fallback_served;   ///< fallback ticks with a fresh camera angle
+  Counter fallback_stale;    ///< fallback ticks with no usable camera angle
+
+  // Stage 2: WindowAnalyzer regimes.
+  Counter window_flat;
+  Counter window_hinted;
+  Counter window_global;
+  Counter window_uncovered;  ///< buffer did not cover a full window yet
+
+  // Stage 3: SlotMatcher.
+  Counter match_attempts;  ///< per-slot-neighborhood match calls
+  Counter match_invalid;   ///< attempts with no valid candidate
+  Histogram dtw_best_cost{0.001, 0.002, 0.005, 0.01,
+                          0.02,  0.05,  0.1,   0.25};
+  Histogram dtw_candidates{0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0};
+  Histogram phase_bias_abs{0.01, 0.02, 0.05, 0.1, 0.2, 0.4, 0.8};
+
+  // Stage 4: RelockPolicy ladder.
+  Counter relock_widen;     ///< widened-hint escalations fired
+  Counter relock_global;    ///< global-search escalations fired
+  Counter relock_accepted;  ///< retries that replaced the original match
+
+  // Stage 5: TieBreaker.
+  Counter tie_break_applied;  ///< near-tie winners flipped by continuity
+
+  // Position re-localization (Eq. 4 on stable phases).
+  Counter stable_phase_locks;
+};
+
+/// Plain-value copy of the TrackerStats counters, for embedding in result
+/// structs (TrackerStats itself is atomic and non-copyable).
+struct TrackerStatsSnapshot {
+  std::uint64_t estimates = 0;
+  std::uint64_t mode_csi = 0;
+  std::uint64_t mode_fallback = 0;
+  std::uint64_t csi_out_of_order = 0;
+  std::uint64_t fallback_engaged = 0;
+  std::uint64_t window_flat = 0;
+  std::uint64_t window_hinted = 0;
+  std::uint64_t window_global = 0;
+  std::uint64_t window_uncovered = 0;
+  std::uint64_t match_attempts = 0;
+  std::uint64_t match_invalid = 0;
+  std::uint64_t relock_widen = 0;
+  std::uint64_t relock_global = 0;
+  std::uint64_t relock_accepted = 0;
+  std::uint64_t tie_break_applied = 0;
+  std::uint64_t stable_phase_locks = 0;
+  double dtw_best_cost_mean = 0.0;
+};
+
+/// Serving-layer counters of engine::TrackerEngine.
+struct EngineStats {
+  Counter batches;          ///< estimate_all() ticks
+  Counter batch_estimates;  ///< session estimates served by those ticks
+  Histogram batch_latency_us{10,    20,    50,     100,    200,  500,
+                             1000,  2000,  5000,   10000,  20000, 50000};
+
+  Counter sessions_created;
+  Counter sessions_destroyed;
+
+  // Accepted per-session feeds (feed rate = counter delta / wall time).
+  Counter csi_frames;
+  Counter imu_samples;
+  Counter camera_frames;
+  // Rejected out-of-order feeds (would corrupt the time-series buffers).
+  Counter out_of_order_csi;
+  Counter out_of_order_imu;
+  Counter out_of_order_camera;
+
+  /// Inter-frame CSI feed gap per session; max() is the fleet's worst gap.
+  Histogram csi_feed_gap_ms{5, 10, 20, 35, 50, 75, 100, 200, 500};
+};
+
+/// Everything the pipeline + engine report, in one shareable hub.
+struct Sink {
+  TrackerStats tracker;
+  EngineStats engine;
+
+  /// Registers every member metric with `registry` under
+  /// "<prefix>tracker.*" and "<prefix>engine.*" names. The Sink must
+  /// outlive the registry's snapshots.
+  void attach_to(Registry& registry, const std::string& prefix = "") const;
+};
+
+/// Plain-value snapshot of the tracker family (see TrackerStatsSnapshot).
+[[nodiscard]] TrackerStatsSnapshot snapshot(const TrackerStats& stats);
+
+}  // namespace vihot::obs

@@ -62,7 +62,8 @@ core::CsiProfile ExperimentRunner::build_profile() {
 }
 
 SessionResult ExperimentRunner::run_session(const core::CsiProfile& profile,
-                                            std::uint64_t session_index) {
+                                            std::uint64_t session_index,
+                                            obs::Sink* sink) {
   SessionResult result;
   util::Rng rng(config_.seed ^ (0x9e3779b97f4a7c15ULL * (session_index + 1)));
 
@@ -113,7 +114,9 @@ SessionResult ExperimentRunner::run_session(const core::CsiProfile& profile,
                      [&](double t) { return session.head_at(t); });
 
   // The tracker under test.
-  core::ViHotTracker tracker(profile, config_.tracker);
+  core::TrackerConfig tracker_cfg = config_.tracker;
+  if (sink != nullptr) tracker_cfg.sink = sink;
+  core::ViHotTracker tracker(profile, tracker_cfg);
   core::CsiSanitizer sanitizer(config_.tracker.sanitizer);
 
   // Merge-feed the streams and evaluate on a fixed grid.
@@ -208,10 +211,15 @@ SessionResult ExperimentRunner::run_session(const core::CsiProfile& profile,
 ExperimentResult ExperimentRunner::run() {
   ExperimentResult out;
   out.profile = build_profile();
+  // Aggregate stage decisions across sessions: into the scenario's own
+  // sink when configured, else a local one just for the report.
+  obs::Sink local_sink;
+  obs::Sink* sink = config_.tracker.sink != nullptr ? config_.tracker.sink
+                                                    : &local_sink;
   double rate_sum = 0.0;
   double fallback_sum = 0.0;
   for (std::size_t s = 0; s < config_.runtime_sessions; ++s) {
-    SessionResult sr = run_session(out.profile, s);
+    SessionResult sr = run_session(out.profile, s, sink);
     out.errors.merge(sr.errors);
     out.naive_errors.merge(sr.naive_errors);
     out.camera_errors.merge(sr.camera_errors);
@@ -225,6 +233,7 @@ ExperimentResult ExperimentRunner::run() {
     out.mean_csi_rate_hz = rate_sum / n;
     out.mean_fallback_fraction = fallback_sum / n;
   }
+  out.stage_stats = obs::snapshot(sink->tracker);
   return out;
 }
 

@@ -6,6 +6,7 @@
 
 #include "core/profile.h"
 #include "core/profiler.h"
+#include "obs/sink.h"
 #include "sim/drive_sim.h"
 #include "sim/metrics.h"
 #include "sim/scenario.h"
@@ -38,6 +39,10 @@ struct ExperimentResult {
   double mean_csi_rate_hz = 0.0;
   double max_gap_s = 0.0;
   double mean_fallback_fraction = 0.0;
+  /// Pipeline-stage decision counters aggregated over every session
+  /// (regimes entered, re-lock escalations, tie-breaks, ...): the "why"
+  /// behind the error CDF.
+  obs::TrackerStatsSnapshot stage_stats{};
 };
 
 /// Runs scenarios end to end.
@@ -48,9 +53,12 @@ class ExperimentRunner {
   /// Profiling stage (Sec. 3.3): sweeps every grid position and builds P.
   [[nodiscard]] core::CsiProfile build_profile();
 
-  /// One run-time session against a prebuilt profile.
+  /// One run-time session against a prebuilt profile. When `sink` is
+  /// non-null the session's tracker reports its stage decisions into it
+  /// (overriding the scenario TrackerConfig's own sink for this run).
   [[nodiscard]] SessionResult run_session(const core::CsiProfile& profile,
-                                          std::uint64_t session_index);
+                                          std::uint64_t session_index,
+                                          obs::Sink* sink = nullptr);
 
   /// Full experiment: profile once, run the configured session count.
   [[nodiscard]] ExperimentResult run();

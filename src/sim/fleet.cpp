@@ -28,12 +28,16 @@ struct FleetSession {
 }  // namespace
 
 FleetResult run_fleet(const ScenarioConfig& config,
-                      std::size_t num_threads) {
+                      std::size_t num_threads,
+                      obs::Sink* sink) {
   FleetResult out;
   out.sessions = config.runtime_sessions;
 
+  obs::Sink local_sink;
+  if (sink == nullptr) sink = &local_sink;
+
   ExperimentRunner runner(config);
-  engine::TrackerEngine eng({num_threads});
+  engine::TrackerEngine eng({num_threads, sink});
   const auto profile = eng.add_profile(runner.build_profile());
 
   // Per-session substrate, seeded like ExperimentRunner::run_session.
@@ -130,6 +134,16 @@ FleetResult run_fleet(const ScenarioConfig& config,
     out.mean_fallback_fraction =
         fallback_sum / static_cast<double>(fleet.size());
   }
+
+  // Observability rollup: copy out of the engine before it is destroyed.
+  out.stage_stats = obs::snapshot(sink->tracker);
+  out.worker_items = eng.worker_items_drained();
+  const obs::EngineStats& es = sink->engine;
+  out.out_of_order_feeds = es.out_of_order_csi.value() +
+                           es.out_of_order_imu.value() +
+                           es.out_of_order_camera.value();
+  out.max_csi_feed_gap_ms = es.csi_feed_gap_ms.max();
+  out.mean_batch_latency_us = es.batch_latency_us.mean();
   return out;
 }
 

@@ -8,7 +8,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
+#include "obs/sink.h"
 #include "sim/experiment.h"
 
 namespace vihot::sim {
@@ -22,11 +25,22 @@ struct FleetResult {
   /// sessions * ticks / serve_wall_s: the fleet-serving throughput.
   double session_estimates_per_s = 0.0;
   double mean_fallback_fraction = 0.0;
+
+  // Observability rollup (from the run's obs::Sink).
+  obs::TrackerStatsSnapshot stage_stats{};  ///< fleet-wide stage counters
+  std::vector<std::uint64_t> worker_items;  ///< per-worker items drained
+  std::uint64_t out_of_order_feeds = 0;     ///< rejected stale samples
+  double max_csi_feed_gap_ms = 0.0;         ///< worst per-session gap
+  double mean_batch_latency_us = 0.0;       ///< mean estimate_all() time
 };
 
 /// Profiles once, then serves `config.runtime_sessions` concurrent drives
 /// through a TrackerEngine with `num_threads` workers (0 = inline).
+/// When `sink` is non-null the engine and every session report into it
+/// (e.g. for --metrics-out); otherwise a run-local sink feeds just the
+/// FleetResult rollup.
 [[nodiscard]] FleetResult run_fleet(const ScenarioConfig& config,
-                                    std::size_t num_threads);
+                                    std::size_t num_threads,
+                                    obs::Sink* sink = nullptr);
 
 }  // namespace vihot::sim

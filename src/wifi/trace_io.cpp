@@ -1,7 +1,11 @@
 #include "wifi/trace_io.h"
 
+#include <charconv>
 #include <fstream>
 #include <sstream>
+#include <string_view>
+#include <system_error>
+#include <tuple>
 
 namespace vihot::wifi {
 
@@ -9,6 +13,25 @@ namespace {
 
 constexpr char kCsiMagic[] = "# vihot-csi v1";
 constexpr char kImuMagic[] = "# vihot-imu v1";
+
+/// Sanity cap on the declared subcarrier count: 802.11 CSI tops out in
+/// the hundreds of subcarriers, so anything past this is a corrupt
+/// header, not a real capture — reject instead of reserving gigabytes.
+constexpr std::size_t kMaxSubcarriers = 4096;
+
+/// Parses the unsigned value of "<key><uint>" out of the header without
+/// throwing. nullopt on a missing key, non-numeric value, or overflow.
+std::optional<std::size_t> header_field(const std::string& header,
+                                        std::string_view key) {
+  const auto pos = header.find(key);
+  if (pos == std::string::npos) return std::nullopt;
+  const char* first = header.data() + pos + key.size();
+  const char* last = header.data() + header.size();
+  std::size_t value = 0;
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr == first) return std::nullopt;
+  return value;
+}
 
 }  // namespace
 
@@ -41,9 +64,20 @@ std::optional<std::vector<CsiMeasurement>> read_csi_trace(
       header.rfind(kCsiMagic, 0) != 0) {
     return std::nullopt;
   }
-  const auto pos = header.find("subcarriers=");
-  if (pos == std::string::npos) return std::nullopt;
-  const std::size_t nsc = std::stoul(header.substr(pos + 12));
+  // Defensive header parse: a corrupt header (garbage after the key, an
+  // absurd count, the wrong antenna layout) must yield nullopt — never a
+  // std::stoul throw or a runaway reserve.
+  const std::optional<std::size_t> antennas =
+      header_field(header, "antennas=");
+  constexpr std::size_t kAntennas =
+      std::tuple_size_v<decltype(CsiMeasurement::h)>;
+  if (!antennas.has_value() || *antennas != kAntennas) return std::nullopt;
+  const std::optional<std::size_t> subcarriers =
+      header_field(header, "subcarriers=");
+  if (!subcarriers.has_value() || *subcarriers > kMaxSubcarriers) {
+    return std::nullopt;
+  }
+  const std::size_t nsc = *subcarriers;
 
   std::vector<CsiMeasurement> out;
   std::string line;
@@ -62,6 +96,11 @@ std::optional<std::vector<CsiMeasurement>> read_csi_trace(
         row.emplace_back(re, im);
       }
     }
+    // Trailing values mean the row disagrees with the header's declared
+    // shape (e.g. a wider capture read under a narrower header): reject
+    // rather than silently truncating the frame.
+    char extra = 0;
+    if (ls >> extra) return std::nullopt;
     out.push_back(std::move(m));
   }
   return out;

@@ -10,6 +10,7 @@
 #include "core/slot_matcher.h"
 #include "core/tie_breaker.h"
 #include "core/window_analyzer.h"
+#include "obs/sink.h"
 #include "tests/core/test_helpers.h"
 #include "util/rng.h"
 
@@ -68,6 +69,34 @@ TEST(ModeArbiterTest, DropsLostTrackFrames) {
   EXPECT_DOUBLE_EQ(out.theta_rad, 0.3);
 }
 
+TEST(ModeArbiterTest, CountsFallbackTransitionsAndServes) {
+  obs::TrackerStats stats;
+  ModeArbiter arbiter({}, /*camera_staleness_s=*/0.4);
+  arbiter.set_stats(&stats);
+
+  // One steering event = exactly one engage, however many samples it
+  // spans.
+  for (double t = 0.0; t < 0.5; t += 0.01) {
+    arbiter.push_imu({t, 0.4, 0.0});
+  }
+  ASSERT_EQ(arbiter.mode(), TrackingMode::kCameraFallback);
+  EXPECT_EQ(stats.fallback_engaged.value(), 1u);
+
+  // No camera estimate cached: the fallback tick is stale.
+  (void)arbiter.camera_output(0.5);
+  EXPECT_EQ(stats.fallback_stale.value(), 1u);
+  EXPECT_EQ(stats.fallback_served.value(), 0u);
+  arbiter.push_camera(camera_estimate(0.5, 0.3));
+  (void)arbiter.camera_output(0.6);
+  EXPECT_EQ(stats.fallback_served.value(), 1u);
+
+  // Recover, then a second event: engage count goes to exactly 2.
+  for (double t = 0.5; t < 3.0; t += 0.01) arbiter.push_imu({t, 0.0, 0.0});
+  ASSERT_EQ(arbiter.mode(), TrackingMode::kCsi);
+  for (double t = 3.0; t < 3.5; t += 0.01) arbiter.push_imu({t, 0.4, 0.0});
+  EXPECT_EQ(stats.fallback_engaged.value(), 2u);
+}
+
 // ---------------------------------------------------------------- stage 2
 
 util::TimeSeries ramp_series(double t0, double t1, double level,
@@ -114,6 +143,29 @@ TEST(WindowAnalyzerTest, SpreadSelectsRegime) {
   const WindowAnalyzer::Analysis hi = analyzer.analyze(fast, 1.0, true);
   EXPECT_GT(hi.spread_rad, 0.30);
   EXPECT_EQ(hi.regime, WindowRegime::kGlobal);
+}
+
+TEST(WindowAnalyzerTest, CountsRegimesAndUncoveredWindows) {
+  obs::TrackerStats stats;
+  WindowAnalyzer analyzer({0.1, 0.05, 0.30});
+  analyzer.set_stats(&stats);
+
+  const util::TimeSeries empty;
+  (void)analyzer.analyze(empty, 1.0, true);
+  EXPECT_EQ(stats.window_uncovered.value(), 1u);
+  EXPECT_EQ(stats.window_hinted.value(), 1u);
+
+  const util::TimeSeries flat = ramp_series(0.0, 1.0, 0.7, 0.01);
+  (void)analyzer.analyze(flat, 1.0, true);
+  EXPECT_EQ(stats.window_flat.value(), 1u);
+
+  const util::TimeSeries fast = ramp_series(0.0, 1.0, 0.0, 5.0);
+  (void)analyzer.analyze(fast, 1.0, true);
+  EXPECT_EQ(stats.window_global.value(), 1u);
+  // Each call lands in exactly one regime bucket.
+  EXPECT_EQ(stats.window_flat.value() + stats.window_hinted.value() +
+                stats.window_global.value(),
+            3u);
 }
 
 // ---------------------------------------------------------------- stage 3
@@ -221,6 +273,41 @@ TEST(SlotMatcherTest, EmptyProfileReturnsInvalid) {
   EXPECT_FALSE(r.estimate.valid);
 }
 
+TEST(SlotMatcherTest, CountsAttemptsAndObservesMatchQuality) {
+  obs::TrackerStats stats;
+  const CsiProfile profile = testing::synthetic_profile(5);
+  SlotMatcher matcher({MatcherConfig{}, 0, true, 0.0});
+  matcher.set_stats(&stats);
+  const auto theta_fn = [](double t) { return -0.8 + 1.5 * (t - 1.0); };
+  const util::TimeSeries stream =
+      stream_for(theta_fn, 0.9, 1.6, profile.positions[2].fingerprint_phase);
+
+  const SlotMatcher::Result good =
+      matcher.match(profile, stream, 2, 1.5, nullptr, false, 0.0, {});
+  ASSERT_TRUE(good.estimate.valid);
+  EXPECT_EQ(stats.match_attempts.value(), 1u);
+  EXPECT_EQ(stats.match_invalid.value(), 0u);
+  EXPECT_EQ(stats.dtw_best_cost.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.dtw_best_cost.max(), good.estimate.match_distance);
+  EXPECT_EQ(stats.dtw_candidates.count(), 1u);
+
+  // An uncovered stream cannot produce a candidate: attempt + invalid.
+  const util::TimeSeries empty;
+  const SlotMatcher::Result bad =
+      matcher.match(profile, empty, 2, 1.5, nullptr, false, 0.0, {});
+  EXPECT_FALSE(bad.estimate.valid);
+  EXPECT_EQ(stats.match_attempts.value(), 2u);
+  EXPECT_EQ(stats.match_invalid.value(), 1u);
+  EXPECT_EQ(stats.dtw_best_cost.count(), 1u);
+
+  // With a session bias engaged, its magnitude is observed.
+  const SlotMatcher::Bias bias{
+      true, profile.positions[2].fingerprint_phase + 0.2};
+  (void)matcher.match(profile, stream, 2, 1.5, nullptr, false, 0.0, bias);
+  EXPECT_EQ(stats.phase_bias_abs.count(), 1u);
+  EXPECT_NEAR(stats.phase_bias_abs.max(), 0.2, 1e-9);
+}
+
 // ---------------------------------------------------------------- stage 4
 
 OrientationEstimate match_with_distance(double distance,
@@ -286,6 +373,32 @@ TEST(RelockPolicyTest, AcceptPrefersValidAndCloser) {
   EXPECT_FALSE(RelockPolicy::accept(invalid, good));
 }
 
+TEST(RelockPolicyTest, CountsExactlyOneEscalationPerLadderStep) {
+  obs::TrackerStats stats;
+  RelockPolicy policy({/*relock_distance=*/0.02, /*patience=*/2,
+                       /*widen_factor=*/3.0});
+  policy.set_stats(&stats);
+  const OrientationEstimate poor = match_with_distance(0.08);
+
+  // Forcing the first escalation increments the widen counter exactly
+  // once, and nothing else.
+  (void)policy.observe(true, poor);
+  ASSERT_EQ(policy.observe(true, poor), RelockPolicy::Action::kWiden);
+  EXPECT_EQ(stats.relock_widen.value(), 1u);
+  EXPECT_EQ(stats.relock_global.value(), 0u);
+
+  (void)policy.observe(true, poor);
+  ASSERT_EQ(policy.observe(true, poor), RelockPolicy::Action::kGlobal);
+  EXPECT_EQ(stats.relock_widen.value(), 1u);
+  EXPECT_EQ(stats.relock_global.value(), 1u);
+
+  // Good matches never escalate, so the counters stay put.
+  const OrientationEstimate good = match_with_distance(0.005);
+  for (int i = 0; i < 5; ++i) (void)policy.observe(true, good);
+  EXPECT_EQ(stats.relock_widen.value(), 1u);
+  EXPECT_EQ(stats.relock_global.value(), 1u);
+}
+
 // ---------------------------------------------------------------- stage 5
 
 OrientationEstimate ambiguous_global(double win_theta, double win_dist,
@@ -327,6 +440,21 @@ TEST(TieBreakerTest, EpsilonCloserDoesNotFlip) {
   OrientationEstimate e = ambiguous_global(0.40, 0.010, 0.35, 0.011);
   EXPECT_FALSE(breaker.apply(e, 0.38));
   EXPECT_DOUBLE_EQ(e.theta_rad, 0.40);
+}
+
+TEST(TieBreakerTest, CountsOnlyAppliedFlips) {
+  obs::TrackerStats stats;
+  TieBreaker breaker(3.0);
+  breaker.set_stats(&stats);
+
+  OrientationEstimate flipped = ambiguous_global(1.9, 0.010, 0.15, 0.014);
+  ASSERT_TRUE(breaker.apply(flipped, 0.0));
+  EXPECT_EQ(stats.tie_break_applied.value(), 1u);
+
+  // A kept winner (decisive match) must not count as an activation.
+  OrientationEstimate kept = ambiguous_global(1.9, 0.010, 0.15, 0.120);
+  ASSERT_FALSE(breaker.apply(kept, 0.0));
+  EXPECT_EQ(stats.tie_break_applied.value(), 1u);
 }
 
 TEST(TieBreakerTest, IgnoresInvalidAndUnambiguous) {

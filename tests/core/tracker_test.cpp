@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <complex>
 
+#include "obs/sink.h"
 #include "tests/core/test_helpers.h"
 #include "sim/drive_sim.h"
 #include "sim/metrics.h"
@@ -67,6 +69,34 @@ class TrackerTest : public ::testing::Test {
     }
   }
 };
+
+TEST_F(TrackerTest, DropsAndCountsOutOfOrderCsi) {
+  // Regression for the debug-only TimeSeries::push assert: a stale frame
+  // must be dropped (and counted), not pushed into the sorted buffer.
+  obs::Sink sink;
+  TrackerConfig config;
+  config.sink = &sink;
+  ViHotTracker tracker(testing::synthetic_profile(3), config);
+  const auto make = [](double t) {
+    wifi::CsiMeasurement m;
+    m.t = t;
+    m.h[0].assign(4, std::polar(1.0, 0.3));
+    m.h[1].assign(4, {1.0, 0.0});
+    return m;
+  };
+  tracker.push_csi(make(1.00));
+  tracker.push_csi(make(1.01));
+  tracker.push_csi(make(0.50));  // out of order: dropped
+  tracker.push_csi(make(1.02));
+  EXPECT_EQ(sink.tracker.csi_out_of_order.value(), 1u);
+
+  // The output-loop counters tick per estimate and per served mode.
+  (void)tracker.estimate(1.02);
+  (void)tracker.estimate(1.02);
+  EXPECT_EQ(sink.tracker.estimates.value(), 2u);
+  EXPECT_EQ(sink.tracker.mode_csi.value(), 2u);
+  EXPECT_EQ(sink.tracker.mode_fallback.value(), 0u);
+}
 
 TEST_F(TrackerTest, TracksWithLowMedianError) {
   ViHotTracker tracker(testing::simulated_profile(), TrackerConfig{});

@@ -19,6 +19,21 @@ TEST(ResamplerTest, UniformInputRoundTrips) {
   }
 }
 
+TEST(ResamplerTest, ExactMultipleKeepsFinalSample) {
+  // Regression: duration 0.3 at 10 Hz gives 0.3 * 10 == 2.999...96 in
+  // binary floating point; an unguarded floor()+1 computed 3 samples and
+  // silently dropped the final in-range one at t = 0.3.
+  util::TimeSeries ts;
+  ts.push(0.0, 0.0);
+  ts.push(0.1, 1.0);
+  ts.push(0.2, 2.0);
+  ts.push(0.3, 3.0);
+  const util::UniformSeries out = resample(ts, 10.0);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_NEAR(out.values.back(), 3.0, 1e-9);
+  EXPECT_NEAR(out.end_time(), 0.3, 1e-9);
+}
+
 TEST(ResamplerTest, IrregularInputInterpolated) {
   util::TimeSeries ts;
   ts.push(0.0, 0.0);

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "engine/worker_pool.h"
+#include "obs/sink.h"
 #include "tests/core/test_helpers.h"
 
 namespace vihot::engine {
@@ -72,6 +73,27 @@ TEST(WorkerPoolTest, EmptyBatchReturnsImmediately) {
   WorkerPool pool(2);
   auto job = [](std::size_t) { FAIL() << "job ran for an empty batch"; };
   pool.run(0, job);
+}
+
+TEST(WorkerPoolTest, ItemsDrainedSumToBatchSizes) {
+  WorkerPool pool(3);
+  auto job = [](std::size_t) {};
+  pool.run(100, job);
+  pool.run(50, job);
+  const std::vector<std::uint64_t> drained = pool.items_drained();
+  ASSERT_EQ(drained.size(), 3u);
+  std::uint64_t total = 0;
+  for (const std::uint64_t n : drained) total += n;
+  EXPECT_EQ(total, 150u);
+}
+
+TEST(WorkerPoolTest, InlinePoolCountsOnSlotZero) {
+  WorkerPool pool(0);
+  auto job = [](std::size_t) {};
+  pool.run(9, job);
+  const std::vector<std::uint64_t> drained = pool.items_drained();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0], 9u);
 }
 
 // ---------------------------------------------------------- TrackerEngine
@@ -238,6 +260,104 @@ TEST(TrackerEngineTest, ConcurrentProducersAndBatchTicks) {
   const auto final_batch = engine.estimate_all(1.45);
   for (const core::TrackResult& r : final_batch) valid_results += r.valid;
   EXPECT_GT(valid_results, 0u);
+}
+
+TEST(TrackerEngineTest, RejectsAndCountsOutOfOrderFeeds) {
+  // Regression for the debug-only TimeSeries::push assert: in release
+  // builds a stale sample silently corrupted the time-ordered buffers.
+  // The engine must reject it (false) and count the drop.
+  obs::Sink sink;
+  TrackerEngine engine({0, &sink});
+  const auto profile = engine.add_profile(synthetic_profile(3));
+  const SessionId id = engine.create_session(profile);
+
+  EXPECT_TRUE(engine.push_csi(id, measurement(1.0, 0.1)));
+  EXPECT_TRUE(engine.push_csi(id, measurement(1.1, 0.1)));
+  EXPECT_FALSE(engine.push_csi(id, measurement(0.5, 0.1)));  // stale
+  EXPECT_TRUE(engine.push_csi(id, measurement(1.2, 0.1)));
+  EXPECT_EQ(sink.engine.out_of_order_csi.value(), 1u);
+  EXPECT_EQ(sink.engine.csi_frames.value(), 3u);
+
+  imu::ImuSample imu_sample;
+  imu_sample.t = 2.0;
+  EXPECT_TRUE(engine.push_imu(id, imu_sample));
+  imu_sample.t = 1.5;
+  EXPECT_FALSE(engine.push_imu(id, imu_sample));
+  EXPECT_EQ(sink.engine.out_of_order_imu.value(), 1u);
+
+  camera::CameraTracker::Estimate cam;
+  cam.t = 2.0;
+  EXPECT_TRUE(engine.push_camera(id, cam));
+  cam.t = 1.0;
+  EXPECT_FALSE(engine.push_camera(id, cam));
+  EXPECT_EQ(sink.engine.out_of_order_camera.value(), 1u);
+
+  // Ordering is per-stream and per-session: a second session with an
+  // earlier clock is unaffected.
+  const SessionId other = engine.create_session(profile);
+  EXPECT_TRUE(engine.push_csi(other, measurement(0.1, 0.1)));
+}
+
+TEST(TrackerEngineTest, PopulatesEngineMetrics) {
+  obs::Sink sink;
+  TrackerEngine engine({2, &sink});
+  const auto profile = engine.add_profile(synthetic_profile(3));
+  const double fp = profile->positions[1].fingerprint_phase;
+
+  const SessionId a = engine.create_session(profile);
+  const SessionId b = engine.create_session(profile);
+  EXPECT_EQ(sink.engine.sessions_created.value(), 2u);
+
+  feed([&](const auto& m) { engine.push_csi(a, m); },
+       [](double t) { return -0.5 + 0.8 * t; }, 0.0, 1.0, fp);
+  // Feed gaps are observed from the second accepted frame onward.
+  EXPECT_GT(sink.engine.csi_frames.value(), 2u);
+  EXPECT_EQ(sink.engine.csi_feed_gap_ms.count(),
+            sink.engine.csi_frames.value() - 1);
+  EXPECT_NEAR(sink.engine.csi_feed_gap_ms.max(), 4.0, 0.5);
+
+  (void)engine.estimate_all(0.9);
+  (void)engine.estimate_all(0.95);
+  EXPECT_EQ(sink.engine.batches.value(), 2u);
+  EXPECT_EQ(sink.engine.batch_estimates.value(), 4u);  // 2 sessions x 2
+  EXPECT_EQ(sink.engine.batch_latency_us.count(), 2u);
+  EXPECT_GT(sink.engine.batch_latency_us.max(), 0.0);
+
+  // The batch work is visible in the per-worker drain counters.
+  std::uint64_t drained_total = 0;
+  for (const std::uint64_t n : engine.worker_items_drained()) {
+    drained_total += n;
+  }
+  EXPECT_EQ(drained_total, 4u);
+
+  // Sessions inherit the engine sink: stage counters populate too.
+  EXPECT_EQ(sink.tracker.estimates.value(), 4u);
+
+  EXPECT_TRUE(engine.destroy_session(b));
+  EXPECT_EQ(sink.engine.sessions_destroyed.value(), 1u);
+}
+
+TEST(TrackerEngineTest, NullSinkIsZeroOverheadPath) {
+  // No sink: everything behaves as before, nothing crashes, results are
+  // identical to the sinked engine (metrics must never perturb outputs).
+  obs::Sink sink;
+  TrackerEngine plain({0});
+  TrackerEngine observed({0, &sink});
+  const auto profile_a = plain.add_profile(synthetic_profile(3));
+  const auto profile_b = observed.add_profile(synthetic_profile(3));
+  const double fp = profile_a->positions[1].fingerprint_phase;
+  const SessionId pa = plain.create_session(profile_a);
+  const SessionId ob = observed.create_session(profile_b);
+  const auto theta = [](double t) { return -0.5 + 0.9 * t; };
+  feed([&](const auto& m) { plain.push_csi(pa, m); }, theta, 0.0, 1.2, fp);
+  feed([&](const auto& m) { observed.push_csi(ob, m); }, theta, 0.0, 1.2,
+       fp);
+  for (double t = 0.8; t < 1.2; t += 0.05) {
+    const core::TrackResult rp = plain.estimate_one(pa, t);
+    const core::TrackResult ro = observed.estimate_one(ob, t);
+    EXPECT_EQ(rp.valid, ro.valid);
+    if (rp.valid) EXPECT_DOUBLE_EQ(rp.theta_rad, ro.theta_rad);
+  }
 }
 
 TEST(TrackerEngineTest, SharedProfileOutlivesEngine) {

@@ -71,6 +71,55 @@ TEST_F(TraceIoTest, CsiRejectsTruncatedRow) {
   EXPECT_FALSE(read_csi_trace(path_).has_value());
 }
 
+TEST_F(TraceIoTest, CsiRejectsGarbageSubcarrierCount) {
+  // Regression: a non-numeric count fed std::stoul, which throws instead
+  // of returning nullopt.
+  std::ofstream os(path_);
+  os << "# vihot-csi v1 antennas=2 subcarriers=garbage\n1.0,0.5,0.5\n";
+  os.close();
+  EXPECT_FALSE(read_csi_trace(path_).has_value());
+}
+
+TEST_F(TraceIoTest, CsiRejectsMissingOrWrongAntennaCount) {
+  std::ofstream os(path_);
+  os << "# vihot-csi v1 antennas=3 subcarriers=4\n";
+  os.close();
+  EXPECT_FALSE(read_csi_trace(path_).has_value());
+
+  std::ofstream os2(path_);
+  os2 << "# vihot-csi v1 subcarriers=4\n";
+  os2.close();
+  EXPECT_FALSE(read_csi_trace(path_).has_value());
+
+  std::ofstream os3(path_);
+  os3 << "# vihot-csi v1 antennas=x subcarriers=4\n";
+  os3.close();
+  EXPECT_FALSE(read_csi_trace(path_).has_value());
+}
+
+TEST_F(TraceIoTest, CsiRejectsAbsurdSubcarrierCount) {
+  // A corrupt count must not drive a runaway reserve (or overflow).
+  std::ofstream os(path_);
+  os << "# vihot-csi v1 antennas=2 subcarriers=4000000000\n";
+  os.close();
+  EXPECT_FALSE(read_csi_trace(path_).has_value());
+
+  std::ofstream os2(path_);
+  os2 << "# vihot-csi v1 antennas=2 subcarriers=99999999999999999999999\n";
+  os2.close();
+  EXPECT_FALSE(read_csi_trace(path_).has_value());
+}
+
+TEST_F(TraceIoTest, CsiRejectsRowWiderThanHeader) {
+  // A row carrying more values than the declared shape means header and
+  // body disagree; silently truncating the frame would corrupt phases.
+  std::ofstream os(path_);
+  os << "# vihot-csi v1 antennas=2 subcarriers=1\n"
+     << "0.5,1.0,0.0,1.0,0.0,9.0,9.0\n";
+  os.close();
+  EXPECT_FALSE(read_csi_trace(path_).has_value());
+}
+
 TEST_F(TraceIoTest, EmptyCaptureRoundTrips) {
   ASSERT_TRUE(write_csi_trace(path_, {}));
   const auto loaded = read_csi_trace(path_);

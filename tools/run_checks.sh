@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# Sanitizer sweep: build the asan and tsan presets and run the test suite
-# under each. The tsan leg is what keeps TrackerEngine / WorkerPool honest
-# (engine_tests exercises concurrent producers against batch ticks).
+# Hardening sweep: build the asan and tsan presets and run the test suite
+# under each, then build the release preset (-DNDEBUG, asserts compiled
+# out) and run the release-guard suite against it. The tsan leg keeps
+# TrackerEngine / WorkerPool honest (engine_tests exercises concurrent
+# producers against batch ticks); the release leg proves the ingest/DSP
+# edge guards hold where assert() is gone.
 #
-#   tools/run_checks.sh            # both sanitizers, full ctest
+#   tools/run_checks.sh            # asan + tsan + release-guard
 #   tools/run_checks.sh tsan       # one preset only
+#   tools/run_checks.sh release    # just the NDEBUG guard pass
 #   CHECK_JOBS=8 tools/run_checks.sh
 set -euo pipefail
 
@@ -13,7 +17,7 @@ cd "$(dirname "$0")/.."
 jobs="${CHECK_JOBS:-$(nproc 2>/dev/null || echo 2)}"
 presets=("$@")
 if [ ${#presets[@]} -eq 0 ]; then
-  presets=(asan tsan)
+  presets=(asan tsan release)
 fi
 
 for preset in "${presets[@]}"; do
@@ -22,7 +26,13 @@ for preset in "${presets[@]}"; do
   echo "== ${preset}: build =="
   cmake --build --preset "${preset}" -j "${jobs}"
   echo "== ${preset}: test =="
-  ctest --preset "${preset}" -j "${jobs}"
+  if [ "${preset}" = "release" ]; then
+    # Only the NDEBUG-sensitive guard label; the full suite already runs
+    # under both sanitizers above.
+    ctest --preset release-guard -j "${jobs}"
+  else
+    ctest --preset "${preset}" -j "${jobs}"
+  fi
 done
 
-echo "All sanitizer checks passed: ${presets[*]}"
+echo "All checks passed: ${presets[*]}"

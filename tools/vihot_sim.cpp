@@ -21,6 +21,9 @@
 //                          through one TrackerEngine with K workers
 //                          (0 = engine with inline batches)
 //     --csv                machine-readable one-line summary
+//     --metrics-out PATH   write the run's tracker/engine metric
+//                          families (obs::Registry snapshot) to PATH;
+//                          a .csv suffix selects CSV, anything else JSON
 //
 // Example: reproduce the Fig. 17b "w/o identifier" condition:
 //   vihot_sim --steering --no-identifier
@@ -28,8 +31,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/sink.h"
 #include "sim/experiment.h"
 #include "sim/fleet.h"
 #include "util/angle.h"
@@ -45,7 +51,8 @@ namespace {
                "  [--passenger] [--steering] [--no-identifier] "
                "[--vibration] [--interference]\n"
                "  [--music] [--seat-shift MM] [--naive] [--camera] "
-               "[--threads K] [--csv]\n",
+               "[--threads K] [--csv]\n"
+               "  [--metrics-out PATH]\n",
                argv0);
   std::exit(2);
 }
@@ -53,6 +60,22 @@ namespace {
 double num_arg(int argc, char** argv, int& i, const char* argv0) {
   if (i + 1 >= argc) usage(argv0);
   return std::atof(argv[++i]);
+}
+
+/// Snapshots the sink into PATH (CSV for a .csv suffix, JSON otherwise).
+bool write_metrics(const vihot::obs::Sink& sink, const std::string& path) {
+  vihot::obs::Registry registry;
+  sink.attach_to(registry);
+  std::ofstream os(path);
+  if (!os) return false;
+  const bool as_csv =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  if (as_csv) {
+    registry.write_csv(os);
+  } else {
+    registry.write_json(os);
+  }
+  return static_cast<bool>(os);
 }
 
 }  // namespace
@@ -66,6 +89,8 @@ int main(int argc, char** argv) {
   bool csv = false;
   bool fleet = false;
   std::size_t threads = 0;
+  std::string metrics_out;
+  obs::Sink sink;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -118,13 +143,23 @@ int main(int argc, char** argv) {
       threads = static_cast<std::size_t>(num_arg(argc, argv, i, *argv));
     } else if (a == "--csv") {
       csv = true;
+    } else if (a == "--metrics-out") {
+      if (i + 1 >= argc) usage(*argv);
+      metrics_out = argv[++i];
     } else {
       usage(*argv);
     }
   }
+  if (!metrics_out.empty()) config.tracker.sink = &sink;
 
   if (fleet) {
-    const sim::FleetResult res = sim::run_fleet(config, threads);
+    const sim::FleetResult res = sim::run_fleet(
+        config, threads, metrics_out.empty() ? nullptr : &sink);
+    if (!metrics_out.empty() && !write_metrics(sink, metrics_out)) {
+      std::fprintf(stderr, "error: cannot write metrics to %s\n",
+                   metrics_out.c_str());
+      return 1;
+    }
     if (csv) {
       std::printf(
           "median_deg,mean_deg,p90_deg,n,sessions,threads,ticks,"
@@ -150,11 +185,30 @@ int main(int argc, char** argv) {
       std::printf("  fallback:   %.1f%% of estimates in camera mode\n",
                   res.mean_fallback_fraction * 100.0);
     }
+    std::printf("  obs:        batch mean %.0f us; worst CSI gap %.0f ms; "
+                "%llu out-of-order feeds dropped\n",
+                res.mean_batch_latency_us, res.max_csi_feed_gap_ms,
+                static_cast<unsigned long long>(res.out_of_order_feeds));
+    if (!res.worker_items.empty() && threads > 0) {
+      std::printf("  workers:    items drained per worker:");
+      for (const std::uint64_t n : res.worker_items) {
+        std::printf(" %llu", static_cast<unsigned long long>(n));
+      }
+      std::printf("\n");
+    }
+    if (!metrics_out.empty()) {
+      std::printf("  metrics:    written to %s\n", metrics_out.c_str());
+    }
     return 0;
   }
 
   sim::ExperimentRunner runner(config);
   const sim::ExperimentResult res = runner.run();
+  if (!metrics_out.empty() && !write_metrics(sink, metrics_out)) {
+    std::fprintf(stderr, "error: cannot write metrics to %s\n",
+                 metrics_out.c_str());
+    return 1;
+  }
 
   if (csv) {
     std::printf(
@@ -189,6 +243,19 @@ int main(int argc, char** argv) {
   if (!res.camera_errors.empty()) {
     std::printf("  camera:     median %.1f deg (30 FPS baseline)\n",
                 res.camera_errors.median_deg());
+  }
+  const obs::TrackerStatsSnapshot& st = res.stage_stats;
+  std::printf("  stages:     windows flat/hinted/global %llu/%llu/%llu; "
+              "relocks %llu (%llu accepted); tie-breaks %llu\n",
+              static_cast<unsigned long long>(st.window_flat),
+              static_cast<unsigned long long>(st.window_hinted),
+              static_cast<unsigned long long>(st.window_global),
+              static_cast<unsigned long long>(st.relock_widen +
+                                              st.relock_global),
+              static_cast<unsigned long long>(st.relock_accepted),
+              static_cast<unsigned long long>(st.tie_break_applied));
+  if (!metrics_out.empty()) {
+    std::printf("  metrics:    written to %s\n", metrics_out.c_str());
   }
   return 0;
 }
