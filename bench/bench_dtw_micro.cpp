@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "channel/csi_synth.h"
@@ -57,18 +58,79 @@ BENCHMARK(BM_DtwDistanceBanded)->Arg(21)->Arg(42)->Arg(84);
 
 // The full Algorithm-1 inner loop: one orientation estimate against a
 // 10 s / 200 Hz profile — the per-estimate cost of the live tracker.
-void BM_SeriesMatch(benchmark::State& state) {
-  const auto query = noisy_sine(21, 15.0, 3);
-  const auto profile = noisy_sine(2000, 30.0, 4);
+// Three A/B variants pin the fast-path speedup down (all three return
+// bit-identical matches, proven by the matcher-equivalence tests):
+//   * Naive     — find_best_match_reference: no pruning, no workspace,
+//                 per-candidate allocations (the historical scan);
+//   * NoPruning — workspace reuse only, every candidate runs full DTW;
+//   * (default) — workspace + lower-bound cascade + early abandoning.
+dsp::SeriesMatchOptions series_match_options() {
   dsp::SeriesMatchOptions opt;
   opt.start_stride = 2;
   opt.dtw.band_fraction = 0.25;
+  return opt;
+}
+
+// The tracker's live case: the query is the recent window, which DOES
+// match the profile somewhere (plus measurement noise). A good best
+// match is what arms the pruning bar — matching an unrelated series
+// would leave every candidate inside the retention slack.
+std::vector<double> profile_slice_query(const std::vector<double>& profile,
+                                        std::size_t start, std::size_t n) {
+  util::Rng rng(9);
+  std::vector<double> q(profile.begin() + static_cast<std::ptrdiff_t>(start),
+                        profile.begin() +
+                            static_cast<std::ptrdiff_t>(start + n));
+  for (double& v : q) v += rng.normal(0.0, 0.02);
+  return q;
+}
+
+void BM_SeriesMatch(benchmark::State& state) {
+  const auto profile = noisy_sine(2000, 30.0, 4);
+  const auto query = profile_slice_query(profile, 700, 21);
+  const dsp::SeriesMatchOptions opt = series_match_options();
+  dsp::SeriesMatch last;
+  for (auto _ : state) {
+    last = dsp::find_best_match(query, profile, opt);
+    benchmark::DoNotOptimize(last);
+  }
+  const auto& s = last.scan;
+  const double pruned =
+      static_cast<double>(s.lb_endpoint_pruned + s.lb_band_pruned +
+                          s.dtw_abandoned);
+  const double rate =
+      s.candidates > 0 ? pruned / static_cast<double>(s.candidates) : 0.0;
+  state.SetLabel("fast path; prune rate " +
+                 std::to_string(100.0 * rate) + "% of " +
+                 std::to_string(s.candidates) + " candidates");
+}
+BENCHMARK(BM_SeriesMatch);
+
+void BM_SeriesMatchNoPruning(benchmark::State& state) {
+  const auto profile = noisy_sine(2000, 30.0, 4);
+  const auto query = profile_slice_query(profile, 700, 21);
+  dsp::SeriesMatchOptions opt = series_match_options();
+  opt.use_lower_bound = false;
+  opt.use_band_lower_bound = false;
+  opt.use_early_abandon = false;
   for (auto _ : state) {
     benchmark::DoNotOptimize(dsp::find_best_match(query, profile, opt));
   }
-  state.SetLabel("one Algorithm-1 estimate vs 10s profile");
+  state.SetLabel("workspace reuse only (pruning off)");
 }
-BENCHMARK(BM_SeriesMatch);
+BENCHMARK(BM_SeriesMatchNoPruning);
+
+void BM_SeriesMatchNaive(benchmark::State& state) {
+  const auto profile = noisy_sine(2000, 30.0, 4);
+  const auto query = profile_slice_query(profile, 700, 21);
+  const dsp::SeriesMatchOptions opt = series_match_options();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dsp::find_best_match_reference(query, profile, opt));
+  }
+  state.SetLabel("reference scan (no pruning, no workspace)");
+}
+BENCHMARK(BM_SeriesMatchNaive);
 
 void BM_ChannelSynthesis(benchmark::State& state) {
   const channel::CabinScene scene = channel::make_cabin_scene();

@@ -45,6 +45,7 @@ OrientationEstimate OrientationEstimator::estimate(
   opt.start_stride = config_.start_stride;
   opt.dtw.band_fraction = config_.band_fraction;
   opt.max_dc_offset = config_.max_dc_offset_rad;
+  opt.parallel = config_.parallel;
   const std::vector<double>& theta = position.orientation.values;
   if (context.hard_hint != nullptr) {
     const double center = context.hard_hint->theta_rad;
@@ -66,6 +67,7 @@ OrientationEstimate OrientationEstimator::estimate(
   }
   const dsp::SeriesMatch match =
       dsp::find_best_match(query.values, position.csi.values, opt);
+  out.scan = match.scan;
   if (!match.found) return out;
 
   // Steps 2-3: the orientation series shares the grid, so the matched

@@ -45,6 +45,12 @@ struct MatcherConfig {
   /// explicitly (TrackerConfig, phase-bias calibration) using the stable
   /// forward phase, which is unambiguous.
   double max_dc_offset_rad = 0.0;
+
+  /// Optional executor that fans the candidate-length loop of ONE match
+  /// across worker threads (not owned; may be nullptr = serial). Results
+  /// are bit-identical either way; engine::TrackerEngine points this at
+  /// its pool when a session has the pool to itself.
+  dsp::SeriesMatchParallel* parallel = nullptr;
 };
 
 /// One matching outcome.
@@ -68,6 +74,9 @@ struct OrientationEstimate {
     std::size_t match_length = 0;
   };
   std::vector<AltCandidate> candidates;
+  /// Prune funnel of the winning scan (lower-bound cuts, DTW abandons,
+  /// full evaluations) — surfaced through obs::TrackerStats.
+  dsp::SeriesMatchStats scan;
   /// Matched segment within the position profile.
   std::size_t match_start = 0;
   std::size_t match_length = 0;

@@ -20,6 +20,7 @@ SlotMatcher::Result SlotMatcher::match(const CsiProfile& profile,
       slot > config_.neighbor_slots ? slot - config_.neighbor_slots : 0;
   const std::size_t hi =
       std::min(profile.size() - 1, slot + config_.neighbor_slots);
+  dsp::SeriesMatchStats funnel;
   for (std::size_t j = lo; j <= hi; ++j) {
     const PositionProfile& pos = profile.positions[j];
     MatchContext context;
@@ -33,6 +34,7 @@ SlotMatcher::Result SlotMatcher::match(const CsiProfile& profile,
     }
     const OrientationEstimate ej =
         matcher_.estimate(pos, phase, t_now, context);
+    funnel.add(ej.scan);
     if (ej.valid && (!out.estimate.valid ||
                      ej.match_distance < out.estimate.match_distance)) {
       out.estimate = ej;
@@ -41,6 +43,13 @@ SlotMatcher::Result SlotMatcher::match(const CsiProfile& profile,
   }
   if (stats_ != nullptr) {
     stats_->match_attempts.inc();
+    // Prune funnel of this neighborhood's scans (fast-path visibility).
+    stats_->match_candidates.inc(funnel.candidates);
+    stats_->match_lb_endpoint_pruned.inc(funnel.lb_endpoint_pruned);
+    stats_->match_lb_band_pruned.inc(funnel.lb_band_pruned);
+    stats_->match_dtw_abandoned.inc(funnel.dtw_abandoned);
+    stats_->match_dtw_evaluated.inc(funnel.dtw_evaluated);
+    stats_->match_hits_filtered.inc(funnel.hits_filtered);
     if (out.estimate.valid) {
       stats_->dtw_best_cost.observe(out.estimate.match_distance);
       stats_->dtw_candidates.observe(

@@ -14,9 +14,10 @@ double local_cost(double x, double y) noexcept {
   return d * d;
 }
 
-// Band half-width in cells for the given option and problem size.
-std::size_t band_cells(const DtwOptions& options, std::size_t n,
-                       std::size_t m) {
+}  // namespace
+
+std::size_t dtw_band_cells(const DtwOptions& options, std::size_t n,
+                           std::size_t m) noexcept {
   const double frac = std::clamp(options.band_fraction, 0.0, 1.0);
   const auto longest = static_cast<double>(std::max(n, m));
   // The band must at least cover the diagonal slope mismatch |n - m| or the
@@ -27,21 +28,22 @@ std::size_t band_cells(const DtwOptions& options, std::size_t n,
   return std::max<std::size_t>(std::max(width, slope_gap), 1);
 }
 
-}  // namespace
-
-double dtw_distance(std::span<const double> a, std::span<const double> b,
-                    const DtwOptions& options) {
+double dtw_distance_buffered(std::span<const double> a,
+                             std::span<const double> b,
+                             const DtwOptions& options,
+                             std::vector<double>& prev_row,
+                             std::vector<double>& curr_row) {
   const std::size_t n = a.size();
   const std::size_t m = b.size();
   if (n == 0 || m == 0) return kInf;
 
-  const std::size_t band = band_cells(options, n, m);
-  std::vector<double> prev(m + 1, kInf);
-  std::vector<double> curr(m + 1, kInf);
-  prev[0] = 0.0;
+  const std::size_t band = dtw_band_cells(options, n, m);
+  prev_row.assign(m + 1, kInf);
+  curr_row.assign(m + 1, kInf);
+  prev_row[0] = 0.0;
 
   for (std::size_t i = 1; i <= n; ++i) {
-    std::fill(curr.begin(), curr.end(), kInf);
+    std::fill(curr_row.begin(), curr_row.end(), kInf);
     // Row band: j near the diagonal i * m / n.
     const auto diag =
         static_cast<std::size_t>(static_cast<double>(i) *
@@ -52,16 +54,23 @@ double dtw_distance(std::span<const double> a, std::span<const double> b,
     double row_min = kInf;
     for (std::size_t j = std::max<std::size_t>(j_lo, 1); j <= j_hi; ++j) {
       const double best_prev =
-          std::min({prev[j], prev[j - 1], curr[j - 1]});
+          std::min({prev_row[j], prev_row[j - 1], curr_row[j - 1]});
       if (best_prev == kInf) continue;
       const double c = best_prev + local_cost(a[i - 1], b[j - 1]);
-      curr[j] = c;
+      curr_row[j] = c;
       row_min = std::min(row_min, c);
     }
     if (row_min > options.abandon_above) return kInf;
-    std::swap(prev, curr);
+    std::swap(prev_row, curr_row);
   }
-  return prev[m];
+  return prev_row[m];
+}
+
+double dtw_distance(std::span<const double> a, std::span<const double> b,
+                    const DtwOptions& options) {
+  std::vector<double> prev;
+  std::vector<double> curr;
+  return dtw_distance_buffered(a, b, options, prev, curr);
 }
 
 double dtw_distance_normalized(std::span<const double> a,
@@ -79,7 +88,7 @@ DtwAlignment dtw_align(std::span<const double> a, std::span<const double> b,
   const std::size_t m = b.size();
   if (n == 0 || m == 0) return out;
 
-  const std::size_t band = band_cells(options, n, m);
+  const std::size_t band = dtw_band_cells(options, n, m);
   std::vector<std::vector<double>> dp(n + 1,
                                       std::vector<double>(m + 1, kInf));
   dp[0][0] = 0.0;
@@ -90,25 +99,37 @@ DtwAlignment dtw_align(std::span<const double> a, std::span<const double> b,
                                  static_cast<double>(n));
     const std::size_t j_lo = (diag > band) ? diag - band : 1;
     const std::size_t j_hi = std::min(m, diag + band);
+    double row_min = kInf;
     for (std::size_t j = std::max<std::size_t>(j_lo, 1); j <= j_hi; ++j) {
       const double best_prev =
           std::min({dp[i - 1][j], dp[i - 1][j - 1], dp[i][j - 1]});
       if (best_prev == kInf) continue;
       dp[i][j] = best_prev + local_cost(a[i - 1], b[j - 1]);
+      row_min = std::min(row_min, dp[i][j]);
     }
+    // Same early-abandon contract as dtw_distance: a row whose best cell
+    // already exceeds the threshold cannot recover.
+    if (row_min > options.abandon_above) return DtwAlignment{};
   }
   out.distance = dp[n][m];
   if (out.distance == kInf) return out;
 
-  // Backtrack from (n, m) to (1, 1).
+  // Backtrack from (n, m) to (1, 1). Every finite cell has at least one
+  // finite predecessor by construction, and the selection below never
+  // picks an infinite one (a tie on kInf would need all three infinite),
+  // so the walk stays inside the band and cannot underflow the indices.
   std::size_t i = n;
   std::size_t j = m;
-  while (i >= 1 && j >= 1) {
-    out.path.emplace_back(i - 1, j - 1);
-    if (i == 1 && j == 1) break;
-    double up = (i > 1) ? dp[i - 1][j] : kInf;
-    double left = (j > 1) ? dp[i][j - 1] : kInf;
-    double diag_v = (i > 1 && j > 1) ? dp[i - 1][j - 1] : kInf;
+  out.path.emplace_back(i - 1, j - 1);
+  while (i > 1 || j > 1) {
+    const double up = (i > 1) ? dp[i - 1][j] : kInf;
+    const double left = (j > 1) ? dp[i][j - 1] : kInf;
+    const double diag_v = (i > 1 && j > 1) ? dp[i - 1][j - 1] : kInf;
+    if (diag_v == kInf && up == kInf && left == kInf) {
+      // Band-border defect: no finite predecessor. Cannot happen for a
+      // finite cell; fail closed instead of stepping into kInf.
+      return DtwAlignment{};
+    }
     if (diag_v <= up && diag_v <= left) {
       --i;
       --j;
@@ -117,6 +138,7 @@ DtwAlignment dtw_align(std::span<const double> a, std::span<const double> b,
     } else {
       --j;
     }
+    out.path.emplace_back(i - 1, j - 1);
   }
   std::reverse(out.path.begin(), out.path.end());
   return out;

@@ -38,6 +38,23 @@ struct DtwOptions {
                                   std::span<const double> b,
                                   const DtwOptions& options = {});
 
+/// dtw_distance with caller-provided DP rows, so a scan evaluating
+/// thousands of candidates (dsp::find_best_match) allocates nothing per
+/// candidate. Bit-identical to dtw_distance: both run the same kernel.
+[[nodiscard]] double dtw_distance_buffered(std::span<const double> a,
+                                           std::span<const double> b,
+                                           const DtwOptions& options,
+                                           std::vector<double>& prev_row,
+                                           std::vector<double>& curr_row);
+
+/// Sakoe-Chiba band half-width in cells that dtw_distance / dtw_align use
+/// for an (n, m) problem under `options` (the band is widened to at least
+/// the |n - m| slope gap so the end cell stays reachable). Exposed so
+/// lower-bound precomputations can mirror the kernel's exact geometry.
+[[nodiscard]] std::size_t dtw_band_cells(const DtwOptions& options,
+                                         std::size_t n,
+                                         std::size_t m) noexcept;
+
 /// DTW distance normalized by the warp-path-independent length (n + m),
 /// which makes distances comparable across candidate segment lengths
 /// (Algorithm 1 compares candidates of length 0.5W .. 2W).
@@ -46,7 +63,10 @@ struct DtwOptions {
                                              const DtwOptions& options = {});
 
 /// Full DTW with warp-path extraction (O(n*m) memory). The path is a list
-/// of (i, j) index pairs from (0, 0) to (n-1, m-1).
+/// of (i, j) index pairs from (0, 0) to (n-1, m-1). Honors both DtwOptions
+/// fields: when a whole DP row exceeds `abandon_above` the alignment is
+/// abandoned and the result is empty (infinite distance, empty path), and
+/// the backtrack never steps outside the banded (finite) region.
 struct DtwAlignment {
   double distance = std::numeric_limits<double>::infinity();
   std::vector<std::pair<std::size_t, std::size_t>> path;

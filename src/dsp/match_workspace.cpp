@@ -1,0 +1,17 @@
+#include "dsp/match_workspace.h"
+
+namespace vihot::dsp {
+
+void build_prefix_sums(std::span<const double> xs, std::vector<double>& out) {
+  out.resize(xs.size() + 1);
+  out[0] = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    out[i + 1] = out[i] + xs[i];
+  }
+}
+
+void MatchWorkspace::bind(std::span<const double> reference) {
+  build_prefix_sums(reference, prefix_);
+}
+
+}  // namespace vihot::dsp

@@ -1,0 +1,72 @@
+// Reusable scratch state for the segment-search hot loop.
+//
+// Algorithm 1 evaluates ~num_lengths * (ref_len / stride) candidate
+// segments per neighbor slot, and the naive scan pays an allocation plus
+// an O(len) mean computation for every one of them. MatchWorkspace
+// hoists all of that out of the loop:
+//
+//   * prefix sums over the reference make any segment mean O(1);
+//   * the candidate scratch (effective segment, query envelope, DTW DP
+//     rows, hit list) lives in vectors that keep their capacity across
+//     candidates, scans, and estimates — the steady state allocates
+//     nothing.
+//
+// One workspace serves one scan at a time; distinct threads use distinct
+// workspaces (find_best_match keeps a thread_local one for callers that
+// do not pass their own).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vihot::dsp {
+
+/// One surviving candidate of a segment scan: distance is the normalized
+/// DTW distance, score is distance + the candidate's score_bias.
+struct MatchHit {
+  std::size_t start = 0;
+  std::size_t length = 0;
+  double distance = 0.0;
+  double score = 0.0;
+};
+
+/// Appends-free prefix sums: out[k] = xs[0] + ... + xs[k-1], out[0] = 0,
+/// accumulated left to right. Both the fast and the reference matcher
+/// paths derive segment means from this exact accumulation, which keeps
+/// their floating-point results bit-identical.
+void build_prefix_sums(std::span<const double> xs, std::vector<double>& out);
+
+/// Scratch buffers for one segment scan (see file comment).
+class MatchWorkspace {
+ public:
+  /// (Re)binds the workspace to a reference series: rebuilds the prefix
+  /// sums. O(reference length); call once per find_best_match call.
+  void bind(std::span<const double> reference);
+
+  /// Sum of reference[start, start + length) from the prefix sums.
+  [[nodiscard]] double segment_sum(std::size_t start,
+                                   std::size_t length) const noexcept {
+    return prefix_[start + length] - prefix_[start];
+  }
+
+  [[nodiscard]] const std::vector<double>& prefix() const noexcept {
+    return prefix_;
+  }
+
+  // Per-scan scratch. Members are cleared/overwritten by the scan; they
+  // are public because the scan loop in series_match.cpp is the only
+  // intended writer.
+  std::vector<double> query_eff;  ///< mean-centered query (when enabled)
+  std::vector<double> seg_eff;    ///< shift-adjusted candidate segment
+  std::vector<double> env_lo;     ///< per-column query envelope minimum
+  std::vector<double> env_hi;     ///< per-column query envelope maximum
+  std::vector<double> dtw_prev;   ///< DTW DP row
+  std::vector<double> dtw_curr;   ///< DTW DP row
+  std::vector<MatchHit> hits;     ///< surviving candidates of the scan
+
+ private:
+  std::vector<double> prefix_;
+};
+
+}  // namespace vihot::dsp

@@ -1,10 +1,9 @@
 #include "dsp/series_match.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <vector>
-
-#include "util/stats.h"
 
 namespace vihot::dsp {
 
@@ -12,11 +11,20 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-std::vector<double> centered(std::span<const double> xs) {
-  std::vector<double> out(xs.begin(), xs.end());
-  const double m = util::mean(xs);
-  for (double& v : out) v -= m;
-  return out;
+// Pruning bars are inflated by this factor before any lower bound or
+// abandon threshold is compared against them. Mathematically every bound
+// used here is <= the true DTW distance, but the bound and the DTW sum
+// accumulate in different orders, so their floating-point values can
+// disagree by a few ulps; the inflation (orders of magnitude above the
+// accumulated rounding of these ~1e2-term sums) keeps a candidate that
+// the exact retention filter would keep from ever being pruned. This is
+// what makes the pruned scan bit-identical to the unpruned one.
+constexpr double kBarSlack = 1.0 + 1e-12;
+
+double raw_mean(std::span<const double> xs) noexcept {
+  double sum = 0.0;
+  for (const double v : xs) sum += v;
+  return sum / static_cast<double>(xs.size());
 }
 
 // Candidate lengths spread evenly over [min_factor, max_factor] * W.
@@ -46,117 +54,412 @@ bool overlaps(std::size_t a_start, std::size_t a_len, std::size_t b_start,
   return a_start < b_start + b_len && b_start < a_start + a_len;
 }
 
+// The DC shift applied to the SEGMENT side before DTW (the query side is
+// at most mean-centered, once per scan). Folding the whole adjustment
+// into the segment keeps the query fixed, which is what lets the query
+// band envelope be computed once per candidate length. Derived from RAW
+// means on both sides, so the max_dc_offset tolerance keeps its meaning
+// when mean_center is on (the historical bug computed the delta from
+// already-centered series, making it always ~0):
+//
+//   cost term = q_eff[i] - (s[j] - shift)
+//
+//   mean_center on:  full centering when |smean - qmean| <= cap, with
+//                    the residual beyond the cap left in the cost;
+//   mean_center off: the level gap is absorbed up to the cap, exactly
+//                    the historical "shift the query by clamp(delta)".
+double seg_shift(const SeriesMatchOptions& opt, double qmean_raw,
+                 double smean_raw) noexcept {
+  if (opt.mean_center) {
+    if (opt.max_dc_offset > 0.0) {
+      return qmean_raw + std::clamp(smean_raw - qmean_raw,
+                                    -opt.max_dc_offset, opt.max_dc_offset);
+    }
+    return smean_raw;
+  }
+  if (opt.max_dc_offset > 0.0) {
+    return std::clamp(smean_raw - qmean_raw, -opt.max_dc_offset,
+                      opt.max_dc_offset);
+  }
+  return 0.0;
+}
+
+// Normalized-distance retention bar: hits beyond it are filtered from
+// the report, so candidates provably beyond it may be pruned without
+// ever running DTW. Additive term per the runner_up_slack_abs docs.
+double retention_bar(const SeriesMatchOptions& opt,
+                     double best_score) noexcept {
+  if (best_score == kInf) return kInf;
+  return std::max(opt.runner_up_slack, 1.0) * best_score +
+         std::max(opt.runner_up_slack_abs, 0.0);
+}
+
+// Per-column min/max of the query over the rows the Sakoe-Chiba band
+// lets visit that column, mirroring the kernel's exact geometry via
+// dtw_band_cells. Every warp path visits every column at least once and
+// only through in-band cells, so
+//
+//   sum_j interval_cost(seg[j], [env_lo[j], env_hi[j]])
+//
+// is a valid lower bound on the raw DTW distance (LB_Keogh-style).
+// Built once per candidate length, amortized over all starts. Columns no
+// row can reach (cannot happen for the widened band, but handled) keep
+// lo = +inf / hi = -inf, which makes their interval cost infinite —
+// consistent with the kernel returning infinity for unreachable ends.
+void build_envelope(std::span<const double> q, std::size_t m,
+                    const DtwOptions& dtw, std::vector<double>& lo,
+                    std::vector<double>& hi) {
+  const std::size_t n = q.size();
+  const std::size_t band = dtw_band_cells(dtw, n, m);
+  lo.assign(m + 1, kInf);
+  hi.assign(m + 1, -kInf);
+  for (std::size_t i = 1; i <= n; ++i) {
+    const auto diag =
+        static_cast<std::size_t>(static_cast<double>(i) *
+                                 static_cast<double>(m) /
+                                 static_cast<double>(n));
+    const std::size_t j_lo =
+        std::max<std::size_t>((diag > band) ? diag - band : 1, 1);
+    const std::size_t j_hi = std::min(m, diag + band);
+    const double v = q[i - 1];
+    for (std::size_t j = j_lo; j <= j_hi; ++j) {
+      lo[j] = std::min(lo[j], v);
+      hi[j] = std::max(hi[j], v);
+    }
+  }
+}
+
+// Envelope lower bound on the RAW dtw distance of (query, seg), with
+// early exit once the partial sum already exceeds `stop_above`.
+double band_lower_bound(std::span<const double> seg,
+                        const std::vector<double>& lo,
+                        const std::vector<double>& hi,
+                        double stop_above) noexcept {
+  double acc = 0.0;
+  for (std::size_t j = 0; j < seg.size(); ++j) {
+    const double v = seg[j];
+    if (v < lo[j + 1]) {
+      const double d = lo[j + 1] - v;
+      acc += d * d;
+    } else if (v > hi[j + 1]) {
+      const double d = v - hi[j + 1];
+      acc += d * d;
+    }
+    if (acc > stop_above) return acc;
+  }
+  return acc;
+}
+
+double endpoint_cost(double a, double b) noexcept {
+  const double d = a - b;
+  return d * d;
+}
+
+// Everything a per-length scan task needs, shared across lengths (and
+// across worker threads in the parallel path — all referenced state is
+// either immutable for the call or atomic).
+struct ScanContext {
+  std::span<const double> query;      ///< effective query (centered once)
+  std::span<const double> reference;
+  const SeriesMatchOptions* opt = nullptr;
+  const std::vector<double>* prefix = nullptr;  ///< reference prefix sums
+  double qmean_raw = 0.0;
+  std::size_t stride = 1;
+  /// Running best score, shared so every task prunes against the
+  /// tightest bar known anywhere. It only ever decreases toward the
+  /// final best, so any bar derived from it is >= the final retention
+  /// bar — pruning can only remove candidates the final filter would
+  /// drop, never a reported one.
+  std::atomic<double>* best_score = nullptr;
+};
+
+// Scans every start offset of one candidate length. `scratch` supplies
+// the per-candidate buffers (its prefix sums are NOT used — segment
+// means come from ctx.prefix, computed once per call); hits/stats are
+// the output slots of this length.
+void scan_length(const ScanContext& ctx, std::size_t len,
+                 MatchWorkspace& scratch, std::vector<MatchHit>& hits,
+                 SeriesMatchStats& stats) {
+  const SeriesMatchOptions& opt = *ctx.opt;
+  const std::span<const double> q = ctx.query;
+  const std::span<const double> reference = ctx.reference;
+  if (len > reference.size()) return;
+
+  const double scale = static_cast<double>(q.size() + len);
+  const std::vector<double>& prefix = *ctx.prefix;
+  bool envelope_ready = false;
+
+  for (std::size_t start = 0; start + len <= reference.size();
+       start += ctx.stride) {
+    if (opt.candidate_filter && !opt.candidate_filter(start, len)) {
+      continue;
+    }
+    ++stats.candidates;
+
+    const double smean_raw =
+        (prefix[start + len] - prefix[start]) / static_cast<double>(len);
+    const double shift = seg_shift(opt, ctx.qmean_raw, smean_raw);
+
+    // Raw-distance pruning bar for this candidate (inf until a first
+    // hit exists anywhere). See kBarSlack for why it is inflated.
+    const double best = ctx.best_score->load(std::memory_order_relaxed);
+    const double stop_raw = retention_bar(opt, best) * kBarSlack * scale;
+
+    // Lower-bound cascade, cheapest first. Stage 1: endpoints align in
+    // every warp path (O(1)).
+    if (opt.use_lower_bound) {
+      const double lb_end =
+          endpoint_cost(q.front(), reference[start] - shift) +
+          endpoint_cost(q.back(), reference[start + len - 1] - shift);
+      if (lb_end > stop_raw) {
+        ++stats.lb_endpoint_pruned;
+        continue;
+      }
+    }
+
+    // Effective segment for the kernel. shift == 0.0 is the common
+    // no-adjustment case; x - 0.0 == x bitwise, so the raw span is the
+    // same values without the copy.
+    std::span<const double> seg = reference.subspan(start, len);
+    if (shift != 0.0) {
+      scratch.seg_eff.resize(len);
+      for (std::size_t j = 0; j < len; ++j) {
+        scratch.seg_eff[j] = reference[start + j] - shift;
+      }
+      seg = scratch.seg_eff;
+    }
+
+    // Stage 2: band-envelope bound (O(len), early-exiting).
+    if (opt.use_band_lower_bound && stop_raw < kInf) {
+      if (!envelope_ready) {
+        build_envelope(q, len, opt.dtw, scratch.env_lo, scratch.env_hi);
+        envelope_ready = true;
+      }
+      if (band_lower_bound(seg, scratch.env_lo, scratch.env_hi, stop_raw) >
+          stop_raw) {
+        ++stats.lb_band_pruned;
+        continue;
+      }
+    }
+
+    // Stage 3: the kernel itself, abandoning once a DP row proves the
+    // candidate beyond the bar (row minima only grow along the DP).
+    DtwOptions dtw_opt = opt.dtw;
+    if (opt.use_early_abandon && stop_raw < dtw_opt.abandon_above) {
+      dtw_opt.abandon_above = stop_raw;
+    }
+    const double d_raw = dtw_distance_buffered(q, seg, dtw_opt,
+                                               scratch.dtw_prev,
+                                               scratch.dtw_curr);
+    if (d_raw == kInf) {
+      ++stats.dtw_abandoned;
+      continue;
+    }
+    ++stats.dtw_evaluated;
+
+    const double d = d_raw / scale;
+    const double bias =
+        opt.score_bias ? opt.score_bias(start, len) : 0.0;
+    const double score = d + bias;
+    hits.push_back({start, len, d, score});
+
+    double cur = ctx.best_score->load(std::memory_order_relaxed);
+    while (score < cur &&
+           !ctx.best_score->compare_exchange_weak(
+               cur, score, std::memory_order_relaxed)) {
+    }
+  }
+}
+
+// Turns the raw hit list of a scan into the reported SeriesMatch. This
+// runs identically for the fast, reference, serial, and parallel paths —
+// the equivalence guarantee lives here: the winner is the first hit in
+// scan order reaching the minimum score (the strict `<` running best of
+// the naive loop), and the retention filter deterministically drops
+// everything beyond the bar, which is exactly the set pruning was
+// allowed to remove.
+SeriesMatch finalize_scan(std::vector<MatchHit>& hits,
+                          const SeriesMatchOptions& opt,
+                          SeriesMatchStats stats) {
+  SeriesMatch best;
+  if (!hits.empty()) {
+    std::size_t wi = 0;
+    for (std::size_t i = 1; i < hits.size(); ++i) {
+      if (hits[i].score < hits[wi].score) wi = i;
+    }
+    best.found = true;
+    best.start = hits[wi].start;
+    best.length = hits[wi].length;
+    best.distance = hits[wi].distance;
+    best.score = hits[wi].score;
+
+    const double bar = retention_bar(opt, best.score);
+    const auto kept =
+        std::remove_if(hits.begin(), hits.end(),
+                       [bar](const MatchHit& h) { return h.distance > bar; });
+    stats.hits_filtered += static_cast<std::uint64_t>(hits.end() - kept);
+    hits.erase(kept, hits.end());
+
+    // Total order (distance, start, length): ties on distance must not
+    // resolve differently between scan modes.
+    std::sort(hits.begin(), hits.end(),
+              [](const MatchHit& a, const MatchHit& b) {
+                if (a.distance != b.distance) return a.distance < b.distance;
+                if (a.start != b.start) return a.start < b.start;
+                return a.length < b.length;
+              });
+
+    // Greedy non-overlapping top-K by ascending distance.
+    for (const MatchHit& h : hits) {
+      if (best.top.size() >= std::max<std::size_t>(opt.top_k, 1)) break;
+      bool clash = false;
+      for (const auto& c : best.top) {
+        if (overlaps(h.start, h.length, c.start, c.length)) {
+          clash = true;
+          break;
+        }
+      }
+      if (!clash) best.top.push_back({h.start, h.length, h.distance});
+    }
+    if (best.top.size() >= 2) {
+      best.runner_up = best.top[1].distance;
+      best.runner_up_start = best.top[1].start;
+      best.runner_up_length = best.top[1].length;
+    }
+  }
+  best.scan = stats;
+  return best;
+}
+
 }  // namespace
 
 SeriesMatch find_best_match(std::span<const double> query,
                             std::span<const double> reference,
-                            const SeriesMatchOptions& options) {
-  SeriesMatch best;
-  if (query.size() < 2 || reference.size() < 2) return best;
+                            const SeriesMatchOptions& options,
+                            MatchWorkspace& workspace) {
+  if (query.size() < 2 || reference.size() < 2) return SeriesMatch{};
+  const auto lengths = candidate_lengths(query.size(), options);
+  if (lengths.empty()) return SeriesMatch{};
 
-  std::vector<double> query_c;
+  workspace.bind(reference);
+  const double qmean_raw = raw_mean(query);
+  std::span<const double> q = query;
   if (options.mean_center) {
-    query_c = centered(query);
-    query = query_c;
+    workspace.query_eff.resize(query.size());
+    for (std::size_t i = 0; i < query.size(); ++i) {
+      workspace.query_eff[i] = query[i] - qmean_raw;
+    }
+    q = workspace.query_eff;
   }
 
+  std::atomic<double> best_score{kInf};
+  ScanContext ctx;
+  ctx.query = q;
+  ctx.reference = reference;
+  ctx.opt = &options;
+  ctx.prefix = &workspace.prefix();
+  ctx.qmean_raw = qmean_raw;
+  ctx.stride = std::max<std::size_t>(options.start_stride, 1);
+  ctx.best_score = &best_score;
+
+  SeriesMatchStats stats;
+  if (options.parallel != nullptr && lengths.size() >= 2) {
+    struct Partial {
+      std::vector<MatchHit> hits;
+      SeriesMatchStats stats;
+    };
+    std::vector<Partial> parts(lengths.size());
+    auto task = [&](std::size_t k) {
+      // Scratch only — segment means come from ctx.prefix, so a stale
+      // thread_local workspace can never leak state between calls.
+      thread_local MatchWorkspace tls_scratch;
+      scan_length(ctx, lengths[k], tls_scratch, parts[k].hits,
+                  parts[k].stats);
+    };
+    if (options.parallel->run(lengths.size(), task)) {
+      // Merge in length order: the concatenation IS the serial scan
+      // order, so finalize_scan sees the same sequence either way.
+      workspace.hits.clear();
+      for (Partial& p : parts) {
+        workspace.hits.insert(workspace.hits.end(), p.hits.begin(),
+                              p.hits.end());
+        stats.add(p.stats);
+      }
+      return finalize_scan(workspace.hits, options, stats);
+    }
+    // Executor unavailable (busy / no workers): fall through to serial.
+  }
+
+  workspace.hits.clear();
+  for (const std::size_t len : lengths) {
+    scan_length(ctx, len, workspace, workspace.hits, stats);
+  }
+  return finalize_scan(workspace.hits, options, stats);
+}
+
+SeriesMatch find_best_match(std::span<const double> query,
+                            std::span<const double> reference,
+                            const SeriesMatchOptions& options) {
+  thread_local MatchWorkspace workspace;
+  return find_best_match(query, reference, options, workspace);
+}
+
+SeriesMatch find_best_match_reference(std::span<const double> query,
+                                      std::span<const double> reference,
+                                      const SeriesMatchOptions& options) {
+  SeriesMatch best;
+  if (query.size() < 2 || reference.size() < 2) return best;
   const auto lengths = candidate_lengths(query.size(), options);
   if (lengths.empty()) return best;
 
+  // Same mean arithmetic as the fast path (prefix-sum accumulation),
+  // so both feed the kernel bit-identical inputs.
+  std::vector<double> prefix;
+  build_prefix_sums(reference, prefix);
+  const double qmean_raw = raw_mean(query);
+  std::vector<double> query_c;
+  std::span<const double> q = query;
+  if (options.mean_center) {
+    query_c.resize(query.size());
+    for (std::size_t i = 0; i < query.size(); ++i) {
+      query_c[i] = query[i] - qmean_raw;
+    }
+    q = query_c;
+  }
+
   const std::size_t stride = std::max<std::size_t>(options.start_stride, 1);
-
-  // Track the best non-overlapping runner-up for ambiguity diagnostics.
-  struct Hit {
-    std::size_t start;
-    std::size_t length;
-    double distance;
-  };
-  std::vector<Hit> hits;
-
-  std::vector<double> segment_c;
-  std::vector<double> shifted_q;
-  double query_mean = 0.0;
-  for (const double v : query) query_mean += v;
-  query_mean /= static_cast<double>(query.size());
+  std::vector<MatchHit> hits;
+  SeriesMatchStats stats;
   for (const std::size_t len : lengths) {
     if (len > reference.size()) continue;
+    const double scale = static_cast<double>(q.size() + len);
     for (std::size_t start = 0; start + len <= reference.size();
          start += stride) {
-      if (options.candidate_filter && !options.candidate_filter(start, len)) {
+      if (options.candidate_filter &&
+          !options.candidate_filter(start, len)) {
         continue;
       }
-      std::span<const double> segment = reference.subspan(start, len);
-      if (options.mean_center) {
-        segment_c = centered(segment);
-        segment = segment_c;
+      ++stats.candidates;
+      const double smean_raw =
+          (prefix[start + len] - prefix[start]) / static_cast<double>(len);
+      const double shift = seg_shift(options, qmean_raw, smean_raw);
+      std::vector<double> seg(len);
+      for (std::size_t j = 0; j < len; ++j) {
+        seg[j] = reference[start + j] - shift;
       }
-      std::span<const double> q = query;
-      if (options.max_dc_offset > 0.0) {
-        double seg_mean = 0.0;
-        for (const double v : segment) seg_mean += v;
-        seg_mean /= static_cast<double>(segment.size());
-        const double delta = std::clamp(seg_mean - query_mean,
-                                        -options.max_dc_offset,
-                                        options.max_dc_offset);
-        shifted_q.resize(query.size());
-        for (std::size_t k = 0; k < query.size(); ++k) {
-          shifted_q[k] = query[k] + delta;
-        }
-        q = shifted_q;
+      const double d_raw = dtw_distance(q, seg, options.dtw);
+      if (d_raw == kInf) {
+        ++stats.dtw_abandoned;
+        continue;
       }
+      ++stats.dtw_evaluated;
+      const double d = d_raw / scale;
       const double bias =
           options.score_bias ? options.score_bias(start, len) : 0.0;
-      // Normalized scores are compared, so the abandon threshold maps
-      // back to an un-normalized bound for this candidate's size. A
-      // candidate can only win if d + bias < best.score, so pruning DTW
-      // at (best.score - bias) is exact.
-      const double scale = static_cast<double>(q.size() + len);
-      const double slack = std::max(options.runner_up_slack, 1.0);
-      const double win_bar = best.score * slack - bias;
-      if (win_bar <= 0.0) continue;
-      if (options.use_lower_bound && best.score < kInf) {
-        if (dtw_lower_bound(q, segment) / scale >= win_bar) {
-          continue;
-        }
-      }
-      DtwOptions dtw_opt = options.dtw;
-      if (best.score < kInf) {
-        dtw_opt.abandon_above = win_bar * scale;
-      }
-      const double d = dtw_distance_normalized(q, segment, dtw_opt);
-      if (d == kInf) continue;
-      hits.push_back({start, len, d});
-      if (d + bias < best.score) {
-        best.found = true;
-        best.start = start;
-        best.length = len;
-        best.distance = d;
-        best.score = d + bias;
-      }
+      hits.push_back({start, len, d, d + bias});
     }
   }
-  if (!best.found) return best;
-
-  // Greedy non-overlapping top-K by ascending distance (winner first).
-  std::sort(hits.begin(), hits.end(),
-            [](const Hit& a, const Hit& b) { return a.distance < b.distance; });
-  for (const Hit& h : hits) {
-    if (best.top.size() >= std::max<std::size_t>(options.top_k, 1)) break;
-    bool clash = false;
-    for (const auto& c : best.top) {
-      if (overlaps(h.start, h.length, c.start, c.length)) {
-        clash = true;
-        break;
-      }
-    }
-    if (!clash) best.top.push_back({h.start, h.length, h.distance});
-  }
-  if (best.top.size() >= 2) {
-    best.runner_up = best.top[1].distance;
-    best.runner_up_start = best.top[1].start;
-    best.runner_up_length = best.top[1].length;
-  }
-  return best;
+  return finalize_scan(hits, options, stats);
 }
 
 }  // namespace vihot::dsp

@@ -6,19 +6,44 @@
 //       d = DTW(query, profile[tau_j, tau_j + Ln])
 //   return the segment with minimum d
 //
-// The search is exhaustive over a configurable stride grid, with optional
-// lower-bound pruning and DTW early abandoning against the best-so-far.
+// The search is exhaustive over a configurable stride grid. The fast path
+// prunes candidates through a cascaded lower-bound chain (endpoint bound,
+// then a band-envelope bound) and abandons hopeless DTW evaluations early
+// — while returning bit-identical best/runner-up/top-K results to the
+// unpruned scan (see DESIGN.md "Matcher pruning invariants"): pruning
+// only ever removes candidates that the retention bar
+//
+//   distance <= runner_up_slack * best_score + runner_up_slack_abs
+//
+// would discard from the report anyway, and the winner always clears
+// that bar.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <limits>
 #include <span>
 #include <vector>
 
 #include "dsp/dtw.h"
+#include "dsp/match_workspace.h"
 
 namespace vihot::dsp {
+
+/// Fans the per-candidate-length loop of ONE match across worker threads.
+/// run() invokes fn(k) for every k in [0, count), concurrently, and
+/// returns true once all calls completed — or returns false WITHOUT
+/// calling fn at all (no workers available / executor busy), in which
+/// case the matcher falls back to its serial loop. Implementations live
+/// above the dsp layer (engine::MatchParallelizer wraps the engine's
+/// WorkerPool); dsp only defines the seam.
+class SeriesMatchParallel {
+ public:
+  virtual ~SeriesMatchParallel() = default;
+  virtual bool run(std::size_t count,
+                   const std::function<void(std::size_t)>& fn) = 0;
+};
 
 /// Tuning knobs for the segment search.
 struct SeriesMatchOptions {
@@ -39,30 +64,48 @@ struct SeriesMatchOptions {
   bool mean_center = false;
 
   /// Tolerated DC offset between query and candidate (same units as the
-  /// series). The query is shifted by clamp(mean(seg) - mean(query),
-  /// +-max_dc_offset) before DTW. A small value absorbs the curve offset
-  /// caused by the head sitting *between* two profiled positions, while
-  /// still rejecting far-away branches whose level differs by more.
-  /// 0 disables the adjustment.
+  /// series), computed from the RAW means of both sides — so it keeps its
+  /// meaning when mean_center is on. Level differences up to this cap are
+  /// absorbed before DTW; any residual beyond the cap stays in the cost. A
+  /// small value absorbs the curve offset caused by the head sitting
+  /// *between* two profiled positions, while still rejecting far-away
+  /// branches whose level differs by more. 0 disables the adjustment.
   double max_dc_offset = 0.0;
 
-  /// Skip candidates whose cheap lower bound exceeds the best-so-far.
+  /// Skip candidates whose O(1) endpoint lower bound already exceeds the
+  /// retention bar.
   bool use_lower_bound = true;
 
-  /// Candidates within this factor of the best score are still evaluated
-  /// fully (not abandoned), so the runner-up report stays meaningful.
+  /// Second stage of the lower-bound cascade: a per-column envelope bound
+  /// under the exact DTW band geometry (LB_Keogh-style), evaluated only
+  /// for candidates the endpoint bound could not prune.
+  bool use_band_lower_bound = true;
+
+  /// Abandon a DTW evaluation once a whole DP row exceeds the retention
+  /// bar (on top of any caller-set dtw.abandon_above).
+  bool use_early_abandon = true;
+
+  /// Retention bar: candidates with normalized distance within
+  /// runner_up_slack * best_score + runner_up_slack_abs survive into the
+  /// runner-up / top-K report; everything beyond is fair game for pruning
+  /// and is filtered from the report even when evaluated. The additive
+  /// term keeps the report meaningful when the best score is ~0 (exact
+  /// match), where a purely multiplicative bar would starve the
+  /// runner-up.
   double runner_up_slack = 4.0;
+  double runner_up_slack_abs = 0.05;
 
   /// How many mutually non-overlapping top candidates to report.
   std::size_t top_k = 4;
 
-  /// DTW options; `abandon_above` is managed internally per candidate.
+  /// DTW options; `abandon_above` is tightened internally per candidate.
   DtwOptions dtw{};
 
   /// Optional per-candidate predicate on (start, length). Candidates it
   /// rejects are skipped before any DTW work. ViHOT uses this to enforce
   /// head-motion continuity: only segments ending at an orientation the
   /// head could have reached since the last estimate are eligible.
+  /// Must be safe to call concurrently when `parallel` is set.
   std::function<bool(std::size_t start, std::size_t length)> candidate_filter;
 
   /// Optional non-negative score penalty added to a candidate's
@@ -71,7 +114,35 @@ struct SeriesMatchOptions {
   /// and slope ("twin branches"); a gentle penalty on the angular jump
   /// breaks such near-ties toward the previous estimate while a decisive
   /// shape difference still wins outright.
+  /// Must be safe to call concurrently when `parallel` is set.
   std::function<double(std::size_t start, std::size_t length)> score_bias;
+
+  /// Optional executor splitting the candidate-length loop across worker
+  /// threads (not owned; may be nullptr). The result is bit-identical to
+  /// the serial scan either way; the engine enables this only when a
+  /// session has the whole pool to itself.
+  SeriesMatchParallel* parallel = nullptr;
+};
+
+/// Where the candidates of one scan went — the prune funnel. Every
+/// candidate that passes candidate_filter lands in exactly one of the
+/// pruned/abandoned/evaluated buckets.
+struct SeriesMatchStats {
+  std::uint64_t candidates = 0;         ///< candidates past the filter
+  std::uint64_t lb_endpoint_pruned = 0; ///< cut by the O(1) endpoint bound
+  std::uint64_t lb_band_pruned = 0;     ///< cut by the band-envelope bound
+  std::uint64_t dtw_abandoned = 0;      ///< DTW started but returned inf
+  std::uint64_t dtw_evaluated = 0;      ///< DTW completed with a finite d
+  std::uint64_t hits_filtered = 0;      ///< hits beyond the retention bar
+
+  void add(const SeriesMatchStats& other) noexcept {
+    candidates += other.candidates;
+    lb_endpoint_pruned += other.lb_endpoint_pruned;
+    lb_band_pruned += other.lb_band_pruned;
+    dtw_abandoned += other.dtw_abandoned;
+    dtw_evaluated += other.dtw_evaluated;
+    hits_filtered += other.hits_filtered;
+  }
 };
 
 /// Outcome of a segment search.
@@ -90,8 +161,8 @@ struct SeriesMatch {
   std::size_t runner_up_start = 0;
   std::size_t runner_up_length = 0;
 
-  /// Top candidates (winner first), mutually non-overlapping, by
-  /// ascending distance. Size bounded by SeriesMatchOptions::top_k.
+  /// Top candidates within the retention bar (ascending distance),
+  /// mutually non-overlapping. Size bounded by SeriesMatchOptions::top_k.
   struct Candidate {
     std::size_t start = 0;
     std::size_t length = 0;
@@ -99,14 +170,36 @@ struct SeriesMatch {
     [[nodiscard]] std::size_t end() const noexcept { return start + length; }
   };
   std::vector<Candidate> top;
+
+  /// Prune funnel of this scan (how the result was reached).
+  SeriesMatchStats scan;
+
   /// End index (exclusive) in the reference.
   [[nodiscard]] std::size_t end() const noexcept { return start + length; }
 };
 
 /// Finds the best-matching segment of `reference` for `query` under DTW.
 /// Returns found == false when the reference is shorter than the smallest
-/// candidate or either series is empty.
+/// candidate or either series is empty. Uses an internal thread_local
+/// MatchWorkspace, so repeated calls from one thread are allocation-free
+/// in the steady state.
 [[nodiscard]] SeriesMatch find_best_match(
+    std::span<const double> query, std::span<const double> reference,
+    const SeriesMatchOptions& options = {});
+
+/// Same, with a caller-owned workspace (one workspace per concurrent
+/// caller).
+[[nodiscard]] SeriesMatch find_best_match(std::span<const double> query,
+                                          std::span<const double> reference,
+                                          const SeriesMatchOptions& options,
+                                          MatchWorkspace& workspace);
+
+/// Reference implementation: the same scan with no pruning, no early
+/// abandoning, no scratch reuse, and per-candidate allocations. Exists to
+/// pin the fast path down — the matcher-equivalence tests assert both
+/// return bit-identical results. Ignores the pruning toggles and
+/// `parallel` in `options`.
+[[nodiscard]] SeriesMatch find_best_match_reference(
     std::span<const double> query, std::span<const double> reference,
     const SeriesMatchOptions& options = {});
 

@@ -1,0 +1,18 @@
+#include "engine/match_parallel.h"
+
+namespace vihot::engine {
+
+bool MatchParallelizer::run(std::size_t count,
+                            const std::function<void(std::size_t)>& fn) {
+  if (count < 2 || pool_.size() == 0 ||
+      !enabled_.load(std::memory_order_acquire)) {
+    return false;
+  }
+  std::unique_lock<std::mutex> lk(busy_, std::try_to_lock);
+  if (!lk.owns_lock()) return false;
+  auto job = [&fn](std::size_t k) { fn(k); };
+  pool_.run(count, job);
+  return true;
+}
+
+}  // namespace vihot::engine

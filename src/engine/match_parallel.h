@@ -1,0 +1,49 @@
+// Adapter letting ONE tracking session's segment search borrow the
+// engine's whole WorkerPool.
+//
+// estimate_all() normally parallelizes ACROSS sessions — but a fleet of
+// one leaves every worker idle while the lone session scans thousands of
+// DTW candidates serially. MatchParallelizer closes that gap: the engine
+// arms it only for the duration of a lone-session batch tick (the
+// session itself is estimated inline on the calling thread, so the pool
+// is guaranteed idle — WorkerPool::run is not re-entrant), and the
+// matcher fans its candidate-length loop through it. Everywhere else the
+// adapter declines and the matcher falls back to its serial loop, which
+// returns bit-identical results.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+
+#include "dsp/series_match.h"
+#include "engine/worker_pool.h"
+
+namespace vihot::engine {
+
+class MatchParallelizer final : public dsp::SeriesMatchParallel {
+ public:
+  /// `pool` must outlive the adapter.
+  explicit MatchParallelizer(WorkerPool& pool) : pool_(pool) {}
+
+  /// Arms / disarms the adapter. While disarmed, run() declines without
+  /// touching the pool.
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_release);
+  }
+
+  /// Runs fn(k) for k in [0, count) on the pool, or returns false
+  /// without calling fn when disarmed, the pool has no workers, the
+  /// batch is trivially small, or another match already owns the pool
+  /// (try-lock — never blocks a concurrent caller into a deadlock).
+  bool run(std::size_t count,
+           const std::function<void(std::size_t)>& fn) override;
+
+ private:
+  WorkerPool& pool_;
+  std::atomic<bool> enabled_{false};
+  std::mutex busy_;  ///< serializes pool access between concurrent matches
+};
+
+}  // namespace vihot::engine

@@ -7,7 +7,9 @@
 namespace vihot::engine {
 
 TrackerEngine::TrackerEngine(const Config& config)
-    : pool_(config.num_threads), sink_(config.sink) {}
+    : pool_(config.num_threads),
+      parallel_single_session_(config.parallel_single_session),
+      sink_(config.sink) {}
 
 std::shared_ptr<const core::CsiProfile> TrackerEngine::add_profile(
     core::CsiProfile profile) {
@@ -30,6 +32,12 @@ SessionId TrackerEngine::create_session(
   // aggregates both the serving metrics and the per-stage counters.
   core::TrackerConfig cfg = config;
   if (cfg.sink == nullptr) cfg.sink = sink_;
+  // Point every session's matcher at the pool-lending adapter. It only
+  // engages while estimate_all() arms it for a lone-session tick; at all
+  // other times it declines and the matcher scans serially.
+  if (parallel_single_session_ && cfg.matcher.parallel == nullptr) {
+    cfg.matcher.parallel = &match_parallel_;
+  }
   auto session = std::make_unique<TrackerSession>(
       id, std::move(profile), cfg, sink_ ? &sink_->engine : nullptr);
   roster_.push_back(session.get());
@@ -110,12 +118,27 @@ std::span<const core::TrackResult> TrackerEngine::estimate_all(double t_now) {
   std::lock_guard<std::mutex> batch(batch_mu_);
   std::shared_lock<std::shared_mutex> lk(roster_mu_);
   auto job = [&](std::size_t i) { results_[i] = roster_[i]->estimate(t_now); };
+  // A fleet of one gets no inter-session parallelism, so lend the idle
+  // pool to that session's own segment search instead: the session runs
+  // inline on this thread (the pool must be idle — WorkerPool::run is
+  // not re-entrant) with the parallelizer armed for the duration.
+  const bool lend_pool = parallel_single_session_ && roster_.size() == 1 &&
+                         pool_.size() > 0;
+  const auto run_batch = [&] {
+    if (lend_pool) {
+      match_parallel_.set_enabled(true);
+      job(0);
+      match_parallel_.set_enabled(false);
+    } else {
+      pool_.run(roster_.size(), job);
+    }
+  };
   if (sink_ == nullptr) {
-    pool_.run(roster_.size(), job);
+    run_batch();
     return {results_.data(), results_.size()};
   }
   const auto t0 = std::chrono::steady_clock::now();
-  pool_.run(roster_.size(), job);
+  run_batch();
   const auto t1 = std::chrono::steady_clock::now();
   obs::EngineStats& stats = sink_->engine;
   stats.batches.inc();

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/tracker.h"
+#include "engine/match_parallel.h"
 #include "engine/worker_pool.h"
 #include "obs/sink.h"
 
@@ -134,6 +135,13 @@ class TrackerEngine {
     /// whose own sink is null inherit this one, so engine- and
     /// stage-level metrics land in the same hub.
     obs::Sink* sink = nullptr;
+
+    /// When exactly one session is live, estimate_all() runs it inline
+    /// and lends the otherwise-idle worker pool to that session's
+    /// segment search (the matcher's candidate-length loop fans out
+    /// across the workers). Bit-identical results either way; see
+    /// engine::MatchParallelizer.
+    bool parallel_single_session = true;
   };
 
   TrackerEngine() : TrackerEngine(Config{}) {}
@@ -196,6 +204,10 @@ class TrackerEngine {
   [[nodiscard]] TrackerSession* find(SessionId id) const;
 
   WorkerPool pool_;
+  /// Lends the pool to a lone session's segment search; armed only while
+  /// estimate_all() runs that session inline (so the pool is idle).
+  MatchParallelizer match_parallel_{pool_};
+  bool parallel_single_session_ = true;
   obs::Sink* sink_ = nullptr;  ///< not owned; may be nullptr
 
   /// Guards the roster (sessions_/roster_/results_ shape). Shared for

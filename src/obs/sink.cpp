@@ -17,6 +17,13 @@ void Sink::attach_to(Registry& registry, const std::string& prefix) const {
   registry.attach(t + "window_uncovered", tracker.window_uncovered);
   registry.attach(t + "match_attempts", tracker.match_attempts);
   registry.attach(t + "match_invalid", tracker.match_invalid);
+  registry.attach(t + "match_candidates", tracker.match_candidates);
+  registry.attach(t + "match_lb_endpoint_pruned",
+                  tracker.match_lb_endpoint_pruned);
+  registry.attach(t + "match_lb_band_pruned", tracker.match_lb_band_pruned);
+  registry.attach(t + "match_dtw_abandoned", tracker.match_dtw_abandoned);
+  registry.attach(t + "match_dtw_evaluated", tracker.match_dtw_evaluated);
+  registry.attach(t + "match_hits_filtered", tracker.match_hits_filtered);
   registry.attach(t + "dtw_best_cost", tracker.dtw_best_cost);
   registry.attach(t + "dtw_candidates", tracker.dtw_candidates);
   registry.attach(t + "phase_bias_abs", tracker.phase_bias_abs);
@@ -54,6 +61,12 @@ TrackerStatsSnapshot snapshot(const TrackerStats& stats) {
   out.window_uncovered = stats.window_uncovered.value();
   out.match_attempts = stats.match_attempts.value();
   out.match_invalid = stats.match_invalid.value();
+  out.match_candidates = stats.match_candidates.value();
+  out.match_lb_endpoint_pruned = stats.match_lb_endpoint_pruned.value();
+  out.match_lb_band_pruned = stats.match_lb_band_pruned.value();
+  out.match_dtw_abandoned = stats.match_dtw_abandoned.value();
+  out.match_dtw_evaluated = stats.match_dtw_evaluated.value();
+  out.match_hits_filtered = stats.match_hits_filtered.value();
   out.relock_widen = stats.relock_widen.value();
   out.relock_global = stats.relock_global.value();
   out.relock_accepted = stats.relock_accepted.value();

@@ -42,6 +42,17 @@ struct TrackerStats {
   // Stage 3: SlotMatcher.
   Counter match_attempts;  ///< per-slot-neighborhood match calls
   Counter match_invalid;   ///< attempts with no valid candidate
+  // Segment-search prune funnel (dsp::SeriesMatchStats, aggregated per
+  // neighborhood): every candidate past the filter lands in exactly one
+  // of the pruned/abandoned/evaluated buckets, so
+  //   candidates = lb_endpoint + lb_band + abandoned + evaluated
+  // and the prune rate is 1 - evaluated / candidates.
+  Counter match_candidates;
+  Counter match_lb_endpoint_pruned;
+  Counter match_lb_band_pruned;
+  Counter match_dtw_abandoned;
+  Counter match_dtw_evaluated;
+  Counter match_hits_filtered;  ///< hits beyond the retention bar
   Histogram dtw_best_cost{0.001, 0.002, 0.005, 0.01,
                           0.02,  0.05,  0.1,   0.25};
   Histogram dtw_candidates{0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0};
@@ -73,6 +84,12 @@ struct TrackerStatsSnapshot {
   std::uint64_t window_uncovered = 0;
   std::uint64_t match_attempts = 0;
   std::uint64_t match_invalid = 0;
+  std::uint64_t match_candidates = 0;
+  std::uint64_t match_lb_endpoint_pruned = 0;
+  std::uint64_t match_lb_band_pruned = 0;
+  std::uint64_t match_dtw_abandoned = 0;
+  std::uint64_t match_dtw_evaluated = 0;
+  std::uint64_t match_hits_filtered = 0;
   std::uint64_t relock_widen = 0;
   std::uint64_t relock_global = 0;
   std::uint64_t relock_accepted = 0;

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <random>
 #include <vector>
 
 namespace vihot::dsp {
@@ -161,6 +164,151 @@ TEST_P(DtwShiftProperty, MonotoneInOffset) {
 
 INSTANTIATE_TEST_SUITE_P(Offsets, DtwShiftProperty,
                          ::testing::Values(0.0, 0.1, 0.3, 0.8, 1.5));
+
+std::vector<double> random_series(std::size_t n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-2.0, 2.0);
+  std::vector<double> xs(n);
+  for (double& v : xs) v = dist(rng);
+  return xs;
+}
+
+// Textbook full-table DTW with no band and no abandoning: the ground
+// truth the banded rolling-row kernel must reproduce when the band is
+// disabled. Same local cost and same min-then-add per cell, so the
+// floating-point results must agree exactly, not just approximately.
+double full_dp_reference(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  std::vector<std::vector<double>> dp(n + 1,
+                                      std::vector<double>(m + 1, kInf));
+  dp[0][0] = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      const double best_prev =
+          std::min({dp[i - 1][j], dp[i - 1][j - 1], dp[i][j - 1]});
+      if (best_prev == kInf) continue;
+      const double d = a[i - 1] - b[j - 1];
+      dp[i][j] = best_prev + d * d;
+    }
+  }
+  return dp[n][m];
+}
+
+// Property: with band_fraction = 1.0 the banded kernel IS full DTW.
+TEST(DtwFullDpProperty, UnbandedKernelMatchesReference) {
+  const std::size_t sizes[][2] = {{1, 1},  {1, 17},  {17, 1},  {2, 2},
+                                  {5, 5},  {23, 40}, {40, 23}, {64, 64}};
+  DtwOptions full;
+  full.band_fraction = 1.0;
+  for (const auto& s : sizes) {
+    for (std::uint32_t seed = 1; seed <= 5; ++seed) {
+      const auto a = random_series(s[0], seed);
+      const auto b = random_series(s[1], seed + 100);
+      EXPECT_EQ(dtw_distance(a, b, full), full_dp_reference(a, b))
+          << "n=" << s[0] << " m=" << s[1] << " seed=" << seed;
+    }
+  }
+}
+
+TEST(DtwTest, BufferedVariantIsBitIdentical) {
+  const auto a = random_series(31, 7);
+  const auto b = random_series(44, 8);
+  DtwOptions opt;
+  opt.band_fraction = 0.25;
+  std::vector<double> prev;
+  std::vector<double> curr;
+  EXPECT_EQ(dtw_distance_buffered(a, b, opt, prev, curr),
+            dtw_distance(a, b, opt));
+  // Reused (dirty) buffers must not change the result.
+  EXPECT_EQ(dtw_distance_buffered(b, a, opt, prev, curr),
+            dtw_distance(b, a, opt));
+}
+
+TEST(DtwTest, LengthOneAgainstLongerSumsAllCosts) {
+  // A single-sample series must align with every sample of the other
+  // side, so the distance is the plain sum of squared differences.
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {0.0, 2.0, 3.0};
+  const double expected = 1.0 + 1.0 + 4.0;
+  EXPECT_DOUBLE_EQ(dtw_distance(a, b), expected);
+  EXPECT_DOUBLE_EQ(dtw_distance(b, a), expected);
+  EXPECT_EQ(dtw_distance(a, b), full_dp_reference(a, b));
+}
+
+TEST(DtwAlignTest, LengthOneQuerySweepsAllColumns) {
+  const std::vector<double> a = {0.5};
+  const auto b = sine(9, 4.0);
+  const DtwAlignment al = dtw_align(a, b);
+  ASSERT_EQ(al.path.size(), b.size());
+  for (std::size_t k = 0; k < al.path.size(); ++k) {
+    EXPECT_EQ(al.path[k].first, 0u);
+    EXPECT_EQ(al.path[k].second, k);
+  }
+  EXPECT_NEAR(al.distance, dtw_distance(a, b), 1e-12);
+}
+
+TEST(DtwTest, SlopeGapWidensZeroBand) {
+  // n >> m: the requested band of 0 cells must be widened to the |n - m|
+  // slope gap or the end cell is unreachable.
+  const auto a = sine(120, 30.0);
+  const auto b = sine(5, 30.0);
+  DtwOptions opt;
+  opt.band_fraction = 0.0;
+  EXPECT_GE(dtw_band_cells(opt, a.size(), b.size()), a.size() - b.size());
+  EXPECT_LT(dtw_distance(a, b, opt), kInf);
+  EXPECT_LT(dtw_distance(b, a, opt), kInf);
+}
+
+TEST(DtwAlignTest, HonorsAbandonAbove) {
+  const auto a = sine(40, 20.0);
+  auto far = a;
+  for (double& v : far) v += 2.0;
+  DtwOptions opt;
+  opt.abandon_above = 1.0;  // true distance is 40 * 4 = 160
+  const DtwAlignment abandoned = dtw_align(a, far, opt);
+  EXPECT_EQ(abandoned.distance, kInf);
+  EXPECT_TRUE(abandoned.path.empty());
+  // The same threshold must keep a good match intact, matching
+  // dtw_distance under the same options.
+  const DtwAlignment kept = dtw_align(a, a, opt);
+  EXPECT_DOUBLE_EQ(kept.distance, 0.0);
+  ASSERT_FALSE(kept.path.empty());
+  EXPECT_EQ(kept.path.size(), a.size());
+}
+
+// Regression (band-border backtrack): with a narrow band and a large
+// slope gap most of the DP table is infinite; the backtrack must
+// terminate at (0, 0) having stepped only through in-band (finite)
+// cells instead of drifting into kInf territory.
+TEST(DtwAlignTest, BandBorderBacktrackStaysInsideBand) {
+  const auto a = sine(10, 5.0);
+  const auto b = sine(37, 5.0);
+  DtwOptions opt;
+  opt.band_fraction = 0.0;  // widened to the slope gap only
+  const DtwAlignment al = dtw_align(a, b, opt);
+  ASSERT_FALSE(al.path.empty());
+  EXPECT_EQ(al.path.front().first, 0u);
+  EXPECT_EQ(al.path.front().second, 0u);
+  EXPECT_EQ(al.path.back().first, a.size() - 1);
+  EXPECT_EQ(al.path.back().second, b.size() - 1);
+  EXPECT_NEAR(al.distance, dtw_distance(a, b, opt), 1e-12);
+  const std::size_t band = dtw_band_cells(opt, a.size(), b.size());
+  for (const auto& [pi, pj] : al.path) {
+    // Same diagonal/band geometry as the kernel (1-based DP indices).
+    const std::size_t i = pi + 1;
+    const std::size_t j = pj + 1;
+    const auto diag = static_cast<std::size_t>(
+        static_cast<double>(i) * static_cast<double>(b.size()) /
+        static_cast<double>(a.size()));
+    const std::size_t j_lo = std::max<std::size_t>(
+        (diag > band) ? diag - band : 1, 1);
+    const std::size_t j_hi = std::min(b.size(), diag + band);
+    EXPECT_GE(j, j_lo) << "path cell (" << pi << "," << pj << ")";
+    EXPECT_LE(j, j_hi) << "path cell (" << pi << "," << pj << ")";
+  }
+}
 
 }  // namespace
 }  // namespace vihot::dsp

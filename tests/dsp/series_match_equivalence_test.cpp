@@ -1,0 +1,264 @@
+// Matcher-equivalence suite (ctest label: matcher-equivalence).
+//
+// The fast path of dsp::find_best_match — prefix-sum means, the
+// endpoint/band lower-bound cascade, DTW early abandoning, workspace
+// reuse, and the parallel candidate-length fan-out — is only allowed to
+// change how fast the answer arrives, never the answer. These tests pin
+// that invariant down with EXPECT_EQ on doubles: best, runner-up, and
+// top-K must be BIT-IDENTICAL between the pruned scan, the unpruned
+// scan, the naive reference implementation, and the parallel scan.
+#include "dsp/series_match.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <random>
+#include <thread>
+#include <vector>
+
+namespace vihot::dsp {
+namespace {
+
+std::vector<double> noisy_sine(std::size_t n, double period,
+                               std::uint32_t seed, double amp = 1.0) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> noise(0.0, 0.05);
+  std::vector<double> xs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = amp * std::sin(2.0 * 3.14159265358979 *
+                           static_cast<double>(i) / period) +
+            noise(rng);
+  }
+  return xs;
+}
+
+void expect_same_match(const SeriesMatch& a, const SeriesMatch& b,
+                       const char* what) {
+  EXPECT_EQ(a.found, b.found) << what;
+  EXPECT_EQ(a.start, b.start) << what;
+  EXPECT_EQ(a.length, b.length) << what;
+  EXPECT_EQ(a.distance, b.distance) << what;  // bit-identical, not NEAR
+  EXPECT_EQ(a.score, b.score) << what;
+  EXPECT_EQ(a.runner_up, b.runner_up) << what;
+  EXPECT_EQ(a.runner_up_start, b.runner_up_start) << what;
+  EXPECT_EQ(a.runner_up_length, b.runner_up_length) << what;
+  ASSERT_EQ(a.top.size(), b.top.size()) << what;
+  for (std::size_t i = 0; i < a.top.size(); ++i) {
+    EXPECT_EQ(a.top[i].start, b.top[i].start) << what << " top[" << i << "]";
+    EXPECT_EQ(a.top[i].length, b.top[i].length)
+        << what << " top[" << i << "]";
+    EXPECT_EQ(a.top[i].distance, b.top[i].distance)
+        << what << " top[" << i << "]";
+  }
+}
+
+SeriesMatchOptions pruning_off(SeriesMatchOptions opt) {
+  opt.use_lower_bound = false;
+  opt.use_band_lower_bound = false;
+  opt.use_early_abandon = false;
+  return opt;
+}
+
+// A real multi-threaded executor (the engine's MatchParallelizer is
+// exercised by the engine tests; here we only need *some* concurrent
+// fan-out to prove scan-order independence).
+class ThreadedExecutor final : public SeriesMatchParallel {
+ public:
+  bool run(std::size_t count,
+           const std::function<void(std::size_t)>& fn) override {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> workers;
+    for (int w = 0; w < 4; ++w) {
+      workers.emplace_back([&] {
+        for (std::size_t k = next.fetch_add(1); k < count;
+             k = next.fetch_add(1)) {
+          fn(k);
+        }
+      });
+    }
+    for (std::thread& t : workers) t.join();
+    return true;
+  }
+};
+
+// Option sets covering every code path that transforms the series
+// (centering, DC shift) or scores candidates (bias, filter).
+struct NamedOptions {
+  const char* name;
+  SeriesMatchOptions opt;
+};
+
+std::vector<NamedOptions> option_matrix() {
+  std::vector<NamedOptions> out;
+  SeriesMatchOptions base;
+  base.dtw.band_fraction = 0.25;
+  base.start_stride = 2;
+  out.push_back({"default", base});
+
+  SeriesMatchOptions centered = base;
+  centered.mean_center = true;
+  out.push_back({"mean_center", centered});
+
+  SeriesMatchOptions dc = base;
+  dc.max_dc_offset = 0.3;
+  out.push_back({"dc_offset", dc});
+
+  SeriesMatchOptions both = base;
+  both.mean_center = true;
+  both.max_dc_offset = 0.3;
+  out.push_back({"mean_center+dc_offset", both});
+
+  SeriesMatchOptions biased = base;
+  biased.score_bias = [](std::size_t start, std::size_t) {
+    const double dev = static_cast<double>(start) - 100.0;
+    return 1e-6 * dev * dev;
+  };
+  out.push_back({"score_bias", biased});
+
+  SeriesMatchOptions filtered = base;
+  filtered.candidate_filter = [](std::size_t start, std::size_t) {
+    return start % 3 != 1;
+  };
+  out.push_back({"candidate_filter", filtered});
+  return out;
+}
+
+TEST(MatcherEquivalence, PrunedMatchesUnprunedBitIdentical) {
+  const auto reference = noisy_sine(600, 48.0, 11);
+  const auto query = noisy_sine(30, 48.0, 12);
+  for (const NamedOptions& cfg : option_matrix()) {
+    const SeriesMatch pruned = find_best_match(query, reference, cfg.opt);
+    const SeriesMatch unpruned =
+        find_best_match(query, reference, pruning_off(cfg.opt));
+    expect_same_match(pruned, unpruned, cfg.name);
+  }
+}
+
+TEST(MatcherEquivalence, FastPathMatchesNaiveReference) {
+  const auto reference = noisy_sine(600, 48.0, 21);
+  const auto query = noisy_sine(30, 48.0, 22);
+  for (const NamedOptions& cfg : option_matrix()) {
+    const SeriesMatch fast = find_best_match(query, reference, cfg.opt);
+    const SeriesMatch naive =
+        find_best_match_reference(query, reference, cfg.opt);
+    expect_same_match(fast, naive, cfg.name);
+  }
+}
+
+TEST(MatcherEquivalence, ParallelMatchesSerialBitIdentical) {
+  const auto reference = noisy_sine(600, 48.0, 31);
+  const auto query = noisy_sine(30, 48.0, 32);
+  ThreadedExecutor executor;
+  for (const NamedOptions& cfg : option_matrix()) {
+    const SeriesMatch serial = find_best_match(query, reference, cfg.opt);
+    SeriesMatchOptions par = cfg.opt;
+    par.parallel = &executor;
+    // The shared-best race changes which candidates get pruned, never
+    // which hits get reported; repeat to give the race some room.
+    for (int round = 0; round < 5; ++round) {
+      const SeriesMatch parallel = find_best_match(query, reference, par);
+      expect_same_match(serial, parallel, cfg.name);
+    }
+  }
+}
+
+TEST(MatcherEquivalence, DirtyWorkspaceReuseIsBitIdentical) {
+  const auto ref_a = noisy_sine(500, 40.0, 41);
+  const auto ref_b = noisy_sine(300, 25.0, 42);
+  const auto query = noisy_sine(28, 40.0, 43);
+  SeriesMatchOptions opt;
+  opt.dtw.band_fraction = 0.25;
+  MatchWorkspace ws;
+  const SeriesMatch first = find_best_match(query, ref_a, opt, ws);
+  // Scans against a different reference, then the original again: the
+  // recycled buffers must not leak state between calls.
+  (void)find_best_match(query, ref_b, opt, ws);
+  const SeriesMatch again = find_best_match(query, ref_a, opt, ws);
+  expect_same_match(first, again, "workspace reuse");
+}
+
+TEST(MatcherEquivalence, PruneFunnelAccountsForEveryCandidate) {
+  const auto reference = noisy_sine(600, 48.0, 51);
+  const auto query = noisy_sine(30, 48.0, 52);
+  SeriesMatchOptions opt;
+  opt.dtw.band_fraction = 0.25;
+  const SeriesMatch pruned = find_best_match(query, reference, opt);
+  const SeriesMatch unpruned =
+      find_best_match(query, reference, pruning_off(opt));
+  const SeriesMatchStats& s = pruned.scan;
+  EXPECT_EQ(s.candidates, s.lb_endpoint_pruned + s.lb_band_pruned +
+                              s.dtw_abandoned + s.dtw_evaluated);
+  EXPECT_EQ(unpruned.scan.dtw_evaluated + unpruned.scan.dtw_abandoned,
+            unpruned.scan.candidates);
+  // The whole point of the fast path: far fewer full DTW evaluations.
+  EXPECT_LT(s.dtw_evaluated, unpruned.scan.dtw_evaluated / 2);
+  EXPECT_GT(s.lb_endpoint_pruned + s.lb_band_pruned + s.dtw_abandoned, 0u);
+}
+
+// Regression (runner-up starvation): once the old scan found a perfect
+// (distance ~0) winner its pruning bar collapsed to zero and every later
+// candidate was skipped — so a periodic signal whose second-best match
+// lies AFTER the winner in scan order reported no runner-up at all. The
+// slack-aware bar must keep the runner-up bookkeeping exact.
+TEST(MatcherEquivalence, RunnerUpSurvivesExactWinnerPruning) {
+  std::vector<double> reference(220);
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    reference[i] =
+        std::sin(2.0 * 3.14159265358979 * static_cast<double>(i) / 50.0);
+  }
+  // Exact copy of an early window: the winner (distance == 0) appears
+  // early in the scan; the twin one period later must still be reported.
+  const std::vector<double> query(reference.begin() + 10,
+                                  reference.begin() + 40);
+  SeriesMatchOptions opt;
+  opt.dtw.band_fraction = 0.25;
+  opt.start_stride = 2;
+  const SeriesMatch pruned = find_best_match(query, reference, opt);
+  ASSERT_TRUE(pruned.found);
+  EXPECT_EQ(pruned.distance, 0.0);
+  EXPECT_GT(pruned.runner_up_length, 0u)
+      << "runner-up starved by an exact winner";
+  EXPECT_NEAR(static_cast<double>(pruned.runner_up_start), 60.0, 4.0);
+  const SeriesMatch unpruned =
+      find_best_match(query, reference, pruning_off(opt));
+  expect_same_match(pruned, unpruned, "exact-winner pruning");
+}
+
+// Regression (dead DC-offset path): with mean_center on, the offset
+// delta used to be computed from already-centered series, so it was
+// always ~0 and max_dc_offset silently behaved like plain centering —
+// level mismatches beyond the cap were forgiven instead of penalized.
+TEST(MatcherEquivalence, DcOffsetCapAppliesUnderMeanCentering) {
+  std::vector<double> reference(300);
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    reference[i] =
+        std::sin(2.0 * 3.14159265358979 * static_cast<double>(i) / 60.0);
+  }
+  SeriesMatchOptions opt;
+  opt.dtw.band_fraction = 0.25;
+  opt.mean_center = true;
+  opt.max_dc_offset = 0.2;
+
+  // Level shift within the cap: fully absorbed, the match is exact.
+  std::vector<double> query(reference.begin() + 20, reference.begin() + 50);
+  for (double& v : query) v += 0.15;
+  const SeriesMatch within = find_best_match(query, reference, opt);
+  ASSERT_TRUE(within.found);
+  EXPECT_LT(within.distance, 1e-12);
+
+  // Level shift beyond the cap: the residual must stay in the cost
+  // (the dead path used to absorb this entirely via centering).
+  std::vector<double> far_query(reference.begin() + 20,
+                                reference.begin() + 50);
+  for (double& v : far_query) v += 0.8;
+  const SeriesMatch beyond = find_best_match(far_query, reference, opt);
+  ASSERT_TRUE(beyond.found);
+  EXPECT_GT(beyond.distance, 0.01);
+  EXPECT_GT(beyond.distance, within.distance * 100.0);
+}
+
+}  // namespace
+}  // namespace vihot::dsp

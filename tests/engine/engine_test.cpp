@@ -223,6 +223,50 @@ TEST(TrackerEngineTest, ThreadCountDoesNotChangeResults) {
   }
 }
 
+TEST(TrackerEngineTest, LoneSessionBorrowsPoolWithIdenticalResults) {
+  // A fleet of one gets no inter-session parallelism, so estimate_all
+  // lends the pool to the lone session's segment search (the matcher's
+  // candidate-length loop fans out). The estimates must stay bit-equal
+  // to the inline engine — parallel matching may only change speed.
+  const auto theta = [](double t) { return -0.7 + 1.1 * (t - 1.0); };
+  auto run_lone = [&](std::size_t threads, bool lend) {
+    TrackerEngine::Config cfg;
+    cfg.num_threads = threads;
+    cfg.parallel_single_session = lend;
+    TrackerEngine engine(cfg);
+    const auto profile = engine.add_profile(synthetic_profile(5));
+    const double fp = profile->positions[2].fingerprint_phase;
+    const SessionId id = engine.create_session(profile);
+    feed([&](const auto& m) { engine.push_csi(id, m); }, theta, 0.9, 1.6,
+         fp);
+    std::vector<core::TrackResult> all;
+    for (double t = 1.2; t < 1.6; t += 0.05) {
+      const auto batch = engine.estimate_all(t);
+      all.insert(all.end(), batch.begin(), batch.end());
+    }
+    return all;
+  };
+
+  const auto inline_results = run_lone(0, true);
+  const auto lent_results = run_lone(4, true);
+  const auto unlent_results = run_lone(4, false);
+  ASSERT_EQ(inline_results.size(), lent_results.size());
+  ASSERT_EQ(inline_results.size(), unlent_results.size());
+  for (std::size_t i = 0; i < inline_results.size(); ++i) {
+    EXPECT_EQ(inline_results[i].valid, lent_results[i].valid);
+    EXPECT_DOUBLE_EQ(inline_results[i].theta_rad,
+                     lent_results[i].theta_rad);
+    EXPECT_DOUBLE_EQ(inline_results[i].raw.match_distance,
+                     lent_results[i].raw.match_distance);
+    EXPECT_EQ(inline_results[i].raw.match_start,
+              lent_results[i].raw.match_start);
+    EXPECT_EQ(inline_results[i].raw.match_length,
+              lent_results[i].raw.match_length);
+    EXPECT_DOUBLE_EQ(inline_results[i].theta_rad,
+                     unlent_results[i].theta_rad);
+  }
+}
+
 TEST(TrackerEngineTest, ConcurrentProducersAndBatchTicks) {
   // Producers push CSI into their own sessions while the consumer thread
   // ticks estimate_all: the per-session locks must keep this race-free

@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
-# Hardening sweep: build the asan and tsan presets and run the test suite
-# under each, then build the release preset (-DNDEBUG, asserts compiled
-# out) and run the release-guard suite against it. The tsan leg keeps
-# TrackerEngine / WorkerPool honest (engine_tests exercises concurrent
-# producers against batch ticks); the release leg proves the ingest/DSP
-# edge guards hold where assert() is gone.
+# Hardening sweep: run the matcher-equivalence gate against the default
+# preset (plus a bench_dtw_micro smoke run), then build the asan and tsan
+# presets and run the test suite under each, then build the release
+# preset (-DNDEBUG, asserts compiled out) and run the release-guard suite
+# against it. The matcher leg proves the pruned segment-matcher fast path
+# is bit-identical to the naive reference before anything else runs; the
+# tsan leg keeps TrackerEngine / WorkerPool / MatchParallelizer honest
+# (engine_tests exercises concurrent producers against batch ticks); the
+# release leg proves the ingest/DSP edge guards hold where assert() is
+# gone.
 #
-#   tools/run_checks.sh            # asan + tsan + release-guard
+#   tools/run_checks.sh            # matcher + asan + tsan + release-guard
 #   tools/run_checks.sh tsan       # one preset only
+#   tools/run_checks.sh matcher    # just the equivalence gate + bench smoke
 #   tools/run_checks.sh release    # just the NDEBUG guard pass
 #   CHECK_JOBS=8 tools/run_checks.sh
 set -euo pipefail
@@ -17,10 +22,26 @@ cd "$(dirname "$0")/.."
 jobs="${CHECK_JOBS:-$(nproc 2>/dev/null || echo 2)}"
 presets=("$@")
 if [ ${#presets[@]} -eq 0 ]; then
-  presets=(asan tsan release)
+  presets=(matcher asan tsan release)
 fi
 
 for preset in "${presets[@]}"; do
+  if [ "${preset}" = "matcher" ]; then
+    # Equivalence gate + bench smoke on the default preset (the only one
+    # that builds bench_dtw_micro; sanitizer presets set
+    # VIHOT_BUILD_BENCH=OFF). The bench run is a smoke test — one short
+    # pass over the SeriesMatch A/B trio to catch crashes and print the
+    # prune-rate label — not a timing-stable measurement.
+    echo "== matcher: configure =="
+    cmake --preset default
+    echo "== matcher: build =="
+    cmake --build --preset default -j "${jobs}"
+    echo "== matcher: equivalence tests =="
+    ctest --preset matcher-equivalence -j "${jobs}"
+    echo "== matcher: bench smoke =="
+    ./build/bench/bench_dtw_micro --benchmark_filter=SeriesMatch
+    continue
+  fi
   echo "== ${preset}: configure =="
   cmake --preset "${preset}"
   echo "== ${preset}: build =="
@@ -31,6 +52,9 @@ for preset in "${presets[@]}"; do
     # under both sanitizers above.
     ctest --preset release-guard -j "${jobs}"
   else
+    # Equivalence gate first (fast, and the most load-bearing invariant
+    # under this sanitizer), then the full suite.
+    ctest --preset "matcher-equivalence-${preset}" -j "${jobs}"
     ctest --preset "${preset}" -j "${jobs}"
   fi
 done
