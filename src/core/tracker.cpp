@@ -67,6 +67,13 @@ void ViHotTracker::push_csi(const wifi::CsiMeasurement& m) {
     }
     return;
   }
+  // A feed gap wider than the stale window (link drop, burst loss) means
+  // the buffer is resuming after a blind stretch: flag a continuity
+  // relock for the next estimate instead of bridging the gap.
+  if (config_.stale_window_s > 0.0 && !phase_buffer_.empty() &&
+      m.t - phase_buffer_.back().t > config_.stale_window_s) {
+    stale_pending_ = true;
+  }
   const double rel = profile_->relative_phase(sanitizer_.phase(m));
   phase_buffer_.push(m.t, rel);
 
@@ -185,6 +192,21 @@ TrackResult ViHotTracker::estimate(double t_now) {
     return out;
   }
 
+  // Stale-window guard: after a feed gap (flagged at push time), or when
+  // the newest sample is already older than the stale window (mid-gap
+  // estimate), the last output no longer bounds the head — drop the
+  // continuity state so the matcher re-locks instead of extrapolating.
+  if (config_.stale_window_s > 0.0) {
+    const bool blind = !phase_buffer_.empty() &&
+                       t_now - phase_buffer_.back().t > config_.stale_window_s;
+    if (stale_pending_ || (blind && have_output_)) {
+      if (config_.sink != nullptr) {
+        config_.sink->tracker.stale_window_relocks.inc();
+      }
+      relock_after_gap();
+    }
+  }
+
   // [2] Window regime: a featureless window holds the previous output.
   const WindowAnalyzer::Analysis window =
       analyzer_.analyze(phase_buffer_, t_now, have_output_);
@@ -242,6 +264,14 @@ TrackResult ViHotTracker::estimate(double t_now) {
     out.theta_rad = rate_filtered(t_now, est.theta_rad);
   }
   return out;
+}
+
+void ViHotTracker::relock_after_gap() {
+  stale_pending_ = false;
+  have_output_ = false;
+  rejected_in_row_ = 0;
+  last_match_.reset();
+  relock_.reset();
 }
 
 OrientationEstimate ViHotTracker::match_slot(double t_now,

@@ -72,6 +72,14 @@ struct TrackerConfig {
   /// Camera fallback estimates older than this are considered stale.
   double camera_staleness_s = 0.25;
 
+  /// Stale-window guard: a CSI feed gap wider than this (dropped link,
+  /// burst loss) invalidates the continuity state — the last output no
+  /// longer bounds where the head is, so holding it (flat regime) or
+  /// hinting from it would extrapolate across the gap. The tracker
+  /// resets continuity and re-locks from scratch instead; counted as
+  /// tracker.stale_window_relocks. 0 disables the guard.
+  double stale_window_s = 0.75;
+
   /// Continuity-constrained matching: the matched segment must end within
   /// reach of the previous output (max_theta_rate * elapsed + this slack).
   double continuity_slack_rad = 0.25;
@@ -215,7 +223,11 @@ class ViHotTracker {
   bool have_stable_phi0_ = false;
   std::optional<OrientationEstimate> last_match_;
 
+  /// Resets the continuity/jump-filter state after a stale feed window.
+  void relock_after_gap();
+
   // Jump-filter / continuity state.
+  bool stale_pending_ = false;  ///< a feed gap was seen; relock next tick
   bool have_output_ = false;
   double last_output_t_ = 0.0;
   double last_output_theta_ = 0.0;

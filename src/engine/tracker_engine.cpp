@@ -1,6 +1,7 @@
 #include "engine/tracker_engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <utility>
 
@@ -9,7 +10,11 @@ namespace vihot::engine {
 TrackerEngine::TrackerEngine(const Config& config)
     : pool_(config.num_threads),
       parallel_single_session_(config.parallel_single_session),
-      sink_(config.sink) {}
+      sink_(config.sink),
+      ingest_config_(config.ingest),
+      router_(config.ingest.lanes != 0
+                  ? config.ingest.lanes
+                  : std::max<std::size_t>(config.num_threads, 1)) {}
 
 std::shared_ptr<const core::CsiProfile> TrackerEngine::add_profile(
     core::CsiProfile profile) {
@@ -39,8 +44,10 @@ SessionId TrackerEngine::create_session(
     cfg.matcher.parallel = &match_parallel_;
   }
   auto session = std::make_unique<TrackerSession>(
-      id, std::move(profile), cfg, sink_ ? &sink_->engine : nullptr);
+      id, std::move(profile), cfg, sink_ ? &sink_->engine : nullptr,
+      ingest_config_, sink_ ? &sink_->ingest : nullptr);
   roster_.push_back(session.get());
+  router_.assign(id, session.get());
   results_.resize(roster_.size());
   sessions_.emplace(id, std::move(session));
   if (sink_ != nullptr) sink_->engine.sessions_created.inc();
@@ -54,6 +61,7 @@ bool TrackerEngine::destroy_session(SessionId id) {
   if (it == sessions_.end()) return false;
   roster_.erase(std::remove(roster_.begin(), roster_.end(), it->second.get()),
                 roster_.end());
+  router_.remove(id, it->second.get());
   results_.resize(roster_.size());
   sessions_.erase(it);
   if (sink_ != nullptr) sink_->engine.sessions_destroyed.inc();
@@ -100,10 +108,53 @@ bool TrackerEngine::push_camera(
   return s->push_camera(estimate);
 }
 
+bool TrackerEngine::offer_csi(SessionId id, const wifi::CsiMeasurement& m) {
+  std::shared_lock<std::shared_mutex> lk(roster_mu_);
+  TrackerSession* s = find(id);
+  if (!s) return false;
+  return s->offer_csi(m);
+}
+
+bool TrackerEngine::offer_imu(SessionId id, const imu::ImuSample& sample) {
+  std::shared_lock<std::shared_mutex> lk(roster_mu_);
+  TrackerSession* s = find(id);
+  if (!s) return false;
+  return s->offer_imu(sample);
+}
+
+std::size_t TrackerEngine::drain() {
+  std::lock_guard<std::mutex> batch(batch_mu_);
+  std::shared_lock<std::shared_mutex> lk(roster_mu_);
+  return drain_locked();
+}
+
+std::size_t TrackerEngine::drain_locked() {
+  if (ingest_config_.csi_capacity == 0 || roster_.empty()) return 0;
+  // Quick scan: a fleet fed through the synchronous path has nothing
+  // queued, and must not pay a second pool dispatch per tick for it.
+  bool any_queued = false;
+  for (const TrackerSession* s : roster_) {
+    if (s->csi_queue_depth() > 0 || s->imu_queue_depth() > 0) {
+      any_queued = true;
+      break;
+    }
+  }
+  if (!any_queued) return 0;
+  std::atomic<std::size_t> total{0};
+  auto lane_job = [&](std::size_t l) {
+    std::size_t n = 0;
+    for (TrackerSession* s : router_.lane(l)) n += s->drain();
+    if (n > 0) total.fetch_add(n, std::memory_order_relaxed);
+  };
+  pool_.run(router_.num_lanes(), lane_job);
+  return total.load(std::memory_order_relaxed);
+}
+
 core::TrackResult TrackerEngine::estimate_one(SessionId id, double t_now) {
   std::shared_lock<std::shared_mutex> lk(roster_mu_);
   TrackerSession* s = find(id);
   if (!s) return {};
+  s->drain();
   return s->estimate(t_now);
 }
 
@@ -117,6 +168,9 @@ core::Forecast TrackerEngine::forecast_one(SessionId id, double horizon_s) {
 std::span<const core::TrackResult> TrackerEngine::estimate_all(double t_now) {
   std::lock_guard<std::mutex> batch(batch_mu_);
   std::shared_lock<std::shared_mutex> lk(roster_mu_);
+  // Apply everything the producers queued since the last tick, lanes
+  // fanned out across the (currently idle) pool.
+  drain_locked();
   auto job = [&](std::size_t i) { results_[i] = roster_[i]->estimate(t_now); };
   // A fleet of one gets no inter-session parallelism, so lend the idle
   // pool to that session's own segment search instead: the session runs

@@ -10,13 +10,18 @@
 //     caller) still references it;
 //   * N independent TrackerSessions, addressed by SessionId
 //     (create / feed / estimate / destroy);
+//   * an async ingest front-end: per-session bounded lock-free rings
+//     (offer_csi / offer_imu) behind a FeedRouter that shards sessions
+//     across ingest lanes, drained in batch right before each tick;
 //   * a fixed WorkerPool fanning the batched estimate_all() tick across
 //     every live session, with no allocation on the per-tick hot path.
 //
 // Thread model: every per-session operation locks that session's own
 // mutex, so distinct sessions can be fed from distinct producer threads
-// while estimate_all() runs. Fleet mutation (create/destroy) excludes
-// batch ticks; concurrent estimate_all() calls serialize.
+// while estimate_all() runs; offer_* only touches the session's ingest
+// rings (one producer thread per stream per session). Fleet mutation
+// (create/destroy) excludes batch ticks; concurrent estimate_all() calls
+// serialize.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +33,7 @@
 #include <vector>
 
 #include "core/tracker.h"
+#include "engine/ingest.h"
 #include "engine/match_parallel.h"
 #include "engine/worker_pool.h"
 #include "obs/sink.h"
@@ -42,23 +48,123 @@ inline constexpr SessionId kNoSession = 0;
 
 /// One driver's tracking state inside the engine: a ViHotTracker plus
 /// the lock making it safely reachable from producer threads and the
-/// worker pool.
+/// worker pool, and the bounded ingest rings of the async feed path.
 class TrackerSession {
  public:
   TrackerSession(SessionId id, std::shared_ptr<const core::CsiProfile> profile,
                  const core::TrackerConfig& config,
-                 obs::EngineStats* stats = nullptr)
-      : id_(id), stats_(stats), tracker_(std::move(profile), config) {}
+                 obs::EngineStats* stats = nullptr,
+                 const IngestConfig& ingest_config = {},
+                 obs::IngestStats* ingest_stats = nullptr)
+      : id_(id),
+        stats_(stats),
+        ingest_(ingest_config, ingest_stats),
+        tracker_(std::move(profile), config) {}
 
   [[nodiscard]] SessionId id() const noexcept { return id_; }
 
-  // Per-stream feeds. Each stream must be fed in nondecreasing time
-  // order; a sample older than the stream's last accepted one is
-  // rejected (returns false) and counted in the engine stats, instead
-  // of silently corrupting the tracker's time-ordered buffers
-  // (util::TimeSeries::push only asserts in debug builds).
+  // Synchronous per-stream feeds. Each stream must be fed in
+  // nondecreasing time order; a sample older than the stream's last
+  // accepted one is rejected (returns false) and counted in the engine
+  // stats, instead of silently corrupting the tracker's time-ordered
+  // buffers (util::TimeSeries::push only asserts in debug builds).
+  // Non-finite samples (NaN/Inf timestamp or payload) are rejected the
+  // same way: a NaN timestamp slips past the ordering check (NaN
+  // compares false) and a NaN value poisons every downstream mean.
   bool push_csi(const wifi::CsiMeasurement& m) {
+    if (!finite_sample(m)) {
+      if (stats_ != nullptr) stats_->non_finite_csi.inc();
+      return false;
+    }
     std::lock_guard<std::mutex> lk(mu_);
+    return push_csi_locked(m);
+  }
+  bool push_imu(const imu::ImuSample& sample) {
+    if (!finite_sample(sample)) {
+      if (stats_ != nullptr) stats_->non_finite_imu.inc();
+      return false;
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    return push_imu_locked(sample);
+  }
+  bool push_camera(const camera::CameraTracker::Estimate& estimate) {
+    if (!finite_sample(estimate)) {
+      if (stats_ != nullptr) stats_->non_finite_camera.inc();
+      return false;
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    if (have_camera_t_ && estimate.t < last_camera_t_) {
+      if (stats_ != nullptr) stats_->out_of_order_camera.inc();
+      return false;
+    }
+    if (stats_ != nullptr) stats_->camera_frames.inc();
+    have_camera_t_ = true;
+    last_camera_t_ = estimate.t;
+    tracker_.push_camera(estimate);
+    return true;
+  }
+
+  // Async feeds: validate, then enqueue into the bounded ingest rings
+  // for the engine's drain step. Never touches the session mutex — a
+  // producer cannot stall on a session that is mid-estimate. One
+  // producer thread per stream per session (the rings are SPSC).
+  // Returns false when the sample was rejected (non-finite) or dropped
+  // by the overload policy. Falls back to the synchronous path when the
+  // async tier is disabled (ring capacity 0).
+  bool offer_csi(const wifi::CsiMeasurement& m) {
+    if (!finite_sample(m)) {
+      if (stats_ != nullptr) stats_->non_finite_csi.inc();
+      return false;
+    }
+    if (!ingest_.enabled()) {
+      std::lock_guard<std::mutex> lk(mu_);
+      return push_csi_locked(m);
+    }
+    return ingest_.offer_csi(m);
+  }
+  bool offer_imu(const imu::ImuSample& sample) {
+    if (!finite_sample(sample)) {
+      if (stats_ != nullptr) stats_->non_finite_imu.inc();
+      return false;
+    }
+    if (!ingest_.enabled()) {
+      std::lock_guard<std::mutex> lk(mu_);
+      return push_imu_locked(sample);
+    }
+    return ingest_.offer_imu(sample);
+  }
+
+  /// Batch-applies everything queued by offer_* under the session lock.
+  /// Out-of-order samples surfaced by a lossy overload policy are
+  /// rejected and counted exactly like on the synchronous path. Called
+  /// by the engine's drain step (one drainer per session at a time).
+  std::size_t drain() {
+    if (!ingest_.enabled()) return 0;
+    std::lock_guard<std::mutex> lk(mu_);
+    return ingest_.drain(
+        [this](const wifi::CsiMeasurement& m) { (void)push_csi_locked(m); },
+        [this](const imu::ImuSample& s) { (void)push_imu_locked(s); });
+  }
+
+  /// Queued-but-not-yet-applied CSI samples (diagnostics).
+  [[nodiscard]] std::size_t csi_queue_depth() const noexcept {
+    return ingest_.csi_depth();
+  }
+  [[nodiscard]] std::size_t imu_queue_depth() const noexcept {
+    return ingest_.imu_depth();
+  }
+
+  [[nodiscard]] core::TrackResult estimate(double t_now) {
+    std::lock_guard<std::mutex> lk(mu_);
+    return tracker_.estimate(t_now);
+  }
+  [[nodiscard]] core::Forecast forecast(double horizon_s) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return tracker_.forecast(horizon_s);
+  }
+
+ private:
+  bool push_csi_locked(const wifi::CsiMeasurement& m) {
     if (have_csi_t_ && m.t < last_csi_t_) {
       if (stats_ != nullptr) stats_->out_of_order_csi.inc();
       return false;
@@ -74,8 +180,7 @@ class TrackerSession {
     tracker_.push_csi(m);
     return true;
   }
-  bool push_imu(const imu::ImuSample& sample) {
-    std::lock_guard<std::mutex> lk(mu_);
+  bool push_imu_locked(const imu::ImuSample& sample) {
     if (have_imu_t_ && sample.t < last_imu_t_) {
       if (stats_ != nullptr) stats_->out_of_order_imu.inc();
       return false;
@@ -86,30 +191,10 @@ class TrackerSession {
     tracker_.push_imu(sample);
     return true;
   }
-  bool push_camera(const camera::CameraTracker::Estimate& estimate) {
-    std::lock_guard<std::mutex> lk(mu_);
-    if (have_camera_t_ && estimate.t < last_camera_t_) {
-      if (stats_ != nullptr) stats_->out_of_order_camera.inc();
-      return false;
-    }
-    if (stats_ != nullptr) stats_->camera_frames.inc();
-    have_camera_t_ = true;
-    last_camera_t_ = estimate.t;
-    tracker_.push_camera(estimate);
-    return true;
-  }
-  [[nodiscard]] core::TrackResult estimate(double t_now) {
-    std::lock_guard<std::mutex> lk(mu_);
-    return tracker_.estimate(t_now);
-  }
-  [[nodiscard]] core::Forecast forecast(double horizon_s) const {
-    std::lock_guard<std::mutex> lk(mu_);
-    return tracker_.forecast(horizon_s);
-  }
 
- private:
   SessionId id_;
   obs::EngineStats* stats_ = nullptr;  ///< not owned; may be nullptr
+  SessionIngest ingest_;
   mutable std::mutex mu_;
   core::ViHotTracker tracker_;
 
@@ -142,6 +227,10 @@ class TrackerEngine {
     /// across the workers). Bit-identical results either way; see
     /// engine::MatchParallelizer.
     bool parallel_single_session = true;
+
+    /// Async ingest tier (offer_* / drain). Capacity 0 disables the
+    /// rings; offer_* then degrades to the synchronous push path.
+    IngestConfig ingest{};
   };
 
   TrackerEngine() : TrackerEngine(Config{}) {}
@@ -157,7 +246,8 @@ class TrackerEngine {
   SessionId create_session(std::shared_ptr<const core::CsiProfile> profile,
                            const core::TrackerConfig& config = {});
 
-  /// Destroys a session; returns false for unknown ids.
+  /// Destroys a session; returns false for unknown ids. Samples still
+  /// queued in the session's ingest rings are discarded with it.
   bool destroy_session(SessionId id);
 
   [[nodiscard]] std::size_t session_count() const;
@@ -165,29 +255,55 @@ class TrackerEngine {
   /// Live session ids in estimate_all() result order.
   [[nodiscard]] std::vector<SessionId> session_ids() const;
 
-  // Per-session feeds; return false for unknown ids and for rejected
-  // out-of-order samples (counted in the sink's engine.out_of_order_*
-  // family). Safe to call from multiple producer threads, including
-  // while estimate_all() runs.
+  // Synchronous per-session feeds; return false for unknown ids and for
+  // rejected out-of-order or non-finite samples (counted in the sink's
+  // engine.out_of_order_* / engine.non_finite_* families). Safe to call
+  // from multiple producer threads, including while estimate_all() runs.
   bool push_csi(SessionId id, const wifi::CsiMeasurement& m);
   bool push_imu(SessionId id, const imu::ImuSample& sample);
   bool push_camera(SessionId id,
                    const camera::CameraTracker::Estimate& estimate);
 
-  /// Estimates one session immediately on the calling thread.
+  // Async per-session feeds: enqueue into the session's bounded ingest
+  // rings and return without ever taking the session lock; the samples
+  // are applied by the drain step right before the next estimate_all()
+  // tick (or an explicit drain()). One producer thread per stream per
+  // session. Returns false for unknown ids, non-finite samples, and
+  // samples dropped by the overload policy (all counted).
+  bool offer_csi(SessionId id, const wifi::CsiMeasurement& m);
+  bool offer_imu(SessionId id, const imu::ImuSample& sample);
+
+  /// Batch-applies everything queued by offer_* across the fleet, the
+  /// ingest lanes fanned out over the worker pool. Returns the number of
+  /// samples applied. estimate_all() runs this implicitly before every
+  /// tick; call it directly to bound queue latency between ticks.
+  std::size_t drain();
+
+  /// Estimates one session immediately on the calling thread (draining
+  /// its ingest queues first).
   [[nodiscard]] core::TrackResult estimate_one(SessionId id, double t_now);
 
   /// Forecast for one session (Eq. 6), past its last estimate.
   [[nodiscard]] core::Forecast forecast_one(SessionId id, double horizon_s);
 
-  /// One batch tick: estimates EVERY live session at `t_now`, fanned out
-  /// across the worker pool. Returns results in session_ids() order; the
-  /// span stays valid until the next estimate_all/create/destroy call.
-  /// Allocation-free for a stable fleet (the result buffer is reused).
+  /// One batch tick: drains the ingest lanes, then estimates EVERY live
+  /// session at `t_now`, fanned out across the worker pool. Returns
+  /// results in session_ids() order; the span stays valid until the next
+  /// estimate_all/create/destroy call. Allocation-free for a stable
+  /// fleet (the result buffer is reused).
   std::span<const core::TrackResult> estimate_all(double t_now);
 
   [[nodiscard]] std::size_t num_threads() const noexcept {
     return pool_.size();
+  }
+
+  /// Ingest lanes the FeedRouter shards sessions across.
+  [[nodiscard]] std::size_t num_lanes() const noexcept {
+    return router_.num_lanes();
+  }
+
+  [[nodiscard]] const IngestConfig& ingest_config() const noexcept {
+    return ingest_config_;
   }
 
   /// Per-worker items drained by estimate_all() batches (work-stealing
@@ -203,18 +319,23 @@ class TrackerEngine {
   /// Looks up a session under the roster lock; nullptr when unknown.
   [[nodiscard]] TrackerSession* find(SessionId id) const;
 
+  /// Drain step body; requires batch_mu_ and a roster lock held.
+  std::size_t drain_locked();
+
   WorkerPool pool_;
   /// Lends the pool to a lone session's segment search; armed only while
   /// estimate_all() runs that session inline (so the pool is idle).
   MatchParallelizer match_parallel_{pool_};
   bool parallel_single_session_ = true;
   obs::Sink* sink_ = nullptr;  ///< not owned; may be nullptr
+  IngestConfig ingest_config_{};
 
-  /// Guards the roster (sessions_/roster_/results_ shape). Shared for
-  /// per-session access, exclusive for fleet mutation.
+  /// Guards the roster (sessions_/roster_/router_/results_ shape).
+  /// Shared for per-session access, exclusive for fleet mutation.
   mutable std::shared_mutex roster_mu_;
   std::unordered_map<SessionId, std::unique_ptr<TrackerSession>> sessions_;
   std::vector<TrackerSession*> roster_;  ///< stable batch iteration order
+  FeedRouter<TrackerSession> router_;    ///< ingest lane sharding
   std::vector<core::TrackResult> results_;  ///< reused batch output buffer
   SessionId next_id_ = 1;
 

@@ -30,6 +30,7 @@ void Sink::attach_to(Registry& registry, const std::string& prefix) const {
   registry.attach(t + "relock_widen", tracker.relock_widen);
   registry.attach(t + "relock_global", tracker.relock_global);
   registry.attach(t + "relock_accepted", tracker.relock_accepted);
+  registry.attach(t + "stale_window_relocks", tracker.stale_window_relocks);
   registry.attach(t + "tie_break_applied", tracker.tie_break_applied);
   registry.attach(t + "stable_phase_locks", tracker.stable_phase_locks);
 
@@ -45,7 +46,26 @@ void Sink::attach_to(Registry& registry, const std::string& prefix) const {
   registry.attach(e + "out_of_order_csi", engine.out_of_order_csi);
   registry.attach(e + "out_of_order_imu", engine.out_of_order_imu);
   registry.attach(e + "out_of_order_camera", engine.out_of_order_camera);
+  registry.attach(e + "non_finite_csi", engine.non_finite_csi);
+  registry.attach(e + "non_finite_imu", engine.non_finite_imu);
+  registry.attach(e + "non_finite_camera", engine.non_finite_camera);
   registry.attach(e + "csi_feed_gap_ms", engine.csi_feed_gap_ms);
+
+  const std::string i = prefix + "ingest.";
+  registry.attach(i + "csi_enqueued", ingest.csi_enqueued);
+  registry.attach(i + "imu_enqueued", ingest.imu_enqueued);
+  registry.attach(i + "csi_dropped_newest", ingest.csi_dropped_newest);
+  registry.attach(i + "csi_dropped_oldest", ingest.csi_dropped_oldest);
+  registry.attach(i + "imu_dropped_newest", ingest.imu_dropped_newest);
+  registry.attach(i + "imu_dropped_oldest", ingest.imu_dropped_oldest);
+  registry.attach(i + "block_retries", ingest.block_retries);
+  registry.attach(i + "block_timeouts", ingest.block_timeouts);
+  registry.attach(i + "high_watermark", ingest.high_watermark);
+  registry.attach(i + "drain_passes", ingest.drain_passes);
+  registry.attach(i + "drained_csi", ingest.drained_csi);
+  registry.attach(i + "drained_imu", ingest.drained_imu);
+  registry.attach(i + "drain_batch", ingest.drain_batch);
+  registry.attach(i + "queue_depth_csi", ingest.queue_depth_csi);
 }
 
 TrackerStatsSnapshot snapshot(const TrackerStats& stats) {
@@ -70,6 +90,7 @@ TrackerStatsSnapshot snapshot(const TrackerStats& stats) {
   out.relock_widen = stats.relock_widen.value();
   out.relock_global = stats.relock_global.value();
   out.relock_accepted = stats.relock_accepted.value();
+  out.stale_window_relocks = stats.stale_window_relocks.value();
   out.tie_break_applied = stats.tie_break_applied.value();
   out.stable_phase_locks = stats.stable_phase_locks.value();
   out.dtw_best_cost_mean = stats.dtw_best_cost.mean();

@@ -62,6 +62,9 @@ struct TrackerStats {
   Counter relock_widen;     ///< widened-hint escalations fired
   Counter relock_global;    ///< global-search escalations fired
   Counter relock_accepted;  ///< retries that replaced the original match
+  /// Feed gaps wider than stale_window_s that forced a continuity reset
+  /// (the tracker re-locks instead of extrapolating across the gap).
+  Counter stale_window_relocks;
 
   // Stage 5: TieBreaker.
   Counter tie_break_applied;  ///< near-tie winners flipped by continuity
@@ -93,6 +96,7 @@ struct TrackerStatsSnapshot {
   std::uint64_t relock_widen = 0;
   std::uint64_t relock_global = 0;
   std::uint64_t relock_accepted = 0;
+  std::uint64_t stale_window_relocks = 0;
   std::uint64_t tie_break_applied = 0;
   std::uint64_t stable_phase_locks = 0;
   double dtw_best_cost_mean = 0.0;
@@ -116,15 +120,48 @@ struct EngineStats {
   Counter out_of_order_csi;
   Counter out_of_order_imu;
   Counter out_of_order_camera;
+  // Rejected non-finite feeds (NaN/Inf timestamp or payload: a poisoned
+  // sample would propagate through every downstream mean/DTW).
+  Counter non_finite_csi;
+  Counter non_finite_imu;
+  Counter non_finite_camera;
 
   /// Inter-frame CSI feed gap per session; max() is the fleet's worst gap.
   Histogram csi_feed_gap_ms{5, 10, 20, 35, 50, 75, 100, 200, 500};
+};
+
+/// Async ingest tier counters (engine::SessionIngest behind a FeedRouter).
+/// Every overload decision is visible: a sample offered by a producer is
+/// either enqueued or counted into exactly one dropped_* bucket, and every
+/// enqueued sample is eventually counted by drained_* when the engine's
+/// drain step applies it.
+struct IngestStats {
+  // Producer side (TrackerEngine::offer_*).
+  Counter csi_enqueued;
+  Counter imu_enqueued;
+  Counter csi_dropped_newest;  ///< incoming CSI rejected on a full ring
+  Counter csi_dropped_oldest;  ///< queued CSI displaced by newer samples
+  Counter imu_dropped_newest;
+  Counter imu_dropped_oldest;
+  Counter block_retries;   ///< producer yield spins under kBlock
+  Counter block_timeouts;  ///< kBlock gave up; the sample was dropped
+  Counter high_watermark;  ///< enqueues that found the ring past the mark
+
+  // Consumer side (the engine drain step before each batch tick).
+  Counter drain_passes;  ///< per-session drain sweeps
+  Counter drained_csi;   ///< queued samples applied to trackers
+  Counter drained_imu;
+  /// Samples applied per session per drain sweep.
+  Histogram drain_batch{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
+  /// CSI ring depth observed at the start of each drain sweep.
+  Histogram queue_depth_csi{0, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
 };
 
 /// Everything the pipeline + engine report, in one shareable hub.
 struct Sink {
   TrackerStats tracker;
   EngineStats engine;
+  IngestStats ingest;
 
   /// Registers every member metric with `registry` under
   /// "<prefix>tracker.*" and "<prefix>engine.*" names. The Sink must

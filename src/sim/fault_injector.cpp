@@ -1,0 +1,115 @@
+#include "sim/fault_injector.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace vihot::sim {
+
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Poisons one sample the way a corrupted frame manifests: usually a
+/// garbage payload value, sometimes a garbage timestamp.
+void poison(wifi::CsiMeasurement& m, util::Rng& rng) {
+  if (rng.chance(0.25) || m.h.empty() || m.h.front().empty()) {
+    m.t = kNan;
+    return;
+  }
+  const auto a = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(m.h.size()) - 1));
+  const auto k = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(m.h[a].size()) - 1));
+  m.h[a][k] = rng.chance(0.5) ? std::complex<double>(kNan, 0.0)
+                              : std::complex<double>(kInf, kInf);
+}
+
+void poison(imu::ImuSample& s, util::Rng& rng) {
+  if (rng.chance(0.25)) {
+    s.t = kNan;
+  } else if (rng.chance(0.5)) {
+    s.gyro_yaw_rad_s = kNan;
+  } else {
+    s.accel_lateral_mps2 = kInf;
+  }
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultConfig& config, util::Rng rng)
+    : config_(config), rng_(std::move(rng)) {}
+
+template <typename T>
+std::vector<T> FaultInjector::apply(std::vector<T> stream) {
+  if (!config_.enabled || stream.empty()) return stream;
+
+  // Burst outage schedule across this stream's horizon: Poisson arrivals
+  // (exponential gaps), each an interval during which nothing survives.
+  std::vector<std::pair<double, double>> bursts;
+  if (config_.burst_rate_hz > 0.0 && config_.burst_duration_s > 0.0) {
+    const double mean_gap = 1.0 / config_.burst_rate_hz;
+    double t = stream.front().t + rng_.exponential(mean_gap);
+    while (t < stream.back().t) {
+      bursts.emplace_back(t, t + config_.burst_duration_s);
+      t += config_.burst_duration_s + rng_.exponential(mean_gap);
+    }
+  }
+
+  struct Delivery {
+    double at;  ///< delivery (arrival) time, distinct from the sample's t
+    T sample;
+  };
+  std::vector<Delivery> delivered;
+  delivered.reserve(stream.size());
+  std::size_t bi = 0;
+  for (T& s : stream) {
+    while (bi < bursts.size() && s.t > bursts[bi].second) ++bi;
+    if (bi < bursts.size() && s.t >= bursts[bi].first) {
+      ++report_.burst_dropped;
+      continue;
+    }
+    if (config_.drop_prob > 0.0 && rng_.chance(config_.drop_prob)) {
+      ++report_.dropped;
+      continue;
+    }
+    if (config_.jitter_std_s > 0.0) {
+      s.t += rng_.normal(0.0, config_.jitter_std_s);
+    }
+    // Delivery time decided BEFORE any poisoning, so a NaN timestamp
+    // still has a well-defined arrival position in the stream.
+    double at = s.t;
+    if (config_.reorder_prob > 0.0 && rng_.chance(config_.reorder_prob)) {
+      at += config_.reorder_delay_s;
+      ++report_.reordered;
+    }
+    if (config_.nan_prob > 0.0 && rng_.chance(config_.nan_prob)) {
+      poison(s, rng_);
+      ++report_.corrupted;
+    }
+    delivered.push_back({at, std::move(s)});
+  }
+  std::stable_sort(delivered.begin(), delivered.end(),
+                   [](const Delivery& a, const Delivery& b) {
+                     return a.at < b.at;
+                   });
+  report_.delivered += delivered.size();
+
+  std::vector<T> out;
+  out.reserve(delivered.size());
+  for (Delivery& d : delivered) out.push_back(std::move(d.sample));
+  return out;
+}
+
+std::vector<wifi::CsiMeasurement> FaultInjector::corrupt(
+    std::vector<wifi::CsiMeasurement> stream) {
+  return apply(std::move(stream));
+}
+
+std::vector<imu::ImuSample> FaultInjector::corrupt(
+    std::vector<imu::ImuSample> stream) {
+  return apply(std::move(stream));
+}
+
+}  // namespace vihot::sim

@@ -1,0 +1,110 @@
+// Transport-fault model for pre-generated feed streams.
+//
+// The simulator's WifiLink and PhoneImu produce clean, time-ordered
+// capture streams; real feeds do not arrive that way. The FaultInjector
+// rewrites a captured stream into what the ingest boundary would
+// actually see after crossing a lossy transport:
+//
+//   - i.i.d. frame loss (drop_prob) and correlated burst loss
+//     (Poisson-arriving outages of burst_duration_s, e.g. a microwave
+//     firing or the monitor NIC rescanning) — these carve the feed gaps
+//     the tracker's stale-window guard must recover from;
+//   - receive-clock jitter (gaussian, jitter_std_s) on the timestamp
+//     itself, which makes neighboring samples swap order occasionally;
+//   - explicit reordering (reorder_prob): a sample is delayed by
+//     reorder_delay_s behind its successors, arriving out of order at
+//     the ingest boundary (exercises the out-of-order drop counters);
+//   - payload corruption (nan_prob): a NaN/Inf timestamp or channel
+//     value, which the engine's finite_sample guard must reject.
+//
+// Each stream is faulted independently: in the target system the CSI
+// frames ride the monitor NIC while the IMU samples arrive over a phone
+// UDP socket, so their loss processes are uncorrelated.
+//
+// Deterministic: all randomness comes from the injected util::Rng, so a
+// seeded scenario replays the same fault pattern bit-for-bit.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "imu/imu.h"
+#include "util/rng.h"
+#include "wifi/csi.h"
+
+namespace vihot::sim {
+
+/// One transport's fault mix. The defaults describe a harsh-but-living
+/// link: ~2% random loss, a burst outage every ~12 s, occasional
+/// reordering and rare corrupted payloads.
+struct FaultConfig {
+  bool enabled = false;
+
+  /// Independent per-sample loss probability.
+  double drop_prob = 0.02;
+
+  /// Burst outages: Poisson arrivals at this rate, each killing every
+  /// sample for `burst_duration_s`. 0 disables bursts.
+  double burst_rate_hz = 0.08;
+  double burst_duration_s = 1.2;
+
+  /// Per-sample probability of being delayed `reorder_delay_s` behind
+  /// its successors (delivered late, timestamp unchanged).
+  double reorder_prob = 0.01;
+  double reorder_delay_s = 0.05;
+
+  /// Gaussian receive-timestamping noise added to each sample's t.
+  double jitter_std_s = 0.002;
+
+  /// Per-sample probability of a NaN/Inf timestamp or payload value.
+  double nan_prob = 0.002;
+};
+
+/// Applies a FaultConfig to captured streams. Stateful only in its RNG
+/// and cumulative report; feed CSI and IMU through the same injector to
+/// keep one deterministic draw sequence per session.
+class FaultInjector {
+ public:
+  /// What the injector did, cumulative across corrupt() calls.
+  struct Report {
+    std::size_t delivered = 0;      ///< samples that reached the output
+    std::size_t dropped = 0;        ///< i.i.d. losses
+    std::size_t burst_dropped = 0;  ///< losses inside burst outages
+    std::size_t reordered = 0;      ///< samples delivered out of order
+    std::size_t corrupted = 0;      ///< NaN/Inf-poisoned samples
+
+    Report& operator+=(const Report& o) {
+      delivered += o.delivered;
+      dropped += o.dropped;
+      burst_dropped += o.burst_dropped;
+      reordered += o.reordered;
+      corrupted += o.corrupted;
+      return *this;
+    }
+    [[nodiscard]] std::size_t total_dropped() const {
+      return dropped + burst_dropped;
+    }
+  };
+
+  FaultInjector(const FaultConfig& config, util::Rng rng);
+
+  /// Rewrites a time-ordered capture into its delivered form (possibly
+  /// shorter, jittered, reordered, and with poisoned samples). With the
+  /// config disabled the stream passes through untouched.
+  [[nodiscard]] std::vector<wifi::CsiMeasurement> corrupt(
+      std::vector<wifi::CsiMeasurement> stream);
+  [[nodiscard]] std::vector<imu::ImuSample> corrupt(
+      std::vector<imu::ImuSample> stream);
+
+  [[nodiscard]] const Report& report() const noexcept { return report_; }
+
+ private:
+  template <typename T>
+  [[nodiscard]] std::vector<T> apply(std::vector<T> stream);
+
+  FaultConfig config_;
+  util::Rng rng_;
+  Report report_{};
+};
+
+}  // namespace vihot::sim

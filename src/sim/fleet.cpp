@@ -37,7 +37,14 @@ FleetResult run_fleet(const ScenarioConfig& config,
   if (sink == nullptr) sink = &local_sink;
 
   ExperimentRunner runner(config);
-  engine::TrackerEngine eng({num_threads, sink});
+  engine::IngestConfig ingest = config.ingest;
+  if (!config.async_ingest) {
+    // Rings disabled: offer_* would degrade to push anyway, but a zero
+    // capacity also skips the drain scan in estimate_all().
+    ingest.csi_capacity = 0;
+    ingest.imu_capacity = 0;
+  }
+  engine::TrackerEngine eng({num_threads, sink, true, ingest});
   const auto profile = eng.add_profile(runner.build_profile());
 
   // Per-session substrate, seeded like ExperimentRunner::run_session.
@@ -80,6 +87,17 @@ FleetResult run_fleet(const ScenarioConfig& config,
     fs.cam = camera.capture(0.0, duration,
                             [&](double t) { return fs.drive->head_at(t); });
 
+    // Transport faults rewrite the clean captures into what the ingest
+    // boundary would actually receive (loss, gaps, reordering, NaNs).
+    // The camera stream is deliberately left clean: it is the fallback
+    // the faulted CSI path degrades to.
+    if (config.faults.enabled) {
+      FaultInjector injector(config.faults, rng.fork("faults"));
+      fs.csi = injector.corrupt(std::move(fs.csi));
+      fs.imu = injector.corrupt(std::move(fs.imu));
+      out.faults += injector.report();
+    }
+
     fs.id = eng.create_session(profile, config.tracker);
   }
 
@@ -89,11 +107,18 @@ FleetResult run_fleet(const ScenarioConfig& config,
   const auto wall_start = std::chrono::steady_clock::now();
   for (double t_est = config.warmup_s; t_est < duration; t_est += dt_est) {
     for (FleetSession& fs : fleet) {
-      while (fs.ci < fs.csi.size() && fs.csi[fs.ci].t <= t_est) {
-        eng.push_csi(fs.id, fs.csi[fs.ci++]);
+      // `!(t > t_est)` instead of `t <= t_est`: a fault-poisoned NaN
+      // timestamp compares false both ways, and must be delivered (for
+      // the ingest guard to reject) rather than wedge the cursor.
+      while (fs.ci < fs.csi.size() && !(fs.csi[fs.ci].t > t_est)) {
+        const wifi::CsiMeasurement& m = fs.csi[fs.ci++];
+        config.async_ingest ? eng.offer_csi(fs.id, m)
+                            : eng.push_csi(fs.id, m);
       }
-      while (fs.ii < fs.imu.size() && fs.imu[fs.ii].t <= t_est) {
-        eng.push_imu(fs.id, fs.imu[fs.ii++]);
+      while (fs.ii < fs.imu.size() && !(fs.imu[fs.ii].t > t_est)) {
+        const imu::ImuSample& s = fs.imu[fs.ii++];
+        config.async_ingest ? eng.offer_imu(fs.id, s)
+                            : eng.push_imu(fs.id, s);
       }
       while (fs.mi < fs.cam.size() && fs.cam[fs.mi].t <= t_est) {
         eng.push_camera(fs.id, fs.cam[fs.mi++]);
@@ -144,6 +169,15 @@ FleetResult run_fleet(const ScenarioConfig& config,
                            es.out_of_order_camera.value();
   out.max_csi_feed_gap_ms = es.csi_feed_gap_ms.max();
   out.mean_batch_latency_us = es.batch_latency_us.mean();
+  out.non_finite_feeds = es.non_finite_csi.value() +
+                         es.non_finite_imu.value() +
+                         es.non_finite_camera.value();
+  out.stale_relocks = out.stage_stats.stale_window_relocks;
+  const obs::IngestStats& is = sink->ingest;
+  out.ingest_enqueued = is.csi_enqueued.value() + is.imu_enqueued.value();
+  out.ingest_dropped =
+      is.csi_dropped_newest.value() + is.csi_dropped_oldest.value() +
+      is.imu_dropped_newest.value() + is.imu_dropped_oldest.value();
   return out;
 }
 

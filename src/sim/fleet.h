@@ -13,6 +13,7 @@
 
 #include "obs/sink.h"
 #include "sim/experiment.h"
+#include "sim/fault_injector.h"
 
 namespace vihot::sim {
 
@@ -32,6 +33,13 @@ struct FleetResult {
   std::uint64_t out_of_order_feeds = 0;     ///< rejected stale samples
   double max_csi_feed_gap_ms = 0.0;         ///< worst per-session gap
   double mean_batch_latency_us = 0.0;       ///< mean estimate_all() time
+
+  // Fault-injection and async-ingest rollup (zero when neither is on).
+  FaultInjector::Report faults{};           ///< what the injector did
+  std::uint64_t non_finite_feeds = 0;       ///< NaN/Inf samples rejected
+  std::uint64_t stale_relocks = 0;          ///< gap-recovery resets
+  std::uint64_t ingest_enqueued = 0;        ///< samples queued by offer_*
+  std::uint64_t ingest_dropped = 0;         ///< overload-policy drops
 };
 
 /// Profiles once, then serves `config.runtime_sessions` concurrent drives

@@ -11,6 +11,8 @@
 #include "channel/cabin.h"
 #include "channel/subcarrier.h"
 #include "core/tracker.h"
+#include "engine/ingest.h"
+#include "sim/fault_injector.h"
 #include "motion/driver_profile.h"
 #include "motion/head_trajectory.h"
 #include "motion/micromotion.h"
@@ -72,6 +74,16 @@ struct ScenarioConfig {
   motion::VibrationModel::Config vibration{};
   bool music_playing = false;
   bool intense_eye_motion = false;
+
+  // --- Transport faults & ingest (fleet mode) --------------------------
+  /// Feed-transport fault model applied to the pre-generated CSI and IMU
+  /// streams before the feed loop (fleet mode; see sim::FaultInjector).
+  FaultConfig faults{};
+  /// Feed the fleet through the engine's async ingest tier (offer_* +
+  /// batch drain) instead of the synchronous push path.
+  bool async_ingest = false;
+  /// Ring sizing and overload policy for the async tier.
+  engine::IngestConfig ingest{};
 
   // --- Tracker & evaluation -------------------------------------------
   core::TrackerConfig tracker{};

@@ -417,5 +417,58 @@ TEST_F(TrackerTest, AmbiguousGlobalMatchFollowsContinuity) {
   EXPECT_NEAR(rb.theta_rad - ra.theta_rad, kTwin, 0.3);
 }
 
+// --------------------------------------------------------- stale window
+
+TEST(StaleWindowTest, FeedGapForcesRelockAndCountsIt) {
+  obs::Sink sink;
+  TrackerConfig config;
+  config.sink = &sink;
+  ASSERT_GT(config.stale_window_s, 0.0);  // guard is on by default
+  ViHotTracker tracker(testing::synthetic_profile(3), config);
+  const auto theta_at = [](double t) { return 0.8 * std::sin(0.9 * t); };
+  const auto feed = [&](double from, double to) {
+    for (double t = from; t < to; t += 0.005) {
+      tracker.push_csi(
+          phase_measurement(t, testing::synthetic_phase(theta_at(t))));
+    }
+  };
+
+  // Continuous feed: the guard must never fire.
+  feed(0.0, 3.0);
+  for (double t = 1.0; t < 3.0; t += 0.05) (void)tracker.estimate(t);
+  EXPECT_EQ(sink.tracker.stale_window_relocks.value(), 0u);
+
+  // A feed gap wider than the stale window (burst loss), then resume:
+  // the first estimate after the gap must reset continuity (count a
+  // relock) instead of extrapolating the pre-gap output across it.
+  feed(3.0 + config.stale_window_s + 0.8, 6.5);
+  bool valid_after = false;
+  for (double t = 4.6; t < 6.5; t += 0.05) {
+    valid_after = tracker.estimate(t).valid || valid_after;
+  }
+  EXPECT_GE(sink.tracker.stale_window_relocks.value(), 1u);
+  EXPECT_TRUE(valid_after);  // the tracker re-locks, it does not die
+}
+
+TEST(StaleWindowTest, ZeroDisablesTheGuard) {
+  obs::Sink sink;
+  TrackerConfig config;
+  config.sink = &sink;
+  config.stale_window_s = 0.0;
+  ViHotTracker tracker(testing::synthetic_profile(3), config);
+  for (double t = 0.0; t < 2.0; t += 0.005) {
+    tracker.push_csi(phase_measurement(
+        t, testing::synthetic_phase(0.8 * std::sin(0.9 * t))));
+  }
+  for (double t = 1.0; t < 2.0; t += 0.05) (void)tracker.estimate(t);
+  // A wide gap, then resume: with the guard disabled nothing is counted.
+  for (double t = 5.0; t < 6.0; t += 0.005) {
+    tracker.push_csi(phase_measurement(
+        t, testing::synthetic_phase(0.8 * std::sin(0.9 * t))));
+  }
+  (void)tracker.estimate(5.5);
+  EXPECT_EQ(sink.tracker.stale_window_relocks.value(), 0u);
+}
+
 }  // namespace
 }  // namespace vihot::core

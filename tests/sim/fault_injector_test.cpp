@@ -1,0 +1,165 @@
+// FaultInjector tests: deterministic transport faults over captured
+// streams, with the report accounting for every sample.
+#include "sim/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "engine/ingest.h"
+
+namespace vihot::sim {
+namespace {
+
+std::vector<wifi::CsiMeasurement> clean_csi(std::size_t n,
+                                            double dt = 0.004) {
+  std::vector<wifi::CsiMeasurement> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    out[k].t = static_cast<double>(k) * dt;
+    out[k].h[0].assign(4, std::polar(1.0, 0.3));
+    out[k].h[1].assign(4, {1.0, 0.0});
+  }
+  return out;
+}
+
+std::vector<imu::ImuSample> clean_imu(std::size_t n, double dt = 0.01) {
+  std::vector<imu::ImuSample> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    out[k].t = static_cast<double>(k) * dt;
+  }
+  return out;
+}
+
+TEST(FaultInjectorTest, DisabledPassesStreamsThroughUntouched) {
+  FaultConfig config;  // enabled defaults to false
+  FaultInjector injector(config, util::Rng(7));
+  const auto in = clean_csi(200);
+  const auto out = injector.corrupt(in);
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t k = 0; k < in.size(); ++k) {
+    EXPECT_EQ(out[k].t, in[k].t);
+  }
+  EXPECT_EQ(injector.report().delivered, 0u);
+}
+
+TEST(FaultInjectorTest, DeterministicForTheSameSeed) {
+  FaultConfig config;
+  config.enabled = true;
+  FaultInjector a(config, util::Rng(1234));
+  FaultInjector b(config, util::Rng(1234));
+  const auto out_a = a.corrupt(clean_csi(2000));
+  const auto out_b = b.corrupt(clean_csi(2000));
+  ASSERT_EQ(out_a.size(), out_b.size());
+  for (std::size_t k = 0; k < out_a.size(); ++k) {
+    // NaN != NaN, so compare bit-level semantics via isnan.
+    if (std::isnan(out_a[k].t)) {
+      EXPECT_TRUE(std::isnan(out_b[k].t));
+    } else {
+      EXPECT_EQ(out_a[k].t, out_b[k].t);
+    }
+  }
+  EXPECT_EQ(a.report().dropped, b.report().dropped);
+  EXPECT_EQ(a.report().corrupted, b.report().corrupted);
+}
+
+TEST(FaultInjectorTest, ReportAccountsForEverySample) {
+  FaultConfig config;
+  config.enabled = true;
+  config.drop_prob = 0.1;
+  FaultInjector injector(config, util::Rng(42));
+  const std::size_t n = 3000;
+  const auto out = injector.corrupt(clean_csi(n));
+  const FaultInjector::Report& r = injector.report();
+  EXPECT_EQ(r.delivered, out.size());
+  EXPECT_EQ(r.delivered + r.total_dropped(), n);
+  EXPECT_GT(r.dropped, 0u);  // 10% of 3000 cannot round to zero
+}
+
+TEST(FaultInjectorTest, NanInjectionPoisonsSamplesTheGuardCatches) {
+  FaultConfig config;
+  config.enabled = true;
+  config.drop_prob = 0.0;
+  config.burst_rate_hz = 0.0;
+  config.reorder_prob = 0.0;
+  config.jitter_std_s = 0.0;
+  config.nan_prob = 1.0;
+  FaultInjector injector(config, util::Rng(9));
+  const auto csi = injector.corrupt(clean_csi(100));
+  ASSERT_EQ(csi.size(), 100u);
+  for (const wifi::CsiMeasurement& m : csi) {
+    EXPECT_FALSE(engine::finite_sample(m));
+  }
+  const auto imu = injector.corrupt(clean_imu(100));
+  for (const imu::ImuSample& s : imu) {
+    EXPECT_FALSE(engine::finite_sample(s));
+  }
+  EXPECT_EQ(injector.report().corrupted, 200u);
+}
+
+TEST(FaultInjectorTest, ReorderingDeliversSamplesOutOfOrder) {
+  FaultConfig config;
+  config.enabled = true;
+  config.drop_prob = 0.0;
+  config.burst_rate_hz = 0.0;
+  config.jitter_std_s = 0.0;
+  config.nan_prob = 0.0;
+  config.reorder_prob = 0.1;
+  config.reorder_delay_s = 0.05;  // >> the 4 ms sample spacing
+  FaultInjector injector(config, util::Rng(77));
+  const auto out = injector.corrupt(clean_csi(2000));
+  ASSERT_EQ(out.size(), 2000u);  // reordering never loses samples
+  EXPECT_GT(injector.report().reordered, 0u);
+  std::size_t inversions = 0;
+  for (std::size_t k = 1; k < out.size(); ++k) {
+    if (out[k].t < out[k - 1].t) ++inversions;
+  }
+  EXPECT_GT(inversions, 0u);
+}
+
+TEST(FaultInjectorTest, BurstsCarveContiguousGaps) {
+  FaultConfig config;
+  config.enabled = true;
+  config.drop_prob = 0.0;
+  config.reorder_prob = 0.0;
+  config.jitter_std_s = 0.0;
+  config.nan_prob = 0.0;
+  config.burst_rate_hz = 0.5;
+  config.burst_duration_s = 1.0;
+  FaultInjector injector(config, util::Rng(5));
+  // 20 s at 250 Hz: ~10 expected one-second outages.
+  const auto out = injector.corrupt(clean_csi(5000));
+  EXPECT_GT(injector.report().burst_dropped, 0u);
+  double max_gap = 0.0;
+  for (std::size_t k = 1; k < out.size(); ++k) {
+    max_gap = std::max(max_gap, out[k].t - out[k - 1].t);
+  }
+  // At least one surviving gap spans (most of) a burst window — the
+  // feed hole the tracker's stale-window guard exists for.
+  EXPECT_GT(max_gap, 0.9 * config.burst_duration_s);
+}
+
+TEST(FaultInjectorTest, JitterPerturbsTimestampsButKeepsPayload) {
+  FaultConfig config;
+  config.enabled = true;
+  config.drop_prob = 0.0;
+  config.burst_rate_hz = 0.0;
+  config.reorder_prob = 0.0;
+  config.nan_prob = 0.0;
+  config.jitter_std_s = 0.003;
+  FaultInjector injector(config, util::Rng(3));
+  const auto in = clean_csi(1000);
+  const auto out = injector.corrupt(in);
+  ASSERT_EQ(out.size(), in.size());
+  double max_shift = 0.0;
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    max_shift = std::max(max_shift, std::abs(out[k].t - in[k].t));
+    EXPECT_TRUE(engine::finite_sample(out[k]));
+  }
+  EXPECT_GT(max_shift, 0.0);
+  EXPECT_LT(max_shift, 0.05);  // gaussian tails, not corruption
+}
+
+}  // namespace
+}  // namespace vihot::sim

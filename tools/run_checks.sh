@@ -1,62 +1,135 @@
 #!/usr/bin/env bash
-# Hardening sweep: run the matcher-equivalence gate against the default
-# preset (plus a bench_dtw_micro smoke run), then build the asan and tsan
-# presets and run the test suite under each, then build the release
-# preset (-DNDEBUG, asserts compiled out) and run the release-guard suite
-# against it. The matcher leg proves the pruned segment-matcher fast path
-# is bit-identical to the naive reference before anything else runs; the
-# tsan leg keeps TrackerEngine / WorkerPool / MatchParallelizer honest
-# (engine_tests exercises concurrent producers against batch ticks); the
-# release leg proves the ingest/DSP edge guards hold where assert() is
-# gone.
+# Hardening sweep and CI driver.
 #
-#   tools/run_checks.sh            # matcher + asan + tsan + release-guard
-#   tools/run_checks.sh tsan       # one preset only
-#   tools/run_checks.sh matcher    # just the equivalence gate + bench smoke
-#   tools/run_checks.sh release    # just the NDEBUG guard pass
-#   CHECK_JOBS=8 tools/run_checks.sh
-set -euo pipefail
+# Legs (in default order): the matcher-equivalence gate proves the
+# pruned segment-matcher fast path is bit-identical to the naive
+# reference before anything else runs (plus a bench_dtw_micro smoke
+# run); the asan and tsan presets build and run the full suite under
+# each sanitizer (the tsan leg keeps TrackerEngine / WorkerPool /
+# ingest rings honest — engine_tests exercises concurrent producers,
+# session churn and batch ticks); the release preset (-DNDEBUG,
+# asserts compiled out) runs the release-guard label. The `default`
+# leg is the plain tier-1 pass: default preset build + full ctest.
+#
+#   tools/run_checks.sh                  # matcher + asan + tsan + release
+#   tools/run_checks.sh default          # plain build + full suite
+#   tools/run_checks.sh tsan release     # any subset, in order
+#   tools/run_checks.sh --list           # print known legs and exit
+#
+# Environment:
+#   CHECK_JOBS=N          parallel build/test jobs (default: nproc)
+#   CHECK_CMAKE_ARGS=...  extra configure args appended to every cmake
+#                         --preset call (e.g. ccache:
+#                         "-DCMAKE_CXX_COMPILER_LAUNCHER=ccache")
+#   CHECK_JUNIT_DIR=DIR   write ctest --output-junit XML per leg here
+#
+# Every requested leg runs even after an earlier one fails; the
+# PASS/FAIL summary trailer reports each, and the exit status is
+# non-zero if any leg failed — one CI run yields the complete picture
+# plus per-leg junit artifacts.
+set -uo pipefail
 
 cd "$(dirname "$0")/.."
 
-jobs="${CHECK_JOBS:-$(nproc 2>/dev/null || echo 2)}"
-presets=("$@")
-if [ ${#presets[@]} -eq 0 ]; then
-  presets=(matcher asan tsan release)
+all_legs=(matcher asan tsan release)
+known_legs=(matcher default asan tsan release)
+
+if [ "${1:-}" = "--list" ]; then
+  printf '%s\n' "${known_legs[@]}"
+  exit 0
 fi
 
-for preset in "${presets[@]}"; do
-  if [ "${preset}" = "matcher" ]; then
-    # Equivalence gate + bench smoke on the default preset (the only one
-    # that builds bench_dtw_micro; sanitizer presets set
-    # VIHOT_BUILD_BENCH=OFF). The bench run is a smoke test — one short
-    # pass over the SeriesMatch A/B trio to catch crashes and print the
-    # prune-rate label — not a timing-stable measurement.
-    echo "== matcher: configure =="
-    cmake --preset default
-    echo "== matcher: build =="
-    cmake --build --preset default -j "${jobs}"
-    echo "== matcher: equivalence tests =="
-    ctest --preset matcher-equivalence -j "${jobs}"
-    echo "== matcher: bench smoke =="
-    ./build/bench/bench_dtw_micro --benchmark_filter=SeriesMatch
-    continue
-  fi
-  echo "== ${preset}: configure =="
-  cmake --preset "${preset}"
-  echo "== ${preset}: build =="
-  cmake --build --preset "${preset}" -j "${jobs}"
-  echo "== ${preset}: test =="
-  if [ "${preset}" = "release" ]; then
-    # Only the NDEBUG-sensitive guard label; the full suite already runs
-    # under both sanitizers above.
-    ctest --preset release-guard -j "${jobs}"
+jobs="${CHECK_JOBS:-$(nproc 2>/dev/null || echo 2)}"
+junit_dir="${CHECK_JUNIT_DIR:-}"
+[ -n "${junit_dir}" ] && mkdir -p "${junit_dir}"
+
+legs=("$@")
+if [ ${#legs[@]} -eq 0 ]; then
+  legs=("${all_legs[@]}")
+fi
+
+# run_ctest <test-preset> <junit-name>
+run_ctest() {
+  local preset="$1" name="$2"
+  if [ -n "${junit_dir}" ]; then
+    ctest --preset "${preset}" -j "${jobs}" \
+      --output-junit "${junit_dir}/${name}.xml"
   else
-    # Equivalence gate first (fast, and the most load-bearing invariant
-    # under this sanitizer), then the full suite.
-    ctest --preset "matcher-equivalence-${preset}" -j "${jobs}"
     ctest --preset "${preset}" -j "${jobs}"
+  fi
+}
+
+# configure_build <configure/build-preset>
+configure_build() {
+  local preset="$1"
+  echo "== ${leg}: configure (${preset}) =="
+  # shellcheck disable=SC2086  # CHECK_CMAKE_ARGS is intentionally split
+  cmake --preset "${preset}" ${CHECK_CMAKE_ARGS:-} || return 1
+  echo "== ${leg}: build =="
+  cmake --build --preset "${preset}" -j "${jobs}"
+}
+
+run_leg() {
+  local leg="$1"
+  case "${leg}" in
+    matcher)
+      # Equivalence gate + bench smoke on the default preset (the only
+      # one that builds bench_dtw_micro; sanitizer presets set
+      # VIHOT_BUILD_BENCH=OFF). The bench run is a smoke test — one
+      # short pass over the SeriesMatch A/B trio to catch crashes and
+      # print the prune-rate label — not a timing-stable measurement.
+      configure_build default || return 1
+      echo "== ${leg}: equivalence tests =="
+      run_ctest matcher-equivalence matcher-gate || return 1
+      echo "== ${leg}: bench smoke =="
+      ./build/bench/bench_dtw_micro --benchmark_filter=SeriesMatch
+      ;;
+    default)
+      configure_build default || return 1
+      echo "== ${leg}: test =="
+      run_ctest default default
+      ;;
+    release)
+      configure_build release || return 1
+      echo "== ${leg}: release-guard tests =="
+      # Only the NDEBUG-sensitive guard label; the full suite already
+      # runs under both sanitizers.
+      run_ctest release-guard release-guard
+      ;;
+    asan|tsan)
+      configure_build "${leg}" || return 1
+      echo "== ${leg}: equivalence gate =="
+      # Gate first (fast, and the most load-bearing invariant under a
+      # sanitizer), then the full suite.
+      run_ctest "matcher-equivalence-${leg}" "${leg}-gate" || return 1
+      echo "== ${leg}: full suite =="
+      run_ctest "${leg}" "${leg}"
+      ;;
+    *)
+      echo "unknown leg '${leg}' (known: ${known_legs[*]})" >&2
+      return 1
+      ;;
+  esac
+}
+
+declare -A status
+failed=0
+for leg in "${legs[@]}"; do
+  if run_leg "${leg}"; then
+    status[${leg}]=PASS
+  else
+    status[${leg}]=FAIL
+    failed=1
   fi
 done
 
-echo "All checks passed: ${presets[*]}"
+echo
+echo "== summary =="
+for leg in "${legs[@]}"; do
+  printf '  %-8s %s\n' "${leg}" "${status[${leg}]}"
+done
+if [ "${failed}" -ne 0 ]; then
+  echo "Some checks FAILED"
+  exit 1
+fi
+echo "All checks passed: ${legs[*]}"

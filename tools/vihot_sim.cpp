@@ -20,6 +20,17 @@
 //     --threads K          fleet mode: serve all sessions concurrently
 //                          through one TrackerEngine with K workers
 //                          (0 = engine with inline batches)
+//     --faults             inject transport faults (loss, bursts,
+//                          reordering, clock jitter, NaN/Inf samples)
+//                          into the CSI and IMU feeds; implies fleet
+//                          mode (use --threads to add workers)
+//     --fault-drop P       override the i.i.d. loss probability
+//     --fault-nan P        override the corruption probability
+//     --async-ingest       feed the fleet through the engine's bounded
+//                          ingest rings (offer_* + batch drain) instead
+//                          of the synchronous push path; implies fleet
+//     --ingest-policy X    ring overload policy: block | drop-oldest |
+//                          drop-newest (default drop-oldest)
 //     --csv                machine-readable one-line summary
 //     --metrics-out PATH   write the run's tracker/engine metric
 //                          families (obs::Registry snapshot) to PATH;
@@ -52,7 +63,10 @@ namespace {
                "[--vibration] [--interference]\n"
                "  [--music] [--seat-shift MM] [--naive] [--camera] "
                "[--threads K] [--csv]\n"
-               "  [--metrics-out PATH]\n",
+               "  [--faults] [--fault-drop P] [--fault-nan P] "
+               "[--async-ingest]\n"
+               "  [--ingest-policy block|drop-oldest|drop-newest] "
+               "[--metrics-out PATH]\n",
                argv0);
   std::exit(2);
 }
@@ -141,6 +155,26 @@ int main(int argc, char** argv) {
     } else if (a == "--threads") {
       fleet = true;
       threads = static_cast<std::size_t>(num_arg(argc, argv, i, *argv));
+    } else if (a == "--faults") {
+      config.faults.enabled = true;
+    } else if (a == "--fault-drop") {
+      config.faults.drop_prob = num_arg(argc, argv, i, *argv);
+    } else if (a == "--fault-nan") {
+      config.faults.nan_prob = num_arg(argc, argv, i, *argv);
+    } else if (a == "--async-ingest") {
+      config.async_ingest = true;
+    } else if (a == "--ingest-policy") {
+      if (i + 1 >= argc) usage(*argv);
+      const std::string p = argv[++i];
+      if (p == "block") {
+        config.ingest.policy = engine::OverloadPolicy::kBlock;
+      } else if (p == "drop-oldest") {
+        config.ingest.policy = engine::OverloadPolicy::kDropOldest;
+      } else if (p == "drop-newest") {
+        config.ingest.policy = engine::OverloadPolicy::kDropNewest;
+      } else {
+        usage(*argv);
+      }
     } else if (a == "--csv") {
       csv = true;
     } else if (a == "--metrics-out") {
@@ -151,6 +185,9 @@ int main(int argc, char** argv) {
     }
   }
   if (!metrics_out.empty()) config.tracker.sink = &sink;
+  // Faults and async ingest are fleet-path features: both act on the
+  // pre-generated streams / engine feed loop of run_fleet.
+  if (config.faults.enabled || config.async_ingest) fleet = true;
 
   if (fleet) {
     const sim::FleetResult res = sim::run_fleet(
@@ -189,6 +226,23 @@ int main(int argc, char** argv) {
                 "%llu out-of-order feeds dropped\n",
                 res.mean_batch_latency_us, res.max_csi_feed_gap_ms,
                 static_cast<unsigned long long>(res.out_of_order_feeds));
+    if (config.faults.enabled) {
+      std::printf("  faults:     %zu lost (%zu in bursts), %zu reordered, "
+                  "%zu corrupted of %zu delivered\n",
+                  res.faults.total_dropped(), res.faults.burst_dropped,
+                  res.faults.reordered, res.faults.corrupted,
+                  res.faults.delivered);
+      std::printf("  recovery:   %llu non-finite rejects, %llu stale-window "
+                  "relocks\n",
+                  static_cast<unsigned long long>(res.non_finite_feeds),
+                  static_cast<unsigned long long>(res.stale_relocks));
+    }
+    if (config.async_ingest) {
+      std::printf("  ingest:     %llu enqueued, %llu dropped by overload "
+                  "policy\n",
+                  static_cast<unsigned long long>(res.ingest_enqueued),
+                  static_cast<unsigned long long>(res.ingest_dropped));
+    }
     if (!res.worker_items.empty() && threads > 0) {
       std::printf("  workers:    items drained per worker:");
       for (const std::uint64_t n : res.worker_items) {
