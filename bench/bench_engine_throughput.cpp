@@ -1,6 +1,6 @@
 // Fleet-serving throughput of engine::TrackerEngine::estimate_all().
 //
-//   bench_engine_throughput [--sessions N] [--ticks N]
+//   bench_engine_throughput [--sessions N] [--ticks N] [--record]
 //
 // A fixed fleet of sessions is pre-fed identical-cost phase streams; the
 // timed region is the batch tick alone, so the numbers isolate how the
@@ -9,6 +9,11 @@
 // the speedup over 1 thread. On capable hardware 8 threads should serve
 // >= 3x the single-thread rate; a core-starved machine (CI container)
 // flattens the curve — judge scaling on hardware with real parallelism.
+//
+// --record instead runs the flight-recorder overhead A/B: the same
+// feed + tick workload with and without a replay::Recorder tapping the
+// engine (here the timed region includes the feed, since the recorder's
+// hot path runs per frame). Acceptance bar: <= 2% overhead.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -22,6 +27,7 @@
 
 #include "engine/tracker_engine.h"
 #include "obs/sink.h"
+#include "replay/recorder.h"
 #include "util/table.h"
 
 namespace {
@@ -106,18 +112,91 @@ RunStats run_fleet_ticks(std::size_t num_threads, std::size_t num_sessions,
   return stats;
 }
 
+/// The record-overhead variant: feed + ticks inside the timed region
+/// (the recorder's hot path is per-frame, so a tick-only window would
+/// hide most of its cost).
+RunStats run_recorded(std::size_t num_sessions, std::size_t num_ticks,
+                      const std::shared_ptr<const vihot::core::CsiProfile>&
+                          profile,
+                      vihot::engine::RecordTap* tap) {
+  TrackerEngine engine({1, nullptr, true, {}, tap});
+  std::vector<SessionId> ids;
+  for (std::size_t s = 0; s < num_sessions; ++s) {
+    ids.push_back(engine.create_session(profile));
+  }
+  const double dt = 4.9 / static_cast<double>(num_ticks);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t s = 0; s < num_sessions; ++s) {
+    const double rate = 0.6 + 0.05 * static_cast<double>(s % 8);
+    for (double t = 0.0; t < 6.0; t += 0.004) {
+      const double theta = -1.2 + rate * t;
+      engine.push_csi(ids[s], measurement(t, phase_of(theta)));
+    }
+  }
+  for (std::size_t k = 0; k < num_ticks; ++k) {
+    (void)engine.estimate_all(1.0 + static_cast<double>(k) * dt);
+  }
+  const auto end = std::chrono::steady_clock::now();
+
+  RunStats stats;
+  stats.wall_s = std::chrono::duration<double>(end - start).count();
+  if (stats.wall_s > 0.0) {
+    stats.session_estimates_per_s =
+        static_cast<double>(num_sessions * num_ticks) / stats.wall_s;
+  }
+  return stats;
+}
+
+int run_record_ab(std::size_t sessions, std::size_t ticks,
+                  const std::shared_ptr<const vihot::core::CsiProfile>&
+                      profile) {
+  const char* log_path = "bench_engine_throughput.vrlog";
+  std::printf("flight-recorder overhead A/B: %zu sessions, %zu ticks "
+              "(feed + tick timed)\n",
+              sessions, ticks);
+  // Interleaved best-of-N so machine drift hits both sides equally.
+  double best_plain = 0.0;
+  double best_rec = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    best_plain = std::max(
+        best_plain,
+        run_recorded(sessions, ticks, profile, nullptr)
+            .session_estimates_per_s);
+    vihot::replay::Recorder recorder({log_path});
+    if (!recorder.ok()) {
+      std::fprintf(stderr, "error: %s\n", recorder.error().c_str());
+      return 1;
+    }
+    best_rec = std::max(
+        best_rec, run_recorded(sessions, ticks, profile, &recorder)
+                      .session_estimates_per_s);
+    recorder.close();
+  }
+  std::remove(log_path);
+  if (best_plain <= 0.0 || best_rec <= 0.0) return 1;
+  const double overhead_pct = (best_plain / best_rec - 1.0) * 100.0;
+  std::printf("  plain:     %.0f session-est/s\n", best_plain);
+  std::printf("  recording: %.0f session-est/s\n", best_rec);
+  std::printf("  overhead:  %+.2f%% (bar: <= 2%%)\n", overhead_pct);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::size_t sessions = 16;
   std::size_t ticks = 60;
+  bool record_ab = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--sessions") == 0 && i + 1 < argc) {
       sessions = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--ticks") == 0 && i + 1 < argc) {
       ticks = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--record") == 0) {
+      record_ab = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--sessions N] [--ticks N]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--sessions N] [--ticks N] [--record]\n",
                    *argv);
       return 2;
     }
@@ -125,6 +204,8 @@ int main(int argc, char** argv) {
 
   const auto profile =
       std::make_shared<const vihot::core::CsiProfile>(make_profile());
+
+  if (record_ab) return run_record_ab(sessions, ticks, profile);
 
   std::printf("TrackerEngine batch throughput: %zu sessions, %zu ticks\n",
               sessions, ticks);

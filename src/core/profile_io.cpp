@@ -1,7 +1,11 @@
 #include "core/profile_io.h"
 
+#include <charconv>
+#include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
+#include <system_error>
 
 namespace vihot::core {
 
@@ -9,12 +13,33 @@ namespace {
 
 constexpr char kMagic[] = "# vihot-profile v1";
 
+/// Shape caps: a corrupt header or position line must not trigger
+/// gigabyte reserves. Generous next to any real profile.
+constexpr std::size_t kMaxPositions = 1u << 16;
+constexpr std::size_t kMaxSamples = 1u << 24;
+
+/// Parses the double after "<key>" in the header without throwing
+/// (std::stod raises on garbage like "rate=abc" and on overflow).
+std::optional<double> header_double(const std::string& header,
+                                    const char* key) {
+  const auto pos = header.find(key);
+  if (pos == std::string::npos) return std::nullopt;
+  const char* first = header.data() + pos + std::strlen(key);
+  const char* last = header.data() + header.size();
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr == first) return std::nullopt;
+  return value;
+}
+
 }  // namespace
 
 bool save_profile(const std::string& path, const CsiProfile& profile) {
   std::ofstream os(path);
   if (!os) return false;
-  os.precision(12);
+  // max_digits10: the profile must reload as the same doubles, not
+  // 12-digit approximations (bit-exact replay depends on it).
+  os.precision(std::numeric_limits<double>::max_digits10);
   os << kMagic << " rate=" << profile.sample_rate_hz
      << " reference=" << profile.reference_phase
      << " positions=" << profile.positions.size() << '\n';
@@ -40,15 +65,13 @@ std::optional<CsiProfile> load_profile(const std::string& path) {
   CsiProfile profile;
   std::size_t expected_positions = 0;
   {
-    const auto grab = [&header](const char* key) -> std::optional<double> {
-      const auto pos = header.find(key);
-      if (pos == std::string::npos) return std::nullopt;
-      return std::stod(header.substr(pos + std::string(key).size()));
-    };
-    const auto rate = grab("rate=");
-    const auto ref = grab("reference=");
-    const auto count = grab("positions=");
-    if (!rate || !ref || !count) return std::nullopt;
+    const auto rate = header_double(header, "rate=");
+    const auto ref = header_double(header, "reference=");
+    const auto count = header_double(header, "positions=");
+    if (!rate || !ref || !count || *count < 0.0 ||
+        *count > static_cast<double>(kMaxPositions)) {
+      return std::nullopt;
+    }
     profile.sample_rate_hz = *rate;
     profile.reference_phase = *ref;
     expected_positions = static_cast<std::size_t>(*count);
@@ -68,7 +91,8 @@ std::optional<CsiProfile> load_profile(const std::string& path) {
     if (!(ls >> kw >> p.position_index >> fp_kw >> p.fingerprint_phase >>
           t0_kw >> p.csi.t0 >> dt_kw >> p.csi.dt >> n_kw >> samples) ||
         kw != "position" || fp_kw != "fingerprint" || t0_kw != "t0" ||
-        dt_kw != "dt" || n_kw != "samples") {
+        dt_kw != "dt" || n_kw != "samples" || samples > kMaxSamples ||
+        profile.positions.size() >= kMaxPositions) {
       return std::nullopt;
     }
     p.orientation.t0 = p.csi.t0;

@@ -11,10 +11,16 @@ TrackerEngine::TrackerEngine(const Config& config)
     : pool_(config.num_threads),
       parallel_single_session_(config.parallel_single_session),
       sink_(config.sink),
+      tap_(config.tap),
       ingest_config_(config.ingest),
       router_(config.ingest.lanes != 0
                   ? config.ingest.lanes
-                  : std::max<std::size_t>(config.num_threads, 1)) {}
+                  : std::max<std::size_t>(config.num_threads, 1)) {
+  if (tap_ != nullptr) {
+    tap_->on_engine_start(EngineDescriptor{
+        config.num_threads, config.parallel_single_session, config.ingest});
+  }
+}
 
 std::shared_ptr<const core::CsiProfile> TrackerEngine::add_profile(
     core::CsiProfile profile) {
@@ -43,10 +49,15 @@ SessionId TrackerEngine::create_session(
   if (parallel_single_session_ && cfg.matcher.parallel == nullptr) {
     cfg.matcher.parallel = &match_parallel_;
   }
+  // Record the session under the exclusive roster lock, BEFORE any feed
+  // hook can fire for it, with the resolved config (minus runtime-only
+  // pointer wiring, which the serializer skips anyway).
+  if (tap_ != nullptr) tap_->on_session_created(id, cfg, profile);
   auto session = std::make_unique<TrackerSession>(
       id, std::move(profile), cfg, sink_ ? &sink_->engine : nullptr,
-      ingest_config_, sink_ ? &sink_->ingest : nullptr);
+      ingest_config_, sink_ ? &sink_->ingest : nullptr, tap_);
   roster_.push_back(session.get());
+  roster_ids_.push_back(id);
   router_.assign(id, session.get());
   results_.resize(roster_.size());
   sessions_.emplace(id, std::move(session));
@@ -59,8 +70,12 @@ bool TrackerEngine::destroy_session(SessionId id) {
   std::unique_lock<std::shared_mutex> lk(roster_mu_);
   const auto it = sessions_.find(id);
   if (it == sessions_.end()) return false;
+  if (tap_ != nullptr) tap_->on_session_destroyed(id);
   roster_.erase(std::remove(roster_.begin(), roster_.end(), it->second.get()),
                 roster_.end());
+  roster_ids_.erase(
+      std::remove(roster_ids_.begin(), roster_ids_.end(), id),
+      roster_ids_.end());
   router_.remove(id, it->second.get());
   results_.resize(roster_.size());
   sessions_.erase(it);
@@ -169,8 +184,12 @@ std::span<const core::TrackResult> TrackerEngine::estimate_all(double t_now) {
   std::lock_guard<std::mutex> batch(batch_mu_);
   std::shared_lock<std::shared_mutex> lk(roster_mu_);
   // Apply everything the producers queued since the last tick, lanes
-  // fanned out across the (currently idle) pool.
+  // fanned out across the (currently idle) pool. The tick-begin marker
+  // follows the drain: feed taps fire at application (inside the drain
+  // for async samples), so everything this tick's estimates can see is
+  // recorded before the marker and replays ahead of it.
   drain_locked();
+  if (tap_ != nullptr) tap_->on_tick_begin(t_now);
   auto job = [&](std::size_t i) { results_[i] = roster_[i]->estimate(t_now); };
   // A fleet of one gets no inter-session parallelism, so lend the idle
   // pool to that session's own segment search instead: the session runs
@@ -189,16 +208,20 @@ std::span<const core::TrackResult> TrackerEngine::estimate_all(double t_now) {
   };
   if (sink_ == nullptr) {
     run_batch();
-    return {results_.data(), results_.size()};
+  } else {
+    const auto t0 = std::chrono::steady_clock::now();
+    run_batch();
+    const auto t1 = std::chrono::steady_clock::now();
+    obs::EngineStats& stats = sink_->engine;
+    stats.batches.inc();
+    stats.batch_estimates.inc(roster_.size());
+    stats.batch_latency_us.observe(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
   }
-  const auto t0 = std::chrono::steady_clock::now();
-  run_batch();
-  const auto t1 = std::chrono::steady_clock::now();
-  obs::EngineStats& stats = sink_->engine;
-  stats.batches.inc();
-  stats.batch_estimates.inc(roster_.size());
-  stats.batch_latency_us.observe(
-      std::chrono::duration<double, std::micro>(t1 - t0).count());
+  if (tap_ != nullptr) {
+    tap_->on_tick_end(t_now, {roster_ids_.data(), roster_ids_.size()},
+                      {results_.data(), results_.size()});
+  }
   return {results_.data(), results_.size()};
 }
 

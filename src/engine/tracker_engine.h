@@ -35,6 +35,7 @@
 #include "core/tracker.h"
 #include "engine/ingest.h"
 #include "engine/match_parallel.h"
+#include "engine/record_tap.h"
 #include "engine/worker_pool.h"
 #include "obs/sink.h"
 
@@ -55,9 +56,11 @@ class TrackerSession {
                  const core::TrackerConfig& config,
                  obs::EngineStats* stats = nullptr,
                  const IngestConfig& ingest_config = {},
-                 obs::IngestStats* ingest_stats = nullptr)
+                 obs::IngestStats* ingest_stats = nullptr,
+                 RecordTap* tap = nullptr)
       : id_(id),
         stats_(stats),
+        tap_(tap),
         ingest_(ingest_config, ingest_stats),
         tracker_(std::move(profile), config) {}
 
@@ -98,6 +101,9 @@ class TrackerSession {
       return false;
     }
     if (stats_ != nullptr) stats_->camera_frames.inc();
+    // Tap at the application boundary: only accepted samples are
+    // recorded, in the exact order the tracker consumes them.
+    if (tap_ != nullptr) tap_->on_camera(id_, estimate);
     have_camera_t_ = true;
     last_camera_t_ = estimate.t;
     tracker_.push_camera(estimate);
@@ -142,8 +148,12 @@ class TrackerSession {
     if (!ingest_.enabled()) return 0;
     std::lock_guard<std::mutex> lk(mu_);
     return ingest_.drain(
-        [this](const wifi::CsiMeasurement& m) { (void)push_csi_locked(m); },
-        [this](const imu::ImuSample& s) { (void)push_imu_locked(s); });
+        [this](const wifi::CsiMeasurement& m) {
+          (void)push_csi_locked(m, /*offered=*/true);
+        },
+        [this](const imu::ImuSample& s) {
+          (void)push_imu_locked(s, /*offered=*/true);
+        });
   }
 
   /// Queued-but-not-yet-applied CSI samples (diagnostics).
@@ -164,7 +174,11 @@ class TrackerSession {
   }
 
  private:
-  bool push_csi_locked(const wifi::CsiMeasurement& m) {
+  // The locked apply paths are the flight recorder's capture point: a
+  // sample is recorded iff it is accepted here, in consumption order
+  // (offer-time capture would race the drain and mis-bracket samples
+  // around tick boundaries — see engine/record_tap.h).
+  bool push_csi_locked(const wifi::CsiMeasurement& m, bool offered = false) {
     if (have_csi_t_ && m.t < last_csi_t_) {
       if (stats_ != nullptr) stats_->out_of_order_csi.inc();
       return false;
@@ -175,17 +189,19 @@ class TrackerSession {
         stats_->csi_feed_gap_ms.observe((m.t - last_csi_t_) * 1e3);
       }
     }
+    if (tap_ != nullptr) tap_->on_csi(id_, m, offered);
     have_csi_t_ = true;
     last_csi_t_ = m.t;
     tracker_.push_csi(m);
     return true;
   }
-  bool push_imu_locked(const imu::ImuSample& sample) {
+  bool push_imu_locked(const imu::ImuSample& sample, bool offered = false) {
     if (have_imu_t_ && sample.t < last_imu_t_) {
       if (stats_ != nullptr) stats_->out_of_order_imu.inc();
       return false;
     }
     if (stats_ != nullptr) stats_->imu_samples.inc();
+    if (tap_ != nullptr) tap_->on_imu(id_, sample, offered);
     have_imu_t_ = true;
     last_imu_t_ = sample.t;
     tracker_.push_imu(sample);
@@ -194,6 +210,7 @@ class TrackerSession {
 
   SessionId id_;
   obs::EngineStats* stats_ = nullptr;  ///< not owned; may be nullptr
+  RecordTap* tap_ = nullptr;           ///< not owned; may be nullptr
   SessionIngest ingest_;
   mutable std::mutex mu_;
   core::ViHotTracker tracker_;
@@ -231,6 +248,11 @@ class TrackerEngine {
     /// Async ingest tier (offer_* / drain). Capacity 0 disables the
     /// rings; offer_* then degrades to the synchronous push path.
     IngestConfig ingest{};
+
+    /// Optional flight-recorder tap capturing the engine's deterministic
+    /// boundary (see engine/record_tap.h). Not owned; must outlive the
+    /// engine. nullptr = recording off, zero overhead.
+    RecordTap* tap = nullptr;
   };
 
   TrackerEngine() : TrackerEngine(Config{}) {}
@@ -328,6 +350,7 @@ class TrackerEngine {
   MatchParallelizer match_parallel_{pool_};
   bool parallel_single_session_ = true;
   obs::Sink* sink_ = nullptr;  ///< not owned; may be nullptr
+  RecordTap* tap_ = nullptr;   ///< not owned; may be nullptr
   IngestConfig ingest_config_{};
 
   /// Guards the roster (sessions_/roster_/router_/results_ shape).
@@ -335,6 +358,7 @@ class TrackerEngine {
   mutable std::shared_mutex roster_mu_;
   std::unordered_map<SessionId, std::unique_ptr<TrackerSession>> sessions_;
   std::vector<TrackerSession*> roster_;  ///< stable batch iteration order
+  std::vector<SessionId> roster_ids_;    ///< ids parallel to roster_
   FeedRouter<TrackerSession> router_;    ///< ingest lane sharding
   std::vector<core::TrackResult> results_;  ///< reused batch output buffer
   SessionId next_id_ = 1;

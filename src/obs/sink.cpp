@@ -66,6 +66,12 @@ void Sink::attach_to(Registry& registry, const std::string& prefix) const {
   registry.attach(i + "drained_imu", ingest.drained_imu);
   registry.attach(i + "drain_batch", ingest.drain_batch);
   registry.attach(i + "queue_depth_csi", ingest.queue_depth_csi);
+
+  const std::string r = prefix + "replay.";
+  registry.attach(r + "frames_recorded", replay.frames_recorded);
+  registry.attach(r + "bytes_written", replay.bytes_written);
+  registry.attach(r + "writer_flushes", replay.writer_flushes);
+  registry.attach(r + "staging_drops", replay.staging_drops);
 }
 
 TrackerStatsSnapshot snapshot(const TrackerStats& stats) {

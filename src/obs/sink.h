@@ -157,11 +157,24 @@ struct IngestStats {
   Histogram queue_depth_csi{0, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
 };
 
+/// Flight-recorder counters (replay::Recorder). A dropped frame means
+/// the staging buffer filled while the writer was still flushing the
+/// previous one — the log is marked truncated and no longer replays
+/// bit-exactly, so staging_drops > 0 is the signal to grow the staging
+/// buffer or use faster storage.
+struct RecorderStats {
+  Counter frames_recorded;  ///< feed + tick chunks staged
+  Counter bytes_written;    ///< bytes the writer thread flushed to disk
+  Counter writer_flushes;   ///< staging buffers handed to the writer
+  Counter staging_drops;    ///< feed chunks dropped on a full staging pair
+};
+
 /// Everything the pipeline + engine report, in one shareable hub.
 struct Sink {
   TrackerStats tracker;
   EngineStats engine;
   IngestStats ingest;
+  RecorderStats replay;
 
   /// Registers every member metric with `registry` under
   /// "<prefix>tracker.*" and "<prefix>engine.*" names. The Sink must

@@ -1,0 +1,112 @@
+// Replayer: the read side of the flight recorder.
+//
+// Loads a .vrlog, validates every chunk (magic, format version, CRC,
+// payload shape), rebuilds a TrackerEngine from the header and session
+// chunks, re-drives the recorded arrival order through the same feed
+// entry points (offer_* for samples that arrived through the async
+// rings, push_* for synchronous feeds), runs estimate_all() at every
+// recorded tick, and bit-compares the replayed outputs against the
+// recorded ones. Doubles are compared as IEEE-754 bit patterns, so
+// -0.0 vs 0.0 or differing NaN payloads count as divergences — the
+// contract is "the same double", not "a close double".
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/record_tap.h"
+#include "replay/vrlog.h"
+
+namespace vihot::replay {
+
+/// One field-level mismatch between the recorded and replayed runs.
+/// `recorded`/`replayed` are human-readable renderings (full precision
+/// for doubles, plus the raw bit pattern when the values print alike).
+struct Divergence {
+  std::uint64_t tick_index = 0;  ///< 0-based estimate_all() tick
+  double t_now = 0.0;            ///< the tick's timestamp
+  std::uint64_t session_id = 0;  ///< recorded session id
+  std::string field;             ///< e.g. "theta_rad", "raw.match_start"
+  std::string recorded;
+  std::string replayed;
+};
+
+/// What inspect/verify learned about a log without (or before) replay.
+struct LogSummary {
+  std::uint32_t format_version = 0;
+  engine::EngineDescriptor engine;
+  std::vector<std::uint32_t> profile_hashes;  ///< interned, in file order
+  std::uint64_t session_starts = 0;
+  std::uint64_t session_ends = 0;
+  std::uint64_t csi_frames = 0;
+  std::uint64_t imu_samples = 0;
+  std::uint64_t camera_frames = 0;
+  std::uint64_t ticks = 0;
+  bool has_footer = false;   ///< false: the recorder died mid-run
+  bool truncated = false;    ///< footer flag: staging drops occurred
+  std::uint64_t staging_drops = 0;
+};
+
+/// A parsed, CRC-verified log held in memory.
+class LoadedLog {
+ public:
+  /// Reads and validates `path`. On any failure ok() is false and
+  /// error() names the offending offset or chunk.
+  static LoadedLog load(const std::string& path);
+
+  [[nodiscard]] bool ok() const noexcept { return error_.empty(); }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+  [[nodiscard]] const LogSummary& summary() const noexcept {
+    return summary_;
+  }
+  [[nodiscard]] const std::vector<ChunkView>& chunks() const noexcept {
+    return chunks_;
+  }
+
+ private:
+  std::vector<unsigned char> bytes_;  ///< backing store for the views
+  std::vector<ChunkView> chunks_;
+  LogSummary summary_;
+  std::string error_;
+};
+
+struct ReplayOptions {
+  /// Worker threads for the replay engine; 0 = the recorded count.
+  /// Estimates are thread-count invariant (matcher equivalence), so any
+  /// value must verify clean — varying it is itself a determinism test.
+  std::size_t num_threads = 0;
+  /// When set, replaces every session's recorded TrackerConfig — the
+  /// "perturbed config" workflow: the first divergence pinpoints where
+  /// a config change first alters behavior.
+  const core::TrackerConfig* config_override = nullptr;
+  /// Stop after this many divergences (0 = collect all).
+  std::size_t max_divergences = 16;
+};
+
+struct ReplayResult {
+  bool ok = false;  ///< load + replay machinery succeeded (may diverge)
+  std::string error;
+  std::uint64_t ticks_replayed = 0;
+  std::uint64_t results_compared = 0;
+  std::vector<Divergence> divergences;
+
+  [[nodiscard]] bool bit_identical() const noexcept {
+    return ok && divergences.empty();
+  }
+};
+
+/// Re-drives `log` through a fresh engine and bit-compares every tick.
+[[nodiscard]] ReplayResult replay(const LoadedLog& log,
+                                  const ReplayOptions& options = {});
+
+/// Renders a first-divergence report (or a clean bill) for humans/CI.
+[[nodiscard]] std::string format_report(const std::string& log_path,
+                                        const ReplayResult& result);
+
+/// Renders a LogSummary for the inspect subcommand.
+[[nodiscard]] std::string format_summary(const std::string& log_path,
+                                         const LogSummary& summary);
+
+}  // namespace vihot::replay

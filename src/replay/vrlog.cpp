@@ -1,0 +1,509 @@
+#include "replay/vrlog.h"
+
+#include <array>
+#include <cstring>
+
+namespace vihot::replay {
+
+namespace {
+
+/// Reflected CRC-32 (polynomial 0xEDB88320), slicing-by-8: eight
+/// derived tables let the hot loop fold 8 input bytes per iteration
+/// instead of one. The recorder CRCs every staged chunk (~1 KB per CSI
+/// frame), so the byte-at-a-time loop was the dominant per-frame cost
+/// in the bench_engine_throughput --record A/B.
+std::array<std::array<std::uint32_t, 256>, 8> make_crc_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> tables{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    tables[0][i] = c;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = tables[0][i];
+    for (std::size_t t = 1; t < 8; ++t) {
+      c = tables[0][c & 0xFFu] ^ (c >> 8);
+      tables[t][i] = c;
+    }
+  }
+  return tables;
+}
+
+const std::array<std::array<std::uint32_t, 256>, 8>& crc_tables() {
+  static const std::array<std::array<std::uint32_t, 256>, 8> tables =
+      make_crc_tables();
+  return tables;
+}
+
+/// Sanity caps: a corrupt length field must not trigger gigabyte
+/// reserves. Generous next to any real capture.
+constexpr std::size_t kMaxSeriesSamples = 1u << 24;
+constexpr std::size_t kMaxPositions = 1u << 16;
+constexpr std::size_t kMaxSubcarriers = 4096;
+constexpr std::size_t kMaxRxNullRatios = 4096;
+
+}  // namespace
+
+std::uint32_t crc32(const unsigned char* data, std::size_t n,
+                    std::uint32_t seed) {
+  const auto& t = crc_tables();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  // 8 bytes per iteration (little-endian fold); the scalar tail loop
+  // also covers the unaligned head of short buffers.
+  while (n >= 8) {
+    std::uint32_t lo = 0;
+    std::uint32_t hi = 0;
+    std::memcpy(&lo, data, 4);
+    std::memcpy(&hi, data + 4, 4);
+    lo ^= c;
+    c = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+        t[5][(lo >> 16) & 0xFFu] ^ t[4][(lo >> 24) & 0xFFu] ^
+        t[3][hi & 0xFFu] ^ t[2][(hi >> 8) & 0xFFu] ^
+        t[1][(hi >> 16) & 0xFFu] ^ t[0][(hi >> 24) & 0xFFu];
+    data += 8;
+    n -= 8;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    c = t[0][(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void put_u8(std::vector<unsigned char>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u32(std::vector<unsigned char>& out, std::uint32_t v) {
+  const std::size_t at = out.size();
+  out.resize(at + 4);
+  std::memcpy(out.data() + at, &v, 4);
+}
+
+void put_u64(std::vector<unsigned char>& out, std::uint64_t v) {
+  const std::size_t at = out.size();
+  out.resize(at + 8);
+  std::memcpy(out.data() + at, &v, 8);
+}
+
+void put_f64(std::vector<unsigned char>& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, 8);
+  put_u64(out, bits);
+}
+
+const unsigned char* Cursor::take(std::size_t n) {
+  if (failed_ || size_ - pos_ < n) {
+    failed_ = true;
+    return nullptr;
+  }
+  const unsigned char* p = data_ + pos_;
+  pos_ += n;
+  return p;
+}
+
+std::uint8_t Cursor::get_u8() {
+  const unsigned char* p = take(1);
+  return p == nullptr ? 0 : *p;
+}
+
+std::uint32_t Cursor::get_u32() {
+  const unsigned char* p = take(4);
+  if (p == nullptr) return 0;
+  std::uint32_t v = 0;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+std::uint64_t Cursor::get_u64() {
+  const unsigned char* p = take(8);
+  if (p == nullptr) return 0;
+  std::uint64_t v = 0;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+double Cursor::get_f64() {
+  const std::uint64_t bits = get_u64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+
+void append_chunk(std::vector<unsigned char>& out, ChunkType type,
+                  const unsigned char* payload, std::size_t payload_size) {
+  const std::size_t frame_start = begin_chunk(out);
+  const std::size_t at = out.size();
+  out.resize(at + payload_size);
+  if (payload_size > 0) std::memcpy(out.data() + at, payload, payload_size);
+  finish_chunk(out, frame_start, type);
+}
+
+std::size_t begin_chunk(std::vector<unsigned char>& out) {
+  const std::size_t frame_start = out.size();
+  out.resize(frame_start + 8);  // type + length hole, patched by finish
+  return frame_start;
+}
+
+void finish_chunk(std::vector<unsigned char>& out, std::size_t frame_start,
+                  ChunkType type) {
+  const std::uint32_t type_raw = static_cast<std::uint32_t>(type);
+  const std::uint32_t payload_size =
+      static_cast<std::uint32_t>(out.size() - frame_start - 8);
+  std::memcpy(out.data() + frame_start, &type_raw, 4);
+  std::memcpy(out.data() + frame_start + 4, &payload_size, 4);
+  const std::uint32_t crc =
+      crc32(out.data() + frame_start, 8 + payload_size);
+  put_u32(out, crc);
+}
+
+ChunkScanner::ChunkScanner(const unsigned char* data, std::size_t size)
+    : data_(data), size_(size) {
+  if (size_ < sizeof(kMagic) + 4) {
+    error_ = "log shorter than the file header";
+    return;
+  }
+  if (std::memcmp(data_, kMagic, sizeof(kMagic)) != 0) {
+    error_ = "bad magic (not a .vrlog file)";
+    return;
+  }
+  std::memcpy(&format_version_, data_ + sizeof(kMagic), 4);
+  if (format_version_ != kFormatVersion) {
+    error_ = "unsupported format version " + std::to_string(format_version_);
+    return;
+  }
+  header_ok_ = true;
+  pos_ = sizeof(kMagic) + 4;
+}
+
+std::optional<ChunkView> ChunkScanner::next() {
+  if (!header_ok_ || failed() || pos_ == size_) return std::nullopt;
+  if (size_ - pos_ < chunk_overhead()) {
+    error_ = "truncated chunk frame at offset " + std::to_string(pos_);
+    return std::nullopt;
+  }
+  std::uint32_t type_raw = 0;
+  std::uint32_t payload_size = 0;
+  std::memcpy(&type_raw, data_ + pos_, 4);
+  std::memcpy(&payload_size, data_ + pos_ + 4, 4);
+  if (size_ - pos_ - chunk_overhead() < payload_size) {
+    error_ = "truncated chunk payload at offset " + std::to_string(pos_);
+    return std::nullopt;
+  }
+  const std::uint32_t want = crc32(data_ + pos_, 8 + payload_size);
+  std::uint32_t got = 0;
+  std::memcpy(&got, data_ + pos_ + 8 + payload_size, 4);
+  if (want != got) {
+    error_ = "CRC mismatch in chunk at offset " + std::to_string(pos_);
+    return std::nullopt;
+  }
+  ChunkView view;
+  view.type = static_cast<ChunkType>(type_raw);
+  view.payload = data_ + pos_ + 8;
+  view.size = payload_size;
+  pos_ += chunk_overhead() + payload_size;
+  return view;
+}
+
+// --- Structured payloads ------------------------------------------------
+
+void encode_engine_descriptor(std::vector<unsigned char>& out,
+                              const engine::EngineDescriptor& desc) {
+  put_u64(out, desc.num_threads);
+  put_u8(out, desc.parallel_single_session ? 1 : 0);
+  put_u64(out, desc.ingest.csi_capacity);
+  put_u64(out, desc.ingest.imu_capacity);
+  put_u8(out, static_cast<std::uint8_t>(desc.ingest.policy));
+  put_u64(out, desc.ingest.lanes);
+  put_f64(out, desc.ingest.high_watermark);
+  put_u64(out, desc.ingest.max_block_spins);
+}
+
+bool decode_engine_descriptor(Cursor& in, engine::EngineDescriptor* desc) {
+  desc->num_threads = in.get_u64();
+  desc->parallel_single_session = in.get_u8() != 0;
+  desc->ingest.csi_capacity = in.get_u64();
+  desc->ingest.imu_capacity = in.get_u64();
+  const std::uint8_t policy = in.get_u8();
+  if (policy > static_cast<std::uint8_t>(
+                   engine::OverloadPolicy::kDropNewest)) {
+    return false;
+  }
+  desc->ingest.policy = static_cast<engine::OverloadPolicy>(policy);
+  desc->ingest.lanes = in.get_u64();
+  desc->ingest.high_watermark = in.get_f64();
+  desc->ingest.max_block_spins = in.get_u64();
+  return in.ok();
+}
+
+void encode_tracker_config(std::vector<unsigned char>& out,
+                           const core::TrackerConfig& c) {
+  put_u32(out, kConfigLayoutVersion);
+  // Sanitizer.
+  put_u8(out, c.sanitizer.antenna_difference ? 1 : 0);
+  put_u8(out, c.sanitizer.subcarrier_average ? 1 : 0);
+  put_u64(out, c.sanitizer.single_subcarrier);
+  put_u64(out, c.sanitizer.rx_null_ratio.size());
+  for (const std::complex<double>& r : c.sanitizer.rx_null_ratio) {
+    put_f64(out, r.real());
+    put_f64(out, r.imag());
+  }
+  // Matcher (the parallel executor pointer is runtime wiring, skipped).
+  put_f64(out, c.matcher.window_s);
+  put_f64(out, c.matcher.min_length_factor);
+  put_f64(out, c.matcher.max_length_factor);
+  put_u64(out, c.matcher.num_lengths);
+  put_u64(out, c.matcher.start_stride);
+  put_f64(out, c.matcher.band_fraction);
+  put_u64(out, c.matcher.min_query_samples);
+  put_f64(out, c.matcher.max_dc_offset_rad);
+  // Stability detector.
+  put_f64(out, c.stability.window_s);
+  put_f64(out, c.stability.max_spread_rad);
+  put_u64(out, c.stability.min_samples);
+  // Steering identifier.
+  put_u8(out, c.steering.enabled ? 1 : 0);
+  put_f64(out, c.steering.detector.yaw_rate_threshold);
+  put_f64(out, c.steering.detector.smooth_window_s);
+  put_f64(out, c.steering.detector.release_ratio);
+  put_f64(out, c.steering.detector.hold_after_s);
+  // Tracker-level knobs.
+  put_u8(out, c.jump_filter_enabled ? 1 : 0);
+  put_f64(out, c.max_theta_rate_rad_s);
+  put_u64(out, static_cast<std::uint64_t>(c.jump_filter_patience));
+  put_f64(out, c.camera_staleness_s);
+  put_f64(out, c.stale_window_s);
+  put_f64(out, c.continuity_slack_rad);
+  put_f64(out, c.relock_distance);
+  put_u64(out, static_cast<std::uint64_t>(c.relock_patience));
+  put_u8(out, c.assume_forward_start ? 1 : 0);
+  put_f64(out, c.fingerprint_gate_margin_rad);
+  put_u64(out, c.neighbor_slots);
+  put_u8(out, c.bias_correction ? 1 : 0);
+  put_f64(out, c.flat_spread_rad);
+  put_f64(out, c.moving_spread_rad);
+  put_f64(out, c.tie_break_ratio);
+  put_f64(out, c.soft_continuity_weight);
+}
+
+bool decode_tracker_config(Cursor& in, core::TrackerConfig* c) {
+  if (in.get_u32() != kConfigLayoutVersion) return false;
+  c->sanitizer.antenna_difference = in.get_u8() != 0;
+  c->sanitizer.subcarrier_average = in.get_u8() != 0;
+  c->sanitizer.single_subcarrier =
+      static_cast<std::size_t>(in.get_u64());
+  const std::uint64_t num_ratios = in.get_u64();
+  if (!in.ok() || num_ratios > kMaxRxNullRatios) return false;
+  c->sanitizer.rx_null_ratio.clear();
+  c->sanitizer.rx_null_ratio.reserve(num_ratios);
+  for (std::uint64_t i = 0; i < num_ratios; ++i) {
+    const double re = in.get_f64();
+    const double im = in.get_f64();
+    c->sanitizer.rx_null_ratio.emplace_back(re, im);
+  }
+  c->matcher.window_s = in.get_f64();
+  c->matcher.min_length_factor = in.get_f64();
+  c->matcher.max_length_factor = in.get_f64();
+  c->matcher.num_lengths = static_cast<std::size_t>(in.get_u64());
+  c->matcher.start_stride = static_cast<std::size_t>(in.get_u64());
+  c->matcher.band_fraction = in.get_f64();
+  c->matcher.min_query_samples = static_cast<std::size_t>(in.get_u64());
+  c->matcher.max_dc_offset_rad = in.get_f64();
+  c->matcher.parallel = nullptr;
+  c->stability.window_s = in.get_f64();
+  c->stability.max_spread_rad = in.get_f64();
+  c->stability.min_samples = static_cast<std::size_t>(in.get_u64());
+  c->steering.enabled = in.get_u8() != 0;
+  c->steering.detector.yaw_rate_threshold = in.get_f64();
+  c->steering.detector.smooth_window_s = in.get_f64();
+  c->steering.detector.release_ratio = in.get_f64();
+  c->steering.detector.hold_after_s = in.get_f64();
+  c->jump_filter_enabled = in.get_u8() != 0;
+  c->max_theta_rate_rad_s = in.get_f64();
+  c->jump_filter_patience = static_cast<int>(in.get_u64());
+  c->camera_staleness_s = in.get_f64();
+  c->stale_window_s = in.get_f64();
+  c->continuity_slack_rad = in.get_f64();
+  c->relock_distance = in.get_f64();
+  c->relock_patience = static_cast<int>(in.get_u64());
+  c->assume_forward_start = in.get_u8() != 0;
+  c->fingerprint_gate_margin_rad = in.get_f64();
+  c->neighbor_slots = static_cast<std::size_t>(in.get_u64());
+  c->bias_correction = in.get_u8() != 0;
+  c->flat_spread_rad = in.get_f64();
+  c->moving_spread_rad = in.get_f64();
+  c->tie_break_ratio = in.get_f64();
+  c->soft_continuity_weight = in.get_f64();
+  c->sink = nullptr;
+  return in.ok();
+}
+
+namespace {
+
+void encode_series(std::vector<unsigned char>& out,
+                   const util::UniformSeries& s) {
+  put_f64(out, s.t0);
+  put_f64(out, s.dt);
+  put_u64(out, s.values.size());
+  for (const double v : s.values) put_f64(out, v);
+}
+
+bool decode_series(Cursor& in, util::UniformSeries* s) {
+  s->t0 = in.get_f64();
+  s->dt = in.get_f64();
+  const std::uint64_t n = in.get_u64();
+  if (!in.ok() || n > kMaxSeriesSamples) return false;
+  s->values.clear();
+  s->values.reserve(n);
+  for (std::uint64_t k = 0; k < n; ++k) s->values.push_back(in.get_f64());
+  return in.ok();
+}
+
+}  // namespace
+
+void encode_profile(std::vector<unsigned char>& out,
+                    const core::CsiProfile& profile) {
+  put_f64(out, profile.sample_rate_hz);
+  put_f64(out, profile.reference_phase);
+  put_u64(out, profile.positions.size());
+  for (const core::PositionProfile& p : profile.positions) {
+    put_u64(out, p.position_index);
+    put_f64(out, p.fingerprint_phase);
+    put_f64(out, p.true_position.x);
+    put_f64(out, p.true_position.y);
+    put_f64(out, p.true_position.z);
+    encode_series(out, p.csi);
+    encode_series(out, p.orientation);
+  }
+}
+
+bool decode_profile(Cursor& in, core::CsiProfile* profile) {
+  profile->sample_rate_hz = in.get_f64();
+  profile->reference_phase = in.get_f64();
+  const std::uint64_t n = in.get_u64();
+  if (!in.ok() || n > kMaxPositions) return false;
+  profile->positions.clear();
+  profile->positions.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    core::PositionProfile p;
+    p.position_index = static_cast<std::size_t>(in.get_u64());
+    p.fingerprint_phase = in.get_f64();
+    p.true_position.x = in.get_f64();
+    p.true_position.y = in.get_f64();
+    p.true_position.z = in.get_f64();
+    if (!decode_series(in, &p.csi)) return false;
+    if (!decode_series(in, &p.orientation)) return false;
+    profile->positions.push_back(std::move(p));
+  }
+  return in.ok();
+}
+
+void encode_track_result(std::vector<unsigned char>& out,
+                         const core::TrackResult& r) {
+  put_u8(out, r.valid ? 1 : 0);
+  put_f64(out, r.t);
+  put_f64(out, r.theta_rad);
+  put_u8(out, static_cast<std::uint8_t>(r.mode));
+  put_u64(out, r.position_slot);
+  put_u8(out, r.raw.valid ? 1 : 0);
+  put_f64(out, r.raw.t);
+  put_f64(out, r.raw.theta_rad);
+  put_f64(out, r.raw.match_distance);
+  put_f64(out, r.raw.runner_up_distance);
+  put_u8(out, r.raw.runner_up_valid ? 1 : 0);
+  put_f64(out, r.raw.runner_up_theta_rad);
+  put_u64(out, r.raw.match_start);
+  put_u64(out, r.raw.match_length);
+  put_f64(out, r.raw.speed_ratio);
+}
+
+bool decode_track_result(Cursor& in, core::TrackResult* r) {
+  r->valid = in.get_u8() != 0;
+  r->t = in.get_f64();
+  r->theta_rad = in.get_f64();
+  r->mode = static_cast<core::TrackingMode>(in.get_u8());
+  r->position_slot = static_cast<std::size_t>(in.get_u64());
+  r->raw.valid = in.get_u8() != 0;
+  r->raw.t = in.get_f64();
+  r->raw.theta_rad = in.get_f64();
+  r->raw.match_distance = in.get_f64();
+  r->raw.runner_up_distance = in.get_f64();
+  r->raw.runner_up_valid = in.get_u8() != 0;
+  r->raw.runner_up_theta_rad = in.get_f64();
+  r->raw.match_start = static_cast<std::size_t>(in.get_u64());
+  r->raw.match_length = static_cast<std::size_t>(in.get_u64());
+  r->raw.speed_ratio = in.get_f64();
+  return in.ok();
+}
+
+void encode_csi_payload(std::vector<unsigned char>& out, std::uint64_t id,
+                        const wifi::CsiMeasurement& m, bool offered) {
+  put_u64(out, id);
+  put_f64(out, m.t);
+  put_u8(out, offered ? 1 : 0);
+  put_u32(out, static_cast<std::uint32_t>(m.num_subcarriers()));
+  for (const auto& antenna : m.h) {
+    for (const std::complex<double>& h : antenna) {
+      put_f64(out, h.real());
+      put_f64(out, h.imag());
+    }
+  }
+}
+
+bool decode_csi_payload(Cursor& in, std::uint64_t* id,
+                        wifi::CsiMeasurement* m, bool* offered) {
+  *id = in.get_u64();
+  m->t = in.get_f64();
+  *offered = in.get_u8() != 0;
+  const std::uint32_t nsc = in.get_u32();
+  if (!in.ok() || nsc > kMaxSubcarriers) return false;
+  for (auto& antenna : m->h) {
+    antenna.clear();
+    antenna.reserve(nsc);
+    for (std::uint32_t f = 0; f < nsc; ++f) {
+      const double re = in.get_f64();
+      const double im = in.get_f64();
+      antenna.emplace_back(re, im);
+    }
+  }
+  return in.ok();
+}
+
+void encode_imu_payload(std::vector<unsigned char>& out, std::uint64_t id,
+                        const imu::ImuSample& s, bool offered) {
+  put_u64(out, id);
+  put_f64(out, s.t);
+  put_f64(out, s.gyro_yaw_rad_s);
+  put_f64(out, s.accel_lateral_mps2);
+  put_u8(out, offered ? 1 : 0);
+}
+
+bool decode_imu_payload(Cursor& in, std::uint64_t* id, imu::ImuSample* s,
+                        bool* offered) {
+  *id = in.get_u64();
+  s->t = in.get_f64();
+  s->gyro_yaw_rad_s = in.get_f64();
+  s->accel_lateral_mps2 = in.get_f64();
+  *offered = in.get_u8() != 0;
+  return in.ok();
+}
+
+void encode_camera_payload(std::vector<unsigned char>& out, std::uint64_t id,
+                           const camera::CameraTracker::Estimate& e) {
+  put_u64(out, id);
+  put_f64(out, e.t);
+  put_f64(out, e.theta);
+  put_u8(out, e.valid ? 1 : 0);
+}
+
+bool decode_camera_payload(Cursor& in, std::uint64_t* id,
+                           camera::CameraTracker::Estimate* e) {
+  *id = in.get_u64();
+  e->t = in.get_f64();
+  e->theta = in.get_f64();
+  e->valid = in.get_u8() != 0;
+  return in.ok();
+}
+
+}  // namespace vihot::replay

@@ -29,7 +29,8 @@ struct FleetSession {
 
 FleetResult run_fleet(const ScenarioConfig& config,
                       std::size_t num_threads,
-                      obs::Sink* sink) {
+                      obs::Sink* sink,
+                      engine::RecordTap* tap) {
   FleetResult out;
   out.sessions = config.runtime_sessions;
 
@@ -44,7 +45,7 @@ FleetResult run_fleet(const ScenarioConfig& config,
     ingest.csi_capacity = 0;
     ingest.imu_capacity = 0;
   }
-  engine::TrackerEngine eng({num_threads, sink, true, ingest});
+  engine::TrackerEngine eng({num_threads, sink, true, ingest, tap});
   const auto profile = eng.add_profile(runner.build_profile());
 
   // Per-session substrate, seeded like ExperimentRunner::run_session.

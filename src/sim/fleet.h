@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "engine/record_tap.h"
 #include "obs/sink.h"
 #include "sim/experiment.h"
 #include "sim/fault_injector.h"
@@ -46,9 +47,11 @@ struct FleetResult {
 /// through a TrackerEngine with `num_threads` workers (0 = inline).
 /// When `sink` is non-null the engine and every session report into it
 /// (e.g. for --metrics-out); otherwise a run-local sink feeds just the
-/// FleetResult rollup.
+/// FleetResult rollup. A non-null `tap` records the run (the flight
+/// recorder: see src/replay).
 [[nodiscard]] FleetResult run_fleet(const ScenarioConfig& config,
                                     std::size_t num_threads,
-                                    obs::Sink* sink = nullptr);
+                                    obs::Sink* sink = nullptr,
+                                    engine::RecordTap* tap = nullptr);
 
 }  // namespace vihot::sim

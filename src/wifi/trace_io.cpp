@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string_view>
 #include <system_error>
@@ -41,7 +42,10 @@ bool write_csi_trace(const std::string& path,
   if (!os) return false;
   const std::size_t nsc = capture.empty() ? 0 : capture[0].num_subcarriers();
   os << kCsiMagic << " antennas=2 subcarriers=" << nsc << '\n';
-  os.precision(12);
+  // max_digits10 (17) makes the decimal text round-trip bit-exactly back
+  // to the same double; the old precision(12) quietly dropped low bits,
+  // so a record->track cycle did not reproduce the live run.
+  os.precision(std::numeric_limits<double>::max_digits10);
   for (const CsiMeasurement& m : capture) {
     if (m.num_subcarriers() != nsc || m.h[1].size() != nsc) return false;
     os << m.t;
@@ -111,7 +115,7 @@ bool write_imu_trace(const std::string& path,
   std::ofstream os(path);
   if (!os) return false;
   os << kImuMagic << '\n';
-  os.precision(12);
+  os.precision(std::numeric_limits<double>::max_digits10);
   for (const imu::ImuSample& s : samples) {
     os << s.t << ',' << s.gyro_yaw_rad_s << ',' << s.accel_lateral_mps2
        << '\n';

@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# CLI contract check: every binary passed as an argument must reject an
+# unknown option by printing usage text and exiting nonzero. Guards the
+# vihot_trace regression where a typo'd flag was silently ignored and
+# the run proceeded with defaults.
+status=0
+for bin in "$@"; do
+  name=$(basename "$bin")
+  out=$("$bin" --definitely-not-a-flag 2>&1)
+  code=$?
+  if [ "$code" -eq 0 ]; then
+    echo "FAIL: $name exited 0 on an unknown flag"
+    status=1
+  fi
+  case "$out" in
+    *usage:*) ;;
+    *)
+      echo "FAIL: $name printed no usage text on an unknown flag"
+      echo "  output was: $out"
+      status=1
+      ;;
+  esac
+done
+[ "$status" -eq 0 ] && echo "PASS: all tools reject unknown flags"
+exit "$status"

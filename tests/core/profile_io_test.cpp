@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include "tests/core/test_helpers.h"
@@ -13,7 +15,12 @@ namespace {
 class ProfileIoTest : public ::testing::Test {
  protected:
   void TearDown() override { std::remove(path_.c_str()); }
-  std::string path_ = ::testing::TempDir() + "vihot_profile_test.txt";
+  // Per-test file name: ctest -jN runs cases of this fixture in
+  // parallel processes, and a shared path races.
+  std::string path_ =
+      ::testing::TempDir() + "vihot_profile_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+      ".txt";
 };
 
 TEST_F(ProfileIoTest, RoundTripSynthetic) {
@@ -82,6 +89,105 @@ TEST_F(ProfileIoTest, EmptyProfileRoundTrips) {
   const auto loaded = load_profile(path_);
   ASSERT_TRUE(loaded.has_value());
   EXPECT_TRUE(loaded->empty());
+}
+
+TEST_F(ProfileIoTest, RoundTripIsBitExact) {
+  // max_digits10 serialization: awkward doubles (denormals, huge
+  // magnitudes, negative zero) must reload as the same bit patterns,
+  // not 12-digit approximations.
+  const double awkward[] = {0.1,     1.0 / 3.0, 3e-310, -3e-310,
+                            1.7e308, -0.0,      5e-324, 2.2250738585072014e-308};
+  CsiProfile original;
+  original.sample_rate_hz = 1.0 / 3.0;
+  original.reference_phase = -3e-310;
+  PositionProfile pos;
+  pos.position_index = 0;
+  pos.fingerprint_phase = 5e-324;
+  pos.csi.t0 = 0.1;
+  pos.csi.dt = 1.0 / 200.0;
+  pos.orientation.t0 = pos.csi.t0;
+  pos.orientation.dt = pos.csi.dt;
+  for (const double v : awkward) {
+    pos.csi.values.push_back(v);
+    pos.orientation.values.push_back(-v);
+  }
+  original.positions.push_back(pos);
+
+  ASSERT_TRUE(save_profile(path_, original));
+  const auto loaded = load_profile(path_);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->positions.size(), 1u);
+  const auto bits = [](double v) {
+    std::uint64_t b = 0;
+    std::memcpy(&b, &v, sizeof b);
+    return b;
+  };
+  EXPECT_EQ(bits(loaded->sample_rate_hz), bits(original.sample_rate_hz));
+  EXPECT_EQ(bits(loaded->reference_phase), bits(original.reference_phase));
+  EXPECT_EQ(bits(loaded->positions[0].fingerprint_phase),
+            bits(pos.fingerprint_phase));
+  ASSERT_EQ(loaded->positions[0].csi.size(), pos.csi.size());
+  for (std::size_t k = 0; k < pos.csi.size(); ++k) {
+    EXPECT_EQ(bits(loaded->positions[0].csi.values[k]),
+              bits(pos.csi.values[k]))
+        << "csi sample " << k;
+    EXPECT_EQ(bits(loaded->positions[0].orientation.values[k]),
+              bits(pos.orientation.values[k]))
+        << "orientation sample " << k;
+  }
+}
+
+TEST_F(ProfileIoTest, RejectsGarbageHeaderValues) {
+  // std::stod would have thrown on these; the loader must return
+  // nullopt instead.
+  const char* bad_headers[] = {
+      "# vihot-profile v1 rate=abc reference=0 positions=0\n",
+      "# vihot-profile v1 rate= reference=0 positions=0\n",
+      "# vihot-profile v1 rate=200 reference=nope positions=0\n",
+      "# vihot-profile v1 rate=200 reference=0 positions=\n",
+      "# vihot-profile v1 rate=200 reference=0\n",
+      "# vihot-profile v1 rate=200 reference=0 positions=99999999999\n",
+  };
+  for (const char* header : bad_headers) {
+    {
+      std::ofstream os(path_, std::ios::trunc);
+      os << header;
+    }
+    EXPECT_FALSE(load_profile(path_).has_value()) << header;
+  }
+}
+
+TEST_F(ProfileIoTest, RejectsWrongShapeBody) {
+  const char* bad_bodies[] = {
+      // Sample row where a position line should be.
+      "0.5,0.25\n",
+      // Position line whose declared sample count is absurd (must not
+      // reserve gigabytes).
+      "position 0 fingerprint 0.1 t0 0 dt 0.005 samples 99999999999\n",
+      // Malformed position line (missing keywords).
+      "position 0 0.1 0 0.005 4\n",
+      // Declared one sample but the row is not "phi,theta".
+      "position 0 fingerprint 0.1 t0 0 dt 0.005 samples 1\n0.5;0.25\n",
+      // Declared one sample, row missing entirely.
+      "position 0 fingerprint 0.1 t0 0 dt 0.005 samples 1\n",
+  };
+  for (const char* body : bad_bodies) {
+    {
+      std::ofstream os(path_, std::ios::trunc);
+      os << "# vihot-profile v1 rate=200 reference=0 positions=1\n" << body;
+    }
+    EXPECT_FALSE(load_profile(path_).has_value()) << body;
+  }
+}
+
+TEST_F(ProfileIoTest, RejectsPositionCountMismatch) {
+  {
+    std::ofstream os(path_, std::ios::trunc);
+    os << "# vihot-profile v1 rate=200 reference=0 positions=2\n"
+       << "position 0 fingerprint 0.1 t0 0 dt 0.005 samples 1\n"
+       << "0.5,0.25\n";
+  }
+  EXPECT_FALSE(load_profile(path_).has_value());
 }
 
 }  // namespace

@@ -1,0 +1,41 @@
+// Golden-corpus regression gate: every checked-in .vrlog under
+// tests/corpus/ must load clean and replay bit-identically on the
+// current tree. A failure here means a code change altered the
+// pipeline's numerical behavior — either fix the regression or, if the
+// change is intentional, regenerate the corpus with
+// tools/gen_corpus.sh --update and explain the delta in the PR.
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "replay/replayer.h"
+
+namespace vihot::replay {
+namespace {
+
+TEST(Corpus, EveryGoldenLogReplaysBitIdentically) {
+  namespace fs = std::filesystem;
+  const fs::path dir = VIHOT_CORPUS_DIR;
+  ASSERT_TRUE(fs::is_directory(dir))
+      << dir << " missing — run tools/gen_corpus.sh --update";
+  std::size_t logs = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".vrlog") continue;
+    ++logs;
+    SCOPED_TRACE(entry.path().filename().string());
+    const LoadedLog log = LoadedLog::load(entry.path().string());
+    ASSERT_TRUE(log.ok()) << log.error();
+    EXPECT_TRUE(log.summary().has_footer);
+    EXPECT_FALSE(log.summary().truncated);
+    const ReplayResult result = replay(log);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_GT(result.results_compared, 0u);
+    EXPECT_TRUE(result.bit_identical())
+        << format_report(entry.path().string(), result);
+  }
+  EXPECT_GE(logs, 4u) << "corpus is thinner than the seeded 4 scenarios";
+}
+
+}  // namespace
+}  // namespace vihot::replay

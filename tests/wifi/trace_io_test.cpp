@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include "channel/cabin.h"
@@ -16,7 +19,12 @@ class TraceIoTest : public ::testing::Test {
   void TearDown() override {
     std::remove(path_.c_str());
   }
-  std::string path_ = ::testing::TempDir() + "vihot_trace_test.csv";
+  // Per-test file name: ctest -jN runs cases of this fixture in
+  // parallel processes, and a shared path races.
+  std::string path_ =
+      ::testing::TempDir() + "vihot_trace_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+      ".csv";
 };
 
 std::vector<CsiMeasurement> sample_capture(double seconds = 0.5) {
@@ -118,6 +126,84 @@ TEST_F(TraceIoTest, CsiRejectsRowWiderThanHeader) {
      << "0.5,1.0,0.0,1.0,0.0,9.0,9.0\n";
   os.close();
   EXPECT_FALSE(read_csi_trace(path_).has_value());
+}
+
+TEST_F(TraceIoTest, CsiRoundTripIsBitExactOverAwkwardDoubles) {
+  // Property test for the max_digits10 serialization fix: denormals,
+  // near-overflow magnitudes, negative zero and seeded random values
+  // must all reload with identical bit patterns (precision(12) lost up
+  // to 5 decimal digits here, which broke bit-exact replay of recorded
+  // traces).
+  const auto bits = [](double v) {
+    std::uint64_t b = 0;
+    std::memcpy(&b, &v, sizeof b);
+    return b;
+  };
+  std::vector<double> values = {0.1,    1.0 / 3.0, 3e-310, -3e-310, 5e-324,
+                                1.7e308, -1.7e308, -0.0,
+                                2.2250738585072014e-308};
+  util::Rng rng(99);
+  for (int i = 0; i < 64; ++i) {
+    // Spread mantissas across wildly different exponents.
+    values.push_back(rng.uniform(-1.0, 1.0) *
+                     std::pow(10.0, rng.uniform(-300.0, 300.0)));
+  }
+
+  std::vector<CsiMeasurement> capture;
+  for (std::size_t i = 0; i + 1 < values.size(); i += 2) {
+    CsiMeasurement m;
+    m.t = 0.001 * static_cast<double>(i);
+    m.h[0] = {{values[i], values[i + 1]}, {-values[i + 1], values[i]}};
+    m.h[1] = {{1.0, 0.0}, {0.0, -0.0}};
+    capture.push_back(m);
+  }
+  ASSERT_TRUE(write_csi_trace(path_, capture));
+  const auto loaded = read_csi_trace(path_);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), capture.size());
+  for (std::size_t i = 0; i < capture.size(); ++i) {
+    EXPECT_EQ(bits((*loaded)[i].t), bits(capture[i].t)) << "frame " << i;
+    for (int a = 0; a < 2; ++a) {
+      ASSERT_EQ((*loaded)[i].h[a].size(), capture[i].h[a].size());
+      for (std::size_t f = 0; f < capture[i].h[a].size(); ++f) {
+        EXPECT_EQ(bits((*loaded)[i].h[a][f].real()),
+                  bits(capture[i].h[a][f].real()))
+            << "frame " << i << " antenna " << a << " sc " << f;
+        EXPECT_EQ(bits((*loaded)[i].h[a][f].imag()),
+                  bits(capture[i].h[a][f].imag()))
+            << "frame " << i << " antenna " << a << " sc " << f;
+      }
+    }
+  }
+}
+
+TEST_F(TraceIoTest, ImuRoundTripIsBitExact) {
+  const auto bits = [](double v) {
+    std::uint64_t b = 0;
+    std::memcpy(&b, &v, sizeof b);
+    return b;
+  };
+  std::vector<imu::ImuSample> samples;
+  util::Rng rng(7);
+  for (int i = 0; i < 64; ++i) {
+    imu::ImuSample s;
+    s.t = 0.01 * i;
+    s.gyro_yaw_rad_s =
+        rng.uniform(-1.0, 1.0) * std::pow(10.0, rng.uniform(-300.0, 300.0));
+    s.accel_lateral_mps2 = (i % 2 == 0) ? -0.0 : 3e-310;
+    samples.push_back(s);
+  }
+  ASSERT_TRUE(write_imu_trace(path_, samples));
+  const auto loaded = read_imu_trace(path_);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(bits((*loaded)[i].t), bits(samples[i].t));
+    EXPECT_EQ(bits((*loaded)[i].gyro_yaw_rad_s),
+              bits(samples[i].gyro_yaw_rad_s));
+    EXPECT_EQ(bits((*loaded)[i].accel_lateral_mps2),
+              bits(samples[i].accel_lateral_mps2));
+  }
 }
 
 TEST_F(TraceIoTest, EmptyCaptureRoundTrips) {

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Golden replay corpus generator + drift guard.
+#
+# The corpus under tests/corpus/ is a set of seeded vihot_sim runs
+# recorded as .vrlog flight-recorder logs. replay_corpus_tests (label
+# replay-gate) replays every log on each change and requires bit-identical
+# outputs, turning any numerical drift in the pipeline into a test
+# failure with a first-divergence report.
+#
+#   tools/gen_corpus.sh            # drift guard: regenerate to a temp
+#                                  # dir, byte-compare with checked-in,
+#                                  # fail on any difference
+#   tools/gen_corpus.sh --update   # refresh the checked-in corpus
+#                                  # (intentional behavior changes only;
+#                                  # explain the delta in the PR)
+#
+# Environment:
+#   CORPUS_BUILD_DIR=DIR   build tree with vihot_sim/vihot_replay
+#                          (default: build)
+#
+# The sim loop is single-threaded — even --async-ingest offers arrive in
+# program order — and the log format contains no wall-clock fields, so a
+# regeneration with the same seed is byte-identical, which is what makes
+# the plain `cmp` guard sound.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build="${CORPUS_BUILD_DIR:-build}"
+sim="${build}/tools/vihot_sim"
+replay="${build}/tools/vihot_replay"
+corpus="tests/corpus"
+
+for bin in "${sim}" "${replay}"; do
+  if [ ! -x "${bin}" ]; then
+    echo "error: ${bin} not built (cmake --build ${build})" >&2
+    exit 1
+  fi
+done
+
+# Scenario table: name + vihot_sim flags. Seeds are fixed forever; short
+# two-session runs keep each log around a megabyte.
+names=(baseline steering async_ingest faults_async)
+flags=(
+  "--seed 11 --sessions 2 --duration 2"
+  "--seed 22 --sessions 2 --duration 2 --steering"
+  "--seed 33 --sessions 2 --duration 2 --async-ingest"
+  "--seed 44 --sessions 2 --duration 2 --faults --async-ingest"
+)
+
+generate() {
+  local outdir="$1"
+  local i
+  for i in "${!names[@]}"; do
+    # shellcheck disable=SC2086  # flags are intentionally word-split
+    "${sim}" ${flags[$i]} --record "${outdir}/${names[$i]}.vrlog" \
+      > /dev/null
+  done
+}
+
+verify() {
+  local dir="$1"
+  local name
+  for name in "${names[@]}"; do
+    "${replay}" verify "${dir}/${name}.vrlog"
+  done
+}
+
+if [ "${1:-}" = "--update" ]; then
+  mkdir -p "${corpus}"
+  generate "${corpus}"
+  verify "${corpus}"
+  echo "corpus refreshed under ${corpus}/"
+  exit 0
+fi
+
+# Drift guard: the corpus regenerated on this tree must byte-match the
+# checked-in logs. A mismatch means either nondeterminism crept into the
+# record path or a behavior change landed without a corpus refresh.
+tmp="$(mktemp -d)"
+trap 'rm -rf "${tmp}"' EXIT
+generate "${tmp}"
+drift=0
+for name in "${names[@]}"; do
+  if ! cmp -s "${corpus}/${name}.vrlog" "${tmp}/${name}.vrlog"; then
+    echo "DRIFT: ${name}.vrlog regenerates differently from the" \
+         "checked-in log" >&2
+    drift=1
+  fi
+done
+if [ "${drift}" -ne 0 ]; then
+  echo "corpus drift detected — if the behavior change is intentional," \
+       "run tools/gen_corpus.sh --update and explain it in the PR" >&2
+  exit 1
+fi
+verify "${tmp}" > /dev/null
+echo "corpus drift guard: ${#names[@]} logs byte-identical and verified"

@@ -31,8 +31,8 @@ set -uo pipefail
 
 cd "$(dirname "$0")/.."
 
-all_legs=(matcher asan tsan release)
-known_legs=(matcher default asan tsan release)
+all_legs=(matcher replay asan tsan release)
+known_legs=(matcher replay default asan tsan release)
 
 if [ "${1:-}" = "--list" ]; then
   printf '%s\n' "${known_legs[@]}"
@@ -89,6 +89,29 @@ run_leg() {
       echo "== ${leg}: test =="
       run_ctest default default
       ;;
+    replay)
+      # Flight-recorder gate: the replay-gate label (format, end-to-end
+      # bit-identity, golden corpus), then the corpus drift guard
+      # (regenerated logs must byte-match the checked-in ones), then an
+      # explicit vihot_replay verify over every corpus log with
+      # first-divergence reports written where CI can pick them up as
+      # artifacts on failure.
+      configure_build default || return 1
+      echo "== ${leg}: replay-gate tests =="
+      run_ctest replay-gate replay-gate || return 1
+      echo "== ${leg}: corpus drift guard =="
+      tools/gen_corpus.sh || return 1
+      echo "== ${leg}: corpus verify =="
+      mkdir -p build/replay-reports
+      local verify_rc=0
+      local log name
+      for log in tests/corpus/*.vrlog; do
+        name="$(basename "${log}" .vrlog)"
+        ./build/tools/vihot_replay verify "${log}" \
+          --report "build/replay-reports/${name}.txt" || verify_rc=1
+      done
+      return "${verify_rc}"
+      ;;
     release)
       configure_build release || return 1
       echo "== ${leg}: release-guard tests =="
@@ -99,9 +122,13 @@ run_leg() {
     asan|tsan)
       configure_build "${leg}" || return 1
       echo "== ${leg}: equivalence gate =="
-      # Gate first (fast, and the most load-bearing invariant under a
-      # sanitizer), then the full suite.
+      # Gates first (fast, and the most load-bearing invariants under a
+      # sanitizer), then the full suite. The replay gate under tsan is
+      # what keeps the Recorder's staging-buffer handoff honest against
+      # the engine's concurrent producers.
       run_ctest "matcher-equivalence-${leg}" "${leg}-gate" || return 1
+      echo "== ${leg}: replay gate =="
+      run_ctest "replay-gate-${leg}" "${leg}-replay-gate" || return 1
       echo "== ${leg}: full suite =="
       run_ctest "${leg}" "${leg}"
       ;;

@@ -1,0 +1,111 @@
+// vihot_replay: verify, replay and inspect flight-recorder logs.
+//
+//   vihot_replay verify <log.vrlog> [--threads K] [--report PATH]
+//       re-drives the log through a fresh TrackerEngine and checks the
+//       outputs are bit-identical to the recorded ones; exit 0 on a
+//       clean bill, 1 on divergence or a corrupt log
+//   vihot_replay replay <log.vrlog> [--threads K] [--report PATH]
+//       like verify, but always writes/prints the full report and only
+//       fails on a corrupt log (divergences are reported, not fatal)
+//   vihot_replay inspect <log.vrlog>
+//       prints the log's header, session, feed and tick inventory
+//
+// --threads K replays with K workers instead of the recorded count —
+// estimates are thread-count invariant, so this is itself a determinism
+// check. --report PATH writes the first-divergence report to a file
+// (CI uploads it as an artifact on gate failure).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "replay/replayer.h"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s verify <log.vrlog> [--threads K] "
+               "[--report PATH]\n"
+               "       %s replay <log.vrlog> [--threads K] "
+               "[--report PATH]\n"
+               "       %s inspect <log.vrlog>\n",
+               argv0, argv0, argv0);
+  std::exit(2);
+}
+
+bool emit_report(const std::string& report_path, const std::string& text) {
+  if (report_path.empty()) return true;
+  std::ofstream os(report_path);
+  if (!os) return false;
+  os << text;
+  return static_cast<bool>(os);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vihot;
+  if (argc < 3) usage(argv[0]);
+  const std::string mode = argv[1];
+  const std::string path = argv[2];
+  replay::ReplayOptions options;
+  std::string report_path;
+  for (int i = 3; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--threads") {
+      if (i + 1 >= argc) usage(argv[0]);
+      options.num_threads =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (a == "--report") {
+      if (i + 1 >= argc) usage(argv[0]);
+      report_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      usage(argv[0]);
+    }
+  }
+  if (mode != "verify" && mode != "replay" && mode != "inspect") {
+    std::fprintf(stderr, "unknown mode: %s\n", mode.c_str());
+    usage(argv[0]);
+  }
+
+  const replay::LoadedLog log = replay::LoadedLog::load(path);
+  if (mode == "inspect") {
+    if (!log.ok()) {
+      std::fprintf(stderr, "error: %s: %s\n", path.c_str(),
+                   log.error().c_str());
+      return 1;
+    }
+    std::fputs(replay::format_summary(path, log.summary()).c_str(), stdout);
+    return 0;
+  }
+
+  const replay::ReplayResult result = replay::replay(log, options);
+  const std::string report = replay::format_report(path, result);
+  if (!emit_report(report_path, report)) {
+    std::fprintf(stderr, "error: cannot write report to %s\n",
+                 report_path.c_str());
+    return 1;
+  }
+  if (!result.ok) {
+    std::fputs(report.c_str(), stderr);
+    return 1;
+  }
+  if (mode == "replay") {
+    std::fputs(report.c_str(), stdout);
+    return 0;
+  }
+  // verify: quiet on success, loud + nonzero on divergence.
+  if (result.bit_identical()) {
+    std::printf("%s: %llu ticks, %llu results, bit-identical\n",
+                path.c_str(),
+                static_cast<unsigned long long>(result.ticks_replayed),
+                static_cast<unsigned long long>(result.results_compared));
+    return 0;
+  }
+  std::fputs(report.c_str(), stderr);
+  return 1;
+}

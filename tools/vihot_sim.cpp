@@ -31,6 +31,9 @@
 //                          of the synchronous push path; implies fleet
 //     --ingest-policy X    ring overload policy: block | drop-oldest |
 //                          drop-newest (default drop-oldest)
+//     --record PATH        flight-record the run into a .vrlog at PATH
+//                          (implies fleet mode; verify later with
+//                          `vihot_replay verify PATH`)
 //     --csv                machine-readable one-line summary
 //     --metrics-out PATH   write the run's tracker/engine metric
 //                          families (obs::Registry snapshot) to PATH;
@@ -45,8 +48,11 @@
 #include <fstream>
 #include <string>
 
+#include <memory>
+
 #include "obs/metrics.h"
 #include "obs/sink.h"
+#include "replay/recorder.h"
 #include "sim/experiment.h"
 #include "sim/fleet.h"
 #include "util/angle.h"
@@ -66,7 +72,8 @@ namespace {
                "  [--faults] [--fault-drop P] [--fault-nan P] "
                "[--async-ingest]\n"
                "  [--ingest-policy block|drop-oldest|drop-newest] "
-               "[--metrics-out PATH]\n",
+               "[--record PATH]\n"
+               "  [--metrics-out PATH]\n",
                argv0);
   std::exit(2);
 }
@@ -104,6 +111,7 @@ int main(int argc, char** argv) {
   bool fleet = false;
   std::size_t threads = 0;
   std::string metrics_out;
+  std::string record_out;
   obs::Sink sink;
 
   for (int i = 1; i < argc; ++i) {
@@ -175,6 +183,9 @@ int main(int argc, char** argv) {
       } else {
         usage(*argv);
       }
+    } else if (a == "--record") {
+      if (i + 1 >= argc) usage(*argv);
+      record_out = argv[++i];
     } else if (a == "--csv") {
       csv = true;
     } else if (a == "--metrics-out") {
@@ -185,13 +196,44 @@ int main(int argc, char** argv) {
     }
   }
   if (!metrics_out.empty()) config.tracker.sink = &sink;
-  // Faults and async ingest are fleet-path features: both act on the
-  // pre-generated streams / engine feed loop of run_fleet.
-  if (config.faults.enabled || config.async_ingest) fleet = true;
+  // Faults, async ingest and recording are fleet-path features: all act
+  // on the pre-generated streams / engine feed loop of run_fleet.
+  if (config.faults.enabled || config.async_ingest || !record_out.empty()) {
+    fleet = true;
+  }
 
   if (fleet) {
+    std::unique_ptr<replay::Recorder> recorder;
+    if (!record_out.empty()) {
+      replay::Recorder::Config rc;
+      rc.path = record_out;
+      rc.sink = &sink;
+      recorder = std::make_unique<replay::Recorder>(rc);
+      if (!recorder->ok()) {
+        std::fprintf(stderr, "error: %s\n", recorder->error().c_str());
+        return 1;
+      }
+    }
     const sim::FleetResult res = sim::run_fleet(
-        config, threads, metrics_out.empty() ? nullptr : &sink);
+        config, threads, metrics_out.empty() ? nullptr : &sink,
+        recorder.get());
+    if (recorder != nullptr) {
+      const replay::Recorder::Totals t = recorder->totals();
+      if (!recorder->close()) {
+        std::fprintf(stderr, "error: %s\n", recorder->error().c_str());
+        return 1;
+      }
+      // The one record-mode line that must not pollute --csv output.
+      std::fprintf(csv ? stderr : stdout,
+                  "  recorded:   %s (%llu csi, %llu imu, %llu camera, "
+                  "%llu ticks%s)\n",
+                  record_out.c_str(),
+                  static_cast<unsigned long long>(t.csi_frames),
+                  static_cast<unsigned long long>(t.imu_samples),
+                  static_cast<unsigned long long>(t.camera_frames),
+                  static_cast<unsigned long long>(t.ticks),
+                  t.truncated ? ", TRUNCATED" : "");
+    }
     if (!metrics_out.empty() && !write_metrics(sink, metrics_out)) {
       std::fprintf(stderr, "error: cannot write metrics to %s\n",
                    metrics_out.c_str());

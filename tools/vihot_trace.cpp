@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <string>
 
 #include "sim/experiment.h"
@@ -69,7 +70,9 @@ int record(const std::string& prefix, std::uint64_t seed, double duration,
   {
     std::ofstream os(prefix + ".truth");
     os << "# vihot-truth v1 seed=" << seed << '\n';
-    os.precision(12);
+    // max_digits10: every double round-trips bit-exactly through the
+    // decimal text (precision(12) silently lost the low bits).
+    os.precision(std::numeric_limits<double>::max_digits10);
     for (double t = 0.0; t < duration; t += 0.01) {
       os << t << ',' << session.head_at(t).pose.theta << '\n';
     }
@@ -149,15 +152,21 @@ int track(const std::string& prefix, double window_ms) {
 
 }  // namespace
 
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s record <prefix> [--seed N] [--duration S] "
+               "[--steering]\n"
+               "       %s track <prefix> [--window-ms N]\n",
+               argv0, argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc < 3) {
-    std::fprintf(stderr,
-                 "usage: %s record <prefix> [--seed N] [--duration S] "
-                 "[--steering]\n"
-                 "       %s track <prefix> [--window-ms N]\n",
-                 argv[0], argv[0]);
-    return 2;
-  }
+  if (argc < 3) usage(argv[0]);
   const std::string mode = argv[1];
   const std::string prefix = argv[2];
   std::uint64_t seed = 99;
@@ -166,13 +175,24 @@ int main(int argc, char** argv) {
   bool steering = false;
   for (int i = 3; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a == "--seed" && i + 1 < argc) seed = std::strtoull(argv[++i], nullptr, 10);
-    else if (a == "--duration" && i + 1 < argc) duration = std::atof(argv[++i]);
-    else if (a == "--window-ms" && i + 1 < argc) window_ms = std::atof(argv[++i]);
-    else if (a == "--steering") steering = true;
+    if (a == "--seed") {
+      if (i + 1 >= argc) usage(argv[0]);
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--duration") {
+      if (i + 1 >= argc) usage(argv[0]);
+      duration = std::atof(argv[++i]);
+    } else if (a == "--window-ms") {
+      if (i + 1 >= argc) usage(argv[0]);
+      window_ms = std::atof(argv[++i]);
+    } else if (a == "--steering") {
+      steering = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      usage(argv[0]);
+    }
   }
   if (mode == "record") return record(prefix, seed, duration, steering);
   if (mode == "track") return track(prefix, window_ms);
   std::fprintf(stderr, "unknown mode: %s\n", mode.c_str());
-  return 2;
+  usage(argv[0]);
 }
