@@ -10,6 +10,7 @@
 
 #include "baseline/imu_headset.h"
 #include "bench/bench_common.h"
+#include "core/orientation_backend.h"
 #include "camera/camera_tracker.h"
 #include "sim/drive_sim.h"
 
@@ -25,6 +26,15 @@ int main() {
   config.collect_naive_baseline = true;
   config.collect_camera_baseline = true;
   const sim::ExperimentResult res = bench::run(config);
+
+  // The repo's EKF fusion backend over the same drives: the IMU as a
+  // continuous measurement stream instead of only a steering identifier.
+  sim::ExperimentResult ekf_res;
+  {
+    sim::ScenarioConfig ekf_cfg = bench::default_config();
+    ekf_cfg.tracker.tracker_backend = core::TrackerBackend::kEkf;
+    ekf_res = bench::run(ekf_cfg);
+  }
 
   // Night-time camera: rerun the camera error against truth directly.
   sim::ErrorCollector night_errors;
@@ -74,6 +84,7 @@ int main() {
 
   util::Table table = bench::error_table("tracker");
   table.add_row(bench::error_row("ViHOT (CSI)", res.errors));
+  table.add_row(bench::error_row("ViHOT EKF fusion (CSI+IMU)", ekf_res.errors));
   table.add_row(bench::error_row("naive Eq.(5) lookup", res.naive_errors));
   table.add_row(bench::error_row("camera 30FPS (day)", res.camera_errors));
   table.add_row(bench::error_row("camera 30FPS (night)", night_errors));

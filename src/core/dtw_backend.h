@@ -1,0 +1,72 @@
+// DtwOrientationBackend: the paper's track stage (the kDtw backend).
+//
+// Carries stages [2]..[5] of the run-time pipeline — WindowAnalyzer,
+// SlotMatcher, RelockPolicy, TieBreaker — plus the rate ("jump") filter
+// and the continuity state they share. The estimate() body is the
+// pre-refactor ViHotTracker::estimate() match/relock/tie-break block
+// moved verbatim: same stage calls in the same order, same floating-
+// point expressions, so the default pipeline stays bit-identical (the
+// replay gate and the backend-equivalence tests enforce this).
+#pragma once
+
+#include <optional>
+
+#include "core/orientation_backend.h"
+#include "core/relock_policy.h"
+#include "core/slot_matcher.h"
+#include "core/tie_breaker.h"
+#include "core/tracker.h"
+#include "core/window_analyzer.h"
+
+namespace vihot::core {
+
+class DtwOrientationBackend final : public OrientationBackend {
+ public:
+  explicit DtwOrientationBackend(const TrackerConfig& config);
+
+  [[nodiscard]] BackendOutput estimate(double t_now,
+                                       const BackendContext& ctx) override;
+  [[nodiscard]] double fallback_output(double t, double theta_rad) override;
+  void relock_after_gap() override;
+  [[nodiscard]] bool have_output() const noexcept override {
+    return have_output_;
+  }
+  [[nodiscard]] std::size_t matched_slot() const noexcept override {
+    return matched_slot_;
+  }
+  void set_stats(obs::TrackerStats* stats) override;
+  [[nodiscard]] TrackerBackend backend() const noexcept override {
+    return TrackerBackend::kDtw;
+  }
+
+ private:
+  /// Applies the continuous-motion rate filter to a candidate output.
+  [[nodiscard]] double rate_filtered(double t, double theta);
+
+  /// Runs the SlotMatcher stage and records the winning slot.
+  [[nodiscard]] OrientationEstimate match_slot(double t_now,
+                                               const BackendContext& ctx,
+                                               const ContinuityHint* hint,
+                                               bool soft_prior);
+
+  /// The continuity hint for a hinted-regime match, if one applies.
+  [[nodiscard]] std::optional<ContinuityHint> make_hint(double t_now) const;
+
+  TrackerConfig config_;
+  obs::TrackerStats* stats_ = nullptr;  ///< not owned; nullptr = off
+
+  // Stages [2]..[5].
+  WindowAnalyzer analyzer_;
+  SlotMatcher slot_matcher_;
+  RelockPolicy relock_;
+  TieBreaker tie_breaker_;
+
+  // Jump-filter / continuity state.
+  std::size_t matched_slot_ = 0;  ///< slot of the last successful match
+  bool have_output_ = false;
+  double last_output_t_ = 0.0;
+  double last_output_theta_ = 0.0;
+  int rejected_in_row_ = 0;
+};
+
+}  // namespace vihot::core

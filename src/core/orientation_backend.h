@@ -1,0 +1,156 @@
+// OrientationBackend: the backend interface of the track stage.
+//
+// ViHotTracker owns the feed plumbing (sanitize, relative-phase buffer,
+// stable-phase re-localization, mode arbitration); everything from the
+// window regime to the final rate-filtered angle — stages [2]..[5] of
+// Fig. 4's run-time half plus the jump filter — lives behind this
+// interface. Two backends implement it:
+//
+//   * DtwOrientationBackend (kDtw, dtw_backend.h): the paper's pipeline,
+//     bit-identical to the pre-refactor ViHotTracker::estimate() body.
+//   * EkfFusionBackend (kEkf, src/fusion/ekf_backend.h): a continuous
+//     [theta, omega] EKF that propagates on IMU gyro samples and updates
+//     on CSI slot matches, with a covariance-gated relock — the IMU is a
+//     continuous measurement stream, not only a steering identifier.
+//
+// The tracker drives one backend per session; backends are stateful and
+// not thread-safe (sessions serialize on the engine's session mutex).
+// Construction goes through make_orientation_backend(TrackerConfig),
+// keyed by TrackerConfig::tracker_backend.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/orientation_estimator.h"
+#include "core/profile.h"
+#include "imu/imu.h"
+#include "util/time_series.h"
+
+namespace vihot::obs {
+struct TrackerStats;
+}
+
+namespace vihot::core {
+
+struct TrackerConfig;
+
+/// Which track-stage backend turns the phase window into orientation.
+/// Encoded into the .vrlog TrackerConfig chunk (layout v2), so the
+/// numeric values are part of the recorded format — append only.
+enum class TrackerBackend : std::uint8_t {
+  kDtw = 0,  ///< DTW match + staged relock + tie-break (paper default)
+  kEkf = 1,  ///< continuous EKF fusion of IMU gyro + CSI matches
+};
+
+/// Canonical CLI/report name ("dtw" / "ekf").
+[[nodiscard]] const char* to_string(TrackerBackend backend) noexcept;
+
+/// Parses a CLI spelling; returns false (and leaves `out` untouched) on
+/// an unknown name.
+[[nodiscard]] bool parse_tracker_backend(const char* name,
+                                         TrackerBackend* out) noexcept;
+
+/// Tuning of the EKF fusion backend (state [theta, omega]).
+struct EkfFusionConfig {
+  // Process model: theta' = theta + omega * dt, omega decaying toward 0
+  // with time constant omega_tau_s (head turns are short saccades, not
+  // sustained rotations).
+  double q_theta_rad2_s = 5e-3;   ///< orientation process noise
+  double q_omega_rad2_s3 = 4.0;   ///< turn-rate process noise
+  double omega_tau_s = 0.6;       ///< turn-rate decay time constant
+  /// Head/cabin coupling during vehicle yaw: drivers stabilize their
+  /// gaze, so cabin-frame head angle counter-rotates by roughly this
+  /// fraction of the integrated gyro yaw. 0 = no coupling.
+  double gyro_coupling = 0.0;
+
+  // CSI match measurement noise: R = r_base + r_distance_scale * d where
+  // d is the match's normalized DTW distance (a poor match is a noisy
+  // angle), inflated by steer_noise_inflation while the smoothed |gyro
+  // yaw| exceeds steer_gyro_threshold (steering pollutes the CSI phase —
+  // Sec. 3.6 — so matches are distrusted, and the state coasts on the
+  // motion model instead of hard-switching away from CSI).
+  // Scale calibration: a good match's normalized distance sits near
+  // relock_distance (~0.02), so R for a clean match is a few (deg)^2.
+  double r_base_rad2 = 2e-3;
+  double r_distance_scale = 0.5;
+  double steer_gyro_threshold_rad_s = 0.12;
+  double steer_noise_inflation = 30.0;
+  double gyro_smoothing_tau_s = 0.15;  ///< |gyro yaw| envelope smoothing
+  /// Camera fallback measurement noise (absolute but coarse angles).
+  double r_camera_rad2 = 1e-2;
+
+  // Hint shaping: a hinted-regime match is constrained to
+  // hint_sigma * sqrt(P_theta) + hint_slack_rad around the state.
+  double hint_sigma = 3.0;
+  double hint_slack_rad = 0.2;
+
+  // Covariance-gated relock: a normalized innovation v^2/S beyond
+  // relock_gate is rejected; after relock_patience consecutive
+  // rejections the backend re-matches globally and reinitializes.
+  double relock_gate = 9.0;
+  int relock_patience = 5;
+
+  // State (re)initialization covariance.
+  double init_theta_var_rad2 = 0.3;
+  double init_omega_var_rad2_s2 = 1.0;
+};
+
+/// Read-only per-tracker state a backend may consult during estimate().
+struct BackendContext {
+  const CsiProfile* profile = nullptr;
+  const util::TimeSeries* phase = nullptr;  ///< relative sanitized phase
+  std::size_t position_slot = 0;            ///< Eq. 4 slot to match against
+  bool have_stable_phi0 = false;            ///< session bias available
+  double stable_phi0 = 0.0;                 ///< last stable forward phase
+};
+
+/// One backend decision.
+struct BackendOutput {
+  bool valid = false;
+  double theta_rad = 0.0;
+  /// Raw matcher output when a match ran this tick (diagnostics; feeds
+  /// TrackResult::raw and the forecaster).
+  OrientationEstimate raw{};
+};
+
+/// The track-stage backend interface.
+class OrientationBackend {
+ public:
+  virtual ~OrientationBackend() = default;
+
+  /// Feed one IMU sample (continuous backends propagate on it).
+  virtual void push_imu(const imu::ImuSample& sample) {
+    (void)sample;
+  }
+
+  /// One estimate tick in CSI mode.
+  [[nodiscard]] virtual BackendOutput estimate(double t_now,
+                                               const BackendContext& ctx) = 0;
+
+  /// One camera-fallback angle routed through the backend's output
+  /// filter/state; returns the angle to serve.
+  [[nodiscard]] virtual double fallback_output(double t,
+                                               double theta_rad) = 0;
+
+  /// Drops continuity state after a stale feed window (the last output
+  /// no longer bounds the head).
+  virtual void relock_after_gap() = 0;
+
+  /// Whether the backend currently holds a usable previous output.
+  [[nodiscard]] virtual bool have_output() const noexcept = 0;
+
+  /// Profile slot of the last successful match (drives the forecaster).
+  [[nodiscard]] virtual std::size_t matched_slot() const noexcept = 0;
+
+  /// Reporting sink for per-backend counters (nullptr = off).
+  virtual void set_stats(obs::TrackerStats* stats) = 0;
+
+  [[nodiscard]] virtual TrackerBackend backend() const noexcept = 0;
+};
+
+/// Builds the track backend selected by `config.tracker_backend`.
+[[nodiscard]] std::unique_ptr<OrientationBackend> make_orientation_backend(
+    const TrackerConfig& config);
+
+}  // namespace vihot::core

@@ -1,16 +1,55 @@
 #include "core/sanitizer.h"
 
 #include <complex>
+#include <cstring>
 
+#include "obs/sink.h"
 #include "util/angle.h"
 
 namespace vihot::core {
+
+const char* to_string(SanitizerBackend backend) noexcept {
+  switch (backend) {
+    case SanitizerBackend::kKalman:
+      return "kalman";
+    case SanitizerBackend::kEqDiff:
+    default:
+      return "eq3";
+  }
+}
+
+bool parse_sanitizer_backend(const char* name,
+                             SanitizerBackend* out) noexcept {
+  if (name == nullptr || out == nullptr) return false;
+  if (std::strcmp(name, "eq3") == 0) {
+    *out = SanitizerBackend::kEqDiff;
+    return true;
+  }
+  if (std::strcmp(name, "kalman") == 0) {
+    *out = SanitizerBackend::kKalman;
+    return true;
+  }
+  return false;
+}
+
+double CsiSanitizer::sanitize(const wifi::CsiMeasurement& m) {
+  if (stats_ != nullptr) stats_->backend_eq3_frames.inc();
+  return phase(m);
+}
 
 double CsiSanitizer::phase(const wifi::CsiMeasurement& m) const noexcept {
   const std::size_t nsc = m.num_subcarriers();
   if (nsc == 0) return 0.0;
 
-  if (!config_.antenna_difference) {
+  // Every Eq. 3 / rx-null branch below reads the antenna-1 reference; a
+  // frame without it (single-antenna capture, truncated parse) degrades
+  // to the raw antenna-0 path instead of reading out of bounds.
+  const bool have_reference = m.h[1].size() >= nsc;
+  if (config_.antenna_difference && !have_reference && stats_ != nullptr) {
+    stats_->sanitizer_antenna_degraded.inc();
+  }
+
+  if (!config_.antenna_difference || !have_reference) {
     // Ablation: raw antenna-0 phase (CFO/SFO survive — Eq. 2 untreated).
     if (!config_.subcarrier_average) {
       const std::size_t f =

@@ -15,6 +15,7 @@
 #include <complex>
 #include <vector>
 
+#include "core/phase_sanitizer.h"
 #include "util/time_series.h"
 #include "wifi/csi.h"
 
@@ -44,13 +45,18 @@ struct SanitizerConfig {
   std::vector<std::complex<double>> rx_null_ratio;
 };
 
-/// Stateless per-frame phase extractor.
-class CsiSanitizer {
+/// Stateless per-frame phase extractor (the kEqDiff backend). Remains
+/// directly usable by value (Profiler, benches) — the PhaseSanitizer
+/// interface only matters to the tracker's pluggable sanitize stage.
+class CsiSanitizer : public PhaseSanitizer {
  public:
   CsiSanitizer() = default;
   explicit CsiSanitizer(const SanitizerConfig& config) : config_(config) {}
 
-  /// The sanitized scalar phase of one frame, in (-pi, pi].
+  /// The sanitized scalar phase of one frame, in (-pi, pi]. A frame
+  /// missing the second antenna (h[1] shorter than h[0]) cannot form the
+  /// Eq. 3 difference; it degrades to the raw antenna-0 path and counts
+  /// tracker.backend.antenna_degraded instead of reading out of bounds.
   [[nodiscard]] double phase(const wifi::CsiMeasurement& m) const noexcept;
 
   /// Sanitizes a whole capture into a timestamped phase series.
@@ -61,8 +67,16 @@ class CsiSanitizer {
     return config_;
   }
 
+  // PhaseSanitizer interface.
+  [[nodiscard]] double sanitize(const wifi::CsiMeasurement& m) override;
+  void set_stats(obs::TrackerStats* stats) override { stats_ = stats; }
+  [[nodiscard]] SanitizerBackend backend() const noexcept override {
+    return SanitizerBackend::kEqDiff;
+  }
+
  private:
   SanitizerConfig config_;
+  obs::TrackerStats* stats_ = nullptr;  ///< not owned; nullptr = off
 };
 
 }  // namespace vihot::core

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <utility>
 
+#include "core/dtw_backend.h"
+#include "fusion/ekf_backend.h"
 #include "obs/sink.h"
 
 namespace vihot::core {
@@ -16,6 +18,29 @@ constexpr double kBufferSlackS = 1.5;
 
 }  // namespace
 
+std::unique_ptr<PhaseSanitizer> make_phase_sanitizer(
+    const TrackerConfig& config) {
+  switch (config.sanitizer_backend) {
+    case SanitizerBackend::kKalman:
+      return std::make_unique<KalmanPhaseSanitizer>(config.sanitizer,
+                                                    config.kalman);
+    case SanitizerBackend::kEqDiff:
+    default:
+      return std::make_unique<CsiSanitizer>(config.sanitizer);
+  }
+}
+
+std::unique_ptr<OrientationBackend> make_orientation_backend(
+    const TrackerConfig& config) {
+  switch (config.tracker_backend) {
+    case TrackerBackend::kEkf:
+      return std::make_unique<fusion::EkfFusionBackend>(config);
+    case TrackerBackend::kDtw:
+    default:
+      return std::make_unique<DtwOrientationBackend>(config);
+  }
+}
+
 ViHotTracker::ViHotTracker(CsiProfile profile, const TrackerConfig& config)
     : ViHotTracker(std::make_shared<const CsiProfile>(std::move(profile)),
                    config) {}
@@ -25,23 +50,15 @@ ViHotTracker::ViHotTracker(std::shared_ptr<const CsiProfile> profile,
     : profile_(profile ? std::move(profile)
                        : std::make_shared<const CsiProfile>()),
       config_(config),
-      sanitizer_(config_.sanitizer),
+      sanitizer_(make_phase_sanitizer(config_)),
+      backend_(make_orientation_backend(config_)),
       stability_(config_.stability),
-      arbiter_(config_.steering, config_.camera_staleness_s),
-      analyzer_({config_.matcher.window_s, config_.flat_spread_rad,
-                 config_.moving_spread_rad}),
-      slot_matcher_({config_.matcher, config_.neighbor_slots,
-                     config_.bias_correction,
-                     config_.soft_continuity_weight}),
-      relock_({config_.relock_distance, config_.relock_patience}),
-      tie_breaker_(config_.tie_break_ratio) {
+      arbiter_(config_.steering, config_.camera_staleness_s) {
   if (config_.sink != nullptr) {
     obs::TrackerStats* stats = &config_.sink->tracker;
+    sanitizer_->set_stats(stats);
+    backend_->set_stats(stats);
     arbiter_.set_stats(stats);
-    analyzer_.set_stats(stats);
-    slot_matcher_.set_stats(stats);
-    relock_.set_stats(stats);
-    tie_breaker_.set_stats(stats);
   }
   // Until the first stable segment localizes the head, assume the middle
   // profiled position (the natural sitting position).
@@ -74,7 +91,7 @@ void ViHotTracker::push_csi(const wifi::CsiMeasurement& m) {
       m.t - phase_buffer_.back().t > config_.stale_window_s) {
     stale_pending_ = true;
   }
-  const double rel = profile_->relative_phase(sanitizer_.phase(m));
+  const double rel = profile_->relative_phase(sanitizer_->sanitize(m));
   phase_buffer_.push(m.t, rel);
 
   // Trim history we can no longer need.
@@ -115,54 +132,11 @@ void ViHotTracker::push_csi(const wifi::CsiMeasurement& m) {
 
 void ViHotTracker::push_imu(const imu::ImuSample& sample) {
   arbiter_.push_imu(sample);
+  backend_->push_imu(sample);
 }
 
 void ViHotTracker::push_camera(const camera::CameraTracker::Estimate& e) {
   arbiter_.push_camera(e);
-}
-
-double ViHotTracker::rate_filtered(double t, double theta) {
-  if (!config_.jump_filter_enabled || !have_output_) {
-    have_output_ = true;
-    last_output_t_ = t;
-    last_output_theta_ = theta;
-    rejected_in_row_ = 0;
-    return theta;
-  }
-  const double dt = std::max(t - last_output_t_, 1e-4);
-  const double max_step = config_.max_theta_rate_rad_s * dt + 0.02;
-  if (std::abs(theta - last_output_theta_) > max_step &&
-      rejected_in_row_ < config_.jump_filter_patience) {
-    // Implausible jump: hold the previous output (Sec. 3.6's "jumpy
-    // estimation caused by a small & bursty steering motion").
-    ++rejected_in_row_;
-    last_output_t_ = t;
-    return last_output_theta_;
-  }
-  rejected_in_row_ = 0;
-  last_output_t_ = t;
-  last_output_theta_ = theta;
-  return theta;
-}
-
-std::optional<ContinuityHint> ViHotTracker::make_hint(double t_now) const {
-  ContinuityHint hint;
-  if (have_output_) {
-    // The head cannot have moved further than max rate * elapsed since
-    // the previous output.
-    const double elapsed = std::max(t_now - last_output_t_, 0.0);
-    hint.theta_rad = last_output_theta_;
-    hint.max_dev_rad = config_.max_theta_rate_rad_s * elapsed +
-                       config_.continuity_slack_rad;
-    return hint;
-  }
-  if (config_.assume_forward_start) {
-    // Trips start with the driver facing the road (Sec. 3.4.1).
-    hint.theta_rad = 0.0;
-    hint.max_dev_rad = 0.5;
-    return hint;
-  }
-  return std::nullopt;
 }
 
 TrackResult ViHotTracker::estimate(double t_now) {
@@ -184,7 +158,7 @@ TrackResult ViHotTracker::estimate(double t_now) {
     const ModeArbiter::CameraDecision cam = arbiter_.camera_output(t_now);
     if (cam.valid) {
       out.valid = true;
-      out.theta_rad = rate_filtered(t_now, cam.theta_rad);
+      out.theta_rad = backend_->fallback_output(t_now, cam.theta_rad);
     }
     // Matching against polluted CSI is pointless; also invalidate the
     // cached match so forecasts don't extrapolate stale motion.
@@ -195,99 +169,35 @@ TrackResult ViHotTracker::estimate(double t_now) {
   // Stale-window guard: after a feed gap (flagged at push time), or when
   // the newest sample is already older than the stale window (mid-gap
   // estimate), the last output no longer bounds the head — drop the
-  // continuity state so the matcher re-locks instead of extrapolating.
+  // continuity state so the backend re-locks instead of extrapolating.
   if (config_.stale_window_s > 0.0) {
     const bool blind = !phase_buffer_.empty() &&
                        t_now - phase_buffer_.back().t > config_.stale_window_s;
-    if (stale_pending_ || (blind && have_output_)) {
+    if (stale_pending_ || (blind && backend_->have_output())) {
       if (config_.sink != nullptr) {
         config_.sink->tracker.stale_window_relocks.inc();
       }
-      relock_after_gap();
+      stale_pending_ = false;
+      last_match_.reset();
+      backend_->relock_after_gap();
     }
   }
 
-  // [2] Window regime: a featureless window holds the previous output.
-  const WindowAnalyzer::Analysis window =
-      analyzer_.analyze(phase_buffer_, t_now, have_output_);
-  if (window.regime == WindowRegime::kFlat) {
-    out.valid = true;
-    out.theta_rad = last_output_theta_;
-    last_output_t_ = t_now;
-    return out;
-  }
-  const bool global = window.regime == WindowRegime::kGlobal;
-
-  // [3] Slot match: continuity-hinted unless the window is feature-rich.
-  const std::optional<ContinuityHint> hint =
-      global ? std::nullopt : make_hint(t_now);
-  OrientationEstimate est =
-      match_slot(t_now, hint ? &*hint : nullptr, /*soft_prior=*/global);
-
-  // [4] Staged re-lock when the hinted match keeps scoring poorly.
-  const RelockPolicy::Action relock = relock_.observe(hint.has_value(), est);
-  if (relock != RelockPolicy::Action::kNone) {
-    OrientationEstimate retry;
-    if (relock == RelockPolicy::Action::kWiden) {
-      ContinuityHint wide = *hint;
-      wide.max_dev_rad *= relock_.config().widen_factor;
-      retry = match_slot(t_now, &wide, false);
-    } else {
-      retry = match_slot(t_now, nullptr, true);
-    }
-    if (RelockPolicy::accept(retry, est)) {
-      if (config_.sink != nullptr) {
-        config_.sink->tracker.relock_accepted.inc();
-      }
-      est = retry;
-      // The re-lock result bypasses the rate filter: accept the jump.
-      have_output_ = false;
-    }
-  }
-
-  // [5] Twin-branch tie-break on ambiguous global matches.
-  if (global && have_output_) tie_breaker_.apply(est, last_output_theta_);
-
-  out.raw = est;
-  if (!est.valid) return out;
-  last_match_ = est;
-  out.valid = true;
-  if (global) {
-    // Accept the global result as-is; the rate filter would fight the
-    // very re-convergence the global match provides.
-    have_output_ = true;
-    last_output_t_ = t_now;
-    last_output_theta_ = est.theta_rad;
-    rejected_in_row_ = 0;
-    out.theta_rad = est.theta_rad;
-  } else {
-    out.theta_rad = rate_filtered(t_now, est.theta_rad);
-  }
+  // [2]..[5]: the track-stage backend (window regime, slot match, relock
+  // ladder, tie-break and the output filter live behind the interface).
+  const BackendContext ctx{profile_.get(), &phase_buffer_, position_slot_,
+                           have_stable_phi0_, last_stable_phi0_};
+  const BackendOutput result = backend_->estimate(t_now, ctx);
+  out.raw = result.raw;
+  if (result.raw.valid) last_match_ = result.raw;
+  out.valid = result.valid;
+  out.theta_rad = result.theta_rad;
   return out;
-}
-
-void ViHotTracker::relock_after_gap() {
-  stale_pending_ = false;
-  have_output_ = false;
-  rejected_in_row_ = 0;
-  last_match_.reset();
-  relock_.reset();
-}
-
-OrientationEstimate ViHotTracker::match_slot(double t_now,
-                                             const ContinuityHint* hint,
-                                             bool soft_prior) {
-  const SlotMatcher::Result r = slot_matcher_.match(
-      *profile_, phase_buffer_, position_slot_, t_now, hint,
-      soft_prior && have_output_, last_output_theta_,
-      {have_stable_phi0_, last_stable_phi0_});
-  if (r.estimate.valid) matched_slot_ = r.matched_slot;
-  return r.estimate;
 }
 
 Forecast ViHotTracker::forecast(double horizon_s) const {
   if (!last_match_ || profile_->empty()) return {};
-  return Forecaster::forecast(profile_->positions[matched_slot_],
+  return Forecaster::forecast(profile_->positions[backend_->matched_slot()],
                               *last_match_, horizon_s);
 }
 

@@ -9,19 +9,20 @@
 //     [1] ModeArbiter      IMU ─► steering identifier; during steering
 //                          interference output the (fresh) camera
 //                          fallback estimate instead of matching
-//     [2] WindowAnalyzer   window spread ─► regime: flat (hold output) /
-//                          hinted (continuity-constrained) / global
-//     [3] SlotMatcher      Algorithm 1 DTW match against the slot's and
-//                          its neighbors' curves, session bias corrected
-//     [4] RelockPolicy     hinted match stays poor ─► staged re-lock:
-//                          widened hint, then unconstrained global
-//     [5] TieBreaker       ambiguous global match ─► among near-tied
-//                          candidates pick the continuity-reachable one
-//     └─► rate ("jump") filter ─► TrackResult
+//     [2]..[5] + rate ("jump") filter ─► OrientationBackend ─► TrackResult
+//
+// The sanitize stage and the stage [2]..[5] block are pluggable
+// backends (PhaseSanitizer / OrientationBackend, selected by
+// TrackerConfig::{sanitizer,tracker}_backend): the defaults — the
+// stateless Eq. 3 CsiSanitizer and the DTW pipeline
+// (WindowAnalyzer ─► SlotMatcher ─► RelockPolicy ─► TieBreaker, in
+// DtwOrientationBackend) — are bit-identical to the pre-backend
+// tracker; the alternatives are Kalman phase recovery and continuous
+// EKF fusion of the IMU gyro stream (src/fusion/ekf_backend.h).
 //
 // The tracker itself only wires the stages and holds per-session state
-// (phase buffer, position slot, last output, re-lock counters). Profiles
-// are shared immutable data: many trackers — e.g. the sessions of an
+// (phase buffer, position slot, stable-phase bias). Profiles are shared
+// immutable data: many trackers — e.g. the sessions of an
 // engine::TrackerEngine — can match against one CsiProfile concurrently.
 #pragma once
 
@@ -30,17 +31,16 @@
 
 #include "camera/camera_tracker.h"
 #include "core/forecaster.h"
+#include "core/kalman_sanitizer.h"
 #include "core/mode_arbiter.h"
+#include "core/orientation_backend.h"
 #include "core/orientation_estimator.h"
+#include "core/phase_sanitizer.h"
 #include "core/position_estimator.h"
 #include "core/profile.h"
-#include "core/relock_policy.h"
 #include "core/sanitizer.h"
-#include "core/slot_matcher.h"
 #include "core/stability.h"
 #include "core/steering_identifier.h"
-#include "core/tie_breaker.h"
-#include "core/window_analyzer.h"
 #include "util/time_series.h"
 #include "wifi/csi.h"
 
@@ -130,6 +130,18 @@ struct TrackerConfig {
   /// measures worse than letting the global match self-correct.
   double soft_continuity_weight = 0.0;
 
+  /// Sanitize-stage backend selection (+ the Kalman backend's tuning,
+  /// used only when sanitizer_backend == kKalman). The default kEqDiff
+  /// path is bit-identical to the pre-backend pipeline.
+  SanitizerBackend sanitizer_backend = SanitizerBackend::kEqDiff;
+  KalmanSanitizerConfig kalman{};
+
+  /// Track-stage backend selection (+ the EKF backend's tuning, used
+  /// only when tracker_backend == kEkf). The default kDtw path is
+  /// bit-identical to the pre-backend pipeline.
+  TrackerBackend tracker_backend = TrackerBackend::kDtw;
+  EkfFusionConfig ekf{};
+
   /// Optional metrics sink the pipeline stages report into (nullptr =
   /// observability off, zero overhead). Not owned; must outlive the
   /// tracker. One sink may be shared by many trackers — the counters are
@@ -189,49 +201,34 @@ class ViHotTracker {
     return config_;
   }
 
+  /// The active backends (diagnostics / tests).
+  [[nodiscard]] const PhaseSanitizer& sanitizer() const noexcept {
+    return *sanitizer_;
+  }
+  [[nodiscard]] const OrientationBackend& backend() const noexcept {
+    return *backend_;
+  }
+
  private:
-  /// Applies the continuous-motion rate filter to a candidate output.
-  [[nodiscard]] double rate_filtered(double t, double theta);
-
-  /// Runs the SlotMatcher stage and records the winning slot.
-  [[nodiscard]] OrientationEstimate match_slot(double t_now,
-                                               const ContinuityHint* hint,
-                                               bool soft_prior);
-
-  /// The continuity hint for a hinted-regime match, if one applies.
-  [[nodiscard]] std::optional<ContinuityHint> make_hint(double t_now) const;
-
   std::shared_ptr<const CsiProfile> profile_;
   TrackerConfig config_;
   double fingerprint_min_ = 0.0;
   double fingerprint_max_ = 0.0;
 
-  // The pipeline stages (construction order follows config_).
-  CsiSanitizer sanitizer_;
+  // The sanitize + track backends (make_phase_sanitizer /
+  // make_orientation_backend on config_) and the feed-side stages.
+  std::unique_ptr<PhaseSanitizer> sanitizer_;
+  std::unique_ptr<OrientationBackend> backend_;
   StablePhaseDetector stability_;
   ModeArbiter arbiter_;
-  WindowAnalyzer analyzer_;
-  SlotMatcher slot_matcher_;
-  RelockPolicy relock_;
-  TieBreaker tie_breaker_;
 
   // Per-session state.
   util::TimeSeries phase_buffer_;  ///< relative sanitized phase
   std::size_t position_slot_ = 0;
-  std::size_t matched_slot_ = 0;  ///< slot of the last successful match
   double last_stable_phi0_ = 0.0;
   bool have_stable_phi0_ = false;
   std::optional<OrientationEstimate> last_match_;
-
-  /// Resets the continuity/jump-filter state after a stale feed window.
-  void relock_after_gap();
-
-  // Jump-filter / continuity state.
   bool stale_pending_ = false;  ///< a feed gap was seen; relock next tick
-  bool have_output_ = false;
-  double last_output_t_ = 0.0;
-  double last_output_theta_ = 0.0;
-  int rejected_in_row_ = 0;
 };
 
 }  // namespace vihot::core

@@ -1,0 +1,253 @@
+#include "fusion/ekf_backend.h"
+
+#include <cmath>
+#include <optional>
+
+#include "obs/sink.h"
+#include "util/angle.h"
+
+namespace vihot::fusion {
+
+EkfFusionBackend::EkfFusionBackend(const core::TrackerConfig& config)
+    : config_(config),
+      ekf_(config.ekf),
+      analyzer_({config_.matcher.window_s, config_.flat_spread_rad,
+                 config_.moving_spread_rad}),
+      slot_matcher_({config_.matcher, config_.neighbor_slots,
+                     config_.bias_correction,
+                     config_.soft_continuity_weight}) {}
+
+void EkfFusionBackend::set_stats(obs::TrackerStats* stats) {
+  stats_ = stats;
+  analyzer_.set_stats(stats);
+  slot_matcher_.set_stats(stats);
+}
+
+void EkfFusionBackend::propagate_to(double t) {
+  if (!initialized_) return;
+  const double dt = t - state_t_;
+  if (dt <= 0.0) return;
+  const double a =
+      ekf_.omega_tau_s > 0.0 ? std::exp(-dt / ekf_.omega_tau_s) : 1.0;
+  // x' = F x (+ gaze-stabilization coupling to the vehicle's yaw rate).
+  theta_ += omega_ * dt;
+  if (have_imu_ && ekf_.gyro_coupling != 0.0) {
+    theta_ -= ekf_.gyro_coupling * last_gyro_ * dt;
+  }
+  omega_ *= a;
+  // P' = F P F^T + Q with F = [[1, dt], [0, a]].
+  const double p00 = p00_ + dt * (p01_ + p01_) + dt * dt * p11_;
+  const double p01 = a * (p01_ + dt * p11_);
+  const double p11 = a * a * p11_;
+  p00_ = p00 + ekf_.q_theta_rad2_s * dt;
+  p01_ = p01;
+  p11_ = p11 + ekf_.q_omega_rad2_s3 * dt;
+  state_t_ = t;
+  if (stats_ != nullptr) stats_->ekf_propagations.inc();
+}
+
+void EkfFusionBackend::init_state(double theta_rad, double t) {
+  theta_ = theta_rad;
+  omega_ = 0.0;
+  p00_ = ekf_.init_theta_var_rad2;
+  p01_ = 0.0;
+  p11_ = ekf_.init_omega_var_rad2_s2;
+  state_t_ = t;
+  initialized_ = true;
+  gated_in_row_ = 0;
+  global_gated_in_row_ = 0;
+}
+
+void EkfFusionBackend::fuse(double theta_meas_rad, double r) {
+  const double v = util::wrap_pi(theta_meas_rad - theta_);
+  const double s = p00_ + r;
+  const double k0 = p00_ / s;
+  const double k1 = p01_ / s;
+  theta_ += k0 * v;
+  omega_ += k1 * v;
+  const double p00 = (1.0 - k0) * p00_;
+  const double p01 = (1.0 - k0) * p01_;
+  const double p11 = p11_ - k1 * p01_;
+  p00_ = p00;
+  p01_ = p01;
+  p11_ = p11;
+}
+
+void EkfFusionBackend::push_imu(const imu::ImuSample& sample) {
+  propagate_to(sample.t);
+  const double mag = std::abs(sample.gyro_yaw_rad_s);
+  if (have_imu_ && ekf_.gyro_smoothing_tau_s > 0.0) {
+    const double dt = sample.t - last_imu_t_;
+    if (dt > 0.0) {
+      const double alpha = 1.0 - std::exp(-dt / ekf_.gyro_smoothing_tau_s);
+      gyro_env_ += alpha * (mag - gyro_env_);
+    }
+  } else {
+    gyro_env_ = mag;
+  }
+  last_gyro_ = sample.gyro_yaw_rad_s;
+  last_imu_t_ = sample.t;
+  have_imu_ = true;
+}
+
+core::OrientationEstimate EkfFusionBackend::match_slot(
+    double t_now, const core::BackendContext& ctx,
+    const core::ContinuityHint* hint) {
+  const core::SlotMatcher::Result r = slot_matcher_.match(
+      *ctx.profile, *ctx.phase, ctx.position_slot, t_now, hint,
+      /*soft_prior=*/false, /*soft_theta_rad=*/0.0,
+      {ctx.have_stable_phi0, ctx.stable_phi0});
+  if (r.estimate.valid) matched_slot_ = r.matched_slot;
+  return r.estimate;
+}
+
+core::BackendOutput EkfFusionBackend::estimate(
+    double t_now, const core::BackendContext& ctx) {
+  core::BackendOutput out;
+  if (stats_ != nullptr) stats_->backend_ekf_estimates.inc();
+  propagate_to(t_now);
+
+  // Flat window: no CSI features to match — but flatness is itself a
+  // measurement: the phase only stays flat while the head is still, so
+  // the turn rate is pinned to zero (otherwise the motion model keeps
+  // integrating the turn-exit omega, overshooting the stop by up to
+  // omega * omega_tau_s with nothing to correct it).
+  const core::WindowAnalyzer::Analysis window =
+      analyzer_.analyze(*ctx.phase, t_now, initialized_);
+  if (window.regime == core::WindowRegime::kFlat) {
+    omega_ = 0.0;
+    p01_ = 0.0;
+    out.valid = initialized_;
+    out.theta_rad = theta_;
+    return out;
+  }
+  const bool global = window.regime == core::WindowRegime::kGlobal;
+
+  // CSI measurement: hint the match from the state, with a width set by
+  // the state's own uncertainty (feature-rich windows match globally —
+  // they are self-correcting and re-anchor a drifted filter).
+  std::optional<core::ContinuityHint> hint;
+  if (!global) {
+    if (initialized_) {
+      hint = core::ContinuityHint{
+          theta_, ekf_.hint_sigma * std::sqrt(p00_) + ekf_.hint_slack_rad};
+    } else if (config_.assume_forward_start) {
+      hint = core::ContinuityHint{0.0, 0.5};
+    }
+  }
+  core::OrientationEstimate est =
+      match_slot(t_now, ctx, hint ? &*hint : nullptr);
+  out.raw = est;
+  if (!est.valid) {
+    // No usable match this tick: coast on the motion model.
+    out.valid = initialized_;
+    out.theta_rad = theta_;
+    return out;
+  }
+
+  double r = ekf_.r_base_rad2 + ekf_.r_distance_scale * est.match_distance;
+  const bool steering =
+      have_imu_ && gyro_env_ > ekf_.steer_gyro_threshold_rad_s;
+  if (steering) {
+    // The wheel is turning: steering motion pollutes the CSI phase
+    // (Sec. 3.6), so distrust the match instead of abandoning CSI.
+    r *= ekf_.steer_noise_inflation;
+  }
+
+  // Quality gate, same scale as the DTW relock ladder: a match whose
+  // normalized distance exceeds relock_distance is a bad ANGLE, not just
+  // a noisy one — a hinted match always lands inside the hint, so its
+  // innovation looks small even when the state (and therefore the hint)
+  // has drifted off the head. Distance is the drift signal the
+  // innovation cannot see. During steering the distances blow up on
+  // their own, so gating stays but relock pressure is suspended: a
+  // global re-match on polluted phase would anchor on garbage.
+  if (est.match_distance > config_.relock_distance) {
+    if (!steering && initialized_) {
+      if (stats_ != nullptr) stats_->ekf_innovation_gated.inc();
+      ++gated_in_row_;
+      if (gated_in_row_ >= ekf_.relock_patience) {
+        if (stats_ != nullptr) stats_->ekf_relocks.inc();
+        const core::OrientationEstimate retry =
+            match_slot(t_now, ctx, nullptr);
+        if (retry.valid) {
+          out.raw = retry;
+          init_state(retry.theta_rad, t_now);
+        } else {
+          gated_in_row_ = 0;
+        }
+      }
+    }
+    out.valid = initialized_;
+    out.theta_rad = theta_;
+    return out;
+  }
+
+  if (!initialized_) {
+    init_state(est.theta_rad, t_now);
+    out.valid = true;
+    out.theta_rad = theta_;
+    return out;
+  }
+
+  const double v = util::wrap_pi(est.theta_rad - theta_);
+  const double s = p00_ + r;
+  if (ekf_.relock_gate > 0.0 && v * v > ekf_.relock_gate * s) {
+    if (stats_ != nullptr) stats_->ekf_innovation_gated.inc();
+    if (global && !steering) {
+      // A global window is feature-rich and its match ran unconstrained
+      // by the state: when it disagrees this strongly, the state is
+      // usually the wrong party. One such match can still be a phase-
+      // curve ambiguity, so re-anchor on the SECOND consecutive global
+      // disagreement rather than after `patience` more hinted matches
+      // that the drifted hint would bias.
+      ++global_gated_in_row_;
+      if (global_gated_in_row_ >= 2) {
+        if (stats_ != nullptr) stats_->ekf_relocks.inc();
+        init_state(est.theta_rad, t_now);
+      }
+      out.valid = true;
+      out.theta_rad = theta_;
+      return out;
+    }
+    ++gated_in_row_;
+    if (gated_in_row_ >= ekf_.relock_patience) {
+      // Covariance-gated relock: the state and the matches disagree
+      // persistently — trust an unconstrained global re-match.
+      if (stats_ != nullptr) stats_->ekf_relocks.inc();
+      const core::OrientationEstimate retry = match_slot(t_now, ctx, nullptr);
+      if (retry.valid) out.raw = retry;
+      init_state(retry.valid ? retry.theta_rad : est.theta_rad, t_now);
+    }
+    // Otherwise coast: one outlier match must not yank the state.
+  } else {
+    gated_in_row_ = 0;
+    global_gated_in_row_ = 0;
+    fuse(est.theta_rad, r);
+    if (stats_ != nullptr) stats_->ekf_updates.inc();
+  }
+  out.valid = true;
+  out.theta_rad = theta_;
+  return out;
+}
+
+double EkfFusionBackend::fallback_output(double t, double theta_rad) {
+  if (stats_ != nullptr) stats_->ekf_camera_updates.inc();
+  if (!initialized_) {
+    init_state(theta_rad, t);
+    return theta_;
+  }
+  propagate_to(t);
+  fuse(theta_rad, ekf_.r_camera_rad2);
+  return theta_;
+}
+
+void EkfFusionBackend::relock_after_gap() {
+  // The motion model cannot bridge a blind stretch; re-anchor on the
+  // next match.
+  initialized_ = false;
+  gated_in_row_ = 0;
+  global_gated_in_row_ = 0;
+}
+
+}  // namespace vihot::fusion

@@ -1,0 +1,91 @@
+// EkfFusionBackend: continuous IMU+CSI fusion (the kEkf track backend).
+//
+// Motivated by the hybrid model/data-driven mmWave tracking line of work
+// (PAPERS.md): instead of consulting the IMU only as a steering
+// identifier, keep a 2-state EKF over [theta, omega] that
+//
+//   * propagates on every IMU gyro sample (and on estimate ticks), with
+//     omega decaying toward zero — head turns are short saccades — and
+//     an optional gaze-stabilization coupling to the vehicle's yaw rate;
+//   * updates on CSI slot matches, with measurement noise scaled by the
+//     match's DTW distance and inflated while the smoothed |gyro yaw|
+//     says the wheel is turning (steering pollutes the CSI phase, so the
+//     filter leans on the motion model instead of hard-switching);
+//   * re-locks when the covariance-normalized innovation stays gated for
+//     relock_patience consecutive matches: a global re-match
+//     reinitializes the state (the covariance-gated relock).
+//
+// The backend lives in src/fusion next to HybridTracker but is compiled
+// into the vihot_core library (see src/core/CMakeLists.txt): the core
+// backend factory must be able to construct it, and fusion already links
+// core — a second edge in that direction would cycle the libraries.
+// Deterministic (pure double arithmetic, no RNG/clock) and confined to
+// one session, so estimate_all() batching stays TSan-clean.
+#pragma once
+
+#include "core/orientation_backend.h"
+#include "core/slot_matcher.h"
+#include "core/tracker.h"
+#include "core/window_analyzer.h"
+
+namespace vihot::fusion {
+
+class EkfFusionBackend final : public core::OrientationBackend {
+ public:
+  explicit EkfFusionBackend(const core::TrackerConfig& config);
+
+  void push_imu(const imu::ImuSample& sample) override;
+  [[nodiscard]] core::BackendOutput estimate(
+      double t_now, const core::BackendContext& ctx) override;
+  [[nodiscard]] double fallback_output(double t, double theta_rad) override;
+  void relock_after_gap() override;
+  [[nodiscard]] bool have_output() const noexcept override {
+    return initialized_;
+  }
+  [[nodiscard]] std::size_t matched_slot() const noexcept override {
+    return matched_slot_;
+  }
+  void set_stats(obs::TrackerStats* stats) override;
+  [[nodiscard]] core::TrackerBackend backend() const noexcept override {
+    return core::TrackerBackend::kEkf;
+  }
+
+ private:
+  /// Advances the state and covariance from state_t_ to `t`.
+  void propagate_to(double t);
+  /// Reinitializes the state around an absolute angle observed at `t`.
+  void init_state(double theta_rad, double t);
+  /// Scalar measurement update (H = [1 0]) with noise `r`.
+  void fuse(double theta_meas_rad, double r);
+  [[nodiscard]] core::OrientationEstimate match_slot(
+      double t_now, const core::BackendContext& ctx,
+      const core::ContinuityHint* hint);
+
+  core::TrackerConfig config_;
+  core::EkfFusionConfig ekf_;
+  obs::TrackerStats* stats_ = nullptr;  ///< not owned; nullptr = off
+
+  core::WindowAnalyzer analyzer_;
+  core::SlotMatcher slot_matcher_;
+
+  // EKF state: x = [theta, omega], P symmetric (p10 == p01).
+  bool initialized_ = false;
+  double theta_ = 0.0;
+  double omega_ = 0.0;
+  double p00_ = 0.0;
+  double p01_ = 0.0;
+  double p11_ = 0.0;
+  double state_t_ = 0.0;
+
+  // IMU side-channel: latest yaw rate + smoothed |yaw rate| envelope.
+  double last_gyro_ = 0.0;
+  double gyro_env_ = 0.0;
+  double last_imu_t_ = 0.0;
+  bool have_imu_ = false;
+
+  int gated_in_row_ = 0;         ///< consecutive hinted-match rejections
+  int global_gated_in_row_ = 0;  ///< consecutive global-match disagreements
+  std::size_t matched_slot_ = 0;
+};
+
+}  // namespace vihot::fusion

@@ -34,6 +34,23 @@ void Sink::attach_to(Registry& registry, const std::string& prefix) const {
   registry.attach(t + "tie_break_applied", tracker.tie_break_applied);
   registry.attach(t + "stable_phase_locks", tracker.stable_phase_locks);
 
+  const std::string b = t + "backend.";
+  registry.attach(b + "eq3_frames", tracker.backend_eq3_frames);
+  registry.attach(b + "kalman_frames", tracker.backend_kalman_frames);
+  registry.attach(b + "dtw_estimates", tracker.backend_dtw_estimates);
+  registry.attach(b + "ekf_estimates", tracker.backend_ekf_estimates);
+  registry.attach(b + "antenna_degraded",
+                  tracker.sanitizer_antenna_degraded);
+  registry.attach(b + "kalman_outliers_gated",
+                  tracker.kalman_outliers_gated);
+  registry.attach(b + "kalman_state_resets", tracker.kalman_state_resets);
+  registry.attach(b + "ekf_propagations", tracker.ekf_propagations);
+  registry.attach(b + "ekf_updates", tracker.ekf_updates);
+  registry.attach(b + "ekf_innovation_gated",
+                  tracker.ekf_innovation_gated);
+  registry.attach(b + "ekf_relocks", tracker.ekf_relocks);
+  registry.attach(b + "ekf_camera_updates", tracker.ekf_camera_updates);
+
   const std::string e = prefix + "engine.";
   registry.attach(e + "batches", engine.batches);
   registry.attach(e + "batch_estimates", engine.batch_estimates);
@@ -99,6 +116,18 @@ TrackerStatsSnapshot snapshot(const TrackerStats& stats) {
   out.stale_window_relocks = stats.stale_window_relocks.value();
   out.tie_break_applied = stats.tie_break_applied.value();
   out.stable_phase_locks = stats.stable_phase_locks.value();
+  out.backend_eq3_frames = stats.backend_eq3_frames.value();
+  out.backend_kalman_frames = stats.backend_kalman_frames.value();
+  out.backend_dtw_estimates = stats.backend_dtw_estimates.value();
+  out.backend_ekf_estimates = stats.backend_ekf_estimates.value();
+  out.sanitizer_antenna_degraded = stats.sanitizer_antenna_degraded.value();
+  out.kalman_outliers_gated = stats.kalman_outliers_gated.value();
+  out.kalman_state_resets = stats.kalman_state_resets.value();
+  out.ekf_propagations = stats.ekf_propagations.value();
+  out.ekf_updates = stats.ekf_updates.value();
+  out.ekf_innovation_gated = stats.ekf_innovation_gated.value();
+  out.ekf_relocks = stats.ekf_relocks.value();
+  out.ekf_camera_updates = stats.ekf_camera_updates.value();
   out.dtw_best_cost_mean = stats.dtw_best_cost.mean();
   return out;
 }

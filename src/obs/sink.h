@@ -71,6 +71,25 @@ struct TrackerStats {
 
   // Position re-localization (Eq. 4 on stable phases).
   Counter stable_phase_locks;
+
+  // Pluggable estimation backends (DESIGN.md §5h), attached under
+  // tracker.backend.*. Frame counters attribute the sanitize stage,
+  // estimate counters the track stage; the remaining counters expose the
+  // alternative backends' internal decisions.
+  Counter backend_eq3_frames;     ///< frames sanitized by the Eq. 3 backend
+  Counter backend_kalman_frames;  ///< frames sanitized by the Kalman backend
+  Counter backend_dtw_estimates;  ///< CSI-mode ticks served by the DTW backend
+  Counter backend_ekf_estimates;  ///< CSI-mode ticks served by the EKF backend
+  /// Frames lacking the antenna-1 reference: Eq. 3 impossible, degraded
+  /// to the raw antenna-0 path instead of reading out of bounds.
+  Counter sanitizer_antenna_degraded;
+  Counter kalman_outliers_gated;  ///< per-subcarrier innovations gated
+  Counter kalman_state_resets;    ///< filter restarts after coast gaps
+  Counter ekf_propagations;       ///< state propagations (IMU + ticks)
+  Counter ekf_updates;            ///< CSI matches fused into the state
+  Counter ekf_innovation_gated;   ///< matches rejected by the chi^2 gate
+  Counter ekf_relocks;            ///< covariance-gated global re-locks
+  Counter ekf_camera_updates;     ///< camera-fallback angles fused
 };
 
 /// Plain-value copy of the TrackerStats counters, for embedding in result
@@ -99,6 +118,18 @@ struct TrackerStatsSnapshot {
   std::uint64_t stale_window_relocks = 0;
   std::uint64_t tie_break_applied = 0;
   std::uint64_t stable_phase_locks = 0;
+  std::uint64_t backend_eq3_frames = 0;
+  std::uint64_t backend_kalman_frames = 0;
+  std::uint64_t backend_dtw_estimates = 0;
+  std::uint64_t backend_ekf_estimates = 0;
+  std::uint64_t sanitizer_antenna_degraded = 0;
+  std::uint64_t kalman_outliers_gated = 0;
+  std::uint64_t kalman_state_resets = 0;
+  std::uint64_t ekf_propagations = 0;
+  std::uint64_t ekf_updates = 0;
+  std::uint64_t ekf_innovation_gated = 0;
+  std::uint64_t ekf_relocks = 0;
+  std::uint64_t ekf_camera_updates = 0;
   double dtw_best_cost_mean = 0.0;
 };
 

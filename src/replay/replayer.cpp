@@ -263,6 +263,12 @@ ReplayResult replay(const LoadedLog& log, const ReplayOptions& options) {
         if (options.config_override != nullptr) {
           cfg = *options.config_override;
         }
+        if (options.sanitizer_backend_override) {
+          cfg.sanitizer_backend = *options.sanitizer_backend_override;
+        }
+        if (options.tracker_backend_override) {
+          cfg.tracker_backend = *options.tracker_backend_override;
+        }
         live[rec_id] = eng.create_session(pit->second, cfg);
         break;
       }

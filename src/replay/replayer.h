@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -81,6 +82,12 @@ struct ReplayOptions {
   /// "perturbed config" workflow: the first divergence pinpoints where
   /// a config change first alters behavior.
   const core::TrackerConfig* config_override = nullptr;
+  /// Per-backend what-if overrides (vihot_replay --sanitizer-backend /
+  /// --tracker-backend): swap just the backend selection of every
+  /// session's recorded config and report where the alternative backend
+  /// first diverges. Applied after config_override.
+  std::optional<core::SanitizerBackend> sanitizer_backend_override;
+  std::optional<core::TrackerBackend> tracker_backend_override;
   /// Stop after this many divergences (0 = collect all).
   std::size_t max_divergences = 16;
 };

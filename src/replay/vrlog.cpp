@@ -285,10 +285,38 @@ void encode_tracker_config(std::vector<unsigned char>& out,
   put_f64(out, c.moving_spread_rad);
   put_f64(out, c.tie_break_ratio);
   put_f64(out, c.soft_continuity_weight);
+  // Layout v2: pluggable estimation backends (appended — see the bump
+  // policy at kConfigLayoutVersion).
+  put_u8(out, static_cast<std::uint8_t>(c.sanitizer_backend));
+  put_f64(out, c.kalman.process_noise_rad2_s);
+  put_f64(out, c.kalman.measurement_noise_rad2);
+  put_f64(out, c.kalman.initial_variance_rad2);
+  put_f64(out, c.kalman.gate_sigma);
+  put_f64(out, c.kalman.max_coast_s);
+  put_u8(out, static_cast<std::uint8_t>(c.tracker_backend));
+  put_f64(out, c.ekf.q_theta_rad2_s);
+  put_f64(out, c.ekf.q_omega_rad2_s3);
+  put_f64(out, c.ekf.omega_tau_s);
+  put_f64(out, c.ekf.gyro_coupling);
+  put_f64(out, c.ekf.r_base_rad2);
+  put_f64(out, c.ekf.r_distance_scale);
+  put_f64(out, c.ekf.steer_gyro_threshold_rad_s);
+  put_f64(out, c.ekf.steer_noise_inflation);
+  put_f64(out, c.ekf.gyro_smoothing_tau_s);
+  put_f64(out, c.ekf.r_camera_rad2);
+  put_f64(out, c.ekf.hint_sigma);
+  put_f64(out, c.ekf.hint_slack_rad);
+  put_f64(out, c.ekf.relock_gate);
+  put_u64(out, static_cast<std::uint64_t>(c.ekf.relock_patience));
+  put_f64(out, c.ekf.init_theta_var_rad2);
+  put_f64(out, c.ekf.init_omega_var_rad2_s2);
 }
 
 bool decode_tracker_config(Cursor& in, core::TrackerConfig* c) {
-  if (in.get_u32() != kConfigLayoutVersion) return false;
+  const std::uint32_t version = in.get_u32();
+  if (version < kMinConfigLayoutVersion || version > kConfigLayoutVersion) {
+    return false;
+  }
   c->sanitizer.antenna_difference = in.get_u8() != 0;
   c->sanitizer.subcarrier_average = in.get_u8() != 0;
   c->sanitizer.single_subcarrier =
@@ -335,6 +363,49 @@ bool decode_tracker_config(Cursor& in, core::TrackerConfig* c) {
   c->moving_spread_rad = in.get_f64();
   c->tie_break_ratio = in.get_f64();
   c->soft_continuity_weight = in.get_f64();
+  if (version >= 2) {
+    const std::uint8_t sanitizer_backend = in.get_u8();
+    if (sanitizer_backend >
+        static_cast<std::uint8_t>(core::SanitizerBackend::kKalman)) {
+      return false;
+    }
+    c->sanitizer_backend =
+        static_cast<core::SanitizerBackend>(sanitizer_backend);
+    c->kalman.process_noise_rad2_s = in.get_f64();
+    c->kalman.measurement_noise_rad2 = in.get_f64();
+    c->kalman.initial_variance_rad2 = in.get_f64();
+    c->kalman.gate_sigma = in.get_f64();
+    c->kalman.max_coast_s = in.get_f64();
+    const std::uint8_t tracker_backend = in.get_u8();
+    if (tracker_backend >
+        static_cast<std::uint8_t>(core::TrackerBackend::kEkf)) {
+      return false;
+    }
+    c->tracker_backend = static_cast<core::TrackerBackend>(tracker_backend);
+    c->ekf.q_theta_rad2_s = in.get_f64();
+    c->ekf.q_omega_rad2_s3 = in.get_f64();
+    c->ekf.omega_tau_s = in.get_f64();
+    c->ekf.gyro_coupling = in.get_f64();
+    c->ekf.r_base_rad2 = in.get_f64();
+    c->ekf.r_distance_scale = in.get_f64();
+    c->ekf.steer_gyro_threshold_rad_s = in.get_f64();
+    c->ekf.steer_noise_inflation = in.get_f64();
+    c->ekf.gyro_smoothing_tau_s = in.get_f64();
+    c->ekf.r_camera_rad2 = in.get_f64();
+    c->ekf.hint_sigma = in.get_f64();
+    c->ekf.hint_slack_rad = in.get_f64();
+    c->ekf.relock_gate = in.get_f64();
+    c->ekf.relock_patience = static_cast<int>(in.get_u64());
+    c->ekf.init_theta_var_rad2 = in.get_f64();
+    c->ekf.init_omega_var_rad2_s2 = in.get_f64();
+  } else {
+    // v1 log: recorded before the backends existed — the defaults
+    // (kEqDiff + kDtw, default tunings) reproduce its pipeline exactly.
+    c->sanitizer_backend = core::SanitizerBackend::kEqDiff;
+    c->kalman = core::KalmanSanitizerConfig{};
+    c->tracker_backend = core::TrackerBackend::kDtw;
+    c->ekf = core::EkfFusionConfig{};
+  }
   c->sink = nullptr;
   return in.ok();
 }

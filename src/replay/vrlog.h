@@ -53,8 +53,20 @@ inline constexpr unsigned char kMagic[8] = {'V', 'I', 'H', 'O',
                                             'T', 'V', 'R', 'L'};
 /// Version tag of the TrackerConfig field layout inside kSessionStart
 /// (bumped whenever a config field is added, so old logs fail loudly
-/// instead of silently misparsing).
-inline constexpr std::uint32_t kConfigLayoutVersion = 1;
+/// instead of silently misparsing). Bump policy: new fields are
+/// appended after the previous layout's last field, the encoder always
+/// writes the newest version, and the decoder keeps an explicit read
+/// path per historical version that fills the new fields with their
+/// TrackerConfig defaults — so every log ever recorded keeps replaying
+/// bit-exactly (DESIGN.md §5h).
+///
+///   v1: sanitizer/matcher/stability/steering + tracker-level knobs,
+///       ending at soft_continuity_weight.
+///   v2: + sanitizer_backend, KalmanSanitizerConfig, tracker_backend,
+///       EkfFusionConfig (the pluggable estimation backends).
+inline constexpr std::uint32_t kConfigLayoutVersion = 2;
+/// Oldest TrackerConfig layout the decoder still reads.
+inline constexpr std::uint32_t kMinConfigLayoutVersion = 1;
 
 enum class ChunkType : std::uint32_t {
   kHeader = 0x01,

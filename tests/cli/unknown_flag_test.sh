@@ -1,25 +1,34 @@
 #!/usr/bin/env sh
 # CLI contract check: every binary passed as an argument must reject an
-# unknown option by printing usage text and exiting nonzero. Guards the
-# vihot_trace regression where a typo'd flag was silently ignored and
-# the run proceeded with defaults.
+# unknown option — and an unknown backend name — by printing usage text
+# and exiting 2. Guards the vihot_trace regression where a typo'd flag
+# was silently ignored and the run proceeded with defaults.
 status=0
-for bin in "$@"; do
+probe() {
+  bin=$1; label=$2; shift 2
   name=$(basename "$bin")
-  out=$("$bin" --definitely-not-a-flag 2>&1)
+  out=$("$bin" "$@" 2>&1)
   code=$?
-  if [ "$code" -eq 0 ]; then
-    echo "FAIL: $name exited 0 on an unknown flag"
+  if [ "$code" -ne 2 ]; then
+    echo "FAIL: $name exited $code (want 2) on $label"
     status=1
   fi
   case "$out" in
     *usage:*) ;;
     *)
-      echo "FAIL: $name printed no usage text on an unknown flag"
+      echo "FAIL: $name printed no usage text on $label"
       echo "  output was: $out"
       status=1
       ;;
   esac
+}
+for bin in "$@"; do
+  probe "$bin" "an unknown flag" --definitely-not-a-flag
+  # Tools that grew backend selection must reject bogus backend names
+  # the same way; for the others --sanitizer-backend is itself an
+  # unknown flag, so the contract holds either way.
+  probe "$bin" "a bogus sanitizer backend" --sanitizer-backend bogus
+  probe "$bin" "a bogus tracker backend" --tracker-backend bogus
 done
-[ "$status" -eq 0 ] && echo "PASS: all tools reject unknown flags"
+[ "$status" -eq 0 ] && echo "PASS: all tools reject unknown flags and backends"
 exit "$status"

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <complex>
 
 #include "channel/cabin.h"
+#include "obs/sink.h"
 #include "channel/csi_synth.h"
 #include "util/angle.h"
 #include "util/stats.h"
@@ -166,6 +168,37 @@ TEST_F(SanitizerTest, RxNullSuppressesPassengerMotion) {
                                    nulled.phase(head_at(0.0))));
   }
   EXPECT_GT(head_swing, 0.08);
+}
+
+TEST_F(SanitizerTest, SingleAntennaFrameDegradesInsteadOfCrashing) {
+  // Regression: phase() indexed m.h[1] unchecked, so a frame carrying
+  // fewer reference-antenna subcarriers than primary ones read out of
+  // bounds. Such frames must degrade to the raw antenna-0 path (as if
+  // antenna_difference were off) and be counted, not crash.
+  wifi::CsiMeasurement m;
+  m.h[0].assign(4, std::polar(1.0, 0.7));
+  m.h[1] = {};  // reference antenna missing entirely
+  obs::TrackerStats stats;
+  CsiSanitizer sanitizer;
+  sanitizer.set_stats(&stats);
+  EXPECT_DOUBLE_EQ(sanitizer.sanitize(m), 0.7);
+  EXPECT_EQ(stats.sanitizer_antenna_degraded.value(), 1u);
+
+  // Short reference antenna (fewer subcarriers than h[0]): same path.
+  m.h[1].assign(2, {1.0, 0.0});
+  EXPECT_DOUBLE_EQ(sanitizer.sanitize(m), 0.7);
+  EXPECT_EQ(stats.sanitizer_antenna_degraded.value(), 2u);
+
+  // A full-rank frame goes back to the antenna-difference path and does
+  // not bump the counter.
+  m.h[1].assign(4, {1.0, 0.0});
+  EXPECT_DOUBLE_EQ(sanitizer.sanitize(m), 0.7);
+  EXPECT_EQ(stats.sanitizer_antenna_degraded.value(), 2u);
+
+  // Without a stats sink the degraded path still must not crash.
+  CsiSanitizer plain;
+  m.h[1] = {};
+  EXPECT_DOUBLE_EQ(plain.phase(m), 0.7);
 }
 
 TEST_F(SanitizerTest, TracksOrientationChanges) {

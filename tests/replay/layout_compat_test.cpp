@@ -1,0 +1,158 @@
+// TrackerConfig layout-bump coverage (kConfigLayoutVersion 1 -> 2).
+//
+// The fixtures under tests/replay/fixtures/layout_v1/ are the four
+// golden-corpus logs exactly as recorded BEFORE the pluggable-backend
+// refactor (layout v1, pre-refactor pipeline bytes). Replaying them
+// bit-identically on the current tree proves two things at once: the
+// v1 back-compat read path fills the new backend fields with defaults
+// correctly, and the default backends (kEqDiff + kDtw) reproduce the
+// pre-refactor pipeline bit-for-bit.
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "replay/replayer.h"
+#include "replay/vrlog.h"
+
+namespace vihot::replay {
+namespace {
+
+// Byte length of the fields layout v2 appends after
+// soft_continuity_weight: sanitizer_backend u8 + 5 Kalman f64 +
+// tracker_backend u8 + 13 EKF f64 + relock_patience u64 + 2 EKF f64.
+constexpr std::size_t kV2TailBytes = 1 + 5 * 8 + 1 + 13 * 8 + 8 + 2 * 8;
+
+/// Re-encodes `cfg` as a layout-v1 payload: the v2 encoding minus the
+/// appended tail, with the leading version u32 patched to 1.
+std::vector<unsigned char> encode_v1(const core::TrackerConfig& cfg) {
+  std::vector<unsigned char> v2;
+  encode_tracker_config(v2, cfg);
+  std::vector<unsigned char> v1(v2.begin(),
+                                v2.end() - static_cast<long>(kV2TailBytes));
+  std::vector<unsigned char> version;
+  put_u32(version, 1);
+  for (std::size_t i = 0; i < version.size(); ++i) v1[i] = version[i];
+  return v1;
+}
+
+TEST(LayoutCompat, PreRefactorFixturesReplayBitIdentically) {
+  namespace fs = std::filesystem;
+  const fs::path dir = VIHOT_LAYOUT_V1_DIR;
+  ASSERT_TRUE(fs::is_directory(dir)) << dir << " missing";
+  std::size_t logs = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".vrlog") continue;
+    ++logs;
+    SCOPED_TRACE(entry.path().filename().string());
+    const LoadedLog log = LoadedLog::load(entry.path().string());
+    ASSERT_TRUE(log.ok()) << log.error();
+    EXPECT_TRUE(log.summary().has_footer);
+    const ReplayResult result = replay(log);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_GT(result.results_compared, 0u);
+    EXPECT_TRUE(result.bit_identical())
+        << format_report(entry.path().string(), result);
+  }
+  EXPECT_GE(logs, 4u) << "expected the 4 pre-refactor corpus scenarios";
+}
+
+TEST(LayoutCompat, V1PayloadDecodesWithDefaultBackends) {
+  core::TrackerConfig cfg;
+  cfg.matcher.window_s = 0.123456789;
+  cfg.relock_patience = 7;
+  cfg.soft_continuity_weight = 0.25;
+  // Backend fields are NOT representable in v1; set them off-default to
+  // prove the decoder resets them rather than leaking them through.
+  cfg.sanitizer_backend = core::SanitizerBackend::kKalman;
+  cfg.tracker_backend = core::TrackerBackend::kEkf;
+  cfg.kalman.gate_sigma = 99.0;
+  cfg.ekf.relock_gate = 123.0;
+
+  const std::vector<unsigned char> v1 = encode_v1(cfg);
+  Cursor in(v1.data(), v1.size());
+  core::TrackerConfig back;
+  ASSERT_TRUE(decode_tracker_config(in, &back));
+  EXPECT_TRUE(in.exhausted());
+
+  // v1 fields round-trip...
+  EXPECT_EQ(back.matcher.window_s, cfg.matcher.window_s);
+  EXPECT_EQ(back.relock_patience, cfg.relock_patience);
+  EXPECT_EQ(back.soft_continuity_weight, cfg.soft_continuity_weight);
+  // ...and the backend selection comes back as the defaults that
+  // reproduce a v1 log's pipeline.
+  EXPECT_EQ(back.sanitizer_backend, core::SanitizerBackend::kEqDiff);
+  EXPECT_EQ(back.tracker_backend, core::TrackerBackend::kDtw);
+  EXPECT_EQ(back.kalman.gate_sigma, core::KalmanSanitizerConfig{}.gate_sigma);
+  EXPECT_EQ(back.ekf.relock_gate, core::EkfFusionConfig{}.relock_gate);
+}
+
+TEST(LayoutCompat, V2RoundTripsBackendSelection) {
+  core::TrackerConfig cfg;
+  cfg.sanitizer_backend = core::SanitizerBackend::kKalman;
+  cfg.tracker_backend = core::TrackerBackend::kEkf;
+  cfg.kalman.process_noise_rad2_s = 1.5;
+  cfg.ekf.steer_noise_inflation = 42.0;
+  cfg.ekf.relock_patience = 11;
+
+  std::vector<unsigned char> buf;
+  encode_tracker_config(buf, cfg);
+  Cursor in(buf.data(), buf.size());
+  core::TrackerConfig back;
+  ASSERT_TRUE(decode_tracker_config(in, &back));
+  EXPECT_TRUE(in.exhausted());
+  EXPECT_EQ(back.sanitizer_backend, core::SanitizerBackend::kKalman);
+  EXPECT_EQ(back.tracker_backend, core::TrackerBackend::kEkf);
+  EXPECT_EQ(back.kalman.process_noise_rad2_s, 1.5);
+  EXPECT_EQ(back.ekf.steer_noise_inflation, 42.0);
+  EXPECT_EQ(back.ekf.relock_patience, 11);
+
+  std::vector<unsigned char> again;
+  encode_tracker_config(again, back);
+  EXPECT_EQ(buf, again);
+}
+
+TEST(LayoutCompat, CorruptedNewLayoutIsRejected) {
+  core::TrackerConfig cfg;
+  std::vector<unsigned char> buf;
+  encode_tracker_config(buf, cfg);
+
+  // Unknown future version.
+  {
+    std::vector<unsigned char> bad = buf;
+    std::vector<unsigned char> version;
+    put_u32(version, kConfigLayoutVersion + 1);
+    for (std::size_t i = 0; i < version.size(); ++i) bad[i] = version[i];
+    Cursor in(bad.data(), bad.size());
+    core::TrackerConfig back;
+    EXPECT_FALSE(decode_tracker_config(in, &back));
+  }
+  // Out-of-range sanitizer backend enum (first byte of the v2 tail).
+  {
+    std::vector<unsigned char> bad = buf;
+    bad[bad.size() - kV2TailBytes] = 0x07;
+    Cursor in(bad.data(), bad.size());
+    core::TrackerConfig back;
+    EXPECT_FALSE(decode_tracker_config(in, &back));
+  }
+  // Out-of-range tracker backend enum (after the Kalman block).
+  {
+    std::vector<unsigned char> bad = buf;
+    bad[bad.size() - kV2TailBytes + 1 + 5 * 8] = 0x09;
+    Cursor in(bad.data(), bad.size());
+    core::TrackerConfig back;
+    EXPECT_FALSE(decode_tracker_config(in, &back));
+  }
+  // Truncated v2 tail (version says v2 but the bytes end early).
+  {
+    std::vector<unsigned char> bad(buf.begin(), buf.end() - 8);
+    Cursor in(bad.data(), bad.size());
+    core::TrackerConfig back;
+    EXPECT_FALSE(decode_tracker_config(in, &back));
+  }
+}
+
+}  // namespace
+}  // namespace vihot::replay

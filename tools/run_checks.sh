@@ -86,6 +86,11 @@ run_leg() {
       ;;
     default)
       configure_build default || return 1
+      echo "== ${leg}: backend-matrix gate =="
+      # Pluggable-backend matrix first (named junit artifact): the
+      # Kalman/EKF accuracy envelopes are the failure mode a backend
+      # change hits before anything else in the suite.
+      run_ctest backend-matrix backend-matrix || return 1
       echo "== ${leg}: test =="
       run_ctest default default
       ;;
@@ -129,6 +134,13 @@ run_leg() {
       run_ctest "matcher-equivalence-${leg}" "${leg}-gate" || return 1
       echo "== ${leg}: replay gate =="
       run_ctest "replay-gate-${leg}" "${leg}-replay-gate" || return 1
+      if [ "${leg}" = tsan ]; then
+        # The EKF backend mutates per-session filter state from batch
+        # workers while producers feed CSI/IMU: its backend-matrix
+        # label must be TSan-clean before the full suite runs.
+        echo "== ${leg}: backend-matrix gate =="
+        run_ctest backend-matrix-tsan tsan-backend-matrix || return 1
+      fi
       echo "== ${leg}: full suite =="
       run_ctest "${leg}" "${leg}"
       ;;

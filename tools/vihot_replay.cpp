@@ -28,10 +28,14 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s verify <log.vrlog> [--threads K] "
-               "[--report PATH]\n"
+               "[--report PATH] [backend overrides]\n"
                "       %s replay <log.vrlog> [--threads K] "
-               "[--report PATH]\n"
-               "       %s inspect <log.vrlog>\n",
+               "[--report PATH] [backend overrides]\n"
+               "       %s inspect <log.vrlog>\n"
+               "backend overrides (what-if replays; expect divergences "
+               "unless the log was recorded with the same backends):\n"
+               "  --sanitizer-backend eq3|kalman\n"
+               "  --tracker-backend dtw|ekf\n",
                argv0, argv0, argv0);
   std::exit(2);
 }
@@ -62,6 +66,22 @@ int main(int argc, char** argv) {
     } else if (a == "--report") {
       if (i + 1 >= argc) usage(argv[0]);
       report_path = argv[++i];
+    } else if (a == "--sanitizer-backend") {
+      if (i + 1 >= argc) usage(argv[0]);
+      core::SanitizerBackend backend;
+      if (!core::parse_sanitizer_backend(argv[++i], &backend)) {
+        std::fprintf(stderr, "unknown sanitizer backend: %s\n", argv[i]);
+        usage(argv[0]);
+      }
+      options.sanitizer_backend_override = backend;
+    } else if (a == "--tracker-backend") {
+      if (i + 1 >= argc) usage(argv[0]);
+      core::TrackerBackend backend;
+      if (!core::parse_tracker_backend(argv[++i], &backend)) {
+        std::fprintf(stderr, "unknown tracker backend: %s\n", argv[i]);
+        usage(argv[0]);
+      }
+      options.tracker_backend_override = backend;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", a.c_str());
       usage(argv[0]);

@@ -15,6 +15,10 @@
 //     --interference       contended WiFi channel
 //     --music              music playing (panel vibration)
 //     --seat-shift MM      head-position shift vs profiling (default 0)
+//     --sanitizer-backend eq3|kalman
+//                          sanitize-stage backend (default eq3)
+//     --tracker-backend dtw|ekf
+//                          track-stage backend (default dtw)
 //     --naive              also evaluate the Eq.-(5) baseline
 //     --camera             also evaluate the camera baseline
 //     --threads K          fleet mode: serve all sessions concurrently
@@ -73,6 +77,8 @@ namespace {
                "[--async-ingest]\n"
                "  [--ingest-policy block|drop-oldest|drop-newest] "
                "[--record PATH]\n"
+               "  [--sanitizer-backend eq3|kalman] "
+               "[--tracker-backend dtw|ekf]\n"
                "  [--metrics-out PATH]\n",
                argv0);
   std::exit(2);
@@ -156,6 +162,20 @@ int main(int argc, char** argv) {
       config.music_playing = true;
     } else if (a == "--seat-shift") {
       config.seat_shift_m = num_arg(argc, argv, i, *argv) / 1000.0;
+    } else if (a == "--sanitizer-backend") {
+      if (i + 1 >= argc) usage(*argv);
+      if (!core::parse_sanitizer_backend(argv[++i],
+                                         &config.tracker.sanitizer_backend)) {
+        std::fprintf(stderr, "unknown sanitizer backend: %s\n", argv[i]);
+        usage(*argv);
+      }
+    } else if (a == "--tracker-backend") {
+      if (i + 1 >= argc) usage(*argv);
+      if (!core::parse_tracker_backend(argv[++i],
+                                       &config.tracker.tracker_backend)) {
+        std::fprintf(stderr, "unknown tracker backend: %s\n", argv[i]);
+        usage(*argv);
+      }
     } else if (a == "--naive") {
       config.collect_naive_baseline = true;
     } else if (a == "--camera") {
