@@ -130,6 +130,32 @@ void ViHotTracker::push_csi(const wifi::CsiMeasurement& m) {
   }
 }
 
+void ViHotTracker::swap_profile(std::shared_ptr<const CsiProfile> profile) {
+  profile_ = profile ? std::move(profile)
+                     : std::make_shared<const CsiProfile>();
+  position_slot_ = profile_->size() / 2;
+  fingerprint_min_ = 0.0;
+  fingerprint_max_ = 0.0;
+  if (!profile_->empty()) {
+    fingerprint_min_ = profile_->positions.front().fingerprint_phase;
+    fingerprint_max_ = fingerprint_min_;
+    for (const PositionProfile& p : profile_->positions) {
+      fingerprint_min_ = std::min(fingerprint_min_, p.fingerprint_phase);
+      fingerprint_max_ = std::max(fingerprint_max_, p.fingerprint_phase);
+    }
+  }
+  // Everything derived from the old profile restarts: buffered phases
+  // (anchored to the old reference_phase), the cached match, the stable
+  // forward-phase calibration, and the backend's continuity state.
+  phase_buffer_ = util::TimeSeries{};
+  last_match_.reset();
+  have_stable_phi0_ = false;
+  last_stable_phi0_ = 0.0;
+  stale_pending_ = false;
+  stability_.reset();
+  backend_->relock_after_gap();
+}
+
 void ViHotTracker::push_imu(const imu::ImuSample& sample) {
   arbiter_.push_imu(sample);
   backend_->push_imu(sample);

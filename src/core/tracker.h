@@ -181,6 +181,15 @@ class ViHotTracker {
   /// harmless to stream continuously).
   void push_camera(const camera::CameraTracker::Estimate& estimate);
 
+  /// Replaces the profile mid-session (hot-swap after recalibration or a
+  /// copy-on-write profile update). The phase buffer and all match /
+  /// position-lock state restart against the new profile — stored phases
+  /// are relative to the OLD profile's reference anchor, so carrying them
+  /// across would corrupt every later match. The next estimates re-lock
+  /// exactly like after a stale-window feed gap. A null pointer swaps in
+  /// an empty profile (the tracker idles).
+  void swap_profile(std::shared_ptr<const CsiProfile> profile);
+
   /// Estimate the head orientation at `t_now` (<= last pushed CSI time).
   [[nodiscard]] TrackResult estimate(double t_now);
 

@@ -1,0 +1,195 @@
+#include "engine/fleet.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+namespace vihot::engine {
+
+FleetRouter::FleetRouter(const FleetConfig& config)
+    : parallel_shards_(config.parallel_shards),
+      sink_(config.sink),
+      own_store_(config.sink ? &config.sink->profile_store : nullptr),
+      store_(config.profiles != nullptr ? config.profiles : &own_store_) {
+  const std::size_t n = std::max<std::size_t>(config.shards, 1);
+  engines_.reserve(n);
+  shard_rosters_.resize(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    TrackerEngine::Config ec;
+    ec.num_threads = config.threads_per_shard;
+    ec.sink = config.sink;
+    ec.parallel_single_session = config.parallel_single_session;
+    ec.ingest = config.ingest;
+    // Recording is defined only for the deterministic single-engine
+    // call sequence; a multi-shard fleet ticks shards concurrently.
+    ec.tap = (n == 1) ? config.tap : nullptr;
+    ec.profiles = store_;
+    engines_.push_back(std::make_unique<TrackerEngine>(ec));
+  }
+}
+
+std::shared_ptr<const core::CsiProfile> FleetRouter::add_profile(
+    core::CsiProfile profile) {
+  return store_->intern(std::move(profile));
+}
+
+SessionId FleetRouter::create_session(
+    std::shared_ptr<const core::CsiProfile> profile,
+    const core::TrackerConfig& config) {
+  std::lock_guard<std::mutex> batch(batch_mu_);
+  std::unique_lock<std::shared_mutex> lk(route_mu_);
+  const SessionId id = next_id_++;
+  const std::size_t s = shard_of(id);
+  const SessionId local = engines_[s]->create_session(std::move(profile),
+                                                      config);
+  routes_.emplace(id, Route{s, local});
+  merged_slot_.emplace(id, global_roster_.size());
+  global_roster_.push_back(id);
+  shard_rosters_[s].push_back(id);
+  merged_.resize(global_roster_.size());
+  return id;
+}
+
+bool FleetRouter::destroy_session(SessionId id) {
+  std::lock_guard<std::mutex> batch(batch_mu_);
+  std::unique_lock<std::shared_mutex> lk(route_mu_);
+  const auto it = routes_.find(id);
+  if (it == routes_.end()) {
+    if (sink_ != nullptr) sink_->engine.unknown_session.inc();
+    return false;
+  }
+  const Route route = it->second;
+  engines_[route.shard]->destroy_session(route.local);
+  routes_.erase(it);
+  std::vector<SessionId>& shard_roster = shard_rosters_[route.shard];
+  shard_roster.erase(
+      std::remove(shard_roster.begin(), shard_roster.end(), id),
+      shard_roster.end());
+  global_roster_.erase(
+      std::remove(global_roster_.begin(), global_roster_.end(), id),
+      global_roster_.end());
+  // Rebuild the merge scatter map: every session after the removed one
+  // shifted down a slot.
+  merged_slot_.clear();
+  for (std::size_t i = 0; i < global_roster_.size(); ++i) {
+    merged_slot_.emplace(global_roster_[i], i);
+  }
+  merged_.resize(global_roster_.size());
+  return true;
+}
+
+std::size_t FleetRouter::session_count() const {
+  std::shared_lock<std::shared_mutex> lk(route_mu_);
+  return routes_.size();
+}
+
+std::vector<SessionId> FleetRouter::session_ids() const {
+  std::shared_lock<std::shared_mutex> lk(route_mu_);
+  return global_roster_;
+}
+
+const FleetRouter::Route* FleetRouter::find_route(SessionId id) const {
+  const auto it = routes_.find(id);
+  if (it == routes_.end()) {
+    if (sink_ != nullptr) sink_->engine.unknown_session.inc();
+    return nullptr;
+  }
+  return &it->second;
+}
+
+bool FleetRouter::push_csi(SessionId id, const wifi::CsiMeasurement& m) {
+  std::shared_lock<std::shared_mutex> lk(route_mu_);
+  const Route* r = find_route(id);
+  return r != nullptr && engines_[r->shard]->push_csi(r->local, m);
+}
+
+bool FleetRouter::push_imu(SessionId id, const imu::ImuSample& sample) {
+  std::shared_lock<std::shared_mutex> lk(route_mu_);
+  const Route* r = find_route(id);
+  return r != nullptr && engines_[r->shard]->push_imu(r->local, sample);
+}
+
+bool FleetRouter::push_camera(SessionId id,
+                              const camera::CameraTracker::Estimate& estimate) {
+  std::shared_lock<std::shared_mutex> lk(route_mu_);
+  const Route* r = find_route(id);
+  return r != nullptr && engines_[r->shard]->push_camera(r->local, estimate);
+}
+
+bool FleetRouter::offer_csi(SessionId id, const wifi::CsiMeasurement& m) {
+  std::shared_lock<std::shared_mutex> lk(route_mu_);
+  const Route* r = find_route(id);
+  return r != nullptr && engines_[r->shard]->offer_csi(r->local, m);
+}
+
+bool FleetRouter::offer_imu(SessionId id, const imu::ImuSample& sample) {
+  std::shared_lock<std::shared_mutex> lk(route_mu_);
+  const Route* r = find_route(id);
+  return r != nullptr && engines_[r->shard]->offer_imu(r->local, sample);
+}
+
+std::size_t FleetRouter::drain() {
+  std::size_t total = 0;
+  for (const std::unique_ptr<TrackerEngine>& e : engines_) {
+    total += e->drain();
+  }
+  return total;
+}
+
+std::optional<core::TrackResult> FleetRouter::estimate_one(SessionId id,
+                                                           double t_now) {
+  std::shared_lock<std::shared_mutex> lk(route_mu_);
+  const Route* r = find_route(id);
+  if (r == nullptr) return std::nullopt;
+  return engines_[r->shard]->estimate_one(r->local, t_now);
+}
+
+std::optional<core::Forecast> FleetRouter::forecast_one(SessionId id,
+                                                        double horizon_s) {
+  std::shared_lock<std::shared_mutex> lk(route_mu_);
+  const Route* r = find_route(id);
+  if (r == nullptr) return std::nullopt;
+  return engines_[r->shard]->forecast_one(r->local, horizon_s);
+}
+
+bool FleetRouter::swap_profile(
+    SessionId id, std::shared_ptr<const core::CsiProfile> profile) {
+  std::shared_lock<std::shared_mutex> lk(route_mu_);
+  const Route* r = find_route(id);
+  return r != nullptr &&
+         engines_[r->shard]->swap_profile(r->local, std::move(profile));
+}
+
+std::span<const core::TrackResult> FleetRouter::estimate_all(double t_now) {
+  std::lock_guard<std::mutex> batch(batch_mu_);
+  std::shared_lock<std::shared_mutex> lk(route_mu_);
+  // The transparent fleet: one shard's span IS the fleet span (same
+  // order, zero copies — and the recorded call sequence is exactly an
+  // unsharded engine's).
+  if (engines_.size() == 1) return engines_[0]->estimate_all(t_now);
+
+  // Tick every shard, then scatter each shard's span (in that shard's
+  // creation order) into the global-creation-order merge buffer.
+  std::vector<std::span<const core::TrackResult>> spans(engines_.size());
+  auto tick = [&](std::size_t s) { spans[s] = engines_[s]->estimate_all(t_now); };
+  if (parallel_shards_) {
+    std::vector<std::thread> threads;
+    threads.reserve(engines_.size() - 1);
+    for (std::size_t s = 1; s < engines_.size(); ++s) {
+      threads.emplace_back(tick, s);
+    }
+    tick(0);
+    for (std::thread& t : threads) t.join();
+  } else {
+    for (std::size_t s = 0; s < engines_.size(); ++s) tick(s);
+  }
+  for (std::size_t s = 0; s < engines_.size(); ++s) {
+    const std::vector<SessionId>& roster = shard_rosters_[s];
+    for (std::size_t i = 0; i < roster.size(); ++i) {
+      merged_[merged_slot_.find(roster[i])->second] = spans[s][i];
+    }
+  }
+  return {merged_.data(), merged_.size()};
+}
+
+}  // namespace vihot::engine

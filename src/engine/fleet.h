@@ -1,0 +1,203 @@
+// FleetRouter: one process, many engines (sharded fleet serving).
+//
+// A single TrackerEngine serializes its batch ticks (one estimate_all()
+// at a time) and funnels every fleet mutation through one roster lock —
+// the right shape for hundreds of sessions, but a scaling wall at tens
+// of thousands. The fleet tier shards the roster over N independent
+// TrackerEngines with the same Fibonacci-mix hash the engine's own
+// FeedRouter uses for ingest lanes:
+//
+//             shard_of(id) = (id * 2^64/phi) >> 33 mod N
+//
+//   * SessionIds are a GLOBAL namespace: the fleet allocates them, so a
+//     handle means the same thing no matter which shard serves it, and
+//     callers never see the sharding (create / feed / estimate /
+//     destroy all take the global id);
+//   * feeds route straight to the owning shard under a shared routing
+//     lock — producer threads for different sessions contend only
+//     inside their own shard;
+//   * estimate_all() ticks every shard (one thread per shard when
+//     parallel_shards is set) and merges the per-shard results into one
+//     fleet-wide span in global creation order, so callers read exactly
+//     what a single engine would have produced: sessions are
+//     independent, which makes per-session results bit-identical for
+//     ANY shard count (the invariance the fleet test suite pins down);
+//   * every shard interns profiles through ONE shared ProfileStore, so
+//     a fleet-wide profile costs one allocation no matter how many
+//     shards serve sessions against it, and obs counters aggregate into
+//     one sink across shards (the counters are thread-safe).
+//
+// The result span from estimate_all() is valid until the NEXT
+// estimate_all / create_session / destroy_session call (same rule as
+// TrackerEngine's span, enforced fleet-wide).
+//
+// Flight recording stays a single-engine concern: a RecordTap is
+// forwarded only when shards == 1 (where the fleet is a transparent
+// wrapper and the recorded call sequence is byte-identical to an
+// unsharded engine); a multi-shard fleet interleaves shard ticks
+// nondeterministically, which is exactly what the recorder's replay
+// gate cannot admit.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/profile_store.h"
+#include "engine/tracker_engine.h"
+
+namespace vihot::engine {
+
+/// Fleet sizing and per-shard engine wiring.
+struct FleetConfig {
+  /// Engine shards. 0 and 1 both mean one shard (the transparent
+  /// single-engine fleet).
+  std::size_t shards = 1;
+
+  /// Worker threads per shard engine (TrackerEngine::Config::num_threads
+  /// per shard). 0 = each shard runs its batches inline on the thread
+  /// ticking it.
+  std::size_t threads_per_shard = 0;
+
+  /// Tick shards concurrently (one thread per shard per estimate_all).
+  /// Off = shards tick sequentially on the calling thread; results are
+  /// identical either way.
+  bool parallel_shards = true;
+
+  /// Optional metrics sink shared by every shard (nullptr = off). All
+  /// counters are thread-safe, so the shards aggregate into one view.
+  obs::Sink* sink = nullptr;
+
+  /// Per-shard lone-session pool lending (TrackerEngine::Config).
+  bool parallel_single_session = true;
+
+  /// Async ingest tier of every shard.
+  IngestConfig ingest{};
+
+  /// Flight-recorder tap; honored ONLY when shards == 1 (see the header
+  /// comment), ignored otherwise.
+  RecordTap* tap = nullptr;
+
+  /// Profile interning store shared by every shard. nullptr = the fleet
+  /// owns one (wired to the sink's profile_store counters). Not owned;
+  /// must outlive the fleet.
+  ProfileStore* profiles = nullptr;
+};
+
+/// Serves tracking sessions sharded across N TrackerEngines behind one
+/// global SessionId namespace.
+class FleetRouter {
+ public:
+  FleetRouter() : FleetRouter(FleetConfig{}) {}
+  explicit FleetRouter(const FleetConfig& config);
+
+  [[nodiscard]] std::size_t num_shards() const noexcept {
+    return engines_.size();
+  }
+
+  /// Owning shard of a (global) session id — same Fibonacci mix as the
+  /// engine-internal ingest FeedRouter, so sequential ids spread evenly
+  /// for any shard count.
+  [[nodiscard]] std::size_t shard_of(SessionId id) const noexcept {
+    const std::uint64_t h = id * 0x9e3779b97f4a7c15ULL;
+    return static_cast<std::size_t>(h >> 33) % engines_.size();
+  }
+
+  /// Interns a profile through the fleet-wide ProfileStore (one
+  /// allocation per distinct content across every shard).
+  std::shared_ptr<const core::CsiProfile> add_profile(
+      core::CsiProfile profile);
+
+  /// The shared store (for COW updates and eviction sweeps).
+  [[nodiscard]] ProfileStore& profile_store() noexcept { return *store_; }
+
+  /// Creates one session on its hash-owned shard; the returned id is
+  /// fleet-global and never reused.
+  SessionId create_session(std::shared_ptr<const core::CsiProfile> profile,
+                           const core::TrackerConfig& config = {});
+
+  /// Destroys a session; false for unknown ids.
+  bool destroy_session(SessionId id);
+
+  [[nodiscard]] std::size_t session_count() const;
+
+  /// Live global ids in estimate_all() result order (global creation
+  /// order — identical for any shard count).
+  [[nodiscard]] std::vector<SessionId> session_ids() const;
+
+  // Synchronous feeds, routed to the owning shard. False for unknown
+  // ids (counted as engine.unknown_session) and rejected samples.
+  bool push_csi(SessionId id, const wifi::CsiMeasurement& m);
+  bool push_imu(SessionId id, const imu::ImuSample& sample);
+  bool push_camera(SessionId id,
+                   const camera::CameraTracker::Estimate& estimate);
+
+  // Async feeds into the owning shard's ingest rings (one producer
+  // thread per stream per session, as with TrackerEngine).
+  bool offer_csi(SessionId id, const wifi::CsiMeasurement& m);
+  bool offer_imu(SessionId id, const imu::ImuSample& sample);
+
+  /// Drains every shard's ingest lanes; returns samples applied.
+  std::size_t drain();
+
+  /// Immediate single-session estimate / forecast on the owning shard;
+  /// nullopt for unknown ids (counted as engine.unknown_session).
+  [[nodiscard]] std::optional<core::TrackResult> estimate_one(SessionId id,
+                                                              double t_now);
+  [[nodiscard]] std::optional<core::Forecast> forecast_one(SessionId id,
+                                                           double horizon_s);
+
+  /// Hot-swaps one session's profile mid-drive (COW update); false for
+  /// unknown ids.
+  bool swap_profile(SessionId id,
+                    std::shared_ptr<const core::CsiProfile> profile);
+
+  /// One fleet-wide tick: every shard drains + estimates its sessions
+  /// at `t_now` (shards in parallel when configured), merged into
+  /// session_ids() order. The span is valid until the next
+  /// estimate_all / create_session / destroy_session call.
+  std::span<const core::TrackResult> estimate_all(double t_now);
+
+  /// Direct shard access (tests / diagnostics).
+  [[nodiscard]] TrackerEngine& shard(std::size_t s) noexcept {
+    return *engines_[s];
+  }
+
+ private:
+  struct Route {
+    std::size_t shard = 0;
+    SessionId local = kNoSession;  ///< the shard engine's own id
+  };
+
+  /// Route lookup under the shared routing lock; nullptr when unknown
+  /// (counted as engine.unknown_session).
+  [[nodiscard]] const Route* find_route(SessionId id) const;
+
+  bool parallel_shards_ = true;
+  obs::Sink* sink_ = nullptr;  ///< not owned; may be nullptr
+  ProfileStore own_store_;
+  ProfileStore* store_ = nullptr;  ///< the store in use
+  std::vector<std::unique_ptr<TrackerEngine>> engines_;
+
+  /// Guards the routing tables (routes_/rosters/merged_ shape). Shared
+  /// for per-session routing, exclusive for create/destroy.
+  mutable std::shared_mutex route_mu_;
+  std::unordered_map<SessionId, Route> routes_;
+  std::vector<SessionId> global_roster_;  ///< global creation order
+  std::unordered_map<SessionId, std::size_t> merged_slot_;  ///< id -> index
+  /// Per shard: global ids in that shard's creation (= tick result)
+  /// order, so a shard's result span scatters into merged_ directly.
+  std::vector<std::vector<SessionId>> shard_rosters_;
+  std::vector<core::TrackResult> merged_;  ///< reused fleet-wide buffer
+  SessionId next_id_ = 1;
+
+  /// Serializes fleet-wide ticks (each shard still serializes its own).
+  std::mutex batch_mu_;
+};
+
+}  // namespace vihot::engine

@@ -113,8 +113,22 @@ class SessionIngest {
     imu_mark_ = mark_of(imu_.capacity(), config.high_watermark);
   }
 
-  /// Whether the async tier is active (capacity > 0 on the CSI ring).
-  [[nodiscard]] bool enabled() const noexcept { return csi_.capacity() > 0; }
+  // Enable gating is PER STREAM: `{csi_capacity: 0, imu_capacity: 512}`
+  // runs the IMU stream async while CSI degrades to the synchronous push
+  // path (and vice versa). A single CSI-only `enabled()` check here used
+  // to silently disable the async IMU path — and strand anything a
+  // direct SessionIngest user had queued in the IMU ring, because
+  // drain() was gated on the same CSI-only predicate.
+  [[nodiscard]] bool csi_enabled() const noexcept {
+    return csi_.capacity() > 0;
+  }
+  [[nodiscard]] bool imu_enabled() const noexcept {
+    return imu_.capacity() > 0;
+  }
+  /// Whether ANY stream runs async (a drain sweep can find work).
+  [[nodiscard]] bool enabled() const noexcept {
+    return csi_enabled() || imu_enabled();
+  }
 
   [[nodiscard]] std::size_t csi_capacity() const noexcept {
     return csi_.capacity();

@@ -15,7 +15,10 @@ TrackerEngine::TrackerEngine(const Config& config)
       ingest_config_(config.ingest),
       router_(config.ingest.lanes != 0
                   ? config.ingest.lanes
-                  : std::max<std::size_t>(config.num_threads, 1)) {
+                  : std::max<std::size_t>(config.num_threads, 1)),
+      own_profile_store_(config.sink ? &config.sink->profile_store : nullptr),
+      profile_store_(config.profiles != nullptr ? config.profiles
+                                                : &own_profile_store_) {
   if (tap_ != nullptr) {
     tap_->on_engine_start(EngineDescriptor{
         config.num_threads, config.parallel_single_session, config.ingest});
@@ -24,11 +27,7 @@ TrackerEngine::TrackerEngine(const Config& config)
 
 std::shared_ptr<const core::CsiProfile> TrackerEngine::add_profile(
     core::CsiProfile profile) {
-  auto shared =
-      std::make_shared<const core::CsiProfile>(std::move(profile));
-  std::lock_guard<std::mutex> lk(profiles_mu_);
-  profiles_.push_back(shared);
-  return shared;
+  return profile_store_->intern(std::move(profile));
 }
 
 SessionId TrackerEngine::create_session(
@@ -144,7 +143,13 @@ std::size_t TrackerEngine::drain() {
 }
 
 std::size_t TrackerEngine::drain_locked() {
-  if (ingest_config_.csi_capacity == 0 || roster_.empty()) return 0;
+  // Async tier off only when BOTH rings are disabled: {csi: 0, imu: N}
+  // still runs the IMU stream async, so the drain must sweep (a CSI-only
+  // gate here used to strand every queued IMU sample in that config).
+  if ((ingest_config_.csi_capacity == 0 && ingest_config_.imu_capacity == 0) ||
+      roster_.empty()) {
+    return 0;
+  }
   // Quick scan: a fleet fed through the synchronous path has nothing
   // queued, and must not pay a second pool dispatch per tick for it.
   bool any_queued = false;
@@ -165,19 +170,40 @@ std::size_t TrackerEngine::drain_locked() {
   return total.load(std::memory_order_relaxed);
 }
 
-core::TrackResult TrackerEngine::estimate_one(SessionId id, double t_now) {
+std::optional<core::TrackResult> TrackerEngine::estimate_one(SessionId id,
+                                                             double t_now) {
   std::shared_lock<std::shared_mutex> lk(roster_mu_);
   TrackerSession* s = find(id);
-  if (!s) return {};
+  if (!s) {
+    if (sink_ != nullptr) sink_->engine.unknown_session.inc();
+    return std::nullopt;
+  }
   s->drain();
   return s->estimate(t_now);
 }
 
-core::Forecast TrackerEngine::forecast_one(SessionId id, double horizon_s) {
+std::optional<core::Forecast> TrackerEngine::forecast_one(SessionId id,
+                                                          double horizon_s) {
   std::shared_lock<std::shared_mutex> lk(roster_mu_);
   TrackerSession* s = find(id);
-  if (!s) return {};
+  if (!s) {
+    if (sink_ != nullptr) sink_->engine.unknown_session.inc();
+    return std::nullopt;
+  }
   return s->forecast(horizon_s);
+}
+
+bool TrackerEngine::swap_profile(
+    SessionId id, std::shared_ptr<const core::CsiProfile> profile) {
+  std::shared_lock<std::shared_mutex> lk(roster_mu_);
+  TrackerSession* s = find(id);
+  if (!s) {
+    if (sink_ != nullptr) sink_->engine.unknown_session.inc();
+    return false;
+  }
+  s->swap_profile(std::move(profile));
+  if (sink_ != nullptr) sink_->engine.profile_swaps.inc();
+  return true;
 }
 
 std::span<const core::TrackResult> TrackerEngine::estimate_all(double t_now) {

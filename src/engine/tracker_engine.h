@@ -4,10 +4,13 @@
 // shared immutable profile data — which makes fleet serving a scheduling
 // problem, not an algorithmic one. The engine owns
 //
-//   * the profiles, interned as std::shared_ptr<const CsiProfile>: one
-//     profile feeds any number of sessions with zero copies, and a
-//     profile outlives the engine exactly as long as a session (or the
-//     caller) still references it;
+//   * the profiles, interned through a content-addressed ProfileStore
+//     as std::shared_ptr<const CsiProfile>: one profile feeds any number
+//     of sessions with zero copies, byte-identical profiles dedupe to a
+//     single allocation (even across engines sharing a store), and a
+//     profile lives exactly as long as a session (or the caller) still
+//     references it — the store holds only weak entries, so the engine
+//     never pins profiles it no longer serves;
 //   * N independent TrackerSessions, addressed by SessionId
 //     (create / feed / estimate / destroy);
 //   * an async ingest front-end: per-session bounded lock-free rings
@@ -27,6 +30,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <span>
 #include <unordered_map>
@@ -35,6 +39,7 @@
 #include "core/tracker.h"
 #include "engine/ingest.h"
 #include "engine/match_parallel.h"
+#include "engine/profile_store.h"
 #include "engine/record_tap.h"
 #include "engine/worker_pool.h"
 #include "obs/sink.h"
@@ -115,14 +120,15 @@ class TrackerSession {
   // producer cannot stall on a session that is mid-estimate. One
   // producer thread per stream per session (the rings are SPSC).
   // Returns false when the sample was rejected (non-finite) or dropped
-  // by the overload policy. Falls back to the synchronous path when the
-  // async tier is disabled (ring capacity 0).
+  // by the overload policy. The sync-path fallback is PER STREAM: a
+  // stream whose own ring has capacity 0 degrades to the synchronous
+  // push, independent of the other stream's capacity.
   bool offer_csi(const wifi::CsiMeasurement& m) {
     if (!finite_sample(m)) {
       if (stats_ != nullptr) stats_->non_finite_csi.inc();
       return false;
     }
-    if (!ingest_.enabled()) {
+    if (!ingest_.csi_enabled()) {
       std::lock_guard<std::mutex> lk(mu_);
       return push_csi_locked(m);
     }
@@ -133,7 +139,7 @@ class TrackerSession {
       if (stats_ != nullptr) stats_->non_finite_imu.inc();
       return false;
     }
-    if (!ingest_.enabled()) {
+    if (!ingest_.imu_enabled()) {
       std::lock_guard<std::mutex> lk(mu_);
       return push_imu_locked(sample);
     }
@@ -171,6 +177,15 @@ class TrackerSession {
   [[nodiscard]] core::Forecast forecast(double horizon_s) const {
     std::lock_guard<std::mutex> lk(mu_);
     return tracker_.forecast(horizon_s);
+  }
+
+  /// Hot-swaps the profile mid-drive (recalibration, COW update). Runs
+  /// under the session lock, so it serializes against estimates and the
+  /// drain step; the tracker restarts its match state and re-locks
+  /// against the new profile on the next estimates.
+  void swap_profile(std::shared_ptr<const core::CsiProfile> profile) {
+    std::lock_guard<std::mutex> lk(mu_);
+    tracker_.swap_profile(std::move(profile));
   }
 
  private:
@@ -253,15 +268,31 @@ class TrackerEngine {
     /// boundary (see engine/record_tap.h). Not owned; must outlive the
     /// engine. nullptr = recording off, zero overhead.
     RecordTap* tap = nullptr;
+
+    /// Profile interning store backing add_profile(). nullptr = the
+    /// engine uses its own private store. Point several engines (e.g.
+    /// the shards of a FleetRouter) at one store to dedupe identical
+    /// profiles across all of them. Not owned; must outlive the engine.
+    ProfileStore* profiles = nullptr;
   };
 
   TrackerEngine() : TrackerEngine(Config{}) {}
   explicit TrackerEngine(const Config& config);
 
-  /// Interns a profile as shared immutable data. The returned pointer
-  /// can seed any number of sessions (in this engine or outside it).
+  /// Interns a profile as shared immutable data through the engine's
+  /// ProfileStore: byte-identical profiles return the SAME pointer (one
+  /// allocation fleet-wide), and the engine keeps no strong reference —
+  /// a profile is freed when its last session (or external holder) lets
+  /// go. The returned pointer can seed any number of sessions (in this
+  /// engine or outside it).
   std::shared_ptr<const core::CsiProfile> add_profile(
       core::CsiProfile profile);
+
+  /// The store add_profile() interns into (the engine's own unless
+  /// Config::profiles pointed it elsewhere).
+  [[nodiscard]] ProfileStore& profile_store() noexcept {
+    return *profile_store_;
+  }
 
   /// Creates one session against a shared profile. The profile pointer
   /// may come from add_profile() or anywhere else.
@@ -302,11 +333,27 @@ class TrackerEngine {
   std::size_t drain();
 
   /// Estimates one session immediately on the calling thread (draining
-  /// its ingest queues first).
-  [[nodiscard]] core::TrackResult estimate_one(SessionId id, double t_now);
+  /// its ingest queues first). nullopt for unknown ids — a failed LOOKUP
+  /// is not a failed ESTIMATE, so it is surfaced as the absence of a
+  /// result instead of a value-initialized TrackResult that a caller
+  /// could mistake for "tracker not locked yet" (both read
+  /// valid == false); counted as engine.unknown_session.
+  [[nodiscard]] std::optional<core::TrackResult> estimate_one(SessionId id,
+                                                              double t_now);
 
-  /// Forecast for one session (Eq. 6), past its last estimate.
-  [[nodiscard]] core::Forecast forecast_one(SessionId id, double horizon_s);
+  /// Forecast for one session (Eq. 6), past its last estimate. nullopt
+  /// for unknown ids (counted as engine.unknown_session), like
+  /// estimate_one.
+  [[nodiscard]] std::optional<core::Forecast> forecast_one(SessionId id,
+                                                           double horizon_s);
+
+  /// Hot-swaps one session's profile mid-drive (recalibration or a
+  /// ProfileStore::cow update): the session restarts its match state
+  /// and re-locks against the new profile on its next estimates, while
+  /// other sessions keep the old snapshot alive until they swap too.
+  /// False for unknown ids (counted as engine.unknown_session).
+  bool swap_profile(SessionId id,
+                    std::shared_ptr<const core::CsiProfile> profile);
 
   /// One batch tick: drains the ingest lanes, then estimates EVERY live
   /// session at `t_now`, fanned out across the worker pool. Returns
@@ -366,8 +413,10 @@ class TrackerEngine {
   /// Serializes estimate_all() ticks (the pool runs one batch at a time).
   std::mutex batch_mu_;
 
-  std::mutex profiles_mu_;
-  std::vector<std::shared_ptr<const core::CsiProfile>> profiles_;
+  /// Content-addressed interning behind add_profile(): weak entries
+  /// only, so the engine never extends a profile's lifetime.
+  ProfileStore own_profile_store_;
+  ProfileStore* profile_store_ = nullptr;  ///< the store in use
 };
 
 }  // namespace vihot::engine

@@ -57,6 +57,8 @@ void Sink::attach_to(Registry& registry, const std::string& prefix) const {
   registry.attach(e + "batch_latency_us", engine.batch_latency_us);
   registry.attach(e + "sessions_created", engine.sessions_created);
   registry.attach(e + "sessions_destroyed", engine.sessions_destroyed);
+  registry.attach(e + "unknown_session", engine.unknown_session);
+  registry.attach(e + "profile_swaps", engine.profile_swaps);
   registry.attach(e + "csi_frames", engine.csi_frames);
   registry.attach(e + "imu_samples", engine.imu_samples);
   registry.attach(e + "camera_frames", engine.camera_frames);
@@ -83,6 +85,11 @@ void Sink::attach_to(Registry& registry, const std::string& prefix) const {
   registry.attach(i + "drained_imu", ingest.drained_imu);
   registry.attach(i + "drain_batch", ingest.drain_batch);
   registry.attach(i + "queue_depth_csi", ingest.queue_depth_csi);
+
+  const std::string p = prefix + "profile_store.";
+  registry.attach(p + "interned", profile_store.interned);
+  registry.attach(p + "dedup_hits", profile_store.dedup_hits);
+  registry.attach(p + "evicted", profile_store.evicted);
 
   const std::string r = prefix + "replay.";
   registry.attach(r + "frames_recorded", replay.frames_recorded);

@@ -142,6 +142,16 @@ struct EngineStats {
 
   Counter sessions_created;
   Counter sessions_destroyed;
+  /// Per-session API calls (push/offer/estimate_one/forecast_one) that
+  /// named a SessionId the engine does not serve. A nonzero rate means a
+  /// caller is racing destroy_session or holding a stale handle — the
+  /// lookup failure is surfaced explicitly (std::optional / false), never
+  /// as a value-initialized result.
+  Counter unknown_session;
+
+  /// Mid-drive profile hot-swaps applied (TrackerEngine::swap_profile /
+  /// FleetRouter::swap_profile).
+  Counter profile_swaps;
 
   // Accepted per-session feeds (feed rate = counter delta / wall time).
   Counter csi_frames;
@@ -188,6 +198,18 @@ struct IngestStats {
   Histogram queue_depth_csi{0, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
 };
 
+/// Content-addressed profile interning (engine::ProfileStore). Millions
+/// of drivers dedupe to thousands of distinct profiles: every intern is
+/// either a fresh allocation (interned) or a content-hash hit onto an
+/// already-live profile (dedup_hits). Entries are weak — once the last
+/// session or caller reference dies the profile is freed, and the next
+/// sweep counts the expired entry into evicted.
+struct ProfileStoreStats {
+  Counter interned;    ///< distinct profiles allocated by the store
+  Counter dedup_hits;  ///< interns served from a live identical profile
+  Counter evicted;     ///< expired (unreferenced) entries swept away
+};
+
 /// Flight-recorder counters (replay::Recorder). A dropped frame means
 /// the staging buffer filled while the writer was still flushing the
 /// previous one — the log is marked truncated and no longer replays
@@ -205,6 +227,7 @@ struct Sink {
   TrackerStats tracker;
   EngineStats engine;
   IngestStats ingest;
+  ProfileStoreStats profile_store;
   RecorderStats replay;
 
   /// Registers every member metric with `registry` under

@@ -1,41 +1,12 @@
 #include "replay/vrlog.h"
 
-#include <array>
 #include <cstring>
+
+#include "util/crc32.h"
 
 namespace vihot::replay {
 
 namespace {
-
-/// Reflected CRC-32 (polynomial 0xEDB88320), slicing-by-8: eight
-/// derived tables let the hot loop fold 8 input bytes per iteration
-/// instead of one. The recorder CRCs every staged chunk (~1 KB per CSI
-/// frame), so the byte-at-a-time loop was the dominant per-frame cost
-/// in the bench_engine_throughput --record A/B.
-std::array<std::array<std::uint32_t, 256>, 8> make_crc_tables() {
-  std::array<std::array<std::uint32_t, 256>, 8> tables{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t c = i;
-    for (int k = 0; k < 8; ++k) {
-      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
-    }
-    tables[0][i] = c;
-  }
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t c = tables[0][i];
-    for (std::size_t t = 1; t < 8; ++t) {
-      c = tables[0][c & 0xFFu] ^ (c >> 8);
-      tables[t][i] = c;
-    }
-  }
-  return tables;
-}
-
-const std::array<std::array<std::uint32_t, 256>, 8>& crc_tables() {
-  static const std::array<std::array<std::uint32_t, 256>, 8> tables =
-      make_crc_tables();
-  return tables;
-}
 
 /// Sanity caps: a corrupt length field must not trigger gigabyte
 /// reserves. Generous next to any real capture.
@@ -48,27 +19,9 @@ constexpr std::size_t kMaxRxNullRatios = 4096;
 
 std::uint32_t crc32(const unsigned char* data, std::size_t n,
                     std::uint32_t seed) {
-  const auto& t = crc_tables();
-  std::uint32_t c = seed ^ 0xFFFFFFFFu;
-  // 8 bytes per iteration (little-endian fold); the scalar tail loop
-  // also covers the unaligned head of short buffers.
-  while (n >= 8) {
-    std::uint32_t lo = 0;
-    std::uint32_t hi = 0;
-    std::memcpy(&lo, data, 4);
-    std::memcpy(&hi, data + 4, 4);
-    lo ^= c;
-    c = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
-        t[5][(lo >> 16) & 0xFFu] ^ t[4][(lo >> 24) & 0xFFu] ^
-        t[3][hi & 0xFFu] ^ t[2][(hi >> 8) & 0xFFu] ^
-        t[1][(hi >> 16) & 0xFFu] ^ t[0][(hi >> 24) & 0xFFu];
-    data += 8;
-    n -= 8;
-  }
-  for (std::size_t i = 0; i < n; ++i) {
-    c = t[0][(c ^ data[i]) & 0xFFu] ^ (c >> 8);
-  }
-  return c ^ 0xFFFFFFFFu;
+  // The shared slicing-by-8 implementation (also the ProfileStore's
+  // content hash): one table set, one codepath to trust.
+  return util::crc32(data, n, seed);
 }
 
 void put_u8(std::vector<unsigned char>& out, std::uint8_t v) {

@@ -1,0 +1,64 @@
+#include "util/crc32.h"
+
+#include <array>
+#include <cstring>
+
+namespace vihot::util {
+
+namespace {
+
+/// Eight derived tables let the hot loop fold 8 input bytes per
+/// iteration instead of one.
+std::array<std::array<std::uint32_t, 256>, 8> make_crc_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> tables{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    tables[0][i] = c;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = tables[0][i];
+    for (std::size_t t = 1; t < 8; ++t) {
+      c = tables[0][c & 0xFFu] ^ (c >> 8);
+      tables[t][i] = c;
+    }
+  }
+  return tables;
+}
+
+const std::array<std::array<std::uint32_t, 256>, 8>& crc_tables() {
+  static const std::array<std::array<std::uint32_t, 256>, 8> tables =
+      make_crc_tables();
+  return tables;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const unsigned char* data, std::size_t n,
+                    std::uint32_t seed) {
+  const auto& t = crc_tables();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  // 8 bytes per iteration (little-endian fold); the scalar tail loop
+  // also covers the unaligned head of short buffers.
+  while (n >= 8) {
+    std::uint32_t lo = 0;
+    std::uint32_t hi = 0;
+    std::memcpy(&lo, data, 4);
+    std::memcpy(&hi, data + 4, 4);
+    lo ^= c;
+    c = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+        t[5][(lo >> 16) & 0xFFu] ^ t[4][(lo >> 24) & 0xFFu] ^
+        t[3][hi & 0xFFu] ^ t[2][(hi >> 8) & 0xFFu] ^
+        t[1][(hi >> 16) & 0xFFu] ^ t[0][(hi >> 24) & 0xFFu];
+    data += 8;
+    n -= 8;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    c = t[0][(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace vihot::util

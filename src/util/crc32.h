@@ -1,0 +1,20 @@
+// Reflected CRC-32 (polynomial 0xEDB88320), slicing-by-8.
+//
+// One shared implementation serves every content-addressing user in the
+// tree: the flight recorder CRCs each staged .vrlog chunk (~1 KB per CSI
+// frame — the byte-at-a-time loop was the dominant per-frame cost in the
+// bench_engine_throughput --record A/B before the 8-byte fold), and the
+// engine's ProfileStore keys interned profiles by the CRC of their
+// canonical byte encoding. Seeding with a previous CRC chains partial
+// computations: crc32(b, crc32(a)) == crc32(a||b).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vihot::util {
+
+[[nodiscard]] std::uint32_t crc32(const unsigned char* data, std::size_t n,
+                                  std::uint32_t seed = 0);
+
+}  // namespace vihot::util

@@ -147,8 +147,27 @@ TEST(TrackerEngineTest, UnknownSessionIsRejected) {
   EXPECT_FALSE(engine.push_imu(42, {}));
   EXPECT_FALSE(engine.push_camera(42, {}));
   EXPECT_FALSE(engine.destroy_session(42));
-  EXPECT_FALSE(engine.estimate_one(42, 1.0).valid);
-  EXPECT_FALSE(engine.forecast_one(42, 0.1).valid);
+  // A failed LOOKUP is the absence of a result, not a valid == false
+  // estimate (which also describes a live session that hasn't locked).
+  EXPECT_FALSE(engine.estimate_one(42, 1.0).has_value());
+  EXPECT_FALSE(engine.forecast_one(42, 0.1).has_value());
+}
+
+TEST(TrackerEngineTest, UnknownSessionLookupsAreCounted) {
+  obs::Sink sink;
+  TrackerEngine engine({0, &sink});
+  const auto profile = engine.add_profile(synthetic_profile(3));
+  const SessionId id = engine.create_session(profile);
+  // Live session: results exist (valid or not), nothing counted.
+  ASSERT_TRUE(engine.estimate_one(id, 0.0).has_value());
+  ASSERT_TRUE(engine.forecast_one(id, 0.1).has_value());
+  EXPECT_EQ(sink.engine.unknown_session.value(), 0u);
+  // Stale handle after destroy: nullopt, and every miss is counted.
+  ASSERT_TRUE(engine.destroy_session(id));
+  EXPECT_FALSE(engine.estimate_one(id, 1.0).has_value());
+  EXPECT_FALSE(engine.forecast_one(id, 0.1).has_value());
+  EXPECT_FALSE(engine.swap_profile(id, profile));
+  EXPECT_EQ(sink.engine.unknown_session.value(), 3u);
 }
 
 TEST(TrackerEngineTest, MatchesStandaloneTrackers) {
@@ -397,8 +416,8 @@ TEST(TrackerEngineTest, NullSinkIsZeroOverheadPath) {
   feed([&](const auto& m) { observed.push_csi(ob, m); }, theta, 0.0, 1.2,
        fp);
   for (double t = 0.8; t < 1.2; t += 0.05) {
-    const core::TrackResult rp = plain.estimate_one(pa, t);
-    const core::TrackResult ro = observed.estimate_one(ob, t);
+    const core::TrackResult rp = *plain.estimate_one(pa, t);
+    const core::TrackResult ro = *observed.estimate_one(ob, t);
     EXPECT_EQ(rp.valid, ro.valid);
     if (rp.valid) EXPECT_DOUBLE_EQ(rp.theta_rad, ro.theta_rad);
   }

@@ -1,0 +1,317 @@
+// FleetRouter tests (ctest label: fleet).
+//
+// The fleet tier is a routing optimization, never an algorithmic one:
+// sessions are independent, so per-session results must be bit-identical
+// for ANY shard count — the invariance test pins that down. The threaded
+// tests (churn racing offer_* and fleet ticks across >= 2 shards, with
+// mid-drive profile hot-swaps) are the TSan targets of the fleet label
+// in tools/run_checks.sh.
+#include "engine/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <complex>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "obs/sink.h"
+#include "tests/core/test_helpers.h"
+
+namespace vihot::engine {
+namespace {
+
+using core::testing::synthetic_phase;
+using core::testing::synthetic_profile;
+
+wifi::CsiMeasurement measurement(double t, double phi,
+                                 std::size_t subcarriers = 4) {
+  wifi::CsiMeasurement m;
+  m.t = t;
+  m.h[0].assign(subcarriers, std::polar(1.0, phi));
+  m.h[1].assign(subcarriers, {1.0, 0.0});
+  return m;
+}
+
+/// Streams a phase trajectory into `push` at 200 Hz.
+template <typename PushFn, typename ThetaFn>
+void feed(PushFn&& push, ThetaFn&& theta, double t0, double t1,
+          double fingerprint = 0.0) {
+  for (double t = t0; t < t1; t += 0.005) {
+    push(measurement(t, synthetic_phase(theta(t), fingerprint)));
+  }
+}
+
+FleetConfig shard_config(std::size_t shards, obs::Sink* sink = nullptr) {
+  FleetConfig fc;
+  fc.shards = shards;
+  fc.sink = sink;
+  return fc;
+}
+
+// ------------------------------------------------------------- routing
+
+TEST(FleetRouterTest, ZeroShardsClampToOne) {
+  FleetRouter fleet(shard_config(0));
+  EXPECT_EQ(fleet.num_shards(), 1u);
+}
+
+TEST(FleetRouterTest, GlobalIdsSpreadAcrossShards) {
+  FleetRouter fleet(shard_config(4));
+  const auto profile = fleet.add_profile(synthetic_profile(3));
+  std::vector<std::size_t> per_shard(fleet.num_shards(), 0);
+  for (int k = 0; k < 64; ++k) {
+    ++per_shard[fleet.shard_of(fleet.create_session(profile))];
+  }
+  EXPECT_EQ(fleet.session_count(), 64u);
+  // The Fibonacci mix must actually spread sequential ids.
+  for (const std::size_t n : per_shard) EXPECT_LT(n, 64u);
+  std::size_t shard_sum = 0;
+  for (std::size_t s = 0; s < fleet.num_shards(); ++s) {
+    shard_sum += fleet.shard(s).session_count();
+  }
+  EXPECT_EQ(shard_sum, 64u);
+}
+
+TEST(FleetRouterTest, LifecycleAndMergedOrder) {
+  FleetRouter fleet(shard_config(3));
+  const auto profile = fleet.add_profile(synthetic_profile(3));
+  const SessionId a = fleet.create_session(profile);
+  const SessionId b = fleet.create_session(profile);
+  const SessionId c = fleet.create_session(profile);
+  EXPECT_EQ(fleet.session_ids(), (std::vector<SessionId>{a, b, c}));
+  EXPECT_EQ(fleet.estimate_all(0.1).size(), 3u);
+
+  EXPECT_TRUE(fleet.destroy_session(b));
+  EXPECT_FALSE(fleet.destroy_session(b));  // already gone
+  EXPECT_EQ(fleet.session_ids(), (std::vector<SessionId>{a, c}));
+  EXPECT_EQ(fleet.estimate_all(0.2).size(), 2u);
+
+  const SessionId d = fleet.create_session(profile);
+  EXPECT_NE(d, b);  // global ids are never reused
+  EXPECT_EQ(fleet.session_ids(), (std::vector<SessionId>{a, c, d}));
+}
+
+TEST(FleetRouterTest, UnknownIdsAreSurfacedAndCounted) {
+  obs::Sink sink;
+  FleetRouter fleet(shard_config(2, &sink));
+  EXPECT_FALSE(fleet.push_csi(42, measurement(0.0, 0.0)));
+  EXPECT_FALSE(fleet.offer_csi(42, measurement(0.0, 0.0)));
+  EXPECT_FALSE(fleet.estimate_one(42, 1.0).has_value());
+  EXPECT_FALSE(fleet.forecast_one(42, 0.1).has_value());
+  EXPECT_FALSE(fleet.swap_profile(42, nullptr));
+  EXPECT_FALSE(fleet.destroy_session(42));
+  EXPECT_EQ(sink.engine.unknown_session.value(), 6u);
+}
+
+// ------------------------------------------------ shard-count invariance
+
+TEST(FleetRouterTest, ResultsAreInvariantUnderShardCount) {
+  // Sessions are independent: serving the same feeds over 1 shard and
+  // over N shards (parallel ticks) must produce bit-identical results,
+  // session by session, tick by tick.
+  const std::size_t kSessions = 6;
+  const auto run = [&](std::size_t shards, bool parallel) {
+    FleetConfig fc = shard_config(shards);
+    fc.parallel_shards = parallel;
+    FleetRouter fleet(fc);
+    const auto profile = fleet.add_profile(synthetic_profile(5));
+    const double fp = profile->positions[2].fingerprint_phase;
+    std::vector<SessionId> ids;
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      ids.push_back(fleet.create_session(profile));
+    }
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      const double rate = 0.5 + 0.1 * static_cast<double>(s);
+      feed([&](const auto& m) { fleet.push_csi(ids[s], m); },
+           [&](double t) { return -0.6 + rate * (t - 0.5); }, 0.4, 2.0, fp);
+    }
+    std::vector<core::TrackResult> all;
+    for (double t = 1.0; t < 2.0; t += 0.1) {
+      const auto span = fleet.estimate_all(t);
+      all.insert(all.end(), span.begin(), span.end());
+    }
+    return all;
+  };
+
+  const std::vector<core::TrackResult> one = run(1, false);
+  const std::vector<core::TrackResult> three = run(3, true);
+  const std::vector<core::TrackResult> five = run(5, false);
+  ASSERT_EQ(one.size(), three.size());
+  ASSERT_EQ(one.size(), five.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i].valid, three[i].valid) << "i=" << i;
+    EXPECT_EQ(one[i].valid, five[i].valid) << "i=" << i;
+    if (one[i].valid) {
+      // Bit-identical, not approximately equal.
+      EXPECT_EQ(std::memcmp(&one[i].theta_rad, &three[i].theta_rad,
+                            sizeof(double)),
+                0)
+          << "i=" << i;
+      EXPECT_EQ(std::memcmp(&one[i].theta_rad, &five[i].theta_rad,
+                            sizeof(double)),
+                0)
+          << "i=" << i;
+    }
+    EXPECT_EQ(one[i].mode, three[i].mode) << "i=" << i;
+    EXPECT_EQ(one[i].position_slot, five[i].position_slot) << "i=" << i;
+  }
+}
+
+// --------------------------------------------------- async ingest routing
+
+TEST(FleetRouterTest, OfferedSamplesRouteAndDrainAcrossShards) {
+  obs::Sink sink;
+  FleetConfig fc = shard_config(3, &sink);
+  fc.ingest.csi_capacity = 64;
+  fc.ingest.imu_capacity = 64;
+  FleetRouter fleet(fc);
+  const auto profile = fleet.add_profile(synthetic_profile(3));
+  std::vector<SessionId> ids;
+  for (int s = 0; s < 9; ++s) ids.push_back(fleet.create_session(profile));
+  for (int k = 0; k < 5; ++k) {
+    for (const SessionId id : ids) {
+      EXPECT_TRUE(fleet.offer_csi(id, measurement(0.01 * k, 0.1)));
+    }
+  }
+  EXPECT_EQ(sink.ingest.csi_enqueued.value(), 45u);
+  EXPECT_EQ(fleet.drain(), 45u);
+  EXPECT_EQ(sink.ingest.drained_csi.value(), 45u);
+  EXPECT_EQ(fleet.drain(), 0u);
+}
+
+// -------------------------------------------------------- profile sharing
+
+TEST(FleetRouterTest, ShardsShareOneProfileStore) {
+  obs::Sink sink;
+  FleetRouter fleet(shard_config(4, &sink));
+  // Interning through the fleet and through any shard's engine hits the
+  // same store: one allocation fleet-wide.
+  const auto a = fleet.add_profile(synthetic_profile(3));
+  const auto b = fleet.shard(2).add_profile(synthetic_profile(3));
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(sink.profile_store.interned.value(), 1u);
+  EXPECT_EQ(sink.profile_store.dedup_hits.value(), 1u);
+  EXPECT_EQ(fleet.profile_store().live_count(), 1u);
+}
+
+TEST(FleetRouterTest, HotSwapMidDriveRelocksOnNewProfile) {
+  obs::Sink sink;
+  FleetRouter fleet(shard_config(2, &sink));
+  const auto base = fleet.add_profile(synthetic_profile(5));
+  const double fp = base->positions[2].fingerprint_phase;
+  const SessionId id = fleet.create_session(base);
+
+  // Track against the base profile first.
+  feed([&](const auto& m) { fleet.push_csi(id, m); },
+       [](double t) { return -0.5 + 0.8 * (t - 0.5); }, 0.4, 1.6, fp);
+  const auto before = fleet.estimate_one(id, 1.5);
+  ASSERT_TRUE(before.has_value());
+  EXPECT_TRUE(before->valid);
+
+  // COW recalibration: a shifted copy interned as a NEW snapshot; the
+  // base stays untouched for every other session.
+  const auto next = fleet.profile_store().cow(*base, [](core::CsiProfile& p) {
+    for (auto& pos : p.positions) pos.fingerprint_phase += 0.05;
+  });
+  ASSERT_NE(next.get(), base.get());
+  ASSERT_TRUE(fleet.swap_profile(id, next));
+  EXPECT_EQ(sink.engine.profile_swaps.value(), 1u);
+
+  // The swap restarts match state: the session re-locks against the new
+  // profile from fresh feeds and serves valid estimates again.
+  feed([&](const auto& m) { fleet.push_csi(id, m); },
+       [](double t) { return -0.5 + 0.8 * (t - 2.0); }, 1.9, 3.4,
+       fp + 0.05);
+  const auto after = fleet.estimate_one(id, 3.3);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_TRUE(after->valid);
+}
+
+TEST(FleetRouterTest, SwappedOutProfileIsReleased) {
+  FleetRouter fleet(shard_config(2));
+  std::weak_ptr<const core::CsiProfile> watch;
+  SessionId id = kNoSession;
+  {
+    const auto base = fleet.add_profile(synthetic_profile(3));
+    watch = base;
+    id = fleet.create_session(base);
+  }
+  EXPECT_FALSE(watch.expired());  // the session still serves it
+  core::CsiProfile replacement = synthetic_profile(4);
+  ASSERT_TRUE(
+      fleet.swap_profile(id, fleet.add_profile(std::move(replacement))));
+  // Weak store entries never pin: with the session swapped over and the
+  // caller's reference gone, the old snapshot's memory is released.
+  EXPECT_TRUE(watch.expired());
+  EXPECT_EQ(fleet.profile_store().live_count(), 1u);
+}
+
+// ------------------------------------------------- churn under concurrency
+
+TEST(FleetRouterTest, ChurnUnderConcurrentProducersTicksAndSwaps) {
+  // The fleet-tier torture test (TSan target): stable sessions fed by
+  // concurrent producer threads through the async rings, a churn thread
+  // creating/estimating/destroying sessions, a swap thread hot-swapping
+  // profiles mid-drive — all racing fleet-wide parallel-shard ticks.
+  obs::Sink sink;
+  FleetConfig fc = shard_config(3, &sink);
+  fc.ingest.csi_capacity = 256;
+  fc.ingest.imu_capacity = 256;
+  FleetRouter fleet(fc);
+  const auto profile = fleet.add_profile(synthetic_profile(3));
+  const auto alt = fleet.profile_store().cow(
+      *profile, [](core::CsiProfile& p) { p.reference_phase += 0.01; });
+
+  std::vector<SessionId> stable;
+  for (int s = 0; s < 4; ++s) stable.push_back(fleet.create_session(profile));
+
+  std::atomic<bool> stop{false};
+  auto producer = [&](std::size_t a, std::size_t b) {
+    wifi::CsiMeasurement m = measurement(0.0, 0.2);
+    imu::ImuSample imu{};
+    for (double t = 0.0; !stop.load(std::memory_order_acquire); t += 0.002) {
+      m.t = t;
+      (void)fleet.offer_csi(stable[a], m);
+      (void)fleet.offer_csi(stable[b], m);
+      imu.t = t;
+      (void)fleet.offer_imu(stable[a], imu);
+      (void)fleet.offer_imu(stable[b], imu);
+    }
+  };
+  std::thread p1(producer, 0, 1);
+  std::thread p2(producer, 2, 3);
+  std::thread churn([&] {
+    for (int k = 0; k < 30; ++k) {
+      const SessionId id = fleet.create_session(profile);
+      (void)fleet.push_csi(id, measurement(0.1 * k, 0.2));
+      (void)fleet.estimate_one(id, 0.1 * k);
+      EXPECT_TRUE(fleet.destroy_session(id));
+    }
+  });
+  std::thread swapper([&] {
+    for (int k = 0; k < 20; ++k) {
+      (void)fleet.swap_profile(stable[k % stable.size()],
+                               (k % 2) ? alt : profile);
+    }
+  });
+  for (int k = 0; k < 100; ++k) {
+    (void)fleet.estimate_all(0.05 * (k + 1));
+  }
+  churn.join();
+  swapper.join();
+  stop.store(true, std::memory_order_release);
+  p1.join();
+  p2.join();
+  EXPECT_EQ(fleet.session_count(), stable.size());
+  EXPECT_EQ(sink.engine.sessions_destroyed.value(), 30u);
+  EXPECT_EQ(sink.engine.profile_swaps.value(), 20u);
+  // Overload decisions are all accounted: every enqueued sample is
+  // either drained or discarded with its session.
+  (void)fleet.drain();
+}
+
+}  // namespace
+}  // namespace vihot::engine

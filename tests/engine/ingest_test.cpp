@@ -182,9 +182,55 @@ TEST(SessionIngestTest, ZeroCapacityDisablesTheTier) {
   IngestConfig config = small_config(OverloadPolicy::kDropOldest, 0);
   SessionIngest ingest(config, &stats);
   EXPECT_FALSE(ingest.enabled());
+  EXPECT_FALSE(ingest.csi_enabled());
+  EXPECT_FALSE(ingest.imu_enabled());
   EXPECT_EQ(ingest.drain([](const wifi::CsiMeasurement&) {},
                          [](const imu::ImuSample&) {}),
             0u);
+}
+
+TEST(SessionIngestTest, ImuOnlyCapacityKeepsImuStreamAsync) {
+  // Regression: {csi: 0, imu: N}. The old single CSI-gated enabled()
+  // reported the whole tier off, and drain() — gated on the same
+  // predicate — never swept the IMU ring: anything offered there was
+  // stranded forever. Gating is per stream now.
+  obs::IngestStats stats;
+  IngestConfig config = small_config(OverloadPolicy::kDropOldest, 64);
+  config.csi_capacity = 0;
+  SessionIngest ingest(config, &stats);
+  EXPECT_FALSE(ingest.csi_enabled());
+  EXPECT_TRUE(ingest.imu_enabled());
+  EXPECT_TRUE(ingest.enabled());  // a drain sweep CAN find work
+
+  imu::ImuSample s{};
+  for (int k = 0; k < 5; ++k) {
+    s.t = 0.1 * k;
+    EXPECT_TRUE(ingest.offer_imu(s));
+  }
+  EXPECT_EQ(ingest.imu_depth(), 5u);
+  std::size_t drained_imu = 0;
+  EXPECT_EQ(ingest.drain([](const wifi::CsiMeasurement&) {},
+                         [&](const imu::ImuSample&) { ++drained_imu; }),
+            5u);
+  EXPECT_EQ(drained_imu, 5u);
+  EXPECT_EQ(ingest.imu_depth(), 0u);
+}
+
+TEST(SessionIngestTest, CsiOnlyCapacityKeepsCsiStreamAsync) {
+  // The mirrored mix: {csi: N, imu: 0} runs CSI async, IMU off.
+  obs::IngestStats stats;
+  IngestConfig config = small_config(OverloadPolicy::kDropOldest, 64);
+  config.imu_capacity = 0;
+  SessionIngest ingest(config, &stats);
+  EXPECT_TRUE(ingest.csi_enabled());
+  EXPECT_FALSE(ingest.imu_enabled());
+  EXPECT_TRUE(ingest.enabled());
+  EXPECT_TRUE(ingest.offer_csi(measurement(0.0, 0.1)));
+  std::size_t drained_csi = 0;
+  EXPECT_EQ(ingest.drain([&](const wifi::CsiMeasurement&) { ++drained_csi; },
+                         [](const imu::ImuSample&) {}),
+            1u);
+  EXPECT_EQ(drained_csi, 1u);
 }
 
 // ------------------------------------------------------------ FeedRouter
@@ -275,6 +321,78 @@ TEST(EngineIngestTest, ZeroCapacityOfferFallsBackToSyncPush) {
   EXPECT_EQ(engine.drain(), 0u);
   // The sync ordering guard still applies through offer_*.
   EXPECT_FALSE(engine.offer_csi(id, measurement(0.05, 0.2)));
+}
+
+TEST(EngineIngestTest, MixedCapacityRunsEachStreamOnItsOwnPath) {
+  // Regression for the fleet-tier version of the same bug: with
+  // {csi: 0, imu: N} the engine's drain step early-outed on the CSI
+  // capacity alone, so offered IMU samples sat in their rings forever
+  // while offer_csi degraded to sync — the async IMU stream was silently
+  // disabled. Each mixed-capacity combination must run each stream on
+  // the path its own capacity selects.
+  struct Combo {
+    std::size_t csi_cap;
+    std::size_t imu_cap;
+  };
+  const Combo combos[] = {{0, 64}, {64, 0}, {64, 64}, {0, 0}};
+  for (const Combo& combo : combos) {
+    SCOPED_TRACE(::testing::Message()
+                 << "csi_capacity=" << combo.csi_cap
+                 << " imu_capacity=" << combo.imu_cap);
+    obs::Sink sink;
+    TrackerEngine::Config cfg;
+    cfg.sink = &sink;
+    cfg.ingest.csi_capacity = combo.csi_cap;
+    cfg.ingest.imu_capacity = combo.imu_cap;
+    TrackerEngine engine(cfg);
+    const auto profile = engine.add_profile(synthetic_profile(3));
+    const SessionId id = engine.create_session(profile);
+
+    const std::size_t n = 8;
+    imu::ImuSample s{};
+    for (std::size_t k = 0; k < n; ++k) {
+      EXPECT_TRUE(engine.offer_csi(id, measurement(0.01 * k, 0.1)));
+      s.t = 0.01 * k;
+      EXPECT_TRUE(engine.offer_imu(id, s));
+    }
+    // Async streams queued; sync-fallback streams already applied.
+    EXPECT_EQ(sink.ingest.csi_enqueued.value(), combo.csi_cap ? n : 0u);
+    EXPECT_EQ(sink.ingest.imu_enqueued.value(), combo.imu_cap ? n : 0u);
+    const std::size_t sync_csi = combo.csi_cap ? 0u : n;
+    const std::size_t sync_imu = combo.imu_cap ? 0u : n;
+    EXPECT_EQ(sink.engine.csi_frames.value(), sync_csi);
+    EXPECT_EQ(sink.engine.imu_samples.value(), sync_imu);
+
+    // The drain applies EVERYTHING queued — no stream may be stranded.
+    const std::size_t queued = (combo.csi_cap ? n : 0) +
+                               (combo.imu_cap ? n : 0);
+    EXPECT_EQ(engine.drain(), queued);
+    EXPECT_EQ(sink.ingest.drained_csi.value(), combo.csi_cap ? n : 0u);
+    EXPECT_EQ(sink.ingest.drained_imu.value(), combo.imu_cap ? n : 0u);
+    EXPECT_EQ(sink.engine.csi_frames.value(), n);
+    EXPECT_EQ(sink.engine.imu_samples.value(), n);
+  }
+}
+
+TEST(EngineIngestTest, EstimateAllDrainsImuOnlyIngest) {
+  // The tick-path variant of the regression: estimate_all()'s implicit
+  // drain must also sweep an IMU-only ingest tier.
+  obs::Sink sink;
+  TrackerEngine::Config cfg;
+  cfg.sink = &sink;
+  cfg.ingest.csi_capacity = 0;
+  cfg.ingest.imu_capacity = 64;
+  TrackerEngine engine(cfg);
+  const auto profile = engine.add_profile(synthetic_profile(3));
+  const SessionId id = engine.create_session(profile);
+  imu::ImuSample s{};
+  for (int k = 0; k < 12; ++k) {
+    s.t = 0.01 * k;
+    EXPECT_TRUE(engine.offer_imu(id, s));
+  }
+  EXPECT_EQ(sink.ingest.drained_imu.value(), 0u);
+  (void)engine.estimate_all(0.2);
+  EXPECT_EQ(sink.ingest.drained_imu.value(), 12u);
 }
 
 TEST(EngineIngestTest, AsyncPathMatchesSyncPathBitExact) {

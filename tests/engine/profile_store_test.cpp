@@ -1,0 +1,151 @@
+// ProfileStore tests: content-hash interning (dedup to one allocation),
+// collision-guard equality, weak-entry eviction (the store never extends
+// a profile's lifetime), COW snapshot semantics, and the obs counters.
+#include "engine/profile_store.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "engine/tracker_engine.h"
+#include "obs/sink.h"
+#include "tests/core/test_helpers.h"
+
+namespace vihot::engine {
+namespace {
+
+using core::testing::synthetic_profile;
+
+TEST(ProfileStoreTest, ContentHashIsAFunctionOfContentOnly) {
+  const core::CsiProfile a = synthetic_profile(3);
+  const core::CsiProfile b = synthetic_profile(3);  // rebuilt, same bytes
+  core::CsiProfile c = synthetic_profile(3);
+  c.positions[1].fingerprint_phase += 1e-12;  // any bit flip must show
+  EXPECT_EQ(ProfileStore::content_hash(a), ProfileStore::content_hash(b));
+  EXPECT_NE(ProfileStore::content_hash(a), ProfileStore::content_hash(c));
+  EXPECT_TRUE(profiles_equal(a, b));
+  EXPECT_FALSE(profiles_equal(a, c));
+}
+
+TEST(ProfileStoreTest, IdenticalProfilesInternToOneAllocation) {
+  obs::Sink sink;
+  ProfileStore store(&sink.profile_store);
+  const auto first = store.intern(synthetic_profile(4));
+  const auto second = store.intern(synthetic_profile(4));
+  EXPECT_EQ(first.get(), second.get());  // THE dedup guarantee
+  EXPECT_EQ(store.live_count(), 1u);
+  EXPECT_EQ(sink.profile_store.interned.value(), 1u);
+  EXPECT_EQ(sink.profile_store.dedup_hits.value(), 1u);
+
+  const auto other = store.intern(synthetic_profile(5));
+  EXPECT_NE(other.get(), first.get());
+  EXPECT_EQ(store.live_count(), 2u);
+  EXPECT_EQ(sink.profile_store.interned.value(), 2u);
+}
+
+TEST(ProfileStoreTest, UnreferencedProfilesAreReleasedAndSwept) {
+  obs::Sink sink;
+  ProfileStore store(&sink.profile_store);
+  std::weak_ptr<const core::CsiProfile> watch;
+  {
+    const auto p = store.intern(synthetic_profile(3));
+    watch = p;
+    EXPECT_EQ(store.live_count(), 1u);
+  }
+  // The store held only a weak entry: the profile died with its last
+  // external reference — the store must NOT have kept it alive.
+  EXPECT_TRUE(watch.expired());
+  EXPECT_EQ(store.live_count(), 0u);
+  EXPECT_EQ(store.index_size(), 1u);  // dead entry awaiting a sweep
+  EXPECT_EQ(store.evict_expired(), 1u);
+  EXPECT_EQ(store.index_size(), 0u);
+  EXPECT_EQ(sink.profile_store.evicted.value(), 1u);
+
+  // Re-interning after death allocates afresh (no stale-entry hit).
+  const auto again = store.intern(synthetic_profile(3));
+  EXPECT_EQ(store.live_count(), 1u);
+  EXPECT_EQ(sink.profile_store.interned.value(), 2u);
+  EXPECT_EQ(sink.profile_store.dedup_hits.value(), 0u);
+}
+
+TEST(ProfileStoreTest, InternSweepsExpiredEntriesOpportunistically) {
+  ProfileStore store;
+  { (void)store.intern(synthetic_profile(3)); }  // dies immediately
+  // Same hash bucket: the next intern of identical content sweeps the
+  // corpse instead of leaking index entries.
+  const auto live = store.intern(synthetic_profile(3));
+  EXPECT_EQ(store.index_size(), 1u);
+  EXPECT_EQ(store.live_count(), 1u);
+}
+
+TEST(ProfileStoreTest, CowClonesWithoutTouchingTheBase) {
+  ProfileStore store;
+  const auto base = store.intern(synthetic_profile(3));
+  const double base_fp = base->positions[0].fingerprint_phase;
+  const auto next = store.cow(*base, [](core::CsiProfile& p) {
+    p.positions[0].fingerprint_phase += 0.5;  // recalibration
+  });
+  EXPECT_NE(next.get(), base.get());
+  EXPECT_DOUBLE_EQ(base->positions[0].fingerprint_phase, base_fp);
+  EXPECT_DOUBLE_EQ(next->positions[0].fingerprint_phase, base_fp + 0.5);
+  // A no-op mutation dedupes straight back onto the base snapshot.
+  const auto same = store.cow(*base, [](core::CsiProfile&) {});
+  EXPECT_EQ(same.get(), base.get());
+}
+
+TEST(ProfileStoreTest, ConcurrentInternsDedupeToOneAllocation) {
+  ProfileStore store;
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const core::CsiProfile>> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back(
+        [&, i] { results[i] = store.intern(synthetic_profile(4)); });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(results[i].get(), results[0].get());
+  }
+  EXPECT_EQ(store.live_count(), 1u);
+}
+
+TEST(ProfileStoreTest, EngineAddProfileDedupesAndDoesNotPin) {
+  // The engine-facing contract: add_profile of identical content yields
+  // one allocation (counted via the sink), and the engine keeps no
+  // strong reference of its own — destroy the sessions and drop the
+  // caller's pointer, and the profile memory is released.
+  obs::Sink sink;
+  TrackerEngine::Config cfg;
+  cfg.sink = &sink;
+  TrackerEngine engine(cfg);
+  std::weak_ptr<const core::CsiProfile> watch;
+  {
+    const auto a = engine.add_profile(synthetic_profile(3));
+    const auto b = engine.add_profile(synthetic_profile(3));
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_EQ(sink.profile_store.dedup_hits.value(), 1u);
+    watch = a;
+    const SessionId id = engine.create_session(a);
+    EXPECT_TRUE(engine.destroy_session(id));
+  }
+  EXPECT_TRUE(watch.expired());  // nothing pins the profile anymore
+}
+
+TEST(ProfileStoreTest, EnginesShareAStoreAcrossInstances) {
+  ProfileStore store;
+  TrackerEngine::Config cfg;
+  cfg.profiles = &store;
+  TrackerEngine a(cfg);
+  TrackerEngine b(cfg);
+  const auto pa = a.add_profile(synthetic_profile(3));
+  const auto pb = b.add_profile(synthetic_profile(3));
+  EXPECT_EQ(pa.get(), pb.get());  // cross-engine dedup
+  EXPECT_EQ(&a.profile_store(), &store);
+  EXPECT_EQ(&b.profile_store(), &store);
+}
+
+}  // namespace
+}  // namespace vihot::engine

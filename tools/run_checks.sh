@@ -7,9 +7,11 @@
 # run); the asan and tsan presets build and run the full suite under
 # each sanitizer (the tsan leg keeps TrackerEngine / WorkerPool /
 # ingest rings honest — engine_tests exercises concurrent producers,
-# session churn and batch ticks); the release preset (-DNDEBUG,
-# asserts compiled out) runs the release-guard label. The `default`
-# leg is the plain tier-1 pass: default preset build + full ctest.
+# session churn and batch ticks, and the fleet label re-proves the
+# sharded FleetRouter tier under the same load); the release preset
+# (-DNDEBUG, asserts compiled out) runs the release-guard label. The
+# `default` leg is the plain tier-1 pass: default preset build + full
+# ctest (backend-matrix and fleet gates first, as named artifacts).
 #
 #   tools/run_checks.sh                  # matcher + asan + tsan + release
 #   tools/run_checks.sh default          # plain build + full suite
@@ -91,6 +93,10 @@ run_leg() {
       # Kalman/EKF accuracy envelopes are the failure mode a backend
       # change hits before anything else in the suite.
       run_ctest backend-matrix backend-matrix || return 1
+      echo "== ${leg}: fleet gate =="
+      # Sharded-serving invariants (routing, shard-count invariance,
+      # profile interning) as a named artifact before the full pass.
+      run_ctest fleet fleet || return 1
       echo "== ${leg}: test =="
       run_ctest default default
       ;;
@@ -140,6 +146,11 @@ run_leg() {
         # label must be TSan-clean before the full suite runs.
         echo "== ${leg}: backend-matrix gate =="
         run_ctest backend-matrix-tsan tsan-backend-matrix || return 1
+        # FleetRouter churn/hot-swap races concurrent producers against
+        # parallel-shard ticks across >= 2 shards: the fleet label is
+        # the sharded tier's data-race proof.
+        echo "== ${leg}: fleet gate =="
+        run_ctest fleet-tsan tsan-fleet || return 1
       fi
       echo "== ${leg}: full suite =="
       run_ctest "${leg}" "${leg}"

@@ -22,8 +22,14 @@
 //     --naive              also evaluate the Eq.-(5) baseline
 //     --camera             also evaluate the camera baseline
 //     --threads K          fleet mode: serve all sessions concurrently
-//                          through one TrackerEngine with K workers
-//                          (0 = engine with inline batches)
+//                          through the fleet tier with K total workers
+//                          (0 = inline batches)
+//     --shards N           fleet mode: shard the sessions over N
+//                          TrackerEngines (FleetRouter; default 1).
+//                          --threads is the TOTAL worker budget, split
+//                          evenly across the shards. Incompatible with
+//                          --record, whose byte-reproducible call
+//                          sequence is only defined for one engine
 //     --faults             inject transport faults (loss, bursts,
 //                          reordering, clock jitter, NaN/Inf samples)
 //                          into the CSI and IMU feeds; implies fleet
@@ -72,7 +78,7 @@ namespace {
                "  [--passenger] [--steering] [--no-identifier] "
                "[--vibration] [--interference]\n"
                "  [--music] [--seat-shift MM] [--naive] [--camera] "
-               "[--threads K] [--csv]\n"
+               "[--threads K] [--shards N] [--csv]\n"
                "  [--faults] [--fault-drop P] [--fault-nan P] "
                "[--async-ingest]\n"
                "  [--ingest-policy block|drop-oldest|drop-newest] "
@@ -116,6 +122,7 @@ int main(int argc, char** argv) {
   bool csv = false;
   bool fleet = false;
   std::size_t threads = 0;
+  std::size_t shards = 1;
   std::string metrics_out;
   std::string record_out;
   obs::Sink sink;
@@ -183,6 +190,10 @@ int main(int argc, char** argv) {
     } else if (a == "--threads") {
       fleet = true;
       threads = static_cast<std::size_t>(num_arg(argc, argv, i, *argv));
+    } else if (a == "--shards") {
+      fleet = true;
+      shards = static_cast<std::size_t>(num_arg(argc, argv, i, *argv));
+      if (shards == 0) shards = 1;
     } else if (a == "--faults") {
       config.faults.enabled = true;
     } else if (a == "--fault-drop") {
@@ -223,6 +234,13 @@ int main(int argc, char** argv) {
   }
 
   if (fleet) {
+    if (!record_out.empty() && shards > 1) {
+      std::fprintf(stderr,
+                   "error: --record requires --shards 1 (the recorded "
+                   "call sequence is only deterministic for a "
+                   "single-engine fleet)\n");
+      return 2;
+    }
     std::unique_ptr<replay::Recorder> recorder;
     if (!record_out.empty()) {
       replay::Recorder::Config rc;
@@ -236,7 +254,7 @@ int main(int argc, char** argv) {
     }
     const sim::FleetResult res = sim::run_fleet(
         config, threads, metrics_out.empty() ? nullptr : &sink,
-        recorder.get());
+        recorder.get(), shards);
     if (recorder != nullptr) {
       const replay::Recorder::Totals t = recorder->totals();
       if (!recorder->close()) {
@@ -261,18 +279,19 @@ int main(int argc, char** argv) {
     }
     if (csv) {
       std::printf(
-          "median_deg,mean_deg,p90_deg,n,sessions,threads,ticks,"
+          "median_deg,mean_deg,p90_deg,n,sessions,shards,threads,ticks,"
           "serve_wall_s,session_estimates_per_s\n"
-          "%.2f,%.2f,%.2f,%zu,%zu,%zu,%zu,%.3f,%.0f\n",
+          "%.2f,%.2f,%.2f,%zu,%zu,%zu,%zu,%zu,%.3f,%.0f\n",
           res.errors.median_deg(), res.errors.mean_deg(),
           res.errors.percentile_deg(90.0), res.errors.size(), res.sessions,
-          threads, res.ticks, res.serve_wall_s,
+          res.shards, threads, res.ticks, res.serve_wall_s,
           res.session_estimates_per_s);
       return 0;
     }
-    std::printf("ViHOT fleet summary (%zu sessions x %.0f s, %zu worker "
-                "threads)\n",
-                res.sessions, config.runtime_duration_s, threads);
+    std::printf("ViHOT fleet summary (%zu sessions x %.0f s, %zu shard%s, "
+                "%zu worker threads)\n",
+                res.sessions, config.runtime_duration_s, res.shards,
+                res.shards == 1 ? "" : "s", threads);
     std::printf("  errors:     median %.1f deg, mean %.1f, p90 %.1f "
                 "(n=%zu)\n",
                 res.errors.median_deg(), res.errors.mean_deg(),
