@@ -3,6 +3,18 @@
 // cheaper than 2D image processing. These measure the DTW kernel, the
 // full Algorithm-1 segment search, the sanitizer, and the channel
 // synthesizer, so regressions in the hot paths are visible.
+//
+// Benchmarks with a `simd` argument run the same workload twice through
+// forced kernel dispatch (dsp/simd.h): simd=0 pins the scalar table,
+// simd=1 the AVX2 table (skipped with an error when the host lacks
+// AVX2). Both variants return bit-identical results — proven by the
+// matcher-equivalence tests — so the delta is pure kernel speed.
+//
+// Extra CLI sugar on top of google-benchmark's own flags:
+//   --json[=PATH]   emit the JSON report to PATH (default BENCH_dtw.json)
+//                   — shorthand for --benchmark_out=PATH
+//                   --benchmark_out_format=json, used by CI to publish
+//                   BENCH_dtw.json next to BENCH_fleet.json.
 
 #include <benchmark/benchmark.h>
 
@@ -14,6 +26,7 @@
 #include "core/sanitizer.h"
 #include "dsp/dtw.h"
 #include "dsp/series_match.h"
+#include "dsp/simd.h"
 #include "util/rng.h"
 #include "wifi/noise.h"
 
@@ -33,7 +46,23 @@ std::vector<double> noisy_sine(std::size_t n, double period,
   return xs;
 }
 
+// simd=0 -> scalar table, simd=1 -> AVX2 table (nullptr off-x86 / no-AVX2).
+const dsp::simd::KernelTable* table_for(std::int64_t simd_arg) {
+  return simd_arg == 0 ? &dsp::simd::scalar_kernels()
+                       : dsp::simd::avx2_kernels();
+}
+
+std::string level_label(const dsp::simd::KernelTable& table) {
+  return std::string(dsp::simd::to_string(table.level));
+}
+
 void BM_DtwDistance(benchmark::State& state) {
+  const auto* table = table_for(state.range(1));
+  if (table == nullptr) {
+    state.SkipWithError("AVX2 kernels unavailable on this host/build");
+    return;
+  }
+  const dsp::simd::ForcedKernels forced(*table);
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto a = noisy_sine(n, 20.0, 1);
   const auto b = noisy_sine(2 * n, 40.0, 2);
@@ -41,10 +70,19 @@ void BM_DtwDistance(benchmark::State& state) {
     benchmark::DoNotOptimize(dsp::dtw_distance(a, b));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(level_label(*table));
 }
-BENCHMARK(BM_DtwDistance)->Arg(10)->Arg(21)->Arg(42)->Arg(84);
+BENCHMARK(BM_DtwDistance)
+    ->ArgNames({"n", "simd"})
+    ->ArgsProduct({{10, 21, 42, 84}, {0, 1}});
 
 void BM_DtwDistanceBanded(benchmark::State& state) {
+  const auto* table = table_for(state.range(1));
+  if (table == nullptr) {
+    state.SkipWithError("AVX2 kernels unavailable on this host/build");
+    return;
+  }
+  const dsp::simd::ForcedKernels forced(*table);
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto a = noisy_sine(n, 20.0, 1);
   const auto b = noisy_sine(2 * n, 40.0, 2);
@@ -53,8 +91,39 @@ void BM_DtwDistanceBanded(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(dsp::dtw_distance(a, b, opt));
   }
+  state.SetLabel(level_label(*table));
 }
-BENCHMARK(BM_DtwDistanceBanded)->Arg(21)->Arg(42)->Arg(84);
+BENCHMARK(BM_DtwDistanceBanded)
+    ->ArgNames({"n", "simd"})
+    ->ArgsProduct({{21, 42, 84}, {0, 1}});
+
+// Narrow band at growing length: the row-clearing regression row. With a
+// 5% band the per-row DP work is O(band), so cost must scale ~linearly
+// in n. The historical full-row std::fill made it O(n * m) regardless of
+// the band — this benchmark is the A/B witness for the span-clearing
+// fix (see EXPERIMENTS.md).
+void BM_DtwDistanceBandedNarrow(benchmark::State& state) {
+  const auto* table = table_for(state.range(1));
+  if (table == nullptr) {
+    state.SkipWithError("AVX2 kernels unavailable on this host/build");
+    return;
+  }
+  const dsp::simd::ForcedKernels forced(*table);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  // Square problem: with m = 2n the band would be widened to the |n - m|
+  // slope gap and stop being narrow, defeating the point of this row.
+  const auto a = noisy_sine(n, 20.0, 1);
+  const auto b = noisy_sine(n, 40.0, 2);
+  dsp::DtwOptions opt;
+  opt.band_fraction = 0.05;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::dtw_distance(a, b, opt));
+  }
+  state.SetLabel("band 5%; " + level_label(*table));
+}
+BENCHMARK(BM_DtwDistanceBandedNarrow)
+    ->ArgNames({"n", "simd"})
+    ->ArgsProduct({{84, 256, 1024}, {0, 1}});
 
 // The full Algorithm-1 inner loop: one orientation estimate against a
 // 10 s / 200 Hz profile — the per-estimate cost of the live tracker.
@@ -63,7 +132,8 @@ BENCHMARK(BM_DtwDistanceBanded)->Arg(21)->Arg(42)->Arg(84);
 //   * Naive     — find_best_match_reference: no pruning, no workspace,
 //                 per-candidate allocations (the historical scan);
 //   * NoPruning — workspace reuse only, every candidate runs full DTW;
-//   * (default) — workspace + lower-bound cascade + early abandoning.
+//   * (default) — workspace + lower-bound cascade + early abandoning,
+//                 measured under both kernel tables (simd arg).
 dsp::SeriesMatchOptions series_match_options() {
   dsp::SeriesMatchOptions opt;
   opt.start_stride = 2;
@@ -86,6 +156,12 @@ std::vector<double> profile_slice_query(const std::vector<double>& profile,
 }
 
 void BM_SeriesMatch(benchmark::State& state) {
+  const auto* table = table_for(state.range(0));
+  if (table == nullptr) {
+    state.SkipWithError("AVX2 kernels unavailable on this host/build");
+    return;
+  }
+  const dsp::simd::ForcedKernels forced(*table);
   const auto profile = noisy_sine(2000, 30.0, 4);
   const auto query = profile_slice_query(profile, 700, 21);
   const dsp::SeriesMatchOptions opt = series_match_options();
@@ -100,13 +176,19 @@ void BM_SeriesMatch(benchmark::State& state) {
                           s.dtw_abandoned);
   const double rate =
       s.candidates > 0 ? pruned / static_cast<double>(s.candidates) : 0.0;
-  state.SetLabel("fast path; prune rate " +
+  state.SetLabel("fast path (" + level_label(*table) + "); prune rate " +
                  std::to_string(100.0 * rate) + "% of " +
                  std::to_string(s.candidates) + " candidates");
 }
-BENCHMARK(BM_SeriesMatch);
+BENCHMARK(BM_SeriesMatch)->ArgNames({"simd"})->Arg(0)->Arg(1);
 
 void BM_SeriesMatchNoPruning(benchmark::State& state) {
+  const auto* table = table_for(state.range(0));
+  if (table == nullptr) {
+    state.SkipWithError("AVX2 kernels unavailable on this host/build");
+    return;
+  }
+  const dsp::simd::ForcedKernels forced(*table);
   const auto profile = noisy_sine(2000, 30.0, 4);
   const auto query = profile_slice_query(profile, 700, 21);
   dsp::SeriesMatchOptions opt = series_match_options();
@@ -116,9 +198,10 @@ void BM_SeriesMatchNoPruning(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(dsp::find_best_match(query, profile, opt));
   }
-  state.SetLabel("workspace reuse only (pruning off)");
+  state.SetLabel("workspace reuse only, pruning off (" +
+                 level_label(*table) + ")");
 }
-BENCHMARK(BM_SeriesMatchNoPruning);
+BENCHMARK(BM_SeriesMatchNoPruning)->ArgNames({"simd"})->Arg(0)->Arg(1);
 
 void BM_SeriesMatchNaive(benchmark::State& state) {
   const auto profile = noisy_sine(2000, 30.0, 4);
@@ -150,6 +233,12 @@ void BM_ChannelSynthesis(benchmark::State& state) {
 BENCHMARK(BM_ChannelSynthesis);
 
 void BM_Sanitizer(benchmark::State& state) {
+  const auto* table = table_for(state.range(0));
+  if (table == nullptr) {
+    state.SkipWithError("AVX2 kernels unavailable on this host/build");
+    return;
+  }
+  const dsp::simd::ForcedKernels forced(*table);
   const channel::CabinScene scene = channel::make_cabin_scene();
   const channel::ChannelModel model(scene, channel::SubcarrierGrid{},
                                     channel::HeadScatterModel{});
@@ -162,8 +251,37 @@ void BM_Sanitizer(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(sanitizer.phase(m));
   }
-  state.SetLabel("Eq.(3) + subcarrier averaging per frame");
+  state.SetLabel("Eq.(3) + subcarrier averaging per frame (" +
+                 level_label(*table) + ")");
 }
-BENCHMARK(BM_Sanitizer);
+BENCHMARK(BM_Sanitizer)->ArgNames({"simd"})->Arg(0)->Arg(1);
 
 }  // namespace
+
+// Custom main so CI can ask for a JSON report with one stable flag
+// instead of repeating google-benchmark's two-flag spelling.
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      args.emplace_back("--benchmark_out=BENCH_dtw.json");
+      args.emplace_back("--benchmark_out_format=json");
+    } else if (arg.rfind("--json=", 0) == 0) {
+      args.emplace_back("--benchmark_out=" + arg.substr(7));
+      args.emplace_back("--benchmark_out_format=json");
+    } else {
+      args.push_back(arg);
+    }
+  }
+  std::vector<char*> raw;
+  raw.reserve(args.size());
+  for (std::string& s : args) raw.push_back(s.data());
+  int raw_argc = static_cast<int>(raw.size());
+  benchmark::Initialize(&raw_argc, raw.data());
+  if (benchmark::ReportUnrecognizedArguments(raw_argc, raw.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

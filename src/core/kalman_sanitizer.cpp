@@ -21,6 +21,26 @@ double KalmanPhaseSanitizer::measurement(const wifi::CsiMeasurement& m,
   return std::arg(m.h[0][f] * std::conj(m.h[1][f]));
 }
 
+void KalmanPhaseSanitizer::fill_measurements(const wifi::CsiMeasurement& m,
+                                             std::size_t nsc) {
+  meas_.resize(nsc);
+  if (!base_.rx_null_ratio.empty()) {
+    // Per-subcarrier null ratio with index clamping — stays scalar.
+    for (std::size_t f = 0; f < nsc; ++f) {
+      meas_[f] = measurement(m, f);
+    }
+    return;
+  }
+  prod_re_.resize(nsc);
+  prod_im_.resize(nsc);
+  dsp::simd::active().conj_products(m.h[0].data(), m.h[1].data(),
+                                    prod_re_.data(), prod_im_.data(), nsc);
+  // std::arg(z) is atan2(imag, real); identical inputs, identical bits.
+  for (std::size_t f = 0; f < nsc; ++f) {
+    meas_[f] = std::atan2(prod_im_[f], prod_re_[f]);
+  }
+}
+
 double KalmanPhaseSanitizer::sanitize(const wifi::CsiMeasurement& m) {
   const std::size_t nsc = m.num_subcarriers();
   if (nsc == 0) return 0.0;
@@ -43,6 +63,7 @@ double KalmanPhaseSanitizer::sanitize(const wifi::CsiMeasurement& m) {
   const double dt = m.t - last_t_;
   const bool restart = !initialized_ || state_.size() != nsc || dt < 0.0 ||
                        dt > config_.max_coast_s;
+  fill_measurements(m, nsc);
   if (restart) {
     if (initialized_ && stats_ != nullptr) {
       stats_->kalman_state_resets.inc();
@@ -50,7 +71,7 @@ double KalmanPhaseSanitizer::sanitize(const wifi::CsiMeasurement& m) {
     state_.assign(nsc, 0.0);
     variance_.assign(nsc, config_.initial_variance_rad2);
     for (std::size_t f = 0; f < nsc; ++f) {
-      state_[f] = measurement(m, f);
+      state_[f] = meas_[f];
     }
     initialized_ = true;
   } else {
@@ -58,7 +79,7 @@ double KalmanPhaseSanitizer::sanitize(const wifi::CsiMeasurement& m) {
     const double r = config_.measurement_noise_rad2;
     for (std::size_t f = 0; f < nsc; ++f) {
       double p = variance_[f] + q;
-      const double z = measurement(m, f);
+      const double z = meas_[f];
       const double v = util::wrap_pi(z - state_[f]);
       const double s = p + r;
       if (config_.gate_sigma > 0.0 &&

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/sanitizer.h"
+#include "dsp/simd.h"
 
 namespace vihot::core {
 
@@ -71,12 +72,21 @@ class KalmanPhaseSanitizer final : public PhaseSanitizer {
   [[nodiscard]] double measurement(const wifi::CsiMeasurement& m,
                                    std::size_t f) const noexcept;
 
+  /// Fills meas_[0..nsc) with measurement(m, f) for every subcarrier —
+  /// the Eq. 3 path batches the conjugate products through the
+  /// dispatched SIMD kernel (bit-identical values; see dsp/simd.h), the
+  /// rx-null path stays per-subcarrier scalar.
+  void fill_measurements(const wifi::CsiMeasurement& m, std::size_t nsc);
+
   SanitizerConfig base_;
   KalmanSanitizerConfig config_;
   obs::TrackerStats* stats_ = nullptr;  ///< not owned; nullptr = off
 
   std::vector<double> state_;     ///< filtered phase per subcarrier
   std::vector<double> variance_;  ///< P per subcarrier
+  std::vector<double> meas_;      ///< per-frame measurement scratch
+  dsp::simd::AlignedVector prod_re_;  ///< conj-product kernel scratch
+  dsp::simd::AlignedVector prod_im_;  ///< conj-product kernel scratch
   double last_t_ = 0.0;
   bool initialized_ = false;
 };

@@ -3,10 +3,28 @@
 #include <complex>
 #include <cstring>
 
+#include "dsp/simd.h"
 #include "obs/sink.h"
 #include "util/angle.h"
 
 namespace vihot::core {
+
+namespace {
+
+/// Split re/im scratch for the dispatched conj_products kernel; one per
+/// thread so phase() stays const and thread-safe, with steady-state reuse
+/// allocating nothing.
+struct ConjScratch {
+  dsp::simd::AlignedVector re;
+  dsp::simd::AlignedVector im;
+};
+
+ConjScratch& tls_conj_scratch() noexcept {
+  thread_local ConjScratch scratch;
+  return scratch;
+}
+
+}  // namespace
 
 const char* to_string(SanitizerBackend backend) noexcept {
   switch (backend) {
@@ -90,9 +108,19 @@ double CsiSanitizer::phase(const wifi::CsiMeasurement& m) const noexcept {
         config_.single_subcarrier < nsc ? config_.single_subcarrier : 0;
     return std::arg(m.h[0][f] * std::conj(m.h[1][f]));
   }
+  // The element-wise products run through the dispatched kernel (split
+  // re/im, bit-identical to the std::complex multiply for the finite CSI
+  // values here); the circular-mean accumulation stays scalar in
+  // subcarrier order — reassociating it would break replay bit-identity.
+  ConjScratch& scratch = tls_conj_scratch();
+  scratch.re.resize(nsc);
+  scratch.im.resize(nsc);
+  dsp::simd::active().conj_products(m.h[0].data(), m.h[1].data(),
+                                    scratch.re.data(), scratch.im.data(),
+                                    nsc);
   std::complex<double> acc{0.0, 0.0};
   for (std::size_t f = 0; f < nsc; ++f) {
-    const std::complex<double> d = m.h[0][f] * std::conj(m.h[1][f]);
+    const std::complex<double> d{scratch.re[f], scratch.im[f]};
     const double mag = std::abs(d);
     if (mag > 0.0) acc += d / mag;
   }

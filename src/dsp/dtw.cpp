@@ -28,49 +28,58 @@ std::size_t dtw_band_cells(const DtwOptions& options, std::size_t n,
   return std::max<std::size_t>(std::max(width, slope_gap), 1);
 }
 
+void DtwBuffers::reset(std::size_t n, std::size_t m) {
+  const std::size_t cells = std::max(n, m) + 1;
+  // Round the lane stride up to a full 4-double group so every lane
+  // starts on a 32-byte boundary of the aligned block.
+  const std::size_t stride = (cells + 3) & ~std::size_t{3};
+  if (stride > stride_) {
+    // Growing changes where lane boundaries fall inside the block, so a
+    // full +infinity refill is required HERE — but only here. At steady
+    // state the kernels' all-infinity invariant (simd.h) means nothing
+    // needs refilling between calls; that is the banded-clearing fix.
+    stride_ = stride;
+    block_.assign(4 * stride_, kInf);
+  }
+  if (jlo_.size() < n + 1) {
+    jlo_.resize(n + 1);
+    jhi_.resize(n + 1);
+  }
+}
+
 double dtw_distance_buffered(std::span<const double> a,
                              std::span<const double> b,
                              const DtwOptions& options,
-                             std::vector<double>& prev_row,
-                             std::vector<double>& curr_row) {
+                             DtwBuffers& buffers) {
   const std::size_t n = a.size();
   const std::size_t m = b.size();
   if (n == 0 || m == 0) return kInf;
 
   const std::size_t band = dtw_band_cells(options, n, m);
-  prev_row.assign(m + 1, kInf);
-  curr_row.assign(m + 1, kInf);
-  prev_row[0] = 0.0;
+  buffers.reset(n, m);
 
+  // Per-row band columns: j near the diagonal i * m / n, widened by the
+  // band. band >= 1 and diag <= m guarantee a non-empty, nondecreasing
+  // span — the geometry the kernel's preconditions require.
+  std::size_t* j_lo = buffers.j_lo();
+  std::size_t* j_hi = buffers.j_hi();
   for (std::size_t i = 1; i <= n; ++i) {
-    std::fill(curr_row.begin(), curr_row.end(), kInf);
-    // Row band: j near the diagonal i * m / n.
     const auto diag =
         static_cast<std::size_t>(static_cast<double>(i) *
                                  static_cast<double>(m) /
                                  static_cast<double>(n));
-    const std::size_t j_lo = (diag > band) ? diag - band : 1;
-    const std::size_t j_hi = std::min(m, diag + band);
-    double row_min = kInf;
-    for (std::size_t j = std::max<std::size_t>(j_lo, 1); j <= j_hi; ++j) {
-      const double best_prev =
-          std::min({prev_row[j], prev_row[j - 1], curr_row[j - 1]});
-      if (best_prev == kInf) continue;
-      const double c = best_prev + local_cost(a[i - 1], b[j - 1]);
-      curr_row[j] = c;
-      row_min = std::min(row_min, c);
-    }
-    if (row_min > options.abandon_above) return kInf;
-    std::swap(prev_row, curr_row);
+    j_lo[i] = (diag > band) ? diag - band : 1;
+    j_hi[i] = std::min(m, diag + band);
   }
-  return prev_row[m];
+
+  return simd::active().dtw_banded(a.data(), n, b.data(), m, j_lo, j_hi,
+                                   options.abandon_above, buffers.lanes());
 }
 
 double dtw_distance(std::span<const double> a, std::span<const double> b,
                     const DtwOptions& options) {
-  std::vector<double> prev;
-  std::vector<double> curr;
-  return dtw_distance_buffered(a, b, options, prev, curr);
+  thread_local DtwBuffers buffers;
+  return dtw_distance_buffered(a, b, options, buffers);
 }
 
 double dtw_distance_normalized(std::span<const double> a,
@@ -147,15 +156,8 @@ DtwAlignment dtw_align(std::span<const double> a, std::span<const double> b,
 double dtw_lower_bound(std::span<const double> a,
                        std::span<const double> b) noexcept {
   if (a.empty() || b.empty()) return kInf;
-  // Endpoints must align in any warp path, so their local costs are a
-  // lower bound on the total.
-  double lb = local_cost(a.front(), b.front()) +
-              local_cost(a.back(), b.back());
-  // First/last cells count once each unless the series are length-1.
-  if (a.size() == 1 && b.size() == 1) {
-    lb = local_cost(a.front(), b.front());
-  }
-  return lb;
+  return dtw_endpoint_bound(a.front(), a.back(), b.front(), b.back(),
+                            a.size() == 1 && b.size() == 1);
 }
 
 }  // namespace vihot::dsp

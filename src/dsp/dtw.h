@@ -10,6 +10,10 @@
 //     Algorithm 1 evaluates thousands of candidate segments; abandoning
 //     hopeless ones keeps the matcher real-time),
 //   * optional warp-path extraction for diagnostics.
+//
+// The banded DP runs through the dispatched SIMD kernels (dsp/simd.h):
+// scalar and AVX2 paths are bit-identical by contract, so every variant
+// below returns the same bits regardless of which table is active.
 #pragma once
 
 #include <cstddef>
@@ -17,6 +21,8 @@
 #include <span>
 #include <utility>
 #include <vector>
+
+#include "dsp/simd.h"
 
 namespace vihot::dsp {
 
@@ -31,6 +37,37 @@ struct DtwOptions {
   double abandon_above = std::numeric_limits<double>::infinity();
 };
 
+/// Contiguous 32-byte-aligned scratch for the banded DTW kernel: four
+/// lanes of stride cells carved out of ONE allocation (simd::DtwLanes),
+/// plus the per-row band-geometry arrays the wrapper fills. Grows
+/// monotonically and relies on the kernels' all-infinity lane invariant
+/// (simd.h), so steady-state reuse across a scan of thousands of
+/// candidates is allocation-free AND refill-free — only the cells a
+/// kernel actually wrote are ever touched again.
+class DtwBuffers {
+ public:
+  /// Ensure capacity for an (n, m) problem: four +infinity lanes with
+  /// stride >= max(n, m) + 1 and geometry arrays of n + 1 entries.
+  void reset(std::size_t n, std::size_t m);
+
+  /// Lane views for the kernel call; valid until a growing reset().
+  [[nodiscard]] simd::DtwLanes lanes() noexcept {
+    double* base = block_.data();
+    return simd::DtwLanes{base, base + stride_, base + 2 * stride_,
+                          base + 3 * stride_, stride_};
+  }
+
+  /// Per-row band columns, indexed [1, n] (cell 0 unused).
+  [[nodiscard]] std::size_t* j_lo() noexcept { return jlo_.data(); }
+  [[nodiscard]] std::size_t* j_hi() noexcept { return jhi_.data(); }
+
+ private:
+  simd::AlignedVector block_;
+  std::vector<std::size_t> jlo_;
+  std::vector<std::size_t> jhi_;
+  std::size_t stride_ = 0;
+};
+
 /// DTW distance between `a` and `b` with squared-difference local cost.
 /// Returns +infinity when either input is empty, when the band makes the
 /// end cell unreachable, or when the evaluation was abandoned.
@@ -38,14 +75,13 @@ struct DtwOptions {
                                   std::span<const double> b,
                                   const DtwOptions& options = {});
 
-/// dtw_distance with caller-provided DP rows, so a scan evaluating
+/// dtw_distance with caller-provided DP scratch, so a scan evaluating
 /// thousands of candidates (dsp::find_best_match) allocates nothing per
 /// candidate. Bit-identical to dtw_distance: both run the same kernel.
 [[nodiscard]] double dtw_distance_buffered(std::span<const double> a,
                                            std::span<const double> b,
                                            const DtwOptions& options,
-                                           std::vector<double>& prev_row,
-                                           std::vector<double>& curr_row);
+                                           DtwBuffers& buffers);
 
 /// Sakoe-Chiba band half-width in cells that dtw_distance / dtw_align use
 /// for an (n, m) problem under `options` (the band is widened to at least
@@ -74,6 +110,22 @@ struct DtwAlignment {
 [[nodiscard]] DtwAlignment dtw_align(std::span<const double> a,
                                      std::span<const double> b,
                                      const DtwOptions& options = {});
+
+/// LB_Kim-style endpoint bound from raw endpoint values: the first and
+/// last elements of the two series must align in any warp path, so their
+/// local costs lower-bound the total. `singleton` collapses the bound to
+/// the single shared cell when BOTH series have length 1 (the endpoints
+/// coincide and must not be double-counted). This is THE stage-1 bound of
+/// the matcher cascade — series_match and dtw_lower_bound both call it,
+/// so the bound math exists exactly once.
+[[nodiscard]] inline double dtw_endpoint_bound(double a_front, double a_back,
+                                               double b_front, double b_back,
+                                               bool singleton) noexcept {
+  const double df = a_front - b_front;
+  const double db = a_back - b_back;
+  if (singleton) return df * df;
+  return df * df + db * db;
+}
 
 /// Cheap lower bound on the DTW distance (LB_Kim-style endpoint bound).
 /// Never exceeds the true DTW distance; used to skip candidates whose

@@ -129,9 +129,13 @@ std::vector<double> rolling_stddev(std::span<const double> xs,
                                    std::size_t window) {
   std::vector<double> out(xs.size(), 0.0);
   if (xs.empty() || window < 2) return out;
+  // Centered neighborhood like every other filter in this file (the
+  // historical implementation used a trailing window, out of step with
+  // the rest; see filters.h for the pinned edge semantics).
+  const std::size_t half = window / 2;
   for (std::size_t i = 0; i < xs.size(); ++i) {
-    const std::size_t lo = (i + 1 >= window) ? i + 1 - window : 0;
-    out[i] = util::stddev(xs.subspan(lo, i - lo + 1));
+    const auto [lo, hi] = neighborhood(i, half, xs.size());
+    out[i] = util::stddev(xs.subspan(lo, hi - lo + 1));
   }
   return out;
 }

@@ -41,8 +41,14 @@ struct HampelResult {
 /// First difference: out[i] = xs[i+1] - xs[i] (length n-1; empty if n < 2).
 [[nodiscard]] std::vector<double> diff(std::span<const double> xs);
 
-/// Rolling (windowed, trailing) standard deviation. out[i] covers samples
-/// (i - window, i]; the warm-up region uses the samples available so far.
+/// Rolling standard deviation over a CENTERED window, consistent with
+/// every other windowed filter in this file: out[i] covers the clamped
+/// neighborhood [i - window/2, i + window/2] within the series, so edge
+/// outputs (the first and last window/2 samples) use the shorter clamped
+/// neighborhood rather than a trailing warm-up. window < 2 returns
+/// zeros. (Historical note: this was a trailing window before the
+/// convention was unified; the edge behavior is pinned by
+/// FiltersTest.RollingStddevRampUpRegionPinned.)
 [[nodiscard]] std::vector<double> rolling_stddev(std::span<const double> xs,
                                                  std::size_t window);
 

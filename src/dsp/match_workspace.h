@@ -7,9 +7,10 @@
 //
 //   * prefix sums over the reference make any segment mean O(1);
 //   * the candidate scratch (effective segment, query envelope, DTW DP
-//     rows, hit list) lives in vectors that keep their capacity across
+//     scratch, hit list) lives in buffers that keep their capacity across
 //     candidates, scans, and estimates — the steady state allocates
-//     nothing.
+//     nothing. The double buffers are 32-byte aligned (simd.h) so the
+//     dispatched kernels stream them from vector-register boundaries.
 //
 // One workspace serves one scan at a time; distinct threads use distinct
 // workspaces (find_best_match keeps a thread_local one for callers that
@@ -19,6 +20,9 @@
 #include <cstddef>
 #include <span>
 #include <vector>
+
+#include "dsp/dtw.h"
+#include "dsp/simd.h"
 
 namespace vihot::dsp {
 
@@ -34,7 +38,10 @@ struct MatchHit {
 /// Appends-free prefix sums: out[k] = xs[0] + ... + xs[k-1], out[0] = 0,
 /// accumulated left to right. Both the fast and the reference matcher
 /// paths derive segment means from this exact accumulation, which keeps
-/// their floating-point results bit-identical.
+/// their floating-point results bit-identical. Deliberately NOT in the
+/// SIMD kernel table: a strict left-fold has a loop-carried dependency,
+/// and any lane-parallel formulation would reassociate the sum and break
+/// the bit contract (see DESIGN.md §5j).
 void build_prefix_sums(std::span<const double> xs, std::vector<double>& out);
 
 /// Scratch buffers for one segment scan (see file comment).
@@ -57,12 +64,11 @@ class MatchWorkspace {
   // Per-scan scratch. Members are cleared/overwritten by the scan; they
   // are public because the scan loop in series_match.cpp is the only
   // intended writer.
-  std::vector<double> query_eff;  ///< mean-centered query (when enabled)
-  std::vector<double> seg_eff;    ///< shift-adjusted candidate segment
-  std::vector<double> env_lo;     ///< per-column query envelope minimum
-  std::vector<double> env_hi;     ///< per-column query envelope maximum
-  std::vector<double> dtw_prev;   ///< DTW DP row
-  std::vector<double> dtw_curr;   ///< DTW DP row
+  simd::AlignedVector query_eff;  ///< mean-centered query (when enabled)
+  simd::AlignedVector seg_eff;    ///< shift-adjusted candidate segment
+  simd::AlignedVector env_lo;     ///< per-column query envelope minimum
+  simd::AlignedVector env_hi;     ///< per-column query envelope maximum
+  DtwBuffers dtw;                 ///< DTW DP rows + kernel lanes
   std::vector<MatchHit> hits;     ///< surviving candidates of the scan
 
  private:

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <vector>
 
+#include "dsp/simd.h"
+
 namespace vihot::dsp {
 
 namespace {
@@ -94,67 +96,6 @@ double retention_bar(const SeriesMatchOptions& opt,
          std::max(opt.runner_up_slack_abs, 0.0);
 }
 
-// Per-column min/max of the query over the rows the Sakoe-Chiba band
-// lets visit that column, mirroring the kernel's exact geometry via
-// dtw_band_cells. Every warp path visits every column at least once and
-// only through in-band cells, so
-//
-//   sum_j interval_cost(seg[j], [env_lo[j], env_hi[j]])
-//
-// is a valid lower bound on the raw DTW distance (LB_Keogh-style).
-// Built once per candidate length, amortized over all starts. Columns no
-// row can reach (cannot happen for the widened band, but handled) keep
-// lo = +inf / hi = -inf, which makes their interval cost infinite —
-// consistent with the kernel returning infinity for unreachable ends.
-void build_envelope(std::span<const double> q, std::size_t m,
-                    const DtwOptions& dtw, std::vector<double>& lo,
-                    std::vector<double>& hi) {
-  const std::size_t n = q.size();
-  const std::size_t band = dtw_band_cells(dtw, n, m);
-  lo.assign(m + 1, kInf);
-  hi.assign(m + 1, -kInf);
-  for (std::size_t i = 1; i <= n; ++i) {
-    const auto diag =
-        static_cast<std::size_t>(static_cast<double>(i) *
-                                 static_cast<double>(m) /
-                                 static_cast<double>(n));
-    const std::size_t j_lo =
-        std::max<std::size_t>((diag > band) ? diag - band : 1, 1);
-    const std::size_t j_hi = std::min(m, diag + band);
-    const double v = q[i - 1];
-    for (std::size_t j = j_lo; j <= j_hi; ++j) {
-      lo[j] = std::min(lo[j], v);
-      hi[j] = std::max(hi[j], v);
-    }
-  }
-}
-
-// Envelope lower bound on the RAW dtw distance of (query, seg), with
-// early exit once the partial sum already exceeds `stop_above`.
-double band_lower_bound(std::span<const double> seg,
-                        const std::vector<double>& lo,
-                        const std::vector<double>& hi,
-                        double stop_above) noexcept {
-  double acc = 0.0;
-  for (std::size_t j = 0; j < seg.size(); ++j) {
-    const double v = seg[j];
-    if (v < lo[j + 1]) {
-      const double d = lo[j + 1] - v;
-      acc += d * d;
-    } else if (v > hi[j + 1]) {
-      const double d = v - hi[j + 1];
-      acc += d * d;
-    }
-    if (acc > stop_above) return acc;
-  }
-  return acc;
-}
-
-double endpoint_cost(double a, double b) noexcept {
-  const double d = a - b;
-  return d * d;
-}
-
 // Everything a per-length scan task needs, shared across lengths (and
 // across worker threads in the parallel path — all referenced state is
 // either immutable for the call or atomic).
@@ -187,6 +128,7 @@ void scan_length(const ScanContext& ctx, std::size_t len,
 
   const double scale = static_cast<double>(q.size() + len);
   const std::vector<double>& prefix = *ctx.prefix;
+  const simd::KernelTable& kernels = simd::active();
   bool envelope_ready = false;
 
   for (std::size_t start = 0; start + len <= reference.size();
@@ -206,11 +148,12 @@ void scan_length(const ScanContext& ctx, std::size_t len,
     const double stop_raw = retention_bar(opt, best) * kBarSlack * scale;
 
     // Lower-bound cascade, cheapest first. Stage 1: endpoints align in
-    // every warp path (O(1)).
+    // every warp path (O(1)) — the shared dtw_endpoint_bound, the same
+    // implementation dtw_lower_bound exposes.
     if (opt.use_lower_bound) {
-      const double lb_end =
-          endpoint_cost(q.front(), reference[start] - shift) +
-          endpoint_cost(q.back(), reference[start + len - 1] - shift);
+      const double lb_end = dtw_endpoint_bound(
+          q.front(), q.back(), reference[start] - shift,
+          reference[start + len - 1] - shift, /*singleton=*/false);
       if (lb_end > stop_raw) {
         ++stats.lb_endpoint_pruned;
         continue;
@@ -223,9 +166,8 @@ void scan_length(const ScanContext& ctx, std::size_t len,
     std::span<const double> seg = reference.subspan(start, len);
     if (shift != 0.0) {
       scratch.seg_eff.resize(len);
-      for (std::size_t j = 0; j < len; ++j) {
-        scratch.seg_eff[j] = reference[start + j] - shift;
-      }
+      kernels.subtract_offset(reference.data() + start, shift,
+                              scratch.seg_eff.data(), len);
       seg = scratch.seg_eff;
     }
 
@@ -235,8 +177,9 @@ void scan_length(const ScanContext& ctx, std::size_t len,
         build_envelope(q, len, opt.dtw, scratch.env_lo, scratch.env_hi);
         envelope_ready = true;
       }
-      if (band_lower_bound(seg, scratch.env_lo, scratch.env_hi, stop_raw) >
-          stop_raw) {
+      if (kernels.band_lower_bound(seg.data(), scratch.env_lo.data() + 1,
+                                   scratch.env_hi.data() + 1, seg.size(),
+                                   stop_raw) > stop_raw) {
         ++stats.lb_band_pruned;
         continue;
       }
@@ -248,9 +191,7 @@ void scan_length(const ScanContext& ctx, std::size_t len,
     if (opt.use_early_abandon && stop_raw < dtw_opt.abandon_above) {
       dtw_opt.abandon_above = stop_raw;
     }
-    const double d_raw = dtw_distance_buffered(q, seg, dtw_opt,
-                                               scratch.dtw_prev,
-                                               scratch.dtw_curr);
+    const double d_raw = dtw_distance_buffered(q, seg, dtw_opt, scratch.dtw);
     if (d_raw == kInf) {
       ++stats.dtw_abandoned;
       continue;
@@ -333,6 +274,45 @@ SeriesMatch finalize_scan(std::vector<MatchHit>& hits,
 
 }  // namespace
 
+// Every warp path visits every column at least once and only through
+// in-band cells, so
+//
+//   sum_j interval_cost(seg[j], [env_lo[j], env_hi[j]])
+//
+// is a valid lower bound on the raw DTW distance (LB_Keogh-style).
+// Built once per candidate length, amortized over all starts; the
+// per-column min/max update runs through the dispatched kernel.
+void build_envelope(std::span<const double> q, std::size_t m,
+                    const DtwOptions& dtw, simd::AlignedVector& lo,
+                    simd::AlignedVector& hi) {
+  const std::size_t n = q.size();
+  const std::size_t band = dtw_band_cells(dtw, n, m);
+  const simd::KernelTable& kernels = simd::active();
+  lo.assign(m + 1, kInf);
+  hi.assign(m + 1, -kInf);
+  for (std::size_t i = 1; i <= n; ++i) {
+    const auto diag =
+        static_cast<std::size_t>(static_cast<double>(i) *
+                                 static_cast<double>(m) /
+                                 static_cast<double>(n));
+    const std::size_t j_lo =
+        std::max<std::size_t>((diag > band) ? diag - band : 1, 1);
+    const std::size_t j_hi = std::min(m, diag + band);
+    kernels.envelope_update(q[i - 1], lo.data(), hi.data(), j_lo, j_hi);
+  }
+}
+
+double band_lower_bound(std::span<const double> seg,
+                        const simd::AlignedVector& lo,
+                        const simd::AlignedVector& hi,
+                        double stop_above) noexcept {
+  // lo/hi are 1-based (m + 1 cells); the kernel works on the 0-based
+  // column view.
+  return simd::active().band_lower_bound(seg.data(), lo.data() + 1,
+                                         hi.data() + 1, seg.size(),
+                                         stop_above);
+}
+
 SeriesMatch find_best_match(std::span<const double> query,
                             std::span<const double> reference,
                             const SeriesMatchOptions& options,
@@ -346,9 +326,8 @@ SeriesMatch find_best_match(std::span<const double> query,
   std::span<const double> q = query;
   if (options.mean_center) {
     workspace.query_eff.resize(query.size());
-    for (std::size_t i = 0; i < query.size(); ++i) {
-      workspace.query_eff[i] = query[i] - qmean_raw;
-    }
+    simd::active().subtract_offset(query.data(), qmean_raw,
+                                   workspace.query_eff.data(), query.size());
     q = workspace.query_eff;
   }
 

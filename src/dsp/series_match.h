@@ -203,4 +203,23 @@ struct SeriesMatch {
     std::span<const double> query, std::span<const double> reference,
     const SeriesMatchOptions& options = {});
 
+/// (Exposed for the property tests.) Per-column min/max of the query over
+/// the rows the Sakoe-Chiba band lets visit that column, mirroring the
+/// DTW kernel's exact geometry via dtw_band_cells. lo/hi get m + 1 cells
+/// (1-based columns; cell 0 unused). Columns no row can reach keep
+/// lo = +inf / hi = -inf, making their interval cost infinite.
+void build_envelope(std::span<const double> q, std::size_t m,
+                    const DtwOptions& dtw, simd::AlignedVector& lo,
+                    simd::AlignedVector& hi);
+
+/// (Exposed for the property tests.) Envelope lower bound on the RAW DTW
+/// distance of (query, seg) against a build_envelope result, with blocked
+/// early exit once the partial sum exceeds `stop_above`. Guaranteed
+/// `<= dtw_distance(query, seg, dtw)` when the envelope was built for
+/// the same query/length/band geometry.
+[[nodiscard]] double band_lower_bound(std::span<const double> seg,
+                                      const simd::AlignedVector& lo,
+                                      const simd::AlignedVector& hi,
+                                      double stop_above) noexcept;
+
 }  // namespace vihot::dsp

@@ -1,0 +1,207 @@
+// Runtime-dispatched SIMD kernels for the matcher and sanitizer hot
+// paths (DESIGN.md §5j).
+//
+// The contract that makes dispatch safe is BIT-IDENTITY: every kernel
+// is specified as an exact sequence of rounded floating-point
+// operations per output element, and every implementation — the
+// portable scalar fallback and the AVX2 variant — executes that same
+// sequence. No reassociation, no FMA contraction, no per-lane
+// accumulation reshuffling. A kernel whose natural vectorization would
+// require reassociating a serial reduction (prefix sums, the circular
+// mean over subcarriers) is NOT dispatched here; it stays scalar by
+// design and the vector units only ever see the element-wise part.
+// That is what keeps the matcher-equivalence and replay-gate labels
+// byte-identical whichever implementation runs, and it is why the
+// dispatcher can be flipped at runtime (VIHOT_SIMD=off) without
+// versioning the golden corpus.
+//
+// Adding a kernel (the checklist DESIGN.md §5j spells out):
+//   1. write the scalar implementation as the bit-contract,
+//   2. add a function pointer to KernelTable and wire it into
+//      scalar_kernels() and the AVX2 table in simd_avx2.cpp,
+//   3. prove the AVX2 lanes replay the scalar operation sequence
+//      (memcmp test in tests/dsp/simd_kernels_test.cpp),
+//   4. route the call site through simd::active().
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace vihot::dsp::simd {
+
+/// Which implementation family a kernel table contains.
+enum class Level {
+  kScalar,  ///< portable fallback — the bit-contract itself
+  kAvx2,    ///< AVX2 (4 x double lanes), x86-64 only
+};
+
+[[nodiscard]] const char* to_string(Level level) noexcept;
+
+/// Minimal 32-byte-aligned allocator so kernel operands sit on vector
+/// register boundaries (AVX2 loads are issued unaligned-tolerant, but
+/// aligned rows keep split-line penalties out of the hot loop).
+template <typename T, std::size_t Alignment = 32>
+struct AlignedAllocator {
+  using value_type = T;
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{Alignment});
+  }
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// 32-byte-aligned double buffer; the element type of every per-candidate
+/// scratch span in MatchWorkspace / DtwBuffers.
+using AlignedVector = std::vector<double, AlignedAllocator<double>>;
+
+/// Scratch for the banded DTW kernel: four 32-byte-aligned double lanes
+/// of `stride` cells each, carved out of one allocation (dsp::DtwBuffers
+/// owns the block). INVARIANT between calls: every lane cell is
+/// +infinity — each kernel restores the cells it dirtied before
+/// returning (clearing only written spans, which is what keeps banded
+/// DTW O(band) per row instead of the historical full-row refill).
+/// How the lanes are used is implementation-private: the scalar kernel
+/// rolls two DP rows, the AVX2 kernel rolls three anti-diagonals plus a
+/// per-row minimum lane.
+struct DtwLanes {
+  double* lane0 = nullptr;
+  double* lane1 = nullptr;
+  double* lane2 = nullptr;
+  double* lane3 = nullptr;
+  std::size_t stride = 0;  ///< cells per lane; >= max(n, m) + 1
+};
+
+/// The dispatched kernels. One table per implementation family; all
+/// tables are immutable after construction and safe to share across
+/// threads. Inputs are required to be finite unless a kernel documents
+/// otherwise (DP rows and envelopes may carry +/-infinity sentinels).
+struct KernelTable {
+  Level level = Level::kScalar;
+
+  /// (a) One whole banded DTW evaluation (dtw_distance_buffered).
+  ///
+  /// The DP is the classic one: dp[0][0] = 0, every other boundary cell
+  /// +infinity, and for each row i in [1, n] and in-band column j in
+  /// [j_lo[i], j_hi[i]] (1-based, inclusive, j_lo[i] <= j_hi[i]):
+  ///
+  ///   dp[i][j] = min(dp[i-1][j-1], dp[i-1][j], dp[i][j-1])
+  ///              + (a[i-1] - b[j-1])^2
+  ///
+  /// i.e. one sub, one mul, an EXACT three-way min (min introduces no
+  /// rounding, so its association/evaluation order is free), and exactly
+  /// ONE rounded add — with `inf + finite == inf` covering unreachable
+  /// predecessors. If min over dp[i][j_lo[i]..j_hi[i]] of any row i,
+  /// taken in ascending i, exceeds abandon_above, the evaluation returns
+  /// +infinity; otherwise it returns dp[n][m]. Because every cell value
+  /// and every row minimum is a fixed expression over the inputs, the
+  /// result is bit-identical REGARDLESS of traversal order — which is
+  /// the freedom the implementations use: the scalar table rolls the DP
+  /// row by row (the loop-carried dp[i][j-1] recurrence fused into one
+  /// pass), while the AVX2 table walks anti-diagonals i + j = k, whose
+  /// cells are mutually independent and vectorize 4-wide with no FP
+  /// reassociation at all.
+  ///
+  /// Preconditions: n >= 1, m >= 1; j_lo/j_hi are indexed [1, n] with
+  /// 1 <= j_lo[i] <= j_hi[i] <= m and both nondecreasing in i (the
+  /// Sakoe-Chiba geometry dtw_band_cells yields); lanes.stride >=
+  /// max(n, m) + 1; every lane cell is +infinity on entry. The kernel
+  /// restores the all-infinity lane invariant before returning.
+  double (*dtw_banded)(const double* a, std::size_t n, const double* b,
+                       std::size_t m, const std::size_t* j_lo,
+                       const std::size_t* j_hi, double abandon_above,
+                       const DtwLanes& lanes) noexcept;
+
+  /// (b) LB_Keogh-style envelope lower bound with blocked early exit.
+  ///
+  /// acc starts at 0 and, in ascending j over [0, n), gains
+  ///   below = lo[j] - v;  d1 = below > 0 ? below : 0
+  ///   above = v - hi[j];  d2 = above > 0 ? above : 0
+  ///   acc  += d1*d1 + d2*d2
+  /// (per-element: two muls, one add between the squares, one add into
+  /// acc — in that order). The early-exit check `acc > stop_above`
+  /// happens once per 4-element block instead of per element; partial
+  /// sums of non-negative terms are monotone, so the caller's
+  /// `result > stop_above` decision is identical to a per-element exit,
+  /// and the no-exit path returns the same in-order full sum.
+  double (*band_lower_bound)(const double* seg, const double* lo,
+                             const double* hi, std::size_t n,
+                             double stop_above) noexcept;
+
+  /// (b) Envelope min/max update over one DP row's column span:
+  /// lo[j] = std::min(lo[j], v), hi[j] = std::max(hi[j], v) for j in
+  /// [j_lo, j_hi] inclusive. Implemented with compare+select (not
+  /// vminpd/vmaxpd) so the result matches std::min/std::max operand
+  /// selection bit-for-bit, including signed zeros.
+  void (*envelope_update)(double v, double* lo, double* hi,
+                          std::size_t j_lo, std::size_t j_hi) noexcept;
+
+  /// (c) Segment/query prep: dst[i] = src[i] - shift for i in [0, n).
+  /// Element-wise, one rounded subtract per output.
+  void (*subtract_offset)(const double* src, double shift, double* dst,
+                          std::size_t n) noexcept;
+
+  /// (d) Per-subcarrier conjugate products a[f] * conj(b[f]) into split
+  /// re/im arrays:
+  ///   re[f] = a_re*b_re + a_im*b_im
+  ///   im[f] = a_im*b_re - a_re*b_im
+  /// (two muls then one add/sub per component — exactly the main path
+  /// of the compiler's complex multiply for finite, non-NaN operands,
+  /// with conj(b)'s sign flip folded in exactly). The circular-mean
+  /// accumulation over f stays with the caller, in scan order.
+  void (*conj_products)(const std::complex<double>* a,
+                        const std::complex<double>* b, double* re,
+                        double* im, std::size_t n) noexcept;
+};
+
+/// The portable scalar table — the bit-contract every other table must
+/// reproduce.
+[[nodiscard]] const KernelTable& scalar_kernels() noexcept;
+
+/// The AVX2 table, or nullptr when unavailable (non-x86 build, compiler
+/// without -mavx2, or a CPU without AVX2 at runtime).
+[[nodiscard]] const KernelTable* avx2_kernels() noexcept;
+
+/// True when the running CPU supports AVX2 and the AVX2 table was
+/// compiled in.
+[[nodiscard]] bool avx2_supported() noexcept;
+
+/// The table hot paths should use. Resolved once per process:
+///   VIHOT_SIMD=off|scalar  -> scalar_kernels()
+///   VIHOT_SIMD=avx2        -> AVX2 if available, else scalar
+///   VIHOT_SIMD=auto|unset  -> AVX2 if available, else scalar
+/// Unrecognized values behave like `auto`. A force_kernels() override
+/// (tests/benches) takes precedence over the resolved table.
+[[nodiscard]] const KernelTable& active() noexcept;
+
+/// Level of the table active() currently returns.
+[[nodiscard]] Level active_level() noexcept;
+
+/// Test/bench hook: pin active() to a specific table (pass nullptr to
+/// restore the env/probe resolution). Not for production call sites.
+void force_kernels(const KernelTable* table) noexcept;
+
+/// RAII guard around force_kernels for tests.
+class ForcedKernels {
+ public:
+  explicit ForcedKernels(const KernelTable& table) { force_kernels(&table); }
+  ~ForcedKernels() { force_kernels(nullptr); }
+  ForcedKernels(const ForcedKernels&) = delete;
+  ForcedKernels& operator=(const ForcedKernels&) = delete;
+};
+
+}  // namespace vihot::dsp::simd

@@ -1,0 +1,281 @@
+// AVX2 implementations of the dispatched kernels (dsp/simd.h).
+//
+// This translation unit is the ONLY one compiled with -mavx2 (see
+// src/dsp/CMakeLists.txt), so AVX2 instructions cannot leak into code
+// that runs before the runtime CPU probe. Every loop below replays the
+// scalar contract's per-element operation sequence on 4-wide lanes —
+// explicit vsubpd/vmulpd/vaddpd, never FMA — and finishes the remainder
+// with the exact scalar helpers from simd_impl.h, so the output is
+// bit-identical to scalar_kernels() on any input.
+#include "dsp/simd.h"
+
+#if VIHOT_HAVE_AVX2_TU
+
+#include <immintrin.h>
+
+#include "dsp/simd_impl.h"
+
+namespace vihot::dsp::simd {
+
+namespace {
+
+using detail::kInf;
+
+// std::min(a, b) selects b only when b < a; equal (and NaN) keep a.
+// Compare+blend reproduces that operand selection exactly — including
+// signed zeros, where vminpd's "return the second operand" rule would
+// differ from std::min by a sign bit.
+inline __m256d min_like_std(__m256d a, __m256d b) noexcept {
+  const __m256d take_b = _mm256_cmp_pd(b, a, _CMP_LT_OQ);
+  return _mm256_blendv_pd(a, b, take_b);
+}
+
+inline __m256d max_like_std(__m256d a, __m256d b) noexcept {
+  const __m256d take_b = _mm256_cmp_pd(a, b, _CMP_LT_OQ);
+  return _mm256_blendv_pd(a, b, take_b);
+}
+
+// Anti-diagonal (wavefront) banded DP. Cells on a diagonal i + j = k
+// depend only on diagonals k-1 and k-2, so they are mutually
+// independent and vectorize 4-wide with NO floating-point
+// reassociation: every lane computes exactly
+//   min(min(up, ul), left) + (a[i-1] - b[j-1])^2
+// — the same single rounded add per cell as the scalar row-major
+// kernel, hence bit-identical output (simd.h documents why traversal
+// order is free). Lanes are indexed by row i: lane0/1/2 rotate through
+// the three live diagonals, lane3 accumulates per-row minima for the
+// early-abandon check, which fires for a row once its last diagonal
+// has been processed — the same ascending-row decision sequence as the
+// scalar kernel.
+double avx2_dtw_banded(const double* a, std::size_t n, const double* b,
+                       std::size_t m, const std::size_t* j_lo,
+                       const std::size_t* j_hi, double abandon_above,
+                       const DtwLanes& lanes) noexcept {
+  // Two regimes favor the row-major order; both paths satisfy the same
+  // exact-operation contract, so which one runs is invisible in the
+  // output bits.
+  //  * Small problems under a finite abandon bar (the matcher's regime:
+  //    ~21-sample queries with best-so-far abandoning): row-major stops
+  //    dead at the abandoned row, while the wavefront has already
+  //    computed up to a band-width of diagonals past it.
+  //  * Very narrow bands: the wavefront's per-diagonal interval is only
+  //    about a band-width long, so sub-vector-width intervals leave the
+  //    4-wide loop idle while doubling the loop-bookkeeping passes.
+  if (abandon_above < kInf && std::min(n, m) < 64) {
+    return detail::dtw_banded_rowmajor(a, n, b, m, j_lo, j_hi,
+                                       abandon_above, lanes);
+  }
+  bool wide_enough = false;
+  for (std::size_t i = 1; i <= n; ++i) {
+    if (j_hi[i] - j_lo[i] + 1 >= 12) {  // exits on row ~1 for wide bands
+      wide_enough = true;
+      break;
+    }
+  }
+  if (!wide_enough) {
+    return detail::dtw_banded_rowmajor(a, n, b, m, j_lo, j_hi,
+                                       abandon_above, lanes);
+  }
+  struct Diag {
+    double* ptr;
+    std::size_t lo, hi;  ///< written row-index span; empty when lo > hi
+  };
+  Diag km2{lanes.lane0, 0, 0};  // diagonal k-2; starts as {dp[0][0]}
+  Diag km1{lanes.lane1, 1, 0};  // diagonal k-1; pristine (all +inf)
+  Diag cur{lanes.lane2, 1, 0};  // diagonal k
+  double* rmin = lanes.lane3;   // per-row minimum accumulator (+inf = empty)
+  lanes.lane0[0] = 0.0;         // dp[0][0] seed
+
+  // The band columns are nondecreasing in i, so the rows intersecting a
+  // diagonal form one contiguous interval [p_min, p_max] and both ends
+  // advance monotonically with k — amortized O(1) per diagonal.
+  std::size_t p_min = 1;  // smallest i with i + j_hi[i] >= k
+  std::size_t p_max = 0;  // largest  i with i + j_lo[i] <= k
+  std::size_t rdone = 0;  // rows whose minima have been abandon-checked
+  std::size_t max_i = 0;  // high-water row: the dirty extent of rmin
+  double result = kInf;
+  bool abandoned = false;
+
+  for (std::size_t k = 2; k <= n + m; ++k) {
+    // Re-infinity the span this lane carries from two diagonals ago.
+    if (cur.lo <= cur.hi) {
+      std::fill(cur.ptr + cur.lo, cur.ptr + cur.hi + 1, kInf);
+    }
+    while (p_min <= n && p_min + j_hi[p_min] < k) ++p_min;
+    while (p_max < n && p_max + 1 + j_lo[p_max + 1] <= k) ++p_max;
+    const std::size_t i_lo = p_min;
+    const std::size_t i_hi = p_max;
+    if (i_lo <= i_hi) {
+      std::size_t i = i_lo;
+      for (; i + 3 <= i_hi; i += 4) {
+        const __m256d up = _mm256_loadu_pd(km1.ptr + i - 1);
+        const __m256d left = _mm256_loadu_pd(km1.ptr + i);
+        const __m256d ul = _mm256_loadu_pd(km2.ptr + i - 1);
+        const __m256d av = _mm256_loadu_pd(a + i - 1);
+        // b runs backwards along a diagonal (j = k - i): load the block
+        // ending at b[k - i - 1] and reverse the lanes.
+        const __m256d brev = _mm256_loadu_pd(b + (k - i - 4));
+        const __m256d bv = _mm256_permute4x64_pd(brev, 0b00011011);
+        const __m256d d = _mm256_sub_pd(av, bv);
+        const __m256d c = _mm256_mul_pd(d, d);
+        // DP cells hold only non-negative values and +inf — no signed
+        // zeros, no NaN — so plain vminpd matches std::min bit-for-bit.
+        const __m256d e = _mm256_min_pd(_mm256_min_pd(up, ul), left);
+        const __m256d v = _mm256_add_pd(e, c);
+        _mm256_storeu_pd(cur.ptr + i, v);
+        const __m256d rm = _mm256_loadu_pd(rmin + i);
+        _mm256_storeu_pd(rmin + i, _mm256_min_pd(rm, v));
+      }
+      for (; i <= i_hi; ++i) {
+        const double v =
+            detail::dtw_cell(a[i - 1], b[k - i - 1], km1.ptr[i - 1],
+                             km1.ptr[i], km2.ptr[i - 1]);
+        cur.ptr[i] = v;
+        rmin[i] = std::min(rmin[i], v);
+      }
+      cur.lo = i_lo;
+      cur.hi = i_hi;
+      max_i = std::max(max_i, i_hi);
+    } else {
+      cur.lo = 1;
+      cur.hi = 0;
+    }
+    // Abandon rows in ascending order as their last diagonal completes.
+    while (rdone < n && rdone + 1 + j_hi[rdone + 1] <= k) {
+      ++rdone;
+      if (rmin[rdone] > abandon_above) {
+        abandoned = true;
+        break;
+      }
+    }
+    if (abandoned) break;
+    if (k == n + m) result = cur.ptr[n];
+    const Diag freed = km2;
+    km2 = km1;
+    km1 = cur;
+    cur = freed;
+  }
+
+  // Restore the all-infinity lane invariant: the three live diagonal
+  // spans, the touched prefix of the row-minimum lane, and the seed.
+  const Diag live[3] = {km2, km1, cur};
+  for (const Diag& d : live) {
+    if (d.lo <= d.hi) std::fill(d.ptr + d.lo, d.ptr + d.hi + 1, kInf);
+  }
+  if (max_i >= 1) std::fill(rmin + 1, rmin + max_i + 1, kInf);
+  lanes.lane0[0] = kInf;
+  return result;
+}
+
+double avx2_band_lower_bound(const double* seg, const double* lo,
+                             const double* hi, std::size_t n,
+                             double stop_above) noexcept {
+  const __m256d zero = _mm256_setzero_pd();
+  double acc = 0.0;
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256d v = _mm256_loadu_pd(seg + j);
+    const __m256d lov = _mm256_loadu_pd(lo + j);
+    const __m256d hiv = _mm256_loadu_pd(hi + j);
+    // d1 = max(lo - v, +0), d2 = max(v - hi, +0): vmaxpd returns the
+    // second operand on equality, so a -0.0 difference clamps to +0.0 —
+    // matching the scalar contract's `x > 0 ? x : 0.0` exactly.
+    const __m256d d1 = _mm256_max_pd(_mm256_sub_pd(lov, v), zero);
+    const __m256d d2 = _mm256_max_pd(_mm256_sub_pd(v, hiv), zero);
+    const __m256d c =
+        _mm256_add_pd(_mm256_mul_pd(d1, d1), _mm256_mul_pd(d2, d2));
+    // Accumulate the block in ascending-j scan order (the scalar
+    // contract): extract lanes, four sequential adds.
+    alignas(32) double lane[4];
+    _mm256_store_pd(lane, c);
+    acc += lane[0];
+    acc += lane[1];
+    acc += lane[2];
+    acc += lane[3];
+    if (acc > stop_above) return acc;
+  }
+  while (j < n) {
+    const std::size_t block_end = n;
+    for (; j < block_end; ++j) {
+      acc += detail::band_cost_cell(seg[j], lo[j], hi[j]);
+    }
+    if (acc > stop_above) return acc;
+  }
+  return acc;
+}
+
+void avx2_envelope_update(double v, double* lo, double* hi, std::size_t j_lo,
+                          std::size_t j_hi) noexcept {
+  const __m256d vv = _mm256_set1_pd(v);
+  std::size_t j = j_lo;
+  for (; j + 4 <= j_hi + 1; j += 4) {
+    _mm256_storeu_pd(lo + j, min_like_std(_mm256_loadu_pd(lo + j), vv));
+    _mm256_storeu_pd(hi + j, max_like_std(_mm256_loadu_pd(hi + j), vv));
+  }
+  for (; j <= j_hi; ++j) {
+    lo[j] = std::min(lo[j], v);
+    hi[j] = std::max(hi[j], v);
+  }
+}
+
+void avx2_subtract_offset(const double* src, double shift, double* dst,
+                          std::size_t n) noexcept {
+  const __m256d vshift = _mm256_set1_pd(shift);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(dst + i,
+                     _mm256_sub_pd(_mm256_loadu_pd(src + i), vshift));
+  }
+  for (; i < n; ++i) {
+    dst[i] = src[i] - shift;
+  }
+}
+
+void avx2_conj_products(const std::complex<double>* a,
+                        const std::complex<double>* b, double* re,
+                        double* im, std::size_t n) noexcept {
+  const auto* pa = reinterpret_cast<const double*>(a);
+  const auto* pb = reinterpret_cast<const double*>(b);
+  std::size_t f = 0;
+  for (; f + 4 <= n; f += 4) {
+    // Two registers of interleaved (re, im) pairs -> unpack into
+    // per-lane re/im vectors in (0, 2, 1, 3) order; the order is
+    // consistent across all element-wise ops, and a final permute
+    // restores memory order before the store.
+    const __m256d a01 = _mm256_loadu_pd(pa + 2 * f);
+    const __m256d a23 = _mm256_loadu_pd(pa + 2 * f + 4);
+    const __m256d b01 = _mm256_loadu_pd(pb + 2 * f);
+    const __m256d b23 = _mm256_loadu_pd(pb + 2 * f + 4);
+    const __m256d ar = _mm256_unpacklo_pd(a01, a23);
+    const __m256d aim = _mm256_unpackhi_pd(a01, a23);
+    const __m256d br = _mm256_unpacklo_pd(b01, b23);
+    const __m256d bim = _mm256_unpackhi_pd(b01, b23);
+    const __m256d vre =
+        _mm256_add_pd(_mm256_mul_pd(ar, br), _mm256_mul_pd(aim, bim));
+    const __m256d vim =
+        _mm256_sub_pd(_mm256_mul_pd(aim, br), _mm256_mul_pd(ar, bim));
+    _mm256_storeu_pd(re + f, _mm256_permute4x64_pd(vre, 0b11011000));
+    _mm256_storeu_pd(im + f, _mm256_permute4x64_pd(vim, 0b11011000));
+  }
+  for (; f < n; ++f) {
+    const double ar = a[f].real();
+    const double ai = a[f].imag();
+    const double br = b[f].real();
+    const double bi = b[f].imag();
+    re[f] = ar * br + ai * bi;
+    im[f] = ai * br - ar * bi;
+  }
+}
+
+constexpr KernelTable kAvx2Table{
+    Level::kAvx2,         avx2_dtw_banded,      avx2_band_lower_bound,
+    avx2_envelope_update, avx2_subtract_offset, avx2_conj_products,
+};
+
+}  // namespace
+
+const KernelTable* avx2_kernels() noexcept { return &kAvx2Table; }
+
+}  // namespace vihot::dsp::simd
+
+#endif  // VIHOT_HAVE_AVX2_TU

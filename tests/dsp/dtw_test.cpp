@@ -217,13 +217,89 @@ TEST(DtwTest, BufferedVariantIsBitIdentical) {
   const auto b = random_series(44, 8);
   DtwOptions opt;
   opt.band_fraction = 0.25;
-  std::vector<double> prev;
-  std::vector<double> curr;
-  EXPECT_EQ(dtw_distance_buffered(a, b, opt, prev, curr),
+  DtwBuffers buffers;
+  EXPECT_EQ(dtw_distance_buffered(a, b, opt, buffers),
             dtw_distance(a, b, opt));
   // Reused (dirty) buffers must not change the result.
-  EXPECT_EQ(dtw_distance_buffered(b, a, opt, prev, curr),
+  EXPECT_EQ(dtw_distance_buffered(b, a, opt, buffers),
             dtw_distance(b, a, opt));
+}
+
+// The pre-fix banded kernel: full-row std::fill per DP row, three-way
+// min-then-add per cell. The span-clearing kernels (scalar row-major
+// and AVX2 anti-diagonal alike) must reproduce it bit-for-bit — this is
+// the regression gate for the "clear only written spans" fix.
+double banded_reference(const std::vector<double>& a,
+                        const std::vector<double>& b,
+                        const DtwOptions& options) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  if (n == 0 || m == 0) return kInf;
+  const std::size_t band = dtw_band_cells(options, n, m);
+  std::vector<double> prev(m + 1, kInf);
+  std::vector<double> curr(m + 1, kInf);
+  prev[0] = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    std::fill(curr.begin(), curr.end(), kInf);
+    const auto diag = static_cast<std::size_t>(
+        static_cast<double>(i) * static_cast<double>(m) /
+        static_cast<double>(n));
+    const std::size_t j_lo = (diag > band) ? diag - band : 1;
+    const std::size_t j_hi = std::min(m, diag + band);
+    double row_min = kInf;
+    for (std::size_t j = std::max<std::size_t>(j_lo, 1); j <= j_hi; ++j) {
+      const double best_prev =
+          std::min({prev[j], prev[j - 1], curr[j - 1]});
+      if (best_prev == kInf) continue;
+      const double d = a[i - 1] - b[j - 1];
+      curr[j] = best_prev + d * d;
+      row_min = std::min(row_min, curr[j]);
+    }
+    if (row_min > options.abandon_above) return kInf;
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+// Property: the span-clearing kernel matches the historical full-clear
+// kernel exactly, across band widths, shapes, and dirty buffer reuse
+// (shrinking m after a wider problem is what exposes stale cells).
+TEST(DtwBandedClearProperty, SpanClearingMatchesFullClearReference) {
+  const std::size_t sizes[][2] = {{1, 1},  {1, 17}, {17, 1},  {2, 2},
+                                  {40, 8}, {8, 40}, {64, 64}, {80, 30}};
+  DtwBuffers buffers;  // shared across ALL cases: stale spans everywhere
+  for (const double frac : {0.0, 0.05, 0.3, 1.0}) {
+    DtwOptions opt;
+    opt.band_fraction = frac;
+    for (const auto& s : sizes) {
+      for (std::uint32_t seed = 1; seed <= 3; ++seed) {
+        const auto a = random_series(s[0], seed);
+        const auto b = random_series(s[1], seed + 100);
+        EXPECT_EQ(dtw_distance_buffered(a, b, opt, buffers),
+                  banded_reference(a, b, opt))
+            << "frac=" << frac << " n=" << s[0] << " m=" << s[1]
+            << " seed=" << seed;
+      }
+    }
+  }
+}
+
+// Abandoning mid-way leaves buffers dirty in a different pattern than a
+// completed run; the next call must still be exact.
+TEST(DtwBandedClearProperty, AbandonedRunDoesNotPoisonBuffers) {
+  const auto a = random_series(48, 3);
+  auto far = a;
+  for (double& v : far) v += 3.0;
+  DtwOptions opt;
+  opt.band_fraction = 0.1;
+  opt.abandon_above = 1.0;
+  DtwBuffers buffers;
+  EXPECT_EQ(dtw_distance_buffered(a, far, opt, buffers), kInf);
+  DtwOptions open;
+  open.band_fraction = 0.1;
+  const auto b = random_series(32, 4);
+  EXPECT_EQ(dtw_distance_buffered(a, b, open, buffers),
+            banded_reference(a, b, open));
 }
 
 TEST(DtwTest, LengthOneAgainstLongerSumsAllCosts) {

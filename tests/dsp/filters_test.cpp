@@ -106,6 +106,33 @@ TEST(FiltersTest, DiffBasics) {
   EXPECT_TRUE(diff(std::vector<double>{1.0}).empty());
 }
 
+// Pins the edge ("ramp-up") semantics: the window is CENTERED and the
+// first/last window/2 outputs use the clamped shorter neighborhood —
+// not a trailing warm-up. A linear ramp makes every expected value
+// closed-form: a centered run of k consecutive integers has sample
+// stddev sqrt(sum of squared offsets / (k - 1)).
+TEST(FiltersTest, RollingStddevRampUpRegionPinned) {
+  std::vector<double> xs(10);
+  for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = static_cast<double>(i);
+  const auto out = rolling_stddev(xs, 5);  // half = 2
+  ASSERT_EQ(out.size(), xs.size());
+  const double sd3 = 1.0;                  // {a, a+1, a+2}
+  const double sd4 = std::sqrt(5.0 / 3.0); // {a, .., a+3}
+  const double sd5 = std::sqrt(2.5);       // {a, .., a+4}
+  EXPECT_DOUBLE_EQ(out[0], sd3);  // clamped to [0, 2]
+  EXPECT_DOUBLE_EQ(out[1], sd4);  // clamped to [0, 3]
+  for (std::size_t i = 2; i + 2 < xs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i], sd5) << "i=" << i;  // full [i-2, i+2]
+  }
+  EXPECT_DOUBLE_EQ(out[8], sd4);  // clamped to [6, 9]
+  EXPECT_DOUBLE_EQ(out[9], sd3);  // clamped to [7, 9]
+}
+
+TEST(FiltersTest, RollingStddevSmallWindowReturnsZeros) {
+  const std::vector<double> xs = {1.0, 7.0, -3.0};
+  for (const double v : rolling_stddev(xs, 1)) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
 TEST(FiltersTest, RollingStddevDetectsBurst) {
   std::vector<double> xs(40, 1.0);
   for (int i = 20; i < 30; ++i) xs[static_cast<std::size_t>(i)] =

@@ -4,8 +4,11 @@
 # Legs (in default order): the matcher-equivalence gate proves the
 # pruned segment-matcher fast path is bit-identical to the naive
 # reference before anything else runs (plus a bench_dtw_micro smoke
-# run); the asan and tsan presets build and run the full suite under
-# each sanitizer (the tsan leg keeps TrackerEngine / WorkerPool /
+# run); the scalar leg re-runs the matcher-equivalence + replay-gate
+# labels and the corpus verify with VIHOT_SIMD=off, proving the
+# dispatcher's portable scalar kernels reproduce the exact same bits as
+# whatever SIMD table the host resolves to; the asan and tsan presets
+# build and run the full suite under each sanitizer (the tsan leg keeps TrackerEngine / WorkerPool /
 # ingest rings honest — engine_tests exercises concurrent producers,
 # session churn and batch ticks, and the fleet label re-proves the
 # sharded FleetRouter tier under the same load); the release preset
@@ -33,8 +36,8 @@ set -uo pipefail
 
 cd "$(dirname "$0")/.."
 
-all_legs=(matcher replay asan tsan release)
-known_legs=(matcher replay default asan tsan release)
+all_legs=(matcher scalar replay asan tsan release)
+known_legs=(matcher scalar replay default asan tsan release)
 
 if [ "${1:-}" = "--list" ]; then
   printf '%s\n' "${known_legs[@]}"
@@ -85,6 +88,32 @@ run_leg() {
       run_ctest matcher-equivalence matcher-gate || return 1
       echo "== ${leg}: bench smoke =="
       ./build/bench/bench_dtw_micro --benchmark_filter=SeriesMatch
+      ;;
+    scalar)
+      # Forced-scalar dispatch: VIHOT_SIMD=off makes dsp::simd::active()
+      # resolve to the portable scalar table no matter what the CPU
+      # supports. The matcher-equivalence and replay-gate labels plus
+      # the golden-corpus verify must produce byte-identical results —
+      # the bit-identity contract of DESIGN.md §5j, checked from the
+      # other side (SIMD hosts prove scalar == AVX2; this leg keeps the
+      # scalar path itself green so non-x86 builds never drift).
+      configure_build default || return 1
+      echo "== ${leg}: equivalence tests (VIHOT_SIMD=off) =="
+      VIHOT_SIMD=off run_ctest matcher-equivalence scalar-matcher-gate \
+        || return 1
+      echo "== ${leg}: replay-gate tests (VIHOT_SIMD=off) =="
+      VIHOT_SIMD=off run_ctest replay-gate scalar-replay-gate || return 1
+      echo "== ${leg}: corpus verify (VIHOT_SIMD=off) =="
+      mkdir -p build/replay-reports
+      local scalar_rc=0
+      local slog sname
+      for slog in tests/corpus/*.vrlog; do
+        sname="$(basename "${slog}" .vrlog)"
+        VIHOT_SIMD=off ./build/tools/vihot_replay verify "${slog}" \
+          --report "build/replay-reports/scalar-${sname}.txt" \
+          || scalar_rc=1
+      done
+      return "${scalar_rc}"
       ;;
     default)
       configure_build default || return 1
