@@ -1,0 +1,430 @@
+#include "daemon/loadgen.h"
+
+#include <bit>
+#include <chrono>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace vihot::daemon {
+
+namespace {
+
+using replay::ChunkType;
+using replay::ChunkView;
+using replay::Cursor;
+
+/// Interned profile table built from the log's kProfile chunks, keyed
+/// by the same content hash kSessionStart references.
+using ProfileTable = std::unordered_map<std::uint32_t, core::CsiProfile>;
+
+bool build_profile_table(const replay::LoadedLog& log, ProfileTable* table,
+                         std::string* error) {
+  for (const ChunkView& chunk : log.chunks()) {
+    if (chunk.type != ChunkType::kProfile) continue;
+    Cursor in(chunk.payload, chunk.size);
+    core::CsiProfile profile;
+    if (!replay::decode_profile(in, &profile) || !in.exhausted()) {
+      *error = "malformed profile chunk in log";
+      return false;
+    }
+    (*table)[replay::crc32(chunk.payload, chunk.size)] = std::move(profile);
+  }
+  return true;
+}
+
+/// Truncated valid frame + abrupt close: the chaos disconnect leaves
+/// the daemon holding a half-assembled frame, which its parser must
+/// simply discard with the connection.
+void disconnect_mid_frame(Client& client) {
+  std::vector<unsigned char> payload;
+  replay::put_f64(payload, 0.0);
+  std::vector<unsigned char> bytes;
+  append_frame(bytes, MsgType::kTick, payload);
+  (void)client.send_raw(bytes.data(), bytes.size() / 2);
+  client.close();
+}
+
+}  // namespace
+
+DriveStats drive_replica(const replay::LoadedLog& log,
+                         const LoadgenOptions& options, double delta,
+                         const std::atomic<bool>* stop) {
+  DriveStats st;
+  if (!log.ok()) {
+    st.error = "bad log: " + log.error();
+    return st;
+  }
+  Client feeder =
+      Client::connect(options.socket_path, Role::kFeeder, options.timeout_ms);
+  if (!feeder.ok()) {
+    st.error = feeder.error();
+    return st;
+  }
+  ProfileTable profiles;
+  if (!build_profile_table(log, &profiles, &st.error)) return st;
+
+  std::unordered_set<std::uint64_t> open;
+  std::uint64_t events = 0;
+  const auto chaos_due = [&]() {
+    return options.disconnect_after != 0 &&
+           ++events >= options.disconnect_after;
+  };
+  const auto fail = [&](std::string msg) {
+    st.error = std::move(msg);
+    return st;
+  };
+
+  for (const ChunkView& chunk : log.chunks()) {
+    if (stop != nullptr && stop->load(std::memory_order_acquire)) break;
+    Cursor in(chunk.payload, chunk.size);
+    switch (chunk.type) {
+      case ChunkType::kHeader:
+      case ChunkType::kFooter:
+      case ChunkType::kProfile:
+      case ChunkType::kTickEnd:
+        break;
+      case ChunkType::kSessionStart: {
+        const std::uint64_t rec_id = in.get_u64();
+        const std::uint32_t hash = in.get_u32();
+        core::TrackerConfig cfg;
+        if (!replay::decode_tracker_config(in, &cfg) || !in.exhausted()) {
+          return fail("malformed session-start chunk");
+        }
+        const auto pit = profiles.find(hash);
+        if (pit == profiles.end()) {
+          return fail("session references unknown profile hash");
+        }
+        std::uint64_t gid = 0;
+        if (!feeder.open_session(rec_id, pit->second, cfg, &gid,
+                                 options.timeout_ms)) {
+          return fail("open_session: " + feeder.error());
+        }
+        open.insert(rec_id);
+        st.sessions_opened += 1;
+        if (chaos_due()) {
+          disconnect_mid_frame(feeder);
+          st.disconnected = true;
+          st.ok = true;
+          return st;
+        }
+        break;
+      }
+      case ChunkType::kSessionEnd: {
+        const std::uint64_t rec_id = in.get_u64();
+        if (!in.exhausted()) return fail("malformed session-end chunk");
+        if (!feeder.close_session(rec_id, options.timeout_ms)) {
+          return fail("close_session: " + feeder.error());
+        }
+        open.erase(rec_id);
+        st.sessions_closed += 1;
+        break;
+      }
+      case ChunkType::kCsi: {
+        std::uint64_t rec_id = 0;
+        wifi::CsiMeasurement m;
+        bool offered = false;
+        if (!replay::decode_csi_payload(in, &rec_id, &m, &offered) ||
+            !in.exhausted()) {
+          return fail("malformed CSI chunk");
+        }
+        m.t += delta;
+        if (!feeder.send_csi(rec_id, m)) {
+          return fail("send_csi: " + feeder.error());
+        }
+        st.feeds_sent += 1;
+        break;
+      }
+      case ChunkType::kImu: {
+        std::uint64_t rec_id = 0;
+        imu::ImuSample s;
+        bool offered = false;
+        if (!replay::decode_imu_payload(in, &rec_id, &s, &offered) ||
+            !in.exhausted()) {
+          return fail("malformed IMU chunk");
+        }
+        s.t += delta;
+        if (!feeder.send_imu(rec_id, s)) {
+          return fail("send_imu: " + feeder.error());
+        }
+        st.feeds_sent += 1;
+        break;
+      }
+      case ChunkType::kCamera: {
+        std::uint64_t rec_id = 0;
+        camera::CameraTracker::Estimate e;
+        if (!replay::decode_camera_payload(in, &rec_id, &e) ||
+            !in.exhausted()) {
+          return fail("malformed camera chunk");
+        }
+        e.t += delta;
+        if (!feeder.send_camera(rec_id, e)) {
+          return fail("send_camera: " + feeder.error());
+        }
+        st.feeds_sent += 1;
+        break;
+      }
+      case ChunkType::kTickBegin: {
+        const double t = in.get_f64();
+        if (!in.exhausted()) return fail("malformed tick-begin chunk");
+        if (!feeder.send_tick(t + delta)) {
+          return fail("send_tick: " + feeder.error());
+        }
+        st.ticks_sent += 1;
+        if (chaos_due()) {
+          disconnect_mid_frame(feeder);
+          st.disconnected = true;
+          st.ok = true;
+          return st;
+        }
+        break;
+      }
+    }
+  }
+  // Clean exit: explicitly close what the recording left open, so the
+  // daemon's sessions_orphaned counter stays an anomaly signal.
+  for (const std::uint64_t sid : open) {
+    if (!feeder.close_session(sid, options.timeout_ms)) {
+      return fail("final close_session: " + feeder.error());
+    }
+    st.sessions_closed += 1;
+  }
+  st.ok = true;
+  return st;
+}
+
+VerifyStats verify_against_daemon(const replay::LoadedLog& log,
+                                  const LoadgenOptions& options) {
+  VerifyStats st;
+  if (!log.ok()) {
+    st.error = "bad log: " + log.error();
+    return st;
+  }
+  Client sub = Client::connect(options.socket_path, Role::kSubscriber,
+                               options.timeout_ms);
+  if (!sub.ok()) {
+    st.error = "subscriber: " + sub.error();
+    return st;
+  }
+  SubscribeRequest req;
+  // Deep queue: verify pops one frame per tick, so depth stays ~1, but
+  // any policy-driven drop would silently break the bit-compare.
+  req.capacity = 4096;
+  if (!sub.subscribe(req)) {
+    st.error = "subscribe: " + sub.error();
+    return st;
+  }
+  Client feeder =
+      Client::connect(options.socket_path, Role::kFeeder, options.timeout_ms);
+  if (!feeder.ok()) {
+    st.error = "feeder: " + feeder.error();
+    return st;
+  }
+  ProfileTable profiles;
+  if (!build_profile_table(log, &profiles, &st.error)) return st;
+
+  std::unordered_map<std::uint64_t, std::uint64_t> rec2gid;
+  const auto fail = [&](std::string msg) {
+    st.error = std::move(msg);
+    return st;
+  };
+  const auto mismatch = [&](std::uint64_t tick, std::uint64_t sid,
+                            const std::string& what) {
+    st.mismatches += 1;
+    if (st.first_mismatch.empty()) {
+      st.first_mismatch = "tick " + std::to_string(tick) + ", session " +
+                          std::to_string(sid) + ": " + what;
+    }
+  };
+
+  for (const ChunkView& chunk : log.chunks()) {
+    Cursor in(chunk.payload, chunk.size);
+    switch (chunk.type) {
+      case ChunkType::kHeader:
+      case ChunkType::kFooter:
+      case ChunkType::kProfile:
+        break;
+      case ChunkType::kSessionStart: {
+        const std::uint64_t rec_id = in.get_u64();
+        const std::uint32_t hash = in.get_u32();
+        core::TrackerConfig cfg;
+        if (!replay::decode_tracker_config(in, &cfg) || !in.exhausted()) {
+          return fail("malformed session-start chunk");
+        }
+        const auto pit = profiles.find(hash);
+        if (pit == profiles.end()) {
+          return fail("session references unknown profile hash");
+        }
+        std::uint64_t gid = 0;
+        if (!feeder.open_session(rec_id, pit->second, cfg, &gid,
+                                 options.timeout_ms)) {
+          return fail("open_session: " + feeder.error());
+        }
+        rec2gid[rec_id] = gid;
+        break;
+      }
+      case ChunkType::kSessionEnd: {
+        const std::uint64_t rec_id = in.get_u64();
+        if (!in.exhausted()) return fail("malformed session-end chunk");
+        if (!feeder.close_session(rec_id, options.timeout_ms)) {
+          return fail("close_session: " + feeder.error());
+        }
+        rec2gid.erase(rec_id);
+        break;
+      }
+      case ChunkType::kCsi: {
+        std::uint64_t rec_id = 0;
+        wifi::CsiMeasurement m;
+        bool offered = false;
+        if (!replay::decode_csi_payload(in, &rec_id, &m, &offered) ||
+            !in.exhausted()) {
+          return fail("malformed CSI chunk");
+        }
+        if (!feeder.send_csi(rec_id, m)) {
+          return fail("send_csi: " + feeder.error());
+        }
+        break;
+      }
+      case ChunkType::kImu: {
+        std::uint64_t rec_id = 0;
+        imu::ImuSample s;
+        bool offered = false;
+        if (!replay::decode_imu_payload(in, &rec_id, &s, &offered) ||
+            !in.exhausted()) {
+          return fail("malformed IMU chunk");
+        }
+        if (!feeder.send_imu(rec_id, s)) {
+          return fail("send_imu: " + feeder.error());
+        }
+        break;
+      }
+      case ChunkType::kCamera: {
+        std::uint64_t rec_id = 0;
+        camera::CameraTracker::Estimate e;
+        if (!replay::decode_camera_payload(in, &rec_id, &e) ||
+            !in.exhausted()) {
+          return fail("malformed camera chunk");
+        }
+        if (!feeder.send_camera(rec_id, e)) {
+          return fail("send_camera: " + feeder.error());
+        }
+        break;
+      }
+      case ChunkType::kTickBegin: {
+        const double t = in.get_f64();
+        if (!in.exhausted()) return fail("malformed tick-begin chunk");
+        if (!feeder.send_tick(t)) {
+          return fail("send_tick: " + feeder.error());
+        }
+        break;
+      }
+      case ChunkType::kTickEnd: {
+        const double rec_t = in.get_f64();
+        const std::uint64_t n = in.get_u64();
+        if (!in.ok()) return fail("malformed tick-end chunk");
+        std::optional<ResultsFrame> frame =
+            sub.next_results(options.timeout_ms);
+        if (!frame) {
+          return fail("no results frame for tick " +
+                      std::to_string(st.ticks_compared) +
+                      (sub.error().empty() ? "" : ": " + sub.error()));
+        }
+        if (std::bit_cast<std::uint64_t>(frame->t_now) !=
+            std::bit_cast<std::uint64_t>(rec_t)) {
+          mismatch(st.ticks_compared, 0,
+                   "tick t_now " + std::to_string(frame->t_now) + " vs " +
+                       std::to_string(rec_t));
+        }
+        if (frame->ids.size() != n) {
+          mismatch(st.ticks_compared, 0,
+                   "result count " + std::to_string(frame->ids.size()) +
+                       " vs " + std::to_string(n));
+        }
+        for (std::uint64_t i = 0; i < n && in.ok(); ++i) {
+          const std::uint64_t rec_sid = in.get_u64();
+          core::TrackResult recorded;
+          if (!replay::decode_track_result(in, &recorded)) {
+            return fail("malformed tick-end result entry");
+          }
+          const auto git = rec2gid.find(rec_sid);
+          if (git == rec2gid.end()) {
+            mismatch(st.ticks_compared, rec_sid, "unknown recorded session");
+            continue;
+          }
+          const core::TrackResult* streamed = nullptr;
+          for (std::size_t j = 0; j < frame->ids.size(); ++j) {
+            if (frame->ids[j] == git->second) {
+              streamed = &frame->results[j];
+              break;
+            }
+          }
+          if (streamed == nullptr) {
+            mismatch(st.ticks_compared, rec_sid,
+                     "session missing from streamed results");
+            continue;
+          }
+          // The bit-for-bit contract, by canonical encoding: the same
+          // codec bytes mean the same doubles (and NaN payloads).
+          std::vector<unsigned char> a;
+          std::vector<unsigned char> b;
+          replay::encode_track_result(a, recorded);
+          replay::encode_track_result(b, *streamed);
+          if (a != b) {
+            mismatch(st.ticks_compared, rec_sid,
+                     "TrackResult bytes diverge");
+          }
+          st.results_compared += 1;
+        }
+        if (!in.ok()) return fail("malformed tick-end chunk");
+        st.ticks_compared += 1;
+        break;
+      }
+    }
+  }
+  st.ok = st.mismatches == 0;
+  if (!st.ok && st.error.empty()) {
+    st.error = "bit-compare failed: " + st.first_mismatch;
+  }
+  return st;
+}
+
+SubscribeStats run_subscriber(const LoadgenOptions& options,
+                              const SubscribeRequest& req, int read_delay_ms,
+                              const std::atomic<bool>& stop) {
+  SubscribeStats st;
+  Client sub = Client::connect(options.socket_path, Role::kSubscriber,
+                               options.timeout_ms);
+  if (!sub.ok()) {
+    st.error = sub.error();
+    return st;
+  }
+  if (!sub.subscribe(req)) {
+    st.error = sub.error();
+    return st;
+  }
+  while (!stop.load(std::memory_order_acquire)) {
+    std::optional<ResultsFrame> frame = sub.next_results(200);
+    if (frame) {
+      st.frames_received += 1;
+      st.results_received += frame->results.size();
+      if (read_delay_ms > 0) {
+        // The slow-subscriber soak: let the daemon-side queue back up
+        // and exercise the overflow policy.
+        std::this_thread::sleep_for(std::chrono::milliseconds(read_delay_ms));
+      }
+      continue;
+    }
+    if (sub.saw_bye()) {
+      st.saw_bye = true;
+      break;
+    }
+    if (!sub.ok()) break;  // daemon closed / stream error: end of run
+    // else: poll timeout — keep waiting for the next tick
+  }
+  st.ok = sub.saw_bye() || sub.ok();
+  if (!st.ok) st.error = sub.error();
+  st.saw_bye = sub.saw_bye();
+  return st;
+}
+
+}  // namespace vihot::daemon

@@ -1,0 +1,108 @@
+// vihot_loadgen core: turn a .vrlog flight recording into daemon load.
+//
+// A recorded drive is a total order of session churn, feed samples and
+// ticks — exactly the event stream a live feeder produces. The load
+// generator replays that order over the daemon protocol:
+//
+//   kProfile       -> carried inside kOpenSession (full profile bytes)
+//   kSessionStart  -> kOpenSession (client sid = recorded sid)
+//   kSessionEnd    -> kCloseSession
+//   kCsi/kImu      -> kCsi/kImu (daemon maps onto offer_*)
+//   kCamera        -> kCamera (synchronous push, as recorded)
+//   kTickBegin     -> kTick
+//   kTickEnd       -> (verify mode) barrier: await + compare the
+//                     subscriber's kResults frame for this tick
+//
+// Replication multiplies one recording into N concurrent feeders, each
+// on its own connection with its own re-basing delta
+//
+//     delta_r = base_offset + r * replica_spacing
+//
+// applied uniformly to every timestamp the replica sends (feeds AND
+// ticks) — the same monotone-map argument as ReplayOptions::time_offset:
+// one shared additive delta per replica preserves the recording's
+// inter-arrival order within that replica, and the daemon's monotone
+// tick clamp absorbs the cross-replica clock skew. Client session ids
+// need no re-mapping across replicas: the daemon scopes them
+// per-connection.
+//
+// Verify mode (single replica, delta = 0) is the end-to-end determinism
+// gate: a subscriber connection receives every tick's broadcast and
+// each recorded TrackResult is compared against the streamed one by
+// ENCODED BYTES (replay::encode_track_result of both sides), the same
+// bit-for-bit contract the in-process replay gate enforces.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "daemon/client.h"
+#include "replay/replayer.h"
+
+namespace vihot::daemon {
+
+struct LoadgenOptions {
+  std::string socket_path;
+  /// Uniform re-basing of replica 0; replica r adds r * replica_spacing.
+  double base_offset = 0.0;
+  /// Seconds of clock separation between replicas (keeps concurrent
+  /// replicas' tick requests from thrashing the monotone clamp).
+  double replica_spacing = 1000.0;
+  /// Reply timeout for open/close acks and verify-mode result frames.
+  int timeout_ms = 10000;
+  /// Disconnect abruptly (mid-frame, no session close) after this many
+  /// protocol events; 0 = run to completion. The chaos knob.
+  std::uint64_t disconnect_after = 0;
+};
+
+struct DriveStats {
+  bool ok = false;
+  std::string error;
+  std::uint64_t sessions_opened = 0;
+  std::uint64_t sessions_closed = 0;
+  std::uint64_t feeds_sent = 0;
+  std::uint64_t ticks_sent = 0;
+  /// True when the run ended in an intentional chaos disconnect.
+  bool disconnected = false;
+};
+
+struct VerifyStats {
+  bool ok = false;  ///< drove cleanly AND every tick matched bit-exactly
+  std::string error;
+  std::uint64_t ticks_compared = 0;
+  std::uint64_t results_compared = 0;
+  std::uint64_t mismatches = 0;
+  /// First mismatch, rendered for humans (empty when ok).
+  std::string first_mismatch;
+};
+
+struct SubscribeStats {
+  bool ok = false;
+  std::string error;
+  std::uint64_t frames_received = 0;
+  std::uint64_t results_received = 0;
+  bool saw_bye = false;
+};
+
+/// Drives one feeder replica over `log` with re-basing `delta`. Stops
+/// early (cleanly reporting it) when `stop` flips true.
+[[nodiscard]] DriveStats drive_replica(const replay::LoadedLog& log,
+                                       const LoadgenOptions& options,
+                                       double delta,
+                                       const std::atomic<bool>* stop = nullptr);
+
+/// Single-replica end-to-end verify against the recorded outputs (one
+/// feeder + one subscriber connection, delta forced to 0).
+[[nodiscard]] VerifyStats verify_against_daemon(const replay::LoadedLog& log,
+                                                const LoadgenOptions& options);
+
+/// Consumes the broadcast stream until `stop` flips (or kBye / EOF).
+/// `read_delay_ms` > 0 simulates a slow subscriber (the backpressure
+/// soak case); `policy`/`capacity` are the kSubscribe overrides.
+[[nodiscard]] SubscribeStats run_subscriber(const LoadgenOptions& options,
+                                            const SubscribeRequest& req,
+                                            int read_delay_ms,
+                                            const std::atomic<bool>& stop);
+
+}  // namespace vihot::daemon

@@ -1,0 +1,187 @@
+#include "daemon/protocol.h"
+
+#include <cstring>
+
+namespace vihot::daemon {
+
+namespace {
+
+using replay::Cursor;
+using replay::put_f64;
+using replay::put_u32;
+using replay::put_u64;
+using replay::put_u8;
+
+}  // namespace
+
+void append_frame(std::vector<unsigned char>& out, MsgType type,
+                  const unsigned char* payload, std::size_t payload_size) {
+  const std::size_t frame_start = out.size();
+  put_u32(out, static_cast<std::uint32_t>(type));
+  put_u32(out, static_cast<std::uint32_t>(payload_size));
+  if (payload_size != 0) out.insert(out.end(), payload, payload + payload_size);
+  const std::uint32_t crc =
+      replay::crc32(out.data() + frame_start, 8 + payload_size);
+  put_u32(out, crc);
+}
+
+void FrameParser::feed(const unsigned char* data, std::size_t n) {
+  if (failed() || n == 0) return;
+  // Compact lazily: only when the dead prefix dominates the buffer, so
+  // steady-state feeds stay O(bytes appended).
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+std::optional<Frame> FrameParser::next() {
+  if (failed()) return std::nullopt;
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < 8) return std::nullopt;
+  const unsigned char* p = buf_.data() + pos_;
+  Cursor header(p, 8);
+  const std::uint32_t type = header.get_u32();
+  const std::uint32_t payload_len = header.get_u32();
+  if (payload_len > max_payload_) {
+    error_ = "oversized frame payload (" + std::to_string(payload_len) +
+             " bytes, limit " + std::to_string(max_payload_) + ")";
+    return std::nullopt;
+  }
+  const std::size_t total = frame_overhead() + payload_len;
+  if (avail < total) return std::nullopt;
+  const std::uint32_t expect = replay::crc32(p, 8 + payload_len);
+  Cursor trailer(p + 8 + payload_len, 4);
+  const std::uint32_t got = trailer.get_u32();
+  if (got != expect) {
+    error_ = "frame CRC mismatch (type 0x" + std::to_string(type) + ")";
+    return std::nullopt;
+  }
+  Frame frame;
+  frame.type = static_cast<MsgType>(type);
+  frame.payload.assign(p + 8, p + 8 + payload_len);
+  pos_ += total;
+  return frame;
+}
+
+void encode_hello(std::vector<unsigned char>& out, Role role) {
+  put_u32(out, kProtocolVersion);
+  put_u8(out, static_cast<std::uint8_t>(role));
+}
+
+bool decode_hello(Cursor& in, std::uint32_t* version, Role* role) {
+  *version = in.get_u32();
+  const std::uint8_t r = in.get_u8();
+  if (!in.exhausted()) return false;
+  if (r > static_cast<std::uint8_t>(Role::kControl)) return false;
+  *role = static_cast<Role>(r);
+  return true;
+}
+
+void encode_open_session(std::vector<unsigned char>& out,
+                         std::uint64_t client_sid,
+                         const core::CsiProfile& profile,
+                         const core::TrackerConfig& config) {
+  put_u64(out, client_sid);
+  // Both sub-codecs are self-delimiting (the config carries its layout
+  // version), so no inner length prefixes are needed.
+  replay::encode_profile(out, profile);
+  replay::encode_tracker_config(out, config);
+}
+
+bool decode_open_session(Cursor& in, std::uint64_t* client_sid,
+                         core::CsiProfile* profile,
+                         core::TrackerConfig* config) {
+  *client_sid = in.get_u64();
+  if (!replay::decode_profile(in, profile)) return false;
+  if (!replay::decode_tracker_config(in, config)) return false;
+  return in.exhausted();
+}
+
+void encode_session_ack(std::vector<unsigned char>& out,
+                        std::uint64_t client_sid, std::uint64_t global_sid) {
+  put_u64(out, client_sid);
+  put_u64(out, global_sid);
+}
+
+bool decode_session_ack(Cursor& in, std::uint64_t* client_sid,
+                        std::uint64_t* global_sid) {
+  *client_sid = in.get_u64();
+  *global_sid = in.get_u64();
+  return in.exhausted();
+}
+
+void encode_subscribe(std::vector<unsigned char>& out,
+                      const SubscribeRequest& req) {
+  put_u8(out, req.has_policy ? 1 : 0);
+  put_u8(out, req.policy);
+  put_u32(out, req.capacity);
+}
+
+bool decode_subscribe(Cursor& in, SubscribeRequest* req) {
+  const std::uint8_t has = in.get_u8();
+  req->policy = in.get_u8();
+  req->capacity = in.get_u32();
+  if (!in.exhausted() || has > 1) return false;
+  req->has_policy = has == 1;
+  // OverloadPolicy has three values; anything else is a corrupt request.
+  if (req->has_policy && req->policy > 2) return false;
+  return true;
+}
+
+void encode_results(std::vector<unsigned char>& out, double t_now,
+                    const std::uint64_t* ids,
+                    const core::TrackResult* results, std::size_t n) {
+  put_f64(out, t_now);
+  put_u64(out, static_cast<std::uint64_t>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    put_u64(out, ids[i]);
+    replay::encode_track_result(out, results[i]);
+  }
+}
+
+bool decode_results(Cursor& in, ResultsFrame* out) {
+  out->t_now = in.get_f64();
+  const std::uint64_t n = in.get_u64();
+  if (!in.ok()) return false;
+  // Bound by remaining bytes before reserving: a corrupt count must not
+  // drive a huge allocation.
+  if (n > in.remaining() / (8 + 1)) return false;
+  out->ids.clear();
+  out->results.clear();
+  out->ids.reserve(static_cast<std::size_t>(n));
+  out->results.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t sid = in.get_u64();
+    core::TrackResult r;
+    if (!replay::decode_track_result(in, &r)) return false;
+    out->ids.push_back(sid);
+    out->results.push_back(r);
+  }
+  return in.exhausted();
+}
+
+void encode_error(std::vector<unsigned char>& out, ErrorCode code,
+                  const std::string& message) {
+  put_u32(out, static_cast<std::uint32_t>(code));
+  put_u32(out, static_cast<std::uint32_t>(message.size()));
+  out.insert(out.end(), message.begin(), message.end());
+}
+
+bool decode_error(Cursor& in, ErrorCode* code, std::string* message) {
+  const std::uint32_t c = in.get_u32();
+  const std::uint32_t len = in.get_u32();
+  if (!in.ok() || len > in.remaining()) return false;
+  message->clear();
+  message->reserve(len);
+  for (std::uint32_t i = 0; i < len; ++i) {
+    message->push_back(static_cast<char>(in.get_u8()));
+  }
+  if (!in.exhausted()) return false;
+  *code = static_cast<ErrorCode>(c);
+  return true;
+}
+
+}  // namespace vihot::daemon

@@ -88,6 +88,11 @@ std::vector<SessionId> FleetRouter::session_ids() const {
   return global_roster_;
 }
 
+std::span<const SessionId> FleetRouter::session_ids_span() const {
+  std::shared_lock<std::shared_mutex> lk(route_mu_);
+  return {global_roster_.data(), global_roster_.size()};
+}
+
 const FleetRouter::Route* FleetRouter::find_route(SessionId id) const {
   const auto it = routes_.find(id);
   if (it == routes_.end()) {

@@ -130,6 +130,11 @@ class FleetRouter {
   /// order — identical for any shard count).
   [[nodiscard]] std::vector<SessionId> session_ids() const;
 
+  /// Zero-copy view of the same ids (see TrackerEngine::session_ids_span
+  /// — the serving daemon pairs this with the estimate_all() span each
+  /// tick). Valid until the next create_session / destroy_session call.
+  [[nodiscard]] std::span<const SessionId> session_ids_span() const;
+
   // Synchronous feeds, routed to the owning shard. False for unknown
   // ids (counted as engine.unknown_session) and rejected samples.
   bool push_csi(SessionId id, const wifi::CsiMeasurement& m);

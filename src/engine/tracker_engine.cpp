@@ -95,6 +95,11 @@ std::vector<SessionId> TrackerEngine::session_ids() const {
   return ids;
 }
 
+std::span<const SessionId> TrackerEngine::session_ids_span() const {
+  std::shared_lock<std::shared_mutex> lk(roster_mu_);
+  return {roster_ids_.data(), roster_ids_.size()};
+}
+
 TrackerSession* TrackerEngine::find(SessionId id) const {
   const auto it = sessions_.find(id);
   return it == sessions_.end() ? nullptr : it->second.get();

@@ -308,6 +308,14 @@ class TrackerEngine {
   /// Live session ids in estimate_all() result order.
   [[nodiscard]] std::vector<SessionId> session_ids() const;
 
+  /// Zero-copy view of the same ids, for per-tick consumers (the serving
+  /// daemon's result fan-out pairs this with the estimate_all() span on
+  /// every tick; the vector-returning form would allocate per tick).
+  /// Valid until the next create_session / destroy_session call — the
+  /// same rule as the result span, and the same serialization burden on
+  /// the caller.
+  [[nodiscard]] std::span<const SessionId> session_ids_span() const;
+
   // Synchronous per-session feeds; return false for unknown ids and for
   // rejected out-of-order or non-finite samples (counted in the sink's
   // engine.out_of_order_* / engine.non_finite_* families). Safe to call

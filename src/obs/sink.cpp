@@ -91,6 +91,32 @@ void Sink::attach_to(Registry& registry, const std::string& prefix) const {
   registry.attach(p + "dedup_hits", profile_store.dedup_hits);
   registry.attach(p + "evicted", profile_store.evicted);
 
+  const std::string d = prefix + "daemon.";
+  registry.attach(d + "connections_accepted", daemon.connections_accepted);
+  registry.attach(d + "connections_closed", daemon.connections_closed);
+  registry.attach(d + "protocol_errors", daemon.protocol_errors);
+  registry.attach(d + "frames_rx", daemon.frames_rx);
+  registry.attach(d + "bytes_rx", daemon.bytes_rx);
+  registry.attach(d + "bytes_tx", daemon.bytes_tx);
+  registry.attach(d + "feed_csi", daemon.feed_csi);
+  registry.attach(d + "feed_imu", daemon.feed_imu);
+  registry.attach(d + "feed_camera", daemon.feed_camera);
+  registry.attach(d + "feed_rejected", daemon.feed_rejected);
+  registry.attach(d + "sessions_opened", daemon.sessions_opened);
+  registry.attach(d + "sessions_closed", daemon.sessions_closed);
+  registry.attach(d + "sessions_orphaned", daemon.sessions_orphaned);
+  registry.attach(d + "ticks", daemon.ticks);
+  registry.attach(d + "results_fanned_out", daemon.results_fanned_out);
+  registry.attach(d + "subscribers_added", daemon.subscribers_added);
+  registry.attach(d + "subscribers_removed", daemon.subscribers_removed);
+  registry.attach(d + "sub_dropped_oldest", daemon.sub_dropped_oldest);
+  registry.attach(d + "sub_dropped_newest", daemon.sub_dropped_newest);
+  registry.attach(d + "sub_block_timeouts", daemon.sub_block_timeouts);
+  registry.attach(d + "sub_send_errors", daemon.sub_send_errors);
+  registry.attach(d + "sub_queue_depth", daemon.sub_queue_depth);
+  registry.attach(d + "health_requests", daemon.health_requests);
+  registry.attach(d + "shutdown_requests", daemon.shutdown_requests);
+
   const std::string r = prefix + "replay.";
   registry.attach(r + "frames_recorded", replay.frames_recorded);
   registry.attach(r + "bytes_written", replay.bytes_written);

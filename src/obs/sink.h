@@ -210,6 +210,52 @@ struct ProfileStoreStats {
   Counter evicted;     ///< expired (unreferenced) entries swept away
 };
 
+/// Tracking-as-a-service counters (daemon::Daemon). The connection and
+/// subscriber families make the serving surface observable the same way
+/// the ingest tier is: every protocol frame is either dispatched or
+/// counted into exactly one error bucket, and every per-tick result
+/// fan-out either lands in a subscriber queue or is counted into the
+/// policy bucket that dropped it.
+struct DaemonStats {
+  // Connection lifecycle (accept loop + reader threads).
+  Counter connections_accepted;
+  Counter connections_closed;
+  Counter protocol_errors;  ///< bad CRC / framing / payload; conn dropped
+  Counter frames_rx;        ///< well-formed frames dispatched
+  Counter bytes_rx;
+  Counter bytes_tx;
+
+  // Feed ingress (protocol frames mapped onto offer_* / push_camera).
+  Counter feed_csi;
+  Counter feed_imu;
+  Counter feed_camera;
+  Counter feed_rejected;  ///< offer_*/push_* returned false (counted
+                          ///< in addition to the engine's own buckets)
+
+  // Session surface.
+  Counter sessions_opened;
+  Counter sessions_closed;
+  /// Sessions reaped because their feeder connection died with them
+  /// still open (the disconnect-churn path of the soak driver).
+  Counter sessions_orphaned;
+
+  // Tick + subscriber fan-out.
+  Counter ticks;               ///< kTick frames served (estimate_all runs)
+  Counter results_fanned_out;  ///< per-subscriber result frames enqueued
+  Counter subscribers_added;
+  Counter subscribers_removed;
+  Counter sub_dropped_oldest;  ///< queued result frames displaced
+  Counter sub_dropped_newest;  ///< incoming result frames rejected
+  Counter sub_block_timeouts;  ///< kBlock gave up; result frame dropped
+  Counter sub_send_errors;     ///< writer hit a dead socket; sub reaped
+  /// Subscriber queue depth observed at each enqueue.
+  Histogram sub_queue_depth{0, 1, 2, 4, 8, 16, 32, 64, 128, 256};
+
+  // Control surface.
+  Counter health_requests;
+  Counter shutdown_requests;  ///< kShutdown frames (vs. SIGTERM)
+};
+
 /// Flight-recorder counters (replay::Recorder). A dropped frame means
 /// the staging buffer filled while the writer was still flushing the
 /// previous one — the log is marked truncated and no longer replays
@@ -228,6 +274,7 @@ struct Sink {
   EngineStats engine;
   IngestStats ingest;
   ProfileStoreStats profile_store;
+  DaemonStats daemon;
   RecorderStats replay;
 
   /// Registers every member metric with `registry` under

@@ -90,6 +90,19 @@ struct ReplayOptions {
   std::optional<core::TrackerBackend> tracker_backend_override;
   /// Stop after this many divergences (0 = collect all).
   std::size_t max_divergences = 16;
+  /// Re-bases the whole run: added to every feed timestamp and tick
+  /// t_now before it reaches the engine (the load-generator workflow:
+  /// replay a recorded drive as if it happened at another time). The
+  /// SAME additive delta is applied to every stream of the run — CSI,
+  /// IMU, camera, and the tick clock — which is what preserves the
+  /// recorded inter-arrival order across streams (monotone per-stream
+  /// timestamps stay monotone under one shared fl(t + delta); per-stream
+  /// deltas would not guarantee the cross-stream arrival order the
+  /// engine's out-of-order guard enforces). Nonzero offsets disable the
+  /// bit-compare against the recorded outputs (the recorded results
+  /// embed the original clock); the replay instead proves the re-based
+  /// run FEEDS cleanly: feeds_rejected must stay 0.
+  double time_offset = 0.0;
 };
 
 struct ReplayResult {
@@ -97,10 +110,24 @@ struct ReplayResult {
   std::string error;
   std::uint64_t ticks_replayed = 0;
   std::uint64_t results_compared = 0;
+  /// Recorded feed samples the replay engine REJECTED (out-of-order or
+  /// non-finite at the re-driven boundary). Always 0 for a faithful
+  /// replay of a valid log: every recorded sample was accepted by the
+  /// live run, so a rejection here means the replay drifted — or a
+  /// time_offset re-basing broke the arrival order it must preserve.
+  std::uint64_t feeds_rejected = 0;
+  /// True when a time_offset re-based the run (bit-compare was skipped).
+  bool rebased = false;
   std::vector<Divergence> divergences;
 
   [[nodiscard]] bool bit_identical() const noexcept {
-    return ok && divergences.empty();
+    return ok && !rebased && divergences.empty();
+  }
+
+  /// The re-based notion of success: the run re-drove cleanly and every
+  /// recorded sample was accepted at its shifted timestamp.
+  [[nodiscard]] bool fed_cleanly() const noexcept {
+    return ok && feeds_rejected == 0;
   }
 };
 

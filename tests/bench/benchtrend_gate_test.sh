@@ -1,0 +1,93 @@
+#!/bin/sh
+# Fixture test for the bench-trend comparator: prove the gate actually
+# gates. vihot_benchtrend must exit 0 when current == baseline, exit 1
+# (with a delta table) on a synthetic regression beyond tolerance,
+# tolerate in-tolerance wobble, and fail LOUDLY when a metric vanishes
+# (a silently skipped renamed metric would disable the gate).
+#
+# usage: benchtrend_gate_test.sh /path/to/vihot_benchtrend
+set -u
+
+BENCHTREND="$1"
+TMPDIR_ROOT="${TMPDIR:-/tmp}"
+WORK=$(mktemp -d "$TMPDIR_ROOT/benchtrend-gate.XXXXXX") || exit 1
+trap 'rm -rf "$WORK"' EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+# Baseline fixture mirrors both supported shapes: the repo's own
+# BENCH_fleet.json keys and a google-benchmark "benchmarks" array.
+cat > "$WORK/base.json" <<'EOF'
+{
+  "ticks_per_s": 1000.0,
+  "tick_latency_ms": { "p50": 1.0, "p99": 2.0 },
+  "benchmarks": [
+    { "name": "BM_banded_dtw/64", "cpu_time": 50.0, "time_unit": "us" }
+  ]
+}
+EOF
+
+METRICS="--metric ticks_per_s:higher:0.30 \
+  --metric tick_latency_ms.p99:lower:0.30 \
+  --metric benchmarks[BM_banded_dtw/64].cpu_time:lower:0.30"
+
+# 1. Identical files pass.
+"$BENCHTREND" --baseline "$WORK/base.json" --current "$WORK/base.json" \
+  $METRICS > "$WORK/same.out" 2>&1
+[ $? -eq 0 ] || { cat "$WORK/same.out" >&2; fail "identical files rejected"; }
+
+# 2. In-tolerance wobble passes (10% worse, 30% allowed).
+cat > "$WORK/wobble.json" <<'EOF'
+{
+  "ticks_per_s": 900.0,
+  "tick_latency_ms": { "p50": 1.1, "p99": 2.2 },
+  "benchmarks": [
+    { "name": "BM_banded_dtw/64", "cpu_time": 55.0, "time_unit": "us" }
+  ]
+}
+EOF
+"$BENCHTREND" --baseline "$WORK/base.json" --current "$WORK/wobble.json" \
+  $METRICS > "$WORK/wobble.out" 2>&1
+[ $? -eq 0 ] || { cat "$WORK/wobble.out" >&2; fail "in-tolerance wobble rejected"; }
+
+# 3. A real cliff fails with a delta table naming the metric.
+cat > "$WORK/cliff.json" <<'EOF'
+{
+  "ticks_per_s": 400.0,
+  "tick_latency_ms": { "p50": 1.0, "p99": 9.0 },
+  "benchmarks": [
+    { "name": "BM_banded_dtw/64", "cpu_time": 200.0, "time_unit": "us" }
+  ]
+}
+EOF
+"$BENCHTREND" --baseline "$WORK/base.json" --current "$WORK/cliff.json" \
+  $METRICS --report "$WORK/cliff.report" > "$WORK/cliff.out" 2>&1
+[ $? -eq 1 ] || { cat "$WORK/cliff.out" >&2; fail "regression cliff passed the gate"; }
+grep -q "ticks_per_s" "$WORK/cliff.out" || fail "delta table missing ticks_per_s"
+grep -q "tick_latency_ms.p99" "$WORK/cliff.out" || fail "delta table missing p99"
+[ -s "$WORK/cliff.report" ] || fail "--report wrote nothing"
+
+# 4. An improvement is never a regression.
+cat > "$WORK/better.json" <<'EOF'
+{
+  "ticks_per_s": 2000.0,
+  "tick_latency_ms": { "p50": 0.5, "p99": 1.0 },
+  "benchmarks": [
+    { "name": "BM_banded_dtw/64", "cpu_time": 25.0, "time_unit": "us" }
+  ]
+}
+EOF
+"$BENCHTREND" --baseline "$WORK/base.json" --current "$WORK/better.json" \
+  $METRICS > "$WORK/better.out" 2>&1
+[ $? -eq 0 ] || { cat "$WORK/better.out" >&2; fail "improvement flagged as regression"; }
+
+# 5. A metric missing from the current file fails loudly.
+"$BENCHTREND" --baseline "$WORK/base.json" --current "$WORK/base.json" \
+  --metric no_such_metric:higher:0.30 > "$WORK/missing.out" 2>&1
+[ $? -eq 1 ] || fail "missing metric silently skipped"
+
+echo "benchtrend gate fixtures: OK"
+exit 0

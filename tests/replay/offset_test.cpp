@@ -1,0 +1,66 @@
+// Replay-at-offset regression gate (ctest label: replay-gate).
+//
+// ReplayOptions::time_offset re-bases a recording with ONE shared
+// additive delta across every stream (feeds and ticks alike) — a
+// monotone map, so the recording's inter-arrival order is preserved and
+// no sample can be rejected as stale/out-of-order by the re-basing
+// itself. This is the property the daemon load generator builds on: a
+// replica's clock is exactly a time_offset re-base, so a regression
+// here silently breaks every soak replica too.
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "replay/replayer.h"
+
+namespace vihot::replay {
+namespace {
+
+std::filesystem::path corpus_dir() { return VIHOT_CORPUS_DIR; }
+
+TEST(ReplayOffset, RebasedRunsFeedCleanlyAtAnyDelta) {
+  namespace fs = std::filesystem;
+  ASSERT_TRUE(fs::is_directory(corpus_dir()));
+  // Small, huge, and negative deltas: order preservation must not
+  // depend on the delta's sign or magnitude.
+  const double offsets[] = {1.5, 1.0e6, -5.0};
+  std::size_t logs = 0;
+  for (const auto& entry : fs::directory_iterator(corpus_dir())) {
+    if (entry.path().extension() != ".vrlog") continue;
+    ++logs;
+    SCOPED_TRACE(entry.path().filename().string());
+    const LoadedLog log = LoadedLog::load(entry.path().string());
+    ASSERT_TRUE(log.ok()) << log.error();
+    for (const double offset : offsets) {
+      SCOPED_TRACE(offset);
+      ReplayOptions options;
+      options.time_offset = offset;
+      const ReplayResult result = replay(log, options);
+      ASSERT_TRUE(result.ok) << result.error;
+      EXPECT_TRUE(result.rebased);
+      EXPECT_TRUE(result.fed_cleanly())
+          << result.feeds_rejected << " feeds rejected at offset " << offset;
+      // Re-based runs skip the bit-compare but must still drive ticks.
+      EXPECT_GT(result.ticks_replayed, 0u);
+    }
+  }
+  EXPECT_GE(logs, 4u);
+}
+
+TEST(ReplayOffset, ZeroOffsetStaysOnTheBitIdenticalPath) {
+  // offset 0 must not flip the run into "rebased" mode — the bit-compare
+  // gate still applies.
+  const auto path = corpus_dir() / "baseline.vrlog";
+  const LoadedLog log = LoadedLog::load(path.string());
+  ASSERT_TRUE(log.ok()) << log.error();
+  ReplayOptions options;
+  options.time_offset = 0.0;
+  const ReplayResult result = replay(log, options);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_FALSE(result.rebased);
+  EXPECT_TRUE(result.bit_identical());
+}
+
+}  // namespace
+}  // namespace vihot::replay

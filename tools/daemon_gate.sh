@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# End-to-end daemon gate: boot a real vihotd, drive it with
+# vihot_loadgen over the golden corpus, then prove the graceful-exit
+# contract. Run by the `daemon` leg of tools/run_checks.sh (and CI's
+# daemon-gate job); all daemon/loadgen output lands in
+# ${BUILD}/daemon-logs for artifact upload on failure.
+#
+#   1. verify   every corpus .vrlog through the daemon must be
+#               bit-identical to its recorded outputs (sequentially,
+#               against ONE warm daemon — the clock-reset path)
+#   2. soak     >= 4 feeder replicas + >= 4 subscribers, two chaos
+#               replicas that vanish mid-frame and a slow kBlock
+#               subscriber with a 4-deep queue
+#   3. sigterm  SIGTERM -> drain -> exit 0, socket unlinked, health
+#               snapshot written with zero residual sessions
+#
+# usage: tools/daemon_gate.sh [build-dir]   (default: build)
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+LOGDIR="${BUILD}/daemon-logs"
+mkdir -p "${LOGDIR}"
+
+VIHOTD="${BUILD}/tools/vihotd"
+LOADGEN="${BUILD}/tools/vihot_loadgen"
+for bin in "${VIHOTD}" "${LOADGEN}"; do
+  if [ ! -x "${bin}" ]; then
+    echo "daemon-gate: missing binary ${bin} (build first)" >&2
+    exit 1
+  fi
+done
+
+SOCK="$(mktemp -u "${TMPDIR:-/tmp}/vihotd-gate.XXXXXX.sock")"
+HEALTH="${LOGDIR}/health-on-exit.json"
+
+# Background the binary DIRECTLY so $! is vihotd itself — wrapping it in
+# a subshell would make SIGTERM hit the subshell and orphan the daemon.
+"${VIHOTD}" --socket "${SOCK}" --health-on-exit "${HEALTH}" \
+  > "${LOGDIR}/vihotd.log" 2>&1 &
+DPID=$!
+
+cleanup() {
+  kill -KILL "${DPID}" 2>/dev/null || true
+  rm -f "${SOCK}"
+}
+trap cleanup EXIT
+
+# Wait for the socket to appear (the daemon binds before serving).
+bound=0
+for _ in $(seq 1 100); do
+  [ -S "${SOCK}" ] && { bound=1; break; }
+  kill -0 "${DPID}" 2>/dev/null || break
+  sleep 0.1
+done
+if [ "${bound}" -ne 1 ]; then
+  echo "daemon-gate: vihotd never bound ${SOCK}" >&2
+  cat "${LOGDIR}/vihotd.log" >&2 || true
+  exit 1
+fi
+
+rc=0
+
+echo "== daemon-gate: corpus verify (bit-identity through the socket) =="
+for log in tests/corpus/*.vrlog; do
+  name="$(basename "${log}" .vrlog)"
+  if "${LOADGEN}" verify --socket "${SOCK}" --log "${log}" \
+      > "${LOGDIR}/verify-${name}.log" 2>&1; then
+    sed -n '$p' "${LOGDIR}/verify-${name}.log"
+  else
+    echo "daemon-gate: verify FAILED for ${name}" >&2
+    cat "${LOGDIR}/verify-${name}.log" >&2
+    rc=1
+  fi
+done
+
+echo "== daemon-gate: chaos soak (4+2 replicas, 4 subscribers) =="
+if "${LOADGEN}" soak --socket "${SOCK}" --log tests/corpus/baseline.vrlog \
+    --replicas 4 --subscribers 4 \
+    --disconnect-replicas 2 --disconnect-after 7 \
+    --slow-subscriber-ms 20 --sub-policy block --sub-capacity 4 \
+    > "${LOGDIR}/soak.log" 2>&1; then
+  sed -n '$p' "${LOGDIR}/soak.log"
+else
+  echo "daemon-gate: soak FAILED" >&2
+  cat "${LOGDIR}/soak.log" >&2
+  rc=1
+fi
+
+echo "== daemon-gate: SIGTERM drain =="
+kill -TERM "${DPID}"
+drc=0
+wait "${DPID}" || drc=$?
+if [ "${drc}" -ne 0 ]; then
+  echo "daemon-gate: vihotd exited ${drc} after SIGTERM (want 0)" >&2
+  cat "${LOGDIR}/vihotd.log" >&2
+  rc=1
+fi
+if [ -S "${SOCK}" ]; then
+  echo "daemon-gate: socket not unlinked on exit" >&2
+  rc=1
+fi
+if [ ! -s "${HEALTH}" ]; then
+  echo "daemon-gate: --health-on-exit wrote nothing" >&2
+  rc=1
+elif ! grep -q '"sessions": 0' "${HEALTH}"; then
+  echo "daemon-gate: residual sessions in exit health snapshot:" >&2
+  cat "${HEALTH}" >&2
+  rc=1
+fi
+
+if [ "${rc}" -eq 0 ]; then
+  echo "daemon-gate: OK (verify + soak + graceful drain)"
+else
+  echo "daemon-gate: FAILED (logs in ${LOGDIR})" >&2
+fi
+exit "${rc}"

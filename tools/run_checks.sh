@@ -7,7 +7,10 @@
 # run); the scalar leg re-runs the matcher-equivalence + replay-gate
 # labels and the corpus verify with VIHOT_SIMD=off, proving the
 # dispatcher's portable scalar kernels reproduce the exact same bits as
-# whatever SIMD table the host resolves to; the asan and tsan presets
+# whatever SIMD table the host resolves to; the daemon leg runs the
+# daemon ctest label and then tools/daemon_gate.sh (a real vihotd
+# driven by vihot_loadgen over the golden corpus, chaos soak, SIGTERM
+# drain); the asan and tsan presets
 # build and run the full suite under each sanitizer (the tsan leg keeps TrackerEngine / WorkerPool /
 # ingest rings honest — engine_tests exercises concurrent producers,
 # session churn and batch ticks, and the fleet label re-proves the
@@ -36,8 +39,8 @@ set -uo pipefail
 
 cd "$(dirname "$0")/.."
 
-all_legs=(matcher scalar replay asan tsan release)
-known_legs=(matcher scalar replay default asan tsan release)
+all_legs=(matcher scalar replay daemon asan tsan release)
+known_legs=(matcher scalar replay daemon default asan tsan release)
 
 if [ "${1:-}" = "--list" ]; then
   printf '%s\n' "${known_legs[@]}"
@@ -152,6 +155,19 @@ run_leg() {
       done
       return "${verify_rc}"
       ;;
+    daemon)
+      # Tracking-as-a-service gate: the daemon ctest label (protocol
+      # robustness + in-process end-to-end), then tools/daemon_gate.sh
+      # boots a REAL vihotd and drives it with vihot_loadgen — corpus
+      # bit-identity through the socket, a chaos soak (disconnecting
+      # feeders, slow kBlock subscriber), and the SIGTERM drain
+      # contract. Logs land in build/daemon-logs for CI artifacts.
+      configure_build default || return 1
+      echo "== ${leg}: daemon tests =="
+      run_ctest daemon daemon || return 1
+      echo "== ${leg}: end-to-end gate (vihotd + loadgen) =="
+      tools/daemon_gate.sh build
+      ;;
     release)
       configure_build release || return 1
       echo "== ${leg}: release-guard tests =="
@@ -180,6 +196,11 @@ run_leg() {
         # the sharded tier's data-race proof.
         echo "== ${leg}: fleet gate =="
         run_ctest fleet-tsan tsan-fleet || return 1
+        # The daemon crosses reader threads, the tick loop and
+        # per-subscriber writer threads: its label is the serving
+        # layer's data-race proof.
+        echo "== ${leg}: daemon gate =="
+        run_ctest daemon-tsan tsan-daemon || return 1
       fi
       echo "== ${leg}: full suite =="
       run_ctest "${leg}" "${leg}"

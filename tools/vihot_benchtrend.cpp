@@ -1,0 +1,440 @@
+// vihot_benchtrend: guard benchmark metrics against regressions.
+//
+//   vihot_benchtrend --baseline BASE.json --current CUR.json
+//                    --metric PATH:DIR:TOL [--metric ...]
+//                    [--report PATH]
+//
+// Compares numeric metrics between two JSON files (the repo's own
+// BENCH_fleet.json shape and google-benchmark's --benchmark_out
+// shape) and exits 1 with a delta table when any metric regressed
+// beyond its tolerance.
+//
+//   PATH  dotted object path, e.g. ticks_per_s or
+//         tick_latency_ms.p99; the segment benchmarks[NAME] selects
+//         the entry of the top-level "benchmarks" array whose "name"
+//         field equals NAME (google-benchmark layout), e.g.
+//         benchmarks[BM_banded_dtw/64].cpu_time
+//   DIR   higher | lower — which direction is better
+//   TOL   allowed fractional regression, e.g. 0.35 = 35% headroom
+//         (benchmarks wobble across machines; tolerances are wide by
+//         design — the gate catches cliffs, not noise)
+//
+// A missing metric in either file is a failure: silently skipping a
+// renamed metric would turn the gate off without anyone noticing.
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// --- Minimal JSON value + recursive-descent parser ----------------------
+// Supports exactly what benchmark emitters produce: objects, arrays,
+// strings, finite numbers, booleans, null. No escapes beyond \" \\ \/
+// \n \t (names in benchmark JSON never need more).
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+};
+
+class JsonParser {
+ public:
+  JsonParser(const char* text, std::size_t size)
+      : text_(text), size_(size) {}
+
+  bool parse(JsonValue* out) {
+    skip_ws();
+    if (!parse_value(out)) return false;
+    skip_ws();
+    return pos_ == size_;  // no trailing garbage
+  }
+
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  bool fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at byte " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < size_ &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < size_ ? text_[pos_] : '\0';
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::strlen(word);
+    if (pos_ + n > size_ || std::memcmp(text_ + pos_, word, n) != 0) {
+      return fail(std::string("expected '") + word + "'");
+    }
+    pos_ += n;
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (peek() != '"') return fail("expected string");
+    ++pos_;
+    out->clear();
+    while (pos_ < size_ && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= size_) return fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          default: return fail("unsupported escape");
+        }
+      }
+      out->push_back(c);
+    }
+    if (pos_ >= size_) return fail("unterminated string");
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool parse_value(JsonValue* out) {
+    skip_ws();
+    switch (peek()) {
+      case '{': {
+        out->kind = JsonValue::Kind::kObject;
+        ++pos_;
+        skip_ws();
+        if (peek() == '}') {
+          ++pos_;
+          return true;
+        }
+        for (;;) {
+          skip_ws();
+          std::string key;
+          if (!parse_string(&key)) return false;
+          skip_ws();
+          if (peek() != ':') return fail("expected ':'");
+          ++pos_;
+          JsonValue child;
+          if (!parse_value(&child)) return false;
+          out->object.emplace(std::move(key), std::move(child));
+          skip_ws();
+          if (peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          if (peek() == '}') {
+            ++pos_;
+            return true;
+          }
+          return fail("expected ',' or '}'");
+        }
+      }
+      case '[': {
+        out->kind = JsonValue::Kind::kArray;
+        ++pos_;
+        skip_ws();
+        if (peek() == ']') {
+          ++pos_;
+          return true;
+        }
+        for (;;) {
+          JsonValue child;
+          if (!parse_value(&child)) return false;
+          out->array.push_back(std::move(child));
+          skip_ws();
+          if (peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          if (peek() == ']') {
+            ++pos_;
+            return true;
+          }
+          return fail("expected ',' or ']'");
+        }
+      }
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return parse_string(&out->str);
+      case 't':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = true;
+        return literal("true");
+      case 'f':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = false;
+        return literal("false");
+      case 'n':
+        out->kind = JsonValue::Kind::kNull;
+        return literal("null");
+      default: {
+        const std::size_t start = pos_;
+        while (pos_ < size_ &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E')) {
+          ++pos_;
+        }
+        if (pos_ == start) return fail("unexpected character");
+        out->kind = JsonValue::Kind::kNumber;
+        out->number =
+            std::strtod(std::string(text_ + start, pos_ - start).c_str(),
+                        nullptr);
+        return true;
+      }
+    }
+  }
+
+  const char* text_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+// --- Metric path resolution ---------------------------------------------
+
+/// Splits "a.b.benchmarks[x.y/8].c" into segments, keeping bracketed
+/// names (which may contain dots) intact.
+std::vector<std::string> split_path(const std::string& path) {
+  std::vector<std::string> segments;
+  std::string cur;
+  bool in_bracket = false;
+  for (const char c : path) {
+    if (c == '[') in_bracket = true;
+    if (c == ']') in_bracket = false;
+    if (c == '.' && !in_bracket) {
+      segments.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  segments.push_back(cur);
+  return segments;
+}
+
+/// Resolves a path to a number. Returns false with a reason on any
+/// missing step (reported, never skipped).
+bool resolve(const JsonValue& root, const std::string& path, double* out,
+             std::string* why) {
+  const JsonValue* node = &root;
+  for (const std::string& seg : split_path(path)) {
+    const std::size_t bracket = seg.find('[');
+    if (bracket != std::string::npos && seg.back() == ']') {
+      // field[NAME]: descend into the array `field`, select by "name".
+      const std::string field = seg.substr(0, bracket);
+      const std::string name =
+          seg.substr(bracket + 1, seg.size() - bracket - 2);
+      const auto it = node->object.find(field);
+      if (node->kind != JsonValue::Kind::kObject ||
+          it == node->object.end() ||
+          it->second.kind != JsonValue::Kind::kArray) {
+        *why = "no array '" + field + "'";
+        return false;
+      }
+      const JsonValue* match = nullptr;
+      for (const JsonValue& entry : it->second.array) {
+        const auto nit = entry.object.find("name");
+        if (entry.kind == JsonValue::Kind::kObject &&
+            nit != entry.object.end() && nit->second.str == name) {
+          match = &entry;
+          break;
+        }
+      }
+      if (match == nullptr) {
+        *why = "no entry named '" + name + "' in '" + field + "'";
+        return false;
+      }
+      node = match;
+      continue;
+    }
+    if (node->kind != JsonValue::Kind::kObject) {
+      *why = "'" + seg + "': parent is not an object";
+      return false;
+    }
+    const auto it = node->object.find(seg);
+    if (it == node->object.end()) {
+      *why = "no field '" + seg + "'";
+      return false;
+    }
+    node = &it->second;
+  }
+  if (node->kind != JsonValue::Kind::kNumber) {
+    *why = "not a number";
+    return false;
+  }
+  *out = node->number;
+  return true;
+}
+
+struct MetricSpec {
+  std::string path;
+  bool higher_is_better = true;
+  double tolerance = 0.0;
+};
+
+/// "path:higher:0.35" -> spec. False on malformed input.
+bool parse_metric(const std::string& arg, MetricSpec* out) {
+  const std::size_t last = arg.rfind(':');
+  if (last == std::string::npos || last == 0) return false;
+  const std::size_t dir = arg.rfind(':', last - 1);
+  if (dir == std::string::npos) return false;
+  out->path = arg.substr(0, dir);
+  const std::string direction = arg.substr(dir + 1, last - dir - 1);
+  if (direction == "higher") {
+    out->higher_is_better = true;
+  } else if (direction == "lower") {
+    out->higher_is_better = false;
+  } else {
+    return false;
+  }
+  char* end = nullptr;
+  out->tolerance = std::strtod(arg.c_str() + last + 1, &end);
+  return end != nullptr && *end == '\0' && out->tolerance >= 0.0 &&
+         !out->path.empty();
+}
+
+bool load_json(const std::string& path, JsonValue* out, std::string* err) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    *err = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const std::string text = buf.str();
+  JsonParser parser(text.data(), text.size());
+  if (!parser.parse(out)) {
+    *err = path + ": " + parser.error();
+    return false;
+  }
+  return true;
+}
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --baseline BASE.json --current CUR.json "
+               "--metric PATH:higher|lower:TOL [--metric ...] "
+               "[--report PATH]\n"
+               "example metrics:\n"
+               "  ticks_per_s:higher:0.5\n"
+               "  tick_latency_ms.p99:lower:1.0\n"
+               "  benchmarks[BM_banded_dtw/64].cpu_time:lower:0.75\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string current_path;
+  std::string report_path;
+  std::vector<MetricSpec> metrics;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (a == "--baseline") {
+      baseline_path = next();
+    } else if (a == "--current") {
+      current_path = next();
+    } else if (a == "--report") {
+      report_path = next();
+    } else if (a == "--metric") {
+      MetricSpec spec;
+      if (!parse_metric(next(), &spec)) {
+        std::fprintf(stderr, "malformed --metric: %s\n", argv[i]);
+        usage(argv[0]);
+      }
+      metrics.push_back(std::move(spec));
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      usage(argv[0]);
+    }
+  }
+  if (baseline_path.empty() || current_path.empty() || metrics.empty()) {
+    std::fprintf(stderr,
+                 "--baseline, --current and at least one --metric are "
+                 "required\n");
+    usage(argv[0]);
+  }
+
+  JsonValue baseline;
+  JsonValue current;
+  std::string err;
+  if (!load_json(baseline_path, &baseline, &err) ||
+      !load_json(current_path, &current, &err)) {
+    std::fprintf(stderr, "error: %s\n", err.c_str());
+    return 1;
+  }
+
+  std::ostringstream table;
+  table << "metric                                      baseline"
+        << "      current        delta   tol     verdict\n";
+  int failures = 0;
+  for (const MetricSpec& m : metrics) {
+    double base = 0.0;
+    double cur = 0.0;
+    std::string why;
+    if (!resolve(baseline, m.path, &base, &why)) {
+      table << m.path << ": MISSING in baseline (" << why << ")\n";
+      ++failures;
+      continue;
+    }
+    if (!resolve(current, m.path, &cur, &why)) {
+      table << m.path << ": MISSING in current (" << why << ")\n";
+      ++failures;
+      continue;
+    }
+    // Relative delta signed so that positive = improvement.
+    const double rel =
+        base != 0.0 ? (cur - base) / base : (cur == 0.0 ? 0.0 : 1e9);
+    const double gain = m.higher_is_better ? rel : -rel;
+    const bool regressed = gain < -m.tolerance;
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "%-40s %12.4g %12.4g %+10.1f%% %5.0f%%  %s\n",
+                  m.path.c_str(), base, cur, rel * 100.0,
+                  m.tolerance * 100.0,
+                  regressed ? "REGRESSED" : "ok");
+    table << line;
+    if (regressed) ++failures;
+  }
+  const std::string rendered = table.str();
+  if (!report_path.empty()) {
+    std::ofstream os(report_path);
+    if (os) os << rendered;
+  }
+  if (failures != 0) {
+    std::fprintf(stderr, "bench trend: %d metric(s) failed\n%s", failures,
+                 rendered.c_str());
+    return 1;
+  }
+  std::fputs(rendered.c_str(), stdout);
+  return 0;
+}

@@ -30,8 +30,12 @@ namespace {
                "usage: %s verify <log.vrlog> [--threads K] "
                "[--report PATH] [backend overrides]\n"
                "       %s replay <log.vrlog> [--threads K] "
-               "[--report PATH] [backend overrides]\n"
+               "[--at-offset SECONDS] [--report PATH] [backend "
+               "overrides]\n"
                "       %s inspect <log.vrlog>\n"
+               "--at-offset re-bases every timestamp by SECONDS (the "
+               "load-generator workflow); bit-compare is skipped, the "
+               "run must feed cleanly instead\n"
                "backend overrides (what-if replays; expect divergences "
                "unless the log was recorded with the same backends):\n"
                "  --sanitizer-backend eq3|kalman\n"
@@ -66,6 +70,9 @@ int main(int argc, char** argv) {
     } else if (a == "--report") {
       if (i + 1 >= argc) usage(argv[0]);
       report_path = argv[++i];
+    } else if (a == "--at-offset") {
+      if (i + 1 >= argc) usage(argv[0]);
+      options.time_offset = std::strtod(argv[++i], nullptr);
     } else if (a == "--sanitizer-backend") {
       if (i + 1 >= argc) usage(argv[0]);
       core::SanitizerBackend backend;
@@ -118,7 +125,18 @@ int main(int argc, char** argv) {
     std::fputs(report.c_str(), stdout);
     return 0;
   }
-  // verify: quiet on success, loud + nonzero on divergence.
+  // verify: quiet on success, loud + nonzero on divergence. A re-based
+  // run has no recorded bits to match; its verify contract is that the
+  // shifted run re-drove cleanly (every recorded sample accepted).
+  if (result.rebased) {
+    if (result.fed_cleanly()) {
+      std::printf("%s: %llu ticks re-based, fed cleanly\n", path.c_str(),
+                  static_cast<unsigned long long>(result.ticks_replayed));
+      return 0;
+    }
+    std::fputs(report.c_str(), stderr);
+    return 1;
+  }
   if (result.bit_identical()) {
     std::printf("%s: %llu ticks, %llu results, bit-identical\n",
                 path.c_str(),
