@@ -104,6 +104,38 @@ CabinScene make_cabin_scene(AntennaLayout layout) {
   return scene;
 }
 
+CabinScene occupant_view(const CabinScene& base,
+                         const geom::Vec3& tracked_head_center,
+                         const geom::Vec3& interferer_head_center) {
+  CabinScene view = base;
+
+  // The tracked occupant takes over the "driver" roles of the path
+  // inventory: head path and breathing torso, at the tracked seat (same
+  // head-to-torso offset as the stock scene).
+  const geom::Vec3 torso_offset = base.driver_torso - base.driver_head_center;
+  view.driver_head_center = tracked_head_center;
+  view.driver_torso = tracked_head_center + torso_offset;
+
+  // Placement rule of Sec. 3.5, re-aimed: the pattern null points at
+  // whoever is now the interference source. The "passenger" seat — the
+  // seat passenger_null_ratio() nulls — moves there too.
+  view.tx_antenna_axis = interferer_head_center - base.tx_position;
+  view.passenger_head_center = interferer_head_center;
+
+  // Re-weight the antenna pair for the tracked seat: the nearer antenna
+  // is the one whose LOS the tracked head shadows (blocked-LOS, strong
+  // head echo), the farther one keeps the clean-LOS reference role.
+  const double d0 = geom::distance(base.rx[0].position, tracked_head_center);
+  const double d1 = geom::distance(base.rx[1].position, tracked_head_center);
+  const std::size_t near = d0 <= d1 ? 0 : 1;
+  const std::size_t far = 1 - near;
+  view.rx[near].los_amplitude = 0.25;
+  view.rx[near].head_amplitude = 0.90;
+  view.rx[far].los_amplitude = 1.00;
+  view.rx[far].head_amplitude = 0.10;
+  return view;
+}
+
 std::vector<std::complex<double>> passenger_null_ratio(
     const CabinScene& scene, const SubcarrierGrid& grid) {
   // Path lengths of the passenger bounce at each antenna.

@@ -84,6 +84,26 @@ struct CabinScene {
 /// All layouts, in figure order, for the placement sweep bench.
 [[nodiscard]] std::vector<AntennaLayout> all_layouts();
 
+/// Per-occupant antenna-weighting view (scenario packs, DESIGN.md §5l):
+/// the same physical cabin re-weighted so a SECOND tracking session can
+/// follow `tracked_head_center` instead of the driver. The antennas stay
+/// where they are; what changes is the per-antenna LOS/head amplitude
+/// split (the Sec. 5.2.2 mechanism, re-aimed: the antenna nearer the
+/// tracked head takes the blocked-LOS/strong-echo role, the farther one
+/// the clean-LOS reference role) and the TX dipole null, which swings
+/// from the passenger onto `interferer_head_center` — for a tracked
+/// passenger that is the DRIVER, now the interference source. The view's
+/// `driver_head_center`/`driver_torso` move to the tracked seat, so the
+/// "driver head" path of the synthesizer becomes the tracked occupant's
+/// signal; the real driver enters through CabinState::occupants. The
+/// view's `passenger_head_center` also moves onto the interferer, so
+/// passenger_null_ratio(view, grid) yields the RX-beamforming null for
+/// THIS view's interference source (the serving tier feeds it to the
+/// tracked session's sanitizer).
+[[nodiscard]] CabinScene occupant_view(const CabinScene& base,
+                                       const geom::Vec3& tracked_head_center,
+                                       const geom::Vec3& interferer_head_center);
+
 /// Per-subcarrier complex ratio r_f between the passenger-reflection
 /// path's response at RX antenna 0 and antenna 1. The combination
 /// y_f = h0_f - r_f * h1_f nulls the passenger's single-bounce

@@ -62,7 +62,8 @@ double ChannelModel::head_path_length(const geom::HeadPose& head,
 std::vector<ChannelModel::PathContribution> ChannelModel::paths_for(
     const CabinState& state, std::size_t rx) const {
   std::vector<PathContribution> paths;
-  paths.reserve(8 + scene_.static_reflectors.size());
+  paths.reserve(8 + state.occupants.size() +
+                scene_.static_reflectors.size());
 
   const geom::Vec3 tx = scene_.tx_position + state.tx_offset;
   const geom::Vec3 rx_pos = scene_.rx[rx].position + state.rx_offset[rx];
@@ -114,6 +115,27 @@ std::vector<ChannelModel::PathContribution> ChannelModel::paths_for(
     const double d2 = geom::distance(s, rx_pos);
     const double gain = tx_pattern_.amplitude_gain(s - tx);
     paths.push_back({d1 + d2, bounce_amplitude(0.7, gain, d1, d2)});
+  }
+
+  // 4b. Scenario-pack occupants: every extra occupant contributes one
+  //     head-grade single-bounce path, superimposed linearly per Eq. (1).
+  //     The scatter center rides the occupant's head orientation the same
+  //     way the legacy passenger path does; the per-occupant reflectivity
+  //     is the path gain a pack tunes (rear-bench heads reflect weakly,
+  //     Sec. 3.5). Being head-grade echoes, they see the same per-antenna
+  //     head-path weighting as the driver's head echo — the headrest
+  //     shadowing encoded in RxAntenna::head_amplitude applies to any
+  //     head-height bounce arriving at that antenna, not just the
+  //     driver's. An empty vector adds no paths, preserving the exact FP
+  //     summation order of the single-occupant synth.
+  for (const OccupantReflection& occ : state.occupants) {
+    const geom::Vec3 s = occ.head_center + 0.03 * horizontal_dir(occ.theta);
+    const double d1 = geom::distance(tx, s);
+    const double d2 = geom::distance(s, rx_pos);
+    const double gain = tx_pattern_.amplitude_gain(s - tx);
+    paths.push_back({d1 + d2,
+                     ant.head_amplitude *
+                         bounce_amplitude(occ.reflectivity, gain, d1, d2)});
   }
 
   // 5. Driver torso: breathing moves the chest along +y.

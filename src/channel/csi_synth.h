@@ -37,6 +37,18 @@ struct HeadScatterModel {
   double tertiary_phase_rad = 0.0;   ///< phase of the third harmonic
 };
 
+/// One additional cabin occupant's reflection at one instant (scenario
+/// packs, DESIGN.md §5l). Each occupant is a head-grade scatterer at its
+/// seat with a per-occupant path gain; N of them superimpose linearly in
+/// Eq. (1), one single-bounce path each. The legacy
+/// `passenger_present`/`passenger_theta` pair below predates this vector
+/// and keeps its own path for bit-compatibility with recorded corpora.
+struct OccupantReflection {
+  geom::Vec3 head_center;     ///< occupant head center (seat + trajectory)
+  double theta = 0.0;         ///< head orientation (rad, 0 = forward)
+  double reflectivity = 0.7;  ///< per-occupant path gain
+};
+
 /// All time-varying quantities the channel depends on at one instant.
 struct CabinState {
   geom::HeadPose head;  ///< driver head position & orientation
@@ -47,6 +59,12 @@ struct CabinState {
 
   bool passenger_present = false;
   double passenger_theta = 0.0;  ///< passenger head orientation (rad)
+
+  /// Extra occupants beyond the driver (empty = the classic single-
+  /// occupant cabin; the synthesized CSI is then bit-identical to the
+  /// pre-occupant model — the frozen-fixture invariant the channel tests
+  /// pin down).
+  std::vector<OccupantReflection> occupants;
 
   double breathing_displacement_m = 0.0;  ///< driver chest excursion
   double music_displacement_m = 0.0;      ///< vibrating-panel excursion

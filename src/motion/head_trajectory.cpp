@@ -26,15 +26,19 @@ HeadPositionGrid::HeadPositionGrid(geom::Vec3 center, std::size_t count,
     : center_(center), count_(std::max<std::size_t>(count, 1)),
       spacing_m_(spacing_m) {}
 
-geom::Vec3 HeadPositionGrid::position(std::size_t i) const noexcept {
+geom::Vec3 HeadPositionGrid::lean_axis() noexcept {
   // Lean axis: dominantly forward/backward, but a torso lean also drops
   // the head slightly and shifts it a little toward the wheel (drivers
   // pivot at the hips, not straight along the car axis).
   static const geom::Vec3 kLeanDir =
       geom::Vec3{0.10, 0.92, -0.38}.normalized();
+  return kLeanDir;
+}
+
+geom::Vec3 HeadPositionGrid::position(std::size_t i) const noexcept {
   const double mid = static_cast<double>(count_ - 1) / 2.0;
   const double offset = (static_cast<double>(i) - mid) * spacing_m_;
-  return center_ + kLeanDir * offset;
+  return center_ + lean_axis() * offset;
 }
 
 std::size_t HeadPositionGrid::nearest(const geom::Vec3& p) const noexcept {
@@ -177,6 +181,44 @@ HeadState DrivingScanTrajectory::at(double t) const noexcept {
     state.theta_dot = ev.target_rad * dfrac;
     break;
   }
+  return state;
+}
+
+ContinuousSweepTrajectory::ContinuousSweepTrajectory(Config config,
+                                                     geom::Vec3 center_position,
+                                                     util::Rng rng)
+    : config_(config), center_(center_position) {
+  phase_sweep_ = rng.uniform(0.0, util::kTwoPi);
+  phase_mod_ = rng.uniform(0.0, util::kTwoPi);
+  phase_drift_ = rng.uniform(0.0, util::kTwoPi);
+}
+
+HeadState ContinuousSweepTrajectory::at(double t) const noexcept {
+  const double w1 = util::kTwoPi * config_.sweep_freq_hz;
+  const double w2 = util::kTwoPi * config_.mod_freq_hz;
+  const double w3 = util::kTwoPi * config_.drift_freq_hz;
+
+  // theta(t) = A(t) sin(w1 t + p1), A(t) = A0 (1 + m sin(w2 t + p2)):
+  // the product of two incommensurate tones, so the head keeps moving —
+  // theta_dot only touches zero momentarily at the sweep turnarounds,
+  // never a dwell (the property the never-rests test pins down).
+  const double amp = config_.base_amplitude_rad *
+                     (1.0 + config_.amplitude_mod *
+                                std::sin(w2 * t + phase_mod_));
+  const double damp = config_.base_amplitude_rad * config_.amplitude_mod *
+                      w2 * std::cos(w2 * t + phase_mod_);
+  const double s = std::sin(w1 * t + phase_sweep_);
+  const double c = std::cos(w1 * t + phase_sweep_);
+
+  HeadState state;
+  state.pose.theta = amp * s;
+  state.theta_dot = damp * s + amp * w1 * c;  // analytic d(theta)/dt
+  // The head position drifts along the profiling lean axis, sweeping
+  // through and between the grid slots the profile was built at.
+  state.pose.position =
+      center_ + HeadPositionGrid::lean_axis() *
+                    (config_.drift_amplitude_m *
+                     std::sin(w3 * t + phase_drift_));
   return state;
 }
 

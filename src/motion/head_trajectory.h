@@ -37,6 +37,10 @@ class HeadPositionGrid {
   [[nodiscard]] std::size_t count() const noexcept { return count_; }
   /// Head-center position of grid slot i (0 = most leaned back).
   [[nodiscard]] geom::Vec3 position(std::size_t i) const noexcept;
+  /// The torso-lean direction the grid slots sit along (unit vector).
+  /// Continuous trajectories drift the head along this axis to move
+  /// through and between the profiled slots.
+  [[nodiscard]] static geom::Vec3 lean_axis() noexcept;
   /// The grid slot nearest to an arbitrary head position.
   [[nodiscard]] std::size_t nearest(const geom::Vec3& p) const noexcept;
 
@@ -108,6 +112,42 @@ class DrivingScanTrajectory {
   std::vector<ScanEvent> events_;
   double jitter_phase1_ = 0.0;
   double jitter_phase2_ = 0.0;
+};
+
+/// Continuous head motion that never rests in a profile slot: the yaw is
+/// an amplitude-modulated sinusoid (two incommensurate tones so the
+/// sweep never repeats within a session) and the head POSITION drifts
+/// along the profiling grid's lean axis, through and between the
+/// discrete slots. This is the forecaster/matcher stress workload of the
+/// `continuous_sweep` scenario pack: unlike DrivingScanTrajectory there
+/// is no facing-forward dwell the tracker can re-anchor on, and unlike
+/// the profiling SweepTrajectory the head does not stay at one grid
+/// position ("Single-Target Real-Time Passive WiFi Tracking" tracks
+/// exactly this kind of unconstrained continuous motion).
+class ContinuousSweepTrajectory {
+ public:
+  struct Config {
+    double base_amplitude_rad = 1.05;  ///< nominal sweep half-span
+    double amplitude_mod = 0.35;       ///< relative amplitude modulation
+    double sweep_freq_hz = 0.16;       ///< primary yaw tone
+    double mod_freq_hz = 0.047;        ///< amplitude-modulation tone
+    double drift_amplitude_m = 0.045;  ///< lean drift through the slots
+    double drift_freq_hz = 0.031;      ///< slow slot-to-slot wander
+  };
+
+  /// Phases are drawn once from `rng` (all randomness flows from the
+  /// scenario seed; the trajectory itself is a closed-form function of t).
+  ContinuousSweepTrajectory(Config config, geom::Vec3 center_position,
+                            util::Rng rng);
+
+  [[nodiscard]] HeadState at(double t) const noexcept;
+
+ private:
+  Config config_;
+  geom::Vec3 center_;
+  double phase_sweep_ = 0.0;
+  double phase_mod_ = 0.0;
+  double phase_drift_ = 0.0;
 };
 
 /// Full 3D rotation decomposition used by the Fig. 2 reproduction: yaw is

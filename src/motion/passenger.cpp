@@ -53,4 +53,57 @@ bool PassengerModel::moving_at(double t) const noexcept {
   return false;
 }
 
+OccupantMotion::OccupantMotion(OccupantMotionConfig config,
+                               geom::Vec3 seat_head_center, util::Rng rng)
+    : config_(std::move(config)), seat_(seat_head_center) {
+  switch (config_.behavior) {
+    case OccupantBehavior::kStill:
+      break;  // no randomness consumed: a still occupant needs none
+    case OccupantBehavior::kGlances: {
+      PassengerModel::Config g = config_.glance;
+      g.duration_s = config_.duration_s;
+      glance_ = std::make_unique<PassengerModel>(g, std::move(rng));
+      break;
+    }
+    case OccupantBehavior::kScanEvents: {
+      DrivingScanTrajectory::Config s = config_.scan;
+      s.duration_s = config_.duration_s;
+      scan_ = std::make_unique<DrivingScanTrajectory>(s, seat_,
+                                                      std::move(rng));
+      break;
+    }
+    case OccupantBehavior::kContinuousSweep:
+      sweep_ = std::make_unique<ContinuousSweepTrajectory>(config_.sweep,
+                                                           seat_,
+                                                           std::move(rng));
+      break;
+  }
+}
+
+HeadState OccupantMotion::at(double u) const noexcept {
+  if (scan_) return scan_->at(u);
+  if (sweep_) return sweep_->at(u);
+  HeadState state;
+  state.pose.position = seat_;
+  state.pose.theta = glance_ ? glance_->theta_at(u) : 0.0;
+  state.theta_dot = 0.0;
+  return state;
+}
+
+bool OccupantMotion::moving_at(double u) const noexcept {
+  switch (config_.behavior) {
+    case OccupantBehavior::kStill:
+      return false;
+    case OccupantBehavior::kGlances:
+      return glance_->moving_at(u);
+    case OccupantBehavior::kScanEvents:
+      // Mid-event whenever the head is off-center or turning.
+      return std::abs(scan_->at(u).pose.theta) > 0.05 ||
+             std::abs(scan_->at(u).theta_dot) > 0.1;
+    case OccupantBehavior::kContinuousSweep:
+      return true;  // by construction the head never rests
+  }
+  return false;
+}
+
 }  // namespace vihot::motion

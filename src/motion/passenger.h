@@ -6,8 +6,10 @@
 // matter (Sec. 3.5) and are not modeled.
 #pragma once
 
+#include <memory>
 #include <vector>
 
+#include "motion/head_trajectory.h"
 #include "util/rng.h"
 
 namespace vihot::motion {
@@ -44,6 +46,55 @@ class PassengerModel {
     }
   };
   std::vector<Glance> glances_;
+};
+
+/// How a scenario-pack occupant moves their head (DESIGN.md §5l). The
+/// historical PassengerModel (infrequent roadside glances) becomes one
+/// behavior among four; scenario packs promote occupants from noise
+/// sources to first-class trajectory-driven heads — including tracked
+/// ones, whose sessions follow exactly these trajectories.
+enum class OccupantBehavior {
+  kStill,            ///< facing forward, position fixed (rear bench)
+  kGlances,          ///< PassengerModel: infrequent roadside glances
+  kScanEvents,       ///< DrivingScanTrajectory: mirror-check style scans
+  kContinuousSweep,  ///< ContinuousSweepTrajectory: never rests
+};
+
+/// One occupant's motion configuration, dispatching on `behavior`.
+struct OccupantMotionConfig {
+  OccupantBehavior behavior = OccupantBehavior::kGlances;
+  double duration_s = 60.0;  ///< presence window the event schedules fill
+  PassengerModel::Config glance{};
+  DrivingScanTrajectory::Config scan{};
+  ContinuousSweepTrajectory::Config sweep{};
+};
+
+/// First-class occupant head motion: a deterministic function of local
+/// presence time once seeded (every event schedule and phase is drawn
+/// from the `rng` handed in at construction — which the scenario packs
+/// fork from the scenario seed, so the same seed reproduces the same
+/// motion bit-for-bit; the determinism test pins this down).
+class OccupantMotion {
+ public:
+  OccupantMotion(OccupantMotionConfig config, geom::Vec3 seat_head_center,
+                 util::Rng rng);
+
+  /// Head state at local time u (0 = the occupant's entry instant).
+  [[nodiscard]] HeadState at(double u) const noexcept;
+
+  /// True while the occupant's head is in motion (polluting the channel).
+  [[nodiscard]] bool moving_at(double u) const noexcept;
+
+  [[nodiscard]] OccupantBehavior behavior() const noexcept {
+    return config_.behavior;
+  }
+
+ private:
+  OccupantMotionConfig config_;
+  geom::Vec3 seat_;
+  std::unique_ptr<PassengerModel> glance_;
+  std::unique_ptr<DrivingScanTrajectory> scan_;
+  std::unique_ptr<ContinuousSweepTrajectory> sweep_;
 };
 
 }  // namespace vihot::motion

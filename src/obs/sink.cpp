@@ -122,6 +122,17 @@ void Sink::attach_to(Registry& registry, const std::string& prefix) const {
   registry.attach(r + "bytes_written", replay.bytes_written);
   registry.attach(r + "writer_flushes", replay.writer_flushes);
   registry.attach(r + "staging_drops", replay.staging_drops);
+
+  const std::string sc = prefix + "scenario.";
+  registry.attach(sc + "runs", scenario.runs);
+  registry.attach(sc + "envelope_pass", scenario.envelope_pass);
+  registry.attach(sc + "envelope_fail", scenario.envelope_fail);
+  registry.attach(sc + "sessions_opened", scenario.sessions_opened);
+  registry.attach(sc + "sessions_closed", scenario.sessions_closed);
+  registry.attach(sc + "ticks", scenario.ticks);
+  registry.attach(sc + "occupants_tracked", scenario.occupants_tracked);
+  registry.attach(sc + "occupants_untracked", scenario.occupants_untracked);
+  registry.attach(sc + "relock_s", scenario.relock_s);
 }
 
 TrackerStatsSnapshot snapshot(const TrackerStats& stats) {

@@ -256,6 +256,25 @@ struct DaemonStats {
   Counter shutdown_requests;  ///< kShutdown frames (vs. SIGTERM)
 };
 
+/// Scenario-pack runner counters (scenario::run_pack, DESIGN.md §5l).
+/// Per-pack accuracy envelopes are exported here so a fleet of pack
+/// runs rolls up the same way tracker/engine stats do: every run ends
+/// in exactly one of envelope_pass / envelope_fail, churn is visible as
+/// sessions_opened/closed deltas, and the relock histogram is the
+/// rideshare-churn latency envelope's raw material.
+struct ScenarioStats {
+  Counter runs;             ///< run_pack() invocations completed
+  Counter envelope_pass;    ///< runs whose accuracy envelope held
+  Counter envelope_fail;    ///< runs with at least one envelope breach
+  Counter sessions_opened;  ///< tracking sessions opened (incl. churn)
+  Counter sessions_closed;  ///< sessions closed before the run ended
+  Counter ticks;            ///< estimate_all() ticks served
+  Counter occupants_tracked;   ///< tracked-occupant sessions evaluated
+  Counter occupants_untracked; ///< interference-only occupants simulated
+  /// Relock latency: session open -> first valid estimate (churn packs).
+  Histogram relock_s{0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 5.0};
+};
+
 /// Flight-recorder counters (replay::Recorder). A dropped frame means
 /// the staging buffer filled while the writer was still flushing the
 /// previous one — the log is marked truncated and no longer replays
@@ -276,6 +295,7 @@ struct Sink {
   ProfileStoreStats profile_store;
   DaemonStats daemon;
   RecorderStats replay;
+  ScenarioStats scenario;
 
   /// Registers every member metric with `registry` under
   /// "<prefix>tracker.*" and "<prefix>engine.*" names. The Sink must

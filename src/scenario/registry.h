@@ -1,0 +1,23 @@
+// The named scenario-pack registry (DESIGN.md §5l).
+//
+// Each pack is a fully specified, seeded ScenarioSpec: `vihot_sim
+// --scenario <name>` runs one, `--list-scenarios` prints this table, and
+// the scenario ctest label runs every pack against its accuracy
+// envelope. Packs are constructed deterministically at first use — the
+// registry itself holds no state beyond the static table.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "scenario/spec.h"
+
+namespace vihot::scenario {
+
+/// Every registered pack, in registry order.
+[[nodiscard]] const std::vector<ScenarioSpec>& all_packs();
+
+/// Lookup by name; nullptr when unknown.
+[[nodiscard]] const ScenarioSpec* find_pack(std::string_view name);
+
+}  // namespace vihot::scenario

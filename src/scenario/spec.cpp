@@ -1,0 +1,69 @@
+#include "scenario/spec.h"
+
+namespace vihot::scenario {
+
+geom::Vec3 seat_head_center(OccupantRole role) {
+  switch (role) {
+    case OccupantRole::kDriver:
+      return {-0.36, 0.10, 1.18};  // CabinScene::driver_head_center
+    case OccupantRole::kFrontPassenger:
+      return {0.36, 0.10, 1.15};  // CabinScene::passenger_head_center
+    case OccupantRole::kRearPassenger:
+      // Rear bench, driver side: behind the front row, slightly lower.
+      return {-0.30, -0.60, 1.12};
+  }
+  return {0.0, 0.0, 1.1};
+}
+
+const OccupantSpec* ScenarioSpec::driver() const noexcept {
+  for (const OccupantSpec& occ : occupants) {
+    if (occ.role == OccupantRole::kDriver) return &occ;
+  }
+  return nullptr;
+}
+
+sim::ScenarioConfig ScenarioSpec::to_config(
+    double duration_s_override) const {
+  const double duration =
+      duration_s_override > 0.0 ? duration_s_override : duration_s;
+
+  sim::ScenarioConfig config;
+  config.seed = seed;
+  config.runtime_duration_s = duration;
+  config.runtime_sessions = 1;  // the runner drives cabins itself
+
+  // Fast-profiling defaults: the pack gates run in CI on every PR, so
+  // the profiling stage uses a reduced grid (accuracy envelopes are
+  // calibrated against exactly this substrate).
+  config.num_positions = 6;
+  config.profiling_sweep_s = 6.0;
+
+  config.steering_events = steering_events;
+  config.antenna_vibration = antenna_vibration;
+  config.music_playing = music_playing;
+  config.faults = faults;
+  config.async_ingest = async_ingest;
+
+  for (const OccupantSpec& occ : occupants) {
+    if (occ.role == OccupantRole::kDriver) {
+      if (occ.motion.behavior == motion::OccupantBehavior::kContinuousSweep) {
+        config.driver_trajectory = sim::DriverTrajectoryMode::kContinuousSweep;
+        config.continuous = occ.motion.sweep;
+      } else {
+        config.driver_trajectory = sim::DriverTrajectoryMode::kScanEvents;
+        config.scan = occ.motion.scan;
+      }
+      continue;
+    }
+    sim::CabinOccupant co;
+    co.motion = occ.motion;
+    co.seat_head_center = seat_head_center(occ.role);
+    co.reflectivity = occ.reflectivity;
+    co.enter_s = occ.enter_frac * duration;
+    co.leave_s = occ.leave_frac >= 1.0 ? -1.0 : occ.leave_frac * duration;
+    config.occupants.push_back(co);
+  }
+  return config;
+}
+
+}  // namespace vihot::scenario

@@ -1,0 +1,114 @@
+// Scenario packs: declarative, seeded full-cabin workload definitions
+// (DESIGN.md §5l).
+//
+// A ScenarioSpec replaces the ad-hoc vihot_sim flag soup with one
+// self-contained description of a cabin workload: an occupant roster
+// (who sits where, how their head moves, whether they are TRACKED or
+// pure interference), entry/exit schedules for rideshare churn,
+// steering/vibration/music profiles, the transport-fault mix, and a
+// per-pack accuracy envelope. Everything is a deterministic function of
+// the pack seed: the same spec + seed reproduces the same `.vrlog`
+// bit-for-bit, which is what lets every pack ship replay-gated from day
+// one (the scenario ctest label + golden corpus).
+//
+// The spec is declarative; scenario::run_pack (runner.h) materializes it
+// against the engine tier, and ScenarioSpec::to_config() lowers the
+// cabin physics onto the existing sim::ScenarioConfig substrate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/vec3.h"
+#include "motion/passenger.h"
+#include "sim/scenario.h"
+
+namespace vihot::scenario {
+
+/// Where an occupant sits — the driver drives the cabin's DriveSession
+/// (steering, car dynamics, micromotions); everyone else is a roster
+/// occupant at a seat.
+enum class OccupantRole {
+  kDriver,
+  kFrontPassenger,
+  kRearPassenger,
+};
+
+/// Canonical head centers per seat (cabin frame, see geom/vec3.h).
+[[nodiscard]] geom::Vec3 seat_head_center(OccupantRole role);
+
+/// One occupant of the pack roster.
+struct OccupantSpec {
+  std::string name;  ///< stable label for outcomes ("driver", "rider1")
+  OccupantRole role = OccupantRole::kFrontPassenger;
+
+  /// Tracked occupants get their own engine session served against a
+  /// per-occupant antenna-weighting view (channel::occupant_view);
+  /// untracked occupants are pure interference.
+  bool tracked = false;
+
+  /// Head-motion behavior + knobs (role-appropriate defaults applied by
+  /// the registry). For the driver, kScanEvents/kContinuousSweep select
+  /// the DriveSession trajectory mode.
+  motion::OccupantMotionConfig motion{};
+
+  /// Per-occupant path gain (rear-bench heads reflect weakly, Sec. 3.5).
+  double reflectivity = 0.7;
+
+  /// Presence window as FRACTIONS of the pack duration, so packs scale
+  /// with --duration (corpus recordings run shortened packs). The driver
+  /// is always [0, 1). enter 0 / leave 1 = present throughout.
+  double enter_frac = 0.0;
+  double leave_frac = 1.0;
+};
+
+/// Pass/fail bounds exported per pack via obs scenario.* counters and
+/// enforced by the scenario ctest label.
+struct AccuracyEnvelope {
+  /// Per tracked occupant: median / p90 angular error bounds (deg).
+  double max_median_deg = 10.0;
+  double max_p90_deg = 30.0;
+  /// Churn packs: session open -> first valid estimate, worst tracked
+  /// occupant with a mid-run entry. <= 0 disables the bound.
+  double max_relock_s = 0.0;
+  /// Per tracked occupant: minimum error samples entering the CDF (a
+  /// pack whose occupants never move enough to be evaluated is a broken
+  /// pack, not a passing one). Scaled down when a run shortens the pack.
+  std::size_t min_evaluated = 25;
+};
+
+/// One named, seeded scenario pack.
+struct ScenarioSpec {
+  std::string name;     ///< registry key (vihot_sim --scenario NAME)
+  std::string summary;  ///< one-line description for --list-scenarios
+
+  std::uint64_t seed = 42;
+  double duration_s = 8.0;  ///< run-time window per cabin
+  std::size_t cabins = 1;   ///< independent cabins (sessions multiply)
+
+  // Cabin-level interference & transport profile.
+  bool steering_events = false;
+  bool antenna_vibration = false;
+  bool music_playing = false;
+  bool async_ingest = false;
+  sim::FaultConfig faults{};
+
+  std::vector<OccupantSpec> occupants;  ///< roster; exactly one kDriver
+  AccuracyEnvelope envelope{};
+
+  /// The driver occupant (first role == kDriver entry; the registry
+  /// guarantees exactly one). nullptr for a malformed spec.
+  [[nodiscard]] const OccupantSpec* driver() const noexcept;
+
+  /// Lowers the pack onto the sim substrate: driver trajectory mode,
+  /// non-driver occupants as sim::CabinOccupant entries with their
+  /// presence fractions materialized against `duration_s_override` (0 =
+  /// the pack's own duration), interference toggles, faults, async
+  /// ingest, and fast-profiling defaults (6 grid slots, 6 s sweeps — the
+  /// pack gates run in CI).
+  [[nodiscard]] sim::ScenarioConfig to_config(
+      double duration_s_override = 0.0) const;
+};
+
+}  // namespace vihot::scenario

@@ -1,6 +1,8 @@
 #include "sim/drive_sim.h"
 
+#include <algorithm>
 #include <cmath>
+#include <string>
 
 namespace vihot::sim {
 
@@ -45,10 +47,49 @@ DriveSession::DriveSession(const ScenarioConfig& config,
   vib.duration_s = config.runtime_duration_s;
   vibration_ =
       std::make_unique<motion::VibrationModel>(vib, rng.fork("vibration"));
+
+  // Scenario-pack extensions fork LAST and only when configured:
+  // util::Rng::fork consumes parent state, so any new draw ahead of the
+  // historical sequence would silently re-seed every model above and
+  // break bit-compatibility with the recorded golden corpus.
+  if (config.driver_trajectory == DriverTrajectoryMode::kContinuousSweep) {
+    continuous_ = std::make_unique<motion::ContinuousSweepTrajectory>(
+        config.continuous, head_position, rng.fork("continuous"));
+  }
+  occupants_.reserve(config.occupants.size());
+  for (std::size_t i = 0; i < config.occupants.size(); ++i) {
+    const CabinOccupant& occ = config.occupants[i];
+    motion::OccupantMotionConfig mc = occ.motion;
+    const double leave =
+        occ.leave_s < 0.0 ? config.runtime_duration_s : occ.leave_s;
+    mc.duration_s = std::max(leave - occ.enter_s, 0.0);
+    occupants_.push_back(std::make_unique<motion::OccupantMotion>(
+        mc, occ.seat_head_center,
+        rng.fork("occupant" + std::to_string(i))));
+  }
 }
 
 motion::HeadState DriveSession::head_at(double t) const {
+  if (continuous_) return continuous_->at(t);
   return trajectory_->at(t);
+}
+
+std::size_t DriveSession::num_occupants() const noexcept {
+  return occupants_.size();
+}
+
+bool DriveSession::occupant_present(std::size_t index,
+                                    double t) const noexcept {
+  if (index >= config_.occupants.size()) return false;
+  const CabinOccupant& occ = config_.occupants[index];
+  if (t < occ.enter_s) return false;
+  return occ.leave_s < 0.0 || t < occ.leave_s;
+}
+
+motion::HeadState DriveSession::occupant_head_at(std::size_t index,
+                                                 double t) const {
+  const CabinOccupant& occ = config_.occupants[index];
+  return occupants_[index]->at(t - occ.enter_s);
 }
 
 channel::CabinState DriveSession::cabin_state_at(double t) const {
@@ -70,6 +111,55 @@ channel::CabinState DriveSession::cabin_state_at(double t) const {
   s.rx_offset[0] = vibration_->rx_offset_at(0, t);
   s.rx_offset[1] = vibration_->rx_offset_at(1, t);
   s.tx_offset = vibration_->tx_offset_at(t);
+
+  // Roster occupants superimpose one reflection each while present.
+  for (std::size_t i = 0; i < occupants_.size(); ++i) {
+    if (!occupant_present(i, t)) continue;
+    const motion::HeadState os = occupant_head_at(i, t);
+    channel::OccupantReflection r;
+    r.head_center = os.pose.position;
+    r.theta = os.pose.theta;
+    r.reflectivity = config_.occupants[i].reflectivity;
+    s.occupants.push_back(r);
+  }
+  return s;
+}
+
+channel::CabinState DriveSession::occupant_view_state_at(std::size_t index,
+                                                         double t) const {
+  // Same cabin instant, re-centered on the tracked occupant: its head
+  // takes the driver-head path of the view scene (channel::occupant_view
+  // moved driver_head_center/torso to this seat), while the REAL driver
+  // and every other present occupant become interfering reflections.
+  channel::CabinState s;
+  const motion::HeadState tracked = occupant_head_at(index, t);
+  s.head = tracked.pose;
+
+  const motion::SteeringState steer = steering_->at(t);
+  s.steering_rim_angle = steer.wheel_angle_rad;
+  s.breathing_displacement_m = breathing_->displacement_at(t);
+  s.music_displacement_m = music_->displacement_at(t);
+  s.eye_displacement_m = eye_->displacement_at(t);
+  s.rx_offset[0] = vibration_->rx_offset_at(0, t);
+  s.rx_offset[1] = vibration_->rx_offset_at(1, t);
+  s.tx_offset = vibration_->tx_offset_at(t);
+
+  const motion::HeadState driver = head_at(t);
+  channel::OccupantReflection driver_ref;
+  driver_ref.head_center = driver.pose.position;
+  driver_ref.theta = driver.pose.theta;
+  driver_ref.reflectivity = config_.driver.scatter.reflectivity;
+  s.occupants.push_back(driver_ref);
+
+  for (std::size_t i = 0; i < occupants_.size(); ++i) {
+    if (i == index || !occupant_present(i, t)) continue;
+    const motion::HeadState os = occupant_head_at(i, t);
+    channel::OccupantReflection r;
+    r.head_center = os.pose.position;
+    r.theta = os.pose.theta;
+    r.reflectivity = config_.occupants[i].reflectivity;
+    s.occupants.push_back(r);
+  }
   return s;
 }
 

@@ -5,6 +5,7 @@
 
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "channel/cabin.h"
 #include "channel/csi_synth.h"
@@ -31,8 +32,30 @@ class DriveSession {
   /// Ground-truth head state at time t.
   [[nodiscard]] motion::HeadState head_at(double t) const;
 
-  /// Everything the channel needs at time t.
+  /// Everything the channel needs at time t. Occupants from the
+  /// scenario roster superimpose their reflections while present.
   [[nodiscard]] channel::CabinState cabin_state_at(double t) const;
+
+  // --- Scenario-pack occupants (DESIGN.md §5l) -------------------------
+
+  /// Roster size (config.occupants.size()).
+  [[nodiscard]] std::size_t num_occupants() const noexcept;
+
+  /// Is roster occupant `index` inside its presence window at t?
+  [[nodiscard]] bool occupant_present(std::size_t index,
+                                      double t) const noexcept;
+
+  /// Ground-truth head state of roster occupant `index` at session time
+  /// t (trajectories run on local presence time: entry restarts them).
+  [[nodiscard]] motion::HeadState occupant_head_at(std::size_t index,
+                                                   double t) const;
+
+  /// Cabin state as seen by a TRACKED occupant's channel view
+  /// (channel::occupant_view): the tracked head takes the driver-head
+  /// path, and the driver plus every other present occupant enter as
+  /// interfering OccupantReflections.
+  [[nodiscard]] channel::CabinState occupant_view_state_at(std::size_t index,
+                                                           double t) const;
 
   /// Car body state (for the IMU).
   [[nodiscard]] motion::CarState car_at(double t) const;
@@ -60,6 +83,15 @@ class DriveSession {
   std::unique_ptr<motion::EyeMotionModel> eye_;
   std::unique_ptr<motion::MusicVibrationModel> music_;
   std::unique_ptr<motion::VibrationModel> vibration_;
+  /// Continuous-sweep driver trajectory (replaces trajectory_'s OUTPUT
+  /// when config.driver_trajectory selects it; trajectory_ is still
+  /// built so the RNG fork sequence — and thus every historical
+  /// recording — is unchanged).
+  std::unique_ptr<motion::ContinuousSweepTrajectory> continuous_;
+  /// Roster occupant motions, one per config.occupants entry (forked
+  /// from the session RNG AFTER every historical fork, and only when
+  /// the roster is non-empty).
+  std::vector<std::unique_ptr<motion::OccupantMotion>> occupants_;
 };
 
 /// Profiling-session motion: hold forward, then sweep (Sec. 3.3).

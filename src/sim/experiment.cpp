@@ -17,17 +17,30 @@ ExperimentRunner::ExperimentRunner(ScenarioConfig config)
     : config_(std::move(config)) {}
 
 core::CsiProfile ExperimentRunner::build_profile() {
-  util::Rng rng(config_.seed);
+  // The default profiling substrate: the scenario's own scene with the
+  // driver at its head center. make_channel with zero drift consumes no
+  // RNG draws, so routing through build_profile_at (which builds the
+  // ChannelModel directly from the scene) is bit-identical.
+  channel::CabinScene scene = channel::make_cabin_scene(config_.layout);
+  scene.driver_head_center = config_.driver.head_center;
+  return build_profile_at(scene, config_.driver.head_center, /*salt=*/0);
+}
+
+core::CsiProfile ExperimentRunner::build_profile_at(
+    const channel::CabinScene& scene, geom::Vec3 head_center,
+    std::uint64_t salt) {
+  util::Rng rng(config_.seed ^ (0xd1b54a32d192ed03ULL * salt));
   util::Rng prof_rng = rng.fork("profiling");
 
   // Profiling happens parked before the trip on an uncontended channel.
-  const channel::ChannelModel channel =
-      make_channel(config_, /*cabin_drift_m=*/0.0, prof_rng);
+  const channel::ChannelModel channel(
+      scene, channel::SubcarrierGrid(config_.subcarrier),
+      config_.driver.scatter);
   wifi::SchedulerConfig sched = config_.scheduler;
   sched.load = wifi::ChannelLoad::kClean;
   wifi::WifiLink link(channel, config_.noise, sched, prof_rng.fork("link"));
 
-  const motion::HeadPositionGrid grid(config_.driver.head_center,
+  const motion::HeadPositionGrid grid(head_center,
                                       config_.num_positions,
                                       config_.position_spacing_m);
 

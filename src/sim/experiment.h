@@ -53,6 +53,16 @@ class ExperimentRunner {
   /// Profiling stage (Sec. 3.3): sweeps every grid position and builds P.
   [[nodiscard]] core::CsiProfile build_profile();
 
+  /// Profiling stage against an EXPLICIT cabin scene and head center —
+  /// the scenario packs profile a tracked occupant's antenna-weighting
+  /// view (channel::occupant_view) with the occupant's seat as the grid
+  /// center. `salt` decorrelates the profiling RNG stream per view;
+  /// salt 0 with the scenario's own scene/center is bit-identical to
+  /// build_profile().
+  [[nodiscard]] core::CsiProfile build_profile_at(
+      const channel::CabinScene& scene, geom::Vec3 head_center,
+      std::uint64_t salt = 0);
+
   /// One run-time session against a prebuilt profile. When `sink` is
   /// non-null the session's tracker reports its stage decisions into it
   /// (overriding the scenario TrackerConfig's own sink for this run).

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "channel/cabin.h"
 #include "channel/subcarrier.h"
@@ -23,6 +24,30 @@
 #include "wifi/scheduler.h"
 
 namespace vihot::sim {
+
+/// One extra cabin occupant beyond the driver (scenario packs,
+/// DESIGN.md §5l): a first-class trajectory-driven head at a seat, with
+/// a presence window for rideshare churn. Each present occupant
+/// superimposes one reflection path into the synthesized CSI
+/// (channel::CabinState::occupants).
+struct CabinOccupant {
+  motion::OccupantMotionConfig motion{};
+  /// Head center at the occupant's seat (default: front passenger).
+  geom::Vec3 seat_head_center{0.36, 0.10, 1.15};
+  /// Per-occupant path gain (rear-bench heads reflect weakly, Sec. 3.5).
+  double reflectivity = 0.7;
+  /// Presence window within the session: the occupant's reflection
+  /// exists only for t in [enter_s, leave_s). leave_s < 0 = until the
+  /// session ends.
+  double enter_s = 0.0;
+  double leave_s = -1.0;
+};
+
+/// Which trajectory drives the (tracked) driver head at run time.
+enum class DriverTrajectoryMode {
+  kScanEvents,       ///< Sec. 5.1: face the road, quick scan events
+  kContinuousSweep,  ///< forecaster stress: the head never rests
+};
 
 /// Complete description of one experiment.
 struct ScenarioConfig {
@@ -64,6 +89,16 @@ struct ScenarioConfig {
   /// Perturbs static cabin reflectors between profiling and run-time
   /// (meters of displacement; models cabin changes over long intervals).
   double cabin_drift_m = 0.0;
+
+  // --- Run-time trajectory mode (scenario packs) -----------------------
+  DriverTrajectoryMode driver_trajectory = DriverTrajectoryMode::kScanEvents;
+  motion::ContinuousSweepTrajectory::Config continuous{};
+
+  // --- Cabin occupants (scenario packs, DESIGN.md §5l) ------------------
+  /// Extra occupants beyond the driver. Empty keeps the classic
+  /// single-occupant cabin (bit-identical to the pre-roster simulator —
+  /// the occupant RNG forks are only drawn when the roster is non-empty).
+  std::vector<CabinOccupant> occupants;
 
   // --- Interference toggles (Sec. 5.3) ---------------------------------
   bool passenger_present = false;

@@ -1,0 +1,243 @@
+// N-occupant superposition invariants of the CSI synthesizer.
+//
+// The roster extension (CabinState::occupants, DESIGN.md §5l) must be
+// PURELY additive: with an empty roster the synthesized CSI is
+// bit-identical to the pre-occupant model (frozen-fixture test below),
+// and with occupants present their contributions superimpose linearly
+// per Eq. (1) with path gains linear in the per-occupant reflectivity.
+#include "channel/csi_synth.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "channel/cabin.h"
+#include "channel/subcarrier.h"
+
+namespace vihot::channel {
+namespace {
+
+// The exact cabin states the frozen fixture was generated from
+// (tests/channel/fixtures/single_occupant_csi.txt). Do NOT edit these
+// without regenerating the fixture — the whole point is that the
+// single-occupant synth output never drifts.
+std::vector<CabinState> frozen_fixture_states() {
+  std::vector<CabinState> out;
+  {
+    CabinState s;  // forward idle
+    s.head.position = {-0.36, 0.10, 1.18};
+    s.head.theta = 0.0;
+    out.push_back(s);
+  }
+  {
+    CabinState s;  // mid scan, hands off center
+    s.head.position = {-0.355, 0.112, 1.181};
+    s.head.theta = 0.62;
+    s.steering_rim_angle = 0.18;
+    s.breathing_displacement_m = 0.0035;
+    out.push_back(s);
+  }
+  {
+    CabinState s;  // legacy passenger glancing
+    s.head.position = {-0.36, 0.094, 1.179};
+    s.head.theta = -0.85;
+    s.passenger_present = true;
+    s.passenger_theta = 0.9;
+    out.push_back(s);
+  }
+  {
+    CabinState s;  // micromotion + vibration soup
+    s.head.position = {-0.362, 0.101, 1.177};
+    s.head.theta = 1.31;
+    s.steering_rim_angle = -0.4;
+    s.passenger_present = true;
+    s.passenger_theta = -0.25;
+    s.breathing_displacement_m = -0.002;
+    s.music_displacement_m = 0.0008;
+    s.eye_displacement_m = 0.0003;
+    s.rx_offset[0] = {0.0012, -0.0007, 0.0004};
+    s.rx_offset[1] = {-0.0003, 0.0009, -0.0011};
+    s.tx_offset = {0.0005, 0.0002, -0.0006};
+    out.push_back(s);
+  }
+  {
+    CabinState s;  // far left, everything quiet
+    s.head.position = {-0.36, 0.10, 1.18};
+    s.head.theta = -1.5;
+    out.push_back(s);
+  }
+  return out;
+}
+
+TEST(OccupantSynth, EmptyRosterBitIdenticalToFrozenFixture) {
+  const std::string path =
+      std::string(VIHOT_CHANNEL_FIXTURE_DIR) + "/single_occupant_csi.txt";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << "missing fixture: " << path;
+
+  const CabinScene scene = make_cabin_scene();
+  const ChannelModel model(scene, SubcarrierGrid(), HeadScatterModel{});
+
+  std::size_t lines = 0;
+  for (const CabinState& st : frozen_fixture_states()) {
+    const CsiMatrix m = model.csi(st);
+    for (std::size_t rx = 0; rx < 2; ++rx) {
+      for (std::size_t f = 0; f < m.h[rx].size(); ++f) {
+        std::string re_tok, im_tok;
+        ASSERT_TRUE(in >> re_tok >> im_tok)
+            << "fixture shorter than synth output at line " << lines;
+        // Hexfloat round-trips doubles exactly; equality must be EXACT.
+        const double re = std::strtod(re_tok.c_str(), nullptr);
+        const double im = std::strtod(im_tok.c_str(), nullptr);
+        EXPECT_EQ(re, m.h[rx][f].real())
+            << "rx=" << rx << " f=" << f << " line=" << lines;
+        EXPECT_EQ(im, m.h[rx][f].imag())
+            << "rx=" << rx << " f=" << f << " line=" << lines;
+        ++lines;
+      }
+    }
+  }
+  std::string leftover;
+  EXPECT_FALSE(in >> leftover) << "fixture longer than synth output";
+  EXPECT_EQ(lines, 5u * 2u * 30u);
+}
+
+class OccupantProperty : public ::testing::Test {
+ protected:
+  CabinScene scene_ = make_cabin_scene();
+  ChannelModel model_{scene_, SubcarrierGrid(), HeadScatterModel{}};
+
+  CabinState base_state() const {
+    CabinState s;
+    s.head.position = scene_.driver_head_center;
+    s.head.theta = 0.4;
+    return s;
+  }
+
+  static OccupantReflection front(double reflectivity) {
+    return {{0.36, 0.10, 1.15}, 0.7, reflectivity};
+  }
+  static OccupantReflection rear(double reflectivity) {
+    return {{-0.30, -0.60, 1.12}, -0.2, reflectivity};
+  }
+};
+
+TEST_F(OccupantProperty, ContributionsSuperimposeLinearly) {
+  // Eq. (1): paths sum linearly, so the delta from a two-occupant roster
+  // equals the sum of the single-occupant deltas (up to FP roundoff from
+  // the different accumulation order).
+  const CabinState none = base_state();
+  CabinState with_a = none;
+  with_a.occupants = {front(0.7)};
+  CabinState with_b = none;
+  with_b.occupants = {rear(0.4)};
+  CabinState with_ab = none;
+  with_ab.occupants = {front(0.7), rear(0.4)};
+
+  const CsiMatrix h0 = model_.csi(none);
+  const CsiMatrix ha = model_.csi(with_a);
+  const CsiMatrix hb = model_.csi(with_b);
+  const CsiMatrix hab = model_.csi(with_ab);
+
+  for (std::size_t rx = 0; rx < 2; ++rx) {
+    for (std::size_t f = 0; f < h0.h[rx].size(); ++f) {
+      const auto da = ha.h[rx][f] - h0.h[rx][f];
+      const auto db = hb.h[rx][f] - h0.h[rx][f];
+      const auto dab = hab.h[rx][f] - h0.h[rx][f];
+      EXPECT_NEAR(dab.real(), (da + db).real(), 1e-12);
+      EXPECT_NEAR(dab.imag(), (da + db).imag(), 1e-12);
+      // And the occupants actually contribute something to cancel.
+      EXPECT_GT(std::abs(da), 0.0);
+    }
+  }
+}
+
+TEST_F(OccupantProperty, PathGainLinearInReflectivity) {
+  const CabinState none = base_state();
+  CabinState weak = none;
+  weak.occupants = {front(0.3)};
+  CabinState strong = none;
+  strong.occupants = {front(0.6)};
+
+  const CsiMatrix h0 = model_.csi(none);
+  const CsiMatrix hw = model_.csi(weak);
+  const CsiMatrix hs = model_.csi(strong);
+
+  for (std::size_t rx = 0; rx < 2; ++rx) {
+    for (std::size_t f = 0; f < h0.h[rx].size(); ++f) {
+      const auto dw = hw.h[rx][f] - h0.h[rx][f];
+      const auto ds = hs.h[rx][f] - h0.h[rx][f];
+      EXPECT_NEAR(ds.real(), 2.0 * dw.real(), 1e-12);
+      EXPECT_NEAR(ds.imag(), 2.0 * dw.imag(), 1e-12);
+    }
+  }
+}
+
+TEST_F(OccupantProperty, OccupantEchoSeesAntennaHeadWeighting) {
+  // An occupant echo is a head-grade bounce: the per-antenna
+  // head_amplitude split (headrest shadowing, Sec. 5.2.2) must apply to
+  // it exactly as to the driver's head echo. Doubling one antenna's
+  // head weight doubles the occupant's delta at that antenna only.
+  CabinScene boosted = scene_;
+  boosted.rx[0].head_amplitude *= 2.0;
+  const ChannelModel boosted_model(boosted, SubcarrierGrid(),
+                                   HeadScatterModel{});
+
+  const CabinState none = base_state();
+  CabinState with = none;
+  with.occupants = {front(0.7)};
+
+  const CsiMatrix d_base_0 = model_.csi(none);
+  const CsiMatrix d_base_1 = model_.csi(with);
+  const CsiMatrix d_boost_0 = boosted_model.csi(none);
+  const CsiMatrix d_boost_1 = boosted_model.csi(with);
+
+  for (std::size_t f = 0; f < d_base_0.h[0].size(); ++f) {
+    const auto d_stock = d_base_1.h[0][f] - d_base_0.h[0][f];
+    const auto d_boost = d_boost_1.h[0][f] - d_boost_0.h[0][f];
+    EXPECT_NEAR(d_boost.real(), 2.0 * d_stock.real(), 1e-12);
+    EXPECT_NEAR(d_boost.imag(), 2.0 * d_stock.imag(), 1e-12);
+  }
+}
+
+TEST_F(OccupantProperty, OccupantViewRetargetsTrackedSeat) {
+  // occupant_view: the tracked seat takes over the driver-head role, the
+  // interferer takes the TX null and the passenger_null_ratio target.
+  const geom::Vec3 seat{0.36, 0.10, 1.15};
+  const CabinScene view = occupant_view(scene_, seat, scene_.driver_head_center);
+  EXPECT_EQ(view.driver_head_center.x, seat.x);
+  EXPECT_EQ(view.driver_head_center.y, seat.y);
+  EXPECT_EQ(view.driver_head_center.z, seat.z);
+  EXPECT_EQ(view.passenger_head_center.x, scene_.driver_head_center.x);
+  // The torso keeps the stock head-to-torso offset.
+  const geom::Vec3 stock_offset =
+      scene_.driver_torso - scene_.driver_head_center;
+  const geom::Vec3 view_offset = view.driver_torso - view.driver_head_center;
+  EXPECT_NEAR(geom::distance(stock_offset, view_offset), 0.0, 1e-12);
+  // The TX null swings onto the interferer: gain toward the driver seat
+  // is at (or near) the pattern floor, while the tracked seat sees a
+  // healthy gain.
+  const geom::DipolePattern pat = view.tx_pattern();
+  const double g_interferer =
+      pat.amplitude_gain(scene_.driver_head_center - view.tx_position);
+  const double g_tracked = pat.amplitude_gain(seat - view.tx_position);
+  // At the null the amplitude gain bottoms out at sqrt(pattern_floor).
+  EXPECT_LT(g_interferer,
+            std::sqrt(view.tx_pattern_floor) + 1e-6);
+  EXPECT_GT(g_tracked, 0.5);
+  // Antenna roles re-split toward the tracked seat: the nearer antenna
+  // takes the blocked-LOS/strong-echo role.
+  const double d0 = geom::distance(scene_.rx[0].position, seat);
+  const double d1 = geom::distance(scene_.rx[1].position, seat);
+  const std::size_t near = d0 <= d1 ? 0 : 1;
+  EXPECT_GT(view.rx[near].head_amplitude, view.rx[near].los_amplitude);
+  EXPECT_GT(view.rx[1 - near].los_amplitude,
+            view.rx[1 - near].head_amplitude);
+}
+
+}  // namespace
+}  // namespace vihot::channel

@@ -29,6 +29,28 @@ for bin in "$@"; do
   # unknown flag, so the contract holds either way.
   probe "$bin" "a bogus sanitizer backend" --sanitizer-backend bogus
   probe "$bin" "a bogus tracker backend" --tracker-backend bogus
+  case "$(basename "$bin")" in
+    vihot_sim*)
+      # Scenario-pack contract: a pack is a sealed workload definition,
+      # so combining --scenario with an ad-hoc cabin flag is a
+      # contradiction, and an unknown pack name is an error — both exit
+      # 2 with usage text rather than silently preferring one source.
+      probe "$bin" "--scenario plus an ad-hoc flag" \
+        --scenario driver_only_baseline --passenger
+      probe "$bin" "an unknown scenario pack" --scenario not_a_real_pack
+      list=$("$bin" --list-scenarios 2>&1)
+      code=$?
+      if [ "$code" -ne 0 ]; then
+        echo "FAIL: vihot_sim --list-scenarios exited $code (want 0)"
+        status=1
+      fi
+      npacks=$(echo "$list" | grep -c "seed")
+      if [ "$npacks" -lt 6 ]; then
+        echo "FAIL: --list-scenarios shows $npacks packs (want >= 6)"
+        status=1
+      fi
+      ;;
+  esac
 done
 [ "$status" -eq 0 ] && echo "PASS: all tools reject unknown flags and backends"
 exit "$status"

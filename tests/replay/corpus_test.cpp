@@ -34,7 +34,8 @@ TEST(Corpus, EveryGoldenLogReplaysBitIdentically) {
     EXPECT_TRUE(result.bit_identical())
         << format_report(entry.path().string(), result);
   }
-  EXPECT_GE(logs, 4u) << "corpus is thinner than the seeded 4 scenarios";
+  EXPECT_GE(logs, 6u) << "corpus is thinner than the seeded 4 flag "
+                         "scenarios + 2 recorded scenario packs";
 }
 
 }  // namespace

@@ -1,0 +1,216 @@
+// Scenario-pack gates (ctest label: scenario).
+//
+// Every named pack in the registry must (a) run end to end through the
+// engine tier, (b) meet its own accuracy envelope, and (c) be fully
+// deterministic: the same pack + seed produces a byte-identical .vrlog
+// recording, including mid-log session churn. These are the gates the
+// ISSUE calls "seeded scenario packs with replay gates" — tools/
+// run_checks.sh runs this label in the default and tsan legs.
+#include "scenario/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "scenario/registry.h"
+#include "replay/recorder.h"
+
+namespace vihot::scenario {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+const OccupantOutcome* find_occupant(const ScenarioOutcome& res,
+                                     const std::string& name) {
+  for (const OccupantOutcome& o : res.occupants) {
+    if (o.name == name) return &o;
+  }
+  return nullptr;
+}
+
+TEST(ScenarioRegistry, HasTheAdvertisedPacks) {
+  const auto& packs = all_packs();
+  ASSERT_GE(packs.size(), 6u);
+  for (const ScenarioSpec& p : packs) {
+    EXPECT_FALSE(p.name.empty());
+    EXPECT_FALSE(p.summary.empty());
+    EXPECT_GT(p.duration_s, 0.0);
+    EXPECT_NE(p.seed, 0u);
+    ASSERT_NE(p.driver(), nullptr) << p.name;
+    // Exactly one driver, and the registry's lookup round-trips.
+    std::size_t drivers = 0;
+    for (const OccupantSpec& o : p.occupants) {
+      if (o.role == OccupantRole::kDriver) ++drivers;
+    }
+    EXPECT_EQ(drivers, 1u) << p.name;
+    EXPECT_EQ(find_pack(p.name), &p);
+  }
+  EXPECT_EQ(find_pack("definitely_not_a_pack"), nullptr);
+  // The six packs the docs promise, by name.
+  for (const char* name :
+       {"driver_only_baseline", "driver_passenger_crosstalk",
+        "tracked_passenger", "rideshare_churn", "continuous_sweep",
+        "faulted_full_cabin"}) {
+    EXPECT_NE(find_pack(name), nullptr) << name;
+  }
+}
+
+TEST(ScenarioPacks, EveryPackMeetsItsEnvelope) {
+  for (const ScenarioSpec& pack : all_packs()) {
+    const ScenarioOutcome res = run_pack(pack);
+    EXPECT_TRUE(res.envelope_pass) << pack.name << ": "
+        << (res.envelope_failures.empty() ? "(no detail)"
+                                          : res.envelope_failures.front());
+    EXPECT_GT(res.sessions_opened, 0u) << pack.name;
+    EXPECT_GT(res.ticks, 0u) << pack.name;
+    // Every tracked occupant locked and produced errors.
+    for (const OccupantOutcome& o : res.occupants) {
+      if (!o.tracked) continue;
+      EXPECT_GT(o.evaluated, 0u) << pack.name << "/" << o.name;
+      EXPECT_GE(o.relock_s, 0.0) << pack.name << "/" << o.name
+                                 << " never locked";
+    }
+  }
+}
+
+TEST(ScenarioPacks, SameSeedRecordsByteIdenticalVrlog) {
+  // The replay-gate contract, at the pack level: record rideshare_churn
+  // (the pack with mid-log session churn) twice and compare bytes.
+  const ScenarioSpec* pack = find_pack("rideshare_churn");
+  ASSERT_NE(pack, nullptr);
+  const std::string dir = ::testing::TempDir();
+  const std::string tag = std::to_string(::getpid());
+  std::string paths[2] = {dir + "pack_a." + tag + ".vrlog",
+                          dir + "pack_b." + tag + ".vrlog"};
+  for (const std::string& path : paths) {
+    replay::Recorder::Config rc;
+    rc.path = path;
+    // The Recorder sheds feed chunks rather than block producers when
+    // the writer thread falls behind (staging_drops) — which under a
+    // loaded test runner is LEGITIMATE load-dependent truncation, not
+    // lost determinism. Staging large enough to hold the whole ~8 MB
+    // log makes drops impossible, and the truncation assert below
+    // turns any residual shed into a loud, explained failure instead
+    // of a baffling byte mismatch.
+    rc.staging_bytes = 32u << 20;
+    replay::Recorder rec(rc);
+    ASSERT_TRUE(rec.ok()) << rec.error();
+    RunOptions opt;
+    opt.tap = &rec;
+    const ScenarioOutcome res = run_pack(*pack, opt);
+    EXPECT_GT(res.sessions_opened, 0u);
+    const replay::Recorder::Totals totals = rec.totals();
+    ASSERT_FALSE(totals.truncated)
+        << "recorder shed " << totals.staging_drops << " chunk(s)";
+  }
+  const std::string a = slurp(paths[0]);
+  const std::string b = slurp(paths[1]);
+  ASSERT_GT(a.size(), 0u);
+  EXPECT_TRUE(a == b) << "same pack + seed produced different .vrlog bytes";
+  std::remove(paths[0].c_str());
+  std::remove(paths[1].c_str());
+}
+
+TEST(ScenarioPacks, SeedOverrideChangesTheRun) {
+  const ScenarioSpec* pack = find_pack("driver_only_baseline");
+  ASSERT_NE(pack, nullptr);
+  RunOptions other_seed;
+  other_seed.seed_override = pack->seed + 17;
+  const ScenarioOutcome a = run_pack(*pack, {}, false);
+  const ScenarioOutcome b = run_pack(*pack, other_seed, false);
+  const OccupantOutcome* da = find_occupant(a, "driver");
+  const OccupantOutcome* db = find_occupant(b, "driver");
+  ASSERT_NE(da, nullptr);
+  ASSERT_NE(db, nullptr);
+  // Different seed, different scan schedule -> different error CDF.
+  EXPECT_NE(da->errors.size(), db->errors.size());
+}
+
+TEST(ScenarioPacks, RideshareChurnOpensAndClosesSessionsLive) {
+  const ScenarioSpec* pack = find_pack("rideshare_churn");
+  ASSERT_NE(pack, nullptr);
+  const ScenarioOutcome res = run_pack(*pack);
+  // Driver + rider1 tracked; rider1 leaves mid-run.
+  EXPECT_EQ(res.sessions_opened, 2u);
+  EXPECT_EQ(res.sessions_closed, 1u);
+  const OccupantOutcome* rider = find_occupant(res, "rider1");
+  ASSERT_NE(rider, nullptr);
+  EXPECT_TRUE(rider->tracked);
+  EXPECT_GT(rider->enter_s, 0.0);
+  EXPECT_LT(rider->leave_s, pack->duration_s);
+  // Relock: session open -> first valid estimate, within the envelope.
+  EXPECT_GE(rider->relock_s, 0.0);
+  EXPECT_LE(rider->relock_s, pack->envelope.max_relock_s);
+  // The untracked rear rider shows up in the roster outcome.
+  const OccupantOutcome* rear = find_occupant(res, "rider2");
+  ASSERT_NE(rear, nullptr);
+  EXPECT_FALSE(rear->tracked);
+  EXPECT_EQ(rear->errors.size(), 0u);
+}
+
+TEST(ScenarioPacks, TrackedPassengerServesTwoHeads) {
+  const ScenarioSpec* pack = find_pack("tracked_passenger");
+  ASSERT_NE(pack, nullptr);
+  const ScenarioOutcome res = run_pack(*pack);
+  EXPECT_EQ(res.sessions_opened, 2u);
+  std::size_t tracked = 0;
+  for (const OccupantOutcome& o : res.occupants) {
+    if (!o.tracked) continue;
+    ++tracked;
+    EXPECT_GT(o.evaluated, 0u) << o.name;
+    EXPECT_LE(o.errors.median_deg(), pack->envelope.max_median_deg)
+        << o.name;
+  }
+  EXPECT_EQ(tracked, 2u);
+}
+
+TEST(ScenarioPacks, CrosstalkDegradationStaysBounded) {
+  // Sec. 5.3.4 upgraded: the glancing passenger costs accuracy, but the
+  // envelope keeps the degradation against the quiet baseline bounded.
+  const ScenarioSpec* base = find_pack("driver_only_baseline");
+  const ScenarioSpec* cross = find_pack("driver_passenger_crosstalk");
+  ASSERT_NE(base, nullptr);
+  ASSERT_NE(cross, nullptr);
+  // Same seed for both runs isolates the passenger's contribution.
+  RunOptions same_seed;
+  same_seed.seed_override = cross->seed;
+  const ScenarioOutcome quiet = run_pack(*base, same_seed, false);
+  const ScenarioOutcome noisy = run_pack(*cross);
+  const OccupantOutcome* dq = find_occupant(quiet, "driver");
+  const OccupantOutcome* dn = find_occupant(noisy, "driver");
+  ASSERT_NE(dq, nullptr);
+  ASSERT_NE(dn, nullptr);
+  ASSERT_GT(dq->errors.size(), 0u);
+  ASSERT_GT(dn->errors.size(), 0u);
+  EXPECT_LE(dn->errors.median_deg(),
+            dq->errors.median_deg() + cross->envelope.max_median_deg)
+      << "crosstalk blew the driver's median past the allowed degradation";
+}
+
+TEST(ScenarioPacks, DurationOverrideScalesTheRoster) {
+  // Recording runs shorten packs; presence fractions must scale with the
+  // overridden duration, and the min_evaluated floor scales down too
+  // (check_envelope off mirrors how vihot_sim records).
+  const ScenarioSpec* pack = find_pack("rideshare_churn");
+  ASSERT_NE(pack, nullptr);
+  RunOptions opt;
+  opt.duration_override_s = 5.0;
+  const ScenarioOutcome res = run_pack(*pack, opt, false);
+  const OccupantOutcome* rider = find_occupant(res, "rider1");
+  ASSERT_NE(rider, nullptr);
+  EXPECT_NEAR(rider->enter_s, 0.25 * 5.0, 1e-9);
+  EXPECT_NEAR(rider->leave_s, 0.80 * 5.0, 1e-9);
+  EXPECT_EQ(res.sessions_opened, 2u);
+  EXPECT_EQ(res.sessions_closed, 1u);
+}
+
+}  // namespace
+}  // namespace vihot::scenario

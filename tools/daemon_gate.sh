@@ -88,6 +88,22 @@ else
   rc=1
 fi
 
+echo "== daemon-gate: multi-occupant soak (rideshare churn log) =="
+# The scenario-pack churn recording opens and closes sessions MID-LOG
+# (kSessionStart/kSessionEnd); replicated soak proves the daemon
+# survives concurrent feeders that each create and destroy sessions on
+# the fly, not just the steady two-session corpus shape.
+if "${LOADGEN}" soak --socket "${SOCK}" \
+    --log tests/corpus/pack_churn.vrlog \
+    --replicas 3 --subscribers 2 \
+    > "${LOGDIR}/soak-pack-churn.log" 2>&1; then
+  sed -n '$p' "${LOGDIR}/soak-pack-churn.log"
+else
+  echo "daemon-gate: multi-occupant soak FAILED" >&2
+  cat "${LOGDIR}/soak-pack-churn.log" >&2
+  rc=1
+fi
+
 echo "== daemon-gate: SIGTERM drain =="
 kill -TERM "${DPID}"
 drc=0

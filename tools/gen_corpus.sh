@@ -38,13 +38,20 @@ for bin in "${sim}" "${replay}"; do
 done
 
 # Scenario table: name + vihot_sim flags. Seeds are fixed forever; short
-# two-session runs keep each log around a megabyte.
-names=(baseline steering async_ingest faults_async)
+# two-session runs keep each log around a megabyte. The pack_* entries
+# record shortened scenario packs (seed baked into the pack): the
+# crosstalk log covers the two-occupant channel, and the churn log
+# covers mid-log kSessionStart/kSessionEnd — the replayer and the daemon
+# gate both re-drive live session churn from it.
+names=(baseline steering async_ingest faults_async
+       pack_crosstalk pack_churn)
 flags=(
   "--seed 11 --sessions 2 --duration 2"
   "--seed 22 --sessions 2 --duration 2 --steering"
   "--seed 33 --sessions 2 --duration 2 --async-ingest"
   "--seed 44 --sessions 2 --duration 2 --faults --async-ingest"
+  "--scenario driver_passenger_crosstalk --duration 2"
+  "--scenario rideshare_churn --duration 3"
 )
 
 generate() {

@@ -129,6 +129,11 @@ run_leg() {
       # Sharded-serving invariants (routing, shard-count invariance,
       # profile interning) as a named artifact before the full pass.
       run_ctest fleet fleet || return 1
+      echo "== ${leg}: scenario gate =="
+      # Scenario-pack envelopes + same-seed .vrlog bit-identity as a
+      # named artifact: a pack regression (accuracy envelope breach or
+      # lost determinism) surfaces here before the full pass.
+      run_ctest scenario scenario || return 1
       echo "== ${leg}: test =="
       run_ctest default default
       ;;
@@ -201,6 +206,11 @@ run_leg() {
         # layer's data-race proof.
         echo "== ${leg}: daemon gate =="
         run_ctest daemon-tsan tsan-daemon || return 1
+        # Scenario packs drive live session churn (create/destroy while
+        # producers feed and batch ticks run) through the fleet tier —
+        # the multi-occupant analogue of the fleet churn proof.
+        echo "== ${leg}: scenario gate =="
+        run_ctest scenario-tsan tsan-scenario || return 1
       fi
       echo "== ${leg}: full suite =="
       run_ctest "${leg}" "${leg}"

@@ -1,6 +1,14 @@
 // vihot_sim: run any evaluation scenario from the command line.
 //
 //   vihot_sim [options]
+//     --scenario NAME      run a named scenario pack (see
+//                          --list-scenarios). The pack defines the whole
+//                          cabin — occupant roster, motion, interference,
+//                          faults — so it composes ONLY with --seed,
+//                          --duration, --threads, --shards, --record,
+//                          --csv and --metrics-out; any ad-hoc scenario
+//                          flag alongside --scenario is an error
+//     --list-scenarios     print the scenario-pack registry and exit
 //     --seed N             RNG seed (default 2024)
 //     --sessions N         run-time sessions (default 5)
 //     --duration S         seconds per session (default 30)
@@ -63,6 +71,8 @@
 #include "obs/metrics.h"
 #include "obs/sink.h"
 #include "replay/recorder.h"
+#include "scenario/registry.h"
+#include "scenario/runner.h"
 #include "sim/experiment.h"
 #include "sim/fleet.h"
 #include "util/angle.h"
@@ -71,7 +81,8 @@ namespace {
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--seed N] [--sessions N] [--duration S] "
+               "usage: %s [--scenario NAME] [--list-scenarios]\n"
+               "  [--seed N] [--sessions N] [--duration S] "
                "[--layout 1..5]\n"
                "  [--driver A|B|C] [--window-ms N] [--horizon-ms N] "
                "[--turn-speed DEG_S]\n"
@@ -125,17 +136,37 @@ int main(int argc, char** argv) {
   std::size_t shards = 1;
   std::string metrics_out;
   std::string record_out;
+  std::string scenario_name;
+  bool list_scenarios = false;
+  bool seed_set = false;
+  bool duration_set = false;
+  // First flag that configures the ad-hoc scenario path; any such flag
+  // contradicts --scenario (the pack already defines the cabin).
+  std::string adhoc_flag;
   obs::Sink sink;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a == "--seed") {
+    if (adhoc_flag.empty() && a != "--scenario" && a != "--list-scenarios" &&
+        a != "--seed" && a != "--duration" && a != "--threads" &&
+        a != "--shards" && a != "--record" && a != "--csv" &&
+        a != "--metrics-out") {
+      adhoc_flag = a;
+    }
+    if (a == "--scenario") {
+      if (i + 1 >= argc) usage(*argv);
+      scenario_name = argv[++i];
+    } else if (a == "--list-scenarios") {
+      list_scenarios = true;
+    } else if (a == "--seed") {
       config.seed = static_cast<std::uint64_t>(num_arg(argc, argv, i, *argv));
+      seed_set = true;
     } else if (a == "--sessions") {
       config.runtime_sessions =
           static_cast<std::size_t>(num_arg(argc, argv, i, *argv));
     } else if (a == "--duration") {
       config.runtime_duration_s = num_arg(argc, argv, i, *argv);
+      duration_set = true;
     } else if (a == "--layout") {
       const int l = static_cast<int>(num_arg(argc, argv, i, *argv));
       if (l < 1 || l > 5) usage(*argv);
@@ -226,6 +257,134 @@ int main(int argc, char** argv) {
       usage(*argv);
     }
   }
+  if (list_scenarios) {
+    std::printf("scenario packs:\n");
+    for (const scenario::ScenarioSpec& p : scenario::all_packs()) {
+      std::size_t tracked = 0;
+      for (const scenario::OccupantSpec& o : p.occupants) {
+        if (o.tracked) ++tracked;
+      }
+      std::printf("  %-26s %s\n  %-26s   seed %llu, %.0f s, %zu occupant%s "
+                  "(%zu tracked)\n",
+                  p.name.c_str(), p.summary.c_str(), "",
+                  static_cast<unsigned long long>(p.seed), p.duration_s,
+                  p.occupants.size(), p.occupants.size() == 1 ? "" : "s",
+                  tracked);
+    }
+    return 0;
+  }
+
+  if (!scenario_name.empty()) {
+    if (!adhoc_flag.empty()) {
+      std::fprintf(stderr,
+                   "error: --scenario is incompatible with %s: the pack "
+                   "already defines the cabin (occupants, motion, "
+                   "interference, faults); only --seed, --duration, "
+                   "--threads, --shards, --record, --csv and "
+                   "--metrics-out compose with it\n",
+                   adhoc_flag.c_str());
+      usage(*argv);
+    }
+    const scenario::ScenarioSpec* spec = scenario::find_pack(scenario_name);
+    if (spec == nullptr) {
+      std::fprintf(stderr,
+                   "error: unknown scenario pack '%s' (see "
+                   "--list-scenarios)\n",
+                   scenario_name.c_str());
+      usage(*argv);
+    }
+    if (!record_out.empty() && shards > 1) {
+      std::fprintf(stderr,
+                   "error: --record requires --shards 1 (the recorded "
+                   "call sequence is only deterministic for a "
+                   "single-engine fleet)\n");
+      return 2;
+    }
+    std::unique_ptr<replay::Recorder> recorder;
+    if (!record_out.empty()) {
+      replay::Recorder::Config rc;
+      rc.path = record_out;
+      rc.sink = &sink;
+      recorder = std::make_unique<replay::Recorder>(rc);
+      if (!recorder->ok()) {
+        std::fprintf(stderr, "error: %s\n", recorder->error().c_str());
+        return 1;
+      }
+    }
+    scenario::RunOptions opt;
+    opt.threads = threads;
+    opt.shards = shards;
+    opt.sink = &sink;
+    opt.tap = recorder.get();
+    opt.duration_override_s = duration_set ? config.runtime_duration_s : 0.0;
+    opt.seed_override = seed_set ? config.seed : 0;
+    // Recording runs typically shorten the pack for corpus-sized logs;
+    // the envelope verdict is the scenario ctest label's job there.
+    const bool check_envelope = record_out.empty();
+    const scenario::ScenarioOutcome res =
+        scenario::run_pack(*spec, opt, check_envelope);
+    if (recorder != nullptr) {
+      const replay::Recorder::Totals t = recorder->totals();
+      if (!recorder->close()) {
+        std::fprintf(stderr, "error: %s\n", recorder->error().c_str());
+        return 1;
+      }
+      std::fprintf(csv ? stderr : stdout,
+                   "  recorded:   %s (%llu csi, %llu imu, %llu camera, "
+                   "%llu ticks%s)\n",
+                   record_out.c_str(),
+                   static_cast<unsigned long long>(t.csi_frames),
+                   static_cast<unsigned long long>(t.imu_samples),
+                   static_cast<unsigned long long>(t.camera_frames),
+                   static_cast<unsigned long long>(t.ticks),
+                   t.truncated ? ", TRUNCATED" : "");
+    }
+    if (!metrics_out.empty() && !write_metrics(sink, metrics_out)) {
+      std::fprintf(stderr, "error: cannot write metrics to %s\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+    const sim::ErrorCollector merged = res.merged_errors();
+    if (csv) {
+      std::printf(
+          "pack,median_deg,p90_deg,n,sessions_opened,sessions_closed,ticks,"
+          "envelope_pass\n%s,%.2f,%.2f,%zu,%zu,%zu,%zu,%d\n",
+          res.pack.c_str(), merged.median_deg(),
+          merged.percentile_deg(90.0), merged.size(), res.sessions_opened,
+          res.sessions_closed, res.ticks,
+          res.envelope_pass ? 1 : 0);
+    } else {
+      std::printf("ViHOT scenario pack '%s' (%s)\n", spec->name.c_str(),
+                  spec->summary.c_str());
+      std::printf("  sessions:   %zu opened, %zu closed mid-run, %zu batch "
+                  "ticks\n",
+                  res.sessions_opened, res.sessions_closed, res.ticks);
+      for (const scenario::OccupantOutcome& oo : res.occupants) {
+        if (!oo.tracked) {
+          std::printf("  %-10s  interference only [%.1f, %.1f] s\n",
+                      oo.name.c_str(), oo.enter_s, oo.leave_s);
+          continue;
+        }
+        std::printf("  %-10s  median %.1f deg, p90 %.1f (n=%zu)",
+                    oo.name.c_str(), oo.errors.median_deg(),
+                    oo.errors.percentile_deg(90.0), oo.errors.size());
+        if (oo.enter_s > 0.0) std::printf(", relock %.2f s", oo.relock_s);
+        std::printf("\n");
+      }
+      if (check_envelope) {
+        std::printf("  envelope:   %s\n",
+                    res.envelope_pass ? "PASS" : "FAIL");
+        for (const std::string& f : res.envelope_failures) {
+          std::printf("    breach:   %s\n", f.c_str());
+        }
+      }
+      if (!metrics_out.empty()) {
+        std::printf("  metrics:    written to %s\n", metrics_out.c_str());
+      }
+    }
+    return res.envelope_pass ? 0 : 1;
+  }
+
   if (!metrics_out.empty()) config.tracker.sink = &sink;
   // Faults, async ingest and recording are fleet-path features: all act
   // on the pre-generated streams / engine feed loop of run_fleet.
